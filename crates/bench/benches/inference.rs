@@ -1,0 +1,69 @@
+//! Criterion benches for deployment-time inference — the Table-6 story:
+//! fixed-cost LearnShapley forward passes vs. log-size-dependent Nearest
+//! Queries scans vs. exact knowledge-compilation Shapley.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ls_bench::Scale;
+use ls_core::{
+    predict_scores, train_learnshapley, EncoderKind, NearestQueries, NqMetric, QueryProbe,
+};
+use ls_dbshap::Split;
+use ls_provenance::Dnf;
+use ls_shapley::shapley_values;
+use std::hint::black_box;
+
+fn bench_inference(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let ds = scale.imdb_dataset();
+    let train = ds.split_indices(Split::Train);
+    let test = ds.split_indices(Split::Test);
+    let ms = ls_bench::matrices(&ds);
+
+    // One (query, tuple, lineage) probe with a non-trivial lineage.
+    let (qi, tr) = test
+        .iter()
+        .flat_map(|&qi| ds.queries[qi].tuples.iter().map(move |t| (qi, t)))
+        .max_by_key(|(_, t)| t.shapley.len())
+        .expect("test tuples exist");
+    let q = &ds.queries[qi];
+    let tuple = &q.result.tuples[tr.tuple_idx];
+    let lineage: Vec<_> = tr.shapley.keys().copied().collect();
+
+    let mut trained = train_learnshapley(
+        &ds,
+        Some(&ms),
+        &train,
+        &scale.pipeline(EncoderKind::Base),
+    );
+    let nq_syntax = NearestQueries::fit(&ds, &train, NqMetric::Syntax, 3);
+    let nq_witness = NearestQueries::fit(&ds, &train, NqMetric::Witness, 3);
+    let probe = QueryProbe { query: &q.query, result: &q.result, tuple_scores: None };
+    let prov = Dnf::of_tuple(tuple);
+
+    let mut g = c.benchmark_group("inference_per_pair");
+    g.sample_size(20);
+    g.bench_function("learnshapley_base", |b| {
+        b.iter(|| {
+            black_box(predict_scores(
+                &mut trained.model,
+                &trained.tokenizer,
+                &ds.db,
+                &q.sql,
+                tuple,
+                &lineage,
+                64,
+            ))
+        })
+    });
+    g.bench_function("nearest_queries_syntax", |b| {
+        b.iter(|| black_box(nq_syntax.predict(&probe, &lineage)))
+    });
+    g.bench_function("nearest_queries_witness", |b| {
+        b.iter(|| black_box(nq_witness.predict(&probe, &lineage)))
+    });
+    g.bench_function("exact_shapley", |b| b.iter(|| black_box(shapley_values(&prov))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Criterion benches for the three query-similarity metrics and their
+//! kernels (Kendall tau, Hungarian vs. greedy matching) — the cost structure
+//! behind the Table-6 inference-time ordering.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ls_bench::Scale;
+use ls_relational::operations;
+use ls_shapley::FactScores;
+use ls_similarity::{
+    greedy_matching, kendall_tau_distance, max_weight_matching, rank_based_similarity,
+    syntax_similarity_ops, witness_set, witness_similarity_sets, RankSimOptions,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_metrics(c: &mut Criterion) {
+    let ds = Scale::quick().imdb_dataset();
+    let q0 = &ds.queries[0];
+    let q1 = &ds.queries[1];
+    let ops0 = operations(&q0.query);
+    let ops1 = operations(&q1.query);
+    let wit0 = witness_set(&q0.result);
+    let wit1 = witness_set(&q1.result);
+    let scores0 = q0.tuple_scores();
+    let scores1 = q1.tuple_scores();
+
+    let mut g = c.benchmark_group("similarity_metrics");
+    g.sample_size(30);
+    g.bench_function("syntax", |b| {
+        b.iter(|| black_box(syntax_similarity_ops(&ops0, &ops1)))
+    });
+    g.bench_function("witness", |b| {
+        b.iter(|| black_box(witness_similarity_sets(&wit0, &wit1)))
+    });
+    g.bench_function("rank", |b| {
+        b.iter(|| {
+            black_box(rank_based_similarity(&scores0, &scores1, &RankSimOptions::default()))
+        })
+    });
+    g.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut g = c.benchmark_group("similarity_kernels");
+    g.sample_size(30);
+    for n in [8usize, 32, 128] {
+        let r1: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..n as f64)).collect();
+        let r2: Vec<f64> = (0..n).map(|_| rng.gen_range(1.0..n as f64)).collect();
+        g.bench_with_input(BenchmarkId::new("kendall", n), &(r1, r2), |b, (a, bb)| {
+            b.iter(|| black_box(kendall_tau_distance(a, bb)))
+        });
+    }
+    for n in [4usize, 16, 48] {
+        let w: Vec<Vec<f64>> =
+            (0..n).map(|_| (0..n).map(|_| rng.gen_range(0.0..1.0)).collect()).collect();
+        g.bench_with_input(BenchmarkId::new("hungarian", n), &w, |b, w| {
+            b.iter(|| black_box(max_weight_matching(w)))
+        });
+        g.bench_with_input(BenchmarkId::new("greedy", n), &w, |b, w| {
+            b.iter(|| black_box(greedy_matching(w)))
+        });
+    }
+    // Rank similarity over synthetic tuple sets of growing size.
+    for tuples in [4usize, 12] {
+        let mk = |seed: u64| -> Vec<FactScores> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..tuples)
+                .map(|_| {
+                    (0..12u32)
+                        .map(|f| (ls_relational::FactId(f), rng.gen_range(0.0..1.0)))
+                        .collect()
+                })
+                .collect()
+        };
+        let a = mk(1);
+        let b2 = mk(2);
+        g.bench_with_input(
+            BenchmarkId::new("rank_similarity_tuples", tuples),
+            &(a, b2),
+            |b, (x, y)| b.iter(|| black_box(rank_based_similarity(x, y, &RankSimOptions::default()))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_metrics, bench_kernels);
+criterion_main!(benches);

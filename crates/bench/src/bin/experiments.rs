@@ -1,0 +1,178 @@
+//! CLI entry point regenerating every table and figure of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments [--quick] [--out DIR] <command>
+//!
+//! commands:
+//!   table1 table2 fig7          dataset statistics (both databases)
+//!   table3                      main results (both databases)
+//!   table4                      pre-training objective ablation (Academic)
+//!   table5                      unseen-fact qualitative example (Academic)
+//!   table6                      inference times (Academic)
+//!   fig9 fig10 fig12            analysis figures (Academic)
+//!   fig11                       query-log size sweep (Academic)
+//!   ablations                   compiler/Shapley/matching design ablations
+//!   scaling                     attribution cost vs provenance size
+//!   ext-negatives               §7 extension: negative-sample fine-tuning
+//!   ext-crossschema             §7 extension: cross-schema transfer
+//!   all                         everything above
+//! ```
+
+use ls_bench::{report::TextTable, Scale};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_value = out_arg_value(&args);
+    let out_dir = out_value.clone().map(PathBuf::from).unwrap_or_else(|| PathBuf::from("results"));
+    let command = args
+        .iter()
+        .find(|a| !a.starts_with("--") && Some(a.as_str()) != out_value.as_deref())
+        .cloned()
+        .unwrap_or_else(|| "all".to_owned());
+
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+    eprintln!(
+        "# LearnShapley experiments — scale: {} ({} queries/db), output: {}",
+        if quick { "quick" } else { "full" },
+        scale.queries_per_db,
+        out_dir.display()
+    );
+
+    let run_all = command == "all";
+    let started = Instant::now();
+    let mut emitted = 0usize;
+    let mut emit = |t: TextTable, name: &str| {
+        println!("{}", t.render());
+        if let Err(e) = t.write_csv(&out_dir, name) {
+            eprintln!("warning: failed to write {name}.csv: {e}");
+        }
+        emitted += 1;
+    };
+
+    // Datasets are built lazily: statistics tables need both, most analysis
+    // figures need Academic (as in the paper), Table 3 needs both.
+    let need_imdb = run_all
+        || matches!(command.as_str(), "table1" | "table2" | "fig7" | "table3" | "ablations");
+    let imdb = need_imdb.then(|| {
+        eprintln!("# building IMDB dataset…");
+        scale.imdb_dataset()
+    });
+    eprintln!("# building Academic dataset…");
+    let academic = scale.academic_dataset();
+
+    if run_all || command == "table1" {
+        let imdb = imdb.as_ref().expect("imdb built");
+        emit(ls_bench::table1(imdb, &academic), "table1");
+    }
+    if run_all || command == "table2" || command == "fig7" {
+        let imdb = imdb.as_ref().expect("imdb built");
+        for ds in [imdb, &academic] {
+            eprintln!("# similarity matrices for {}…", ds.db_name);
+            let ms = ls_bench::matrices(ds);
+            if run_all || command == "table2" {
+                emit(ls_bench::table2(ds, &ms), &format!("table2_{}", ds.db_name.to_lowercase()));
+            }
+            if run_all || command == "fig7" {
+                emit(
+                    ls_bench::fig7_summary(ds, &ms),
+                    &format!("fig7_{}", ds.db_name.to_lowercase()),
+                );
+                // Raw matrices as CSV + a terminal heatmap.
+                let dir = out_dir.join("fig7");
+                let _ = std::fs::create_dir_all(&dir);
+                for (name, m) in
+                    [("syntax", &ms.syntax), ("witness", &ms.witness), ("rank", &ms.rank)]
+                {
+                    let path = dir.join(format!("{}_{name}.csv", ds.db_name.to_lowercase()));
+                    let _ = std::fs::write(&path, m.to_csv());
+                    println!("-- {} / {name} similarity heatmap --", ds.db_name);
+                    println!("{}", m.to_ascii_heatmap());
+                }
+            }
+        }
+    }
+    if run_all || command == "table3" {
+        let imdb = imdb.as_ref().expect("imdb built");
+        for ds in [&academic, imdb] {
+            eprintln!("# Table 3 on {} (trains 4 models)…", ds.db_name);
+            emit(
+                ls_bench::table3(ds, &scale),
+                &format!("table3_{}", ds.db_name.to_lowercase()),
+            );
+        }
+    }
+    if run_all || command == "table4" {
+        eprintln!("# Table 4 (7 pre-training configurations)…");
+        emit(ls_bench::table4(&academic, &scale), "table4");
+    }
+    if run_all || command == "table5" {
+        eprintln!("# Table 5…");
+        emit(ls_bench::table5(&academic, &scale), "table5");
+    }
+    if run_all || command == "table6" {
+        eprintln!("# Table 6 (timed inference)…");
+        emit(ls_bench::table6(&academic, &scale), "table6");
+    }
+    if run_all || command == "fig9" {
+        eprintln!("# Figure 9…");
+        let (a, b) = ls_bench::fig9(&academic, &scale);
+        emit(a, "fig9a");
+        emit(b, "fig9b");
+    }
+    if run_all || command == "fig10" {
+        eprintln!("# Figure 10…");
+        emit(ls_bench::fig10(&academic, &scale), "fig10");
+    }
+    if run_all || command == "fig11" {
+        eprintln!("# Figure 11 (retrains per log size)…");
+        emit(ls_bench::fig11(&academic, &scale), "fig11");
+    }
+    if run_all || command == "fig12" {
+        eprintln!("# Figure 12…");
+        emit(ls_bench::fig12(&academic, &scale), "fig12");
+    }
+    if run_all || command == "ablations" {
+        let imdb = imdb.as_ref().expect("imdb built");
+        eprintln!("# Design-choice ablations…");
+        emit(ls_bench::ablation_compiler(imdb), "ablation_compiler");
+        emit(ls_bench::ablation_shapley_methods(imdb), "ablation_shapley");
+        emit(ls_bench::ablation_matching(imdb), "ablation_matching");
+    }
+    if run_all || command == "scaling" {
+        eprintln!("# Scaling study…");
+        emit(ls_bench::scaling_study(), "scaling");
+    }
+    if run_all || command == "ext-negatives" {
+        eprintln!("# Extension: negative-sample fine-tuning (trains 2 models)…");
+        emit(ls_bench::extension_negatives(&academic, &scale), "ext_negatives");
+    }
+    if run_all || command == "ext-crossschema" {
+        eprintln!("# Extension: cross-schema transfer (trains 2 models)…");
+        let imdb_ds = match &imdb {
+            Some(ds) => ds.clone(),
+            None => {
+                eprintln!("# building IMDB dataset…");
+                scale.imdb_dataset()
+            }
+        };
+        emit(
+            ls_bench::extension_cross_schema(&imdb_ds, &academic, &scale),
+            "ext_crossschema",
+        );
+    }
+
+    if emitted == 0 {
+        eprintln!("unknown command `{command}` — see the doc comment for usage");
+        std::process::exit(2);
+    }
+    eprintln!("# done: {emitted} tables in {:?}", started.elapsed());
+}
+
+fn out_arg_value(args: &[String]) -> Option<String> {
+    args.iter().position(|a| a == "--out").and_then(|i| args.get(i + 1)).cloned()
+}

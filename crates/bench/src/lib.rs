@@ -1,0 +1,35 @@
+//! # ls-bench
+//!
+//! The experiment harness of the LearnShapley reproduction: one function per
+//! table/figure of the paper's evaluation section (module [`exps`]), scale
+//! presets and dataset builders ([`scale`]), method training/evaluation
+//! shared across experiments ([`methods`]), and plain-text/CSV reporting
+//! ([`report`]).
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run --release -p ls-bench --bin experiments -- all
+//! ```
+//!
+//! or a single experiment (`table1`…`table6`, `fig7`, `fig9`…`fig12`,
+//! `ablations`), optionally with `--quick` for the smoke-test scale.
+//! Criterion microbenches (`cargo bench -p ls-bench`) cover the kernels:
+//! Shapley computation, similarity metrics, engine evaluation, inference.
+
+#![warn(missing_docs)]
+
+pub mod exps;
+pub mod methods;
+pub mod report;
+pub mod scale;
+
+pub use exps::{
+    ablation_compiler, ablation_matching, ablation_shapley_methods, extension_cross_schema,
+    extension_negatives, fig10, scaling_study,
+    fig11, fig12, fig7_summary, fig9, per_pair_eval, table1, table2, table3, table4, table5,
+    table6, PairEval,
+};
+pub use methods::{eval_nearest, matrices, table3_methods, train_and_eval, MethodResult, NQ_NEIGHBORS};
+pub use report::{dur, f3, f4, TextTable};
+pub use scale::Scale;

@@ -1,0 +1,152 @@
+//! Training and evaluation of every compared method (§5.1): the two
+//! LearnShapley variants, the Nearest Queries baselines, and the Table-3
+//! ablations.
+
+use crate::scale::Scale;
+use ls_core::{
+    evaluate_model, train_learnshapley, EncoderKind, EvalSummary, NearestQueries, NqMetric,
+    PipelineConfig, QueryProbe, Trained,
+};
+use ls_dbshap::{similarity_matrices, Dataset, SimilarityMatrices, Split};
+use ls_similarity::RankSimOptions;
+
+/// One method's test-set scores.
+#[derive(Debug, Clone)]
+pub struct MethodResult {
+    /// Display name.
+    pub name: String,
+    /// Test-set ranking quality.
+    pub summary: EvalSummary,
+}
+
+/// The paper's neighbor count for Nearest Queries.
+pub const NQ_NEIGHBORS: usize = 3;
+
+/// Compute the similarity matrices once per dataset (the expensive offline
+/// pass; shared by pre-training and the NQ-rank baseline).
+pub fn matrices(ds: &Dataset) -> SimilarityMatrices {
+    similarity_matrices(ds, &RankSimOptions::default())
+}
+
+/// Evaluate a Nearest Queries baseline fitted on `train` over the recorded
+/// test tuples.
+pub fn eval_nearest(
+    ds: &Dataset,
+    train: &[usize],
+    test: &[usize],
+    metric: NqMetric,
+    n: usize,
+) -> EvalSummary {
+    let nq = NearestQueries::fit(ds, train, metric, n);
+    let mut summary = EvalSummary::default();
+    for &qi in test {
+        let q = &ds.queries[qi];
+        let gold_scores = q.tuple_scores();
+        let probe = QueryProbe {
+            query: &q.query,
+            result: &q.result,
+            tuple_scores: if metric == NqMetric::Rank { Some(&gold_scores) } else { None },
+        };
+        for t in &q.tuples {
+            let lineage: Vec<_> = t.shapley.keys().copied().collect();
+            let pred = nq.predict(&probe, &lineage);
+            summary.add(&pred, &t.shapley);
+        }
+    }
+    summary.finish()
+}
+
+/// Train one LearnShapley variant and evaluate it on `test`.
+pub fn train_and_eval(
+    ds: &Dataset,
+    ms: Option<&SimilarityMatrices>,
+    train: &[usize],
+    test: &[usize],
+    cfg: &PipelineConfig,
+) -> (Trained, EvalSummary) {
+    let mut trained = train_learnshapley(ds, ms, train, cfg);
+    let summary = evaluate_model(
+        &mut trained.model,
+        &trained.tokenizer,
+        ds,
+        test,
+        cfg.finetune_cfg.max_len,
+    );
+    (trained, summary)
+}
+
+/// The full Table-3 comparison on one database: LearnShapley-base/-large,
+/// the three Nearest Queries baselines, and the two ablations (fine-tuning
+/// without pre-training; the small randomly-initialized transformer).
+pub fn table3_methods(ds: &Dataset, scale: &Scale) -> Vec<MethodResult> {
+    let train = ds.split_indices(Split::Train);
+    let test = ds.split_indices(Split::Test);
+    let ms = matrices(ds);
+    let mut out = Vec::new();
+
+    for metric in [NqMetric::Syntax, NqMetric::Witness, NqMetric::Rank] {
+        out.push(MethodResult {
+            name: format!("NearestQueries-{} (n={NQ_NEIGHBORS})", metric.label()),
+            summary: eval_nearest(ds, &train, &test, metric, NQ_NEIGHBORS),
+        });
+    }
+
+    let (_, base) =
+        train_and_eval(ds, Some(&ms), &train, &test, &scale.pipeline(EncoderKind::Base));
+    out.push(MethodResult { name: "LearnShapley-base".into(), summary: base });
+
+    let (_, large) =
+        train_and_eval(ds, Some(&ms), &train, &test, &scale.pipeline(EncoderKind::Large));
+    out.push(MethodResult { name: "LearnShapley-large".into(), summary: large });
+
+    // Ablation: no pre-training (fine-tune directly).
+    let mut no_pre_cfg = scale.pipeline(EncoderKind::Base);
+    no_pre_cfg.pretrain = None;
+    let (_, no_pre) = train_and_eval(ds, None, &train, &test, &no_pre_cfg);
+    out.push(MethodResult { name: "ablation: base w/o pre-training".into(), summary: no_pre });
+
+    // Ablation: small randomly-initialized transformer, fine-tune data only.
+    let mut small_cfg = scale.pipeline(EncoderKind::SmallAblation);
+    small_cfg.pretrain = None;
+    let (_, small) = train_and_eval(ds, None, &train, &test, &small_cfg);
+    out.push(MethodResult {
+        name: "ablation: transformer encoder (small)".into(),
+        summary: small,
+    });
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_baselines_score_reasonably_on_quick_scale() {
+        let s = Scale::quick();
+        let ds = s.imdb_dataset();
+        let train = ds.split_indices(Split::Train);
+        let test = ds.split_indices(Split::Test);
+        for metric in [NqMetric::Syntax, NqMetric::Witness, NqMetric::Rank] {
+            let summary = eval_nearest(&ds, &train, &test, metric, NQ_NEIGHBORS);
+            assert!(summary.pairs > 0);
+            assert!((0.0..=1.0).contains(&summary.ndcg10), "{metric:?}: {summary:?}");
+            assert!((0.0..=1.0).contains(&summary.p1));
+        }
+    }
+
+    #[test]
+    fn learnshapley_trains_and_evaluates_on_quick_scale() {
+        let s = Scale::quick();
+        let ds = s.imdb_dataset();
+        let train = ds.split_indices(Split::Train);
+        let test = ds.split_indices(Split::Test);
+        let ms = matrices(&ds);
+        let mut cfg = s.pipeline(EncoderKind::SmallAblation);
+        cfg.max_vocab = 800;
+        let (trained, summary) = train_and_eval(&ds, Some(&ms), &train, &test, &cfg);
+        assert!(summary.pairs > 0);
+        assert!((0.0..=1.0).contains(&summary.ndcg10));
+        assert!(trained.pretrain.is_some());
+    }
+}

@@ -1,0 +1,198 @@
+//! Evaluation metrics: NDCG@k, precision@k, partial NDCG, and correlation.
+//!
+//! Following §5.2 of the paper: the predicted ranking of the lineage facts
+//! is compared against the gold ranking induced by the exact Shapley values.
+//! NDCG uses the (real-valued) Shapley values as graded relevance; `p@k` is
+//! the overlap of the predicted and gold top-`k` sets.
+
+use ls_shapley::{rank_descending, top_k, FactScores};
+use ls_relational::FactId;
+
+/// NDCG@k of `predicted` against the `gold` relevance scores.
+///
+/// `DCG@k = Σ_{i<k} rel(π(i)) / log2(i + 2)`, normalized by the ideal DCG.
+/// Returns 1.0 when the gold scores are all zero (nothing to rank).
+pub fn ndcg_at_k(predicted: &FactScores, gold: &FactScores, k: usize) -> f64 {
+    let pred_order = rank_descending(predicted);
+    let ideal_order = rank_descending(gold);
+    let got = dcg(&pred_order, gold, k);
+    let ideal = dcg(&ideal_order, gold, k);
+    if ideal == 0.0 {
+        1.0
+    } else {
+        got / ideal
+    }
+}
+
+fn dcg(order: &[FactId], gold: &FactScores, k: usize) -> f64 {
+    order
+        .iter()
+        .take(k)
+        .enumerate()
+        .map(|(i, f)| gold.get(f).copied().unwrap_or(0.0) / ((i + 2) as f64).log2())
+        .sum()
+}
+
+/// Precision@k: `|top_k(predicted) ∩ top_k(gold)| / k'` where `k'` is the
+/// effective cutoff `min(k, |facts|)`.
+pub fn precision_at_k(predicted: &FactScores, gold: &FactScores, k: usize) -> f64 {
+    let kk = k.min(gold.len());
+    if kk == 0 {
+        return 1.0;
+    }
+    let p: std::collections::BTreeSet<FactId> = top_k(predicted, kk).into_iter().collect();
+    let g: std::collections::BTreeSet<FactId> = top_k(gold, kk).into_iter().collect();
+    p.intersection(&g).count() as f64 / kk as f64
+}
+
+/// Partial NDCG (§5.7 / Figure 12): both rankings restricted to `subset`.
+pub fn partial_ndcg_at_k(
+    predicted: &FactScores,
+    gold: &FactScores,
+    subset: &[FactId],
+    k: usize,
+) -> f64 {
+    let pr: FactScores = subset
+        .iter()
+        .filter_map(|f| predicted.get(f).map(|&v| (*f, v)))
+        .collect();
+    let go: FactScores = subset
+        .iter()
+        .filter_map(|f| gold.get(f).map(|&v| (*f, v)))
+        .collect();
+    ndcg_at_k(&pr, &go, k)
+}
+
+/// Pearson correlation of two aligned samples (Figure 10 trendlines).
+/// Returns 0.0 when either side is constant.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n as f64;
+    let my = ys.iter().sum::<f64>() / n as f64;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+/// Least-squares slope of `ys` on `xs` (the dotted trendline of Figure 9a).
+pub fn linear_slope(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n as f64;
+    let my = ys.iter().sum::<f64>() / n as f64;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        num += (x - mx) * (y - my);
+        den += (x - mx) * (x - mx);
+    }
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scores(pairs: &[(u32, f64)]) -> FactScores {
+        pairs.iter().map(|&(f, v)| (FactId(f), v)).collect()
+    }
+
+    #[test]
+    fn perfect_prediction_scores_one() {
+        let gold = scores(&[(0, 0.5), (1, 0.3), (2, 0.2)]);
+        assert!((ndcg_at_k(&gold, &gold, 10) - 1.0).abs() < 1e-12);
+        assert_eq!(precision_at_k(&gold, &gold, 3), 1.0);
+        assert_eq!(precision_at_k(&gold, &gold, 1), 1.0);
+    }
+
+    #[test]
+    fn reversed_prediction_scores_low() {
+        let gold = scores(&[(0, 0.9), (1, 0.05), (2, 0.05)]);
+        let pred = scores(&[(0, 0.1), (1, 0.5), (2, 0.9)]);
+        let n = ndcg_at_k(&pred, &gold, 10);
+        assert!(n < 0.9, "reversed ranking should lose NDCG: {n}");
+        assert_eq!(precision_at_k(&pred, &gold, 1), 0.0);
+    }
+
+    #[test]
+    fn ndcg_in_unit_interval() {
+        let gold = scores(&[(0, 0.4), (1, 0.3), (2, 0.2), (3, 0.1)]);
+        let pred = scores(&[(0, 0.1), (1, 0.4), (2, 0.2), (3, 0.3)]);
+        let n = ndcg_at_k(&pred, &gold, 10);
+        assert!((0.0..=1.0).contains(&n));
+    }
+
+    #[test]
+    fn ndcg_at_small_k_only_looks_at_prefix() {
+        let gold = scores(&[(0, 0.9), (1, 0.1), (2, 0.0)]);
+        // Correct top-1, scrambled tail.
+        let pred = scores(&[(0, 1.0), (1, 0.0), (2, 0.5)]);
+        assert!((ndcg_at_k(&pred, &gold, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_with_k_larger_than_facts() {
+        let gold = scores(&[(0, 0.6), (1, 0.4)]);
+        let pred = scores(&[(0, 0.4), (1, 0.6)]);
+        // k=5 → effective k=2 → both sets are {0,1} → precision 1.
+        assert_eq!(precision_at_k(&pred, &gold, 5), 1.0);
+    }
+
+    #[test]
+    fn empty_gold_is_vacuous() {
+        let empty = FactScores::new();
+        assert_eq!(ndcg_at_k(&empty, &empty, 10), 1.0);
+        assert_eq!(precision_at_k(&empty, &empty, 5), 1.0);
+    }
+
+    #[test]
+    fn partial_ndcg_restricts_to_subset() {
+        let gold = scores(&[(0, 0.5), (1, 0.3), (2, 0.2)]);
+        // Prediction is wrong only on fact 2.
+        let pred = scores(&[(0, 0.5), (1, 0.3), (2, 0.9)]);
+        let sub01 = vec![FactId(0), FactId(1)];
+        assert!((partial_ndcg_at_k(&pred, &gold, &sub01, 10) - 1.0).abs() < 1e-12);
+        let suball = vec![FactId(0), FactId(1), FactId(2)];
+        assert!(partial_ndcg_at_k(&pred, &gold, &suball, 10) < 1.0);
+    }
+
+    #[test]
+    fn pearson_basics() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let up: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        let down: Vec<f64> = xs.iter().map(|x| -x).collect();
+        assert!((pearson(&xs, &up) - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &down) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&xs, &[5.0, 5.0, 5.0, 5.0]), 0.0);
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn slope_basics() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 - 0.5 * x).collect();
+        assert!((linear_slope(&xs, &ys) + 0.5).abs() < 1e-12);
+        assert_eq!(linear_slope(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,293 @@
+//! The Nearest Queries baselines (§5.1).
+//!
+//! `k`-NN over the training query log: at inference time the probe query is
+//! compared to every training query under one similarity metric; the fact
+//! scores are the aggregated historical Shapley values of the `n` nearest
+//! queries. A fact never seen in those queries scores 0 — the paper's
+//! observation that the baseline has no signal on unseen facts.
+//!
+//! The rank-based variant needs the probe's *gold* tuple rankings, so (as
+//! the paper notes) it is only feasible in a controlled experiment; it is
+//! constructed here with the dataset's ground truth.
+
+use ls_dbshap::Dataset;
+use ls_relational::{operations, FactId, Operation, Query, QueryResult, Value};
+use ls_shapley::FactScores;
+use ls_similarity::{
+    rank_based_similarity, syntax_similarity_ops, witness_set, witness_similarity_sets,
+    RankSimOptions,
+};
+use std::collections::BTreeSet;
+
+/// The similarity metric a Nearest Queries model uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NqMetric {
+    /// Operation-set Jaccard.
+    Syntax,
+    /// Result-set Jaccard.
+    Witness,
+    /// Rank-based (controlled experiment only — needs gold rankings).
+    Rank,
+}
+
+impl NqMetric {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            NqMetric::Syntax => "syntax",
+            NqMetric::Witness => "witness",
+            NqMetric::Rank => "rank",
+        }
+    }
+}
+
+/// The probe-side inputs of a prediction.
+#[derive(Debug)]
+pub struct QueryProbe<'a> {
+    /// The probe query.
+    pub query: &'a Query,
+    /// Its evaluated result (needed by the witness metric).
+    pub result: &'a QueryResult,
+    /// Gold per-tuple fact rankings (needed by the rank metric only).
+    pub tuple_scores: Option<&'a [FactScores]>,
+}
+
+/// A fitted Nearest Queries model.
+#[derive(Debug, Clone)]
+pub struct NearestQueries {
+    metric: NqMetric,
+    n: usize,
+    rank_opts: RankSimOptions,
+    ops: Vec<BTreeSet<Operation>>,
+    wits: Vec<BTreeSet<Vec<Value>>>,
+    tuple_scores: Vec<Vec<FactScores>>,
+    fact_agg: Vec<FactScores>,
+}
+
+impl NearestQueries {
+    /// Fit on the given training-query subset. `n` is the neighbor count
+    /// (the paper found `n = 3` best).
+    pub fn fit(ds: &Dataset, train_queries: &[usize], metric: NqMetric, n: usize) -> Self {
+        let mut ops = Vec::new();
+        let mut wits = Vec::new();
+        let mut tuple_scores = Vec::new();
+        let mut fact_agg = Vec::new();
+        for &qi in train_queries {
+            let q = &ds.queries[qi];
+            ops.push(operations(&q.query));
+            wits.push(witness_set(&q.result));
+            let scores = q.tuple_scores();
+            // Aggregate: mean Shapley per fact over the query's recorded
+            // tuples (facts absent from a tuple contribute 0).
+            let mut agg = FactScores::new();
+            for s in &scores {
+                for (&f, &v) in s {
+                    *agg.entry(f).or_insert(0.0) += v;
+                }
+            }
+            let count = scores.len().max(1) as f64;
+            for v in agg.values_mut() {
+                *v /= count;
+            }
+            tuple_scores.push(scores);
+            fact_agg.push(agg);
+        }
+        NearestQueries {
+            metric,
+            n,
+            rank_opts: RankSimOptions::default(),
+            ops,
+            wits,
+            tuple_scores,
+            fact_agg,
+        }
+    }
+
+    /// Number of stored training queries.
+    pub fn len(&self) -> usize {
+        self.fact_agg.len()
+    }
+
+    /// Whether the model holds no training queries.
+    pub fn is_empty(&self) -> bool {
+        self.fact_agg.is_empty()
+    }
+
+    /// Similarities of the probe to every stored query.
+    pub fn similarities(&self, probe: &QueryProbe<'_>) -> Vec<f64> {
+        match self.metric {
+            NqMetric::Syntax => {
+                let pops = operations(probe.query);
+                self.ops.iter().map(|o| syntax_similarity_ops(&pops, o)).collect()
+            }
+            NqMetric::Witness => {
+                let pwits = witness_set(probe.result);
+                self.wits
+                    .iter()
+                    .map(|w| witness_similarity_sets(&pwits, w))
+                    .collect()
+            }
+            NqMetric::Rank => {
+                let gold = probe
+                    .tuple_scores
+                    .expect("rank-based Nearest Queries needs gold tuple rankings");
+                self.tuple_scores
+                    .iter()
+                    .map(|s| rank_based_similarity(gold, s, &self.rank_opts))
+                    .collect()
+            }
+        }
+    }
+
+    /// Indices of the `n` nearest stored queries (ties by index).
+    pub fn nearest(&self, probe: &QueryProbe<'_>) -> Vec<usize> {
+        let sims = self.similarities(probe);
+        let mut idx: Vec<usize> = (0..sims.len()).collect();
+        idx.sort_by(|&a, &b| sims[b].total_cmp(&sims[a]).then_with(|| a.cmp(&b)));
+        idx.truncate(self.n);
+        idx
+    }
+
+    /// Predict fact scores for a lineage: the average historical Shapley of
+    /// each fact across the `n` nearest queries (0 for unseen facts).
+    pub fn predict(&self, probe: &QueryProbe<'_>, lineage: &[FactId]) -> FactScores {
+        let neighbors = self.nearest(probe);
+        let mut out = FactScores::new();
+        for &f in lineage {
+            let mut total = 0.0;
+            for &q in &neighbors {
+                total += self.fact_agg[q].get(&f).copied().unwrap_or(0.0);
+            }
+            let denom = neighbors.len().max(1) as f64;
+            out.insert(f, total / denom);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ls_dbshap::{
+        generate_imdb, imdb_spec, Dataset, DatasetConfig, ImdbConfig, QueryGenConfig, Split,
+    };
+
+    fn tiny() -> Dataset {
+        let db = generate_imdb(&ImdbConfig {
+            companies: 10,
+            actors: 40,
+            movies: 50,
+            roles_per_movie: 2,
+            seed: 9,
+        });
+        let cfg = DatasetConfig {
+            query_gen: QueryGenConfig { num_queries: 10, ..Default::default() },
+            max_tuples_per_query: 4,
+            max_lineage: 25,
+            ..Default::default()
+        };
+        Dataset::build(db, &imdb_spec(), &cfg)
+    }
+
+    #[test]
+    fn fit_and_predict_shapes() {
+        let ds = tiny();
+        let train = ds.split_indices(Split::Train);
+        let nq = NearestQueries::fit(&ds, &train, NqMetric::Syntax, 3);
+        assert_eq!(nq.len(), train.len());
+        assert!(!nq.is_empty());
+
+        let ti = ds.split_indices(Split::Test)[0];
+        let q = &ds.queries[ti];
+        let t = &q.tuples[0];
+        let lineage: Vec<FactId> = t.shapley.keys().copied().collect();
+        let probe = QueryProbe { query: &q.query, result: &q.result, tuple_scores: None };
+        let pred = nq.predict(&probe, &lineage);
+        assert_eq!(pred.len(), lineage.len());
+    }
+
+    #[test]
+    fn self_query_is_its_own_nearest() {
+        let ds = tiny();
+        let train = ds.split_indices(Split::Train);
+        let nq = NearestQueries::fit(&ds, &train, NqMetric::Syntax, 1);
+        let qi = train[0];
+        let q = &ds.queries[qi];
+        let probe = QueryProbe { query: &q.query, result: &q.result, tuple_scores: None };
+        let nearest = nq.nearest(&probe);
+        assert_eq!(nearest, vec![0]);
+        let sims = nq.similarities(&probe);
+        assert!((sims[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn witness_metric_uses_results() {
+        let ds = tiny();
+        let train = ds.split_indices(Split::Train);
+        let nq = NearestQueries::fit(&ds, &train, NqMetric::Witness, 1);
+        let qi = train[0];
+        let q = &ds.queries[qi];
+        let probe = QueryProbe { query: &q.query, result: &q.result, tuple_scores: None };
+        let sims = nq.similarities(&probe);
+        assert!((sims[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_metric_requires_gold() {
+        let ds = tiny();
+        let train = ds.split_indices(Split::Train);
+        let nq = NearestQueries::fit(&ds, &train, NqMetric::Rank, 1);
+        let qi = train[0];
+        let q = &ds.queries[qi];
+        let scores = q.tuple_scores();
+        let probe =
+            QueryProbe { query: &q.query, result: &q.result, tuple_scores: Some(&scores) };
+        let sims = nq.similarities(&probe);
+        assert!((sims[0] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs gold")]
+    fn rank_metric_without_gold_panics() {
+        let ds = tiny();
+        let train = ds.split_indices(Split::Train);
+        let nq = NearestQueries::fit(&ds, &train, NqMetric::Rank, 1);
+        let q = &ds.queries[train[0]];
+        let probe = QueryProbe { query: &q.query, result: &q.result, tuple_scores: None };
+        nq.similarities(&probe);
+    }
+
+    #[test]
+    fn unseen_facts_score_zero() {
+        let ds = tiny();
+        let train = ds.split_indices(Split::Train);
+        let nq = NearestQueries::fit(&ds, &train, NqMetric::Syntax, 3);
+        let q = &ds.queries[train[0]];
+        let probe = QueryProbe { query: &q.query, result: &q.result, tuple_scores: None };
+        // A fact id beyond the database cannot have been seen.
+        let pred = nq.predict(&probe, &[FactId(1_000_000)]);
+        assert_eq!(pred[&FactId(1_000_000)], 0.0);
+    }
+
+    #[test]
+    fn neighbor_count_larger_than_log() {
+        let ds = tiny();
+        let train = ds.split_indices(Split::Train);
+        let nq = NearestQueries::fit(&ds, &train, NqMetric::Syntax, train.len() + 10);
+        let q = &ds.queries[train[0]];
+        let probe = QueryProbe { query: &q.query, result: &q.result, tuple_scores: None };
+        // nearest() truncates to the available queries.
+        assert_eq!(nq.nearest(&probe).len(), train.len());
+        let t = &q.tuples[0];
+        let lineage: Vec<FactId> = t.shapley.keys().copied().collect();
+        let pred = nq.predict(&probe, &lineage);
+        assert_eq!(pred.len(), lineage.len());
+    }
+
+    #[test]
+    fn metric_labels() {
+        assert_eq!(NqMetric::Syntax.label(), "syntax");
+        assert_eq!(NqMetric::Witness.label(), "witness");
+        assert_eq!(NqMetric::Rank.label(), "rank");
+    }
+}

@@ -1,0 +1,161 @@
+//! Model persistence: save a trained LearnShapley model (encoder config,
+//! head shapes, tokenizer vocabulary, and all weights) to one binary file
+//! and load it back for deployment — the "once the model is deployed, it
+//! constitutes a fast solution for real-time ranking" workflow of §1.
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic "LSMD" | version u32
+//! encoder config: vocab, d_model, heads, layers, ff_dim, max_len (u32 each), seed u64
+//! vocab entries u32, then per entry: id u32, len u32, utf-8 bytes
+//! parameter snapshot (ls_nn::Snapshot binary format)
+//! ```
+
+use crate::model::LearnShapleyModel;
+use crate::tokenizer::Tokenizer;
+use ls_nn::{EncoderConfig, Snapshot};
+use std::fs;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"LSMD";
+const VERSION: u32 = 1;
+
+/// Save a model + tokenizer to `path`.
+pub fn save_model(
+    model: &mut LearnShapleyModel,
+    tokenizer: &Tokenizer,
+    path: &Path,
+) -> io::Result<()> {
+    let mut w = BufWriter::new(fs::File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    let cfg = model.encoder.config;
+    for v in [cfg.vocab, cfg.d_model, cfg.heads, cfg.layers, cfg.ff_dim, cfg.max_len] {
+        w.write_all(&(v as u32).to_le_bytes())?;
+    }
+    w.write_all(&cfg.seed.to_le_bytes())?;
+
+    let entries = tokenizer.entries();
+    w.write_all(&(entries.len() as u32).to_le_bytes())?;
+    for (word, id) in entries {
+        w.write_all(&id.to_le_bytes())?;
+        w.write_all(&(word.len() as u32).to_le_bytes())?;
+        w.write_all(word.as_bytes())?;
+    }
+
+    Snapshot::capture(model).write_to(&mut w)?;
+    w.flush()
+}
+
+/// Load a model + tokenizer from `path`.
+pub fn load_model(path: &Path) -> io::Result<(LearnShapleyModel, Tokenizer)> {
+    let mut r = BufReader::new(fs::File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad model magic"));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported model version {version}"),
+        ));
+    }
+    let vocab = read_u32(&mut r)? as usize;
+    let d_model = read_u32(&mut r)? as usize;
+    let heads = read_u32(&mut r)? as usize;
+    let layers = read_u32(&mut r)? as usize;
+    let ff_dim = read_u32(&mut r)? as usize;
+    let max_len = read_u32(&mut r)? as usize;
+    let mut seed_buf = [0u8; 8];
+    r.read_exact(&mut seed_buf)?;
+    let seed = u64::from_le_bytes(seed_buf);
+    let cfg = EncoderConfig { vocab, d_model, heads, layers, ff_dim, max_len, seed };
+
+    let n_entries = read_u32(&mut r)? as usize;
+    let mut entries = Vec::with_capacity(n_entries);
+    for _ in 0..n_entries {
+        let id = read_u32(&mut r)?;
+        let len = read_u32(&mut r)? as usize;
+        let mut bytes = vec![0u8; len];
+        r.read_exact(&mut bytes)?;
+        let word = String::from_utf8(bytes)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        entries.push((word, id));
+    }
+    let tokenizer = Tokenizer::from_entries(entries);
+
+    let mut model = LearnShapleyModel::new(cfg);
+    let snap = Snapshot::read_from(&mut r)?;
+    snap.restore(&mut model);
+    Ok((model, tokenizer))
+}
+
+fn read_u32(r: &mut dyn Read) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::Tokenizer;
+
+    fn setup() -> (LearnShapleyModel, Tokenizer) {
+        let tok = Tokenizer::build(
+            ["select movies title from where year 2007 ovt1 ovq0"].into_iter(),
+            128,
+        );
+        let model = LearnShapleyModel::new(EncoderConfig {
+            vocab: tok.vocab_size(),
+            d_model: 8,
+            heads: 2,
+            layers: 1,
+            ff_dim: 16,
+            max_len: 32,
+            seed: 9,
+        });
+        (model, tok)
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_predictions() {
+        let (mut model, tok) = setup();
+        let tokens = [1u32, 5, 2, 6, 2];
+        let segs = [0u8, 0, 0, 1, 1];
+        let before = model.forward_value(&tokens, &segs);
+
+        let path = std::env::temp_dir().join("ls_model_roundtrip.bin");
+        save_model(&mut model, &tok, &path).unwrap();
+        let (mut loaded, loaded_tok) = load_model(&path).unwrap();
+        let after = loaded.forward_value(&tokens, &segs);
+        assert_eq!(before, after, "weights must round-trip exactly");
+        assert_eq!(
+            tok.tokenize("select movies year 2007"),
+            loaded_tok.tokenize("select movies year 2007"),
+            "vocabulary must round-trip"
+        );
+        assert_eq!(loaded.encoder.config.d_model, 8);
+    }
+
+    #[test]
+    fn corrupt_file_rejected() {
+        let path = std::env::temp_dir().join("ls_model_corrupt.bin");
+        fs::write(&path, b"not a model").unwrap();
+        assert!(load_model(&path).is_err());
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let (mut model, tok) = setup();
+        let path = std::env::temp_dir().join("ls_model_trunc.bin");
+        save_model(&mut model, &tok, &path).unwrap();
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(load_model(&path).is_err());
+    }
+}

@@ -1,0 +1,240 @@
+//! End-to-end training pipeline: tokenizer construction, optional similarity
+//! pre-training, Shapley fine-tuning — the full Figure 4 recipe, plus the
+//! ablation switches the experiment harness needs (§5.3, §5.5).
+
+use crate::encoding::render_tuple_and_fact_featured;
+use crate::finetune::{finetune, FinetuneReport};
+use crate::model::LearnShapleyModel;
+use crate::pretrain::{
+    build_pretrain_pairs, pretrain, PretrainObjectives, PretrainReport, TrainConfig,
+};
+use crate::tokenizer::Tokenizer;
+use ls_dbshap::{Dataset, SimilarityMatrices};
+use ls_nn::EncoderConfig;
+
+/// Which encoder stands behind the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncoderKind {
+    /// LearnShapley-base (the BERT-base stand-in).
+    Base,
+    /// LearnShapley-large (the BERT-large stand-in).
+    Large,
+    /// The small randomly-initialized transformer of the §5.5 ablation.
+    SmallAblation,
+}
+
+impl EncoderKind {
+    /// Resolve to an [`EncoderConfig`] for the given vocabulary/length.
+    pub fn config(self, vocab: usize, max_len: usize) -> EncoderConfig {
+        match self {
+            EncoderKind::Base => EncoderConfig::base(vocab, max_len),
+            EncoderKind::Large => EncoderConfig::large(vocab, max_len),
+            EncoderKind::SmallAblation => EncoderConfig::small_ablation(vocab, max_len),
+        }
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            EncoderKind::Base => "LearnShapley-base",
+            EncoderKind::Large => "LearnShapley-large",
+            EncoderKind::SmallAblation => "transformer-encoder (small)",
+        }
+    }
+}
+
+/// Full pipeline configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Encoder size.
+    pub encoder: EncoderKind,
+    /// Pre-training objectives; `None` skips pre-training entirely (the
+    /// "BERT w/o pre-training" ablation of Table 3).
+    pub pretrain: Option<PretrainObjectives>,
+    /// Pre-training loop knobs.
+    pub pretrain_cfg: TrainConfig,
+    /// Fine-tuning loop knobs.
+    pub finetune_cfg: TrainConfig,
+    /// Vocabulary cap.
+    pub max_vocab: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            encoder: EncoderKind::Base,
+            pretrain: Some(PretrainObjectives::default()),
+            pretrain_cfg: TrainConfig::default(),
+            finetune_cfg: TrainConfig { epochs: 8, ..Default::default() },
+            max_vocab: 2000,
+        }
+    }
+}
+
+/// A trained model plus its tokenizer and training reports.
+#[derive(Debug)]
+pub struct Trained {
+    /// The fine-tuned model (at its best-dev checkpoint).
+    pub model: LearnShapleyModel,
+    /// The tokenizer (vocabulary from the training subset only).
+    pub tokenizer: Tokenizer,
+    /// Pre-training report, if pre-training ran.
+    pub pretrain: Option<PretrainReport>,
+    /// Fine-tuning report.
+    pub finetune: FinetuneReport,
+}
+
+/// Build the tokenizer from the training queries' SQL, tuples and facts —
+/// never from dev/test text, so unseen facts stay genuinely unseen.
+pub fn build_tokenizer(ds: &Dataset, train_queries: &[usize], max_vocab: usize) -> Tokenizer {
+    let mut corpus: Vec<String> = Vec::new();
+    for &qi in train_queries {
+        let q = &ds.queries[qi];
+        corpus.push(q.sql.clone());
+        for t in &q.tuples {
+            let tuple = &q.result.tuples[t.tuple_idx];
+            for &f in t.shapley.keys() {
+                corpus.push(render_tuple_and_fact_featured(&ds.db, &q.sql, tuple, f));
+            }
+        }
+        // Ensure every overlap-feature bucket token is in vocabulary even if
+        // rare in the training corpus.
+        corpus.push("ovt0 ovt1 ovt2 ovt3 ovq0 ovq1 ovq2 ovq3".into());
+    }
+    Tokenizer::build(corpus.iter().map(String::as_str), max_vocab)
+}
+
+/// Train a LearnShapley model end to end on the given training subset.
+///
+/// `matrices` supplies pre-training targets and may be omitted when
+/// `cfg.pretrain` is `None`.
+pub fn train_learnshapley(
+    ds: &Dataset,
+    matrices: Option<&SimilarityMatrices>,
+    train_queries: &[usize],
+    cfg: &PipelineConfig,
+) -> Trained {
+    let tokenizer = build_tokenizer(ds, train_queries, cfg.max_vocab);
+    let enc_cfg = cfg
+        .encoder
+        .config(tokenizer.vocab_size(), cfg.pretrain_cfg.max_len.max(cfg.finetune_cfg.max_len));
+    let mut model = LearnShapleyModel::new(enc_cfg);
+
+    let pretrain_report = match (cfg.pretrain, matrices) {
+        (Some(objectives), Some(ms)) => {
+            let (train_pairs_all, dev_pairs) = build_pretrain_pairs(ds, ms);
+            // Restrict pairs to the chosen training subset.
+            let subset_sqls: std::collections::BTreeSet<&str> = train_queries
+                .iter()
+                .map(|&qi| ds.queries[qi].sql.as_str())
+                .collect();
+            let train_pairs: Vec<_> = train_pairs_all
+                .into_iter()
+                .filter(|p| subset_sqls.contains(p.a.as_str()) && subset_sqls.contains(p.b.as_str()))
+                .collect();
+            Some(pretrain(
+                &mut model,
+                &tokenizer,
+                &train_pairs,
+                &dev_pairs,
+                objectives,
+                &cfg.pretrain_cfg,
+            ))
+        }
+        (Some(_), None) => {
+            panic!("pre-training requested but no similarity matrices supplied")
+        }
+        (None, _) => None,
+    };
+
+    let finetune_report = finetune(&mut model, &tokenizer, ds, train_queries, &cfg.finetune_cfg);
+    Trained { model, tokenizer, pretrain: pretrain_report, finetune: finetune_report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ls_dbshap::{
+        generate_imdb, imdb_spec, similarity_matrices, DatasetConfig, ImdbConfig,
+        QueryGenConfig, Split,
+    };
+    use ls_similarity::RankSimOptions;
+
+    fn tiny_dataset() -> Dataset {
+        let db = generate_imdb(&ImdbConfig {
+            companies: 8,
+            actors: 30,
+            movies: 40,
+            roles_per_movie: 2,
+            seed: 21,
+        });
+        let cfg = DatasetConfig {
+            query_gen: QueryGenConfig { num_queries: 8, ..Default::default() },
+            max_tuples_per_query: 3,
+            max_lineage: 20,
+            ..Default::default()
+        };
+        Dataset::build(db, &imdb_spec(), &cfg)
+    }
+
+    fn quick_cfg() -> PipelineConfig {
+        let t = TrainConfig {
+            epochs: 1,
+            max_samples_per_epoch: 20,
+            max_len: 48,
+            ..Default::default()
+        };
+        PipelineConfig {
+            encoder: EncoderKind::SmallAblation,
+            pretrain: Some(PretrainObjectives::default()),
+            pretrain_cfg: t,
+            finetune_cfg: t,
+            max_vocab: 600,
+        }
+    }
+
+    #[test]
+    fn full_pipeline_runs() {
+        let ds = tiny_dataset();
+        let ms = similarity_matrices(&ds, &RankSimOptions::default());
+        let train = ds.split_indices(Split::Train);
+        let trained = train_learnshapley(&ds, Some(&ms), &train, &quick_cfg());
+        assert!(trained.pretrain.is_some());
+        assert!(trained.finetune.samples > 0);
+        assert!(trained.finetune.best_dev_ndcg >= 0.0);
+    }
+
+    #[test]
+    fn no_pretrain_ablation_runs() {
+        let ds = tiny_dataset();
+        let train = ds.split_indices(Split::Train);
+        let cfg = PipelineConfig { pretrain: None, ..quick_cfg() };
+        let trained = train_learnshapley(&ds, None, &train, &cfg);
+        assert!(trained.pretrain.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "no similarity matrices")]
+    fn pretrain_without_matrices_panics() {
+        let ds = tiny_dataset();
+        let train = ds.split_indices(Split::Train);
+        train_learnshapley(&ds, None, &train, &quick_cfg());
+    }
+
+    #[test]
+    fn tokenizer_sees_only_train_text() {
+        let ds = tiny_dataset();
+        let train = ds.split_indices(Split::Train);
+        let tok = build_tokenizer(&ds, &train, 2000);
+        // Every training SQL is fully covered.
+        for &qi in &train {
+            assert!(tok.coverage(&ds.queries[qi].sql) > 0.99);
+        }
+    }
+
+    #[test]
+    fn encoder_kind_labels() {
+        assert_eq!(EncoderKind::Base.label(), "LearnShapley-base");
+        assert!(EncoderKind::Large.config(100, 32).d_model > EncoderKind::Base.config(100, 32).d_model);
+    }
+}

@@ -1,0 +1,254 @@
+//! Synthetic Academic-like database generator.
+//!
+//! Mirrors the Microsoft-Academic-style schema the paper's Academic queries
+//! range over (Figure 8a): organizations, authors (with paper/citation
+//! counts), publications, a `writes` authorship relation, conferences,
+//! domains, and the `domain_conference` bridge. Join keys are names/titles
+//! (string equality), matching the SPJU fragment of the query generator.
+
+use crate::imdb::zipf_index;
+use crate::names::NamePool;
+use ls_relational::{ColType, Database, TableSchema};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Size knobs for the Academic-like database.
+#[derive(Debug, Clone, Copy)]
+pub struct AcademicConfig {
+    /// Number of organizations.
+    pub organizations: usize,
+    /// Number of authors.
+    pub authors: usize,
+    /// Number of publications.
+    pub publications: usize,
+    /// Number of conferences.
+    pub conferences: usize,
+    /// Number of research domains.
+    pub domains: usize,
+    /// Average authors per publication.
+    pub authors_per_pub: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AcademicConfig {
+    fn default() -> Self {
+        AcademicConfig {
+            organizations: 16,
+            authors: 100,
+            publications: 140,
+            conferences: 18,
+            domains: 8,
+            authors_per_pub: 2,
+            seed: 77,
+        }
+    }
+}
+
+/// Fixed domain names (selection targets, as in the paper's example query).
+pub const DOMAINS: &[&str] = &[
+    "Software Engineering",
+    "Databases",
+    "Machine Learning",
+    "Systems",
+    "Theory",
+    "Security",
+    "Networks",
+    "Graphics",
+    "HCI",
+    "Robotics",
+];
+
+/// Publication-year range.
+pub const YEAR_RANGE: (i64, i64) = (2000, 2023);
+
+/// Generate the database.
+pub fn generate_academic(cfg: &AcademicConfig) -> Database {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut db = Database::new();
+    db.create_table(TableSchema::new("organization", &[("name", ColType::Str)]));
+    db.create_table(TableSchema::new(
+        "author",
+        &[
+            ("name", ColType::Str),
+            ("org", ColType::Str),
+            ("paper_count", ColType::Int),
+            ("citation_count", ColType::Int),
+        ],
+    ));
+    db.create_table(TableSchema::new(
+        "publication",
+        &[("title", ColType::Str), ("year", ColType::Int), ("conf", ColType::Str)],
+    ));
+    db.create_table(TableSchema::new(
+        "writes",
+        &[("author", ColType::Str), ("pub", ColType::Str)],
+    ));
+    db.create_table(TableSchema::new("conference", &[("name", ColType::Str)]));
+    db.create_table(TableSchema::new("domain", &[("name", ColType::Str)]));
+    db.create_table(TableSchema::new(
+        "domain_conference",
+        &[("conf", ColType::Str), ("domain", ColType::Str)],
+    ));
+
+    let mut pool = NamePool::new(cfg.seed ^ 0xacad);
+    let org_names: Vec<String> = (0..cfg.organizations)
+        .map(|i| {
+            let t = pool.title(&mut rng);
+            let head = t.split(' ').next().unwrap_or("X");
+            format!("{head} University {i}")
+        })
+        .collect();
+    for name in &org_names {
+        db.insert("organization", vec![name.as_str().into()]);
+    }
+
+    let author_names: Vec<String> = (0..cfg.authors).map(|_| pool.person(&mut rng)).collect();
+    for name in &author_names {
+        let org = &org_names[zipf_index(&mut rng, org_names.len())];
+        let paper_count = rng.gen_range(1..200i64);
+        let citation_count = paper_count * rng.gen_range(1..60i64);
+        db.insert(
+            "author",
+            vec![name.as_str().into(), org.as_str().into(), paper_count.into(), citation_count.into()],
+        );
+    }
+
+    let conf_names: Vec<String> = (0..cfg.conferences)
+        .map(|i| format!("Conf{i}-{}", pool.title(&mut rng).split(' ').next().unwrap_or("X")))
+        .collect();
+    for name in &conf_names {
+        db.insert("conference", vec![name.as_str().into()]);
+    }
+
+    let domains: Vec<&str> = DOMAINS.iter().take(cfg.domains).copied().collect();
+    for d in &domains {
+        db.insert("domain", vec![(*d).into()]);
+    }
+    // Each conference belongs to 1–2 domains.
+    for conf in &conf_names {
+        let d1 = rng.gen_range(0..domains.len());
+        db.insert("domain_conference", vec![conf.as_str().into(), domains[d1].into()]);
+        if rng.gen_bool(0.3) {
+            let d2 = (d1 + 1 + rng.gen_range(0..domains.len() - 1)) % domains.len();
+            db.insert("domain_conference", vec![conf.as_str().into(), domains[d2].into()]);
+        }
+    }
+
+    let pub_titles: Vec<String> = (0..cfg.publications).map(|_| pool.title(&mut rng)).collect();
+    for title in &pub_titles {
+        let year = rng.gen_range(YEAR_RANGE.0..=YEAR_RANGE.1);
+        let conf = &conf_names[zipf_index(&mut rng, conf_names.len())];
+        db.insert(
+            "publication",
+            vec![title.as_str().into(), year.into(), conf.as_str().into()],
+        );
+    }
+
+    for title in &pub_titles {
+        let n = rng.gen_range(1..=cfg.authors_per_pub * 2 - 1);
+        let mut seen = Vec::new();
+        for _ in 0..n {
+            let a = zipf_index(&mut rng, author_names.len());
+            if seen.contains(&a) {
+                continue;
+            }
+            seen.push(a);
+            db.insert(
+                "writes",
+                vec![author_names[a].as_str().into(), title.as_str().into()],
+            );
+        }
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ls_relational::{evaluate, parse_query};
+
+    #[test]
+    fn shape_and_sizes() {
+        let cfg = AcademicConfig::default();
+        let db = generate_academic(&cfg);
+        assert_eq!(db.table("organization").unwrap().len(), cfg.organizations);
+        assert_eq!(db.table("author").unwrap().len(), cfg.authors);
+        assert_eq!(db.table("publication").unwrap().len(), cfg.publications);
+        assert_eq!(db.table("conference").unwrap().len(), cfg.conferences);
+        assert_eq!(db.table("domain").unwrap().len(), cfg.domains);
+        assert!(db.table("domain_conference").unwrap().len() >= cfg.conferences);
+        assert!(db.table("writes").unwrap().len() >= cfg.publications);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = generate_academic(&AcademicConfig::default());
+        let b = generate_academic(&AcademicConfig::default());
+        assert_eq!(a.fact_count(), b.fact_count());
+    }
+
+    #[test]
+    fn paper_style_domain_query_runs() {
+        // A scaled-down version of Figure 8(a): domains with publications by
+        // prolific authors at some organization.
+        let db = generate_academic(&AcademicConfig::default());
+        let org = db
+            .table("organization")
+            .unwrap()
+            .rows[0]
+            .values[0]
+            .as_str()
+            .unwrap()
+            .to_owned();
+        let sql = format!(
+            "SELECT DISTINCT domain.name \
+             FROM author, writes, publication, conference, domain_conference, domain \
+             WHERE author.name = writes.author AND writes.pub = publication.title \
+             AND publication.conf = conference.name \
+             AND conference.name = domain_conference.conf \
+             AND domain_conference.domain = domain.name \
+             AND author.org = '{org}' AND publication.year > 2010"
+        );
+        let q = parse_query(&sql).unwrap();
+        let res = evaluate(&db, &q).unwrap();
+        assert!(!res.is_empty(), "6-way join must produce results");
+        // Lineages should be substantial (many contributing facts).
+        let max_lineage = res.tuples.iter().map(|t| t.lineage().len()).max().unwrap();
+        assert!(max_lineage >= 6, "lineage too small: {max_lineage}");
+    }
+
+    #[test]
+    fn referential_integrity_for_bridge_tables() {
+        let db = generate_academic(&AcademicConfig::default());
+        let confs: Vec<&str> = db
+            .table("conference")
+            .unwrap()
+            .iter()
+            .map(|r| r.values[0].as_str().unwrap())
+            .collect();
+        for dc in db.table("domain_conference").unwrap().iter() {
+            assert!(confs.contains(&dc.values[0].as_str().unwrap()));
+        }
+        let pubs: Vec<&str> = db
+            .table("publication")
+            .unwrap()
+            .iter()
+            .map(|r| r.values[0].as_str().unwrap())
+            .collect();
+        for w in db.table("writes").unwrap().iter() {
+            assert!(pubs.contains(&w.values[1].as_str().unwrap()));
+        }
+    }
+
+    #[test]
+    fn author_counts_are_plausible() {
+        let db = generate_academic(&AcademicConfig::default());
+        for a in db.table("author").unwrap().iter() {
+            let papers = a.values[2].as_int().unwrap();
+            let cites = a.values[3].as_int().unwrap();
+            assert!((1..200).contains(&papers));
+            assert!(cites >= papers);
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Disk serialization of a DBShap instance — the reproduction of the
+//! paper's "DBShap is publicly available" artifact.
+//!
+//! A dataset exports to a directory of plain CSV files:
+//!
+//! * `queries.csv`    — `id, split, sql`
+//! * `quartets.csv`   — `query_id, tuple_idx, tuple, fact_id, fact, shapley`
+//! * `facts.csv`      — `fact_id, table, values…` (the database itself)
+//! * `schema.csv`     — `table, column, type`
+//!
+//! `export` writes them; `import_quartets` reads the ground truth back for
+//! downstream consumers that do not want to regenerate it. (Full `Dataset`
+//! reconstruction requires re-running the generator with the same seeds —
+//! the CSVs are the *interchange* format, as with the original DBShap.)
+
+use crate::dataset::{Dataset, Split};
+use ls_relational::FactId;
+use std::fs;
+use std::io::{self, BufRead, Write};
+use std::path::Path;
+
+/// Serialize a dataset to `dir` (created if missing).
+pub fn export(ds: &Dataset, dir: &Path) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+
+    // schema.csv
+    let mut f = fs::File::create(dir.join("schema.csv"))?;
+    writeln!(f, "table,column,type")?;
+    for table in ds.db.tables() {
+        for col in &table.schema.columns {
+            writeln!(f, "{},{},{}", table.schema.name, col.name, col.ty)?;
+        }
+    }
+
+    // facts.csv
+    let mut f = fs::File::create(dir.join("facts.csv"))?;
+    writeln!(f, "fact_id,table,values")?;
+    for i in 0..ds.db.fact_count() {
+        let (table, row) = ds.db.fact(FactId(i as u32)).expect("dense fact ids");
+        writeln!(f, "{i},{table},{}", csv_escape(&row.tuple_string()))?;
+    }
+
+    // queries.csv
+    let mut f = fs::File::create(dir.join("queries.csv"))?;
+    writeln!(f, "id,split,sql")?;
+    for (q, s) in ds.queries.iter().zip(&ds.splits) {
+        writeln!(f, "{},{},{}", q.id, split_name(*s), csv_escape(&q.sql))?;
+    }
+
+    // quartets.csv
+    let mut f = fs::File::create(dir.join("quartets.csv"))?;
+    writeln!(f, "query_id,tuple_idx,tuple,fact_id,fact,shapley")?;
+    for q in &ds.queries {
+        for t in &q.tuples {
+            let tuple = &q.result.tuples[t.tuple_idx];
+            for (&fact, &value) in &t.shapley {
+                let (table, row) = ds.db.fact(fact).expect("fact exists");
+                writeln!(
+                    f,
+                    "{},{},{},{},{},{:.12}",
+                    q.id,
+                    t.tuple_idx,
+                    csv_escape(&tuple.value_string()),
+                    fact.0,
+                    csv_escape(&format!("{table} {}", row.tuple_string())),
+                    value
+                )?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A ground-truth quartet read back from `quartets.csv`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quartet {
+    /// Query id.
+    pub query_id: usize,
+    /// Tuple index within the query result.
+    pub tuple_idx: usize,
+    /// Fact id.
+    pub fact: FactId,
+    /// Exact Shapley value.
+    pub shapley: f64,
+}
+
+/// Read the quartets back from an exported directory.
+pub fn import_quartets(dir: &Path) -> io::Result<Vec<Quartet>> {
+    let f = fs::File::open(dir.join("quartets.csv"))?;
+    let reader = io::BufReader::new(f);
+    let mut out = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        if i == 0 || line.is_empty() {
+            continue; // header
+        }
+        let fields = split_csv(&line);
+        if fields.len() != 6 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {} has {} fields", i + 1, fields.len()),
+            ));
+        }
+        let parse_err =
+            |what: &str| io::Error::new(io::ErrorKind::InvalidData, format!("bad {what}"));
+        out.push(Quartet {
+            query_id: fields[0].parse().map_err(|_| parse_err("query_id"))?,
+            tuple_idx: fields[1].parse().map_err(|_| parse_err("tuple_idx"))?,
+            fact: FactId(fields[3].parse().map_err(|_| parse_err("fact_id"))?),
+            shapley: fields[5].parse().map_err(|_| parse_err("shapley"))?,
+        });
+    }
+    Ok(out)
+}
+
+fn split_name(s: Split) -> &'static str {
+    match s {
+        Split::Train => "train",
+        Split::Dev => "dev",
+        Split::Test => "test",
+    }
+}
+
+fn csv_escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+/// Split one CSV line honoring double-quoted fields.
+fn split_csv(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    cur.push('"');
+                    chars.next();
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' => in_quotes = true,
+            ',' if !in_quotes => out.push(std::mem::take(&mut cur)),
+            other => cur.push(other),
+        }
+    }
+    out.push(cur);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetConfig;
+    use crate::imdb::{generate_imdb, ImdbConfig};
+    use crate::querygen::{imdb_spec, QueryGenConfig};
+
+    fn tiny() -> Dataset {
+        let db = generate_imdb(&ImdbConfig {
+            companies: 8,
+            actors: 30,
+            movies: 40,
+            roles_per_movie: 2,
+            seed: 3,
+        });
+        Dataset::build(
+            db,
+            &imdb_spec(),
+            &DatasetConfig {
+                query_gen: QueryGenConfig { num_queries: 8, ..Default::default() },
+                max_tuples_per_query: 3,
+                max_lineage: 20,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let ds = tiny();
+        let dir = std::env::temp_dir().join("dbshap_export_test");
+        let _ = fs::remove_dir_all(&dir);
+        export(&ds, &dir).unwrap();
+        for file in ["schema.csv", "facts.csv", "queries.csv", "quartets.csv"] {
+            assert!(dir.join(file).exists(), "{file} missing");
+        }
+        let quartets = import_quartets(&dir).unwrap();
+        let expected: usize = ds
+            .queries
+            .iter()
+            .map(|q| q.tuples.iter().map(|t| t.shapley.len()).sum::<usize>())
+            .sum();
+        assert_eq!(quartets.len(), expected);
+        // Spot-check a value against the in-memory dataset.
+        let q0 = ds.queries.iter().find(|q| !q.tuples.is_empty()).unwrap();
+        let t0 = &q0.tuples[0];
+        let (&f0, &v0) = t0.shapley.iter().next().unwrap();
+        let found = quartets
+            .iter()
+            .find(|q| q.query_id == q0.id && q.tuple_idx == t0.tuple_idx && q.fact == f0)
+            .expect("quartet present");
+        assert!((found.shapley - v0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn csv_quoting_roundtrip() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(split_csv("a,\"b,c\",d"), vec!["a", "b,c", "d"]);
+        assert_eq!(split_csv("\"say \"\"hi\"\"\",x"), vec!["say \"hi\"", "x"]);
+        assert_eq!(split_csv(""), vec![""]);
+    }
+
+    #[test]
+    fn import_rejects_malformed() {
+        let dir = std::env::temp_dir().join("dbshap_import_bad");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("quartets.csv"), "header\n1,2,3\n").unwrap();
+        assert!(import_quartets(&dir).is_err());
+    }
+
+    #[test]
+    fn queries_csv_contains_splits() {
+        let ds = tiny();
+        let dir = std::env::temp_dir().join("dbshap_export_splits");
+        let _ = fs::remove_dir_all(&dir);
+        export(&ds, &dir).unwrap();
+        let content = fs::read_to_string(dir.join("queries.csv")).unwrap();
+        assert!(content.contains("train"));
+        assert!(content.lines().count() == ds.queries.len() + 1);
+    }
+}

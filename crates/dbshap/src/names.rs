@@ -1,0 +1,173 @@
+//! Deterministic pools of human-readable synthetic names.
+//!
+//! Names are syllable-composed so initials cover the alphabet (needed for
+//! `LIKE 'B%'`-style predicates) and collisions are avoided by construction
+//! (each generated name is deduplicated with a numeric suffix fallback).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+const FIRST_SYL: &[&str] = &[
+    "Al", "Ba", "Ca", "Da", "El", "Fa", "Ga", "Ha", "Is", "Jo", "Ka", "Le", "Mi", "No",
+    "Or", "Pa", "Qu", "Ro", "Sa", "Te", "Ur", "Vi", "Wa", "Xa", "Yo", "Za",
+];
+const MID_SYL: &[&str] = &["ri", "lo", "na", "vi", "me", "do", "sha", "ber", "tan", "gel"];
+const LAST_SYL: &[&str] = &["son", "ez", "ski", "ton", "ard", "ley", "ers", "ine", "o", "a"];
+
+const COMPANY_HEAD: &[&str] = &[
+    "Apex", "Blue", "Crown", "Delta", "Echo", "Falcon", "Gold", "Horizon", "Iron", "Jade",
+    "Kite", "Lunar", "Mono", "North", "Orbit", "Pine", "Quartz", "River", "Star", "Titan",
+    "Umbra", "Vertex", "West", "Xenon", "Yonder", "Zephyr",
+];
+const COMPANY_TAIL: &[&str] =
+    &["Pictures", "Studios", "Films", "Media", "Entertainment", "Productions"];
+
+const TITLE_HEAD: &[&str] = &[
+    "Autumn", "Broken", "Crimson", "Distant", "Endless", "Fading", "Gentle", "Hidden",
+    "Iron", "Jagged", "Kindred", "Lost", "Midnight", "Neon", "Open", "Pale", "Quiet",
+    "Rising", "Silent", "Twisted", "Untold", "Velvet", "Wandering", "Young", "Zero",
+];
+const TITLE_TAIL: &[&str] = &[
+    "Horizon", "River", "Promise", "Empire", "Garden", "Signal", "Harbor", "Winter",
+    "Echoes", "Road", "Crossing", "Letters", "Storm", "Mirror", "Voyage",
+];
+
+/// A deduplicating generator of synthetic proper names.
+#[derive(Debug)]
+pub struct NamePool {
+    used: HashSet<String>,
+    counter: u32,
+    _seed: u64,
+}
+
+impl NamePool {
+    /// A fresh pool (the seed only namespaces the fallback counter — the
+    /// caller's RNG drives the actual sampling).
+    pub fn new(seed: u64) -> Self {
+        // Touch the seed so pools constructed with different seeds differ in
+        // their fallback numbering even under identical call sequences.
+        let counter = (StdRng::seed_from_u64(seed).gen_range(0..900u32)) * 1000;
+        NamePool { used: HashSet::new(), counter, _seed: seed }
+    }
+
+    fn dedupe(&mut self, base: String) -> String {
+        if self.used.insert(base.clone()) {
+            return base;
+        }
+        loop {
+            self.counter += 1;
+            let candidate = format!("{base} {}", roman(self.counter));
+            if self.used.insert(candidate.clone()) {
+                return candidate;
+            }
+        }
+    }
+
+    /// A person name like "Barison Melo".
+    pub fn person(&mut self, rng: &mut StdRng) -> String {
+        let first = format!(
+            "{}{}",
+            FIRST_SYL[rng.gen_range(0..FIRST_SYL.len())],
+            MID_SYL[rng.gen_range(0..MID_SYL.len())]
+        );
+        let last = format!(
+            "{}{}",
+            FIRST_SYL[rng.gen_range(0..FIRST_SYL.len())],
+            LAST_SYL[rng.gen_range(0..LAST_SYL.len())]
+        );
+        self.dedupe(format!("{first} {last}"))
+    }
+
+    /// A company name like "Apex Pictures".
+    pub fn company(&mut self, rng: &mut StdRng) -> String {
+        let name = format!(
+            "{} {}",
+            COMPANY_HEAD[rng.gen_range(0..COMPANY_HEAD.len())],
+            COMPANY_TAIL[rng.gen_range(0..COMPANY_TAIL.len())]
+        );
+        self.dedupe(name)
+    }
+
+    /// A movie/publication title like "Silent Harbor".
+    pub fn title(&mut self, rng: &mut StdRng) -> String {
+        let name = format!(
+            "{} {}",
+            TITLE_HEAD[rng.gen_range(0..TITLE_HEAD.len())],
+            TITLE_TAIL[rng.gen_range(0..TITLE_TAIL.len())]
+        );
+        self.dedupe(name)
+    }
+}
+
+/// Tiny roman-numeral suffix for deduplicated names ("Apex Pictures II").
+fn roman(mut n: u32) -> String {
+    const TABLE: &[(u32, &str)] = &[
+        (1000, "M"), (900, "CM"), (500, "D"), (400, "CD"), (100, "C"), (90, "XC"),
+        (50, "L"), (40, "XL"), (10, "X"), (9, "IX"), (5, "V"), (4, "IV"), (1, "I"),
+    ];
+    let mut out = String::new();
+    for &(v, s) in TABLE {
+        while n >= v {
+            out.push_str(s);
+            n -= v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        let mut pool = NamePool::new(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = HashSet::new();
+        for _ in 0..500 {
+            assert!(seen.insert(pool.person(&mut rng)), "duplicate person name");
+        }
+        for _ in 0..200 {
+            assert!(seen.insert(pool.company(&mut rng)), "duplicate company name");
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut p1 = NamePool::new(1);
+        let mut r1 = StdRng::seed_from_u64(2);
+        let mut p2 = NamePool::new(1);
+        let mut r2 = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            assert_eq!(p1.person(&mut r1), p2.person(&mut r2));
+        }
+    }
+
+    #[test]
+    fn initials_cover_much_of_the_alphabet() {
+        let mut pool = NamePool::new(3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let initials: HashSet<char> = (0..400)
+            .map(|_| pool.person(&mut rng).chars().next().unwrap())
+            .collect();
+        assert!(initials.len() >= 15, "only {} initials", initials.len());
+    }
+
+    #[test]
+    fn roman_numerals() {
+        assert_eq!(roman(1), "I");
+        assert_eq!(roman(4), "IV");
+        assert_eq!(roman(1987), "MCMLXXXVII");
+    }
+
+    #[test]
+    fn dedupe_appends_suffix() {
+        let mut pool = NamePool::new(5);
+        let a = pool.dedupe("Same".into());
+        let b = pool.dedupe("Same".into());
+        assert_eq!(a, "Same");
+        assert!(b.starts_with("Same "));
+        assert_ne!(a, b);
+    }
+}

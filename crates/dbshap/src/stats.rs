@@ -1,0 +1,172 @@
+//! Dataset statistics — the numbers behind Table 1, Table 2, and Figure 7.
+
+use crate::dataset::{Dataset, Split};
+use ls_similarity::{
+    rank_based_similarity, syntax_similarity_ops, witness_similarity_sets, RankSimOptions,
+    SimilarityMatrix,
+};
+use ls_relational::operations;
+
+/// Table-1 row: queries / results / recorded contributing facts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitStats {
+    /// Number of queries.
+    pub queries: usize,
+    /// Number of output tuples (full results).
+    pub results: usize,
+    /// Number of recorded `(q, t, f)` contributing-fact triples.
+    pub facts: usize,
+}
+
+/// Compute Table-1 statistics for one split.
+pub fn split_stats(ds: &Dataset, s: Split) -> SplitStats {
+    SplitStats {
+        queries: ds.split_indices(s).len(),
+        results: ds.result_count(s),
+        facts: ds.quartet_count(s),
+    }
+}
+
+/// Table-1 statistics for train/dev/test plus the total.
+pub fn table1(ds: &Dataset) -> [SplitStats; 4] {
+    let tr = split_stats(ds, Split::Train);
+    let dv = split_stats(ds, Split::Dev);
+    let te = split_stats(ds, Split::Test);
+    let total = SplitStats {
+        queries: tr.queries + dv.queries + te.queries,
+        results: tr.results + dv.results + te.results,
+        facts: tr.facts + dv.facts + te.facts,
+    };
+    [tr, dv, te, total]
+}
+
+/// The three pairwise similarity matrices over the full query log.
+#[derive(Debug, Clone)]
+pub struct SimilarityMatrices {
+    /// Syntax-based.
+    pub syntax: SimilarityMatrix,
+    /// Witness-based.
+    pub witness: SimilarityMatrix,
+    /// Rank-based.
+    pub rank: SimilarityMatrix,
+}
+
+/// Build all three matrices (the expensive offline pass of Figure 6).
+pub fn similarity_matrices(ds: &Dataset, rank_opts: &RankSimOptions) -> SimilarityMatrices {
+    let n = ds.queries.len();
+    let ops: Vec<_> = ds.queries.iter().map(|q| operations(&q.query)).collect();
+    let wits: Vec<_> = ds
+        .queries
+        .iter()
+        .map(|q| ls_similarity::witness_set(&q.result))
+        .collect();
+    let scores: Vec<_> = ds.queries.iter().map(|q| q.tuple_scores()).collect();
+    SimilarityMatrices {
+        syntax: SimilarityMatrix::build(n, 1.0, |i, j| syntax_similarity_ops(&ops[i], &ops[j])),
+        witness: SimilarityMatrix::build(n, 1.0, |i, j| {
+            witness_similarity_sets(&wits[i], &wits[j])
+        }),
+        rank: SimilarityMatrix::build(n, 1.0, |i, j| {
+            rank_based_similarity(&scores[i], &scores[j], rank_opts)
+        }),
+    }
+}
+
+/// Table-2 row: average similarity of train queries vs. each split, plus the
+/// all-pairs average.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitSimilarityRow {
+    /// Mean over train × train (i ≠ j).
+    pub train_train: f64,
+    /// Mean over train × dev.
+    pub train_dev: f64,
+    /// Mean over train × test.
+    pub train_test: f64,
+    /// Mean over all query pairs.
+    pub all: f64,
+}
+
+/// Compute a Table-2 row from one similarity matrix.
+pub fn split_similarity_row(ds: &Dataset, m: &SimilarityMatrix) -> SplitSimilarityRow {
+    let tr = ds.split_indices(Split::Train);
+    let dv = ds.split_indices(Split::Dev);
+    let te = ds.split_indices(Split::Test);
+    SplitSimilarityRow {
+        train_train: m.group_mean(&tr, &tr),
+        train_dev: m.group_mean(&tr, &dv),
+        train_test: m.group_mean(&tr, &te),
+        all: m.mean_offdiag(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetConfig;
+    use crate::imdb::{generate_imdb, ImdbConfig};
+    use crate::querygen::{imdb_spec, QueryGenConfig};
+
+    fn tiny() -> Dataset {
+        let db = generate_imdb(&ImdbConfig::default());
+        let cfg = DatasetConfig {
+            query_gen: QueryGenConfig { num_queries: 12, ..Default::default() },
+            ..Default::default()
+        };
+        Dataset::build(db, &imdb_spec(), &cfg)
+    }
+
+    #[test]
+    fn table1_totals_add_up() {
+        let ds = tiny();
+        let [tr, dv, te, total] = table1(&ds);
+        assert_eq!(total.queries, tr.queries + dv.queries + te.queries);
+        assert_eq!(total.queries, ds.queries.len());
+        assert!(total.results >= total.queries);
+        assert!(total.facts > 0);
+    }
+
+    #[test]
+    fn matrices_are_well_formed() {
+        let ds = tiny();
+        let ms = similarity_matrices(&ds, &RankSimOptions::default());
+        for m in [&ms.syntax, &ms.witness, &ms.rank] {
+            assert_eq!(m.len(), ds.queries.len());
+            for i in 0..m.len() {
+                assert!((m.get(i, i) - 1.0).abs() < 1e-9);
+                for j in 0..m.len() {
+                    let v = m.get(i, j);
+                    assert!((0.0..=1.0 + 1e-9).contains(&v), "sim out of range: {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_are_not_identical() {
+        // Figure 7's point: the three metrics capture different structure.
+        let ds = tiny();
+        let ms = similarity_matrices(&ds, &RankSimOptions::default());
+        let mut diff_sw = 0.0;
+        let mut diff_sr = 0.0;
+        for i in 0..ms.syntax.len() {
+            for j in 0..ms.syntax.len() {
+                diff_sw += (ms.syntax.get(i, j) - ms.witness.get(i, j)).abs();
+                diff_sr += (ms.syntax.get(i, j) - ms.rank.get(i, j)).abs();
+            }
+        }
+        assert!(diff_sw > 0.1, "syntax and witness matrices identical");
+        assert!(diff_sr > 0.1, "syntax and rank matrices identical");
+    }
+
+    #[test]
+    fn table2_rows_in_range() {
+        let ds = tiny();
+        let ms = similarity_matrices(&ds, &RankSimOptions::default());
+        for m in [&ms.syntax, &ms.witness, &ms.rank] {
+            let row = split_similarity_row(&ds, m);
+            for v in [row.train_train, row.train_dev, row.train_test, row.all] {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Nested query-log subsets for the log-size sweep (Figure 11).
+//!
+//! The paper trains on 10/25/50/75/100% of the training queries, each subset
+//! containing all smaller ones. These helpers produce exactly that nesting,
+//! seeded and deterministic.
+
+use crate::dataset::{Dataset, Split};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The paper's sweep fractions.
+pub const SWEEP_FRACTIONS: &[f64] = &[0.10, 0.25, 0.50, 0.75, 1.0];
+
+/// Nested subsets of the training-query indices: `result[k]` holds the first
+/// `ceil(fractions[k]·|train|)` queries of one fixed shuffle, so every subset
+/// contains all smaller ones.
+pub fn nested_train_subsets(ds: &Dataset, fractions: &[f64], seed: u64) -> Vec<Vec<usize>> {
+    let mut train = ds.split_indices(Split::Train);
+    let mut rng = StdRng::seed_from_u64(seed);
+    train.shuffle(&mut rng);
+    fractions
+        .iter()
+        .map(|&f| {
+            let k = ((train.len() as f64 * f).ceil() as usize).clamp(1, train.len());
+            let mut sub = train[..k].to_vec();
+            sub.sort_unstable();
+            sub
+        })
+        .collect()
+}
+
+/// Fraction of test-lineage facts unseen in the given train subset (the
+/// statistic the paper reports alongside Figure 11: 37.75% at 100%, rising
+/// to 69% at 25%).
+pub fn unseen_fact_fraction(ds: &Dataset, train_subset: &[usize]) -> f64 {
+    let mut train_facts = std::collections::BTreeSet::new();
+    for &qi in train_subset {
+        for t in &ds.queries[qi].tuples {
+            train_facts.extend(t.shapley.keys().copied());
+        }
+    }
+    let mut total = 0usize;
+    let mut unseen = 0usize;
+    for &qi in &ds.split_indices(Split::Test) {
+        for t in &ds.queries[qi].tuples {
+            for f in t.shapley.keys() {
+                total += 1;
+                if !train_facts.contains(f) {
+                    unseen += 1;
+                }
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        unseen as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetConfig;
+    use crate::imdb::{generate_imdb, ImdbConfig};
+    use crate::querygen::{imdb_spec, QueryGenConfig};
+
+    fn tiny() -> Dataset {
+        let db = generate_imdb(&ImdbConfig::default());
+        let cfg = DatasetConfig {
+            query_gen: QueryGenConfig { num_queries: 16, ..Default::default() },
+            ..Default::default()
+        };
+        Dataset::build(db, &imdb_spec(), &cfg)
+    }
+
+    #[test]
+    fn subsets_are_nested_and_sized() {
+        let ds = tiny();
+        let subs = nested_train_subsets(&ds, SWEEP_FRACTIONS, 5);
+        assert_eq!(subs.len(), 5);
+        let train_len = ds.split_indices(Split::Train).len();
+        assert_eq!(subs[4].len(), train_len);
+        for w in subs.windows(2) {
+            assert!(w[0].len() <= w[1].len());
+            for q in &w[0] {
+                assert!(w[1].contains(q), "subsets must be nested");
+            }
+        }
+        assert!(!subs[0].is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        let ds = tiny();
+        let a = nested_train_subsets(&ds, SWEEP_FRACTIONS, 5);
+        let b = nested_train_subsets(&ds, SWEEP_FRACTIONS, 5);
+        assert_eq!(a, b);
+        let c = nested_train_subsets(&ds, SWEEP_FRACTIONS, 6);
+        // A different seed usually yields a different small subset.
+        assert!(a[0] != c[0] || a[1] != c[1] || ds.split_indices(Split::Train).len() <= 2);
+    }
+
+    #[test]
+    fn unseen_fraction_decreases_with_log_size() {
+        let ds = tiny();
+        let subs = nested_train_subsets(&ds, SWEEP_FRACTIONS, 5);
+        let fracs: Vec<f64> =
+            subs.iter().map(|s| unseen_fact_fraction(&ds, s)).collect();
+        for v in &fracs {
+            assert!((0.0..=1.0).contains(v));
+        }
+        // Monotone non-increasing (more training data → fewer unseen facts).
+        for w in fracs.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "unseen fraction increased: {fracs:?}");
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Multi-head self-attention with hand-written backward pass.
+
+use crate::linear::Linear;
+use crate::param::{Param, Visit};
+use crate::tensor::{softmax_rows, softmax_rows_backward, Tensor};
+use rand::rngs::StdRng;
+
+/// Multi-head scaled dot-product self-attention (`d_model` split into
+/// `heads` equal slices; projections `W_Q, W_K, W_V, W_O` are `d × d`).
+#[derive(Debug, Clone)]
+pub struct MultiHeadAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    heads: usize,
+    d_model: usize,
+    cache: Option<AttnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct AttnCache {
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    /// Softmax attention matrix per head (`n × n` each).
+    attn: Vec<Tensor>,
+}
+
+/// Copy columns `[h*dh, (h+1)*dh)` of `src` into a fresh `n × dh` tensor.
+fn slice_head(src: &Tensor, h: usize, dh: usize) -> Tensor {
+    let mut out = Tensor::zeros(src.rows, dh);
+    for r in 0..src.rows {
+        let s = src.row(r);
+        out.row_mut(r).copy_from_slice(&s[h * dh..(h + 1) * dh]);
+    }
+    out
+}
+
+/// Add `part` (`n × dh`) into columns `[h*dh, (h+1)*dh)` of `dst`.
+fn merge_head(dst: &mut Tensor, part: &Tensor, h: usize, dh: usize) {
+    for r in 0..dst.rows {
+        let d = dst.row_mut(r);
+        for (c, &v) in part.row(r).iter().enumerate() {
+            d[h * dh + c] += v;
+        }
+    }
+}
+
+impl MultiHeadAttention {
+    /// A fresh attention module.
+    ///
+    /// # Panics
+    /// Panics if `d_model` is not divisible by `heads`.
+    pub fn new(d_model: usize, heads: usize, rng: &mut StdRng) -> Self {
+        assert_eq!(d_model % heads, 0, "d_model must be divisible by heads");
+        MultiHeadAttention {
+            wq: Linear::new(d_model, d_model, rng),
+            wk: Linear::new(d_model, d_model, rng),
+            wv: Linear::new(d_model, d_model, rng),
+            wo: Linear::new(d_model, d_model, rng),
+            heads,
+            d_model,
+            cache: None,
+        }
+    }
+
+    /// Forward pass over a sequence `x` (`n × d_model`).
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        let dh = self.d_model / self.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let q = self.wq.forward(x);
+        let k = self.wk.forward(x);
+        let v = self.wv.forward(x);
+        let mut concat = Tensor::zeros(x.rows, self.d_model);
+        let mut attn = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let qh = slice_head(&q, h, dh);
+            let kh = slice_head(&k, h, dh);
+            let vh = slice_head(&v, h, dh);
+            let mut scores = qh.matmul_t(&kh);
+            scores.scale(scale);
+            softmax_rows(&mut scores);
+            let ch = scores.matmul(&vh);
+            merge_head(&mut concat, &ch, h, dh);
+            attn.push(scores);
+        }
+        let y = self.wo.forward(&concat);
+        self.cache = Some(AttnCache { q, k, v, attn });
+        y
+    }
+
+    /// Backward pass; accumulates projection gradients and returns `dx`.
+    ///
+    /// # Panics
+    /// Panics if called before [`MultiHeadAttention::forward`].
+    pub fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let dh = self.d_model / self.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let cache = self.cache.take().expect("forward before backward");
+        let dconcat = self.wo.backward(dy);
+        let n = dy.rows;
+        let mut dq = Tensor::zeros(n, self.d_model);
+        let mut dk = Tensor::zeros(n, self.d_model);
+        let mut dv = Tensor::zeros(n, self.d_model);
+        for h in 0..self.heads {
+            let dch = slice_head(&dconcat, h, dh);
+            let vh = slice_head(&cache.v, h, dh);
+            let qh = slice_head(&cache.q, h, dh);
+            let kh = slice_head(&cache.k, h, dh);
+            let a = &cache.attn[h];
+            // Ch = A·Vh.
+            let da = dch.matmul_t(&vh);
+            let dvh = a.t_matmul(&dch);
+            let mut ds = softmax_rows_backward(a, &da);
+            ds.scale(scale);
+            let dqh = ds.matmul(&kh);
+            let dkh = ds.t_matmul(&qh);
+            merge_head(&mut dq, &dqh, h, dh);
+            merge_head(&mut dk, &dkh, h, dh);
+            merge_head(&mut dv, &dvh, h, dh);
+        }
+        let mut dx = self.wq.backward(&dq);
+        dx.add_assign(&self.wk.backward(&dk));
+        dx.add_assign(&self.wv.backward(&dv));
+        dx
+    }
+}
+
+impl Visit for MultiHeadAttention {
+    fn visit(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.wq.visit(f);
+        self.wk.visit(f);
+        self.wv.visit(f);
+        self.wo.visit(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut attn = MultiHeadAttention::new(8, 2, &mut rng());
+        let x = Tensor::randn(5, 8, 1.0, &mut rng());
+        let y = attn.forward(&x);
+        assert_eq!((y.rows, y.cols), (5, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn indivisible_heads_panic() {
+        MultiHeadAttention::new(7, 2, &mut rng());
+    }
+
+    #[test]
+    fn attention_rows_are_distributions() {
+        let mut attn = MultiHeadAttention::new(4, 2, &mut rng());
+        let x = Tensor::randn(3, 4, 1.0, &mut rng());
+        attn.forward(&x);
+        let cache = attn.cache.as_ref().unwrap();
+        for a in &cache.attn {
+            for r in 0..a.rows {
+                let s: f32 = a.row(r).iter().sum();
+                assert!((s - 1.0).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut attn = MultiHeadAttention::new(4, 2, &mut rng());
+        let x = Tensor::randn(3, 4, 0.7, &mut rng());
+        let u = Tensor::randn(3, 4, 1.0, &mut rng());
+        attn.forward(&x);
+        let dx = attn.backward(&u);
+        let loss = |attn: &mut MultiHeadAttention, x: &Tensor| -> f32 {
+            let y = attn.forward(x);
+            y.data.iter().zip(&u.data).map(|(a, b)| a * b).sum()
+        };
+        let eps = 1e-2f32;
+        for i in 0..x.data.len() {
+            let mut xp = x.clone();
+            xp.data[i] += eps;
+            let mut xm = x.clone();
+            xm.data[i] -= eps;
+            let numeric =
+                (loss(&mut attn.clone(), &xp) - loss(&mut attn.clone(), &xm)) / (2.0 * eps);
+            assert!(
+                (numeric - dx.data[i]).abs() < 0.05 * (1.0 + numeric.abs()),
+                "dx[{i}]: numeric {numeric} vs analytic {}",
+                dx.data[i]
+            );
+        }
+    }
+
+    #[test]
+    fn weight_gradients_match_finite_differences() {
+        let mut attn = MultiHeadAttention::new(4, 1, &mut rng());
+        let x = Tensor::randn(2, 4, 0.7, &mut rng());
+        let u = Tensor::randn(2, 4, 1.0, &mut rng());
+        attn.forward(&x);
+        attn.backward(&u);
+        let analytic_wq = attn.wq.w.g.clone();
+        let loss = |attn: &mut MultiHeadAttention| -> f32 {
+            let y = attn.forward(&x);
+            y.data.iter().zip(&u.data).map(|(a, b)| a * b).sum()
+        };
+        let eps = 1e-2f32;
+        for i in 0..analytic_wq.data.len() {
+            let mut p = attn.clone();
+            p.wq.w.v.data[i] += eps;
+            let mut m = attn.clone();
+            m.wq.w.v.data[i] -= eps;
+            let numeric = (loss(&mut p) - loss(&mut m)) / (2.0 * eps);
+            assert!(
+                (numeric - analytic_wq.data[i]).abs() < 0.05 * (1.0 + numeric.abs()),
+                "dWq[{i}]: numeric {numeric} vs analytic {}",
+                analytic_wq.data[i]
+            );
+        }
+    }
+
+    #[test]
+    fn head_slicing_roundtrip() {
+        let t = Tensor::from_vec(2, 4, vec![1., 2., 3., 4., 5., 6., 7., 8.]);
+        let h0 = slice_head(&t, 0, 2);
+        let h1 = slice_head(&t, 1, 2);
+        assert_eq!(h0.data, vec![1., 2., 5., 6.]);
+        assert_eq!(h1.data, vec![3., 4., 7., 8.]);
+        let mut back = Tensor::zeros(2, 4);
+        merge_head(&mut back, &h0, 0, 2);
+        merge_head(&mut back, &h1, 1, 2);
+        assert_eq!(back.data, t.data);
+    }
+
+    #[test]
+    fn single_token_sequence() {
+        let mut attn = MultiHeadAttention::new(4, 2, &mut rng());
+        let x = Tensor::randn(1, 4, 1.0, &mut rng());
+        let y = attn.forward(&x);
+        assert_eq!((y.rows, y.cols), (1, 4));
+        // Attention over one token is the identity distribution.
+        let cache = attn.cache.as_ref().unwrap();
+        for a in &cache.attn {
+            assert!((a.get(0, 0) - 1.0).abs() < 1e-6);
+        }
+        let dx = attn.backward(&Tensor::randn(1, 4, 1.0, &mut rng()));
+        assert_eq!((dx.rows, dx.cols), (1, 4));
+    }
+
+    #[test]
+    fn param_count() {
+        let mut attn = MultiHeadAttention::new(8, 2, &mut rng());
+        // 4 projections × (8×8 weights + 8 bias) = 4 × 72 = 288.
+        assert_eq!(attn.param_count(), 288);
+    }
+}

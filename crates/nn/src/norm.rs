@@ -1,0 +1,176 @@
+//! Layer normalization (per-row), with hand-written backward pass.
+
+use crate::param::{Param, Visit};
+use crate::tensor::Tensor;
+
+/// Per-row layer norm: `y = γ ⊙ (x − μ)/σ + β` with `μ, σ` computed over the
+/// feature dimension of each row.
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    /// Scale (`1 × dim`), initialized to ones.
+    pub gamma: Param,
+    /// Shift (`1 × dim`), initialized to zeros.
+    pub beta: Param,
+    eps: f32,
+    /// Cached normalized input `x̂` and per-row `1/σ` for backward.
+    cache: Option<(Tensor, Vec<f32>)>,
+}
+
+impl LayerNorm {
+    /// A layer norm over `dim` features.
+    pub fn new(dim: usize) -> Self {
+        LayerNorm {
+            gamma: Param::new(Tensor::from_vec(1, dim, vec![1.0; dim])),
+            beta: Param::new(Tensor::zeros(1, dim)),
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    /// Forward pass; caches normalized activations.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        let d = x.cols;
+        let mut xhat = Tensor::zeros(x.rows, d);
+        let mut inv_sigma = Vec::with_capacity(x.rows);
+        let mut y = Tensor::zeros(x.rows, d);
+        for r in 0..x.rows {
+            let row = x.row(r);
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let inv = 1.0 / (var + self.eps).sqrt();
+            inv_sigma.push(inv);
+            let xh = xhat.row_mut(r);
+            let yr = y.row_mut(r);
+            for c in 0..d {
+                xh[c] = (row[c] - mean) * inv;
+                yr[c] = self.gamma.v.data[c] * xh[c] + self.beta.v.data[c];
+            }
+        }
+        self.cache = Some((xhat, inv_sigma));
+        y
+    }
+
+    /// Backward pass: accumulates `dγ`, `dβ`, returns `dx`.
+    ///
+    /// # Panics
+    /// Panics if called before [`LayerNorm::forward`].
+    #[allow(clippy::needless_range_loop)]
+    pub fn backward(&mut self, dy: &Tensor) -> Tensor {
+        let (xhat, inv_sigma) = self.cache.as_ref().expect("forward before backward");
+        let d = dy.cols;
+        let mut dx = Tensor::zeros(dy.rows, d);
+        for r in 0..dy.rows {
+            let dyr = dy.row(r);
+            let xh = xhat.row(r);
+            // dγ, dβ.
+            for c in 0..d {
+                self.gamma.g.data[c] += dyr[c] * xh[c];
+                self.beta.g.data[c] += dyr[c];
+            }
+            // dx̂ = dy ⊙ γ; then the standard layer-norm input gradient:
+            // dx = (1/σ)(dx̂ − mean(dx̂) − x̂ ⊙ mean(dx̂ ⊙ x̂)).
+            let mut sum_dxhat = 0.0f32;
+            let mut sum_dxhat_xhat = 0.0f32;
+            let mut dxhat = vec![0.0f32; d];
+            for c in 0..d {
+                dxhat[c] = dyr[c] * self.gamma.v.data[c];
+                sum_dxhat += dxhat[c];
+                sum_dxhat_xhat += dxhat[c] * xh[c];
+            }
+            let mean_dxhat = sum_dxhat / d as f32;
+            let mean_dxhat_xhat = sum_dxhat_xhat / d as f32;
+            let dxr = dx.row_mut(r);
+            for c in 0..d {
+                dxr[c] = inv_sigma[r] * (dxhat[c] - mean_dxhat - xh[c] * mean_dxhat_xhat);
+            }
+        }
+        dx
+    }
+}
+
+impl Visit for LayerNorm {
+    fn visit(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_normalizes_rows() {
+        let mut ln = LayerNorm::new(4);
+        let x = Tensor::from_vec(2, 4, vec![1., 2., 3., 4., -1., -1., -1., -1.]);
+        let y = ln.forward(&x);
+        // Row 0: zero mean, unit variance (up to eps).
+        let mean: f32 = y.row(0).iter().sum::<f32>() / 4.0;
+        let var: f32 = y.row(0).iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-6);
+        assert!((var - 1.0).abs() < 1e-3);
+        // Constant row maps to ~zeros.
+        assert!(y.row(1).iter().all(|v| v.abs() < 1e-3));
+    }
+
+    #[test]
+    fn gamma_beta_applied() {
+        let mut ln = LayerNorm::new(2);
+        ln.gamma.v.data = vec![2.0, 2.0];
+        ln.beta.v.data = vec![1.0, 1.0];
+        let x = Tensor::from_vec(1, 2, vec![0.0, 2.0]);
+        let y = ln.forward(&x);
+        // Normalized: [-1, 1] → ×2 + 1 = [-1, 3].
+        assert!((y.data[0] + 1.0).abs() < 1e-3);
+        assert!((y.data[1] - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut ln = LayerNorm::new(5);
+        ln.gamma.v.data = vec![1.1, 0.9, 1.3, 0.7, 1.0];
+        ln.beta.v.data = vec![0.1, -0.1, 0.0, 0.2, -0.2];
+        let x = Tensor::from_vec(1, 5, vec![0.5, -1.0, 2.0, 0.3, -0.8]);
+        let u = Tensor::from_vec(1, 5, vec![1.0, -0.5, 0.25, 2.0, -1.5]);
+        ln.forward(&x);
+        let dx = ln.backward(&u);
+        let eps = 1e-3f32;
+        let loss = |ln: &mut LayerNorm, x: &Tensor| -> f32 {
+            let y = ln.forward(x);
+            y.data.iter().zip(&u.data).map(|(a, b)| a * b).sum()
+        };
+        for i in 0..5 {
+            let mut xp = x.clone();
+            xp.data[i] += eps;
+            let mut xm = x.clone();
+            xm.data[i] -= eps;
+            let numeric = (loss(&mut ln.clone(), &xp) - loss(&mut ln.clone(), &xm)) / (2.0 * eps);
+            assert!(
+                (numeric - dx.data[i]).abs() < 1e-2,
+                "dx[{i}]: numeric {numeric} vs analytic {}",
+                dx.data[i]
+            );
+        }
+        // dγ and dβ.
+        for i in 0..5 {
+            let mut p = ln.clone();
+            p.gamma.v.data[i] += eps;
+            let mut m = ln.clone();
+            m.gamma.v.data[i] -= eps;
+            let numeric = (loss(&mut p, &x) - loss(&mut m, &x)) / (2.0 * eps);
+            assert!((numeric - ln.gamma.g.data[i]).abs() < 1e-2, "dgamma[{i}]");
+            let mut p = ln.clone();
+            p.beta.v.data[i] += eps;
+            let mut m = ln.clone();
+            m.beta.v.data[i] -= eps;
+            let numeric = (loss(&mut p, &x) - loss(&mut m, &x)) / (2.0 * eps);
+            assert!((numeric - ln.beta.g.data[i]).abs() < 1e-2, "dbeta[{i}]");
+        }
+    }
+
+    #[test]
+    fn visit_exposes_two_params() {
+        let mut ln = LayerNorm::new(3);
+        assert_eq!(ln.param_count(), 6);
+    }
+}

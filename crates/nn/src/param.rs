@@ -1,0 +1,95 @@
+//! Trainable parameters: a value tensor paired with its gradient accumulator.
+
+use crate::tensor::Tensor;
+
+/// A trainable parameter matrix (or vector, as a 1-row matrix).
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub v: Tensor,
+    /// Accumulated gradient (same shape as `v`).
+    pub g: Tensor,
+}
+
+impl Param {
+    /// A parameter initialized to the given tensor, with a zero gradient.
+    pub fn new(v: Tensor) -> Self {
+        let g = Tensor::zeros(v.rows, v.cols);
+        Param { v, g }
+    }
+
+    /// Zero the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.g.fill_zero();
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.v.data.len()
+    }
+
+    /// Whether the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.v.data.is_empty()
+    }
+}
+
+/// Visitor over the parameters of a module tree, in a fixed deterministic
+/// order. Optimizer state and checkpoints both key off this order.
+pub trait Visit {
+    /// Call `f` on every parameter, in a stable order.
+    fn visit(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Total number of scalar parameters.
+    fn param_count(&mut self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |p| n += p.len());
+        n
+    }
+
+    /// Zero all gradients.
+    fn zero_grads(&mut self) {
+        self.visit(&mut |p| p.zero_grad());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Pair {
+        a: Param,
+        b: Param,
+    }
+
+    impl Visit for Pair {
+        fn visit(&mut self, f: &mut dyn FnMut(&mut Param)) {
+            f(&mut self.a);
+            f(&mut self.b);
+        }
+    }
+
+    #[test]
+    fn param_shapes_and_grad_reset() {
+        let mut p = Param::new(Tensor::from_vec(2, 2, vec![1., 2., 3., 4.]));
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_empty());
+        p.g.data[0] = 9.0;
+        p.zero_grad();
+        assert_eq!(p.g.data, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn visitor_counts_and_zeroes() {
+        let mut pair = Pair {
+            a: Param::new(Tensor::zeros(2, 3)),
+            b: Param::new(Tensor::zeros(1, 4)),
+        };
+        assert_eq!(pair.param_count(), 10);
+        pair.a.g.data[2] = 1.0;
+        pair.b.g.data[0] = 1.0;
+        pair.zero_grads();
+        assert!(pair.a.g.data.iter().all(|&x| x == 0.0));
+        assert!(pair.b.g.data.iter().all(|&x| x == 0.0));
+    }
+}

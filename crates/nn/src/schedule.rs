@@ -1,0 +1,109 @@
+//! Training schedule utilities: global gradient-norm clipping and the
+//! linear-warmup / inverse-sqrt-decay learning-rate schedule transformers
+//! are customarily trained with.
+
+use crate::param::Visit;
+
+/// Clip the global gradient norm to `max_norm`.
+///
+/// Computes the L2 norm over *all* accumulated gradients of the module and,
+/// if it exceeds `max_norm`, rescales every gradient by `max_norm / norm`.
+/// Returns the pre-clip norm.
+pub fn clip_grad_norm(module: &mut dyn Visit, max_norm: f32) -> f32 {
+    assert!(max_norm > 0.0, "max_norm must be positive");
+    let mut sq = 0.0f64;
+    module.visit(&mut |p| {
+        for g in &p.g.data {
+            sq += (*g as f64) * (*g as f64);
+        }
+    });
+    let norm = (sq as f32).sqrt();
+    if norm > max_norm && norm.is_finite() {
+        let scale = max_norm / norm;
+        module.visit(&mut |p| p.g.scale(scale));
+    }
+    norm
+}
+
+/// Linear warmup to `peak_lr` over `warmup_steps`, then inverse-square-root
+/// decay (the "Noam" schedule shape).
+#[derive(Debug, Clone, Copy)]
+pub struct WarmupSchedule {
+    /// Peak learning rate, reached at the end of warmup.
+    pub peak_lr: f32,
+    /// Warmup length in optimizer steps (≥ 1).
+    pub warmup_steps: u64,
+}
+
+impl WarmupSchedule {
+    /// Learning rate at optimizer step `step` (1-based).
+    pub fn lr_at(&self, step: u64) -> f32 {
+        let w = self.warmup_steps.max(1);
+        let step = step.max(1);
+        if step <= w {
+            self.peak_lr * step as f32 / w as f32
+        } else {
+            self.peak_lr * ((w as f32) / (step as f32)).sqrt()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::Linear;
+    use crate::tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clipping_caps_the_norm() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut layer = Linear::new(4, 4, &mut rng);
+        layer.forward(&Tensor::from_vec(1, 4, vec![10.0, -10.0, 10.0, -10.0]));
+        layer.backward(&Tensor::from_vec(1, 4, vec![100.0, 100.0, 100.0, 100.0]));
+        let before = clip_grad_norm(&mut layer, 1.0);
+        assert!(before > 1.0);
+        // After clipping, the norm equals max_norm (within float error).
+        let after = clip_grad_norm(&mut layer, 1.0);
+        assert!((after - 1.0).abs() < 1e-4, "post-clip norm {after}");
+    }
+
+    #[test]
+    fn small_gradients_untouched() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut layer = Linear::new(2, 2, &mut rng);
+        layer.forward(&Tensor::from_vec(1, 2, vec![0.01, 0.01]));
+        layer.backward(&Tensor::from_vec(1, 2, vec![0.01, 0.01]));
+        let g_before = layer.w.g.clone();
+        let norm = clip_grad_norm(&mut layer, 10.0);
+        assert!(norm < 10.0);
+        assert_eq!(layer.w.g, g_before);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_max_norm_panics() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut layer = Linear::new(2, 2, &mut rng);
+        clip_grad_norm(&mut layer, 0.0);
+    }
+
+    #[test]
+    fn warmup_shape() {
+        let s = WarmupSchedule { peak_lr: 1e-3, warmup_steps: 10 };
+        assert!(s.lr_at(1) < s.lr_at(5));
+        assert!(s.lr_at(5) < s.lr_at(10));
+        assert!((s.lr_at(10) - 1e-3).abs() < 1e-9);
+        assert!(s.lr_at(40) < s.lr_at(10));
+        // Inverse-sqrt: lr(40) = peak * sqrt(10/40) = peak / 2.
+        assert!((s.lr_at(40) - 5e-4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_warmup() {
+        let s = WarmupSchedule { peak_lr: 1.0, warmup_steps: 0 };
+        assert!((s.lr_at(1) - 1.0).abs() < 1e-9);
+        assert!(s.lr_at(100) < 1.0);
+    }
+}

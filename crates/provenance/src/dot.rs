@@ -1,0 +1,115 @@
+//! Graphviz DOT export for decision-DNNF circuits.
+//!
+//! `circuit_to_dot` renders the sub-circuit reachable from a root as a DOT
+//! digraph — handy for debugging compilations and for the documentation's
+//! worked examples (`dot -Tsvg circuit.dot > circuit.svg`).
+
+use crate::circuit::{Circuit, Node, NodeId};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Render the sub-circuit reachable from `root` as a DOT digraph.
+pub fn circuit_to_dot(circuit: &Circuit, root: NodeId) -> String {
+    let mut out = String::from("digraph ddnnf {\n  rankdir=TB;\n  node [fontname=\"monospace\"];\n");
+    let mut visited: BTreeSet<NodeId> = BTreeSet::new();
+    let mut stack = vec![root];
+    while let Some(id) = stack.pop() {
+        if !visited.insert(id) {
+            continue;
+        }
+        match circuit.node(id) {
+            Node::True => {
+                let _ = writeln!(out, "  n{} [label=\"⊤\", shape=plaintext];", id.0);
+            }
+            Node::False => {
+                let _ = writeln!(out, "  n{} [label=\"⊥\", shape=plaintext];", id.0);
+            }
+            Node::Leaf(f) => {
+                let _ = writeln!(out, "  n{} [label=\"{f}\", shape=box];", id.0);
+            }
+            Node::And(children) => {
+                let _ = writeln!(out, "  n{} [label=\"∧\", shape=circle];", id.0);
+                for &c in children {
+                    let _ = writeln!(out, "  n{} -> n{};", id.0, c.0);
+                    stack.push(c);
+                }
+            }
+            Node::DisjointOr(children) => {
+                let _ = writeln!(out, "  n{} [label=\"∨⊥\", shape=circle];", id.0);
+                for &c in children {
+                    let _ = writeln!(out, "  n{} -> n{};", id.0, c.0);
+                    stack.push(c);
+                }
+            }
+            Node::Decision { var, hi, lo } => {
+                let _ = writeln!(
+                    out,
+                    "  n{} [label=\"{var}?\", shape=diamond];",
+                    id.0
+                );
+                let _ = writeln!(out, "  n{} -> n{} [label=\"1\"];", id.0, hi.0);
+                let _ = writeln!(out, "  n{} -> n{} [label=\"0\", style=dashed];", id.0, lo.0);
+                stack.push(*hi);
+                stack.push(*lo);
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::{compile, CompileOptions};
+    use crate::expr::Dnf;
+    use ls_relational::{FactId, Monomial};
+
+    fn dnf(monos: &[&[u32]]) -> Dnf {
+        Dnf::from_monomials(
+            monos
+                .iter()
+                .map(|ids| Monomial::from_facts(ids.iter().map(|&i| FactId(i)).collect()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn dot_contains_all_reachable_nodes() {
+        let d = dnf(&[&[0, 1, 4, 6], &[0, 2, 4, 7], &[0, 3, 5, 8]]);
+        let c = compile(&d, CompileOptions::default());
+        let dot = circuit_to_dot(&c.circuit, c.root);
+        assert!(dot.starts_with("digraph ddnnf {"));
+        assert!(dot.trim_end().ends_with('}'));
+        // Every lineage fact appears somewhere (leaf or decision label).
+        for f in d.variables() {
+            assert!(dot.contains(&f.to_string()), "missing {f}");
+        }
+    }
+
+    #[test]
+    fn dot_marks_node_kinds() {
+        let d = dnf(&[&[1, 2], &[3, 4]]);
+        let c = compile(&d, CompileOptions::default());
+        let dot = circuit_to_dot(&c.circuit, c.root);
+        assert!(dot.contains("∨⊥"), "disjoint-or node rendered");
+        assert!(dot.contains("shape=box"), "leaf rendered");
+    }
+
+    #[test]
+    fn constants_render() {
+        let d = Dnf::tru();
+        let c = compile(&d, CompileOptions::default());
+        let dot = circuit_to_dot(&c.circuit, c.root);
+        assert!(dot.contains('⊤'));
+    }
+
+    #[test]
+    fn decision_edges_labeled() {
+        let d = dnf(&[&[1, 2], &[2, 3], &[1, 3]]);
+        let c = compile(&d, CompileOptions::default());
+        let dot = circuit_to_dot(&c.circuit, c.root);
+        assert!(dot.contains("label=\"1\""));
+        assert!(dot.contains("label=\"0\""));
+    }
+}

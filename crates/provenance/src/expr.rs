@@ -1,0 +1,270 @@
+//! Monotone Boolean provenance expressions in minimized DNF.
+//!
+//! SPJU queries produce *monotone* provenance: each derivation of an output
+//! tuple is a conjunction of facts, and the tuple's provenance is the
+//! disjunction of its derivations (`Prov(D, q, t)` in the paper). [`Dnf`]
+//! keeps that disjunction in minimal form (no monomial subsumes another) and
+//! supports the operations the Shapley pipeline needs: evaluation,
+//! conditioning on one fact, and decomposition into independent components.
+
+use ls_relational::eval::minimize_dnf;
+use ls_relational::{FactId, Monomial, OutputTuple};
+use std::fmt;
+
+/// A monotone Boolean provenance expression in minimal DNF.
+///
+/// `Dnf` with zero monomials is `false`; a `Dnf` containing the empty
+/// monomial is `true` (and, by minimality, is exactly `[⊤]`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Dnf {
+    monomials: Vec<Monomial>,
+}
+
+impl Dnf {
+    /// The constant `false`.
+    pub fn fls() -> Self {
+        Dnf { monomials: Vec::new() }
+    }
+
+    /// The constant `true`.
+    pub fn tru() -> Self {
+        Dnf { monomials: vec![Monomial::one()] }
+    }
+
+    /// Build from derivations, minimizing by absorption.
+    pub fn from_monomials(monos: Vec<Monomial>) -> Self {
+        Dnf { monomials: minimize_dnf(monos) }
+    }
+
+    /// The provenance of an output tuple (its derivations are already
+    /// minimized by the evaluator).
+    pub fn of_tuple(t: &OutputTuple) -> Self {
+        Dnf::from_monomials(t.derivations.clone())
+    }
+
+    /// The monomials, sorted by (length, content).
+    pub fn monomials(&self) -> &[Monomial] {
+        &self.monomials
+    }
+
+    /// Whether this is the constant `false`.
+    pub fn is_false(&self) -> bool {
+        self.monomials.is_empty()
+    }
+
+    /// Whether this is the constant `true`.
+    pub fn is_true(&self) -> bool {
+        self.monomials.first().is_some_and(Monomial::is_empty)
+    }
+
+    /// The variables (lineage facts), sorted ascending.
+    pub fn variables(&self) -> Vec<FactId> {
+        let mut vars: Vec<FactId> = self
+            .monomials
+            .iter()
+            .flat_map(|m| m.facts().iter().copied())
+            .collect();
+        vars.sort_unstable();
+        vars.dedup();
+        vars
+    }
+
+    /// Evaluate under an assignment given as a sorted slice of true facts.
+    pub fn eval_sorted(&self, true_facts: &[FactId]) -> bool {
+        self.monomials.iter().any(|m| {
+            m.facts()
+                .iter()
+                .all(|f| true_facts.binary_search(f).is_ok())
+        })
+    }
+
+    /// Condition on `f := val`, producing a DNF not mentioning `f`.
+    pub fn condition(&self, f: FactId, val: bool) -> Dnf {
+        let mut out = Vec::new();
+        for m in &self.monomials {
+            if m.contains(f) {
+                if val {
+                    // Drop f from the monomial.
+                    let rest: Vec<FactId> =
+                        m.facts().iter().copied().filter(|&x| x != f).collect();
+                    out.push(Monomial::from_facts(rest));
+                }
+                // f=false kills the monomial.
+            } else {
+                out.push(m.clone());
+            }
+        }
+        Dnf::from_monomials(out)
+    }
+
+    /// Partition the monomials into connected components of the
+    /// variable-sharing graph. Two monomials are connected when they share a
+    /// variable; each returned `Dnf` is over a disjoint variable set.
+    ///
+    /// Constants have no components: `true`/`false` return an empty vector.
+    pub fn components(&self) -> Vec<Dnf> {
+        if self.is_false() || self.is_true() {
+            return Vec::new();
+        }
+        let n = self.monomials.len();
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, i: usize) -> usize {
+            if parent[i] != i {
+                let r = find(parent, parent[i]);
+                parent[i] = r;
+            }
+            parent[i]
+        }
+        // Union monomials sharing a variable via a var → first-owner map.
+        let mut owner: std::collections::HashMap<FactId, usize> =
+            std::collections::HashMap::new();
+        for (i, m) in self.monomials.iter().enumerate() {
+            for f in m.facts() {
+                match owner.get(f) {
+                    Some(&j) => {
+                        let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                        if ri != rj {
+                            parent[ri] = rj;
+                        }
+                    }
+                    None => {
+                        owner.insert(*f, i);
+                    }
+                }
+            }
+        }
+        let mut groups: std::collections::BTreeMap<usize, Vec<Monomial>> =
+            std::collections::BTreeMap::new();
+        for i in 0..n {
+            let r = find(&mut parent, i);
+            groups.entry(r).or_default().push(self.monomials[i].clone());
+        }
+        groups
+            .into_values()
+            .map(|monos| Dnf { monomials: minimize_dnf(monos) })
+            .collect()
+    }
+
+    /// Number of monomials.
+    pub fn len(&self) -> usize {
+        self.monomials.len()
+    }
+
+    /// Whether there are no monomials (the constant `false`).
+    pub fn is_empty(&self) -> bool {
+        self.monomials.is_empty()
+    }
+}
+
+impl fmt::Display for Dnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_false() {
+            return write!(f, "⊥");
+        }
+        for (i, m) in self.monomials.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∨ ")?;
+            }
+            write!(f, "({m})")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(ids: &[u32]) -> Monomial {
+        Monomial::from_facts(ids.iter().map(|&i| FactId(i)).collect())
+    }
+
+    fn fid(ids: &[u32]) -> Vec<FactId> {
+        ids.iter().map(|&i| FactId(i)).collect()
+    }
+
+    #[test]
+    fn constants() {
+        assert!(Dnf::fls().is_false());
+        assert!(!Dnf::fls().is_true());
+        assert!(Dnf::tru().is_true());
+        assert!(Dnf::tru().eval_sorted(&[]));
+        assert!(!Dnf::fls().eval_sorted(&fid(&[1, 2, 3])));
+        assert_eq!(Dnf::tru().to_string(), "(⊤)");
+        assert_eq!(Dnf::fls().to_string(), "⊥");
+    }
+
+    #[test]
+    fn construction_minimizes() {
+        let d = Dnf::from_monomials(vec![m(&[1, 2]), m(&[1]), m(&[1, 2, 3])]);
+        assert_eq!(d.monomials(), &[m(&[1])]);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn variables_are_lineage() {
+        let d = Dnf::from_monomials(vec![m(&[3, 1]), m(&[2, 5])]);
+        assert_eq!(d.variables(), fid(&[1, 2, 3, 5]));
+    }
+
+    #[test]
+    fn evaluation() {
+        let d = Dnf::from_monomials(vec![m(&[1, 2]), m(&[3])]);
+        assert!(d.eval_sorted(&fid(&[1, 2])));
+        assert!(d.eval_sorted(&fid(&[3])));
+        assert!(d.eval_sorted(&fid(&[1, 2, 3])));
+        assert!(!d.eval_sorted(&fid(&[1])));
+        assert!(!d.eval_sorted(&fid(&[2])));
+        assert!(!d.eval_sorted(&[]));
+    }
+
+    #[test]
+    fn conditioning_true() {
+        let d = Dnf::from_monomials(vec![m(&[1, 2]), m(&[3])]);
+        let c = d.condition(FactId(1), true);
+        assert_eq!(c.monomials(), &[m(&[2]), m(&[3])]);
+        assert!(!c.variables().contains(&FactId(1)));
+    }
+
+    #[test]
+    fn conditioning_false() {
+        let d = Dnf::from_monomials(vec![m(&[1, 2]), m(&[3])]);
+        let c = d.condition(FactId(1), false);
+        assert_eq!(c.monomials(), &[m(&[3])]);
+    }
+
+    #[test]
+    fn conditioning_to_constants() {
+        let d = Dnf::from_monomials(vec![m(&[1])]);
+        assert!(d.condition(FactId(1), true).is_true());
+        assert!(d.condition(FactId(1), false).is_false());
+    }
+
+    #[test]
+    fn components_split_independent_parts() {
+        let d = Dnf::from_monomials(vec![m(&[1, 2]), m(&[2, 3]), m(&[7, 8]), m(&[9])]);
+        let comps = d.components();
+        assert_eq!(comps.len(), 3);
+        let sizes: Vec<usize> = comps.iter().map(Dnf::len).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 4);
+        // Variable sets are pairwise disjoint.
+        for (i, a) in comps.iter().enumerate() {
+            for b in comps.iter().skip(i + 1) {
+                let va = a.variables();
+                assert!(b.variables().iter().all(|v| !va.contains(v)));
+            }
+        }
+    }
+
+    #[test]
+    fn components_of_constants_empty() {
+        assert!(Dnf::tru().components().is_empty());
+        assert!(Dnf::fls().components().is_empty());
+    }
+
+    #[test]
+    fn single_component_when_chained() {
+        let d = Dnf::from_monomials(vec![m(&[1, 2]), m(&[2, 3]), m(&[3, 4])]);
+        assert_eq!(d.components().len(), 1);
+    }
+}

@@ -1,0 +1,184 @@
+//! Tseytin transformation of DNF provenance into CNF.
+//!
+//! The paper's "\[15\]" baseline includes an inexact ranking method, *CNF
+//! Proxy*, that starts from the non-factorized DNF provenance and applies the
+//! Tseytin transformation to obtain an equisatisfiable CNF over the original
+//! facts plus one auxiliary variable per monomial. This module produces that
+//! CNF; the proxy scoring itself lives in `ls-shapley`.
+
+use crate::expr::Dnf;
+use ls_relational::FactId;
+use std::fmt;
+
+/// A CNF variable: either an original fact or a Tseytin auxiliary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CnfVar {
+    /// An original provenance fact.
+    Fact(FactId),
+    /// Auxiliary variable introduced for monomial `i` (`y_i ⇔ m_i`).
+    Aux(u32),
+}
+
+/// A literal: a variable with polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Literal {
+    /// The underlying variable.
+    pub var: CnfVar,
+    /// `true` for a positive occurrence.
+    pub positive: bool,
+}
+
+impl Literal {
+    /// Positive literal.
+    pub fn pos(var: CnfVar) -> Self {
+        Literal { var, positive: true }
+    }
+
+    /// Negative literal.
+    pub fn neg(var: CnfVar) -> Self {
+        Literal { var, positive: false }
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.positive {
+            write!(f, "¬")?;
+        }
+        match self.var {
+            CnfVar::Fact(id) => write!(f, "{id}"),
+            CnfVar::Aux(i) => write!(f, "y{i}"),
+        }
+    }
+}
+
+/// A CNF formula: a conjunction of clauses, each a disjunction of literals.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Cnf {
+    /// The clauses.
+    pub clauses: Vec<Vec<Literal>>,
+    /// Number of auxiliary variables introduced.
+    pub num_aux: u32,
+}
+
+impl Cnf {
+    /// Tseytin-transform a DNF `m_1 ∨ … ∨ m_k`:
+    ///
+    /// * for each monomial `i` and each fact `l ∈ m_i`: clause `(¬y_i ∨ l)`;
+    /// * for each monomial `i`: clause `(y_i ∨ ¬l_1 ∨ … ∨ ¬l_{|m_i|})`;
+    /// * one top clause `(y_1 ∨ … ∨ y_k)`.
+    ///
+    /// The result is equisatisfiable with the DNF, and every satisfying
+    /// assignment of the DNF extends uniquely to one of the CNF.
+    pub fn from_dnf(dnf: &Dnf) -> Cnf {
+        let mut clauses = Vec::new();
+        let k = dnf.monomials().len() as u32;
+        for (i, m) in dnf.monomials().iter().enumerate() {
+            let y = CnfVar::Aux(i as u32);
+            let mut back = vec![Literal::pos(y)];
+            for &f in m.facts() {
+                clauses.push(vec![Literal::neg(y), Literal::pos(CnfVar::Fact(f))]);
+                back.push(Literal::neg(CnfVar::Fact(f)));
+            }
+            clauses.push(back);
+        }
+        let top: Vec<Literal> = (0..k).map(|i| Literal::pos(CnfVar::Aux(i))).collect();
+        if !top.is_empty() {
+            clauses.push(top);
+        }
+        Cnf { clauses, num_aux: k }
+    }
+
+    /// Evaluate under an assignment: `facts` lists the true facts (sorted),
+    /// `aux` the truth values of auxiliaries (indexed by aux id).
+    pub fn eval(&self, facts: &[FactId], aux: &[bool]) -> bool {
+        self.clauses.iter().all(|clause| {
+            clause.iter().any(|lit| {
+                let v = match lit.var {
+                    CnfVar::Fact(f) => facts.binary_search(&f).is_ok(),
+                    CnfVar::Aux(i) => aux[i as usize],
+                };
+                v == lit.positive
+            })
+        })
+    }
+
+    /// Number of clauses.
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Whether the CNF has no clauses (the constant `true`).
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ls_relational::Monomial;
+
+    fn dnf(monos: &[&[u32]]) -> Dnf {
+        Dnf::from_monomials(
+            monos
+                .iter()
+                .map(|ids| Monomial::from_facts(ids.iter().map(|&i| FactId(i)).collect()))
+                .collect(),
+        )
+    }
+
+    /// Compute the forced auxiliary assignment (`y_i = m_i(facts)`).
+    fn forced_aux(d: &Dnf, facts: &[FactId]) -> Vec<bool> {
+        d.monomials()
+            .iter()
+            .map(|m| m.facts().iter().all(|f| facts.binary_search(f).is_ok()))
+            .collect()
+    }
+
+    #[test]
+    fn clause_counts() {
+        // (f1∧f2) ∨ (f3): per-monomial clauses 2+1 and 1+1, plus top = 6.
+        let d = dnf(&[&[1, 2], &[3]]);
+        let cnf = Cnf::from_dnf(&d);
+        assert_eq!(cnf.len(), 6);
+        assert_eq!(cnf.num_aux, 2);
+    }
+
+    #[test]
+    fn equisatisfiable_on_all_assignments() {
+        let d = dnf(&[&[1, 2], &[2, 3], &[4]]);
+        let cnf = Cnf::from_dnf(&d);
+        let vars = d.variables();
+        for mask in 0u32..(1 << vars.len()) {
+            let facts: Vec<FactId> = vars
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, f)| *f)
+                .collect();
+            let aux = forced_aux(&d, &facts);
+            assert_eq!(
+                d.eval_sorted(&facts),
+                cnf.eval(&facts, &aux),
+                "mismatch on {facts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn false_dnf_gives_unsat_shape() {
+        let cnf = Cnf::from_dnf(&Dnf::fls());
+        // No monomials → no clauses at all except... no top clause either:
+        // the empty DNF has no auxiliaries, so the CNF is trivially true.
+        // The proxy treats this case explicitly; here we just document it.
+        assert!(cnf.is_empty());
+        assert_eq!(cnf.num_aux, 0);
+    }
+
+    #[test]
+    fn literal_display() {
+        assert_eq!(Literal::pos(CnfVar::Fact(FactId(3))).to_string(), "f3");
+        assert_eq!(Literal::neg(CnfVar::Aux(2)).to_string(), "¬y2");
+    }
+}

@@ -1,0 +1,308 @@
+//! Logical representation of SPJU queries.
+//!
+//! DBShap queries are unions of conjunctive Select-Project-Join blocks (the
+//! shape `SELECT [DISTINCT] cols FROM t1, …, tn WHERE conj [UNION …]`), so the
+//! representation here is a normal form rather than a general operator tree:
+//! a [`Query`] is a union of [`SpjBlock`]s, each holding its table references,
+//! equi-join conditions, selection predicates and projection list.
+
+use crate::value::Value;
+use std::fmt;
+
+/// A (possibly aliased) column reference `alias.column`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ColRef {
+    /// Table alias the column is resolved against.
+    pub table: String,
+    /// Column name.
+    pub column: String,
+}
+
+impl ColRef {
+    /// Construct a column reference.
+    pub fn new(table: impl Into<String>, column: impl Into<String>) -> Self {
+        ColRef { table: table.into(), column: column.into() }
+    }
+}
+
+impl fmt::Display for ColRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.table, self.column)
+    }
+}
+
+/// Comparison operators allowed in selection predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Apply the comparison to two values.
+    pub fn eval(self, lhs: &Value, rhs: &Value) -> bool {
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::Lt => lhs < rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Ge => lhs >= rhs,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A selection predicate `σ` over a single column.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Selection {
+    /// `col op literal`.
+    Cmp {
+        /// The constrained column.
+        col: ColRef,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Literal to compare against.
+        lit: Value,
+    },
+    /// `col LIKE 'prefix%'` — the only LIKE pattern the DBShap fragment uses.
+    StartsWith {
+        /// The constrained column.
+        col: ColRef,
+        /// Required string prefix.
+        prefix: String,
+    },
+}
+
+impl Selection {
+    /// The column the predicate constrains.
+    pub fn col(&self) -> &ColRef {
+        match self {
+            Selection::Cmp { col, .. } | Selection::StartsWith { col, .. } => col,
+        }
+    }
+
+    /// Evaluate the predicate against a cell value.
+    pub fn matches(&self, v: &Value) -> bool {
+        match self {
+            Selection::Cmp { op, lit, .. } => op.eval(v, lit),
+            Selection::StartsWith { prefix, .. } => {
+                v.as_str().is_some_and(|s| s.starts_with(prefix.as_str()))
+            }
+        }
+    }
+}
+
+impl fmt::Display for Selection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Selection::Cmp { col, op, lit } => write!(f, "{col} {op} {}", lit.to_sql_literal()),
+            Selection::StartsWith { col, prefix } => write!(f, "{col} LIKE '{prefix}%'"),
+        }
+    }
+}
+
+/// An equi-join condition `left = right` between two columns.
+///
+/// Stored in canonical orientation (`left <= right` lexicographically) so that
+/// syntactic query comparison treats `a.x = b.y` and `b.y = a.x` as equal.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JoinCond {
+    /// Lexicographically smaller side.
+    pub left: ColRef,
+    /// Lexicographically larger side.
+    pub right: ColRef,
+}
+
+impl JoinCond {
+    /// Construct a canonically oriented join condition.
+    pub fn new(a: ColRef, b: ColRef) -> Self {
+        if a <= b {
+            JoinCond { left: a, right: b }
+        } else {
+            JoinCond { left: b, right: a }
+        }
+    }
+}
+
+impl fmt::Display for JoinCond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = {}", self.left, self.right)
+    }
+}
+
+/// A table mention in a `FROM` clause.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TableRef {
+    /// Underlying relation name.
+    pub table: String,
+    /// Alias used by column references (equals `table` when unaliased).
+    pub alias: String,
+}
+
+impl TableRef {
+    /// An unaliased table reference.
+    pub fn plain(table: impl Into<String>) -> Self {
+        let table = table.into();
+        TableRef { alias: table.clone(), table }
+    }
+
+    /// An aliased table reference.
+    pub fn aliased(table: impl Into<String>, alias: impl Into<String>) -> Self {
+        TableRef { table: table.into(), alias: alias.into() }
+    }
+}
+
+/// One conjunctive Select-Project-Join block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpjBlock {
+    /// Tables joined by the block.
+    pub tables: Vec<TableRef>,
+    /// Equi-join conditions (conjunction).
+    pub joins: Vec<JoinCond>,
+    /// Selection predicates (conjunction).
+    pub selections: Vec<Selection>,
+    /// Projected columns, in output order.
+    pub projection: Vec<ColRef>,
+    /// Whether duplicate output tuples are merged (`SELECT DISTINCT`).
+    pub distinct: bool,
+}
+
+impl SpjBlock {
+    /// Resolve an alias to its underlying table name.
+    pub fn table_of_alias(&self, alias: &str) -> Option<&str> {
+        self.tables
+            .iter()
+            .find(|t| t.alias == alias)
+            .map(|t| t.table.as_str())
+    }
+
+    /// Number of tables joined — the paper's query-complexity measure.
+    pub fn join_width(&self) -> usize {
+        self.tables.len()
+    }
+}
+
+/// An SPJU query: a union of SPJ blocks.
+///
+/// Invariant (checked by the parser and generators, relied on by evaluation):
+/// all blocks project the same arity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// The union's branches; a plain SPJ query has exactly one.
+    pub blocks: Vec<SpjBlock>,
+}
+
+impl Query {
+    /// Wrap a single block as a query.
+    pub fn single(block: SpjBlock) -> Self {
+        Query { blocks: vec![block] }
+    }
+
+    /// The paper's query-complexity measure: the maximum number of tables
+    /// joined by any branch.
+    pub fn join_width(&self) -> usize {
+        self.blocks.iter().map(SpjBlock::join_width).max().unwrap_or(0)
+    }
+
+    /// Output arity (from the first block).
+    pub fn arity(&self) -> usize {
+        self.blocks.first().map_or(0, |b| b.projection.len())
+    }
+
+    /// Whether this query is a union of more than one block.
+    pub fn is_union(&self) -> bool {
+        self.blocks.len() > 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cr(t: &str, c: &str) -> ColRef {
+        ColRef::new(t, c)
+    }
+
+    #[test]
+    fn cmp_op_eval() {
+        let a = Value::Int(3);
+        let b = Value::Int(5);
+        assert!(CmpOp::Lt.eval(&a, &b));
+        assert!(CmpOp::Le.eval(&a, &a));
+        assert!(CmpOp::Ne.eval(&a, &b));
+        assert!(!CmpOp::Eq.eval(&a, &b));
+        assert!(CmpOp::Gt.eval(&b, &a));
+        assert!(CmpOp::Ge.eval(&b, &b));
+    }
+
+    #[test]
+    fn selection_matches() {
+        let s = Selection::Cmp { col: cr("movies", "year"), op: CmpOp::Eq, lit: Value::Int(2007) };
+        assert!(s.matches(&Value::Int(2007)));
+        assert!(!s.matches(&Value::Int(2008)));
+        let p = Selection::StartsWith { col: cr("actors", "name"), prefix: "B".into() };
+        assert!(p.matches(&Value::from("Bob")));
+        assert!(!p.matches(&Value::from("Alice")));
+        assert!(!p.matches(&Value::Int(3)));
+        assert_eq!(p.col(), &cr("actors", "name"));
+    }
+
+    #[test]
+    fn join_cond_is_canonical() {
+        let j1 = JoinCond::new(cr("b", "y"), cr("a", "x"));
+        let j2 = JoinCond::new(cr("a", "x"), cr("b", "y"));
+        assert_eq!(j1, j2);
+        assert_eq!(j1.left, cr("a", "x"));
+    }
+
+    #[test]
+    fn query_shape_helpers() {
+        let block = SpjBlock {
+            tables: vec![TableRef::plain("movies"), TableRef::plain("roles")],
+            joins: vec![JoinCond::new(cr("movies", "title"), cr("roles", "movie"))],
+            selections: vec![],
+            projection: vec![cr("movies", "title")],
+            distinct: true,
+        };
+        assert_eq!(block.table_of_alias("roles"), Some("roles"));
+        assert_eq!(block.table_of_alias("zzz"), None);
+        let q = Query::single(block);
+        assert_eq!(q.join_width(), 2);
+        assert_eq!(q.arity(), 1);
+        assert!(!q.is_union());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(cr("movies", "year").to_string(), "movies.year");
+        assert_eq!(CmpOp::Ge.to_string(), ">=");
+        let s = Selection::Cmp { col: cr("m", "y"), op: CmpOp::Gt, lit: Value::Int(2010) };
+        assert_eq!(s.to_string(), "m.y > 2010");
+        let p = Selection::StartsWith { col: cr("a", "name"), prefix: "B".into() };
+        assert_eq!(p.to_string(), "a.name LIKE 'B%'");
+    }
+}

@@ -1,0 +1,161 @@
+//! A database: a disjoint union of annotated relations, with global fact
+//! identity and reverse lookup from a [`FactId`] to its row.
+
+use crate::fact::FactId;
+use crate::schema::{Catalog, TableSchema};
+use crate::table::{Row, Table};
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// Location of a fact inside the database.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FactLocation {
+    /// Index of the owning table in name order (see [`Database::table_names`]).
+    pub table_idx: usize,
+    /// Row offset inside the table.
+    pub row_idx: usize,
+}
+
+/// An in-memory database with fact-annotated rows.
+///
+/// Fact ids are assigned densely at insertion time: the `i`-th inserted row
+/// across the whole database gets `FactId(i)`. This makes `Vec`-indexed
+/// per-fact side tables (Shapley vectors, seen-fact bitmaps) trivial.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+    /// `fact_index[f] = location of fact f`, dense in insertion order.
+    fact_index: Vec<FactLocation>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register an empty table.
+    ///
+    /// # Panics
+    /// Panics if a table of the same name already exists.
+    pub fn create_table(&mut self, schema: TableSchema) {
+        let name = schema.name.clone();
+        let prev = self.tables.insert(name.clone(), Table::new(schema));
+        assert!(prev.is_none(), "table `{name}` already exists");
+    }
+
+    /// Insert a row, assigning and returning the next dense [`FactId`].
+    ///
+    /// # Panics
+    /// Panics if the table does not exist or the row does not fit its schema.
+    pub fn insert(&mut self, table: &str, values: Vec<Value>) -> FactId {
+        let fact = FactId(self.fact_index.len() as u32);
+        // Compute the location before mutably borrowing the table.
+        let table_idx = self
+            .tables
+            .keys()
+            .position(|n| n == table)
+            .unwrap_or_else(|| panic!("no such table `{table}`"));
+        let t = self.tables.get_mut(table).expect("checked above");
+        let row_idx = t.len();
+        t.push(values, fact);
+        self.fact_index.push(FactLocation { table_idx, row_idx });
+        fact
+    }
+
+    /// Look up a table by name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Table names in sorted order (stable across runs).
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Iterate over tables in name order.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    /// Total number of facts across all tables.
+    pub fn fact_count(&self) -> usize {
+        self.fact_index.len()
+    }
+
+    /// The row carrying fact `f`, with its owning table name.
+    pub fn fact(&self, f: FactId) -> Option<(&str, &Row)> {
+        let loc = self.fact_index.get(f.index())?;
+        let (name, table) = self.tables.iter().nth(loc.table_idx)?;
+        Some((name.as_str(), &table.rows[loc.row_idx]))
+    }
+
+    /// The catalog view of this database.
+    pub fn catalog(&self) -> Catalog {
+        let mut c = Catalog::new();
+        for t in self.tables.values() {
+            c.add_table(t.schema.clone());
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ColType;
+
+    fn db() -> Database {
+        let mut d = Database::new();
+        d.create_table(TableSchema::new(
+            "movies",
+            &[("title", ColType::Str), ("year", ColType::Int)],
+        ));
+        d.create_table(TableSchema::new("actors", &[("name", ColType::Str)]));
+        d
+    }
+
+    #[test]
+    fn dense_fact_ids_across_tables() {
+        let mut d = db();
+        let f0 = d.insert("movies", vec!["Superman".into(), 2007.into()]);
+        let f1 = d.insert("actors", vec!["Alice".into()]);
+        let f2 = d.insert("movies", vec!["Aquaman".into(), 2007.into()]);
+        assert_eq!((f0, f1, f2), (FactId(0), FactId(1), FactId(2)));
+        assert_eq!(d.fact_count(), 3);
+    }
+
+    #[test]
+    fn fact_reverse_lookup() {
+        let mut d = db();
+        d.insert("movies", vec!["Superman".into(), 2007.into()]);
+        let f = d.insert("actors", vec!["Alice".into()]);
+        let (table, row) = d.fact(f).unwrap();
+        assert_eq!(table, "actors");
+        assert_eq!(row.values[0], Value::from("Alice"));
+        assert!(d.fact(FactId(99)).is_none());
+    }
+
+    #[test]
+    fn catalog_reflects_tables() {
+        let d = db();
+        let c = d.catalog();
+        assert_eq!(c.len(), 2);
+        assert!(c.table("movies").is_some());
+        assert_eq!(d.table_names(), vec!["actors", "movies"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no such table")]
+    fn insert_into_missing_table_panics() {
+        let mut d = db();
+        d.insert("companies", vec!["Universal".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already exists")]
+    fn duplicate_table_panics() {
+        let mut d = db();
+        d.create_table(TableSchema::new("movies", &[("x", ColType::Int)]));
+    }
+}

@@ -1,0 +1,190 @@
+//! Fact identifiers — the provenance annotations attached to input tuples.
+//!
+//! Following the convention of the LearnShapley paper (and [Livshits et al.]),
+//! *facts* are tuples of the input database and *tuples* are rows of a query
+//! answer. Every fact carries a database-wide unique [`FactId`]; Boolean
+//! provenance expressions are built over these identifiers.
+
+use std::fmt;
+
+/// A database-wide unique identifier of an input fact.
+///
+/// `FactId`s are dense: a database with `n` facts uses ids `0..n`, which lets
+/// downstream code (Shapley vectors, seen-fact bitmaps) index arrays directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FactId(pub u32);
+
+impl FactId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FactId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// A conjunctive provenance monomial: the set of facts jointly used by one
+/// derivation of an output tuple.
+///
+/// Invariant: fact ids are sorted and deduplicated (idempotence of `∧`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Monomial {
+    facts: Vec<FactId>,
+}
+
+impl Monomial {
+    /// The empty monomial (`true`): a derivation using no facts.
+    pub fn one() -> Self {
+        Monomial { facts: Vec::new() }
+    }
+
+    /// A monomial over a single fact.
+    pub fn of(f: FactId) -> Self {
+        Monomial { facts: vec![f] }
+    }
+
+    /// Build from an arbitrary list of fact ids (sorted and deduplicated).
+    pub fn from_facts(mut facts: Vec<FactId>) -> Self {
+        facts.sort_unstable();
+        facts.dedup();
+        Monomial { facts }
+    }
+
+    /// The facts of this monomial, sorted ascending.
+    pub fn facts(&self) -> &[FactId] {
+        &self.facts
+    }
+
+    /// Number of distinct facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Whether this is the empty (`true`) monomial.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// Whether the monomial mentions `f`.
+    pub fn contains(&self, f: FactId) -> bool {
+        self.facts.binary_search(&f).is_ok()
+    }
+
+    /// Conjunction of two monomials (sorted merge with dedup).
+    pub fn and(&self, other: &Monomial) -> Monomial {
+        let mut out = Vec::with_capacity(self.facts.len() + other.facts.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.facts.len() && j < other.facts.len() {
+            match self.facts[i].cmp(&other.facts[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.facts[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.facts[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.facts[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.facts[i..]);
+        out.extend_from_slice(&other.facts[j..]);
+        Monomial { facts: out }
+    }
+
+    /// Whether every fact of `self` also appears in `other`
+    /// (i.e. `other ⊨ self`, so `self` absorbs `other` in a DNF).
+    pub fn subsumes(&self, other: &Monomial) -> bool {
+        if self.facts.len() > other.facts.len() {
+            return false;
+        }
+        let mut j = 0;
+        for f in &self.facts {
+            while j < other.facts.len() && other.facts[j] < *f {
+                j += 1;
+            }
+            if j >= other.facts.len() || other.facts[j] != *f {
+                return false;
+            }
+            j += 1;
+        }
+        true
+    }
+}
+
+impl fmt::Display for Monomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.facts.is_empty() {
+            return write!(f, "⊤");
+        }
+        for (i, fact) in self.facts.iter().enumerate() {
+            if i > 0 {
+                write!(f, "∧")?;
+            }
+            write!(f, "{fact}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(ids: &[u32]) -> Monomial {
+        Monomial::from_facts(ids.iter().map(|&i| FactId(i)).collect())
+    }
+
+    #[test]
+    fn from_facts_sorts_and_dedups() {
+        let mono = m(&[3, 1, 3, 2]);
+        assert_eq!(mono.facts(), &[FactId(1), FactId(2), FactId(3)]);
+        assert_eq!(mono.len(), 3);
+    }
+
+    #[test]
+    fn and_merges() {
+        assert_eq!(m(&[1, 3]).and(&m(&[2, 3, 4])), m(&[1, 2, 3, 4]));
+        assert_eq!(Monomial::one().and(&m(&[5])), m(&[5]));
+    }
+
+    #[test]
+    fn and_is_commutative_and_idempotent() {
+        let a = m(&[1, 4, 9]);
+        let b = m(&[2, 4]);
+        assert_eq!(a.and(&b), b.and(&a));
+        assert_eq!(a.and(&a), a);
+    }
+
+    #[test]
+    fn contains_uses_binary_search() {
+        let mono = m(&[10, 20, 30]);
+        assert!(mono.contains(FactId(20)));
+        assert!(!mono.contains(FactId(25)));
+    }
+
+    #[test]
+    fn subsumption() {
+        assert!(m(&[1, 3]).subsumes(&m(&[1, 2, 3])));
+        assert!(!m(&[1, 5]).subsumes(&m(&[1, 2, 3])));
+        assert!(Monomial::one().subsumes(&m(&[7])));
+        assert!(!m(&[7]).subsumes(&Monomial::one()));
+        assert!(m(&[7]).subsumes(&m(&[7])));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Monomial::one().to_string(), "⊤");
+        assert_eq!(m(&[1, 2]).to_string(), "f1∧f2");
+        assert_eq!(FactId(9).to_string(), "f9");
+    }
+}

@@ -1,0 +1,57 @@
+//! # ls-relational
+//!
+//! An in-memory relational engine for the SPJU (Select-Project-Join-Union)
+//! fragment, with fact-level provenance annotations.
+//!
+//! This crate is the data substrate of the LearnShapley reproduction: it
+//! provides typed values, schemas, annotated tables, a SQL-subset parser and
+//! printer, a canonical logical representation of SPJU queries, a
+//! provenance-tracking evaluator (output tuples carry their monotone-DNF
+//! Boolean provenance), and operation-set extraction used by syntax-based
+//! query similarity.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ls_relational::{Database, TableSchema, ColType, parse_query, evaluate};
+//!
+//! let mut db = Database::new();
+//! db.create_table(TableSchema::new(
+//!     "movies",
+//!     &[("title", ColType::Str), ("year", ColType::Int)],
+//! ));
+//! db.insert("movies", vec!["Superman".into(), 2007.into()]);
+//! db.insert("movies", vec!["Aquaman".into(), 2006.into()]);
+//!
+//! let q = parse_query("SELECT movies.title FROM movies WHERE movies.year = 2007").unwrap();
+//! let result = evaluate(&db, &q).unwrap();
+//! assert_eq!(result.len(), 1);
+//! assert_eq!(result.tuples[0].value_string(), "(Superman)");
+//! // Each output tuple knows exactly which input facts derived it:
+//! assert_eq!(result.tuples[0].lineage().len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod algebra;
+pub mod database;
+pub mod eval;
+pub mod fact;
+pub mod ops;
+pub mod schema;
+pub mod sql;
+pub mod table;
+pub mod validate;
+pub mod value;
+
+pub use algebra::{CmpOp, ColRef, JoinCond, Query, Selection, SpjBlock, TableRef};
+pub use database::Database;
+pub use eval::{evaluate, minimize_dnf, EvalError, OutputTuple, QueryResult};
+pub use fact::{FactId, Monomial};
+pub use ops::{operations, Operation};
+pub use schema::{Catalog, Column, TableSchema};
+pub use sql::parser::{parse_query, ParseError};
+pub use sql::printer::to_sql;
+pub use table::{Row, Table};
+pub use validate::{validate, validate_strict, ValidateError};
+pub use value::{ColType, Value};

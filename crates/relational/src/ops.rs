@@ -1,0 +1,162 @@
+//! Operation-set extraction for syntax-based query similarity.
+//!
+//! Following the paper's §2.3 (after [Kul et al.]), a query is represented as
+//! the set of its projection, selection and equi-join operations; two
+//! operations are equal iff they are of the same kind and have the same
+//! features. Aliases are resolved to underlying relation names so that
+//! syntactic similarity compares relations, not surface aliases.
+
+use crate::algebra::{Query, Selection, SpjBlock};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A single relational operation of a query, in canonical form.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Operation {
+    /// `Π_{R.C}` — projection onto relation `table`, column `column`.
+    Projection {
+        /// Relation name.
+        table: String,
+        /// Column name.
+        column: String,
+    },
+    /// `σ_{R.C φ}` — selection on a relation column with a rendered condition
+    /// such as `= 2007` or `LIKE 'B%'`.
+    Selection {
+        /// Relation name.
+        table: String,
+        /// Column name.
+        column: String,
+        /// Canonical rendering of the predicate applied to the column.
+        cond: String,
+    },
+    /// `⋈_{R1.C1 = R2.C2}` — equi-join; sides stored in lexicographic order.
+    Join {
+        /// Lexicographically smaller `(relation, column)` side.
+        left: (String, String),
+        /// Lexicographically larger `(relation, column)` side.
+        right: (String, String),
+    },
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operation::Projection { table, column } => write!(f, "Π[{table}.{column}]"),
+            Operation::Selection { table, column, cond } => {
+                write!(f, "σ[{table}.{column} {cond}]")
+            }
+            Operation::Join { left, right } => write!(
+                f,
+                "⋈[{}.{} = {}.{}]",
+                left.0, left.1, right.0, right.1
+            ),
+        }
+    }
+}
+
+/// Extract the canonical operation set of a query (union over all blocks).
+pub fn operations(q: &Query) -> BTreeSet<Operation> {
+    let mut ops = BTreeSet::new();
+    for b in &q.blocks {
+        block_operations(b, &mut ops);
+    }
+    ops
+}
+
+fn block_operations(b: &SpjBlock, ops: &mut BTreeSet<Operation>) {
+    let resolve = |alias: &str| -> String {
+        b.table_of_alias(alias).unwrap_or(alias).to_owned()
+    };
+    for c in &b.projection {
+        ops.insert(Operation::Projection {
+            table: resolve(&c.table),
+            column: c.column.clone(),
+        });
+    }
+    for s in &b.selections {
+        let (col, cond) = match s {
+            Selection::Cmp { col, op, lit } => (col, format!("{op} {}", lit.to_sql_literal())),
+            Selection::StartsWith { col, prefix } => (col, format!("LIKE '{prefix}%'")),
+        };
+        ops.insert(Operation::Selection {
+            table: resolve(&col.table),
+            column: col.column.clone(),
+            cond,
+        });
+    }
+    for j in &b.joins {
+        let a = (resolve(&j.left.table), j.left.column.clone());
+        let bb = (resolve(&j.right.table), j.right.column.clone());
+        let (left, right) = if a <= bb { (a, bb) } else { (bb, a) };
+        ops.insert(Operation::Join { left, right });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::parser::parse_query;
+
+    #[test]
+    fn running_example_operation_count() {
+        // q_inf from the paper: 1 projection + 3 joins + 2 selections.
+        let q = parse_query(
+            "SELECT DISTINCT actors.name FROM movies, actors, companies, roles \
+             WHERE movies.title = roles.movie AND actors.name = roles.actor AND \
+             movies.company = companies.name AND companies.country = 'USA' AND \
+             movies.year = 2007",
+        )
+        .unwrap();
+        assert_eq!(operations(&q).len(), 6);
+    }
+
+    #[test]
+    fn join_orientation_does_not_matter() {
+        let a = parse_query("SELECT a.x FROM a, b WHERE a.x = b.y").unwrap();
+        let b = parse_query("SELECT a.x FROM a, b WHERE b.y = a.x").unwrap();
+        assert_eq!(operations(&a), operations(&b));
+    }
+
+    #[test]
+    fn aliases_resolve_to_relations() {
+        let q1 = parse_query("SELECT m.title FROM movies m WHERE m.year = 2007").unwrap();
+        let q2 = parse_query("SELECT movies.title FROM movies WHERE movies.year = 2007").unwrap();
+        assert_eq!(operations(&q1), operations(&q2));
+    }
+
+    #[test]
+    fn distinct_does_not_change_operations() {
+        let q1 = parse_query("SELECT DISTINCT a.x FROM a").unwrap();
+        let q2 = parse_query("SELECT a.x FROM a").unwrap();
+        assert_eq!(operations(&q1), operations(&q2));
+    }
+
+    #[test]
+    fn union_blocks_merge() {
+        let q = parse_query(
+            "SELECT a.x FROM a WHERE a.y = 1 UNION SELECT a.x FROM a WHERE a.y = 2",
+        )
+        .unwrap();
+        // Shared projection + two distinct selections.
+        assert_eq!(operations(&q).len(), 3);
+    }
+
+    #[test]
+    fn selection_conditions_distinguish_operations() {
+        let q1 = parse_query("SELECT a.x FROM a WHERE a.y = 1").unwrap();
+        let q2 = parse_query("SELECT a.x FROM a WHERE a.y = 2").unwrap();
+        let o1 = operations(&q1);
+        let o2 = operations(&q2);
+        assert_eq!(o1.intersection(&o2).count(), 1); // only the projection
+    }
+
+    #[test]
+    fn display_forms() {
+        let q = parse_query("SELECT a.x FROM a, b WHERE a.x = b.y AND a.z LIKE 'B%'").unwrap();
+        let rendered: Vec<String> = operations(&q).iter().map(ToString::to_string).collect();
+        assert!(rendered.iter().any(|s| s.starts_with("Π[")));
+        assert!(rendered.iter().any(|s| s.starts_with("σ[")));
+        assert!(rendered.iter().any(|s| s.starts_with("⋈[")));
+    }
+}

@@ -1,0 +1,298 @@
+//! Tokenizer for the SPJU SQL subset.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Keyword (uppercased): SELECT, DISTINCT, FROM, WHERE, AND, UNION, LIKE, AS.
+    Keyword(String),
+    /// Identifier (table/column name), original case preserved.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+    /// Comparison operator: `=`, `<>`, `<`, `<=`, `>`, `>=`.
+    Op(String),
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Keyword(k) => write!(f, "{k}"),
+            Token::Ident(i) => write!(f, "{i}"),
+            Token::Int(n) => write!(f, "{n}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Semicolon => write!(f, ";"),
+            Token::Op(o) => write!(f, "{o}"),
+        }
+    }
+}
+
+/// A lexing failure: unexpected character or unterminated literal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset in the input where the error occurred.
+    pub offset: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+const KEYWORDS: &[&str] = &[
+    "SELECT", "DISTINCT", "FROM", "WHERE", "AND", "UNION", "LIKE", "AS",
+];
+
+/// Tokenize `input` into a flat token stream.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Op("=".into()));
+                i += 1;
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::Op("<=".into()));
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    tokens.push(Token::Op("<>".into()));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Op("<".into()));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::Op(">=".into()));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Op(">".into()));
+                    i += 1;
+                }
+            }
+            '!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
+                tokens.push(Token::Op("<>".into()));
+                i += 2;
+            }
+            '\'' => {
+                let (s, next) = lex_string(input, i)?;
+                tokens.push(Token::Str(s));
+                i = next;
+            }
+            '-' | '0'..='9' => {
+                let start = i;
+                if c == '-' {
+                    i += 1;
+                    if i >= bytes.len() || !(bytes[i] as char).is_ascii_digit() {
+                        return Err(LexError {
+                            message: "`-` not followed by a digit".into(),
+                            offset: start,
+                        });
+                    }
+                }
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let n = text.parse::<i64>().map_err(|e| LexError {
+                    message: format!("bad integer `{text}`: {e}"),
+                    offset: start,
+                })?;
+                tokens.push(Token::Int(n));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let ch = bytes[i] as char;
+                    if ch.is_ascii_alphanumeric() || ch == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &input[start..i];
+                let upper = word.to_ascii_uppercase();
+                if KEYWORDS.contains(&upper.as_str()) {
+                    tokens.push(Token::Keyword(upper));
+                } else {
+                    tokens.push(Token::Ident(word.to_owned()));
+                }
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character `{other}`"),
+                    offset: i,
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// Lex a single-quoted string starting at byte `start` (which must be `'`).
+/// Returns the unescaped contents and the offset just past the closing quote.
+fn lex_string(input: &str, start: usize) -> Result<(String, usize), LexError> {
+    let bytes = input.as_bytes();
+    let mut out = String::new();
+    let mut i = start + 1;
+    while i < bytes.len() {
+        if bytes[i] == b'\'' {
+            if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                out.push('\'');
+                i += 2;
+            } else {
+                return Ok((out, i + 1));
+            }
+        } else {
+            // Advance over one UTF-8 scalar.
+            let ch_len = utf8_len(bytes[i]);
+            out.push_str(&input[i..i + ch_len]);
+            i += ch_len;
+        }
+    }
+    Err(LexError { message: "unterminated string literal".into(), offset: start })
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lex_simple_query() {
+        let toks = lex("SELECT a.x FROM a WHERE a.y = 3").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Keyword("SELECT".into()),
+                Token::Ident("a".into()),
+                Token::Dot,
+                Token::Ident("x".into()),
+                Token::Keyword("FROM".into()),
+                Token::Ident("a".into()),
+                Token::Keyword("WHERE".into()),
+                Token::Ident("a".into()),
+                Token::Dot,
+                Token::Ident("y".into()),
+                Token::Op("=".into()),
+                Token::Int(3),
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let toks = lex("select Distinct froM").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Keyword("SELECT".into()),
+                Token::Keyword("DISTINCT".into()),
+                Token::Keyword("FROM".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_keep_case() {
+        assert_eq!(lex("MoViEs").unwrap(), vec![Token::Ident("MoViEs".into())]);
+    }
+
+    #[test]
+    fn operators() {
+        let toks = lex("= <> < <= > >= !=").unwrap();
+        let ops: Vec<String> = toks
+            .into_iter()
+            .map(|t| match t {
+                Token::Op(o) => o,
+                other => panic!("expected op, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(ops, vec!["=", "<>", "<", "<=", ">", ">=", "<>"]);
+    }
+
+    #[test]
+    fn string_literals_with_escapes() {
+        assert_eq!(lex("'USA'").unwrap(), vec![Token::Str("USA".into())]);
+        assert_eq!(lex("'O''Hara'").unwrap(), vec![Token::Str("O'Hara".into())]);
+    }
+
+    #[test]
+    fn negative_integers() {
+        assert_eq!(lex("-42").unwrap(), vec![Token::Int(-42)]);
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        let err = lex("'abc").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+        assert_eq!(err.offset, 0);
+    }
+
+    #[test]
+    fn bare_minus_is_error() {
+        assert!(lex("- x").is_err());
+    }
+
+    #[test]
+    fn unexpected_char_is_error() {
+        let err = lex("a @ b").unwrap_err();
+        assert!(err.message.contains('@'));
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(lex("'café'").unwrap(), vec![Token::Str("café".into())]);
+    }
+
+    #[test]
+    fn semicolon_token() {
+        assert_eq!(
+            lex("a;").unwrap(),
+            vec![Token::Ident("a".into()), Token::Semicolon]
+        );
+    }
+}

@@ -1,0 +1,5 @@
+//! SQL front-end for the SPJU subset: lexer, parser and canonical printer.
+
+pub mod lexer;
+pub mod parser;
+pub mod printer;

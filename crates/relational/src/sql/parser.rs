@@ -1,0 +1,415 @@
+//! Recursive-descent parser for the SPJU SQL subset.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! query  := block (UNION block)* [';']
+//! block  := SELECT [DISTINCT] colref (',' colref)*
+//!           FROM tableref (',' tableref)*
+//!           [WHERE cond (AND cond)*]
+//! tableref := ident [[AS] ident]
+//! colref := ident '.' ident
+//! cond   := colref op (colref | literal)
+//!         | colref LIKE 'prefix%'
+//! op     := '=' | '<>' | '<' | '<=' | '>' | '>='
+//! ```
+//!
+//! Conditions comparing two columns with `=` become join conditions; all other
+//! conditions must compare a column to a literal and become selections.
+
+use super::lexer::{lex, LexError, Token};
+use crate::algebra::{CmpOp, ColRef, JoinCond, Query, Selection, SpjBlock, TableRef};
+use crate::value::Value;
+use std::fmt;
+
+/// A parsing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    fn new(message: impl Into<String>) -> Self {
+        ParseError { message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::new(e.to_string())
+    }
+}
+
+/// Parse an SPJU query from SQL text.
+pub fn parse_query(sql: &str) -> Result<Query, ParseError> {
+    let tokens = lex(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut blocks = vec![p.block()?];
+    while p.eat_keyword("UNION") {
+        blocks.push(p.block()?);
+    }
+    p.eat(&Token::Semicolon);
+    if !p.at_end() {
+        return Err(ParseError::new(format!(
+            "trailing input starting at `{}`",
+            p.peek_describe()
+        )));
+    }
+    let arity = blocks[0].projection.len();
+    if blocks.iter().any(|b| b.projection.len() != arity) {
+        return Err(ParseError::new("UNION branches have different arities"));
+    }
+    Ok(Query { blocks })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_describe(&self) -> String {
+        self.peek().map_or_else(|| "<end>".into(), |t| t.to_string())
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Keyword(k)) if k == kw) && {
+            self.pos += 1;
+            true
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(ParseError::new(format!(
+                "expected {kw}, found `{}`",
+                self.peek_describe()
+            )))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.advance() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(ParseError::new(format!(
+                "expected identifier, found `{}`",
+                other.map_or_else(|| "<end>".into(), |t| t.to_string())
+            ))),
+        }
+    }
+
+    fn col_ref(&mut self) -> Result<ColRef, ParseError> {
+        let table = self.expect_ident()?;
+        if !self.eat(&Token::Dot) {
+            return Err(ParseError::new(format!(
+                "expected `.` after `{table}` (column references must be qualified)"
+            )));
+        }
+        let column = self.expect_ident()?;
+        Ok(ColRef { table, column })
+    }
+
+    fn block(&mut self) -> Result<SpjBlock, ParseError> {
+        self.expect_keyword("SELECT")?;
+        let distinct = self.eat_keyword("DISTINCT");
+        let mut projection = vec![self.col_ref()?];
+        while self.eat(&Token::Comma) {
+            projection.push(self.col_ref()?);
+        }
+        self.expect_keyword("FROM")?;
+        let mut tables = vec![self.table_ref()?];
+        while self.eat(&Token::Comma) {
+            tables.push(self.table_ref()?);
+        }
+        for (i, t) in tables.iter().enumerate() {
+            if tables[..i].iter().any(|p| p.alias == t.alias) {
+                return Err(ParseError::new(format!("duplicate table alias `{}`", t.alias)));
+            }
+        }
+        let mut joins = Vec::new();
+        let mut selections = Vec::new();
+        if self.eat_keyword("WHERE") {
+            loop {
+                self.condition(&mut joins, &mut selections)?;
+                if !self.eat_keyword("AND") {
+                    break;
+                }
+            }
+        }
+        let block = SpjBlock { tables, joins, selections, projection, distinct };
+        self.validate_refs(&block)?;
+        Ok(block)
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, ParseError> {
+        let table = self.expect_ident()?;
+        // Optional alias, with or without AS. An identifier directly after a
+        // table name is an alias.
+        if self.eat_keyword("AS") {
+            let alias = self.expect_ident()?;
+            return Ok(TableRef::aliased(table, alias));
+        }
+        if let Some(Token::Ident(_)) = self.peek() {
+            let alias = self.expect_ident()?;
+            return Ok(TableRef::aliased(table, alias));
+        }
+        Ok(TableRef::plain(table))
+    }
+
+    fn condition(
+        &mut self,
+        joins: &mut Vec<JoinCond>,
+        selections: &mut Vec<Selection>,
+    ) -> Result<(), ParseError> {
+        let lhs = self.col_ref()?;
+        if self.eat_keyword("LIKE") {
+            let pat = match self.advance() {
+                Some(Token::Str(s)) => s,
+                other => {
+                    return Err(ParseError::new(format!(
+                        "expected string pattern after LIKE, found `{}`",
+                        other.map_or_else(|| "<end>".into(), |t| t.to_string())
+                    )))
+                }
+            };
+            let prefix = pat.strip_suffix('%').ok_or_else(|| {
+                ParseError::new(format!("only `prefix%` LIKE patterns supported, got `{pat}`"))
+            })?;
+            if prefix.contains('%') || prefix.contains('_') {
+                return Err(ParseError::new(format!(
+                    "only `prefix%` LIKE patterns supported, got `{pat}`"
+                )));
+            }
+            selections.push(Selection::StartsWith { col: lhs, prefix: prefix.to_owned() });
+            return Ok(());
+        }
+        let op = match self.advance() {
+            Some(Token::Op(o)) => parse_op(&o)?,
+            other => {
+                return Err(ParseError::new(format!(
+                    "expected comparison operator, found `{}`",
+                    other.map_or_else(|| "<end>".into(), |t| t.to_string())
+                )))
+            }
+        };
+        match self.peek() {
+            Some(Token::Ident(_)) => {
+                let rhs = self.col_ref()?;
+                if op != CmpOp::Eq {
+                    return Err(ParseError::new(format!(
+                        "column-to-column comparison must use `=`, got `{op}`"
+                    )));
+                }
+                joins.push(JoinCond::new(lhs, rhs));
+            }
+            Some(Token::Int(_)) | Some(Token::Str(_)) => {
+                let lit = match self.advance() {
+                    Some(Token::Int(n)) => Value::Int(n),
+                    Some(Token::Str(s)) => Value::Str(s),
+                    _ => unreachable!("peeked literal"),
+                };
+                selections.push(Selection::Cmp { col: lhs, op, lit });
+            }
+            other => {
+                return Err(ParseError::new(format!(
+                    "expected column or literal after `{op}`, found `{}`",
+                    other.map_or_else(|| "<end>".into(), |t| t.to_string())
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Ensure every column reference in the block resolves to a declared alias.
+    fn validate_refs(&self, block: &SpjBlock) -> Result<(), ParseError> {
+        let check = |c: &ColRef| -> Result<(), ParseError> {
+            if block.table_of_alias(&c.table).is_none() {
+                Err(ParseError::new(format!("unknown table alias `{}` in `{c}`", c.table)))
+            } else {
+                Ok(())
+            }
+        };
+        for c in &block.projection {
+            check(c)?;
+        }
+        for j in &block.joins {
+            check(&j.left)?;
+            check(&j.right)?;
+        }
+        for s in &block.selections {
+            check(s.col())?;
+        }
+        Ok(())
+    }
+}
+
+fn parse_op(o: &str) -> Result<CmpOp, ParseError> {
+    Ok(match o {
+        "=" => CmpOp::Eq,
+        "<>" => CmpOp::Ne,
+        "<" => CmpOp::Lt,
+        "<=" => CmpOp::Le,
+        ">" => CmpOp::Gt,
+        ">=" => CmpOp::Ge,
+        other => return Err(ParseError::new(format!("unknown operator `{other}`"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const Q_INF: &str = "SELECT DISTINCT actors.name \
+        FROM movies, actors, companies, roles \
+        WHERE movies.title = roles.movie AND \
+        actors.name = roles.actor AND \
+        movies.company = companies.name AND \
+        companies.country = 'USA' AND \
+        movies.year = 2007";
+
+    #[test]
+    fn parse_running_example() {
+        let q = parse_query(Q_INF).unwrap();
+        assert_eq!(q.blocks.len(), 1);
+        let b = &q.blocks[0];
+        assert!(b.distinct);
+        assert_eq!(b.tables.len(), 4);
+        assert_eq!(b.joins.len(), 3);
+        assert_eq!(b.selections.len(), 2);
+        assert_eq!(b.projection, vec![ColRef::new("actors", "name")]);
+        assert_eq!(q.join_width(), 4);
+    }
+
+    #[test]
+    fn parse_union() {
+        let q = parse_query(
+            "SELECT a.x FROM a WHERE a.y = 1 UNION SELECT b.x FROM b WHERE b.y > 2",
+        )
+        .unwrap();
+        assert_eq!(q.blocks.len(), 2);
+        assert!(q.is_union());
+        assert!(!q.blocks[0].distinct);
+    }
+
+    #[test]
+    fn union_arity_mismatch_rejected() {
+        let err =
+            parse_query("SELECT a.x FROM a UNION SELECT b.x, b.y FROM b").unwrap_err();
+        assert!(err.message.contains("arities"));
+    }
+
+    #[test]
+    fn parse_aliases() {
+        let q = parse_query(
+            "SELECT m1.title FROM movies m1, movies AS m2 WHERE m1.title = m2.title",
+        )
+        .unwrap();
+        let b = &q.blocks[0];
+        assert_eq!(b.tables[0].alias, "m1");
+        assert_eq!(b.tables[1].alias, "m2");
+        assert_eq!(b.tables[1].table, "movies");
+    }
+
+    #[test]
+    fn duplicate_alias_rejected() {
+        let err = parse_query("SELECT movies.title FROM movies, movies").unwrap_err();
+        assert!(err.message.contains("duplicate table alias"));
+    }
+
+    #[test]
+    fn like_prefix() {
+        let q = parse_query(
+            "SELECT actors.name FROM actors WHERE actors.name LIKE 'B%'",
+        )
+        .unwrap();
+        assert_eq!(
+            q.blocks[0].selections[0],
+            Selection::StartsWith { col: ColRef::new("actors", "name"), prefix: "B".into() }
+        );
+    }
+
+    #[test]
+    fn like_non_prefix_rejected() {
+        assert!(parse_query("SELECT a.x FROM a WHERE a.x LIKE '%B'").is_err());
+        assert!(parse_query("SELECT a.x FROM a WHERE a.x LIKE 'B_c%'").is_err());
+    }
+
+    #[test]
+    fn column_comparisons_other_than_eq_rejected() {
+        let err = parse_query("SELECT a.x FROM a, b WHERE a.x < b.y").unwrap_err();
+        assert!(err.message.contains("must use `=`"));
+    }
+
+    #[test]
+    fn unknown_alias_rejected() {
+        let err = parse_query("SELECT z.x FROM a").unwrap_err();
+        assert!(err.message.contains("unknown table alias"));
+    }
+
+    #[test]
+    fn unqualified_column_rejected() {
+        assert!(parse_query("SELECT x FROM a").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let err = parse_query("SELECT a.x FROM a WHERE a.y = 1 42").unwrap_err();
+        assert!(err.message.contains("trailing input"));
+    }
+
+    #[test]
+    fn semicolon_accepted() {
+        assert!(parse_query("SELECT a.x FROM a;").is_ok());
+    }
+
+    #[test]
+    fn join_conditions_canonicalized() {
+        let q1 = parse_query("SELECT a.x FROM a, b WHERE a.x = b.y").unwrap();
+        let q2 = parse_query("SELECT a.x FROM a, b WHERE b.y = a.x").unwrap();
+        assert_eq!(q1.blocks[0].joins, q2.blocks[0].joins);
+    }
+
+    #[test]
+    fn all_comparison_ops_parse() {
+        for op in ["=", "<>", "<", "<=", ">", ">=", "!="] {
+            let sql = format!("SELECT a.x FROM a WHERE a.y {op} 3");
+            assert!(parse_query(&sql).is_ok(), "op {op} failed");
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Canonical SQL rendering of [`Query`] values.
+//!
+//! The printer emits exactly the dialect the parser accepts, so
+//! `parse(print(q)) == q` for every query the parser can produce (covered by a
+//! property test in the crate root).
+
+use crate::algebra::{Query, SpjBlock};
+
+/// Render a query as canonical SQL text.
+pub fn to_sql(q: &Query) -> String {
+    let mut out = String::new();
+    for (i, b) in q.blocks.iter().enumerate() {
+        if i > 0 {
+            out.push_str(" UNION ");
+        }
+        block_sql(b, &mut out);
+    }
+    out
+}
+
+fn block_sql(b: &SpjBlock, out: &mut String) {
+    out.push_str("SELECT ");
+    if b.distinct {
+        out.push_str("DISTINCT ");
+    }
+    for (i, c) in b.projection.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&c.to_string());
+    }
+    out.push_str(" FROM ");
+    for (i, t) in b.tables.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&t.table);
+        if t.alias != t.table {
+            out.push(' ');
+            out.push_str(&t.alias);
+        }
+    }
+    let conds: Vec<String> = b
+        .joins
+        .iter()
+        .map(ToString::to_string)
+        .chain(b.selections.iter().map(ToString::to_string))
+        .collect();
+    if !conds.is_empty() {
+        out.push_str(" WHERE ");
+        out.push_str(&conds.join(" AND "));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::parser::parse_query;
+
+    #[test]
+    fn print_parse_roundtrip() {
+        let sql = "SELECT DISTINCT actors.name FROM movies, actors, roles \
+                   WHERE actors.name = roles.actor AND movies.title = roles.movie \
+                   AND movies.year = 2007";
+        let q = parse_query(sql).unwrap();
+        let printed = to_sql(&q);
+        let q2 = parse_query(&printed).unwrap();
+        assert_eq!(q, q2);
+    }
+
+    #[test]
+    fn union_roundtrip() {
+        let sql = "SELECT a.x FROM a WHERE a.y = 1 UNION SELECT b.x FROM b";
+        let q = parse_query(sql).unwrap();
+        assert_eq!(parse_query(&to_sql(&q)).unwrap(), q);
+    }
+
+    #[test]
+    fn alias_roundtrip() {
+        let sql = "SELECT m1.title FROM movies m1, movies m2 WHERE m1.title = m2.title";
+        let q = parse_query(sql).unwrap();
+        let printed = to_sql(&q);
+        assert!(printed.contains("movies m1"));
+        assert_eq!(parse_query(&printed).unwrap(), q);
+    }
+
+    #[test]
+    fn no_where_clause() {
+        let q = parse_query("SELECT a.x FROM a").unwrap();
+        assert_eq!(to_sql(&q), "SELECT a.x FROM a");
+    }
+
+    #[test]
+    fn string_literals_escaped() {
+        let q = parse_query("SELECT a.x FROM a WHERE a.n = 'O''Hara'").unwrap();
+        let printed = to_sql(&q);
+        assert!(printed.contains("'O''Hara'"));
+        assert_eq!(parse_query(&printed).unwrap(), q);
+    }
+
+    #[test]
+    fn like_printed() {
+        let q = parse_query("SELECT a.x FROM a WHERE a.x LIKE 'B%'").unwrap();
+        assert!(to_sql(&q).contains("LIKE 'B%'"));
+    }
+}

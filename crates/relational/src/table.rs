@@ -1,0 +1,133 @@
+//! In-memory tables: rows of values, each annotated with its [`FactId`].
+
+use crate::fact::FactId;
+use crate::schema::TableSchema;
+use crate::value::Value;
+use std::fmt;
+
+/// A stored row: its cell values plus the fact annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Row {
+    /// Cell values, positionally matching the table schema.
+    pub values: Vec<Value>,
+    /// Database-wide unique fact identifier of this row.
+    pub fact: FactId,
+}
+
+impl Row {
+    /// Render the row as a comma-separated tuple, e.g. `(Superman, 2007)`.
+    pub fn tuple_string(&self) -> String {
+        let mut s = String::from("(");
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&v.to_string());
+        }
+        s.push(')');
+        s
+    }
+}
+
+impl fmt::Display for Row {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.tuple_string())
+    }
+}
+
+/// An in-memory relation.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// The relation schema.
+    pub schema: TableSchema,
+    /// Stored rows in insertion order.
+    pub rows: Vec<Row>,
+}
+
+impl Table {
+    /// An empty table with the given schema.
+    pub fn new(schema: TableSchema) -> Self {
+        Table { schema, rows: Vec::new() }
+    }
+
+    /// Append a row with a pre-assigned fact id.
+    ///
+    /// # Panics
+    /// Panics if the value arity or types do not match the schema; data is
+    /// only inserted by trusted generators, so a mismatch is a bug.
+    pub fn push(&mut self, values: Vec<Value>, fact: FactId) {
+        assert_eq!(
+            values.len(),
+            self.schema.arity(),
+            "arity mismatch inserting into `{}`",
+            self.schema.name
+        );
+        for (v, c) in values.iter().zip(&self.schema.columns) {
+            assert_eq!(
+                v.col_type(),
+                c.ty,
+                "type mismatch for `{}`.`{}`",
+                self.schema.name,
+                c.name
+            );
+        }
+        self.rows.push(Row { values, fact });
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterate over rows.
+    pub fn iter(&self) -> impl Iterator<Item = &Row> {
+        self.rows.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ColType;
+
+    fn schema() -> TableSchema {
+        TableSchema::new("movies", &[("title", ColType::Str), ("year", ColType::Int)])
+    }
+
+    #[test]
+    fn push_and_read() {
+        let mut t = Table::new(schema());
+        assert!(t.is_empty());
+        t.push(vec!["Superman".into(), 2007.into()], FactId(0));
+        t.push(vec!["Aquaman".into(), 2007.into()], FactId(1));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.rows[0].values[0], Value::from("Superman"));
+        assert_eq!(t.rows[1].fact, FactId(1));
+        assert_eq!(t.iter().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(schema());
+        t.push(vec!["x".into()], FactId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn type_mismatch_panics() {
+        let mut t = Table::new(schema());
+        t.push(vec![2007.into(), "Superman".into()], FactId(0));
+    }
+
+    #[test]
+    fn row_display() {
+        let r = Row { values: vec!["Alice".into(), 45.into()], fact: FactId(3) };
+        assert_eq!(r.to_string(), "(Alice, 45)");
+    }
+}

@@ -1,0 +1,301 @@
+//! Static validation of queries against a catalog.
+//!
+//! The evaluator reports missing tables/columns lazily; this module performs
+//! the full static check up front — existence, comparison type compatibility,
+//! join-key type equality, `LIKE` restricted to string columns — with
+//! structured, user-facing errors. Query generators and API users validate
+//! once instead of paying evaluation to discover a typo.
+
+use crate::algebra::{ColRef, Query, Selection, SpjBlock};
+use crate::schema::Catalog;
+use crate::value::ColType;
+use std::fmt;
+
+/// A static validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// A `FROM` table does not exist in the catalog.
+    UnknownTable {
+        /// The missing relation name.
+        table: String,
+    },
+    /// A column reference does not resolve against its relation.
+    UnknownColumn {
+        /// Relation name (after alias resolution).
+        table: String,
+        /// The missing column.
+        column: String,
+    },
+    /// A column reference uses an alias not bound in the block.
+    UnknownAlias {
+        /// The unbound alias.
+        alias: String,
+    },
+    /// A selection compares a column to a literal of the wrong type.
+    SelectionTypeMismatch {
+        /// The constrained column.
+        col: String,
+        /// The column's type.
+        col_type: ColType,
+        /// The literal's type.
+        lit_type: ColType,
+    },
+    /// `LIKE` applied to a non-string column.
+    LikeOnNonString {
+        /// The constrained column.
+        col: String,
+    },
+    /// An equi-join compares columns of different types.
+    JoinTypeMismatch {
+        /// Left side, rendered.
+        left: String,
+        /// Right side, rendered.
+        right: String,
+    },
+    /// UNION branches project different types at some position.
+    UnionTypeMismatch {
+        /// 0-based projection position.
+        position: usize,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::UnknownTable { table } => write!(f, "unknown table `{table}`"),
+            ValidateError::UnknownColumn { table, column } => {
+                write!(f, "unknown column `{column}` in table `{table}`")
+            }
+            ValidateError::UnknownAlias { alias } => write!(f, "unknown alias `{alias}`"),
+            ValidateError::SelectionTypeMismatch { col, col_type, lit_type } => write!(
+                f,
+                "selection on `{col}` compares {col_type} column to {lit_type} literal"
+            ),
+            ValidateError::LikeOnNonString { col } => {
+                write!(f, "LIKE applied to non-string column `{col}`")
+            }
+            ValidateError::JoinTypeMismatch { left, right } => {
+                write!(f, "join `{left} = {right}` compares different types")
+            }
+            ValidateError::UnionTypeMismatch { position } => {
+                write!(f, "UNION branches disagree on the type of output column {position}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Validate a query against a catalog. Returns all errors found (empty =
+/// valid).
+pub fn validate(catalog: &Catalog, q: &Query) -> Vec<ValidateError> {
+    let mut errors = Vec::new();
+    let mut proj_types: Option<Vec<ColType>> = None;
+    for block in &q.blocks {
+        let types = validate_block(catalog, block, &mut errors);
+        match &proj_types {
+            None => proj_types = Some(types),
+            Some(first) => {
+                for (i, (a, b)) in first.iter().zip(&types).enumerate() {
+                    if a != b {
+                        errors.push(ValidateError::UnionTypeMismatch { position: i });
+                    }
+                }
+            }
+        }
+    }
+    errors
+}
+
+/// Convenience: validate and return `Ok(())` or the first error.
+pub fn validate_strict(catalog: &Catalog, q: &Query) -> Result<(), ValidateError> {
+    match validate(catalog, q).into_iter().next() {
+        None => Ok(()),
+        Some(e) => Err(e),
+    }
+}
+
+/// Resolve the type of a column reference, reporting any failures.
+fn col_type(
+    catalog: &Catalog,
+    block: &SpjBlock,
+    c: &ColRef,
+    errors: &mut Vec<ValidateError>,
+) -> Option<ColType> {
+    let Some(table_name) = block.table_of_alias(&c.table) else {
+        errors.push(ValidateError::UnknownAlias { alias: c.table.clone() });
+        return None;
+    };
+    let Some(schema) = catalog.table(table_name) else {
+        // Reported once per block via the FROM check; avoid duplicates here.
+        return None;
+    };
+    match schema.column(&c.column) {
+        Some(col) => Some(col.ty),
+        None => {
+            errors.push(ValidateError::UnknownColumn {
+                table: table_name.to_owned(),
+                column: c.column.clone(),
+            });
+            None
+        }
+    }
+}
+
+fn validate_block(
+    catalog: &Catalog,
+    block: &SpjBlock,
+    errors: &mut Vec<ValidateError>,
+) -> Vec<ColType> {
+    for t in &block.tables {
+        if catalog.table(&t.table).is_none() {
+            errors.push(ValidateError::UnknownTable { table: t.table.clone() });
+        }
+    }
+    for s in &block.selections {
+        let Some(ct) = col_type(catalog, block, s.col(), errors) else { continue };
+        match s {
+            Selection::Cmp { lit, .. } => {
+                if lit.col_type() != ct {
+                    errors.push(ValidateError::SelectionTypeMismatch {
+                        col: s.col().to_string(),
+                        col_type: ct,
+                        lit_type: lit.col_type(),
+                    });
+                }
+            }
+            Selection::StartsWith { .. } => {
+                if ct != ColType::Str {
+                    errors.push(ValidateError::LikeOnNonString { col: s.col().to_string() });
+                }
+            }
+        }
+    }
+    for j in &block.joins {
+        let lt = col_type(catalog, block, &j.left, errors);
+        let rt = col_type(catalog, block, &j.right, errors);
+        if let (Some(lt), Some(rt)) = (lt, rt) {
+            if lt != rt {
+                errors.push(ValidateError::JoinTypeMismatch {
+                    left: j.left.to_string(),
+                    right: j.right.to_string(),
+                });
+            }
+        }
+    }
+    block
+        .projection
+        .iter()
+        .filter_map(|c| col_type(catalog, block, c, errors))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::TableSchema;
+    use crate::sql::parser::parse_query;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_table(TableSchema::new(
+            "movies",
+            &[("title", ColType::Str), ("year", ColType::Int), ("company", ColType::Str)],
+        ));
+        c.add_table(TableSchema::new(
+            "companies",
+            &[("name", ColType::Str), ("country", ColType::Str)],
+        ));
+        c
+    }
+
+    fn check(sql: &str) -> Vec<ValidateError> {
+        validate(&catalog(), &parse_query(sql).unwrap())
+    }
+
+    #[test]
+    fn valid_query_passes() {
+        let errs = check(
+            "SELECT movies.title FROM movies, companies \
+             WHERE movies.company = companies.name AND movies.year = 2007 \
+             AND companies.country LIKE 'U%'",
+        );
+        assert!(errs.is_empty(), "{errs:?}");
+        assert!(validate_strict(&catalog(), &parse_query("SELECT movies.title FROM movies").unwrap()).is_ok());
+    }
+
+    #[test]
+    fn unknown_table() {
+        let errs = check("SELECT directors.name FROM directors");
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::UnknownTable { table } if table == "directors")));
+    }
+
+    #[test]
+    fn unknown_column() {
+        let errs = check("SELECT movies.budget FROM movies");
+        assert_eq!(
+            errs,
+            vec![ValidateError::UnknownColumn { table: "movies".into(), column: "budget".into() }]
+        );
+    }
+
+    #[test]
+    fn selection_type_mismatch() {
+        let errs = check("SELECT movies.title FROM movies WHERE movies.year = 'abc'");
+        assert!(matches!(errs[0], ValidateError::SelectionTypeMismatch { .. }));
+        let msg = errs[0].to_string();
+        assert!(msg.contains("INT") && msg.contains("TEXT"), "{msg}");
+    }
+
+    #[test]
+    fn like_on_int_column() {
+        let errs = check("SELECT movies.title FROM movies WHERE movies.year LIKE '2%'");
+        assert!(matches!(errs[0], ValidateError::LikeOnNonString { .. }));
+    }
+
+    #[test]
+    fn join_type_mismatch() {
+        let errs = check(
+            "SELECT movies.title FROM movies, companies WHERE movies.year = companies.name",
+        );
+        assert!(matches!(errs[0], ValidateError::JoinTypeMismatch { .. }));
+    }
+
+    #[test]
+    fn union_type_mismatch() {
+        let errs = check(
+            "SELECT movies.title FROM movies UNION SELECT movies.year FROM movies",
+        );
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidateError::UnionTypeMismatch { position: 0 })));
+    }
+
+    #[test]
+    fn multiple_errors_all_reported() {
+        let errs = check(
+            "SELECT movies.budget FROM movies WHERE movies.year = 'x' AND movies.title LIKE 'A%'",
+        );
+        assert!(errs.len() >= 2, "{errs:?}");
+        assert!(validate_strict(
+            &catalog(),
+            &parse_query("SELECT movies.budget FROM movies").unwrap()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn generated_queries_always_validate() {
+        // The dbshap query generator must only produce valid queries — this
+        // is checked there too, but here from the validation side with a
+        // hand-rolled catalog mirror.
+        let q = parse_query(
+            "SELECT companies.country FROM companies WHERE companies.name LIKE 'A%' \
+             UNION SELECT companies.country FROM companies WHERE companies.country = 'USA'",
+        )
+        .unwrap();
+        assert!(validate(&catalog(), &q).is_empty());
+    }
+}

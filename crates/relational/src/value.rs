@@ -1,0 +1,165 @@
+//! Typed scalar values stored in database cells.
+//!
+//! The SPJU fragment used by DBShap only needs integers and strings (dates and
+//! floats in the original datasets are represented as integers / strings by the
+//! generators), so [`Value`] is deliberately small. Values are totally ordered
+//! and hashable so they can serve as join keys and set members.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColType {
+    /// 64-bit signed integer.
+    Int,
+    /// UTF-8 string.
+    Str,
+}
+
+impl fmt::Display for ColType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColType::Int => write!(f, "INT"),
+            ColType::Str => write!(f, "TEXT"),
+        }
+    }
+}
+
+/// A scalar value held in a database cell.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// UTF-8 string.
+    Str(String),
+}
+
+impl Value {
+    /// The [`ColType`] this value inhabits.
+    pub fn col_type(&self) -> ColType {
+        match self {
+            Value::Int(_) => ColType::Int,
+            Value::Str(_) => ColType::Str,
+        }
+    }
+
+    /// Borrow the string contents, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            Value::Int(_) => None,
+        }
+    }
+
+    /// Extract the integer, if this is a [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Render the value as a SQL literal (strings are single-quoted with
+    /// embedded quotes doubled).
+    pub fn to_sql_literal(&self) -> String {
+        match self {
+            Value::Int(i) => i.to_string(),
+            Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// Total order: integers sort before strings; within a type, the natural
+    /// order applies. Cross-type comparisons only arise in malformed queries;
+    /// ordering them deterministically keeps sort-based operators total.
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Int(_), Value::Str(_)) => Ordering::Less,
+            (Value::Str(_), Value::Int(_)) => Ordering::Greater,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn col_type_of_values() {
+        assert_eq!(Value::Int(3).col_type(), ColType::Int);
+        assert_eq!(Value::from("abc").col_type(), ColType::Str);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Int(7).as_str(), None);
+        assert_eq!(Value::from("x").as_str(), Some("x"));
+        assert_eq!(Value::from("x").as_int(), None);
+    }
+
+    #[test]
+    fn ordering_within_types() {
+        assert!(Value::Int(1) < Value::Int(2));
+        assert!(Value::from("a") < Value::from("b"));
+    }
+
+    #[test]
+    fn ordering_across_types_is_total() {
+        assert!(Value::Int(999) < Value::from("a"));
+        assert!(Value::from("a") > Value::Int(999));
+        assert_eq!(Value::Int(5).cmp(&Value::Int(5)), Ordering::Equal);
+    }
+
+    #[test]
+    fn sql_literal_rendering() {
+        assert_eq!(Value::Int(-4).to_sql_literal(), "-4");
+        assert_eq!(Value::from("USA").to_sql_literal(), "'USA'");
+        assert_eq!(Value::from("O'Hara").to_sql_literal(), "'O''Hara'");
+    }
+
+    #[test]
+    fn display_rendering() {
+        assert_eq!(Value::Int(12).to_string(), "12");
+        assert_eq!(Value::from("abc").to_string(), "abc");
+        assert_eq!(ColType::Int.to_string(), "INT");
+        assert_eq!(ColType::Str.to_string(), "TEXT");
+    }
+}

@@ -1,0 +1,178 @@
+//! Property-based tests for the relational substrate: parser/printer
+//! round-trips, monomial algebra laws, and DNF minimization invariants.
+
+use ls_relational::{
+    minimize_dnf, parse_query, to_sql, CmpOp, ColRef, FactId, JoinCond, Monomial, Query,
+    Selection, SpjBlock, TableRef, Value,
+};
+use proptest::prelude::*;
+
+/// Strategy for a lowercase SQL identifier (keywords excluded).
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}".prop_filter("identifier must not be a keyword", |s| {
+        !matches!(
+            s.as_str(),
+            "select" | "distinct" | "from" | "where" | "and" | "union" | "like" | "as"
+        )
+    })
+}
+
+/// Strategy for a literal value.
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i32>().prop_map(|i| Value::Int(i as i64)),
+        "[a-zA-Z0-9 ']{0,8}".prop_map(Value::Str),
+    ]
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+/// A random well-formed SPJ block over 1–3 tables.
+fn spj_block() -> impl Strategy<Value = SpjBlock> {
+    (proptest::collection::vec(ident(), 1..4), any::<bool>()).prop_flat_map(
+        |(mut tables, distinct)| {
+            tables.sort();
+            tables.dedup();
+            let n = tables.len();
+            let trefs: Vec<TableRef> = tables.iter().map(TableRef::plain).collect();
+            let tables2 = tables.clone();
+            let tables3 = tables.clone();
+            let col = move |t: usize| {
+                let tabs = tables2.clone();
+                ident().prop_map(move |c| ColRef::new(tabs[t % tabs.len()].clone(), c))
+            };
+            let proj = proptest::collection::vec(
+                (0..n).prop_flat_map(col.clone()),
+                1..3,
+            );
+            let sels = proptest::collection::vec(
+                ((0..n).prop_flat_map(col.clone()), cmp_op(), value()).prop_map(
+                    |(col, op, lit)| Selection::Cmp { col, op, lit },
+                ),
+                0..3,
+            );
+            let joins = if n < 2 {
+                Just(Vec::new()).boxed()
+            } else {
+                proptest::collection::vec(
+                    (0..n, 0..n, ident(), ident()).prop_filter_map(
+                        "join must connect two distinct tables",
+                        move |(a, b, ca, cb)| {
+                            if a == b {
+                                None
+                            } else {
+                                Some(JoinCond::new(
+                                    ColRef::new(tables3[a].clone(), ca),
+                                    ColRef::new(tables3[b].clone(), cb),
+                                ))
+                            }
+                        },
+                    ),
+                    0..3,
+                )
+                .boxed()
+            };
+            (proj, sels, joins).prop_map(move |(projection, selections, joins)| SpjBlock {
+                tables: trefs.clone(),
+                joins,
+                selections,
+                projection,
+                distinct,
+            })
+        },
+    )
+}
+
+fn fact_set() -> impl Strategy<Value = Monomial> {
+    proptest::collection::vec(0u32..32, 0..8)
+        .prop_map(|v| Monomial::from_facts(v.into_iter().map(FactId).collect()))
+}
+
+proptest! {
+    /// `parse(print(q)) == q` — the printer emits exactly the parser dialect.
+    /// (String literals may contain quotes; escaping must round-trip.)
+    #[test]
+    fn print_parse_roundtrip(block in spj_block()) {
+        let q = Query::single(block);
+        let sql = to_sql(&q);
+        let parsed = parse_query(&sql)
+            .unwrap_or_else(|e| panic!("failed to reparse `{sql}`: {e}"));
+        prop_assert_eq!(parsed, q);
+    }
+
+    /// Union of two blocks with equal arity round-trips too.
+    #[test]
+    fn union_roundtrip(a in spj_block(), b in spj_block()) {
+        let mut b = b;
+        // Make arities match by truncating/padding the second projection.
+        let arity = a.projection.len();
+        while b.projection.len() > arity { b.projection.pop(); }
+        while b.projection.len() < arity {
+            let c = b.projection[0].clone();
+            b.projection.push(c);
+        }
+        let q = Query { blocks: vec![a, b] };
+        let sql = to_sql(&q);
+        let parsed = parse_query(&sql)
+            .unwrap_or_else(|e| panic!("failed to reparse `{sql}`: {e}"));
+        prop_assert_eq!(parsed, q);
+    }
+
+    /// Monomial conjunction is associative, commutative and idempotent.
+    #[test]
+    fn monomial_semilattice(a in fact_set(), b in fact_set(), c in fact_set()) {
+        prop_assert_eq!(a.and(&b), b.and(&a));
+        prop_assert_eq!(a.and(&b).and(&c), a.and(&b.and(&c)));
+        prop_assert_eq!(a.and(&a), a.clone());
+        prop_assert_eq!(a.and(&Monomial::one()), a);
+    }
+
+    /// Subsumption agrees with set inclusion of fact sets.
+    #[test]
+    fn subsumption_is_inclusion(a in fact_set(), b in fact_set()) {
+        let inc = a.facts().iter().all(|f| b.contains(*f));
+        prop_assert_eq!(a.subsumes(&b), inc);
+    }
+
+    /// After minimization no monomial subsumes another, and the minimized DNF
+    /// is logically equivalent to the input on every assignment (checked by
+    /// sampling assignments as subsets of mentioned facts).
+    #[test]
+    fn minimize_dnf_sound(monos in proptest::collection::vec(fact_set(), 0..8), seed in any::<u64>()) {
+        let min = minimize_dnf(monos.clone());
+        for (i, m) in min.iter().enumerate() {
+            for (j, m2) in min.iter().enumerate() {
+                if i != j {
+                    prop_assert!(!m.subsumes(m2), "{m} subsumes {m2} after minimization");
+                }
+            }
+        }
+        // Evaluate both DNFs under pseudo-random assignments.
+        let mut facts: Vec<FactId> = monos.iter().flat_map(|m| m.facts().to_vec()).collect();
+        facts.sort_unstable();
+        facts.dedup();
+        let mut state = seed | 1;
+        for _ in 0..16 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let chosen: Vec<FactId> = facts
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| (state >> (i % 64)) & 1 == 1)
+                .map(|(_, f)| *f)
+                .collect();
+            let sat = |dnf: &[Monomial]| {
+                dnf.iter().any(|m| m.facts().iter().all(|f| chosen.contains(f)))
+            };
+            prop_assert_eq!(sat(&monos), sat(&min));
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Exact Banzhaf values via the same circuit-counting machinery.
+//!
+//! The Banzhaf value of `f` is the fraction of coalitions of the other
+//! players for which `f` is pivotal:
+//!
+//! ```text
+//! Banzhaf(f) = (#Sat₁ − #Sat₀) / 2^(n-1)
+//! ```
+//!
+//! where `#Sat₁` / `#Sat₀` count satisfying subsets of the other `n−1`
+//! players with `f` fixed true / false. Cheaper than Shapley (no per-size
+//! resolution needed) and used as an auxiliary attribution signal in the
+//! ablation benches.
+
+use crate::exact::FactScores;
+use ls_provenance::{compile, CompileOptions, Dnf};
+use ls_relational::FactId;
+
+/// Exact Banzhaf values of every lineage fact.
+pub fn banzhaf_values(provenance: &Dnf) -> FactScores {
+    let players = provenance.variables();
+    let mut out = FactScores::new();
+    if players.is_empty() {
+        return out;
+    }
+    let compiled = compile(provenance, CompileOptions::default());
+    let n = players.len();
+    for &f in &players {
+        let others: Vec<FactId> = players.iter().copied().filter(|&x| x != f).collect();
+        let with = compiled
+            .circuit
+            .count_by_size(compiled.root, &others, Some((f, true)))
+            .into_iter()
+            .fold(ls_provenance::BigNat::zero(), |a, c| a.add(&c));
+        let without = compiled
+            .circuit
+            .count_by_size(compiled.root, &others, Some((f, false)))
+            .into_iter()
+            .fold(ls_provenance::BigNat::zero(), |a, c| a.add(&c));
+        let pivotal = with.sub(&without);
+        let value = if pivotal.is_zero() {
+            0.0
+        } else {
+            (pivotal.ln() - ((n - 1) as f64) * std::f64::consts::LN_2).exp()
+        };
+        out.insert(f, value);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ls_relational::Monomial;
+
+    fn dnf(monos: &[&[u32]]) -> Dnf {
+        Dnf::from_monomials(
+            monos
+                .iter()
+                .map(|ids| Monomial::from_facts(ids.iter().map(|&i| FactId(i)).collect()))
+                .collect(),
+        )
+    }
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn dictator_has_banzhaf_one() {
+        let scores = banzhaf_values(&dnf(&[&[0]]));
+        assert!(close(scores[&FactId(0)], 1.0));
+    }
+
+    #[test]
+    fn and_game() {
+        // φ = a∧b: each pivotal iff the other is present → 1/2.
+        let scores = banzhaf_values(&dnf(&[&[0, 1]]));
+        assert!(close(scores[&FactId(0)], 0.5));
+        assert!(close(scores[&FactId(1)], 0.5));
+    }
+
+    #[test]
+    fn or_game() {
+        // φ = a∨b: pivotal iff the other is absent → 1/2.
+        let scores = banzhaf_values(&dnf(&[&[0], &[1]]));
+        assert!(close(scores[&FactId(0)], 0.5));
+    }
+
+    #[test]
+    fn three_player_majority_like() {
+        // φ = (a∧b) ∨ (a∧c): a pivotal for {b},{c},{b,c} → 3/4;
+        // b pivotal for {a} only → 1/4... wait: b pivotal iff a present and
+        // c absent → coalitions {a} → 1/4. Same for c.
+        let scores = banzhaf_values(&dnf(&[&[0, 1], &[0, 2]]));
+        assert!(close(scores[&FactId(0)], 0.75));
+        assert!(close(scores[&FactId(1)], 0.25));
+        assert!(close(scores[&FactId(2)], 0.25));
+    }
+
+    #[test]
+    fn ranking_agrees_with_shapley_on_paper_example() {
+        let d = dnf(&[&[0, 1, 4, 6], &[0, 2, 4, 7], &[0, 3, 5, 8]]);
+        let banzhaf = banzhaf_values(&d);
+        let shapley = crate::exact::shapley_values(&d);
+        // Both rank c1 (4) above c2 (5) and a1 (0) first.
+        assert!(banzhaf[&FactId(4)] > banzhaf[&FactId(5)]);
+        let top = banzhaf.iter().max_by(|a, b| a.1.total_cmp(b.1)).unwrap().0;
+        assert_eq!(top, &FactId(0));
+        assert!(shapley[&FactId(4)] > shapley[&FactId(5)]);
+    }
+
+    #[test]
+    fn empty_provenance() {
+        assert!(banzhaf_values(&Dnf::fls()).is_empty());
+    }
+}

@@ -1,0 +1,234 @@
+//! Exact Shapley values of facts via decision-DNNF model counting.
+//!
+//! For a query `q`, output tuple `t` with monotone provenance `φ` over the
+//! lineage facts (the *endogenous* players; all other facts are exogenous and
+//! fixed to true inside `φ`'s construction), the Shapley value of fact `f` is
+//!
+//! ```text
+//! Shapley(f) = Σ_{k=0}^{n-1}  k!·(n-k-1)!/n!  ·  (#Sat₁(k) − #Sat₀(k))
+//! ```
+//!
+//! where `#Sat₁(k)` (resp. `#Sat₀(k)`) counts size-`k` subsets `E` of the
+//! other `n−1` players with `φ(E ∪ {f}) = 1` (resp. `φ(E) = 1`). Both counts
+//! come from one compiled circuit, conditioned on `f = 1` / `f = 0` — the
+//! polynomial-time route of Deutch, Frost, Kimelfeld & Monet (the paper's
+//! `[15]`), which this crate reproduces.
+
+use ls_provenance::{compile, BigNat, CompileOptions, Compiled, Dnf};
+use ls_relational::FactId;
+use std::collections::BTreeMap;
+
+/// Shapley (or other attribution) scores per fact.
+pub type FactScores = BTreeMap<FactId, f64>;
+
+/// Exact Shapley values of every lineage fact of `provenance`.
+///
+/// Players are exactly the variables of the provenance (the lineage). Facts
+/// outside the lineage have Shapley value 0 and are not reported — matching
+/// the paper's observation that DBShap stores only positive-contribution
+/// facts.
+pub fn shapley_values(provenance: &Dnf) -> FactScores {
+    shapley_values_opts(provenance, CompileOptions::default())
+}
+
+/// [`shapley_values`] with explicit compiler options (for the ablation
+/// benches).
+pub fn shapley_values_opts(provenance: &Dnf, opts: CompileOptions) -> FactScores {
+    let players = provenance.variables();
+    if players.is_empty() {
+        return FactScores::new();
+    }
+    let compiled = compile(provenance, opts);
+    shapley_values_compiled(&compiled, &players)
+}
+
+/// Exact Shapley values reusing an already-compiled circuit (used when many
+/// facts of the same `(q, t)` pair are scored — the common case).
+///
+/// When the player count is within the u128 fast-path regime, the
+/// unconditioned counting pass is shared across all facts and each
+/// conditioned pass only revisits circuit nodes that mention the fact.
+pub fn shapley_values_compiled(compiled: &Compiled, players: &[FactId]) -> FactScores {
+    let mut out = FactScores::new();
+    if players.is_empty() {
+        return out;
+    }
+    let weights = shapley_weights(players.len());
+    let base = compiled.circuit.count_base(compiled.root, players.len());
+    for &f in players {
+        let others: Vec<FactId> = players.iter().copied().filter(|&x| x != f).collect();
+        let (with, without) = match &base {
+            Some(b) => (
+                compiled
+                    .circuit
+                    .count_by_size_based(compiled.root, &others, (f, true), b),
+                compiled
+                    .circuit
+                    .count_by_size_based(compiled.root, &others, (f, false), b),
+            ),
+            None => (
+                compiled.circuit.count_by_size(compiled.root, &others, Some((f, true))),
+                compiled.circuit.count_by_size(compiled.root, &others, Some((f, false))),
+            ),
+        };
+        out.insert(f, weighted_marginal_sum(&with, &without, &weights));
+    }
+    out
+}
+
+/// The coalition-size weights `w[k] = k!·(n-k-1)!/n!` for `k = 0..n`,
+/// computed in log-space for numerical stability at large `n`.
+pub fn shapley_weights(n: usize) -> Vec<f64> {
+    // ln k! table.
+    let mut ln_fact = vec![0.0f64; n + 1];
+    for k in 1..=n {
+        ln_fact[k] = ln_fact[k - 1] + (k as f64).ln();
+    }
+    (0..n)
+        .map(|k| (ln_fact[k] + ln_fact[n - 1 - k] - ln_fact[n]).exp())
+        .collect()
+}
+
+/// `Σ_k w[k] · (with[k] − without[k])`, with the difference taken in exact
+/// big-integer arithmetic (monotonicity guarantees non-negativity) and the
+/// final product in log-space.
+fn weighted_marginal_sum(with: &[BigNat], without: &[BigNat], weights: &[f64]) -> f64 {
+    let mut acc = 0.0f64;
+    for (k, w) in weights.iter().enumerate() {
+        let d = with[k].sub(&without[k]);
+        if d.is_zero() {
+            continue;
+        }
+        // w is exp(ln w); combine in log-space to survive huge counts.
+        acc += (w.ln() + d.ln()).exp();
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ls_relational::Monomial;
+
+    fn dnf(monos: &[&[u32]]) -> Dnf {
+        Dnf::from_monomials(
+            monos
+                .iter()
+                .map(|ids| Monomial::from_facts(ids.iter().map(|&i| FactId(i)).collect()))
+                .collect(),
+        )
+    }
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn single_fact_gets_everything() {
+        let scores = shapley_values(&dnf(&[&[0]]));
+        assert_eq!(scores.len(), 1);
+        assert!(close(scores[&FactId(0)], 1.0));
+    }
+
+    #[test]
+    fn conjunction_splits_equally() {
+        // φ = a ∧ b: symmetric players, efficiency ⇒ 1/2 each.
+        let scores = shapley_values(&dnf(&[&[0, 1]]));
+        assert!(close(scores[&FactId(0)], 0.5));
+        assert!(close(scores[&FactId(1)], 0.5));
+    }
+
+    #[test]
+    fn disjunction_splits_equally() {
+        // φ = a ∨ b: also symmetric ⇒ 1/2 each.
+        let scores = shapley_values(&dnf(&[&[0], &[1]]));
+        assert!(close(scores[&FactId(0)], 0.5));
+        assert!(close(scores[&FactId(1)], 0.5));
+    }
+
+    #[test]
+    fn paper_example_2_2() {
+        // Prov(D, q_inf, Alice) = (a1∧m1∧c1∧r1) ∨ (a1∧m2∧c1∧r2) ∨ (a1∧m3∧c2∧r3)
+        // with a1=0, m1=1, m2=2, m3=3, c1=4, c2=5, r1=6, r2=7, r3=8.
+        // The paper derives Shapley(c2) = 19/252 ≈ 0.075 and
+        // Shapley(c1) = 10/63 ≈ 0.158.
+        let prov = dnf(&[&[0, 1, 4, 6], &[0, 2, 4, 7], &[0, 3, 5, 8]]);
+        let scores = shapley_values(&prov);
+        assert!(
+            close(scores[&FactId(5)], 19.0 / 252.0),
+            "c2 = {}, want {}",
+            scores[&FactId(5)],
+            19.0 / 252.0
+        );
+        assert!(
+            close(scores[&FactId(4)], 10.0 / 63.0),
+            "c1 = {}, want {}",
+            scores[&FactId(4)],
+            10.0 / 63.0
+        );
+        // c1 participates in two derivations, c2 in one.
+        assert!(scores[&FactId(4)] > scores[&FactId(5)]);
+    }
+
+    #[test]
+    fn efficiency_axiom() {
+        // Σ Shapley = φ(all) − φ(∅) = 1 for a derivable tuple.
+        for d in [
+            dnf(&[&[0, 1], &[1, 2], &[3]]),
+            dnf(&[&[0, 1, 2, 3]]),
+            dnf(&[&[0], &[1], &[2]]),
+            dnf(&[&[0, 1, 4, 6], &[0, 2, 4, 7], &[0, 3, 5, 8]]),
+        ] {
+            let total: f64 = shapley_values(&d).values().sum();
+            assert!(close(total, 1.0), "total = {total} for {d}");
+        }
+    }
+
+    #[test]
+    fn null_player_never_reported() {
+        // Facts outside the lineage are simply not players.
+        let scores = shapley_values(&dnf(&[&[0, 1]]));
+        assert!(!scores.contains_key(&FactId(9)));
+    }
+
+    #[test]
+    fn symmetry_axiom() {
+        // a and b are interchangeable in (a∧c) ∨ (b∧c).
+        let scores = shapley_values(&dnf(&[&[0, 2], &[1, 2]]));
+        assert!(close(scores[&FactId(0)], scores[&FactId(1)]));
+        // And the shared fact c contributes more.
+        assert!(scores[&FactId(2)] > scores[&FactId(0)]);
+    }
+
+    #[test]
+    fn empty_provenance_yields_no_scores() {
+        assert!(shapley_values(&Dnf::fls()).is_empty());
+        assert!(shapley_values(&Dnf::tru()).is_empty());
+    }
+
+    #[test]
+    fn weights_sum_matches_identity() {
+        // Σ_{k} C(n-1,k)·w[k] = 1 (the permutation-position identity).
+        for n in 1..20usize {
+            let w = shapley_weights(n);
+            let mut binom = 1.0f64;
+            let mut total = 0.0;
+            for (k, wk) in w.iter().enumerate() {
+                total += binom * wk;
+                binom = binom * ((n - 1 - k) as f64) / ((k + 1) as f64);
+            }
+            assert!(close(total, 1.0), "n={n}: {total}");
+        }
+    }
+
+    #[test]
+    fn compiled_reuse_matches_fresh() {
+        let d = dnf(&[&[0, 1], &[1, 2], &[2, 3]]);
+        let fresh = shapley_values(&d);
+        let compiled = compile(&d, CompileOptions::default());
+        let reused = shapley_values_compiled(&compiled, &d.variables());
+        for (f, v) in &fresh {
+            assert!(close(*v, reused[f]));
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Brute-force exact Shapley computation — the test oracle.
+//!
+//! Enumerates all `2^(n-1)` coalitions per fact, so it is only usable for
+//! lineages of roughly 20 facts or fewer. The circuit-based implementation in
+//! [`crate::exact`] is property-checked against this one.
+
+use crate::exact::{shapley_weights, FactScores};
+use ls_provenance::Dnf;
+use ls_relational::FactId;
+
+/// Maximum player count the brute-force oracle accepts.
+pub const MAX_BRUTE_FORCE_PLAYERS: usize = 22;
+
+/// Exact Shapley values by coalition enumeration.
+///
+/// # Panics
+/// Panics if the lineage exceeds [`MAX_BRUTE_FORCE_PLAYERS`] facts.
+pub fn shapley_values_bruteforce(provenance: &Dnf) -> FactScores {
+    let players = provenance.variables();
+    let n = players.len();
+    assert!(
+        n <= MAX_BRUTE_FORCE_PLAYERS,
+        "brute force limited to {MAX_BRUTE_FORCE_PLAYERS} players, got {n}"
+    );
+    let mut out = FactScores::new();
+    if n == 0 {
+        return out;
+    }
+    let weights = shapley_weights(n);
+
+    // Precompute satisfaction of every subset once (2^n bits).
+    let total_masks: u64 = 1 << n;
+    let mut sat = vec![false; total_masks as usize];
+    let mut buf: Vec<FactId> = Vec::with_capacity(n);
+    for mask in 0..total_masks {
+        buf.clear();
+        for (i, f) in players.iter().enumerate() {
+            if mask >> i & 1 == 1 {
+                buf.push(*f);
+            }
+        }
+        sat[mask as usize] = provenance.eval_sorted(&buf);
+    }
+
+    for (i, &f) in players.iter().enumerate() {
+        let bit = 1u64 << i;
+        let mut value = 0.0f64;
+        for mask in 0..total_masks {
+            if mask & bit != 0 {
+                continue; // enumerate coalitions E ⊆ players \ {f}
+            }
+            let k = (mask.count_ones()) as usize;
+            let with = sat[(mask | bit) as usize];
+            let without = sat[mask as usize];
+            if with && !without {
+                value += weights[k];
+            }
+            // Monotone provenance: with < without cannot happen.
+            debug_assert!(!without || with, "non-monotone provenance");
+        }
+        out.insert(f, value);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ls_relational::Monomial;
+
+    fn dnf(monos: &[&[u32]]) -> Dnf {
+        Dnf::from_monomials(
+            monos
+                .iter()
+                .map(|ids| Monomial::from_facts(ids.iter().map(|&i| FactId(i)).collect()))
+                .collect(),
+        )
+    }
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn matches_hand_computed_example() {
+        // Paper Example 2.2.
+        let prov = dnf(&[&[0, 1, 4, 6], &[0, 2, 4, 7], &[0, 3, 5, 8]]);
+        let scores = shapley_values_bruteforce(&prov);
+        assert!(close(scores[&FactId(5)], 19.0 / 252.0));
+        assert!(close(scores[&FactId(4)], 10.0 / 63.0));
+    }
+
+    #[test]
+    fn agrees_with_circuit_implementation() {
+        for d in [
+            dnf(&[&[0, 1], &[1, 2], &[3]]),
+            dnf(&[&[0], &[1, 2, 3], &[2, 4]]),
+            dnf(&[&[0, 1, 2]]),
+            dnf(&[&[5, 7], &[5, 8], &[6, 7], &[6, 8]]),
+        ] {
+            let brute = shapley_values_bruteforce(&d);
+            let fast = crate::exact::shapley_values(&d);
+            assert_eq!(brute.len(), fast.len());
+            for (f, v) in &brute {
+                assert!(
+                    close(*v, fast[f]),
+                    "fact {f}: brute {v} vs circuit {} for {d}",
+                    fast[f]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(shapley_values_bruteforce(&Dnf::fls()).is_empty());
+        assert!(shapley_values_bruteforce(&Dnf::tru()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "brute force limited")]
+    fn too_many_players_panics() {
+        let monos: Vec<Vec<u32>> = (0..30u32).map(|i| vec![i]).collect();
+        let refs: Vec<&[u32]> = monos.iter().map(Vec::as_slice).collect();
+        shapley_values_bruteforce(&dnf(&refs));
+    }
+}

@@ -1,0 +1,116 @@
+//! Ranking utilities shared by similarity metrics and evaluation.
+//!
+//! Everything downstream of Shapley computation manipulates *rankings* of
+//! facts by score: the gold ranking from exact values, predicted rankings
+//! from the model, and the per-tuple rankings that rank-based query
+//! similarity compares. This module centralizes the conventions (descending
+//! score order, deterministic tie-breaking by fact id, average-rank vectors
+//! for tie-aware rank correlation).
+
+use crate::exact::FactScores;
+use ls_relational::FactId;
+
+/// Facts ordered by descending score; ties broken by ascending fact id so
+/// rankings are deterministic.
+pub fn rank_descending(scores: &FactScores) -> Vec<FactId> {
+    let mut facts: Vec<(FactId, f64)> = scores.iter().map(|(f, v)| (*f, *v)).collect();
+    facts.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    facts.into_iter().map(|(f, _)| f).collect()
+}
+
+/// Average ("fractional") ranks, 1-based: tied scores share the mean of the
+/// positions they occupy. Returned in the same order as `facts`.
+///
+/// Facts missing from `scores` are treated as score 0 (the paper's convention
+/// for non-contributing facts when ranking over a fact union).
+pub fn average_ranks(facts: &[FactId], scores: &FactScores) -> Vec<f64> {
+    let n = facts.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    let score = |i: usize| scores.get(&facts[i]).copied().unwrap_or(0.0);
+    idx.sort_by(|&a, &b| score(b).total_cmp(&score(a)));
+    let mut ranks = vec![0.0f64; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && score(idx[j + 1]) == score(idx[i]) {
+            j += 1;
+        }
+        // Positions i..=j (0-based) share the average 1-based rank.
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Top-`k` facts of a score map (descending, deterministic ties).
+pub fn top_k(scores: &FactScores, k: usize) -> Vec<FactId> {
+    let mut r = rank_descending(scores);
+    r.truncate(k);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scores(pairs: &[(u32, f64)]) -> FactScores {
+        pairs.iter().map(|&(f, v)| (FactId(f), v)).collect()
+    }
+
+    #[test]
+    fn descending_with_tiebreak() {
+        let s = scores(&[(3, 0.5), (1, 0.5), (2, 0.9)]);
+        assert_eq!(rank_descending(&s), vec![FactId(2), FactId(1), FactId(3)]);
+    }
+
+    #[test]
+    fn average_ranks_without_ties() {
+        let s = scores(&[(0, 0.9), (1, 0.5), (2, 0.1)]);
+        let facts = vec![FactId(0), FactId(1), FactId(2)];
+        assert_eq!(average_ranks(&facts, &s), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn average_ranks_with_ties() {
+        let s = scores(&[(0, 0.5), (1, 0.5), (2, 0.9)]);
+        let facts = vec![FactId(0), FactId(1), FactId(2)];
+        // fact 2 ranks 1; facts 0,1 share ranks 2 and 3 → 2.5 each.
+        assert_eq!(average_ranks(&facts, &s), vec![2.5, 2.5, 1.0]);
+    }
+
+    #[test]
+    fn missing_facts_score_zero() {
+        let s = scores(&[(0, 0.5)]);
+        let facts = vec![FactId(0), FactId(7), FactId(8)];
+        let ranks = average_ranks(&facts, &s);
+        assert_eq!(ranks[0], 1.0);
+        // 7 and 8 tie at zero → average of ranks 2,3.
+        assert_eq!(ranks[1], 2.5);
+        assert_eq!(ranks[2], 2.5);
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let s = scores(&[(0, 0.1), (1, 0.2), (2, 0.3), (3, 0.4)]);
+        assert_eq!(top_k(&s, 2), vec![FactId(3), FactId(2)]);
+        assert_eq!(top_k(&s, 10).len(), 4);
+        assert!(top_k(&s, 0).is_empty());
+    }
+
+    #[test]
+    fn all_tied() {
+        let s = scores(&[(0, 0.5), (1, 0.5)]);
+        let facts = vec![FactId(0), FactId(1)];
+        assert_eq!(average_ranks(&facts, &s), vec![1.5, 1.5]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let s = FactScores::new();
+        assert!(rank_descending(&s).is_empty());
+        assert!(average_ranks(&[], &s).is_empty());
+    }
+}

@@ -1,0 +1,243 @@
+//! Maximum-weight bipartite matching via the Hungarian algorithm.
+//!
+//! Rank-based query similarity aligns the output tuples of two queries by
+//! finding a maximum-weight matching in the complete bipartite graph whose
+//! edge weights are `1 − KendallTauDistance` of the tuples' fact rankings
+//! (the paper's §3.2, computed with the Hungarian algorithm `[23]`).
+//!
+//! The implementation is the `O(n³)` potential-based Kuhn-Munkres algorithm
+//! on a square cost matrix (rectangular inputs are zero-padded); maximum
+//! weight is obtained by negating weights into costs. A greedy variant is
+//! provided as the ablation baseline.
+
+/// A matching: pairs `(row, col)` with strictly positive weight.
+pub type Matching = Vec<(usize, usize)>;
+
+/// Maximum-weight bipartite matching of an `n × m` weight matrix
+/// (`weights[i][j] ≥ 0`). Returns only pairs with weight `> 0` — matching a
+/// tuple to a zero-weight partner is vacuous for similarity purposes.
+///
+/// Among matchings of maximal total weight, the one with the *most* positive
+/// edges is chosen (implemented by a lexicographic weight scaling). This
+/// makes the rank-similarity denominator `n + m − |M|` well-defined and the
+/// metric exactly symmetric.
+pub fn max_weight_matching(weights: &[Vec<f64>]) -> Matching {
+    let n = weights.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let m = weights[0].len();
+    if m == 0 {
+        return Vec::new();
+    }
+    debug_assert!(weights.iter().all(|r| r.len() == m), "ragged weight matrix");
+    let size = n.max(m);
+    // Max-weight → min-cost on a padded square matrix. The `SCALE`/`+1`
+    // encoding makes the objective lexicographic: first maximize total
+    // weight, then the number of positive-weight edges.
+    const SCALE: f64 = 1e9;
+    let mut cost = vec![vec![0.0f64; size]; size];
+    for (i, row) in weights.iter().enumerate() {
+        for (j, &w) in row.iter().enumerate() {
+            debug_assert!(w >= 0.0, "weights must be non-negative");
+            if w > 0.0 {
+                cost[i][j] = -(w * SCALE + 1.0);
+            }
+        }
+    }
+    let assignment = hungarian_min_cost(&cost);
+    let mut out = Vec::new();
+    for (i, j) in assignment.into_iter().enumerate() {
+        if i < n && j < m && weights[i][j] > 0.0 {
+            out.push((i, j));
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Greedy matching baseline: repeatedly pick the heaviest remaining edge.
+pub fn greedy_matching(weights: &[Vec<f64>]) -> Matching {
+    let n = weights.len();
+    let m = if n == 0 { 0 } else { weights[0].len() };
+    let mut edges: Vec<(f64, usize, usize)> = Vec::with_capacity(n * m);
+    for (i, row) in weights.iter().enumerate() {
+        for (j, &w) in row.iter().enumerate() {
+            if w > 0.0 {
+                edges.push((w, i, j));
+            }
+        }
+    }
+    edges.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| (a.1, a.2).cmp(&(b.1, b.2))));
+    let mut used_row = vec![false; n];
+    let mut used_col = vec![false; m];
+    let mut out = Vec::new();
+    for (_, i, j) in edges {
+        if !used_row[i] && !used_col[j] {
+            used_row[i] = true;
+            used_col[j] = true;
+            out.push((i, j));
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Total weight of a matching.
+pub fn matching_weight(weights: &[Vec<f64>], m: &Matching) -> f64 {
+    m.iter().map(|&(i, j)| weights[i][j]).sum()
+}
+
+/// Potential-based Hungarian algorithm for the square min-cost assignment
+/// problem. Returns `assign[row] = col`.
+fn hungarian_min_cost(cost: &[Vec<f64>]) -> Vec<usize> {
+    let n = cost.len();
+    // 1-based arrays as in the classic formulation.
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[col] = row matched to col (0 = none)
+    let mut way = vec![0usize; n + 1];
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![f64::INFINITY; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+    let mut assign = vec![0usize; n];
+    for j in 1..=n {
+        if p[j] > 0 {
+            assign[p[j] - 1] = j - 1;
+        }
+    }
+    assign
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_matrix_matches_diagonal() {
+        let w = vec![
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ];
+        let m = max_weight_matching(&w);
+        assert_eq!(m, vec![(0, 0), (1, 1), (2, 2)]);
+        assert_eq!(matching_weight(&w, &m), 3.0);
+    }
+
+    #[test]
+    fn picks_heavier_cross_assignment() {
+        // Greedy takes (0,0)=0.9 then (1,1)=0.1 → 1.0;
+        // optimal is (0,1)=0.8 + (1,0)=0.8 → 1.6.
+        let w = vec![vec![0.9, 0.8], vec![0.8, 0.1]];
+        let m = max_weight_matching(&w);
+        assert_eq!(m, vec![(0, 1), (1, 0)]);
+        assert!((matching_weight(&w, &m) - 1.6).abs() < 1e-12);
+        let g = greedy_matching(&w);
+        assert!(matching_weight(&w, &g) <= matching_weight(&w, &m));
+    }
+
+    #[test]
+    fn rectangular_matrices() {
+        let w = vec![vec![0.5, 0.9, 0.2]];
+        assert_eq!(max_weight_matching(&w), vec![(0, 1)]);
+        let tall = vec![vec![0.5], vec![0.9], vec![0.2]];
+        assert_eq!(max_weight_matching(&tall), vec![(1, 0)]);
+    }
+
+    #[test]
+    fn zero_weight_edges_excluded() {
+        let w = vec![vec![0.0, 0.0], vec![0.0, 0.7]];
+        let m = max_weight_matching(&w);
+        assert_eq!(m, vec![(1, 1)]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(max_weight_matching(&[]).is_empty());
+        let w: Vec<Vec<f64>> = vec![vec![]];
+        assert!(max_weight_matching(&w).is_empty());
+        assert!(greedy_matching(&[]).is_empty());
+    }
+
+    #[test]
+    fn greedy_is_a_valid_matching() {
+        let w = vec![
+            vec![0.3, 0.6, 0.1],
+            vec![0.6, 0.3, 0.4],
+            vec![0.2, 0.8, 0.5],
+        ];
+        let g = greedy_matching(&w);
+        let mut rows: Vec<usize> = g.iter().map(|&(i, _)| i).collect();
+        let mut cols: Vec<usize> = g.iter().map(|&(_, j)| j).collect();
+        rows.dedup();
+        cols.sort_unstable();
+        cols.dedup();
+        assert_eq!(rows.len(), g.len());
+        assert_eq!(cols.len(), g.len());
+    }
+
+    /// Brute-force optimality check on small matrices.
+    #[test]
+    fn optimal_on_exhaustive_3x3() {
+        let w = vec![
+            vec![0.2, 0.9, 0.4],
+            vec![0.7, 0.3, 0.8],
+            vec![0.5, 0.6, 0.1],
+        ];
+        let m = max_weight_matching(&w);
+        let got = matching_weight(&w, &m);
+        // Enumerate all 6 permutations.
+        let perms = [
+            [0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0],
+        ];
+        let best = perms
+            .iter()
+            .map(|p| (0..3).map(|i| w[i][p[i]]).sum::<f64>())
+            .fold(f64::MIN, f64::max);
+        assert!((got - best).abs() < 1e-12, "got {got}, best {best}");
+    }
+}

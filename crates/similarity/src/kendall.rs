@@ -1,0 +1,119 @@
+//! Tie-aware normalized Kendall tau distance between rankings.
+//!
+//! Rankings are given as average-rank vectors (1-based, fractional on ties —
+//! see [`ls_shapley::average_ranks`]). The distance counts, over all
+//! unordered item pairs:
+//!
+//! * `1`   for a pair ordered strictly oppositely in the two rankings,
+//! * `1/2` for a pair tied in exactly one ranking (the *p = 1/2* penalty of
+//!   Fagin et al.'s Kendall distance with ties),
+//! * `0`   for a concordant pair or a pair tied in both rankings,
+//!
+//! normalized by `C(n, 2)`. The result lies in `[0, 1]`; `0` means identical
+//! rankings, `1` means exact reversal without ties.
+
+/// Tie-aware normalized Kendall tau distance of two average-rank vectors.
+///
+/// # Panics
+/// Panics if the vectors have different lengths.
+pub fn kendall_tau_distance(r1: &[f64], r2: &[f64]) -> f64 {
+    assert_eq!(r1.len(), r2.len(), "rank vectors must align");
+    let n = r1.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut penalty = 0.0f64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let a = r1[i] - r1[j];
+            let b = r2[i] - r2[j];
+            let tied_a = a == 0.0;
+            let tied_b = b == 0.0;
+            penalty += match (tied_a, tied_b) {
+                (true, true) => 0.0,
+                (true, false) | (false, true) => 0.5,
+                (false, false) => {
+                    if (a > 0.0) == (b > 0.0) {
+                        0.0
+                    } else {
+                        1.0
+                    }
+                }
+            };
+        }
+    }
+    penalty / (n * (n - 1) / 2) as f64
+}
+
+/// Kendall tau-style *similarity*: `1 − distance`.
+pub fn kendall_tau_similarity(r1: &[f64], r2: &[f64]) -> f64 {
+    1.0 - kendall_tau_distance(r1, r2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_rankings_have_zero_distance() {
+        let r = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(kendall_tau_distance(&r, &r), 0.0);
+        assert_eq!(kendall_tau_similarity(&r, &r), 1.0);
+    }
+
+    #[test]
+    fn reversed_rankings_have_distance_one() {
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![3.0, 2.0, 1.0];
+        assert_eq!(kendall_tau_distance(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn single_swap() {
+        // Swapping adjacent items flips exactly one of three pairs.
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![2.0, 1.0, 3.0];
+        assert!((kendall_tau_distance(&a, &b) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_in_one_ranking_cost_half() {
+        let a = vec![1.0, 2.0];
+        let b = vec![1.5, 1.5];
+        assert!((kendall_tau_distance(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_in_both_cost_nothing() {
+        let a = vec![1.5, 1.5, 3.0];
+        let b = vec![1.5, 1.5, 3.0];
+        assert_eq!(kendall_tau_distance(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn short_inputs() {
+        assert_eq!(kendall_tau_distance(&[], &[]), 0.0);
+        assert_eq!(kendall_tau_distance(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = vec![1.0, 3.0, 2.0, 4.0];
+        let b = vec![2.0, 1.0, 4.0, 3.0];
+        assert_eq!(kendall_tau_distance(&a, &b), kendall_tau_distance(&b, &a));
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn mismatched_lengths_panic() {
+        kendall_tau_distance(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn distance_is_bounded() {
+        let a = vec![1.0, 2.0, 3.5, 3.5, 5.0];
+        let b = vec![5.0, 3.5, 3.5, 2.0, 1.0];
+        let d = kendall_tau_distance(&a, &b);
+        assert!((0.0..=1.0).contains(&d));
+    }
+}

@@ -1,0 +1,46 @@
+//! # ls-similarity
+//!
+//! The three query-similarity metrics LearnShapley pre-trains on:
+//!
+//! * **syntax-based** (`sim_s`) — Jaccard similarity of operation sets;
+//! * **witness-based** (`sim_w`) — Jaccard similarity of result sets;
+//! * **rank-based** (`sim_r`) — the paper's novel metric: output tuples of
+//!   the two queries are aligned by a Hungarian maximum-weight matching whose
+//!   edge weights compare per-tuple fact rankings with a tie-aware normalized
+//!   Kendall tau distance.
+//!
+//! Plus [`SimilarityMatrix`] for the pairwise statistics of Table 2/Figure 7.
+//!
+//! ```
+//! use ls_relational::parse_query;
+//! use ls_similarity::syntax_similarity;
+//!
+//! // Example 2.3 of the paper: sim_s(q_inf, q_1) = 5/8.
+//! let q_inf = parse_query(
+//!     "SELECT DISTINCT actors.name FROM movies, actors, companies, roles \
+//!      WHERE movies.title = roles.movie AND actors.name = roles.actor AND \
+//!      movies.company = companies.name AND companies.country = 'USA' AND \
+//!      movies.year = 2007").unwrap();
+//! let q1 = parse_query(
+//!     "SELECT DISTINCT movies.title FROM movies, actors, companies, roles \
+//!      WHERE movies.title = roles.movie AND actors.name = roles.actor AND \
+//!      movies.company = companies.name AND companies.country = 'USA' AND \
+//!      movies.year = 2007 AND actors.name = 'Alice'").unwrap();
+//! assert!((syntax_similarity(&q_inf, &q1) - 5.0 / 8.0).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod hungarian;
+pub mod kendall;
+pub mod matrix;
+pub mod rank;
+pub mod syntax;
+pub mod witness;
+
+pub use hungarian::{greedy_matching, matching_weight, max_weight_matching, Matching};
+pub use kendall::{kendall_tau_distance, kendall_tau_similarity};
+pub use matrix::SimilarityMatrix;
+pub use rank::{rank_based_similarity, Matcher, RankSimOptions, UniverseMode};
+pub use syntax::{jaccard, syntax_similarity, syntax_similarity_ops};
+pub use witness::{witness_set, witness_similarity, witness_similarity_sets};

@@ -1,0 +1,172 @@
+//! Pairwise similarity matrices over a query log and split-level statistics
+//! (the inputs to the paper's Table 2 and Figure 7 heatmaps).
+
+/// A symmetric pairwise similarity matrix over `n` queries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimilarityMatrix {
+    n: usize,
+    /// Row-major `n × n` values; diagonal is the self-similarity.
+    values: Vec<f64>,
+}
+
+impl SimilarityMatrix {
+    /// Build from a symmetric pairwise function (evaluated once per
+    /// unordered pair; the diagonal uses `diag`).
+    pub fn build(n: usize, diag: f64, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut values = vec![0.0; n * n];
+        for i in 0..n {
+            values[i * n + i] = diag;
+            for j in (i + 1)..n {
+                let v = f(i, j);
+                values[i * n + j] = v;
+                values[j * n + i] = v;
+            }
+        }
+        SimilarityMatrix { n, values }
+    }
+
+    /// Matrix dimension.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The similarity of queries `i` and `j`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.values[i * self.n + j]
+    }
+
+    /// Mean similarity between two index groups, excluding self-pairs.
+    /// Used for the "train-train / train-dev / train-test" averages of
+    /// Table 2.
+    pub fn group_mean(&self, a: &[usize], b: &[usize]) -> f64 {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for &i in a {
+            for &j in b {
+                if i == j {
+                    continue;
+                }
+                total += self.get(i, j);
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f64
+        }
+    }
+
+    /// Mean over all off-diagonal entries.
+    pub fn mean_offdiag(&self) -> f64 {
+        let idx: Vec<usize> = (0..self.n).collect();
+        self.group_mean(&idx, &idx)
+    }
+
+    /// Render as CSV (one row per line, `%.4f`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{:.4}", self.get(i, j)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as a coarse ASCII heatmap (for terminal inspection of the
+    /// Figure 7 orthogonality structure). Buckets: ` .:-=+*#%@` for 0..1.
+    pub fn to_ascii_heatmap(&self) -> String {
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        let mut out = String::with_capacity(self.n * (self.n + 1));
+        for i in 0..self.n {
+            for j in 0..self.n {
+                let v = self.get(i, j).clamp(0.0, 1.0);
+                let idx = ((v * (RAMP.len() - 1) as f64).round() as usize).min(RAMP.len() - 1);
+                out.push(RAMP[idx] as char);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SimilarityMatrix {
+        // sim(i, j) = 1 / (1 + |i-j|)
+        SimilarityMatrix::build(4, 1.0, |i, j| 1.0 / (1.0 + (i as f64 - j as f64).abs()))
+    }
+
+    #[test]
+    fn symmetric_and_diagonal() {
+        let m = sample();
+        assert_eq!(m.len(), 4);
+        for i in 0..4 {
+            assert_eq!(m.get(i, i), 1.0);
+            for j in 0..4 {
+                assert_eq!(m.get(i, j), m.get(j, i));
+            }
+        }
+        assert_eq!(m.get(0, 1), 0.5);
+    }
+
+    #[test]
+    fn group_mean_excludes_self_pairs() {
+        let m = sample();
+        let train = vec![0, 1];
+        let test = vec![2, 3];
+        let tt = m.group_mean(&train, &train);
+        // Pairs (0,1) and (1,0), both 0.5.
+        assert!((tt - 0.5).abs() < 1e-12);
+        let cross = m.group_mean(&train, &test);
+        // (0,2)=1/3, (0,3)=1/4, (1,2)=1/2, (1,3)=1/3.
+        let expected = (1.0 / 3.0 + 0.25 + 0.5 + 1.0 / 3.0) / 4.0;
+        assert!((cross - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_groups_yield_zero() {
+        let m = sample();
+        assert_eq!(m.group_mean(&[], &[1, 2]), 0.0);
+        assert_eq!(m.group_mean(&[0], &[0]), 0.0);
+    }
+
+    #[test]
+    fn csv_shape() {
+        let m = sample();
+        let csv = m.to_csv();
+        assert_eq!(csv.lines().count(), 4);
+        assert!(csv.lines().all(|l| l.split(',').count() == 4));
+        assert!(csv.starts_with("1.0000,0.5000"));
+    }
+
+    #[test]
+    fn ascii_heatmap_shape() {
+        let m = sample();
+        let art = m.to_ascii_heatmap();
+        assert_eq!(art.lines().count(), 4);
+        // Diagonal is the hottest glyph.
+        assert_eq!(art.lines().next().unwrap().chars().next().unwrap(), '@');
+    }
+
+    #[test]
+    fn mean_offdiag() {
+        let m = SimilarityMatrix::build(2, 1.0, |_, _| 0.25);
+        assert!((m.mean_offdiag() - 0.25).abs() < 1e-12);
+        let empty = SimilarityMatrix::build(0, 1.0, |_, _| 0.0);
+        assert!(empty.is_empty());
+        assert_eq!(empty.mean_offdiag(), 0.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Syntax-based query similarity: Jaccard similarity of operation sets.
+//!
+//! Follows the paper's §2.3 (after `[24]`): a query is the set of its
+//! projection/selection/join operations and
+//! `sim_s(q, q') = |ops(q) ∩ ops(q')| / |ops(q) ∪ ops(q')|`.
+
+use ls_relational::{operations, Operation, Query};
+use std::collections::BTreeSet;
+
+/// Jaccard similarity of two operation sets.
+pub fn jaccard<T: Ord>(a: &BTreeSet<T>, b: &BTreeSet<T>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count();
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Syntax-based similarity of two queries.
+pub fn syntax_similarity(q1: &Query, q2: &Query) -> f64 {
+    syntax_similarity_ops(&operations(q1), &operations(q2))
+}
+
+/// Syntax-based similarity from precomputed operation sets (avoids
+/// re-extracting when comparing one query against a whole log).
+pub fn syntax_similarity_ops(a: &BTreeSet<Operation>, b: &BTreeSet<Operation>) -> f64 {
+    jaccard(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ls_relational::parse_query;
+
+    #[test]
+    fn paper_example_2_3() {
+        // sim_s(q_inf, q_1) = 5/8: q_inf has 6 operations, q_1 has 7, they
+        // share 5 (all joins + both shared selections).
+        let q_inf = parse_query(
+            "SELECT DISTINCT actors.name FROM movies, actors, companies, roles \
+             WHERE movies.title = roles.movie AND actors.name = roles.actor AND \
+             movies.company = companies.name AND companies.country = 'USA' AND \
+             movies.year = 2007",
+        )
+        .unwrap();
+        let q_1 = parse_query(
+            "SELECT DISTINCT movies.title FROM movies, actors, companies, roles \
+             WHERE movies.title = roles.movie AND actors.name = roles.actor AND \
+             movies.company = companies.name AND companies.country = 'USA' AND \
+             movies.year = 2007 AND actors.name = 'Alice'",
+        )
+        .unwrap();
+        let sim = syntax_similarity(&q_inf, &q_1);
+        assert!((sim - 5.0 / 8.0).abs() < 1e-12, "got {sim}");
+    }
+
+    #[test]
+    fn identical_queries_have_similarity_one() {
+        let q = parse_query("SELECT a.x FROM a WHERE a.y = 1").unwrap();
+        assert_eq!(syntax_similarity(&q, &q), 1.0);
+    }
+
+    #[test]
+    fn disjoint_queries_have_similarity_zero() {
+        let q1 = parse_query("SELECT a.x FROM a WHERE a.y = 1").unwrap();
+        let q2 = parse_query("SELECT b.z FROM b WHERE b.w = 2").unwrap();
+        assert_eq!(syntax_similarity(&q1, &q2), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let q1 = parse_query("SELECT a.x FROM a, b WHERE a.x = b.y AND a.z = 3").unwrap();
+        let q2 = parse_query("SELECT a.x FROM a, b WHERE a.x = b.y").unwrap();
+        assert_eq!(syntax_similarity(&q1, &q2), syntax_similarity(&q2, &q1));
+        // q2's operations ⊂ q1's: 2 shared of 3 total.
+        assert!((syntax_similarity(&q1, &q2) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_of_empty_sets_is_one() {
+        let a: BTreeSet<u32> = BTreeSet::new();
+        let b: BTreeSet<u32> = BTreeSet::new();
+        assert_eq!(jaccard(&a, &b), 1.0);
+        assert_eq!(jaccard(&a, &[1u32].into_iter().collect()), 0.0);
+    }
+}

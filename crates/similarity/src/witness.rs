@@ -1,0 +1,95 @@
+//! Witness-based query similarity: Jaccard similarity of result sets.
+//!
+//! Per §2.3 of the paper (after `[6]`), `witnesses(q) = q(D)` and
+//! `sim_w(q, q') = |q(D) ∩ q'(D)| / |q(D) ∪ q'(D)|`. Queries with different
+//! projections share no witnesses and score 0 — the blind spot that
+//! rank-based similarity was designed to cover.
+
+use ls_relational::{QueryResult, Value};
+use std::collections::BTreeSet;
+
+/// The witness set of a query result: its output tuples as value vectors.
+pub fn witness_set(result: &QueryResult) -> BTreeSet<Vec<Value>> {
+    result.tuples.iter().map(|t| t.values.clone()).collect()
+}
+
+/// Witness-based similarity of two query results.
+pub fn witness_similarity(a: &QueryResult, b: &QueryResult) -> f64 {
+    witness_similarity_sets(&witness_set(a), &witness_set(b))
+}
+
+/// Witness-based similarity from precomputed witness sets.
+pub fn witness_similarity_sets(a: &BTreeSet<Vec<Value>>, b: &BTreeSet<Vec<Value>>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        // Two empty results tell us nothing about each other; the paper's
+        // convention (sparse signal) is a zero score rather than 1.
+        return 0.0;
+    }
+    let inter = a.intersection(b).count();
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ls_relational::{evaluate, parse_query, ColType, Database, TableSchema};
+
+    fn movie_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(TableSchema::new(
+            "movies",
+            &[("title", ColType::Str), ("year", ColType::Int)],
+        ));
+        db.insert("movies", vec!["Superman".into(), 2007.into()]);
+        db.insert("movies", vec!["Aquaman".into(), 2006.into()]);
+        db.insert("movies", vec!["Batman".into(), 2007.into()]);
+        db
+    }
+
+    fn run(db: &Database, sql: &str) -> QueryResult {
+        evaluate(db, &parse_query(sql).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn overlapping_results() {
+        let db = movie_db();
+        let a = run(&db, "SELECT movies.title FROM movies WHERE movies.year = 2007");
+        let b = run(&db, "SELECT movies.title FROM movies WHERE movies.title = 'Superman'");
+        // a = {Superman, Batman}, b = {Superman} → 1/2.
+        assert!((witness_similarity(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_results_score_one() {
+        let db = movie_db();
+        let a = run(&db, "SELECT movies.title FROM movies WHERE movies.year = 2007");
+        let b = run(&db, "SELECT movies.title FROM movies WHERE movies.year >= 2007");
+        assert_eq!(witness_similarity(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn different_projections_score_zero() {
+        let db = movie_db();
+        let a = run(&db, "SELECT movies.title FROM movies");
+        let b = run(&db, "SELECT movies.year FROM movies");
+        assert_eq!(witness_similarity(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn empty_results_score_zero() {
+        let db = movie_db();
+        let a = run(&db, "SELECT movies.title FROM movies WHERE movies.year = 1900");
+        let b = run(&db, "SELECT movies.title FROM movies WHERE movies.year = 1901");
+        assert_eq!(witness_similarity(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let db = movie_db();
+        let a = run(&db, "SELECT movies.title FROM movies WHERE movies.year = 2007");
+        let b = run(&db, "SELECT movies.title FROM movies");
+        assert_eq!(witness_similarity(&a, &b), witness_similarity(&b, &a));
+        assert!((witness_similarity(&a, &b) - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

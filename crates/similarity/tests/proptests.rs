@@ -1,0 +1,118 @@
+//! Property tests for the similarity metrics: metric axioms (range,
+//! symmetry, identity), Hungarian optimality against brute force, and
+//! Kendall-distance triangle-style sanity.
+
+use ls_relational::FactId;
+use ls_shapley::{average_ranks, FactScores};
+use ls_similarity::{
+    greedy_matching, kendall_tau_distance, matching_weight, max_weight_matching,
+    rank_based_similarity, RankSimOptions,
+};
+use proptest::prelude::*;
+
+fn rank_vec() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0u8..5, 2..8).prop_map(|scores| {
+        // Convert scores to average ranks over a synthetic fact set.
+        let facts: Vec<FactId> = (0..scores.len() as u32).map(FactId).collect();
+        let map: FactScores = facts
+            .iter()
+            .zip(&scores)
+            .map(|(f, &s)| (*f, s as f64))
+            .collect();
+        average_ranks(&facts, &map)
+    })
+}
+
+fn weight_matrix() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (1usize..5, 1usize..5).prop_flat_map(|(n, m)| {
+        proptest::collection::vec(
+            proptest::collection::vec((0u8..100).prop_map(|v| v as f64 / 100.0), m..=m),
+            n..=n,
+        )
+    })
+}
+
+fn scores_list() -> impl Strategy<Value = Vec<FactScores>> {
+    proptest::collection::vec(
+        proptest::collection::btree_map(0u32..12, 1u8..100, 1..5).prop_map(|m| {
+            m.into_iter()
+                .map(|(f, v)| (FactId(f), v as f64 / 100.0))
+                .collect::<FactScores>()
+        }),
+        1..4,
+    )
+}
+
+/// Brute-force the maximum-weight matching by enumerating all injective
+/// partial assignments (matrices are ≤ 4×4 here).
+fn brute_best(weights: &[Vec<f64>]) -> f64 {
+    fn rec(weights: &[Vec<f64>], row: usize, used: &mut Vec<bool>) -> f64 {
+        if row == weights.len() {
+            return 0.0;
+        }
+        // Option: leave this row unmatched.
+        let mut best = rec(weights, row + 1, used);
+        for j in 0..weights[0].len() {
+            if !used[j] {
+                used[j] = true;
+                let v = weights[row][j] + rec(weights, row + 1, used);
+                used[j] = false;
+                if v > best {
+                    best = v;
+                }
+            }
+        }
+        best
+    }
+    let mut used = vec![false; weights[0].len()];
+    rec(weights, 0, &mut used)
+}
+
+proptest! {
+    /// Kendall distance is a bounded symmetric function that vanishes on
+    /// identical inputs.
+    #[test]
+    fn kendall_axioms(a in rank_vec()) {
+        prop_assert_eq!(kendall_tau_distance(&a, &a), 0.0);
+        let rev: Vec<f64> = a.iter().map(|r| (a.len() + 1) as f64 - r).collect();
+        let d = kendall_tau_distance(&a, &rev);
+        prop_assert!((0.0..=1.0).contains(&d));
+        prop_assert_eq!(d, kendall_tau_distance(&rev, &a));
+    }
+
+    /// Hungarian matching achieves the brute-force optimum.
+    #[test]
+    fn hungarian_is_optimal(w in weight_matrix()) {
+        let m = max_weight_matching(&w);
+        let got = matching_weight(&w, &m);
+        let best = brute_best(&w);
+        prop_assert!((got - best).abs() < 1e-9, "got {}, best {}", got, best);
+        // And it is a valid matching.
+        let mut rows: Vec<_> = m.iter().map(|&(i, _)| i).collect();
+        let mut cols: Vec<_> = m.iter().map(|&(_, j)| j).collect();
+        rows.sort_unstable(); rows.dedup();
+        cols.sort_unstable(); cols.dedup();
+        prop_assert_eq!(rows.len(), m.len());
+        prop_assert_eq!(cols.len(), m.len());
+    }
+
+    /// Greedy never beats Hungarian.
+    #[test]
+    fn greedy_bounded_by_hungarian(w in weight_matrix()) {
+        let h = matching_weight(&w, &max_weight_matching(&w));
+        let g = matching_weight(&w, &greedy_matching(&w));
+        prop_assert!(g <= h + 1e-9);
+    }
+
+    /// Rank-based similarity is symmetric, bounded, and 1 on self-comparison.
+    #[test]
+    fn rank_similarity_axioms(a in scores_list(), b in scores_list()) {
+        let opts = RankSimOptions::default();
+        let ab = rank_based_similarity(&a, &b, &opts);
+        let ba = rank_based_similarity(&b, &a, &opts);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&ab));
+        let aa = rank_based_similarity(&a, &a, &opts);
+        prop_assert!((aa - 1.0).abs() < 1e-9, "self-similarity = {}", aa);
+    }
+}

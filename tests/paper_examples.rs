@@ -1,0 +1,187 @@
+//! Integration tests pinning the paper's worked examples across crates:
+//! Figure 1/2 (database + queries), Example 2.2 (exact Shapley values),
+//! Example 2.3 (syntax similarity 5/8), Example 2.4 (witness similarity),
+//! and the §3.2 rank-similarity behaviour on projection-swapped queries.
+
+use learnshapley::prelude::*;
+
+/// The Figure-1 database (as used in the running examples).
+fn figure1_db() -> Database {
+    let mut db = Database::new();
+    db.create_table(TableSchema::new(
+        "movies",
+        &[("title", ColType::Str), ("year", ColType::Int), ("company", ColType::Str)],
+    ));
+    db.create_table(TableSchema::new(
+        "actors",
+        &[("name", ColType::Str), ("age", ColType::Int)],
+    ));
+    db.create_table(TableSchema::new(
+        "companies",
+        &[("name", ColType::Str), ("country", ColType::Str)],
+    ));
+    db.create_table(TableSchema::new(
+        "roles",
+        &[("actor", ColType::Str), ("movie", ColType::Str)],
+    ));
+    for (t, y, c) in [
+        ("Superman", 2007, "Universal"),
+        ("Batman", 2007, "Universal"),
+        ("Spiderman", 2007, "Warner"),
+        ("Aquaman", 2006, "Warner"),
+    ] {
+        db.insert("movies", vec![t.into(), i64::from(y).into(), c.into()]);
+    }
+    for (n, a) in [("Alice", 45), ("Bob", 30), ("Carol", 38), ("David", 23)] {
+        db.insert("actors", vec![n.into(), i64::from(a).into()]);
+    }
+    for (n, c) in [("Universal", "USA"), ("Warner", "USA"), ("Sony", "Japan")] {
+        db.insert("companies", vec![n.into(), c.into()]);
+    }
+    for (a, m) in [
+        ("Alice", "Superman"),
+        ("Alice", "Batman"),
+        ("Alice", "Spiderman"),
+        ("Bob", "Batman"),
+        ("Carol", "Aquaman"),
+        ("David", "Spiderman"),
+    ] {
+        db.insert("roles", vec![a.into(), m.into()]);
+    }
+    db
+}
+
+const Q_INF: &str = "SELECT DISTINCT actors.name \
+    FROM movies, actors, companies, roles \
+    WHERE movies.title = roles.movie AND actors.name = roles.actor AND \
+    movies.company = companies.name AND companies.country = 'USA' AND \
+    movies.year = 2007";
+
+const Q_1: &str = "SELECT DISTINCT movies.title \
+    FROM movies, actors, companies, roles \
+    WHERE movies.title = roles.movie AND actors.name = roles.actor AND \
+    movies.company = companies.name AND companies.country = 'USA' AND \
+    movies.year = 2007 AND actors.name = 'Alice'";
+
+/// q3 of Figure 3: same computation as q_inf, different projection.
+const Q_3: &str = "SELECT DISTINCT actors.age \
+    FROM movies, actors, companies, roles \
+    WHERE movies.title = roles.movie AND actors.name = roles.actor AND \
+    movies.company = companies.name AND companies.country = 'USA' AND \
+    movies.year = 2007";
+
+#[test]
+fn example_1_1_query_answers() {
+    let db = figure1_db();
+    let q = parse_query(Q_INF).unwrap();
+    let res = evaluate(&db, &q).unwrap();
+    let names: Vec<String> = res.tuples.iter().map(|t| t.values[0].to_string()).collect();
+    assert_eq!(names, vec!["Alice", "Bob", "David"]);
+}
+
+#[test]
+fn example_2_1_provenance_and_lineage() {
+    let db = figure1_db();
+    let q = parse_query(Q_INF).unwrap();
+    let res = evaluate(&db, &q).unwrap();
+    let alice = res.tuple(&[Value::from("Alice")]).unwrap();
+    assert_eq!(alice.derivations.len(), 3, "three derivations for Alice");
+    assert!(alice.derivations.iter().all(|m| m.len() == 4));
+    assert_eq!(alice.lineage().len(), 9, "Lineage(D, q_inf, Alice) has 9 facts");
+}
+
+#[test]
+fn example_2_2_exact_shapley_values() {
+    let db = figure1_db();
+    let q = parse_query(Q_INF).unwrap();
+    let res = evaluate(&db, &q).unwrap();
+    let alice = res.tuple(&[Value::from("Alice")]).unwrap();
+    let scores = shapley_values(&Dnf::of_tuple(alice));
+
+    let fact_of = |table: &str, key: &str| -> FactId {
+        db.table(table)
+            .unwrap()
+            .iter()
+            .find(|r| r.values[0].as_str() == Some(key))
+            .unwrap()
+            .fact
+    };
+    let c1 = scores[&fact_of("companies", "Universal")];
+    let c2 = scores[&fact_of("companies", "Warner")];
+    assert!((c1 - 10.0 / 63.0).abs() < 1e-9, "Shapley(c1) = {c1}");
+    assert!((c2 - 19.0 / 252.0).abs() < 1e-9, "Shapley(c2) = {c2}");
+    // Efficiency over the lineage.
+    let total: f64 = scores.values().sum();
+    assert!((total - 1.0).abs() < 1e-9);
+    // The brute-force oracle and the sampling estimator concur.
+    let brute = ls_shapley::shapley_values_bruteforce(&Dnf::of_tuple(alice));
+    for (f, v) in &scores {
+        assert!((brute[f] - v).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn example_2_3_syntax_similarity() {
+    let q_inf = parse_query(Q_INF).unwrap();
+    let q_1 = parse_query(Q_1).unwrap();
+    let sim = syntax_similarity(&q_inf, &q_1);
+    assert!((sim - 5.0 / 8.0).abs() < 1e-12, "sim_s(q_inf, q1) = {sim}, want 5/8");
+}
+
+#[test]
+fn example_2_4_witness_similarity() {
+    let db = figure1_db();
+    let q_inf = parse_query(Q_INF).unwrap();
+    let q_1 = parse_query(Q_1).unwrap();
+    let r_inf = evaluate(&db, &q_inf).unwrap();
+    let r_1 = evaluate(&db, &q_1).unwrap();
+    // Different projections ⇒ no shared witnesses.
+    assert_eq!(witness_similarity(&r_inf, &r_1), 0.0);
+}
+
+#[test]
+fn example_3_1_rank_similarity_sees_through_projection_swap() {
+    let db = figure1_db();
+    let q_inf = parse_query(Q_INF).unwrap();
+    let q_3 = parse_query(Q_3).unwrap();
+    let r_inf = evaluate(&db, &q_inf).unwrap();
+    let r_3 = evaluate(&db, &q_3).unwrap();
+
+    // Witness similarity is blind to the relationship…
+    assert_eq!(witness_similarity(&r_inf, &r_3), 0.0);
+
+    // …but the per-tuple fact rankings are identical (ages are a bijection
+    // of actor names here), so rank-based similarity is perfect.
+    let scores = |r: &learnshapley::relational::QueryResult| -> Vec<FactScores> {
+        r.tuples.iter().map(|t| shapley_values(&Dnf::of_tuple(t))).collect()
+    };
+    let sim = rank_based_similarity(&scores(&r_inf), &scores(&r_3), &RankSimOptions::default());
+    assert!((sim - 1.0).abs() < 1e-9, "sim_r(q_inf, q3) = {sim}, want 1.0");
+
+    // And it is far above the similarity to an unrelated query.
+    let q_other =
+        parse_query("SELECT DISTINCT movies.title FROM movies WHERE movies.year = 2006").unwrap();
+    let r_other = evaluate(&db, &q_other).unwrap();
+    let sim_other =
+        rank_based_similarity(&scores(&r_inf), &scores(&r_other), &RankSimOptions::default());
+    assert!(sim > sim_other);
+}
+
+#[test]
+fn cnf_proxy_preserves_headline_comparison() {
+    // §6: the inexact CNF Proxy should still rank c1 above c2 for Alice.
+    let db = figure1_db();
+    let q = parse_query(Q_INF).unwrap();
+    let res = evaluate(&db, &q).unwrap();
+    let alice = res.tuple(&[Value::from("Alice")]).unwrap();
+    let proxy = cnf_proxy_scores(&Dnf::of_tuple(alice));
+    let fact_of = |key: &str| -> FactId {
+        db.table("companies")
+            .unwrap()
+            .iter()
+            .find(|r| r.values[0].as_str() == Some(key))
+            .unwrap()
+            .fact
+    };
+    assert!(proxy[&fact_of("Universal")] > proxy[&fact_of("Warner")]);
+}
