@@ -9,7 +9,10 @@ use ls_relational::{evaluate, parse_query};
 use std::hint::black_box;
 
 const QUERIES: &[(&str, &str)] = &[
-    ("width1", "SELECT movies.title FROM movies WHERE movies.year >= 2007"),
+    (
+        "width1",
+        "SELECT movies.title FROM movies WHERE movies.year >= 2007",
+    ),
     (
         "width2",
         "SELECT movies.title FROM movies, companies \

@@ -29,15 +29,15 @@ fn bench_inference(c: &mut Criterion) {
     let tuple = &q.result.tuples[tr.tuple_idx];
     let lineage: Vec<_> = tr.shapley.keys().copied().collect();
 
-    let mut trained = train_learnshapley(
-        &ds,
-        Some(&ms),
-        &train,
-        &scale.pipeline(EncoderKind::Base),
-    );
+    let mut trained =
+        train_learnshapley(&ds, Some(&ms), &train, &scale.pipeline(EncoderKind::Base));
     let nq_syntax = NearestQueries::fit(&ds, &train, NqMetric::Syntax, 3);
     let nq_witness = NearestQueries::fit(&ds, &train, NqMetric::Witness, 3);
-    let probe = QueryProbe { query: &q.query, result: &q.result, tuple_scores: None };
+    let probe = QueryProbe {
+        query: &q.query,
+        result: &q.result,
+        tuple_scores: None,
+    };
     let prov = Dnf::of_tuple(tuple);
 
     let mut g = c.benchmark_group("inference_per_pair");
@@ -61,7 +61,9 @@ fn bench_inference(c: &mut Criterion) {
     g.bench_function("nearest_queries_witness", |b| {
         b.iter(|| black_box(nq_witness.predict(&probe, &lineage)))
     });
-    g.bench_function("exact_shapley", |b| b.iter(|| black_box(shapley_values(&prov))));
+    g.bench_function("exact_shapley", |b| {
+        b.iter(|| black_box(shapley_values(&prov)))
+    });
     g.finish();
 }
 

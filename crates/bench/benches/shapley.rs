@@ -53,7 +53,9 @@ fn bench_methods(c: &mut Criterion) {
 
 fn bench_compiler(c: &mut Criterion) {
     let provs = provenance_buckets();
-    let Some((_, prov)) = provs.last() else { return };
+    let Some((_, prov)) = provs.last() else {
+        return;
+    };
     let mut g = c.benchmark_group("compiler_ablation");
     g.sample_size(20);
     g.bench_function("default", |b| {
@@ -63,7 +65,10 @@ fn bench_compiler(c: &mut Criterion) {
         b.iter(|| {
             black_box(compile(
                 prov,
-                CompileOptions { var_order: VarOrder::Lexicographic, ..Default::default() },
+                CompileOptions {
+                    var_order: VarOrder::Lexicographic,
+                    ..Default::default()
+                },
             ))
         })
     });
@@ -71,7 +76,10 @@ fn bench_compiler(c: &mut Criterion) {
         b.iter(|| {
             black_box(compile(
                 prov,
-                CompileOptions { disable_factoring: true, ..Default::default() },
+                CompileOptions {
+                    disable_factoring: true,
+                    ..Default::default()
+                },
             ))
         })
     });
@@ -79,7 +87,10 @@ fn bench_compiler(c: &mut Criterion) {
         b.iter(|| {
             black_box(compile(
                 prov,
-                CompileOptions { disable_or_decomposition: true, ..Default::default() },
+                CompileOptions {
+                    disable_or_decomposition: true,
+                    ..Default::default()
+                },
             ))
         })
     });

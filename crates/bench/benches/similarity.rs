@@ -35,7 +35,11 @@ fn bench_metrics(c: &mut Criterion) {
     });
     g.bench_function("rank", |b| {
         b.iter(|| {
-            black_box(rank_based_similarity(&scores0, &scores1, &RankSimOptions::default()))
+            black_box(rank_based_similarity(
+                &scores0,
+                &scores1,
+                &RankSimOptions::default(),
+            ))
         })
     });
     g.finish();
@@ -53,8 +57,9 @@ fn bench_kernels(c: &mut Criterion) {
         });
     }
     for n in [4usize, 16, 48] {
-        let w: Vec<Vec<f64>> =
-            (0..n).map(|_| (0..n).map(|_| rng.gen_range(0.0..1.0)).collect()).collect();
+        let w: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..n).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .collect();
         g.bench_with_input(BenchmarkId::new("hungarian", n), &w, |b, w| {
             b.iter(|| black_box(max_weight_matching(w)))
         });
@@ -79,7 +84,9 @@ fn bench_kernels(c: &mut Criterion) {
         g.bench_with_input(
             BenchmarkId::new("rank_similarity_tuples", tuples),
             &(a, b2),
-            |b, (x, y)| b.iter(|| black_box(rank_based_similarity(x, y, &RankSimOptions::default()))),
+            |b, (x, y)| {
+                b.iter(|| black_box(rank_based_similarity(x, y, &RankSimOptions::default())))
+            },
         );
     }
     g.finish();

@@ -28,7 +28,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let out_value = out_arg_value(&args);
-    let out_dir = out_value.clone().map(PathBuf::from).unwrap_or_else(|| PathBuf::from("results"));
+    let out_dir = out_value
+        .clone()
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"));
     let command = args
         .iter()
         .find(|a| !a.starts_with("--") && Some(a.as_str()) != out_value.as_deref())
@@ -42,6 +45,17 @@ fn main() {
         scale.queries_per_db,
         out_dir.display()
     );
+
+    // Machine-readable telemetry rides along with the CSVs: every run writes
+    // span and metrics records to <out>/telemetry.jsonl (an explicit
+    // LS_OBS_JSONL target wins).
+    let _ = std::fs::create_dir_all(&out_dir);
+    if std::env::var_os("LS_OBS_JSONL").is_none() {
+        let path = out_dir.join("telemetry.jsonl");
+        if let Err(e) = ls_obs::init_jsonl(&path.to_string_lossy()) {
+            eprintln!("warning: cannot open {}: {e}", path.display());
+        }
+    }
 
     let run_all = command == "all";
     let started = Instant::now();
@@ -57,7 +71,10 @@ fn main() {
     // Datasets are built lazily: statistics tables need both, most analysis
     // figures need Academic (as in the paper), Table 3 needs both.
     let need_imdb = run_all
-        || matches!(command.as_str(), "table1" | "table2" | "fig7" | "table3" | "ablations");
+        || matches!(
+            command.as_str(),
+            "table1" | "table2" | "fig7" | "table3" | "ablations"
+        );
     let imdb = need_imdb.then(|| {
         eprintln!("# building IMDB dataset…");
         scale.imdb_dataset()
@@ -75,7 +92,10 @@ fn main() {
             eprintln!("# similarity matrices for {}…", ds.db_name);
             let ms = ls_bench::matrices(ds);
             if run_all || command == "table2" {
-                emit(ls_bench::table2(ds, &ms), &format!("table2_{}", ds.db_name.to_lowercase()));
+                emit(
+                    ls_bench::table2(ds, &ms),
+                    &format!("table2_{}", ds.db_name.to_lowercase()),
+                );
             }
             if run_all || command == "fig7" {
                 emit(
@@ -85,9 +105,11 @@ fn main() {
                 // Raw matrices as CSV + a terminal heatmap.
                 let dir = out_dir.join("fig7");
                 let _ = std::fs::create_dir_all(&dir);
-                for (name, m) in
-                    [("syntax", &ms.syntax), ("witness", &ms.witness), ("rank", &ms.rank)]
-                {
+                for (name, m) in [
+                    ("syntax", &ms.syntax),
+                    ("witness", &ms.witness),
+                    ("rank", &ms.rank),
+                ] {
                     let path = dir.join(format!("{}_{name}.csv", ds.db_name.to_lowercase()));
                     let _ = std::fs::write(&path, m.to_csv());
                     println!("-- {} / {name} similarity heatmap --", ds.db_name);
@@ -149,7 +171,10 @@ fn main() {
     }
     if run_all || command == "ext-negatives" {
         eprintln!("# Extension: negative-sample fine-tuning (trains 2 models)…");
-        emit(ls_bench::extension_negatives(&academic, &scale), "ext_negatives");
+        emit(
+            ls_bench::extension_negatives(&academic, &scale),
+            "ext_negatives",
+        );
     }
     if run_all || command == "ext-crossschema" {
         eprintln!("# Extension: cross-schema transfer (trains 2 models)…");
@@ -170,9 +195,15 @@ fn main() {
         eprintln!("unknown command `{command}` — see the doc comment for usage");
         std::process::exit(2);
     }
+    // Final metrics snapshot into the JSONL sink (plus a stderr summary when
+    // LS_OBS=summary or higher).
+    ls_obs::report();
     eprintln!("# done: {emitted} tables in {:?}", started.elapsed());
 }
 
 fn out_arg_value(args: &[String]) -> Option<String> {
-    args.iter().position(|a| a == "--out").and_then(|i| args.get(i + 1)).cloned()
+    args.iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }

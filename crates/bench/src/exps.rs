@@ -13,14 +13,36 @@ use ls_core::{
     EncoderKind, NqMetric, PretrainObjectives, Trained,
 };
 use ls_dbshap::{
-    nested_train_subsets, split_similarity_row, table1 as ds_table1,
-    unseen_fact_fraction, Dataset, SimilarityMatrices, Split, SWEEP_FRACTIONS,
+    nested_train_subsets, split_similarity_row, table1 as ds_table1, unseen_fact_fraction, Dataset,
+    SimilarityMatrices, Split, SWEEP_FRACTIONS,
 };
 use ls_provenance::{compile, CompileOptions, Dnf, VarOrder};
 use ls_shapley::{
     cnf_proxy_scores, rank_descending, shapley_values, shapley_values_sampled, FactScores,
 };
-use std::time::Instant;
+use std::time::Duration;
+
+/// The harness reads its timing columns back from the shared ls-obs
+/// histograms, so recording must be on even when `LS_OBS` is unset.
+fn ensure_recording() {
+    if ls_obs::level() < ls_obs::Level::Summary {
+        ls_obs::set_level(ls_obs::Level::Summary);
+    }
+}
+
+/// Histogram handle scoped to one experiment: recording is forced on and any
+/// samples from earlier experiments in the same process are cleared.
+fn scoped_hist(name: &'static str) -> &'static ls_obs::Histogram {
+    ensure_recording();
+    let h = ls_obs::histogram(name);
+    h.reset();
+    h
+}
+
+/// Seconds (from histogram stats) back to a printable `Duration`.
+fn secs(s: f64) -> Duration {
+    Duration::from_secs_f64(s.max(0.0))
+}
 
 /// Per-(query, tuple) evaluation of one trained model on a query set.
 #[derive(Debug, Clone)]
@@ -122,7 +144,13 @@ pub fn table2(ds: &Dataset, ms: &SimilarityMatrices) -> TextTable {
 pub fn fig7_summary(ds: &Dataset, ms: &SimilarityMatrices) -> TextTable {
     let mut t = TextTable::new(
         format!("Figure 7 — similarity-matrix structure ({})", ds.db_name),
-        &["metric", "mean", "frac > 0.1", "frac > 0.5", "orthogonality vs syntax"],
+        &[
+            "metric",
+            "mean",
+            "frac > 0.1",
+            "frac > 0.5",
+            "orthogonality vs syntax",
+        ],
     );
     let frac = |m: &ls_similarity::SimilarityMatrix, thr: f64| {
         let n = m.len();
@@ -178,7 +206,13 @@ pub fn table3(ds: &Dataset, scale: &Scale) -> TextTable {
         &["method", "NDCG@10", "p@1", "p@3", "p@5"],
     );
     for m in table3_methods(ds, scale) {
-        t.row(vec![m.name, f3(m.summary.ndcg10), f3(m.summary.p1), f3(m.summary.p3), f3(m.summary.p5)]);
+        t.row(vec![
+            m.name,
+            f3(m.summary.ndcg10),
+            f3(m.summary.p1),
+            f3(m.summary.p3),
+            f3(m.summary.p5),
+        ]);
     }
     t
 }
@@ -186,13 +220,62 @@ pub fn table3(ds: &Dataset, scale: &Scale) -> TextTable {
 /// Table 4 — pre-training similarity-combination ablation (Academic).
 pub fn table4(ds: &Dataset, scale: &Scale) -> TextTable {
     let combos: [(&str, PretrainObjectives); 7] = [
-        ("witness & syntax & rank (full)", PretrainObjectives { rank: true, witness: true, syntax: true }),
-        ("witness & rank (w/o syntax)", PretrainObjectives { rank: true, witness: true, syntax: false }),
-        ("syntax & rank (w/o witness)", PretrainObjectives { rank: true, witness: false, syntax: true }),
-        ("witness & syntax (w/o rank)", PretrainObjectives { rank: false, witness: true, syntax: true }),
-        ("syntax only", PretrainObjectives { rank: false, witness: false, syntax: true }),
-        ("witness only", PretrainObjectives { rank: false, witness: true, syntax: false }),
-        ("rank only", PretrainObjectives { rank: true, witness: false, syntax: false }),
+        (
+            "witness & syntax & rank (full)",
+            PretrainObjectives {
+                rank: true,
+                witness: true,
+                syntax: true,
+            },
+        ),
+        (
+            "witness & rank (w/o syntax)",
+            PretrainObjectives {
+                rank: true,
+                witness: true,
+                syntax: false,
+            },
+        ),
+        (
+            "syntax & rank (w/o witness)",
+            PretrainObjectives {
+                rank: true,
+                witness: false,
+                syntax: true,
+            },
+        ),
+        (
+            "witness & syntax (w/o rank)",
+            PretrainObjectives {
+                rank: false,
+                witness: true,
+                syntax: true,
+            },
+        ),
+        (
+            "syntax only",
+            PretrainObjectives {
+                rank: false,
+                witness: false,
+                syntax: true,
+            },
+        ),
+        (
+            "witness only",
+            PretrainObjectives {
+                rank: false,
+                witness: true,
+                syntax: false,
+            },
+        ),
+        (
+            "rank only",
+            PretrainObjectives {
+                rank: true,
+                witness: false,
+                syntax: false,
+            },
+        ),
     ];
     let train = ds.split_indices(Split::Train);
     let test = ds.split_indices(Split::Test);
@@ -205,7 +288,13 @@ pub fn table4(ds: &Dataset, scale: &Scale) -> TextTable {
         let mut cfg = scale.pipeline(EncoderKind::Base);
         cfg.pretrain = Some(obj);
         let (_, s) = train_and_eval(ds, Some(&ms), &train, &test, &cfg);
-        t.row(vec![label.into(), f3(s.ndcg10), f3(s.p1), f3(s.p3), f3(s.p5)]);
+        t.row(vec![
+            label.into(),
+            f3(s.ndcg10),
+            f3(s.p1),
+            f3(s.p3),
+            f3(s.p5),
+        ]);
     }
     t
 }
@@ -216,8 +305,13 @@ pub fn table5(ds: &Dataset, scale: &Scale) -> TextTable {
     let train = ds.split_indices(Split::Train);
     let test = ds.split_indices(Split::Test);
     let ms = matrices(ds);
-    let (mut trained, _) =
-        train_and_eval(ds, Some(&ms), &train, &test, &scale.pipeline(EncoderKind::Base));
+    let (mut trained, _) = train_and_eval(
+        ds,
+        Some(&ms),
+        &train,
+        &test,
+        &scale.pipeline(EncoderKind::Base),
+    );
     let seen = ds.facts_in_split(Split::Train);
 
     // Pick the test tuple with the best mix: has unseen facts, small enough
@@ -244,7 +338,11 @@ pub fn table5(ds: &Dataset, scale: &Scale) -> TextTable {
                 (pred_pos + 1).to_string(),
                 (gold_pos + 1).to_string(),
                 short,
-                if seen.contains(f) { "".into() } else { "UNSEEN".into() },
+                if seen.contains(f) {
+                    "".into()
+                } else {
+                    "UNSEEN".into()
+                },
             ]);
         }
     }
@@ -256,88 +354,99 @@ pub fn table6(ds: &Dataset, scale: &Scale) -> TextTable {
     let train = ds.split_indices(Split::Train);
     let test = ds.split_indices(Split::Test);
     let ms = matrices(ds);
-    let (mut base, _) =
-        train_and_eval(ds, Some(&ms), &train, &test, &scale.pipeline(EncoderKind::Base));
-    let (mut large, _) =
-        train_and_eval(ds, Some(&ms), &train, &test, &scale.pipeline(EncoderKind::Large));
+    let (mut base, _) = train_and_eval(
+        ds,
+        Some(&ms),
+        &train,
+        &test,
+        &scale.pipeline(EncoderKind::Base),
+    );
+    let (mut large, _) = train_and_eval(
+        ds,
+        Some(&ms),
+        &train,
+        &test,
+        &scale.pipeline(EncoderKind::Large),
+    );
     let nq_syntax = ls_core::NearestQueries::fit(ds, &train, NqMetric::Syntax, NQ_NEIGHBORS);
     let nq_witness = ls_core::NearestQueries::fit(ds, &train, NqMetric::Witness, NQ_NEIGHBORS);
 
-    #[derive(Default)]
-    struct Acc {
-        total: std::time::Duration,
-        max: std::time::Duration,
-        n: u32,
+    // Per-pair latencies land in scoped ls-obs histograms — the same
+    // measurement path the engine's own telemetry uses.
+    const K_BASE: &str = "bench.table6.learnshapley_base";
+    const K_LARGE: &str = "bench.table6.learnshapley_large";
+    const K_SYNTAX: &str = "bench.table6.nq_syntax";
+    const K_WITNESS: &str = "bench.table6.nq_witness";
+    const K_EXACT: &str = "bench.table6.exact_shapley";
+    const K_PROXY: &str = "bench.table6.cnf_proxy";
+    for k in [K_BASE, K_LARGE, K_SYNTAX, K_WITNESS, K_EXACT, K_PROXY] {
+        scoped_hist(k);
     }
-    impl Acc {
-        fn push(&mut self, d: std::time::Duration) {
-            self.total += d;
-            self.max = self.max.max(d);
-            self.n += 1;
-        }
-        fn avg(&self) -> std::time::Duration {
-            if self.n == 0 {
-                std::time::Duration::ZERO
-            } else {
-                self.total / self.n
-            }
-        }
-    }
-    let mut acc_base = Acc::default();
-    let mut acc_large = Acc::default();
-    let mut acc_syntax = Acc::default();
-    let mut acc_witness = Acc::default();
-    let mut acc_exact = Acc::default();
-    let mut acc_proxy = Acc::default();
 
     for &qi in &test {
         let q = &ds.queries[qi];
-        let probe = ls_core::QueryProbe { query: &q.query, result: &q.result, tuple_scores: None };
+        let probe = ls_core::QueryProbe {
+            query: &q.query,
+            result: &q.result,
+            tuple_scores: None,
+        };
         for t in &q.tuples {
             let tuple = &q.result.tuples[t.tuple_idx];
             let lineage: Vec<_> = t.shapley.keys().copied().collect();
             let max_len = base.model.encoder.config.max_len;
 
-            let s = Instant::now();
-            let _ = predict_scores(&mut base.model, &base.tokenizer, &ds.db, &q.sql, tuple, &lineage, max_len);
-            acc_base.push(s.elapsed());
-
-            let s = Instant::now();
-            let _ = predict_scores(&mut large.model, &large.tokenizer, &ds.db, &q.sql, tuple, &lineage, max_len);
-            acc_large.push(s.elapsed());
-
-            let s = Instant::now();
-            let _ = nq_syntax.predict(&probe, &lineage);
-            acc_syntax.push(s.elapsed());
-
-            let s = Instant::now();
-            let _ = nq_witness.predict(&probe, &lineage);
-            acc_witness.push(s.elapsed());
+            let _ = ls_obs::time(K_BASE, || {
+                predict_scores(
+                    &mut base.model,
+                    &base.tokenizer,
+                    &ds.db,
+                    &q.sql,
+                    tuple,
+                    &lineage,
+                    max_len,
+                )
+            });
+            let _ = ls_obs::time(K_LARGE, || {
+                predict_scores(
+                    &mut large.model,
+                    &large.tokenizer,
+                    &ds.db,
+                    &q.sql,
+                    tuple,
+                    &lineage,
+                    max_len,
+                )
+            });
+            let _ = ls_obs::time(K_SYNTAX, || nq_syntax.predict(&probe, &lineage));
+            let _ = ls_obs::time(K_WITNESS, || nq_witness.predict(&probe, &lineage));
 
             let prov = Dnf::of_tuple(tuple);
-            let s = Instant::now();
-            let _ = shapley_values(&prov);
-            acc_exact.push(s.elapsed());
-
-            let s = Instant::now();
-            let _ = cnf_proxy_scores(&prov);
-            acc_proxy.push(s.elapsed());
+            let _ = ls_obs::time(K_EXACT, || shapley_values(&prov));
+            let _ = ls_obs::time(K_PROXY, || cnf_proxy_scores(&prov));
         }
     }
 
     let mut t = TextTable::new(
-        format!("Table 6 — inference time per (query, tuple) ({})", ds.db_name),
+        format!(
+            "Table 6 — inference time per (query, tuple) ({})",
+            ds.db_name
+        ),
         &["method", "avg", "max"],
     );
-    for (name, acc) in [
-        ("NearestQueries-witness", &acc_witness),
-        ("NearestQueries-syntax", &acc_syntax),
-        ("LearnShapley-base", &acc_base),
-        ("LearnShapley-large", &acc_large),
-        ("exact Shapley (knowledge compilation)", &acc_exact),
-        ("CNF Proxy (inexact)", &acc_proxy),
+    for (name, key) in [
+        ("NearestQueries-witness", K_WITNESS),
+        ("NearestQueries-syntax", K_SYNTAX),
+        ("LearnShapley-base", K_BASE),
+        ("LearnShapley-large", K_LARGE),
+        ("exact Shapley (knowledge compilation)", K_EXACT),
+        ("CNF Proxy (inexact)", K_PROXY),
     ] {
-        t.row(vec![name.into(), crate::report::dur(acc.avg()), crate::report::dur(acc.max)]);
+        let st = ls_obs::histogram(key).stats();
+        t.row(vec![
+            name.into(),
+            crate::report::dur(secs(st.mean)),
+            crate::report::dur(secs(st.max)),
+        ]);
     }
     t
 }
@@ -347,8 +456,13 @@ pub fn fig9(ds: &Dataset, scale: &Scale) -> (TextTable, TextTable) {
     let train = ds.split_indices(Split::Train);
     let test = ds.split_indices(Split::Test);
     let ms = matrices(ds);
-    let (mut trained, _) =
-        train_and_eval(ds, Some(&ms), &train, &test, &scale.pipeline(EncoderKind::Base));
+    let (mut trained, _) = train_and_eval(
+        ds,
+        Some(&ms),
+        &train,
+        &test,
+        &scale.pipeline(EncoderKind::Base),
+    );
     let pairs = per_pair_eval(&mut trained, ds, &test);
 
     // 9a: bins over lineage size + linear trendline slope.
@@ -366,7 +480,11 @@ pub fn fig9(ds: &Dataset, scale: &Scale) -> (TextTable, TextTable) {
         if vals.is_empty() {
             continue;
         }
-        let label = if hi == usize::MAX { format!("{lo}+") } else { format!("{lo}-{hi}") };
+        let label = if hi == usize::MAX {
+            format!("{lo}+")
+        } else {
+            format!("{lo}-{hi}")
+        };
         t9a.row(vec![
             label,
             vals.len().to_string(),
@@ -375,7 +493,11 @@ pub fn fig9(ds: &Dataset, scale: &Scale) -> (TextTable, TextTable) {
     }
     let xs: Vec<f64> = pairs.iter().map(|p| p.lineage_len as f64).collect();
     let ys: Vec<f64> = pairs.iter().map(|p| p.ndcg10).collect();
-    t9a.row(vec!["trendline slope".into(), pairs.len().to_string(), f4(linear_slope(&xs, &ys))]);
+    t9a.row(vec![
+        "trendline slope".into(),
+        pairs.len().to_string(),
+        f4(linear_slope(&xs, &ys)),
+    ]);
 
     // 9b: group by join width.
     let mut t9b = TextTable::new(
@@ -384,8 +506,11 @@ pub fn fig9(ds: &Dataset, scale: &Scale) -> (TextTable, TextTable) {
     );
     let max_w = pairs.iter().map(|p| p.join_width).max().unwrap_or(0);
     for w in 1..=max_w {
-        let vals: Vec<f64> =
-            pairs.iter().filter(|p| p.join_width == w).map(|p| p.ndcg10).collect();
+        let vals: Vec<f64> = pairs
+            .iter()
+            .filter(|p| p.join_width == w)
+            .map(|p| p.ndcg10)
+            .collect();
         if vals.is_empty() {
             continue;
         }
@@ -396,7 +521,11 @@ pub fn fig9(ds: &Dataset, scale: &Scale) -> (TextTable, TextTable) {
         ]);
     }
     let xs: Vec<f64> = pairs.iter().map(|p| p.join_width as f64).collect();
-    t9b.row(vec!["pearson r".into(), pairs.len().to_string(), f4(pearson(&xs, &ys))]);
+    t9b.row(vec![
+        "pearson r".into(),
+        pairs.len().to_string(),
+        f4(pearson(&xs, &ys)),
+    ]);
     (t9a, t9b)
 }
 
@@ -406,12 +535,20 @@ pub fn fig10(ds: &Dataset, scale: &Scale) -> TextTable {
     let train = ds.split_indices(Split::Train);
     let test = ds.split_indices(Split::Test);
     let ms = matrices(ds);
-    let (mut trained, _) =
-        train_and_eval(ds, Some(&ms), &train, &test, &scale.pipeline(EncoderKind::Base));
+    let (mut trained, _) = train_and_eval(
+        ds,
+        Some(&ms),
+        &train,
+        &test,
+        &scale.pipeline(EncoderKind::Base),
+    );
     let pairs = per_pair_eval(&mut trained, ds, &test);
 
     let mut t = TextTable::new(
-        format!("Figure 10 — NDCG@10 vs nearest-query similarity ({})", ds.db_name),
+        format!(
+            "Figure 10 — NDCG@10 vs nearest-query similarity ({})",
+            ds.db_name
+        ),
         &["metric", "aggregation", "pairs", "pearson r", "slope"],
     );
     for (name, m) in [
@@ -423,8 +560,7 @@ pub fn fig10(ds: &Dataset, scale: &Scale) -> TextTable {
             let mut xs = Vec::new();
             let mut ys = Vec::new();
             for p in &pairs {
-                let mut sims: Vec<f64> =
-                    train.iter().map(|&ti| m.get(p.query, ti)).collect();
+                let mut sims: Vec<f64> = train.iter().map(|&ti| m.get(p.query, ti)).collect();
                 sims.sort_by(|a, b| b.total_cmp(a));
                 let k = top_k.min(sims.len());
                 if k == 0 {
@@ -453,13 +589,26 @@ pub fn fig11(ds: &Dataset, scale: &Scale) -> TextTable {
     let subsets = nested_train_subsets(ds, SWEEP_FRACTIONS, scale.seed ^ 0xf11);
     let mut t = TextTable::new(
         format!("Figure 11 — query-log size sweep ({})", ds.db_name),
-        &["log %", "queries", "unseen facts %", "method", "NDCG@10", "p@1", "p@5"],
+        &[
+            "log %",
+            "queries",
+            "unseen facts %",
+            "method",
+            "NDCG@10",
+            "p@1",
+            "p@5",
+        ],
     );
     for (frac, subset) in SWEEP_FRACTIONS.iter().zip(&subsets) {
         let unseen = unseen_fact_fraction(ds, subset);
         let pct = format!("{:.0}%", frac * 100.0);
-        let (_, ls) =
-            train_and_eval(ds, Some(&ms), subset, &test, &scale.pipeline(EncoderKind::Base));
+        let (_, ls) = train_and_eval(
+            ds,
+            Some(&ms),
+            subset,
+            &test,
+            &scale.pipeline(EncoderKind::Base),
+        );
         t.row(vec![
             pct.clone(),
             subset.len().to_string(),
@@ -490,18 +639,31 @@ pub fn fig12(ds: &Dataset, scale: &Scale) -> TextTable {
     let train = ds.split_indices(Split::Train);
     let test = ds.split_indices(Split::Test);
     let ms = matrices(ds);
-    let (mut trained, _) =
-        train_and_eval(ds, Some(&ms), &train, &test, &scale.pipeline(EncoderKind::Base));
+    let (mut trained, _) = train_and_eval(
+        ds,
+        Some(&ms),
+        &train,
+        &test,
+        &scale.pipeline(EncoderKind::Base),
+    );
     let pairs = per_pair_eval(&mut trained, ds, &test);
     let seen = ds.facts_in_split(Split::Train);
 
     let mut seen_scores = Vec::new();
     let mut unseen_scores = Vec::new();
     for p in &pairs {
-        let seen_facts: Vec<_> =
-            p.gold.keys().copied().filter(|f| seen.contains(f)).collect();
-        let unseen_facts: Vec<_> =
-            p.gold.keys().copied().filter(|f| !seen.contains(f)).collect();
+        let seen_facts: Vec<_> = p
+            .gold
+            .keys()
+            .copied()
+            .filter(|f| seen.contains(f))
+            .collect();
+        let unseen_facts: Vec<_> = p
+            .gold
+            .keys()
+            .copied()
+            .filter(|f| !seen.contains(f))
+            .collect();
         if seen_facts.len() >= 2 {
             seen_scores.push(partial_ndcg_at_k(&p.predicted, &p.gold, &seen_facts, 10));
         }
@@ -522,10 +684,17 @@ pub fn fig12(ds: &Dataset, scale: &Scale) -> TextTable {
         .map(|p| p.gold.keys().filter(|f| !seen.contains(f)).count())
         .sum();
     let mut t = TextTable::new(
-        format!("Figure 12 — partial NDCG, seen vs unseen facts ({})", ds.db_name),
+        format!(
+            "Figure 12 — partial NDCG, seen vs unseen facts ({})",
+            ds.db_name
+        ),
         &["subset", "pairs", "mean partial NDCG@10"],
     );
-    t.row(vec!["seen facts".into(), seen_scores.len().to_string(), f3(mean(&seen_scores))]);
+    t.row(vec![
+        "seen facts".into(),
+        seen_scores.len().to_string(),
+        f3(mean(&seen_scores)),
+    ]);
     t.row(vec![
         "unseen facts".into(),
         unseen_scores.len().to_string(),
@@ -534,7 +703,10 @@ pub fn fig12(ds: &Dataset, scale: &Scale) -> TextTable {
     t.row(vec![
         "unseen fact share".into(),
         format!("{unseen_facts}/{total_facts}"),
-        format!("{:.1}%", 100.0 * unseen_facts as f64 / total_facts.max(1) as f64),
+        format!(
+            "{:.1}%",
+            100.0 * unseen_facts as f64 / total_facts.max(1) as f64
+        ),
     ]);
     t
 }
@@ -550,40 +722,68 @@ pub fn ablation_compiler(ds: &Dataset) -> TextTable {
             provs.push(Dnf::of_tuple(&q.result.tuples[t.tuple_idx]));
         }
     }
-    let configs: [(&str, CompileOptions); 4] = [
-        ("most-frequent + factoring + or-decomp", CompileOptions::default()),
+    let configs: [(&str, &str, CompileOptions); 4] = [
+        (
+            "most-frequent + factoring + or-decomp",
+            "bench.ablation.compiler.default",
+            CompileOptions::default(),
+        ),
         (
             "lexicographic order",
-            CompileOptions { var_order: VarOrder::Lexicographic, ..Default::default() },
+            "bench.ablation.compiler.lexicographic",
+            CompileOptions {
+                var_order: VarOrder::Lexicographic,
+                ..Default::default()
+            },
         ),
         (
             "no factoring",
-            CompileOptions { disable_factoring: true, ..Default::default() },
+            "bench.ablation.compiler.no_factoring",
+            CompileOptions {
+                disable_factoring: true,
+                ..Default::default()
+            },
         ),
         (
             "no or-decomposition",
-            CompileOptions { disable_or_decomposition: true, ..Default::default() },
+            "bench.ablation.compiler.no_or_decomp",
+            CompileOptions {
+                disable_or_decomposition: true,
+                ..Default::default()
+            },
         ),
     ];
     let mut t = TextTable::new(
-        format!("Ablation — knowledge compiler design choices ({})", ds.db_name),
-        &["configuration", "provs", "total nodes", "total decisions", "compile time"],
+        format!(
+            "Ablation — knowledge compiler design choices ({})",
+            ds.db_name
+        ),
+        &[
+            "configuration",
+            "provs",
+            "total nodes",
+            "total decisions",
+            "compile time",
+        ],
     );
-    for (name, opts) in configs {
-        let start = Instant::now();
-        let mut nodes = 0usize;
-        let mut decisions = 0usize;
-        for p in &provs {
-            let c = compile(p, opts);
-            nodes += c.stats.nodes;
-            decisions += c.stats.decisions;
-        }
+    for (name, key, opts) in configs {
+        scoped_hist(key);
+        let (nodes, decisions) = ls_obs::time(key, || {
+            let mut nodes = 0usize;
+            let mut decisions = 0usize;
+            for p in &provs {
+                let c = compile(p, opts);
+                nodes += c.stats.nodes;
+                decisions += c.stats.decisions;
+            }
+            (nodes, decisions)
+        });
         t.row(vec![
             name.into(),
             provs.len().to_string(),
             nodes.to_string(),
             decisions.to_string(),
-            crate::report::dur(start.elapsed()),
+            crate::report::dur(secs(ls_obs::histogram(key).stats().sum)),
         ]);
     }
     t
@@ -594,56 +794,89 @@ pub fn ablation_shapley_methods(ds: &Dataset) -> TextTable {
     let test = ds.split_indices(Split::Test);
     let mut t = TextTable::new(
         format!("Ablation — Shapley method quality/time ({})", ds.db_name),
-        &["method", "pairs", "mean NDCG@10 vs exact", "mean p@1", "total time"],
+        &[
+            "method",
+            "pairs",
+            "mean NDCG@10 vs exact",
+            "mean p@1",
+            "total time",
+        ],
     );
     struct Row {
         ndcg: f64,
         p1: f64,
-        time: std::time::Duration,
         n: usize,
     }
+    const KEYS: [&str; 4] = [
+        "bench.ablation.shapley.exact",
+        "bench.ablation.shapley.sampled200",
+        "bench.ablation.shapley.sampled2000",
+        "bench.ablation.shapley.cnf_proxy",
+    ];
+    for k in KEYS {
+        scoped_hist(k);
+    }
     let mut rows: Vec<(&str, Row)> = vec![
-        ("exact (self-check)", Row { ndcg: 0.0, p1: 0.0, time: Default::default(), n: 0 }),
-        ("permutation sampling (200)", Row { ndcg: 0.0, p1: 0.0, time: Default::default(), n: 0 }),
-        ("permutation sampling (2000)", Row { ndcg: 0.0, p1: 0.0, time: Default::default(), n: 0 }),
-        ("CNF Proxy", Row { ndcg: 0.0, p1: 0.0, time: Default::default(), n: 0 }),
+        (
+            "exact (self-check)",
+            Row {
+                ndcg: 0.0,
+                p1: 0.0,
+                n: 0,
+            },
+        ),
+        (
+            "permutation sampling (200)",
+            Row {
+                ndcg: 0.0,
+                p1: 0.0,
+                n: 0,
+            },
+        ),
+        (
+            "permutation sampling (2000)",
+            Row {
+                ndcg: 0.0,
+                p1: 0.0,
+                n: 0,
+            },
+        ),
+        (
+            "CNF Proxy",
+            Row {
+                ndcg: 0.0,
+                p1: 0.0,
+                n: 0,
+            },
+        ),
     ];
     for &qi in &test {
         let q = &ds.queries[qi];
         for tr in &q.tuples {
             let gold = &tr.shapley;
             let prov = Dnf::of_tuple(&q.result.tuples[tr.tuple_idx]);
-            let evals: [(usize, FactScores, std::time::Duration); 4] = {
-                let s = Instant::now();
-                let exact = shapley_values(&prov);
-                let d0 = s.elapsed();
-                let s = Instant::now();
-                let samp200 = shapley_values_sampled(&prov, 200, 7);
-                let d1 = s.elapsed();
-                let s = Instant::now();
-                let samp2000 = shapley_values_sampled(&prov, 2000, 7);
-                let d2 = s.elapsed();
-                let s = Instant::now();
-                let proxy = cnf_proxy_scores(&prov);
-                let d3 = s.elapsed();
-                [(0, exact, d0), (1, samp200, d1), (2, samp2000, d2), (3, proxy, d3)]
+            let evals: [(usize, FactScores); 4] = {
+                let exact = ls_obs::time(KEYS[0], || shapley_values(&prov));
+                let samp200 = ls_obs::time(KEYS[1], || shapley_values_sampled(&prov, 200, 7));
+                let samp2000 = ls_obs::time(KEYS[2], || shapley_values_sampled(&prov, 2000, 7));
+                let proxy = ls_obs::time(KEYS[3], || cnf_proxy_scores(&prov));
+                [(0, exact), (1, samp200), (2, samp2000), (3, proxy)]
             };
-            for (i, scores, d) in evals {
+            for (i, scores) in evals {
                 rows[i].1.ndcg += ndcg_at_k(&scores, gold, 10);
                 rows[i].1.p1 += precision_at_k(&scores, gold, 1);
-                rows[i].1.time += d;
                 rows[i].1.n += 1;
             }
         }
     }
-    for (name, r) in rows {
+    for (i, (name, r)) in rows.into_iter().enumerate() {
         let n = r.n.max(1) as f64;
         t.row(vec![
             name.into(),
             r.n.to_string(),
             f3(r.ndcg / n),
             f3(r.p1 / n),
-            crate::report::dur(r.time),
+            crate::report::dur(secs(ls_obs::histogram(KEYS[i]).stats().sum)),
         ]);
     }
     t
@@ -660,14 +893,18 @@ pub fn scaling_study() -> TextTable {
     let star = |k: u32| -> Dnf {
         Dnf::from_monomials(
             (0..k)
-                .map(|i| Monomial::from_facts(vec![FactId(0), FactId(1 + 2 * i), FactId(2 + 2 * i)]))
+                .map(|i| {
+                    Monomial::from_facts(vec![FactId(0), FactId(1 + 2 * i), FactId(2 + 2 * i)])
+                })
                 .collect(),
         )
     };
     // Chain: overlapping pairs (f_i ∧ f_{i+1}).
     let chain = |k: u32| -> Dnf {
         Dnf::from_monomials(
-            (0..k).map(|i| Monomial::from_facts(vec![FactId(i), FactId(i + 1)])).collect(),
+            (0..k)
+                .map(|i| Monomial::from_facts(vec![FactId(i), FactId(i + 1)]))
+                .collect(),
         )
     };
     // Two-level: k groups of (shared company ∧ movie_i ∧ role_i) with the
@@ -688,7 +925,15 @@ pub fn scaling_study() -> TextTable {
 
     let mut t = TextTable::new(
         "Scaling — attribution cost vs provenance size (synthetic families)",
-        &["family", "lineage", "derivs", "exact", "sampled(500)", "cnf proxy", "sampled NDCG@10"],
+        &[
+            "family",
+            "lineage",
+            "derivs",
+            "exact",
+            "sampled(500)",
+            "cnf proxy",
+            "sampled NDCG@10",
+        ],
     );
     for (name, mk) in [
         ("star", &star as &dyn Fn(u32) -> Dnf),
@@ -698,23 +943,24 @@ pub fn scaling_study() -> TextTable {
         for k in [8u32, 24, 48] {
             let prov = mk(k);
             let n = prov.variables().len();
-            let start = Instant::now();
-            let exact = shapley_values(&prov);
-            let d_exact = start.elapsed();
-            let start = Instant::now();
-            let sampled = shapley_values_sampled(&prov, 500, 11);
-            let d_sampled = start.elapsed();
-            let start = Instant::now();
-            let _ = cnf_proxy_scores(&prov);
-            let d_proxy = start.elapsed();
+            // Scoped per (family, k): each row reports its own single run.
+            const K_EXACT: &str = "bench.scaling.exact";
+            const K_SAMPLED: &str = "bench.scaling.sampled";
+            const K_PROXY: &str = "bench.scaling.cnf_proxy";
+            for key in [K_EXACT, K_SAMPLED, K_PROXY] {
+                scoped_hist(key);
+            }
+            let exact = ls_obs::time(K_EXACT, || shapley_values(&prov));
+            let sampled = ls_obs::time(K_SAMPLED, || shapley_values_sampled(&prov, 500, 11));
+            let _ = ls_obs::time(K_PROXY, || cnf_proxy_scores(&prov));
             let quality = ndcg_at_k(&sampled, &exact, 10);
             t.row(vec![
                 name.into(),
                 n.to_string(),
                 prov.len().to_string(),
-                crate::report::dur(d_exact),
-                crate::report::dur(d_sampled),
-                crate::report::dur(d_proxy),
+                crate::report::dur(secs(ls_obs::histogram(K_EXACT).stats().sum)),
+                crate::report::dur(secs(ls_obs::histogram(K_SAMPLED).stats().sum)),
+                crate::report::dur(secs(ls_obs::histogram(K_PROXY).stats().sum)),
                 f3(quality),
             ]);
         }
@@ -736,9 +982,17 @@ pub fn extension_negatives(ds: &Dataset, scale: &Scale) -> TextTable {
 
     let mut t = TextTable::new(
         format!("Extension — negative-sample fine-tuning ({})", ds.db_name),
-        &["training", "pairs", "NDCG@10 (with distractors)", "lineage-detection precision"],
+        &[
+            "training",
+            "pairs",
+            "NDCG@10 (with distractors)",
+            "lineage-detection precision",
+        ],
     );
-    for (label, negatives) in [("positives only (paper)", 0usize), ("with 3 negatives/tuple", 3)] {
+    for (label, negatives) in [
+        ("positives only (paper)", 0usize),
+        ("with 3 negatives/tuple", 3),
+    ] {
         let mut cfg = scale.pipeline(EncoderKind::Base);
         cfg.finetune_cfg.negatives = negatives;
         let (mut trained, _) = train_and_eval(ds, Some(&ms), &train, &test, &cfg);
@@ -753,8 +1007,7 @@ pub fn extension_negatives(ds: &Dataset, scale: &Scale) -> TextTable {
             let q = &ds.queries[qi];
             for tr in &q.tuples {
                 let tuple = &q.result.tuples[tr.tuple_idx];
-                let lineage: Vec<ls_relational::FactId> =
-                    tr.shapley.keys().copied().collect();
+                let lineage: Vec<ls_relational::FactId> = tr.shapley.keys().copied().collect();
                 // Add as many distractors as real facts (capped at 10).
                 let k = lineage.len().min(10);
                 let mut probe_set = lineage.clone();
@@ -809,11 +1062,7 @@ pub fn extension_negatives(ds: &Dataset, scale: &Scale) -> TextTable {
 /// positions LearnShapley as an *in-domain* system; this experiment
 /// quantifies how much is lost when that assumption is dropped (expected:
 /// most of the signal, since vocabulary and schema tokens do not transfer).
-pub fn extension_cross_schema(
-    source: &Dataset,
-    target: &Dataset,
-    scale: &Scale,
-) -> TextTable {
+pub fn extension_cross_schema(source: &Dataset, target: &Dataset, scale: &Scale) -> TextTable {
     let src_train = source.split_indices(Split::Train);
     let tgt_test = target.split_indices(Split::Test);
     let tgt_train = target.split_indices(Split::Train);
@@ -899,20 +1148,42 @@ pub fn ablation_matching(ds: &Dataset) -> TextTable {
     let n = ds.queries.len().min(24);
     let scores: Vec<_> = ds.queries[..n].iter().map(|q| q.tuple_scores()).collect();
     let mut t = TextTable::new(
-        format!("Ablation — rank-similarity matching algorithm ({})", ds.db_name),
-        &["matcher", "pairs", "mean sim", "mean |Δ| vs Hungarian", "max Δ", "time"],
+        format!(
+            "Ablation — rank-similarity matching algorithm ({})",
+            ds.db_name
+        ),
+        &[
+            "matcher",
+            "pairs",
+            "mean sim",
+            "mean |Δ| vs Hungarian",
+            "max Δ",
+            "time",
+        ],
     );
     let mut hungarian_vals = Vec::new();
-    for (label, matcher) in [("Hungarian (paper)", Matcher::Hungarian), ("greedy", Matcher::Greedy)] {
-        let opts = RankSimOptions { matcher, ..Default::default() };
-        let start = Instant::now();
-        let mut vals = Vec::new();
-        for i in 0..n {
-            for j in (i + 1)..n {
-                vals.push(rank_based_similarity(&scores[i], &scores[j], &opts));
+    for (label, key, matcher) in [
+        (
+            "Hungarian (paper)",
+            "bench.ablation.matching.hungarian",
+            Matcher::Hungarian,
+        ),
+        ("greedy", "bench.ablation.matching.greedy", Matcher::Greedy),
+    ] {
+        let opts = RankSimOptions {
+            matcher,
+            ..Default::default()
+        };
+        scoped_hist(key);
+        let vals = ls_obs::time(key, || {
+            let mut vals = Vec::new();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    vals.push(rank_based_similarity(&scores[i], &scores[j], &opts));
+                }
             }
-        }
-        let elapsed = start.elapsed();
+            vals
+        });
         let mean = vals.iter().sum::<f64>() / vals.len().max(1) as f64;
         let (mean_d, max_d) = if hungarian_vals.is_empty() {
             (0.0, 0.0)
@@ -933,7 +1204,7 @@ pub fn ablation_matching(ds: &Dataset) -> TextTable {
             f3(mean),
             f4(mean_d),
             f4(max_d),
-            crate::report::dur(elapsed),
+            crate::report::dur(secs(ls_obs::histogram(key).stats().sum)),
         ]);
         if hungarian_vals.is_empty() {
             hungarian_vals = vals;
@@ -1005,7 +1276,10 @@ mod tests {
         assert_eq!(t.rows.len(), 4);
         let exact_ndcg: f64 = t.rows[0][2].parse().unwrap();
         let samp2000: f64 = t.rows[2][2].parse().unwrap();
-        assert!((exact_ndcg - 1.0).abs() < 1e-9, "exact self-check must be 1.0");
+        assert!(
+            (exact_ndcg - 1.0).abs() < 1e-9,
+            "exact self-check must be 1.0"
+        );
         assert!(samp2000 > 0.8, "2000-sample estimate should rank well");
     }
 }

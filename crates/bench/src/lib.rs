@@ -26,10 +26,11 @@ pub mod scale;
 
 pub use exps::{
     ablation_compiler, ablation_matching, ablation_shapley_methods, extension_cross_schema,
-    extension_negatives, fig10, scaling_study,
-    fig11, fig12, fig7_summary, fig9, per_pair_eval, table1, table2, table3, table4, table5,
-    table6, PairEval,
+    extension_negatives, fig10, fig11, fig12, fig7_summary, fig9, per_pair_eval, scaling_study,
+    table1, table2, table3, table4, table5, table6, PairEval,
 };
-pub use methods::{eval_nearest, matrices, table3_methods, train_and_eval, MethodResult, NQ_NEIGHBORS};
+pub use methods::{
+    eval_nearest, matrices, table3_methods, train_and_eval, MethodResult, NQ_NEIGHBORS,
+};
 pub use report::{dur, f3, f4, TextTable};
 pub use scale::Scale;

@@ -45,7 +45,11 @@ pub fn eval_nearest(
         let probe = QueryProbe {
             query: &q.query,
             result: &q.result,
-            tuple_scores: if metric == NqMetric::Rank { Some(&gold_scores) } else { None },
+            tuple_scores: if metric == NqMetric::Rank {
+                Some(&gold_scores)
+            } else {
+                None
+            },
         };
         for t in &q.tuples {
             let lineage: Vec<_> = t.shapley.keys().copied().collect();
@@ -91,19 +95,38 @@ pub fn table3_methods(ds: &Dataset, scale: &Scale) -> Vec<MethodResult> {
         });
     }
 
-    let (_, base) =
-        train_and_eval(ds, Some(&ms), &train, &test, &scale.pipeline(EncoderKind::Base));
-    out.push(MethodResult { name: "LearnShapley-base".into(), summary: base });
+    let (_, base) = train_and_eval(
+        ds,
+        Some(&ms),
+        &train,
+        &test,
+        &scale.pipeline(EncoderKind::Base),
+    );
+    out.push(MethodResult {
+        name: "LearnShapley-base".into(),
+        summary: base,
+    });
 
-    let (_, large) =
-        train_and_eval(ds, Some(&ms), &train, &test, &scale.pipeline(EncoderKind::Large));
-    out.push(MethodResult { name: "LearnShapley-large".into(), summary: large });
+    let (_, large) = train_and_eval(
+        ds,
+        Some(&ms),
+        &train,
+        &test,
+        &scale.pipeline(EncoderKind::Large),
+    );
+    out.push(MethodResult {
+        name: "LearnShapley-large".into(),
+        summary: large,
+    });
 
     // Ablation: no pre-training (fine-tune directly).
     let mut no_pre_cfg = scale.pipeline(EncoderKind::Base);
     no_pre_cfg.pretrain = None;
     let (_, no_pre) = train_and_eval(ds, None, &train, &test, &no_pre_cfg);
-    out.push(MethodResult { name: "ablation: base w/o pre-training".into(), summary: no_pre });
+    out.push(MethodResult {
+        name: "ablation: base w/o pre-training".into(),
+        summary: no_pre,
+    });
 
     // Ablation: small randomly-initialized transformer, fine-tune data only.
     let mut small_cfg = scale.pipeline(EncoderKind::SmallAblation);
@@ -130,7 +153,10 @@ mod tests {
         for metric in [NqMetric::Syntax, NqMetric::Witness, NqMetric::Rank] {
             let summary = eval_nearest(&ds, &train, &test, metric, NQ_NEIGHBORS);
             assert!(summary.pairs > 0);
-            assert!((0.0..=1.0).contains(&summary.ndcg10), "{metric:?}: {summary:?}");
+            assert!(
+                (0.0..=1.0).contains(&summary.ndcg10),
+                "{metric:?}: {summary:?}"
+            );
             assert!((0.0..=1.0).contains(&summary.p1));
         }
     }

@@ -76,14 +76,19 @@ impl Scale {
 
     /// The IMDB-side dataset.
     pub fn imdb_dataset(&self) -> Dataset {
-        let db = generate_imdb(&ImdbConfig { seed: self.seed ^ 0x1, ..Default::default() });
+        let db = generate_imdb(&ImdbConfig {
+            seed: self.seed ^ 0x1,
+            ..Default::default()
+        });
         Dataset::build(db, &imdb_spec(), &self.dataset_config(self.seed ^ 0x11))
     }
 
     /// The Academic-side dataset.
     pub fn academic_dataset(&self) -> Dataset {
-        let db =
-            generate_academic(&AcademicConfig { seed: self.seed ^ 0x2, ..Default::default() });
+        let db = generate_academic(&AcademicConfig {
+            seed: self.seed ^ 0x2,
+            ..Default::default()
+        });
         Dataset::build(db, &academic_spec(), &self.dataset_config(self.seed ^ 0x22))
     }
 

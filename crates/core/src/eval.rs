@@ -5,8 +5,8 @@
 //! NDCG uses the (real-valued) Shapley values as graded relevance; `p@k` is
 //! the overlap of the predicted and gold top-`k` sets.
 
-use ls_shapley::{rank_descending, top_k, FactScores};
 use ls_relational::FactId;
+use ls_shapley::{rank_descending, top_k, FactScores};
 
 /// NDCG@k of `predicted` against the `gold` relevance scores.
 ///

@@ -63,7 +63,12 @@ pub fn build_finetune_samples_with_negatives(
         let q = &ds.queries[qi];
         for t in &q.tuples {
             let tuple = &q.result.tuples[t.tuple_idx];
-            let max_v = t.shapley.values().cloned().fold(f64::MIN, f64::max).max(1e-12);
+            let max_v = t
+                .shapley
+                .values()
+                .cloned()
+                .fold(f64::MIN, f64::max)
+                .max(1e-12);
             for (&f, &v) in &t.shapley {
                 out.push(FinetuneSample {
                     query_sql: q.sql.clone(),
@@ -173,14 +178,25 @@ pub fn finetune(
 ) -> FinetuneReport {
     let samples_all =
         build_finetune_samples_with_negatives(ds, train_queries, cfg.negatives, cfg.seed);
+    let mut sp = ls_obs::span("core.finetune")
+        .with("samples", samples_all.len())
+        .with("epochs", cfg.epochs);
+    ls_obs::gauge("core.finetune.lr").set(f64::from(cfg.lr));
     let dev = ds.split_indices(Split::Dev);
-    let mut opt = Adam::new(model, AdamConfig { lr: cfg.lr, ..Default::default() });
+    let mut opt = Adam::new(
+        model,
+        AdamConfig {
+            lr: cfg.lr,
+            ..Default::default()
+        },
+    );
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xf1e7);
     let mut order: Vec<usize> = (0..samples_all.len()).collect();
     let mut best = (f64::NEG_INFINITY, 0usize, Snapshot::capture(model));
     let mut consumed = 0usize;
 
     for epoch in 1..=cfg.epochs {
+        let mut esp = ls_obs::span("core.finetune.epoch").with("epoch", epoch);
         order.shuffle(&mut rng);
         let take = if cfg.max_samples_per_epoch == 0 {
             order.len()
@@ -206,12 +222,21 @@ pub fn finetune(
             opt.step(model, 1.0 / in_batch as f32);
         }
         let dev_score = evaluate_model(model, tokenizer, ds, &dev, cfg.max_len).ndcg10;
+        esp.record("dev_ndcg10", dev_score);
+        ls_obs::gauge("core.finetune.dev_ndcg10").set(dev_score);
+        drop(esp);
         if dev_score > best.0 {
             best = (dev_score, epoch, Snapshot::capture(model));
         }
     }
     best.2.restore(model);
-    FinetuneReport { best_dev_ndcg: best.0, best_epoch: best.1, samples: consumed }
+    sp.record("best_dev_ndcg10", best.0);
+    sp.record("best_epoch", best.1);
+    FinetuneReport {
+        best_dev_ndcg: best.0,
+        best_epoch: best.1,
+        samples: consumed,
+    }
 }
 
 #[cfg(test)]

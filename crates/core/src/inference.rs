@@ -20,12 +20,19 @@ pub fn predict_scores(
     lineage: &[FactId],
     max_len: usize,
 ) -> FactScores {
+    // One "batch" = the whole lineage: that is the unit a deployment scores
+    // at once, so its latency feeds the batch histogram.
+    let t0 = ls_obs::enabled().then(std::time::Instant::now);
     let mut out = FactScores::new();
     for &f in lineage {
         let b = render_tuple_and_fact_featured(db, query_sql, tuple, f);
         let (tokens, segs) = tokenizer.encode_pair(query_sql, &b, max_len);
         let v = model.forward_value(&tokens, &segs);
         out.insert(f, v as f64);
+    }
+    if let Some(t0) = t0 {
+        ls_obs::histogram("core.inference.batch").record(t0.elapsed().as_secs_f64());
+        ls_obs::counter("core.inference.facts_scored").add(lineage.len() as u64);
     }
     out
 }
@@ -86,7 +93,13 @@ mod tests {
         let (mut model, tok, db) = setup();
         let lineage = vec![FactId(0), FactId(1)];
         let scores = predict_scores(
-            &mut model, &tok, &db, "SELECT movies.title FROM movies", &tuple(), &lineage, 48,
+            &mut model,
+            &tok,
+            &db,
+            "SELECT movies.title FROM movies",
+            &tuple(),
+            &lineage,
+            48,
         );
         assert_eq!(scores.len(), 2);
         assert!(scores.values().all(|v| v.is_finite()));
@@ -97,7 +110,13 @@ mod tests {
         let (mut model, tok, db) = setup();
         let lineage = vec![FactId(0), FactId(1)];
         let ranking = rank_lineage(
-            &mut model, &tok, &db, "SELECT movies.title FROM movies", &tuple(), &lineage, 48,
+            &mut model,
+            &tok,
+            &db,
+            "SELECT movies.title FROM movies",
+            &tuple(),
+            &lineage,
+            48,
         );
         let mut sorted = ranking.clone();
         sorted.sort_unstable();
@@ -109,10 +128,22 @@ mod tests {
         let (mut model, tok, db) = setup();
         let lineage = vec![FactId(0), FactId(1)];
         let a = predict_scores(
-            &mut model, &tok, &db, "SELECT movies.title FROM movies", &tuple(), &lineage, 48,
+            &mut model,
+            &tok,
+            &db,
+            "SELECT movies.title FROM movies",
+            &tuple(),
+            &lineage,
+            48,
         );
         let b = predict_scores(
-            &mut model, &tok, &db, "SELECT movies.title FROM movies", &tuple(), &lineage, 48,
+            &mut model,
+            &tok,
+            &db,
+            "SELECT movies.title FROM movies",
+            &tuple(),
+            &lineage,
+            48,
         );
         assert_eq!(a, b);
     }
@@ -121,7 +152,13 @@ mod tests {
     fn empty_lineage_gives_empty_scores() {
         let (mut model, tok, db) = setup();
         let scores = predict_scores(
-            &mut model, &tok, &db, "SELECT movies.title FROM movies", &tuple(), &[], 48,
+            &mut model,
+            &tok,
+            &db,
+            "SELECT movies.title FROM movies",
+            &tuple(),
+            &[],
+            48,
         );
         assert!(scores.is_empty());
     }

@@ -31,9 +31,16 @@ impl LearnShapleyModel {
     pub fn new(cfg: EncoderConfig) -> Self {
         let encoder = TransformerEncoder::new(cfg);
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x4ead);
-        let sim_heads = (0..3).map(|_| Linear::new(cfg.d_model, 1, &mut rng)).collect();
+        let sim_heads = (0..3)
+            .map(|_| Linear::new(cfg.d_model, 1, &mut rng))
+            .collect();
         let value_head = Linear::new(cfg.d_model, 1, &mut rng);
-        LearnShapleyModel { encoder, sim_heads, value_head, last_shape: None }
+        LearnShapleyModel {
+            encoder,
+            sim_heads,
+            value_head,
+            last_shape: None,
+        }
     }
 
     fn encode_cls(&mut self, tokens: &[u32], segments: &[u8]) -> Tensor {
@@ -134,7 +141,14 @@ mod tests {
     #[test]
     fn value_training_step_reduces_loss() {
         let mut m = tiny();
-        let mut opt = Adam::new(&mut m, AdamConfig { lr: 0.01, weight_decay: 0.0, ..Default::default() });
+        let mut opt = Adam::new(
+            &mut m,
+            AdamConfig {
+                lr: 0.01,
+                weight_decay: 0.0,
+                ..Default::default()
+            },
+        );
         let tokens = [1u32, 7, 9, 2, 11];
         let segs = [0u8, 0, 0, 1, 1];
         let target = 0.8f32;
@@ -158,13 +172,19 @@ mod tests {
     #[test]
     fn sims_training_step_reduces_loss() {
         let mut m = tiny();
-        let mut opt = Adam::new(&mut m, AdamConfig { lr: 0.01, weight_decay: 0.0, ..Default::default() });
+        let mut opt = Adam::new(
+            &mut m,
+            AdamConfig {
+                lr: 0.01,
+                weight_decay: 0.0,
+                ..Default::default()
+            },
+        );
         let tokens = [1u32, 4, 2, 8, 2];
         let segs = [0u8, 0, 0, 1, 1];
         let targets = [0.3f32, 0.0, 0.9];
-        let loss_of = |p: [f32; 3]| -> f32 {
-            p.iter().zip(&targets).map(|(a, b)| (a - b) * (a - b)).sum()
-        };
+        let loss_of =
+            |p: [f32; 3]| -> f32 { p.iter().zip(&targets).map(|(a, b)| (a - b) * (a - b)).sum() };
         let first = loss_of(m.forward_sims(&tokens, &segs));
         for _ in 0..80 {
             let p = m.forward_sims(&tokens, &segs);

@@ -118,7 +118,10 @@ impl NearestQueries {
         match self.metric {
             NqMetric::Syntax => {
                 let pops = operations(probe.query);
-                self.ops.iter().map(|o| syntax_similarity_ops(&pops, o)).collect()
+                self.ops
+                    .iter()
+                    .map(|o| syntax_similarity_ops(&pops, o))
+                    .collect()
             }
             NqMetric::Witness => {
                 let pwits = witness_set(probe.result);
@@ -181,7 +184,10 @@ mod tests {
             seed: 9,
         });
         let cfg = DatasetConfig {
-            query_gen: QueryGenConfig { num_queries: 10, ..Default::default() },
+            query_gen: QueryGenConfig {
+                num_queries: 10,
+                ..Default::default()
+            },
             max_tuples_per_query: 4,
             max_lineage: 25,
             ..Default::default()
@@ -201,7 +207,11 @@ mod tests {
         let q = &ds.queries[ti];
         let t = &q.tuples[0];
         let lineage: Vec<FactId> = t.shapley.keys().copied().collect();
-        let probe = QueryProbe { query: &q.query, result: &q.result, tuple_scores: None };
+        let probe = QueryProbe {
+            query: &q.query,
+            result: &q.result,
+            tuple_scores: None,
+        };
         let pred = nq.predict(&probe, &lineage);
         assert_eq!(pred.len(), lineage.len());
     }
@@ -213,7 +223,11 @@ mod tests {
         let nq = NearestQueries::fit(&ds, &train, NqMetric::Syntax, 1);
         let qi = train[0];
         let q = &ds.queries[qi];
-        let probe = QueryProbe { query: &q.query, result: &q.result, tuple_scores: None };
+        let probe = QueryProbe {
+            query: &q.query,
+            result: &q.result,
+            tuple_scores: None,
+        };
         let nearest = nq.nearest(&probe);
         assert_eq!(nearest, vec![0]);
         let sims = nq.similarities(&probe);
@@ -227,7 +241,11 @@ mod tests {
         let nq = NearestQueries::fit(&ds, &train, NqMetric::Witness, 1);
         let qi = train[0];
         let q = &ds.queries[qi];
-        let probe = QueryProbe { query: &q.query, result: &q.result, tuple_scores: None };
+        let probe = QueryProbe {
+            query: &q.query,
+            result: &q.result,
+            tuple_scores: None,
+        };
         let sims = nq.similarities(&probe);
         assert!((sims[0] - 1.0).abs() < 1e-12);
     }
@@ -240,8 +258,11 @@ mod tests {
         let qi = train[0];
         let q = &ds.queries[qi];
         let scores = q.tuple_scores();
-        let probe =
-            QueryProbe { query: &q.query, result: &q.result, tuple_scores: Some(&scores) };
+        let probe = QueryProbe {
+            query: &q.query,
+            result: &q.result,
+            tuple_scores: Some(&scores),
+        };
         let sims = nq.similarities(&probe);
         assert!((sims[0] - 1.0).abs() < 1e-9);
     }
@@ -253,7 +274,11 @@ mod tests {
         let train = ds.split_indices(Split::Train);
         let nq = NearestQueries::fit(&ds, &train, NqMetric::Rank, 1);
         let q = &ds.queries[train[0]];
-        let probe = QueryProbe { query: &q.query, result: &q.result, tuple_scores: None };
+        let probe = QueryProbe {
+            query: &q.query,
+            result: &q.result,
+            tuple_scores: None,
+        };
         nq.similarities(&probe);
     }
 
@@ -263,7 +288,11 @@ mod tests {
         let train = ds.split_indices(Split::Train);
         let nq = NearestQueries::fit(&ds, &train, NqMetric::Syntax, 3);
         let q = &ds.queries[train[0]];
-        let probe = QueryProbe { query: &q.query, result: &q.result, tuple_scores: None };
+        let probe = QueryProbe {
+            query: &q.query,
+            result: &q.result,
+            tuple_scores: None,
+        };
         // A fact id beyond the database cannot have been seen.
         let pred = nq.predict(&probe, &[FactId(1_000_000)]);
         assert_eq!(pred[&FactId(1_000_000)], 0.0);
@@ -275,7 +304,11 @@ mod tests {
         let train = ds.split_indices(Split::Train);
         let nq = NearestQueries::fit(&ds, &train, NqMetric::Syntax, train.len() + 10);
         let q = &ds.queries[train[0]];
-        let probe = QueryProbe { query: &q.query, result: &q.result, tuple_scores: None };
+        let probe = QueryProbe {
+            query: &q.query,
+            result: &q.result,
+            tuple_scores: None,
+        };
         // nearest() truncates to the available queries.
         assert_eq!(nq.nearest(&probe).len(), train.len());
         let t = &q.tuples[0];

@@ -32,7 +32,14 @@ pub fn save_model(
     w.write_all(MAGIC)?;
     w.write_all(&VERSION.to_le_bytes())?;
     let cfg = model.encoder.config;
-    for v in [cfg.vocab, cfg.d_model, cfg.heads, cfg.layers, cfg.ff_dim, cfg.max_len] {
+    for v in [
+        cfg.vocab,
+        cfg.d_model,
+        cfg.heads,
+        cfg.layers,
+        cfg.ff_dim,
+        cfg.max_len,
+    ] {
         w.write_all(&(v as u32).to_le_bytes())?;
     }
     w.write_all(&cfg.seed.to_le_bytes())?;
@@ -55,7 +62,10 @@ pub fn load_model(path: &Path) -> io::Result<(LearnShapleyModel, Tokenizer)> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad model magic"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad model magic",
+        ));
     }
     let version = read_u32(&mut r)?;
     if version != VERSION {
@@ -73,7 +83,15 @@ pub fn load_model(path: &Path) -> io::Result<(LearnShapleyModel, Tokenizer)> {
     let mut seed_buf = [0u8; 8];
     r.read_exact(&mut seed_buf)?;
     let seed = u64::from_le_bytes(seed_buf);
-    let cfg = EncoderConfig { vocab, d_model, heads, layers, ff_dim, max_len, seed };
+    let cfg = EncoderConfig {
+        vocab,
+        d_model,
+        heads,
+        layers,
+        ff_dim,
+        max_len,
+        seed,
+    };
 
     let n_entries = read_u32(&mut r)? as usize;
     let mut entries = Vec::with_capacity(n_entries);
@@ -82,8 +100,8 @@ pub fn load_model(path: &Path) -> io::Result<(LearnShapleyModel, Tokenizer)> {
         let len = read_u32(&mut r)? as usize;
         let mut bytes = vec![0u8; len];
         r.read_exact(&mut bytes)?;
-        let word = String::from_utf8(bytes)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let word =
+            String::from_utf8(bytes).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         entries.push((word, id));
     }
     let tokenizer = Tokenizer::from_entries(entries);

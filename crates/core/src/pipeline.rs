@@ -65,7 +65,10 @@ impl Default for PipelineConfig {
             encoder: EncoderKind::Base,
             pretrain: Some(PretrainObjectives::default()),
             pretrain_cfg: TrainConfig::default(),
-            finetune_cfg: TrainConfig { epochs: 8, ..Default::default() },
+            finetune_cfg: TrainConfig {
+                epochs: 8,
+                ..Default::default()
+            },
             max_vocab: 2000,
         }
     }
@@ -115,9 +118,10 @@ pub fn train_learnshapley(
     cfg: &PipelineConfig,
 ) -> Trained {
     let tokenizer = build_tokenizer(ds, train_queries, cfg.max_vocab);
-    let enc_cfg = cfg
-        .encoder
-        .config(tokenizer.vocab_size(), cfg.pretrain_cfg.max_len.max(cfg.finetune_cfg.max_len));
+    let enc_cfg = cfg.encoder.config(
+        tokenizer.vocab_size(),
+        cfg.pretrain_cfg.max_len.max(cfg.finetune_cfg.max_len),
+    );
     let mut model = LearnShapleyModel::new(enc_cfg);
 
     let pretrain_report = match (cfg.pretrain, matrices) {
@@ -130,7 +134,9 @@ pub fn train_learnshapley(
                 .collect();
             let train_pairs: Vec<_> = train_pairs_all
                 .into_iter()
-                .filter(|p| subset_sqls.contains(p.a.as_str()) && subset_sqls.contains(p.b.as_str()))
+                .filter(|p| {
+                    subset_sqls.contains(p.a.as_str()) && subset_sqls.contains(p.b.as_str())
+                })
                 .collect();
             Some(pretrain(
                 &mut model,
@@ -148,15 +154,20 @@ pub fn train_learnshapley(
     };
 
     let finetune_report = finetune(&mut model, &tokenizer, ds, train_queries, &cfg.finetune_cfg);
-    Trained { model, tokenizer, pretrain: pretrain_report, finetune: finetune_report }
+    Trained {
+        model,
+        tokenizer,
+        pretrain: pretrain_report,
+        finetune: finetune_report,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use ls_dbshap::{
-        generate_imdb, imdb_spec, similarity_matrices, DatasetConfig, ImdbConfig,
-        QueryGenConfig, Split,
+        generate_imdb, imdb_spec, similarity_matrices, DatasetConfig, ImdbConfig, QueryGenConfig,
+        Split,
     };
     use ls_similarity::RankSimOptions;
 
@@ -169,7 +180,10 @@ mod tests {
             seed: 21,
         });
         let cfg = DatasetConfig {
-            query_gen: QueryGenConfig { num_queries: 8, ..Default::default() },
+            query_gen: QueryGenConfig {
+                num_queries: 8,
+                ..Default::default()
+            },
             max_tuples_per_query: 3,
             max_lineage: 20,
             ..Default::default()
@@ -208,7 +222,10 @@ mod tests {
     fn no_pretrain_ablation_runs() {
         let ds = tiny_dataset();
         let train = ds.split_indices(Split::Train);
-        let cfg = PipelineConfig { pretrain: None, ..quick_cfg() };
+        let cfg = PipelineConfig {
+            pretrain: None,
+            ..quick_cfg()
+        };
         let trained = train_learnshapley(&ds, None, &train, &cfg);
         assert!(trained.pretrain.is_none());
     }
@@ -235,6 +252,8 @@ mod tests {
     #[test]
     fn encoder_kind_labels() {
         assert_eq!(EncoderKind::Base.label(), "LearnShapley-base");
-        assert!(EncoderKind::Large.config(100, 32).d_model > EncoderKind::Base.config(100, 32).d_model);
+        assert!(
+            EncoderKind::Large.config(100, 32).d_model > EncoderKind::Base.config(100, 32).d_model
+        );
     }
 }

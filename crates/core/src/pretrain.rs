@@ -32,7 +32,11 @@ pub struct PretrainObjectives {
 
 impl Default for PretrainObjectives {
     fn default() -> Self {
-        PretrainObjectives { rank: true, witness: true, syntax: true }
+        PretrainObjectives {
+            rank: true,
+            witness: true,
+            syntax: true,
+        }
     }
 }
 
@@ -166,15 +170,26 @@ pub fn pretrain(
     objectives: PretrainObjectives,
     cfg: &TrainConfig,
 ) -> PretrainReport {
+    let mut sp = ls_obs::span("core.pretrain")
+        .with("pairs", train_pairs.len())
+        .with("epochs", cfg.epochs);
+    ls_obs::gauge("core.pretrain.lr").set(f64::from(cfg.lr));
     let mask = objectives.mask();
     let active: f32 = mask.iter().sum::<f32>().max(1.0);
-    let mut opt = Adam::new(model, AdamConfig { lr: cfg.lr, ..Default::default() });
+    let mut opt = Adam::new(
+        model,
+        AdamConfig {
+            lr: cfg.lr,
+            ..Default::default()
+        },
+    );
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut order: Vec<usize> = (0..train_pairs.len()).collect();
     let mut best = (f64::INFINITY, 0usize, Snapshot::capture(model));
     let mut samples = 0usize;
 
     for epoch in 1..=cfg.epochs {
+        let mut esp = ls_obs::span("core.pretrain.epoch").with("epoch", epoch);
         order.shuffle(&mut rng);
         let take = if cfg.max_samples_per_epoch == 0 {
             order.len()
@@ -204,12 +219,21 @@ pub fn pretrain(
             opt.step(model, 1.0 / in_batch as f32);
         }
         let dev = dev_mse(model, tokenizer, dev_pairs, mask, cfg.max_len);
+        esp.record("dev_mse", dev);
+        ls_obs::gauge("core.pretrain.dev_mse").set(dev);
+        drop(esp);
         if dev < best.0 {
             best = (dev, epoch, Snapshot::capture(model));
         }
     }
     best.2.restore(model);
-    PretrainReport { best_dev_mse: best.0, best_epoch: best.1, samples }
+    sp.record("best_dev_mse", best.0);
+    sp.record("best_epoch", best.1);
+    PretrainReport {
+        best_dev_mse: best.0,
+        best_epoch: best.1,
+        samples,
+    }
 }
 
 /// Mean squared error over pairs, restricted to enabled heads.
@@ -258,7 +282,10 @@ mod tests {
 
     fn toy_model_and_tokenizer() -> (LearnShapleyModel, Tokenizer) {
         let pairs = toy_pairs();
-        let corpus: Vec<&str> = pairs.iter().flat_map(|p| [p.a.as_str(), p.b.as_str()]).collect();
+        let corpus: Vec<&str> = pairs
+            .iter()
+            .flat_map(|p| [p.a.as_str(), p.b.as_str()])
+            .collect();
         let tok = Tokenizer::build(corpus.into_iter(), 64);
         let model = LearnShapleyModel::new(EncoderConfig {
             vocab: tok.vocab_size(),
@@ -277,11 +304,19 @@ mod tests {
         let all = PretrainObjectives::default();
         assert_eq!(all.mask(), [1.0, 1.0, 1.0]);
         assert_eq!(all.label(), "rank+witness+syntax");
-        let only_w = PretrainObjectives { rank: false, witness: true, syntax: false };
+        let only_w = PretrainObjectives {
+            rank: false,
+            witness: true,
+            syntax: false,
+        };
         assert_eq!(only_w.mask()[HEAD_WITNESS], 1.0);
         assert_eq!(only_w.mask()[HEAD_RANK], 0.0);
         assert_eq!(only_w.label(), "witness");
-        let none = PretrainObjectives { rank: false, witness: false, syntax: false };
+        let none = PretrainObjectives {
+            rank: false,
+            witness: false,
+            syntax: false,
+        };
         assert_eq!(none.label(), "none");
     }
 
@@ -291,7 +326,15 @@ mod tests {
         let pairs = toy_pairs();
         let mask = PretrainObjectives::default().mask();
         let before = dev_mse(&mut model, &tok, &pairs, mask, 32);
-        let cfg = TrainConfig { epochs: 30, lr: 3e-3, max_len: 32, max_samples_per_epoch: 0, batch: 2, negatives: 0, seed: 1 };
+        let cfg = TrainConfig {
+            epochs: 30,
+            lr: 3e-3,
+            max_len: 32,
+            max_samples_per_epoch: 0,
+            batch: 2,
+            negatives: 0,
+            seed: 1,
+        };
         let report = pretrain(
             &mut model,
             &tok,
@@ -300,7 +343,11 @@ mod tests {
             PretrainObjectives::default(),
             &cfg,
         );
-        assert!(report.best_dev_mse < before * 0.5, "{before} → {}", report.best_dev_mse);
+        assert!(
+            report.best_dev_mse < before * 0.5,
+            "{before} → {}",
+            report.best_dev_mse
+        );
         assert!(report.best_epoch >= 1);
         assert_eq!(report.samples, 2 * 30);
     }
@@ -310,8 +357,20 @@ mod tests {
         let (mut model, tok) = toy_model_and_tokenizer();
         let pairs = toy_pairs();
         // Train with only the syntax head enabled.
-        let cfg = TrainConfig { epochs: 10, lr: 3e-3, max_len: 32, max_samples_per_epoch: 0, batch: 2, negatives: 0, seed: 1 };
-        let obj = PretrainObjectives { rank: false, witness: false, syntax: true };
+        let cfg = TrainConfig {
+            epochs: 10,
+            lr: 3e-3,
+            max_len: 32,
+            max_samples_per_epoch: 0,
+            batch: 2,
+            negatives: 0,
+            seed: 1,
+        };
+        let obj = PretrainObjectives {
+            rank: false,
+            witness: false,
+            syntax: true,
+        };
         let before_rank_mse = dev_mse(&mut model, &tok, &pairs, [1.0, 0.0, 0.0], 32);
         pretrain(&mut model, &tok, &pairs, &pairs, obj, &cfg);
         let after_syntax_mse = dev_mse(&mut model, &tok, &pairs, [0.0, 0.0, 1.0], 32);

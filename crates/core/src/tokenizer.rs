@@ -64,7 +64,10 @@ impl Tokenizer {
     pub fn from_entries(entries: Vec<(String, u32)>) -> Self {
         let mut vocab = HashMap::with_capacity(entries.len());
         for (w, id) in entries {
-            assert!(id >= SPECIALS, "token id {id} collides with reserved specials");
+            assert!(
+                id >= SPECIALS,
+                "token id {id} collides with reserved specials"
+            );
             vocab.insert(w, id);
         }
         Tokenizer { vocab }
@@ -148,8 +151,11 @@ mod tests {
 
     fn toy() -> Tokenizer {
         Tokenizer::build(
-            ["select name from movies where year = 2007", "movies title (Superman)"]
-                .into_iter(),
+            [
+                "select name from movies where year = 2007",
+                "movies title (Superman)",
+            ]
+            .into_iter(),
             100,
         )
     }
@@ -230,7 +236,10 @@ mod tests {
     fn entries_roundtrip() {
         let t = toy();
         let rebuilt = Tokenizer::from_entries(t.entries());
-        assert_eq!(t.tokenize("select movies year = 2007"), rebuilt.tokenize("select movies year = 2007"));
+        assert_eq!(
+            t.tokenize("select movies year = 2007"),
+            rebuilt.tokenize("select movies year = 2007")
+        );
         assert_eq!(t.vocab_size(), rebuilt.vocab_size());
     }
 
@@ -244,6 +253,9 @@ mod tests {
     fn deterministic_vocab() {
         let a = toy();
         let b = toy();
-        assert_eq!(a.tokenize("select movies year"), b.tokenize("select movies year"));
+        assert_eq!(
+            a.tokenize("select movies year"),
+            b.tokenize("select movies year")
+        );
     }
 }

@@ -78,7 +78,11 @@ pub fn generate_academic(cfg: &AcademicConfig) -> Database {
     ));
     db.create_table(TableSchema::new(
         "publication",
-        &[("title", ColType::Str), ("year", ColType::Int), ("conf", ColType::Str)],
+        &[
+            ("title", ColType::Str),
+            ("year", ColType::Int),
+            ("conf", ColType::Str),
+        ],
     ));
     db.create_table(TableSchema::new(
         "writes",
@@ -110,12 +114,22 @@ pub fn generate_academic(cfg: &AcademicConfig) -> Database {
         let citation_count = paper_count * rng.gen_range(1..60i64);
         db.insert(
             "author",
-            vec![name.as_str().into(), org.as_str().into(), paper_count.into(), citation_count.into()],
+            vec![
+                name.as_str().into(),
+                org.as_str().into(),
+                paper_count.into(),
+                citation_count.into(),
+            ],
         );
     }
 
     let conf_names: Vec<String> = (0..cfg.conferences)
-        .map(|i| format!("Conf{i}-{}", pool.title(&mut rng).split(' ').next().unwrap_or("X")))
+        .map(|i| {
+            format!(
+                "Conf{i}-{}",
+                pool.title(&mut rng).split(' ').next().unwrap_or("X")
+            )
+        })
         .collect();
     for name in &conf_names {
         db.insert("conference", vec![name.as_str().into()]);
@@ -128,14 +142,22 @@ pub fn generate_academic(cfg: &AcademicConfig) -> Database {
     // Each conference belongs to 1–2 domains.
     for conf in &conf_names {
         let d1 = rng.gen_range(0..domains.len());
-        db.insert("domain_conference", vec![conf.as_str().into(), domains[d1].into()]);
+        db.insert(
+            "domain_conference",
+            vec![conf.as_str().into(), domains[d1].into()],
+        );
         if rng.gen_bool(0.3) {
             let d2 = (d1 + 1 + rng.gen_range(0..domains.len() - 1)) % domains.len();
-            db.insert("domain_conference", vec![conf.as_str().into(), domains[d2].into()]);
+            db.insert(
+                "domain_conference",
+                vec![conf.as_str().into(), domains[d2].into()],
+            );
         }
     }
 
-    let pub_titles: Vec<String> = (0..cfg.publications).map(|_| pool.title(&mut rng)).collect();
+    let pub_titles: Vec<String> = (0..cfg.publications)
+        .map(|_| pool.title(&mut rng))
+        .collect();
     for title in &pub_titles {
         let year = rng.gen_range(YEAR_RANGE.0..=YEAR_RANGE.1);
         let conf = &conf_names[zipf_index(&mut rng, conf_names.len())];
@@ -193,11 +215,7 @@ mod tests {
         // A scaled-down version of Figure 8(a): domains with publications by
         // prolific authors at some organization.
         let db = generate_academic(&AcademicConfig::default());
-        let org = db
-            .table("organization")
-            .unwrap()
-            .rows[0]
-            .values[0]
+        let org = db.table("organization").unwrap().rows[0].values[0]
             .as_str()
             .unwrap()
             .to_owned();

@@ -7,8 +7,8 @@
 //! train/dev/test.
 
 use crate::querygen::{generate_query_log, QueryGenConfig, SchemaSpec};
-use ls_relational::{evaluate, to_sql, Database, FactId, Query, QueryResult};
 use ls_provenance::Dnf;
+use ls_relational::{evaluate, to_sql, Database, FactId, Query, QueryResult};
 use ls_shapley::{shapley_values, FactScores};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -108,15 +108,34 @@ pub struct Dataset {
 impl Dataset {
     /// Build a dataset over any database + schema spec.
     pub fn build(db: Database, spec: &SchemaSpec, cfg: &DatasetConfig) -> Dataset {
+        let mut sp = ls_obs::span("dbshap.build").with("db", spec.name);
         let log = generate_query_log(&db, spec, &cfg.query_gen);
+        sp.record("queries", log.len());
         let mut queries = Vec::with_capacity(log.len());
+        let mut recorded_tuples = 0u64;
         for (id, query) in log.into_iter().enumerate() {
             let result = evaluate(&db, &query).expect("generated query must evaluate");
-            let tuples = ground_truth(&result, cfg);
-            queries.push(QueryRecord { id, sql: to_sql(&query), query, result, tuples });
+            let tuples = ls_obs::time("dbshap.ground_truth", || ground_truth(&result, cfg));
+            recorded_tuples += tuples.len() as u64;
+            queries.push(QueryRecord {
+                id,
+                sql: to_sql(&query),
+                query,
+                result,
+                tuples,
+            });
+        }
+        sp.record("recorded_tuples", recorded_tuples);
+        if ls_obs::enabled() {
+            ls_obs::counter("dbshap.tuples_recorded").add(recorded_tuples);
         }
         let splits = make_splits(queries.len(), cfg.seed);
-        Dataset { db_name: spec.name.to_owned(), db, queries, splits }
+        Dataset {
+            db_name: spec.name.to_owned(),
+            db,
+            queries,
+            splits,
+        }
     }
 
     /// Query indices belonging to a split.
@@ -213,7 +232,10 @@ mod tests {
     fn tiny() -> Dataset {
         let db = generate_imdb(&ImdbConfig::default());
         let cfg = DatasetConfig {
-            query_gen: QueryGenConfig { num_queries: 14, ..Default::default() },
+            query_gen: QueryGenConfig {
+                num_queries: 14,
+                ..Default::default()
+            },
             ..Default::default()
         };
         Dataset::build(db, &imdb_spec(), &cfg)

@@ -173,7 +173,10 @@ mod tests {
             db,
             &imdb_spec(),
             &DatasetConfig {
-                query_gen: QueryGenConfig { num_queries: 8, ..Default::default() },
+                query_gen: QueryGenConfig {
+                    num_queries: 8,
+                    ..Default::default()
+                },
                 max_tuples_per_query: 3,
                 max_lineage: 20,
                 ..Default::default()

@@ -31,7 +31,13 @@ pub struct ImdbConfig {
 
 impl Default for ImdbConfig {
     fn default() -> Self {
-        ImdbConfig { companies: 24, actors: 120, movies: 160, roles_per_movie: 3, seed: 42 }
+        ImdbConfig {
+            companies: 24,
+            actors: 120,
+            movies: 160,
+            roles_per_movie: 3,
+            seed: 42,
+        }
     }
 }
 
@@ -47,7 +53,11 @@ pub fn generate_imdb(cfg: &ImdbConfig) -> Database {
     let mut db = Database::new();
     db.create_table(TableSchema::new(
         "movies",
-        &[("title", ColType::Str), ("year", ColType::Int), ("company", ColType::Str)],
+        &[
+            ("title", ColType::Str),
+            ("year", ColType::Int),
+            ("company", ColType::Str),
+        ],
     ));
     db.create_table(TableSchema::new(
         "actors",
@@ -63,8 +73,7 @@ pub fn generate_imdb(cfg: &ImdbConfig) -> Database {
     ));
 
     let mut pool = NamePool::new(cfg.seed ^ 0x1577);
-    let company_names: Vec<String> =
-        (0..cfg.companies).map(|_| pool.company(&mut rng)).collect();
+    let company_names: Vec<String> = (0..cfg.companies).map(|_| pool.company(&mut rng)).collect();
     for name in &company_names {
         // Skewed toward USA (like the real IMDB company table) so
         // `country = 'USA'` predicates keep large, interesting lineages.
@@ -89,7 +98,11 @@ pub fn generate_imdb(cfg: &ImdbConfig) -> Database {
         let c = zipf_index(&mut rng, company_names.len());
         db.insert(
             "movies",
-            vec![title.as_str().into(), year.into(), company_names[c].as_str().into()],
+            vec![
+                title.as_str().into(),
+                year.into(),
+                company_names[c].as_str().into(),
+            ],
         );
     }
 
@@ -160,7 +173,10 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let a = generate_imdb(&ImdbConfig::default());
-        let b = generate_imdb(&ImdbConfig { seed: 43, ..Default::default() });
+        let b = generate_imdb(&ImdbConfig {
+            seed: 43,
+            ..Default::default()
+        });
         let (_, ra) = a.fact(ls_relational::FactId(30)).unwrap();
         let (_, rb) = b.fact(ls_relational::FactId(30)).unwrap();
         assert_ne!(ra.values, rb.values);
@@ -178,8 +194,16 @@ mod tests {
         let res = evaluate(&db, &q).unwrap();
         assert!(!res.is_empty(), "USA-company actors must exist");
         // Popular actors should have multi-derivation provenance.
-        let max_derivs = res.tuples.iter().map(|t| t.derivations.len()).max().unwrap();
-        assert!(max_derivs >= 2, "zipf casting should give multi-derivation tuples");
+        let max_derivs = res
+            .tuples
+            .iter()
+            .map(|t| t.derivations.len())
+            .max()
+            .unwrap();
+        assert!(
+            max_derivs >= 2,
+            "zipf casting should give multi-derivation tuples"
+        );
     }
 
     #[test]
@@ -228,6 +252,9 @@ mod tests {
         for _ in 0..10_000 {
             counts[zipf_index(&mut rng, 10)] += 1;
         }
-        assert!(counts[0] > counts[9] * 3, "rank 0 should dominate: {counts:?}");
+        assert!(
+            counts[0] > counts[9] * 3,
+            "rank 0 should dominate: {counts:?}"
+        );
     }
 }

@@ -9,28 +9,60 @@ use rand::{Rng, SeedableRng};
 use std::collections::HashSet;
 
 const FIRST_SYL: &[&str] = &[
-    "Al", "Ba", "Ca", "Da", "El", "Fa", "Ga", "Ha", "Is", "Jo", "Ka", "Le", "Mi", "No",
-    "Or", "Pa", "Qu", "Ro", "Sa", "Te", "Ur", "Vi", "Wa", "Xa", "Yo", "Za",
+    "Al", "Ba", "Ca", "Da", "El", "Fa", "Ga", "Ha", "Is", "Jo", "Ka", "Le", "Mi", "No", "Or", "Pa",
+    "Qu", "Ro", "Sa", "Te", "Ur", "Vi", "Wa", "Xa", "Yo", "Za",
 ];
-const MID_SYL: &[&str] = &["ri", "lo", "na", "vi", "me", "do", "sha", "ber", "tan", "gel"];
-const LAST_SYL: &[&str] = &["son", "ez", "ski", "ton", "ard", "ley", "ers", "ine", "o", "a"];
+const MID_SYL: &[&str] = &[
+    "ri", "lo", "na", "vi", "me", "do", "sha", "ber", "tan", "gel",
+];
+const LAST_SYL: &[&str] = &[
+    "son", "ez", "ski", "ton", "ard", "ley", "ers", "ine", "o", "a",
+];
 
 const COMPANY_HEAD: &[&str] = &[
-    "Apex", "Blue", "Crown", "Delta", "Echo", "Falcon", "Gold", "Horizon", "Iron", "Jade",
-    "Kite", "Lunar", "Mono", "North", "Orbit", "Pine", "Quartz", "River", "Star", "Titan",
-    "Umbra", "Vertex", "West", "Xenon", "Yonder", "Zephyr",
+    "Apex", "Blue", "Crown", "Delta", "Echo", "Falcon", "Gold", "Horizon", "Iron", "Jade", "Kite",
+    "Lunar", "Mono", "North", "Orbit", "Pine", "Quartz", "River", "Star", "Titan", "Umbra",
+    "Vertex", "West", "Xenon", "Yonder", "Zephyr",
 ];
-const COMPANY_TAIL: &[&str] =
-    &["Pictures", "Studios", "Films", "Media", "Entertainment", "Productions"];
+const COMPANY_TAIL: &[&str] = &[
+    "Pictures",
+    "Studios",
+    "Films",
+    "Media",
+    "Entertainment",
+    "Productions",
+];
 
 const TITLE_HEAD: &[&str] = &[
-    "Autumn", "Broken", "Crimson", "Distant", "Endless", "Fading", "Gentle", "Hidden",
-    "Iron", "Jagged", "Kindred", "Lost", "Midnight", "Neon", "Open", "Pale", "Quiet",
-    "Rising", "Silent", "Twisted", "Untold", "Velvet", "Wandering", "Young", "Zero",
+    "Autumn",
+    "Broken",
+    "Crimson",
+    "Distant",
+    "Endless",
+    "Fading",
+    "Gentle",
+    "Hidden",
+    "Iron",
+    "Jagged",
+    "Kindred",
+    "Lost",
+    "Midnight",
+    "Neon",
+    "Open",
+    "Pale",
+    "Quiet",
+    "Rising",
+    "Silent",
+    "Twisted",
+    "Untold",
+    "Velvet",
+    "Wandering",
+    "Young",
+    "Zero",
 ];
 const TITLE_TAIL: &[&str] = &[
-    "Horizon", "River", "Promise", "Empire", "Garden", "Signal", "Harbor", "Winter",
-    "Echoes", "Road", "Crossing", "Letters", "Storm", "Mirror", "Voyage",
+    "Horizon", "River", "Promise", "Empire", "Garden", "Signal", "Harbor", "Winter", "Echoes",
+    "Road", "Crossing", "Letters", "Storm", "Mirror", "Voyage",
 ];
 
 /// A deduplicating generator of synthetic proper names.
@@ -48,7 +80,11 @@ impl NamePool {
         // Touch the seed so pools constructed with different seeds differ in
         // their fallback numbering even under identical call sequences.
         let counter = (StdRng::seed_from_u64(seed).gen_range(0..900u32)) * 1000;
-        NamePool { used: HashSet::new(), counter, _seed: seed }
+        NamePool {
+            used: HashSet::new(),
+            counter,
+            _seed: seed,
+        }
     }
 
     fn dedupe(&mut self, base: String) -> String {
@@ -103,8 +139,19 @@ impl NamePool {
 /// Tiny roman-numeral suffix for deduplicated names ("Apex Pictures II").
 fn roman(mut n: u32) -> String {
     const TABLE: &[(u32, &str)] = &[
-        (1000, "M"), (900, "CM"), (500, "D"), (400, "CD"), (100, "C"), (90, "XC"),
-        (50, "L"), (40, "XL"), (10, "X"), (9, "IX"), (5, "V"), (4, "IV"), (1, "I"),
+        (1000, "M"),
+        (900, "CM"),
+        (500, "D"),
+        (400, "CD"),
+        (100, "C"),
+        (90, "XC"),
+        (50, "L"),
+        (40, "XL"),
+        (10, "X"),
+        (9, "IX"),
+        (5, "V"),
+        (4, "IV"),
+        (1, "I"),
     ];
     let mut out = String::new();
     for &(v, s) in TABLE {
@@ -129,7 +176,10 @@ mod tests {
             assert!(seen.insert(pool.person(&mut rng)), "duplicate person name");
         }
         for _ in 0..200 {
-            assert!(seen.insert(pool.company(&mut rng)), "duplicate company name");
+            assert!(
+                seen.insert(pool.company(&mut rng)),
+                "duplicate company name"
+            );
         }
     }
 

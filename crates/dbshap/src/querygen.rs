@@ -118,11 +118,7 @@ impl Default for QueryGenConfig {
 }
 
 /// Generate a validated (non-empty-result, deduplicated) query log.
-pub fn generate_query_log(
-    db: &Database,
-    spec: &SchemaSpec,
-    cfg: &QueryGenConfig,
-) -> Vec<Query> {
+pub fn generate_query_log(db: &Database, spec: &SchemaSpec, cfg: &QueryGenConfig) -> Vec<Query> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut log: Vec<Query> = Vec::new();
     let mut seen: HashSet<String> = HashSet::new();
@@ -134,13 +130,27 @@ pub fn generate_query_log(
         let Some(base) = try_base_query(db, spec, cfg, &mut rng) else {
             continue;
         };
-        push_if_new(db, base.clone(), &mut log, &mut seen, &mut seen_semantics, cfg.num_queries);
+        push_if_new(
+            db,
+            base.clone(),
+            &mut log,
+            &mut seen,
+            &mut seen_semantics,
+            cfg.num_queries,
+        );
         for _ in 0..cfg.mutations_per_base {
             if log.len() >= cfg.num_queries {
                 break;
             }
             if let Some(mutant) = try_mutate(db, spec, &base, &mut rng) {
-                push_if_new(db, mutant, &mut log, &mut seen, &mut seen_semantics, cfg.num_queries);
+                push_if_new(
+                    db,
+                    mutant,
+                    &mut log,
+                    &mut seen,
+                    &mut seen_semantics,
+                    cfg.num_queries,
+                );
             }
         }
     }
@@ -209,7 +219,9 @@ fn try_base_query(
         if sibling == block {
             Query::single(block)
         } else {
-            Query { blocks: vec![block, sibling] }
+            Query {
+                blocks: vec![block, sibling],
+            }
         }
     } else {
         Query::single(block)
@@ -301,9 +313,15 @@ fn random_selection(
 ) -> Option<Selection> {
     let use_int = rng.gen_bool(0.5);
     let pool: Vec<&(&str, &str)> = if use_int {
-        spec.selectable_int.iter().filter(|(t, _)| tables.contains(t)).collect()
+        spec.selectable_int
+            .iter()
+            .filter(|(t, _)| tables.contains(t))
+            .collect()
     } else {
-        spec.selectable_str.iter().filter(|(t, _)| tables.contains(t)).collect()
+        spec.selectable_str
+            .iter()
+            .filter(|(t, _)| tables.contains(t))
+            .collect()
     };
     if pool.is_empty() {
         return None;
@@ -313,16 +331,24 @@ fn random_selection(
     let col = ColRef::new(t, c);
     Some(match v {
         Value::Int(i) => {
-            let op = [CmpOp::Eq, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge]
-                [rng.gen_range(0..5)];
-            Selection::Cmp { col, op, lit: Value::Int(i) }
+            let op =
+                [CmpOp::Eq, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge][rng.gen_range(0..5usize)];
+            Selection::Cmp {
+                col,
+                op,
+                lit: Value::Int(i),
+            }
         }
         Value::Str(s) => {
             if rng.gen_bool(0.25) {
                 let prefix: String = s.chars().take(1).collect();
                 Selection::StartsWith { col, prefix }
             } else {
-                Selection::Cmp { col, op: CmpOp::Eq, lit: Value::Str(s) }
+                Selection::Cmp {
+                    col,
+                    op: CmpOp::Eq,
+                    lit: Value::Str(s),
+                }
             }
         }
     })
@@ -340,20 +366,14 @@ fn sample_value(db: &Database, table: &str, col: &str, rng: &mut StdRng) -> Opti
 }
 
 /// Mutate a base query into a near-duplicate family member.
-fn try_mutate(
-    db: &Database,
-    spec: &SchemaSpec,
-    base: &Query,
-    rng: &mut StdRng,
-) -> Option<Query> {
+fn try_mutate(db: &Database, spec: &SchemaSpec, base: &Query, rng: &mut StdRng) -> Option<Query> {
     let mut q = base.clone();
     let choice = rng.gen_range(0..3u8);
     match choice {
         // Swap the projection column (the q_inf ↔ q3 mutation).
         0 => {
             for block in &mut q.blocks {
-                let tables: Vec<&str> =
-                    block.tables.iter().map(|t| t.table.as_str()).collect();
+                let tables: Vec<&str> = block.tables.iter().map(|t| t.table.as_str()).collect();
                 let candidates: Vec<&(&str, &str)> = spec
                     .projectable
                     .iter()
@@ -378,14 +398,21 @@ fn try_mutate(
                 block.distinct = !block.distinct;
             } else {
                 let i = rng.gen_range(0..block.selections.len());
-                if let Selection::Cmp { col, op, lit: Value::Int(v) } =
-                    block.selections[i].clone()
+                if let Selection::Cmp {
+                    col,
+                    op,
+                    lit: Value::Int(v),
+                } = block.selections[i].clone()
                 {
                     let delta = rng.gen_range(1..5i64);
                     block.selections[i] = Selection::Cmp {
                         col,
                         op,
-                        lit: Value::Int(if rng.gen_bool(0.5) { v + delta } else { v - delta }),
+                        lit: Value::Int(if rng.gen_bool(0.5) {
+                            v + delta
+                        } else {
+                            v - delta
+                        }),
                     };
                 } else {
                     block.distinct = !block.distinct;
@@ -425,7 +452,10 @@ mod tests {
 
     fn small_log(n: usize) -> (Database, Vec<Query>) {
         let db = generate_imdb(&ImdbConfig::default());
-        let cfg = QueryGenConfig { num_queries: n, ..Default::default() };
+        let cfg = QueryGenConfig {
+            num_queries: n,
+            ..Default::default()
+        };
         let log = generate_query_log(&db, &imdb_spec(), &cfg);
         (db, log)
     }
@@ -485,7 +515,11 @@ mod tests {
     #[test]
     fn academic_spec_also_generates() {
         let db = generate_academic(&AcademicConfig::default());
-        let cfg = QueryGenConfig { num_queries: 12, seed: 3, ..Default::default() };
+        let cfg = QueryGenConfig {
+            num_queries: 12,
+            seed: 3,
+            ..Default::default()
+        };
         let log = generate_query_log(&db, &academic_spec(), &cfg);
         assert_eq!(log.len(), 12);
         let max_width = log.iter().map(Query::join_width).max().unwrap();

@@ -1,11 +1,11 @@
 //! Dataset statistics — the numbers behind Table 1, Table 2, and Figure 7.
 
 use crate::dataset::{Dataset, Split};
+use ls_relational::operations;
 use ls_similarity::{
     rank_based_similarity, syntax_similarity_ops, witness_similarity_sets, RankSimOptions,
     SimilarityMatrix,
 };
-use ls_relational::operations;
 
 /// Table-1 row: queries / results / recorded contributing facts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,7 +109,10 @@ mod tests {
     fn tiny() -> Dataset {
         let db = generate_imdb(&ImdbConfig::default());
         let cfg = DatasetConfig {
-            query_gen: QueryGenConfig { num_queries: 12, ..Default::default() },
+            query_gen: QueryGenConfig {
+                num_queries: 12,
+                ..Default::default()
+            },
             ..Default::default()
         };
         Dataset::build(db, &imdb_spec(), &cfg)

@@ -69,7 +69,10 @@ mod tests {
     fn tiny() -> Dataset {
         let db = generate_imdb(&ImdbConfig::default());
         let cfg = DatasetConfig {
-            query_gen: QueryGenConfig { num_queries: 16, ..Default::default() },
+            query_gen: QueryGenConfig {
+                num_queries: 16,
+                ..Default::default()
+            },
             ..Default::default()
         };
         Dataset::build(db, &imdb_spec(), &cfg)
@@ -106,8 +109,7 @@ mod tests {
     fn unseen_fraction_decreases_with_log_size() {
         let ds = tiny();
         let subs = nested_train_subsets(&ds, SWEEP_FRACTIONS, 5);
-        let fracs: Vec<f64> =
-            subs.iter().map(|s| unseen_fact_fraction(&ds, s)).collect();
+        let fracs: Vec<f64> = subs.iter().map(|s| unseen_fact_fraction(&ds, s)).collect();
         for v in &fracs {
             assert!((0.0..=1.0).contains(v));
         }

@@ -73,7 +73,10 @@ impl Snapshot {
         let mut magic = [0u8; 4];
         r.read_exact(&mut magic)?;
         if &magic != b"LSCK" {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad checkpoint magic"));
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad checkpoint magic",
+            ));
         }
         let mut u32buf = [0u8; 4];
         r.read_exact(&mut u32buf)?;

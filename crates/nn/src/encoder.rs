@@ -152,19 +152,43 @@ impl EncoderConfig {
     /// The "base" configuration of the reproduction (stands in for
     /// BERT-base at laptop scale).
     pub fn base(vocab: usize, max_len: usize) -> Self {
-        EncoderConfig { vocab, d_model: 48, heads: 4, layers: 2, ff_dim: 96, max_len, seed: 17 }
+        EncoderConfig {
+            vocab,
+            d_model: 48,
+            heads: 4,
+            layers: 2,
+            ff_dim: 96,
+            max_len,
+            seed: 17,
+        }
     }
 
     /// The "large" configuration (stands in for BERT-large: wider + deeper).
     pub fn large(vocab: usize, max_len: usize) -> Self {
-        EncoderConfig { vocab, d_model: 64, heads: 8, layers: 3, ff_dim: 128, max_len, seed: 17 }
+        EncoderConfig {
+            vocab,
+            d_model: 64,
+            heads: 8,
+            layers: 3,
+            ff_dim: 128,
+            max_len,
+            seed: 17,
+        }
     }
 
     /// The small randomly-initialized transformer of the paper's ablation
     /// (§5.5: "a transformer encoder with 3 layers and 8 attention heads",
     /// scaled to this reproduction's width).
     pub fn small_ablation(vocab: usize, max_len: usize) -> Self {
-        EncoderConfig { vocab, d_model: 32, heads: 8, layers: 3, ff_dim: 64, max_len, seed: 17 }
+        EncoderConfig {
+            vocab,
+            d_model: 32,
+            heads: 8,
+            layers: 3,
+            ff_dim: 64,
+            max_len,
+            seed: 17,
+        }
     }
 }
 
@@ -195,7 +219,14 @@ impl TransformerEncoder {
         let blocks = (0..config.layers)
             .map(|_| EncoderBlock::new(config.d_model, config.heads, config.ff_dim, &mut rng))
             .collect();
-        TransformerEncoder { config, tok_emb, pos_emb, seg_emb, blocks, cache_tokens: None }
+        TransformerEncoder {
+            config,
+            tok_emb,
+            pos_emb,
+            seg_emb,
+            blocks,
+            cache_tokens: None,
+        }
     }
 
     /// Encode a token sequence; returns the full hidden state (`n × d`).
@@ -204,8 +235,13 @@ impl TransformerEncoder {
     /// Panics on empty input, out-of-vocabulary ids, or sequences longer
     /// than `max_len` (callers truncate).
     pub fn forward(&mut self, tokens: &[u32], segments: &[u8]) -> Tensor {
+        let t0 = ls_obs::enabled().then(std::time::Instant::now);
         assert!(!tokens.is_empty(), "empty token sequence");
-        assert_eq!(tokens.len(), segments.len(), "token/segment length mismatch");
+        assert_eq!(
+            tokens.len(),
+            segments.len(),
+            "token/segment length mismatch"
+        );
         assert!(
             tokens.len() <= self.config.max_len,
             "sequence length {} exceeds max_len {}",
@@ -215,7 +251,10 @@ impl TransformerEncoder {
         let d = self.config.d_model;
         let mut x = Tensor::zeros(tokens.len(), d);
         for (i, (&t, &s)) in tokens.iter().zip(segments).enumerate() {
-            assert!((t as usize) < self.config.vocab, "token id {t} out of vocabulary");
+            assert!(
+                (t as usize) < self.config.vocab,
+                "token id {t} out of vocabulary"
+            );
             assert!(s < 2, "segment id must be 0 or 1");
             let row = x.row_mut(i);
             let te = self.tok_emb.v.row(t as usize);
@@ -229,18 +268,22 @@ impl TransformerEncoder {
             x = b.forward(&x);
         }
         self.cache_tokens = Some((tokens.to_vec(), segments.to_vec()));
+        if let Some(t0) = t0 {
+            ls_obs::histogram("nn.forward").record(t0.elapsed().as_secs_f64());
+            ls_obs::meter("nn.tokens").mark(tokens.len() as u64);
+        }
         x
     }
 
     /// Backward from a gradient on the full hidden state; accumulates all
     /// parameter gradients (embeddings included).
     pub fn backward(&mut self, dhidden: &Tensor) {
+        let t0 = ls_obs::enabled().then(std::time::Instant::now);
         let mut dx = dhidden.clone();
         for b in self.blocks.iter_mut().rev() {
             dx = b.backward(&dx);
         }
-        let (tokens, segments) =
-            self.cache_tokens.take().expect("forward before backward");
+        let (tokens, segments) = self.cache_tokens.take().expect("forward before backward");
         for (i, (&t, &s)) in tokens.iter().zip(&segments).enumerate() {
             let grow = dx.row(i).to_vec();
             for (c, gv) in grow.iter().enumerate() {
@@ -248,6 +291,9 @@ impl TransformerEncoder {
                 self.pos_emb.g.data[i * self.config.d_model + c] += gv;
                 self.seg_emb.g.data[s as usize * self.config.d_model + c] += gv;
             }
+        }
+        if let Some(t0) = t0 {
+            ls_obs::histogram("nn.backward").record(t0.elapsed().as_secs_f64());
         }
     }
 }
@@ -268,7 +314,15 @@ mod tests {
     use super::*;
 
     fn tiny_config() -> EncoderConfig {
-        EncoderConfig { vocab: 11, d_model: 8, heads: 2, layers: 2, ff_dim: 16, max_len: 12, seed: 5 }
+        EncoderConfig {
+            vocab: 11,
+            d_model: 8,
+            heads: 2,
+            layers: 2,
+            ff_dim: 16,
+            max_len: 12,
+            seed: 5,
+        }
     }
 
     #[test]
@@ -276,7 +330,7 @@ mod tests {
         assert_eq!(gelu(0.0), 0.0);
         assert!(gelu(3.0) > 2.9); // ≈ identity for large positive
         assert!(gelu(-5.0).abs() < 1e-3); // ≈ 0 for large negative
-        // Derivative by finite differences.
+                                          // Derivative by finite differences.
         for &x in &[-2.0f32, -0.5, 0.0, 0.7, 2.5] {
             let eps = 1e-3;
             let numeric = (gelu(x + eps) - gelu(x - eps)) / (2.0 * eps);
@@ -382,8 +436,7 @@ mod tests {
             xp.data[i] += eps;
             let mut xm = x.clone();
             xm.data[i] -= eps;
-            let numeric =
-                (loss(&mut ffn.clone(), &xp) - loss(&mut ffn.clone(), &xm)) / (2.0 * eps);
+            let numeric = (loss(&mut ffn.clone(), &xp) - loss(&mut ffn.clone(), &xm)) / (2.0 * eps);
             assert!(
                 (numeric - dx.data[i]).abs() < 0.05 * (1.0 + numeric.abs()),
                 "dx[{i}]"

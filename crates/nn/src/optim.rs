@@ -19,7 +19,13 @@ pub struct AdamConfig {
 
 impl Default for AdamConfig {
     fn default() -> Self {
-        AdamConfig { lr: 1e-3, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.01 }
+        AdamConfig {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.01,
+        }
     }
 }
 
@@ -56,8 +62,12 @@ impl Adam {
         let bc1 = 1.0 - (self.cfg.beta1 as f64).powf(t);
         let bc2 = 1.0 - (self.cfg.beta2 as f64).powf(t);
         let lr_t = self.cfg.lr * (bc2.sqrt() / bc1) as f32;
-        let (b1, b2, eps, wd) =
-            (self.cfg.beta1, self.cfg.beta2, self.cfg.eps, self.cfg.weight_decay);
+        let (b1, b2, eps, wd) = (
+            self.cfg.beta1,
+            self.cfg.beta2,
+            self.cfg.eps,
+            self.cfg.weight_decay,
+        );
         let mut idx = 0usize;
         let m = &mut self.m;
         let v = &mut self.v;
@@ -100,11 +110,20 @@ mod tests {
     fn adam_fits_linear_regression() {
         let mut rng = StdRng::seed_from_u64(1);
         let mut layer = Linear::new(2, 1, &mut rng);
-        let cfg = AdamConfig { lr: 0.05, weight_decay: 0.0, ..Default::default() };
+        let cfg = AdamConfig {
+            lr: 0.05,
+            weight_decay: 0.0,
+            ..Default::default()
+        };
         let mut opt = Adam::new(&mut layer, cfg);
         // Target function: y = 3x₁ − 2x₂ + 1.
         let xs = [
-            [0.0f32, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0], [0.5, -0.5], [-1.0, 0.3],
+            [0.0f32, 0.0],
+            [1.0, 0.0],
+            [0.0, 1.0],
+            [1.0, 1.0],
+            [0.5, -0.5],
+            [-1.0, 0.3],
         ];
         let ys: Vec<f32> = xs.iter().map(|x| 3.0 * x[0] - 2.0 * x[1] + 1.0).collect();
         let loss_of = |layer: &mut Linear| -> f32 {
@@ -148,7 +167,11 @@ mod tests {
     fn weight_decay_shrinks_weights() {
         let mut rng = StdRng::seed_from_u64(3);
         let mut layer = Linear::new(4, 4, &mut rng);
-        let cfg = AdamConfig { lr: 0.01, weight_decay: 0.5, ..Default::default() };
+        let cfg = AdamConfig {
+            lr: 0.01,
+            weight_decay: 0.5,
+            ..Default::default()
+        };
         let mut opt = Adam::new(&mut layer, cfg);
         let before = layer.w.v.norm();
         for _ in 0..50 {

@@ -91,7 +91,10 @@ mod tests {
 
     #[test]
     fn warmup_shape() {
-        let s = WarmupSchedule { peak_lr: 1e-3, warmup_steps: 10 };
+        let s = WarmupSchedule {
+            peak_lr: 1e-3,
+            warmup_steps: 10,
+        };
         assert!(s.lr_at(1) < s.lr_at(5));
         assert!(s.lr_at(5) < s.lr_at(10));
         assert!((s.lr_at(10) - 1e-3).abs() < 1e-9);
@@ -102,7 +105,10 @@ mod tests {
 
     #[test]
     fn degenerate_warmup() {
-        let s = WarmupSchedule { peak_lr: 1.0, warmup_steps: 0 };
+        let s = WarmupSchedule {
+            peak_lr: 1.0,
+            warmup_steps: 0,
+        };
         assert!((s.lr_at(1) - 1.0).abs() < 1e-9);
         assert!(s.lr_at(100) < 1.0);
     }

@@ -22,7 +22,11 @@ pub struct Tensor {
 impl Tensor {
     /// A zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Tensor { rows, cols, data: vec![0.0; rows * cols] }
+        Tensor {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Build from explicit data.
@@ -270,9 +274,18 @@ mod tests {
             let mut minus = logits.clone();
             minus.data[i] -= eps;
             softmax_rows(&mut minus);
-            let f_plus: f32 = plus.data.iter().zip(&upstream.data).map(|(a, b)| a * b).sum();
-            let f_minus: f32 =
-                minus.data.iter().zip(&upstream.data).map(|(a, b)| a * b).sum();
+            let f_plus: f32 = plus
+                .data
+                .iter()
+                .zip(&upstream.data)
+                .map(|(a, b)| a * b)
+                .sum();
+            let f_minus: f32 = minus
+                .data
+                .iter()
+                .zip(&upstream.data)
+                .map(|(a, b)| a * b)
+                .sum();
             let numeric = (f_plus - f_minus) / (2.0 * eps);
             assert!(
                 (numeric - analytic.data[i]).abs() < 1e-3,

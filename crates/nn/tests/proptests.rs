@@ -5,8 +5,13 @@ use ls_nn::{EncoderConfig, Snapshot, Tensor, TransformerEncoder, Visit};
 use proptest::prelude::*;
 
 fn config() -> impl Strategy<Value = EncoderConfig> {
-    (1usize..3, prop_oneof![Just(4usize), Just(8)], 1usize..3, any::<u64>()).prop_map(
-        |(layers, d_model, heads_pow, seed)| EncoderConfig {
+    (
+        1usize..3,
+        prop_oneof![Just(4usize), Just(8)],
+        1usize..3,
+        any::<u64>(),
+    )
+        .prop_map(|(layers, d_model, heads_pow, seed)| EncoderConfig {
             vocab: 12,
             d_model,
             heads: heads_pow.min(d_model / 2),
@@ -14,13 +19,11 @@ fn config() -> impl Strategy<Value = EncoderConfig> {
             ff_dim: d_model * 2,
             max_len: 10,
             seed,
-        },
-    )
+        })
 }
 
 fn tokens() -> impl Strategy<Value = (Vec<u32>, Vec<u8>)> {
-    proptest::collection::vec((0u32..12, 0u8..2), 1..8)
-        .prop_map(|v| v.into_iter().unzip())
+    proptest::collection::vec((0u32..12, 0u8..2), 1..8).prop_map(|v| v.into_iter().unzip())
 }
 
 proptest! {

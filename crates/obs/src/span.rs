@@ -1,0 +1,177 @@
+//! RAII span guards with per-thread parenting.
+//!
+//! Opening a span pushes it onto a thread-local stack; dropping the guard
+//! pops it, records the duration into the histogram `span.<name>`, emits a
+//! JSONL record (if the sink is active), and prints to stderr at
+//! `LS_OBS=span` or higher. With telemetry disabled a span is a `None` and
+//! costs one atomic load to construct.
+
+use crate::metrics;
+use crate::sink;
+use crate::Level;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static CURRENT: Cell<u64> = const { Cell::new(0) };
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// A field value attached to a span.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FieldValue {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+    Str(String),
+}
+
+macro_rules! impl_from_field {
+    ($($t:ty => $variant:ident as $conv:ty),*) => {$(
+        impl From<$t> for FieldValue {
+            fn from(v: $t) -> Self { FieldValue::$variant(v as $conv) }
+        }
+    )*};
+}
+
+impl_from_field!(
+    u8 => U64 as u64, u16 => U64 as u64, u32 => U64 as u64,
+    u64 => U64 as u64, usize => U64 as u64,
+    i8 => I64 as i64, i16 => I64 as i64, i32 => I64 as i64,
+    i64 => I64 as i64, isize => I64 as i64,
+    f32 => F64 as f64, f64 => F64 as f64
+);
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+impl std::fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v:.6}"),
+            FieldValue::Bool(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+struct SpanInner {
+    name: &'static str,
+    id: u64,
+    parent: u64,
+    depth: usize,
+    start: Instant,
+    fields: Vec<(&'static str, FieldValue)>,
+}
+
+/// RAII guard for a timed region. See [`crate::span`].
+#[must_use = "a span records its duration when dropped; bind it to a guard variable"]
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+impl Span {
+    #[inline]
+    pub(crate) fn open(name: &'static str) -> Span {
+        if !crate::enabled() {
+            return Span { inner: None };
+        }
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        let parent = CURRENT.with(|c| c.replace(id));
+        let depth = DEPTH.with(|d| {
+            let v = d.get();
+            d.set(v + 1);
+            v
+        });
+        if crate::level() >= Level::Trace {
+            eprintln!("[ls-obs] {:indent$}> {name}", "", indent = depth * 2);
+        }
+        Span {
+            inner: Some(SpanInner {
+                name,
+                id,
+                parent,
+                depth,
+                start: Instant::now(),
+                fields: Vec::new(),
+            }),
+        }
+    }
+
+    /// Attach a key/value field (builder style). No-op when disabled.
+    #[inline]
+    pub fn with(mut self, key: &'static str, value: impl Into<FieldValue>) -> Span {
+        if let Some(inner) = &mut self.inner {
+            inner.fields.push((key, value.into()));
+        }
+        self
+    }
+
+    /// Attach a field to an open span without consuming the guard (for
+    /// values only known mid-region, e.g. result sizes).
+    #[inline]
+    pub fn record(&mut self, key: &'static str, value: impl Into<FieldValue>) {
+        if let Some(inner) = &mut self.inner {
+            inner.fields.push((key, value.into()));
+        }
+    }
+
+    /// The span's id, 0 when telemetry is disabled. Exposed for tests.
+    pub fn id(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.id)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let secs = inner.start.elapsed().as_secs_f64();
+        CURRENT.with(|c| c.set(inner.parent));
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        // Span durations feed a histogram keyed on the span name, so bench
+        // tables and live telemetry agree on one measurement path.
+        metrics::registry().histogram(inner.name).record(secs);
+        if crate::level() >= Level::Spans {
+            let mut line = format!(
+                "[ls-obs] {:indent$}< {name} {ms:.3}ms",
+                "",
+                indent = inner.depth * 2,
+                name = inner.name,
+                ms = secs * 1e3
+            );
+            for (k, v) in &inner.fields {
+                line.push_str(&format!(" {k}={v}"));
+            }
+            eprintln!("{line}");
+        }
+        sink::write_span(inner.name, inner.id, inner.parent, secs, &inner.fields);
+    }
+}
+
+/// Current thread's innermost open span id (0 = root). Exposed for tests.
+pub fn current_span_id() -> u64 {
+    CURRENT.with(|c| c.get())
+}

@@ -42,7 +42,9 @@ impl BigNat {
     pub fn from_u128(v: u128) -> Self {
         let lo = v as u64;
         let hi = (v >> 64) as u64;
-        let mut n = BigNat { limbs: vec![lo, hi] };
+        let mut n = BigNat {
+            limbs: vec![lo, hi],
+        };
         n.normalize();
         n
     }
@@ -182,7 +184,11 @@ impl BigNat {
         }
         let top = self.limbs.len() - 1;
         let hi = self.limbs[top] as f64;
-        let lo = if top > 0 { self.limbs[top - 1] as f64 } else { 0.0 };
+        let lo = if top > 0 {
+            self.limbs[top - 1] as f64
+        } else {
+            0.0
+        };
         let mantissa = hi + lo / 1.8446744073709552e19;
         mantissa.ln() + (top as f64) * 64.0 * std::f64::consts::LN_2
     }
@@ -265,7 +271,13 @@ mod tests {
 
     #[test]
     fn from_u128_roundtrip() {
-        for v in [0u128, 1, u64::MAX as u128, (u64::MAX as u128) + 5, u128::MAX] {
+        for v in [
+            0u128,
+            1,
+            u64::MAX as u128,
+            (u64::MAX as u128) + 5,
+            u128::MAX,
+        ] {
             assert_eq!(BigNat::from_u128(v).to_u128(), Some(v));
         }
     }

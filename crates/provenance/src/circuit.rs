@@ -326,8 +326,7 @@ impl Circuit {
             let t_root = self.effective_support_len(root, cond_var);
             let free = universe.len() - t_root;
             let filled = mul_fill_u128(&poly, free, &binom);
-            let mut out: Vec<BigNat> =
-                filled.into_iter().map(BigNat::from_u128).collect();
+            let mut out: Vec<BigNat> = filled.into_iter().map(BigNat::from_u128).collect();
             while out.len() < universe.len() + 1 {
                 out.push(BigNat::zero());
             }
@@ -430,14 +429,10 @@ impl Circuit {
                         mul_fill_u128(&p, missing, binom)
                     }
                     _ => {
-                        let p_hi =
-                            self.count_rec_u128_based(*hi, condition, memo, binom, base);
-                        let p_lo =
-                            self.count_rec_u128_based(*lo, condition, memo, binom, base);
-                        let miss_hi =
-                            t_self - 1 - self.effective_support_len(*hi, cond_var);
-                        let miss_lo =
-                            t_self - 1 - self.effective_support_len(*lo, cond_var);
+                        let p_hi = self.count_rec_u128_based(*hi, condition, memo, binom, base);
+                        let p_lo = self.count_rec_u128_based(*lo, condition, memo, binom, base);
+                        let miss_hi = t_self - 1 - self.effective_support_len(*hi, cond_var);
+                        let miss_lo = t_self - 1 - self.effective_support_len(*lo, cond_var);
                         let mut hi_part = mul_fill_u128(&p_hi, miss_hi, binom);
                         hi_part.insert(0, 0); // × z for var = true
                         let lo_part = mul_fill_u128(&p_lo, miss_lo, binom);
@@ -537,10 +532,8 @@ impl Circuit {
                         let p_hi = self.count_rec(*hi, condition, memo, binom);
                         let p_lo = self.count_rec(*lo, condition, memo, binom);
                         // hi branch: var is true (one z), free vars filled.
-                        let miss_hi =
-                            t_self - 1 - self.effective_support_len(*hi, cond_var);
-                        let miss_lo =
-                            t_self - 1 - self.effective_support_len(*lo, cond_var);
+                        let miss_hi = t_self - 1 - self.effective_support_len(*hi, cond_var);
+                        let miss_lo = t_self - 1 - self.effective_support_len(*lo, cond_var);
                         let mut hi_part = mul_fill(&p_hi, miss_hi, binom);
                         hi_part.insert(0, BigNat::zero()); // × z for var = true
                         let lo_part = mul_fill(&p_lo, miss_lo, binom);
@@ -797,7 +790,10 @@ mod tests {
         let root = c.mk_and(vec![l0, l1]);
         let counts = c.count_by_size(root, &[f(0), f(1)], None);
         // Only {x0, x1} satisfies: one model of size 2.
-        assert_eq!(counts.iter().map(BigNat::to_f64).collect::<Vec<_>>(), vec![0.0, 0.0, 1.0]);
+        assert_eq!(
+            counts.iter().map(BigNat::to_f64).collect::<Vec<_>>(),
+            vec![0.0, 0.0, 1.0]
+        );
         assert_eq!(c.count_models(root, &[f(0), f(1)]).to_f64(), 1.0);
     }
 
@@ -810,7 +806,10 @@ mod tests {
         let root = c.mk_decision(f(0), t, l1);
         let counts = c.count_by_size(root, &[f(0), f(1)], None);
         // Satisfying: {x0}, {x1}, {x0,x1} → sizes 1,1,2.
-        assert_eq!(counts.iter().map(BigNat::to_f64).collect::<Vec<_>>(), vec![0.0, 2.0, 1.0]);
+        assert_eq!(
+            counts.iter().map(BigNat::to_f64).collect::<Vec<_>>(),
+            vec![0.0, 2.0, 1.0]
+        );
     }
 
     #[test]
@@ -820,7 +819,10 @@ mod tests {
         // Universe has an extra free variable x1.
         let counts = c.count_by_size(root, &[f(0), f(1)], None);
         // Models: {x0} (size 1), {x0,x1} (size 2).
-        assert_eq!(counts.iter().map(BigNat::to_f64).collect::<Vec<_>>(), vec![0.0, 1.0, 1.0]);
+        assert_eq!(
+            counts.iter().map(BigNat::to_f64).collect::<Vec<_>>(),
+            vec![0.0, 1.0, 1.0]
+        );
     }
 
     #[test]
@@ -830,9 +832,15 @@ mod tests {
         let l1 = c.mk_leaf(f(1));
         let root = c.mk_and(vec![l0, l1]);
         let on = c.count_by_size(root, &[f(1)], Some((f(0), true)));
-        assert_eq!(on.iter().map(BigNat::to_f64).collect::<Vec<_>>(), vec![0.0, 1.0]);
+        assert_eq!(
+            on.iter().map(BigNat::to_f64).collect::<Vec<_>>(),
+            vec![0.0, 1.0]
+        );
         let off = c.count_by_size(root, &[f(1)], Some((f(0), false)));
-        assert_eq!(off.iter().map(BigNat::to_f64).collect::<Vec<_>>(), vec![0.0, 0.0]);
+        assert_eq!(
+            off.iter().map(BigNat::to_f64).collect::<Vec<_>>(),
+            vec![0.0, 0.0]
+        );
     }
 
     #[test]
@@ -843,10 +851,16 @@ mod tests {
         let root = c.mk_decision(f(0), t, l1); // x0 ∨ x1
         let on = c.count_by_size(root, &[f(1)], Some((f(0), true)));
         // x0=1 → formula true: models over {x1} = {}, {x1}.
-        assert_eq!(on.iter().map(BigNat::to_f64).collect::<Vec<_>>(), vec![1.0, 1.0]);
+        assert_eq!(
+            on.iter().map(BigNat::to_f64).collect::<Vec<_>>(),
+            vec![1.0, 1.0]
+        );
         let off = c.count_by_size(root, &[f(1)], Some((f(0), false)));
         // x0=0 → formula = x1.
-        assert_eq!(off.iter().map(BigNat::to_f64).collect::<Vec<_>>(), vec![0.0, 1.0]);
+        assert_eq!(
+            off.iter().map(BigNat::to_f64).collect::<Vec<_>>(),
+            vec![0.0, 1.0]
+        );
     }
 
     #[test]
@@ -935,6 +949,9 @@ mod tests {
         assert_eq!(b.binom(10, 0).to_f64(), 1.0);
         assert_eq!(b.binom(10, 10).to_f64(), 1.0);
         assert_eq!(b.binom(4, 7).to_f64(), 0.0);
-        assert_eq!(b.row(3).iter().map(BigNat::to_f64).collect::<Vec<_>>(), vec![1.0, 3.0, 3.0, 1.0]);
+        assert_eq!(
+            b.row(3).iter().map(BigNat::to_f64).collect::<Vec<_>>(),
+            vec![1.0, 3.0, 3.0, 1.0]
+        );
     }
 }

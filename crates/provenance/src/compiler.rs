@@ -74,6 +74,9 @@ pub struct Compiled {
 
 /// Compile a monotone DNF into a decision-DNNF.
 pub fn compile(dnf: &Dnf, opts: CompileOptions) -> Compiled {
+    let mut sp = ls_obs::span("provenance.compile")
+        .with("monomials", dnf.len())
+        .with("vars", dnf.variables().len());
     let mut c = Compiler {
         circuit: Circuit::new(),
         cache: HashMap::new(),
@@ -88,7 +91,19 @@ pub fn compile(dnf: &Dnf, opts: CompileOptions) -> Compiled {
         decisions: c.decisions,
         cache_hits: c.cache_hits,
     };
-    Compiled { circuit: c.circuit, root, stats }
+    sp.record("nodes", stats.nodes);
+    sp.record("decisions", stats.decisions);
+    if ls_obs::enabled() {
+        ls_obs::counter("provenance.compilations").incr();
+        ls_obs::counter("provenance.gates").add(stats.nodes as u64);
+        ls_obs::counter("provenance.decisions").add(stats.decisions as u64);
+        ls_obs::counter("provenance.cache_hits").add(stats.cache_hits as u64);
+    }
+    Compiled {
+        circuit: c.circuit,
+        root,
+        stats,
+    }
 }
 
 /// Facts contained in every monomial of `dnf` (sorted).
@@ -146,8 +161,7 @@ impl Compiler {
             self.components_cache.len() > 1
         } {
             let comps = std::mem::take(&mut self.components_cache);
-            let children: Vec<NodeId> =
-                comps.into_iter().map(|c| self.compile_rec(c)).collect();
+            let children: Vec<NodeId> = comps.into_iter().map(|c| self.compile_rec(c)).collect();
             self.circuit.mk_disjoint_or(children)
         } else {
             let common = if self.opts.disable_factoring {
@@ -304,7 +318,10 @@ mod tests {
         let d = dnf(&[&[1, 2], &[2, 3], &[1, 3]]);
         let c = compile(
             &d,
-            CompileOptions { var_order: VarOrder::Lexicographic, ..Default::default() },
+            CompileOptions {
+                var_order: VarOrder::Lexicographic,
+                ..Default::default()
+            },
         );
         c.circuit.check_invariants(c.root).unwrap();
         for mask in 0u32..8 {
@@ -315,7 +332,10 @@ mod tests {
                 .filter(|(i, _)| mask >> i & 1 == 1)
                 .map(|(_, f)| *f)
                 .collect();
-            assert_eq!(d.eval_sorted(&chosen), c.circuit.eval_sorted(c.root, &chosen));
+            assert_eq!(
+                d.eval_sorted(&chosen),
+                c.circuit.eval_sorted(c.root, &chosen)
+            );
         }
     }
 
@@ -324,7 +344,10 @@ mod tests {
         let d = dnf(&[&[0, 1], &[0, 2], &[0, 3]]);
         let c = compile(
             &d,
-            CompileOptions { disable_factoring: true, ..Default::default() },
+            CompileOptions {
+                disable_factoring: true,
+                ..Default::default()
+            },
         );
         c.circuit.check_invariants(c.root).unwrap();
         assert!(c.circuit.eval_sorted(c.root, &[FactId(0), FactId(2)]));
@@ -372,7 +395,10 @@ mod tests {
         let d = dnf(&[&[1, 2], &[3, 4]]);
         let c = compile(
             &d,
-            CompileOptions { disable_or_decomposition: true, ..Default::default() },
+            CompileOptions {
+                disable_or_decomposition: true,
+                ..Default::default()
+            },
         );
         assert!(c.stats.decisions > 0, "must fall back to Shannon");
         c.circuit.check_invariants(c.root).unwrap();

@@ -10,7 +10,8 @@ use std::fmt::Write as _;
 
 /// Render the sub-circuit reachable from `root` as a DOT digraph.
 pub fn circuit_to_dot(circuit: &Circuit, root: NodeId) -> String {
-    let mut out = String::from("digraph ddnnf {\n  rankdir=TB;\n  node [fontname=\"monospace\"];\n");
+    let mut out =
+        String::from("digraph ddnnf {\n  rankdir=TB;\n  node [fontname=\"monospace\"];\n");
     let mut visited: BTreeSet<NodeId> = BTreeSet::new();
     let mut stack = vec![root];
     while let Some(id) = stack.pop() {
@@ -42,11 +43,7 @@ pub fn circuit_to_dot(circuit: &Circuit, root: NodeId) -> String {
                 }
             }
             Node::Decision { var, hi, lo } => {
-                let _ = writeln!(
-                    out,
-                    "  n{} [label=\"{var}?\", shape=diamond];",
-                    id.0
-                );
+                let _ = writeln!(out, "  n{} [label=\"{var}?\", shape=diamond];", id.0);
                 let _ = writeln!(out, "  n{} -> n{} [label=\"1\"];", id.0, hi.0);
                 let _ = writeln!(out, "  n{} -> n{} [label=\"0\", style=dashed];", id.0, lo.0);
                 stack.push(*hi);

@@ -23,17 +23,23 @@ pub struct Dnf {
 impl Dnf {
     /// The constant `false`.
     pub fn fls() -> Self {
-        Dnf { monomials: Vec::new() }
+        Dnf {
+            monomials: Vec::new(),
+        }
     }
 
     /// The constant `true`.
     pub fn tru() -> Self {
-        Dnf { monomials: vec![Monomial::one()] }
+        Dnf {
+            monomials: vec![Monomial::one()],
+        }
     }
 
     /// Build from derivations, minimizing by absorption.
     pub fn from_monomials(monos: Vec<Monomial>) -> Self {
-        Dnf { monomials: minimize_dnf(monos) }
+        Dnf {
+            monomials: minimize_dnf(monos),
+        }
     }
 
     /// The provenance of an output tuple (its derivations are already
@@ -85,8 +91,7 @@ impl Dnf {
             if m.contains(f) {
                 if val {
                     // Drop f from the monomial.
-                    let rest: Vec<FactId> =
-                        m.facts().iter().copied().filter(|&x| x != f).collect();
+                    let rest: Vec<FactId> = m.facts().iter().copied().filter(|&x| x != f).collect();
                     out.push(Monomial::from_facts(rest));
                 }
                 // f=false kills the monomial.
@@ -116,8 +121,7 @@ impl Dnf {
             parent[i]
         }
         // Union monomials sharing a variable via a var → first-owner map.
-        let mut owner: std::collections::HashMap<FactId, usize> =
-            std::collections::HashMap::new();
+        let mut owner: std::collections::HashMap<FactId, usize> = std::collections::HashMap::new();
         for (i, m) in self.monomials.iter().enumerate() {
             for f in m.facts() {
                 match owner.get(f) {
@@ -141,7 +145,9 @@ impl Dnf {
         }
         groups
             .into_values()
-            .map(|monos| Dnf { monomials: minimize_dnf(monos) })
+            .map(|monos| Dnf {
+                monomials: minimize_dnf(monos),
+            })
             .collect()
     }
 

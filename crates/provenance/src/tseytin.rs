@@ -31,12 +31,18 @@ pub struct Literal {
 impl Literal {
     /// Positive literal.
     pub fn pos(var: CnfVar) -> Self {
-        Literal { var, positive: true }
+        Literal {
+            var,
+            positive: true,
+        }
     }
 
     /// Negative literal.
     pub fn neg(var: CnfVar) -> Self {
-        Literal { var, positive: false }
+        Literal {
+            var,
+            positive: false,
+        }
     }
 }
 
@@ -86,7 +92,14 @@ impl Cnf {
         if !top.is_empty() {
             clauses.push(top);
         }
-        Cnf { clauses, num_aux: k }
+        if ls_obs::enabled() {
+            ls_obs::counter("provenance.tseytin_clauses").add(clauses.len() as u64);
+            ls_obs::counter("provenance.tseytin_aux_vars").add(u64::from(k));
+        }
+        Cnf {
+            clauses,
+            num_aux: k,
+        }
     }
 
     /// Evaluate under an assignment: `facts` lists the true facts (sorted),

@@ -8,16 +8,14 @@ use proptest::prelude::*;
 
 /// A random monotone DNF over at most 10 variables with at most 6 monomials.
 fn small_dnf() -> impl Strategy<Value = Dnf> {
-    proptest::collection::vec(proptest::collection::vec(0u32..10, 1..5), 0..6).prop_map(
-        |monos| {
-            Dnf::from_monomials(
-                monos
-                    .into_iter()
-                    .map(|ids| Monomial::from_facts(ids.into_iter().map(FactId).collect()))
-                    .collect(),
-            )
-        },
-    )
+    proptest::collection::vec(proptest::collection::vec(0u32..10, 1..5), 0..6).prop_map(|monos| {
+        Dnf::from_monomials(
+            monos
+                .into_iter()
+                .map(|ids| Monomial::from_facts(ids.into_iter().map(FactId).collect()))
+                .collect(),
+        )
+    })
 }
 
 fn all_assignments(vars: &[FactId]) -> Vec<Vec<FactId>> {

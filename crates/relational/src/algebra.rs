@@ -21,7 +21,10 @@ pub struct ColRef {
 impl ColRef {
     /// Construct a column reference.
     pub fn new(table: impl Into<String>, column: impl Into<String>) -> Self {
-        ColRef { table: table.into(), column: column.into() }
+        ColRef {
+            table: table.into(),
+            column: column.into(),
+        }
     }
 }
 
@@ -167,12 +170,18 @@ impl TableRef {
     /// An unaliased table reference.
     pub fn plain(table: impl Into<String>) -> Self {
         let table = table.into();
-        TableRef { alias: table.clone(), table }
+        TableRef {
+            alias: table.clone(),
+            table,
+        }
     }
 
     /// An aliased table reference.
     pub fn aliased(table: impl Into<String>, alias: impl Into<String>) -> Self {
-        TableRef { table: table.into(), alias: alias.into() }
+        TableRef {
+            table: table.into(),
+            alias: alias.into(),
+        }
     }
 }
 
@@ -219,13 +228,19 @@ pub struct Query {
 impl Query {
     /// Wrap a single block as a query.
     pub fn single(block: SpjBlock) -> Self {
-        Query { blocks: vec![block] }
+        Query {
+            blocks: vec![block],
+        }
     }
 
     /// The paper's query-complexity measure: the maximum number of tables
     /// joined by any branch.
     pub fn join_width(&self) -> usize {
-        self.blocks.iter().map(SpjBlock::join_width).max().unwrap_or(0)
+        self.blocks
+            .iter()
+            .map(SpjBlock::join_width)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Output arity (from the first block).
@@ -261,10 +276,17 @@ mod tests {
 
     #[test]
     fn selection_matches() {
-        let s = Selection::Cmp { col: cr("movies", "year"), op: CmpOp::Eq, lit: Value::Int(2007) };
+        let s = Selection::Cmp {
+            col: cr("movies", "year"),
+            op: CmpOp::Eq,
+            lit: Value::Int(2007),
+        };
         assert!(s.matches(&Value::Int(2007)));
         assert!(!s.matches(&Value::Int(2008)));
-        let p = Selection::StartsWith { col: cr("actors", "name"), prefix: "B".into() };
+        let p = Selection::StartsWith {
+            col: cr("actors", "name"),
+            prefix: "B".into(),
+        };
         assert!(p.matches(&Value::from("Bob")));
         assert!(!p.matches(&Value::from("Alice")));
         assert!(!p.matches(&Value::Int(3)));
@@ -300,9 +322,16 @@ mod tests {
     fn display_formats() {
         assert_eq!(cr("movies", "year").to_string(), "movies.year");
         assert_eq!(CmpOp::Ge.to_string(), ">=");
-        let s = Selection::Cmp { col: cr("m", "y"), op: CmpOp::Gt, lit: Value::Int(2010) };
+        let s = Selection::Cmp {
+            col: cr("m", "y"),
+            op: CmpOp::Gt,
+            lit: Value::Int(2010),
+        };
         assert_eq!(s.to_string(), "m.y > 2010");
-        let p = Selection::StartsWith { col: cr("a", "name"), prefix: "B".into() };
+        let p = Selection::StartsWith {
+            col: cr("a", "name"),
+            prefix: "B".into(),
+        };
         assert_eq!(p.to_string(), "a.name LIKE 'B%'");
     }
 }

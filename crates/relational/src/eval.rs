@@ -86,7 +86,9 @@ pub struct EvalError {
 
 impl EvalError {
     fn new(message: impl Into<String>) -> Self {
-        EvalError { message: message.into() }
+        EvalError {
+            message: message.into(),
+        }
     }
 }
 
@@ -100,6 +102,7 @@ impl std::error::Error for EvalError {}
 
 /// Evaluate an SPJU query with provenance tracking.
 pub fn evaluate(db: &Database, q: &Query) -> Result<QueryResult, EvalError> {
+    let mut sp = ls_obs::span("relational.evaluate").with("blocks", q.blocks.len());
     let mut by_values: BTreeMap<Vec<Value>, Vec<Monomial>> = BTreeMap::new();
     for block in &q.blocks {
         let rows = eval_block(db, block)?;
@@ -107,10 +110,18 @@ pub fn evaluate(db: &Database, q: &Query) -> Result<QueryResult, EvalError> {
             by_values.entry(values).or_default().push(mono);
         }
     }
-    let tuples = by_values
+    let tuples: Vec<OutputTuple> = by_values
         .into_iter()
-        .map(|(values, monos)| OutputTuple { values, derivations: minimize_dnf(monos) })
+        .map(|(values, monos)| OutputTuple {
+            values,
+            derivations: minimize_dnf(monos),
+        })
         .collect();
+    sp.record("tuples", tuples.len());
+    if ls_obs::enabled() {
+        ls_obs::counter("relational.tuples_emitted").add(tuples.len() as u64);
+        ls_obs::counter("relational.queries").incr();
+    }
     Ok(QueryResult { tuples })
 }
 
@@ -137,14 +148,23 @@ struct Intermediate {
 
 /// Evaluate a single SPJ block, returning `(projected values, monomial)` rows.
 fn eval_block(db: &Database, b: &SpjBlock) -> Result<Vec<(Vec<Value>, Monomial)>, EvalError> {
+    // Per-operator row totals, accumulated locally (plain integer adds) and
+    // published to the ls-obs counters once per block so that disabled-mode
+    // overhead stays within noise.
+    let mut rows_scanned = 0u64;
+    let mut rows_joined = 0u64;
     // Scan each alias with its pushed-down selections.
     let mut scans: Vec<(String, Vec<String>, Vec<Intermediate>)> = Vec::new();
     for tref in &b.tables {
         let table = db
             .table(&tref.table)
             .ok_or_else(|| EvalError::new(format!("no such table `{}`", tref.table)))?;
-        let col_names: Vec<String> =
-            table.schema.columns.iter().map(|c| c.name.clone()).collect();
+        let col_names: Vec<String> = table
+            .schema
+            .columns
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
         let sels: Vec<_> = b
             .selections
             .iter()
@@ -161,6 +181,7 @@ fn eval_block(db: &Database, b: &SpjBlock) -> Result<Vec<(Vec<Value>, Monomial)>
         }
         let mut rows = Vec::new();
         for row in table.iter() {
+            rows_scanned += 1;
             let passes = sels.iter().all(|s| {
                 let idx = table
                     .schema
@@ -258,19 +279,25 @@ fn eval_block(db: &Database, b: &SpjBlock) -> Result<Vec<(Vec<Value>, Monomial)>
         let base_width = layout.len();
         let mut joined = Vec::new();
         for cur in &current {
-            let key: Vec<Value> =
-                bound_key_idx.iter().map(|&i| cur.values[i].clone()).collect();
+            let key: Vec<Value> = bound_key_idx
+                .iter()
+                .map(|&i| cur.values[i].clone())
+                .collect();
             if let Some(matches) = hash.get(&key) {
                 for m in matches {
                     let mut values = cur.values.clone();
                     values.extend(m.values.iter().cloned());
-                    joined.push(Intermediate { values, mono: cur.mono.and(&m.mono) });
+                    joined.push(Intermediate {
+                        values,
+                        mono: cur.mono.and(&m.mono),
+                    });
                 }
             }
         }
         for (i, c) in col_names.iter().enumerate() {
             layout.insert((alias.clone(), c.clone()), base_width + i);
         }
+        rows_joined += joined.len() as u64;
         current = joined;
         bound.push(alias);
     }
@@ -285,6 +312,11 @@ fn eval_block(db: &Database, b: &SpjBlock) -> Result<Vec<(Vec<Value>, Monomial)>
             .get(&(j.right.table.clone(), j.right.column.clone()))
             .expect("validated above");
         current.retain(|r| r.values[li] == r.values[ri]);
+    }
+
+    if ls_obs::enabled() {
+        ls_obs::counter("relational.rows_scanned").add(rows_scanned);
+        ls_obs::counter("relational.rows_joined").add(rows_joined);
     }
 
     // Project.
@@ -335,7 +367,11 @@ mod tests {
         let mut db = Database::new();
         db.create_table(TableSchema::new(
             "movies",
-            &[("title", ColType::Str), ("year", ColType::Int), ("company", ColType::Str)],
+            &[
+                ("title", ColType::Str),
+                ("year", ColType::Int),
+                ("company", ColType::Str),
+            ],
         ));
         db.create_table(TableSchema::new(
             "actors",
@@ -350,10 +386,22 @@ mod tests {
             &[("actor", ColType::Str), ("movie", ColType::Str)],
         ));
         // movies: m1..m5
-        db.insert("movies", vec!["Superman".into(), 2007.into(), "Universal".into()]);
-        db.insert("movies", vec!["Batman".into(), 2007.into(), "Universal".into()]);
-        db.insert("movies", vec!["Spiderman".into(), 2007.into(), "Warner".into()]);
-        db.insert("movies", vec!["Aquaman".into(), 2006.into(), "Warner".into()]);
+        db.insert(
+            "movies",
+            vec!["Superman".into(), 2007.into(), "Universal".into()],
+        );
+        db.insert(
+            "movies",
+            vec!["Batman".into(), 2007.into(), "Universal".into()],
+        );
+        db.insert(
+            "movies",
+            vec!["Spiderman".into(), 2007.into(), "Warner".into()],
+        );
+        db.insert(
+            "movies",
+            vec!["Aquaman".into(), 2006.into(), "Warner".into()],
+        );
         db.insert("movies", vec!["Iceman".into(), 2007.into(), "Sony".into()]);
         // actors: a1..a4
         db.insert("actors", vec!["Alice".into(), 45.into()]);
@@ -386,8 +434,7 @@ mod tests {
         let db = figure1_db();
         let q = parse_query(Q_INF).unwrap();
         let res = evaluate(&db, &q).unwrap();
-        let names: Vec<String> =
-            res.tuples.iter().map(|t| t.values[0].to_string()).collect();
+        let names: Vec<String> = res.tuples.iter().map(|t| t.values[0].to_string()).collect();
         assert_eq!(names, vec!["Alice", "Bob", "David"]);
     }
 

@@ -43,14 +43,16 @@ impl fmt::Display for Operation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Operation::Projection { table, column } => write!(f, "Π[{table}.{column}]"),
-            Operation::Selection { table, column, cond } => {
+            Operation::Selection {
+                table,
+                column,
+                cond,
+            } => {
                 write!(f, "σ[{table}.{column} {cond}]")
             }
-            Operation::Join { left, right } => write!(
-                f,
-                "⋈[{}.{} = {}.{}]",
-                left.0, left.1, right.0, right.1
-            ),
+            Operation::Join { left, right } => {
+                write!(f, "⋈[{}.{} = {}.{}]", left.0, left.1, right.0, right.1)
+            }
         }
     }
 }
@@ -65,9 +67,7 @@ pub fn operations(q: &Query) -> BTreeSet<Operation> {
 }
 
 fn block_operations(b: &SpjBlock, ops: &mut BTreeSet<Operation>) {
-    let resolve = |alias: &str| -> String {
-        b.table_of_alias(alias).unwrap_or(alias).to_owned()
-    };
+    let resolve = |alias: &str| -> String { b.table_of_alias(alias).unwrap_or(alias).to_owned() };
     for c in &b.projection {
         ops.insert(Operation::Projection {
             table: resolve(&c.table),
@@ -134,10 +134,9 @@ mod tests {
 
     #[test]
     fn union_blocks_merge() {
-        let q = parse_query(
-            "SELECT a.x FROM a WHERE a.y = 1 UNION SELECT a.x FROM a WHERE a.y = 2",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT a.x FROM a WHERE a.y = 1 UNION SELECT a.x FROM a WHERE a.y = 2")
+                .unwrap();
         // Shared projection + two distinct selections.
         assert_eq!(operations(&q).len(), 3);
     }

@@ -16,7 +16,10 @@ pub struct Column {
 impl Column {
     /// Construct a column.
     pub fn new(name: impl Into<String>, ty: ColType) -> Self {
-        Column { name: name.into(), ty }
+        Column {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -45,7 +48,10 @@ impl TableSchema {
                 name_ref(&columns, i)
             );
         }
-        TableSchema { name: name.into(), columns }
+        TableSchema {
+            name: name.into(),
+            columns,
+        }
     }
 
     /// Index of the column with the given name, if present.

@@ -185,7 +185,10 @@ fn lex_string(input: &str, start: usize) -> Result<(String, usize), LexError> {
             i += ch_len;
         }
     }
-    Err(LexError { message: "unterminated string literal".into(), offset: start })
+    Err(LexError {
+        message: "unterminated string literal".into(),
+        offset: start,
+    })
 }
 
 fn utf8_len(first: u8) -> usize {

@@ -31,7 +31,9 @@ pub struct ParseError {
 
 impl ParseError {
     fn new(message: impl Into<String>) -> Self {
-        ParseError { message: message.into() }
+        ParseError {
+            message: message.into(),
+        }
     }
 }
 
@@ -86,7 +88,8 @@ impl Parser {
     }
 
     fn peek_describe(&self) -> String {
-        self.peek().map_or_else(|| "<end>".into(), |t| t.to_string())
+        self.peek()
+            .map_or_else(|| "<end>".into(), |t| t.to_string())
     }
 
     fn advance(&mut self) -> Option<Token> {
@@ -159,7 +162,10 @@ impl Parser {
         }
         for (i, t) in tables.iter().enumerate() {
             if tables[..i].iter().any(|p| p.alias == t.alias) {
-                return Err(ParseError::new(format!("duplicate table alias `{}`", t.alias)));
+                return Err(ParseError::new(format!(
+                    "duplicate table alias `{}`",
+                    t.alias
+                )));
             }
         }
         let mut joins = Vec::new();
@@ -172,7 +178,13 @@ impl Parser {
                 }
             }
         }
-        let block = SpjBlock { tables, joins, selections, projection, distinct };
+        let block = SpjBlock {
+            tables,
+            joins,
+            selections,
+            projection,
+            distinct,
+        };
         self.validate_refs(&block)?;
         Ok(block)
     }
@@ -209,14 +221,19 @@ impl Parser {
                 }
             };
             let prefix = pat.strip_suffix('%').ok_or_else(|| {
-                ParseError::new(format!("only `prefix%` LIKE patterns supported, got `{pat}`"))
+                ParseError::new(format!(
+                    "only `prefix%` LIKE patterns supported, got `{pat}`"
+                ))
             })?;
             if prefix.contains('%') || prefix.contains('_') {
                 return Err(ParseError::new(format!(
                     "only `prefix%` LIKE patterns supported, got `{pat}`"
                 )));
             }
-            selections.push(Selection::StartsWith { col: lhs, prefix: prefix.to_owned() });
+            selections.push(Selection::StartsWith {
+                col: lhs,
+                prefix: prefix.to_owned(),
+            });
             return Ok(());
         }
         let op = match self.advance() {
@@ -260,7 +277,10 @@ impl Parser {
     fn validate_refs(&self, block: &SpjBlock) -> Result<(), ParseError> {
         let check = |c: &ColRef| -> Result<(), ParseError> {
             if block.table_of_alias(&c.table).is_none() {
-                Err(ParseError::new(format!("unknown table alias `{}` in `{c}`", c.table)))
+                Err(ParseError::new(format!(
+                    "unknown table alias `{}` in `{c}`",
+                    c.table
+                )))
             } else {
                 Ok(())
             }
@@ -318,10 +338,9 @@ mod tests {
 
     #[test]
     fn parse_union() {
-        let q = parse_query(
-            "SELECT a.x FROM a WHERE a.y = 1 UNION SELECT b.x FROM b WHERE b.y > 2",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT a.x FROM a WHERE a.y = 1 UNION SELECT b.x FROM b WHERE b.y > 2")
+                .unwrap();
         assert_eq!(q.blocks.len(), 2);
         assert!(q.is_union());
         assert!(!q.blocks[0].distinct);
@@ -329,17 +348,15 @@ mod tests {
 
     #[test]
     fn union_arity_mismatch_rejected() {
-        let err =
-            parse_query("SELECT a.x FROM a UNION SELECT b.x, b.y FROM b").unwrap_err();
+        let err = parse_query("SELECT a.x FROM a UNION SELECT b.x, b.y FROM b").unwrap_err();
         assert!(err.message.contains("arities"));
     }
 
     #[test]
     fn parse_aliases() {
-        let q = parse_query(
-            "SELECT m1.title FROM movies m1, movies AS m2 WHERE m1.title = m2.title",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT m1.title FROM movies m1, movies AS m2 WHERE m1.title = m2.title")
+                .unwrap();
         let b = &q.blocks[0];
         assert_eq!(b.tables[0].alias, "m1");
         assert_eq!(b.tables[1].alias, "m2");
@@ -354,13 +371,13 @@ mod tests {
 
     #[test]
     fn like_prefix() {
-        let q = parse_query(
-            "SELECT actors.name FROM actors WHERE actors.name LIKE 'B%'",
-        )
-        .unwrap();
+        let q = parse_query("SELECT actors.name FROM actors WHERE actors.name LIKE 'B%'").unwrap();
         assert_eq!(
             q.blocks[0].selections[0],
-            Selection::StartsWith { col: ColRef::new("actors", "name"), prefix: "B".into() }
+            Selection::StartsWith {
+                col: ColRef::new("actors", "name"),
+                prefix: "B".into()
+            }
         );
     }
 

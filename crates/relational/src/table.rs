@@ -47,7 +47,10 @@ pub struct Table {
 impl Table {
     /// An empty table with the given schema.
     pub fn new(schema: TableSchema) -> Self {
-        Table { schema, rows: Vec::new() }
+        Table {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// Append a row with a pre-assigned fact id.
@@ -127,7 +130,10 @@ mod tests {
 
     #[test]
     fn row_display() {
-        let r = Row { values: vec!["Alice".into(), 45.into()], fact: FactId(3) };
+        let r = Row {
+            values: vec!["Alice".into(), 45.into()],
+            fact: FactId(3),
+        };
         assert_eq!(r.to_string(), "(Alice, 45)");
     }
 }

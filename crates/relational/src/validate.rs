@@ -67,7 +67,11 @@ impl fmt::Display for ValidateError {
                 write!(f, "unknown column `{column}` in table `{table}`")
             }
             ValidateError::UnknownAlias { alias } => write!(f, "unknown alias `{alias}`"),
-            ValidateError::SelectionTypeMismatch { col, col_type, lit_type } => write!(
+            ValidateError::SelectionTypeMismatch {
+                col,
+                col_type,
+                lit_type,
+            } => write!(
                 f,
                 "selection on `{col}` compares {col_type} column to {lit_type} literal"
             ),
@@ -78,7 +82,10 @@ impl fmt::Display for ValidateError {
                 write!(f, "join `{left} = {right}` compares different types")
             }
             ValidateError::UnionTypeMismatch { position } => {
-                write!(f, "UNION branches disagree on the type of output column {position}")
+                write!(
+                    f,
+                    "UNION branches disagree on the type of output column {position}"
+                )
             }
         }
     }
@@ -123,7 +130,9 @@ fn col_type(
     errors: &mut Vec<ValidateError>,
 ) -> Option<ColType> {
     let Some(table_name) = block.table_of_alias(&c.table) else {
-        errors.push(ValidateError::UnknownAlias { alias: c.table.clone() });
+        errors.push(ValidateError::UnknownAlias {
+            alias: c.table.clone(),
+        });
         return None;
     };
     let Some(schema) = catalog.table(table_name) else {
@@ -149,11 +158,15 @@ fn validate_block(
 ) -> Vec<ColType> {
     for t in &block.tables {
         if catalog.table(&t.table).is_none() {
-            errors.push(ValidateError::UnknownTable { table: t.table.clone() });
+            errors.push(ValidateError::UnknownTable {
+                table: t.table.clone(),
+            });
         }
     }
     for s in &block.selections {
-        let Some(ct) = col_type(catalog, block, s.col(), errors) else { continue };
+        let Some(ct) = col_type(catalog, block, s.col(), errors) else {
+            continue;
+        };
         match s {
             Selection::Cmp { lit, .. } => {
                 if lit.col_type() != ct {
@@ -166,7 +179,9 @@ fn validate_block(
             }
             Selection::StartsWith { .. } => {
                 if ct != ColType::Str {
-                    errors.push(ValidateError::LikeOnNonString { col: s.col().to_string() });
+                    errors.push(ValidateError::LikeOnNonString {
+                        col: s.col().to_string(),
+                    });
                 }
             }
         }
@@ -200,7 +215,11 @@ mod tests {
         let mut c = Catalog::new();
         c.add_table(TableSchema::new(
             "movies",
-            &[("title", ColType::Str), ("year", ColType::Int), ("company", ColType::Str)],
+            &[
+                ("title", ColType::Str),
+                ("year", ColType::Int),
+                ("company", ColType::Str),
+            ],
         ));
         c.add_table(TableSchema::new(
             "companies",
@@ -221,7 +240,11 @@ mod tests {
              AND companies.country LIKE 'U%'",
         );
         assert!(errs.is_empty(), "{errs:?}");
-        assert!(validate_strict(&catalog(), &parse_query("SELECT movies.title FROM movies").unwrap()).is_ok());
+        assert!(validate_strict(
+            &catalog(),
+            &parse_query("SELECT movies.title FROM movies").unwrap()
+        )
+        .is_ok());
     }
 
     #[test]
@@ -237,14 +260,20 @@ mod tests {
         let errs = check("SELECT movies.budget FROM movies");
         assert_eq!(
             errs,
-            vec![ValidateError::UnknownColumn { table: "movies".into(), column: "budget".into() }]
+            vec![ValidateError::UnknownColumn {
+                table: "movies".into(),
+                column: "budget".into()
+            }]
         );
     }
 
     #[test]
     fn selection_type_mismatch() {
         let errs = check("SELECT movies.title FROM movies WHERE movies.year = 'abc'");
-        assert!(matches!(errs[0], ValidateError::SelectionTypeMismatch { .. }));
+        assert!(matches!(
+            errs[0],
+            ValidateError::SelectionTypeMismatch { .. }
+        ));
         let msg = errs[0].to_string();
         assert!(msg.contains("INT") && msg.contains("TEXT"), "{msg}");
     }
@@ -257,17 +286,14 @@ mod tests {
 
     #[test]
     fn join_type_mismatch() {
-        let errs = check(
-            "SELECT movies.title FROM movies, companies WHERE movies.year = companies.name",
-        );
+        let errs =
+            check("SELECT movies.title FROM movies, companies WHERE movies.year = companies.name");
         assert!(matches!(errs[0], ValidateError::JoinTypeMismatch { .. }));
     }
 
     #[test]
     fn union_type_mismatch() {
-        let errs = check(
-            "SELECT movies.title FROM movies UNION SELECT movies.year FROM movies",
-        );
+        let errs = check("SELECT movies.title FROM movies UNION SELECT movies.year FROM movies");
         assert!(errs
             .iter()
             .any(|e| matches!(e, ValidateError::UnionTypeMismatch { position: 0 })));

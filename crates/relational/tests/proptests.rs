@@ -2,8 +2,8 @@
 //! round-trips, monomial algebra laws, and DNF minimization invariants.
 
 use ls_relational::{
-    minimize_dnf, parse_query, to_sql, CmpOp, ColRef, FactId, JoinCond, Monomial, Query,
-    Selection, SpjBlock, TableRef, Value,
+    minimize_dnf, parse_query, to_sql, CmpOp, ColRef, FactId, JoinCond, Monomial, Query, Selection,
+    SpjBlock, TableRef, Value,
 };
 use proptest::prelude::*;
 
@@ -50,14 +50,10 @@ fn spj_block() -> impl Strategy<Value = SpjBlock> {
                 let tabs = tables2.clone();
                 ident().prop_map(move |c| ColRef::new(tabs[t % tabs.len()].clone(), c))
             };
-            let proj = proptest::collection::vec(
-                (0..n).prop_flat_map(col.clone()),
-                1..3,
-            );
+            let proj = proptest::collection::vec((0..n).prop_flat_map(col.clone()), 1..3);
             let sels = proptest::collection::vec(
-                ((0..n).prop_flat_map(col.clone()), cmp_op(), value()).prop_map(
-                    |(col, op, lit)| Selection::Cmp { col, op, lit },
-                ),
+                ((0..n).prop_flat_map(col.clone()), cmp_op(), value())
+                    .prop_map(|(col, op, lit)| Selection::Cmp { col, op, lit }),
                 0..3,
             );
             let joins = if n < 2 {

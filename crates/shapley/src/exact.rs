@@ -53,9 +53,14 @@ pub fn shapley_values_compiled(compiled: &Compiled, players: &[FactId]) -> FactS
     if players.is_empty() {
         return out;
     }
+    let sp = ls_obs::span("shapley.exact")
+        .with("players", players.len())
+        .with("circuit_nodes", compiled.stats.nodes);
+    let telemetry = ls_obs::enabled();
     let weights = shapley_weights(players.len());
     let base = compiled.circuit.count_base(compiled.root, players.len());
     for &f in players {
+        let fact_start = telemetry.then(std::time::Instant::now);
         let others: Vec<FactId> = players.iter().copied().filter(|&x| x != f).collect();
         let (with, without) = match &base {
             Some(b) => (
@@ -67,12 +72,26 @@ pub fn shapley_values_compiled(compiled: &Compiled, players: &[FactId]) -> FactS
                     .count_by_size_based(compiled.root, &others, (f, false), b),
             ),
             None => (
-                compiled.circuit.count_by_size(compiled.root, &others, Some((f, true))),
-                compiled.circuit.count_by_size(compiled.root, &others, Some((f, false))),
+                compiled
+                    .circuit
+                    .count_by_size(compiled.root, &others, Some((f, true))),
+                compiled
+                    .circuit
+                    .count_by_size(compiled.root, &others, Some((f, false))),
             ),
         };
         out.insert(f, weighted_marginal_sum(&with, &without, &weights));
+        if let Some(start) = fact_start {
+            ls_obs::histogram("shapley.exact.per_fact").record(start.elapsed().as_secs_f64());
+        }
     }
+    if telemetry {
+        ls_obs::counter("shapley.exact.facts_scored").add(players.len() as u64);
+        // Every coalition size 0..n is counted analytically per fact.
+        ls_obs::counter("shapley.exact.coalition_sizes")
+            .add((players.len() * players.len()) as u64);
+    }
+    drop(sp);
     out
 }
 

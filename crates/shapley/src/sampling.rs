@@ -23,11 +23,17 @@ pub fn shapley_values_sampled(provenance: &Dnf, samples: usize, seed: u64) -> Fa
         }
         return out;
     }
+    let mut sp = ls_obs::span("shapley.sampled")
+        .with("players", players.len())
+        .with("samples", samples);
     let mut rng = StdRng::seed_from_u64(seed);
     let n = players.len();
     let mut totals = vec![0.0f64; n];
     let mut perm: Vec<usize> = (0..n).collect();
     let mut prefix: Vec<FactId> = Vec::with_capacity(n);
+    // A "coalition" here is each prefix the permutation walk evaluates;
+    // tallied locally and published once to keep the loop tight.
+    let mut coalitions = 0u64;
 
     for _ in 0..samples {
         perm.shuffle(&mut rng);
@@ -38,6 +44,7 @@ pub fn shapley_values_sampled(provenance: &Dnf, samples: usize, seed: u64) -> Fa
             let pos = prefix.binary_search(&f).unwrap_err();
             prefix.insert(pos, f);
             let now_sat = provenance.eval_sorted(&prefix);
+            coalitions += 1;
             if now_sat && !prev_sat {
                 totals[idx] += 1.0;
             }
@@ -50,6 +57,11 @@ pub fn shapley_values_sampled(provenance: &Dnf, samples: usize, seed: u64) -> Fa
     }
     for (i, &f) in players.iter().enumerate() {
         out.insert(f, totals[i] / samples as f64);
+    }
+    sp.record("coalitions", coalitions);
+    if ls_obs::enabled() {
+        ls_obs::meter("shapley.sampled.coalitions").mark(coalitions);
+        ls_obs::counter("shapley.sampled.permutations").add(samples as u64);
     }
     out
 }
@@ -76,10 +88,7 @@ mod tests {
         let est = shapley_values_sampled(&d, 20_000, 7);
         for (f, v) in &exact {
             let e = est[f];
-            assert!(
-                (e - v).abs() < 0.02,
-                "fact {f}: sampled {e} vs exact {v}"
-            );
+            assert!((e - v).abs() < 0.02, "fact {f}: sampled {e} vs exact {v}");
         }
     }
 
@@ -90,7 +99,10 @@ mod tests {
         let b = shapley_values_sampled(&d, 500, 42);
         assert_eq!(a, b);
         let c = shapley_values_sampled(&d, 500, 43);
-        assert!(a != c || a.len() <= 1, "different seeds should usually differ");
+        assert!(
+            a != c || a.len() <= 1,
+            "different seeds should usually differ"
+        );
     }
 
     #[test]

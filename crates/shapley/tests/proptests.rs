@@ -11,16 +11,14 @@ use ls_shapley::{
 use proptest::prelude::*;
 
 fn small_dnf() -> impl Strategy<Value = Dnf> {
-    proptest::collection::vec(proptest::collection::vec(0u32..9, 1..4), 1..6).prop_map(
-        |monos| {
-            Dnf::from_monomials(
-                monos
-                    .into_iter()
-                    .map(|ids| Monomial::from_facts(ids.into_iter().map(FactId).collect()))
-                    .collect(),
-            )
-        },
-    )
+    proptest::collection::vec(proptest::collection::vec(0u32..9, 1..4), 1..6).prop_map(|monos| {
+        Dnf::from_monomials(
+            monos
+                .into_iter()
+                .map(|ids| Monomial::from_facts(ids.into_iter().map(FactId).collect()))
+                .collect(),
+        )
+    })
 }
 
 proptest! {

@@ -68,7 +68,10 @@ pub fn greedy_matching(weights: &[Vec<f64>]) -> Matching {
             }
         }
     }
-    edges.sort_by(|a, b| b.0.total_cmp(&a.0).then_with(|| (a.1, a.2).cmp(&(b.1, b.2))));
+    edges.sort_by(|a, b| {
+        b.0.total_cmp(&a.0)
+            .then_with(|| (a.1, a.2).cmp(&(b.1, b.2)))
+    });
     let mut used_row = vec![false; n];
     let mut used_col = vec![false; m];
     let mut out = Vec::new();
@@ -232,7 +235,12 @@ mod tests {
         let got = matching_weight(&w, &m);
         // Enumerate all 6 permutations.
         let perms = [
-            [0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0],
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
         ];
         let best = perms
             .iter()

@@ -13,6 +13,7 @@ impl SimilarityMatrix {
     /// Build from a symmetric pairwise function (evaluated once per
     /// unordered pair; the diagonal uses `diag`).
     pub fn build(n: usize, diag: f64, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut sp = ls_obs::span("similarity.matrix").with("n", n);
         let mut values = vec![0.0; n * n];
         for i in 0..n {
             values[i * n + i] = diag;
@@ -22,6 +23,7 @@ impl SimilarityMatrix {
                 values[j * n + i] = v;
             }
         }
+        sp.record("pairs", n * n.saturating_sub(1) / 2);
         SimilarityMatrix { n, values }
     }
 

@@ -57,11 +57,7 @@ pub struct RankSimOptions {
 /// Rank-based similarity of two queries, given the per-output-tuple Shapley
 /// score maps of each (one `FactScores` per output tuple, in the evaluator's
 /// deterministic tuple order).
-pub fn rank_based_similarity(
-    a: &[FactScores],
-    b: &[FactScores],
-    opts: &RankSimOptions,
-) -> f64 {
+pub fn rank_based_similarity(a: &[FactScores], b: &[FactScores], opts: &RankSimOptions) -> f64 {
     let a = truncate(a, opts.max_tuples);
     let b = truncate(b, opts.max_tuples);
     let (n, m) = (a.len(), b.len());
@@ -89,8 +85,7 @@ pub fn rank_based_similarity(
             let universe: Vec<FactId> = match &global_universe {
                 Some(u) => u.clone(),
                 None => {
-                    let mut u: Vec<FactId> =
-                        sa.keys().chain(sb.keys()).copied().collect();
+                    let mut u: Vec<FactId> = sa.keys().chain(sb.keys()).copied().collect();
                     u.sort_unstable();
                     u.dedup();
                     u
@@ -139,7 +134,7 @@ mod tests {
             scores(&[(3, 0.8), (4, 0.2)]),
         ];
         let b = vec![
-            scores(&[(3, 0.7), (4, 0.1)]), // same order as a[1]
+            scores(&[(3, 0.7), (4, 0.1)]),            // same order as a[1]
             scores(&[(0, 0.8), (1, 0.4), (2, 0.05)]), // same order as a[0]
         ];
         let sim = rank_based_similarity(&a, &b, &RankSimOptions::default());
@@ -158,10 +153,7 @@ mod tests {
     fn unmatched_tuples_lower_the_score() {
         // One perfectly matching pair, one extra tuple on each side that
         // matches nothing: sim = 1 / (2 + 2 − 1) = 1/3.
-        let a = vec![
-            scores(&[(0, 0.9), (1, 0.1)]),
-            scores(&[(5, 0.9), (6, 0.1)]),
-        ];
+        let a = vec![scores(&[(0, 0.9), (1, 0.1)]), scores(&[(5, 0.9), (6, 0.1)])];
         let b = vec![
             scores(&[(0, 0.8), (1, 0.2)]),
             scores(&[(6, 0.9), (5, 0.1)]), // reversed vs a[1] → weight 0
@@ -174,8 +166,14 @@ mod tests {
     fn empty_queries_score_zero() {
         let a: Vec<FactScores> = vec![];
         let b = vec![scores(&[(0, 1.0)])];
-        assert_eq!(rank_based_similarity(&a, &b, &RankSimOptions::default()), 0.0);
-        assert_eq!(rank_based_similarity(&a, &a, &RankSimOptions::default()), 0.0);
+        assert_eq!(
+            rank_based_similarity(&a, &b, &RankSimOptions::default()),
+            0.0
+        );
+        assert_eq!(
+            rank_based_similarity(&a, &a, &RankSimOptions::default()),
+            0.0
+        );
     }
 
     #[test]
@@ -203,7 +201,10 @@ mod tests {
         let a: Vec<FactScores> = (0..10)
             .map(|i| scores(&[(i, 0.9), (i + 100, 0.1)]))
             .collect();
-        let opts = RankSimOptions { max_tuples: Some(2), ..Default::default() };
+        let opts = RankSimOptions {
+            max_tuples: Some(2),
+            ..Default::default()
+        };
         let sim_capped = rank_based_similarity(&a, &a, &opts);
         assert!((sim_capped - 1.0).abs() < 1e-12);
     }
@@ -218,7 +219,10 @@ mod tests {
         let global = rank_based_similarity(
             &a,
             &b,
-            &RankSimOptions { universe: UniverseMode::Global, ..Default::default() },
+            &RankSimOptions {
+                universe: UniverseMode::Global,
+                ..Default::default()
+            },
         );
         // Per-pair: the 4-fact union ranks disagree somewhat but the shared
         // zero-zero ties under Global raise the alignment weight.
@@ -239,7 +243,10 @@ mod tests {
         let g = rank_based_similarity(
             &a,
             &b,
-            &RankSimOptions { matcher: Matcher::Greedy, ..Default::default() },
+            &RankSimOptions {
+                matcher: Matcher::Greedy,
+                ..Default::default()
+            },
         );
         assert!(g <= h + 1e-12);
     }

@@ -54,8 +54,14 @@ mod tests {
     #[test]
     fn overlapping_results() {
         let db = movie_db();
-        let a = run(&db, "SELECT movies.title FROM movies WHERE movies.year = 2007");
-        let b = run(&db, "SELECT movies.title FROM movies WHERE movies.title = 'Superman'");
+        let a = run(
+            &db,
+            "SELECT movies.title FROM movies WHERE movies.year = 2007",
+        );
+        let b = run(
+            &db,
+            "SELECT movies.title FROM movies WHERE movies.title = 'Superman'",
+        );
         // a = {Superman, Batman}, b = {Superman} → 1/2.
         assert!((witness_similarity(&a, &b) - 0.5).abs() < 1e-12);
     }
@@ -63,8 +69,14 @@ mod tests {
     #[test]
     fn identical_results_score_one() {
         let db = movie_db();
-        let a = run(&db, "SELECT movies.title FROM movies WHERE movies.year = 2007");
-        let b = run(&db, "SELECT movies.title FROM movies WHERE movies.year >= 2007");
+        let a = run(
+            &db,
+            "SELECT movies.title FROM movies WHERE movies.year = 2007",
+        );
+        let b = run(
+            &db,
+            "SELECT movies.title FROM movies WHERE movies.year >= 2007",
+        );
         assert_eq!(witness_similarity(&a, &b), 1.0);
     }
 
@@ -79,15 +91,24 @@ mod tests {
     #[test]
     fn empty_results_score_zero() {
         let db = movie_db();
-        let a = run(&db, "SELECT movies.title FROM movies WHERE movies.year = 1900");
-        let b = run(&db, "SELECT movies.title FROM movies WHERE movies.year = 1901");
+        let a = run(
+            &db,
+            "SELECT movies.title FROM movies WHERE movies.year = 1900",
+        );
+        let b = run(
+            &db,
+            "SELECT movies.title FROM movies WHERE movies.year = 1901",
+        );
         assert_eq!(witness_similarity(&a, &b), 0.0);
     }
 
     #[test]
     fn symmetric() {
         let db = movie_db();
-        let a = run(&db, "SELECT movies.title FROM movies WHERE movies.year = 2007");
+        let a = run(
+            &db,
+            "SELECT movies.title FROM movies WHERE movies.year = 2007",
+        );
         let b = run(&db, "SELECT movies.title FROM movies");
         assert_eq!(witness_similarity(&a, &b), witness_similarity(&b, &a));
         assert!((witness_similarity(&a, &b) - 2.0 / 3.0).abs() < 1e-12);

@@ -13,7 +13,11 @@ use learnshapley::prelude::*;
 
 fn main() {
     let db = generate_academic(&AcademicConfig::default());
-    println!("synthetic Academic DB: {} facts, tables {:?}\n", db.fact_count(), db.table_names());
+    println!(
+        "synthetic Academic DB: {} facts, tables {:?}\n",
+        db.fact_count(),
+        db.table_names()
+    );
 
     // Pick an organization with prolific authors so the join is non-empty.
     let org = db
@@ -34,12 +38,20 @@ fn main() {
          AND author.org = '{org}' AND publication.year > 2010"
     );
     let q = parse_query(&sql).unwrap();
-    println!("audit query (joins {} tables):\n  {}\n", q.join_width(), to_sql(&q));
+    println!(
+        "audit query (joins {} tables):\n  {}\n",
+        q.join_width(),
+        to_sql(&q)
+    );
 
     let result = evaluate(&db, &q).unwrap();
     println!("domains with recent {org} publications:");
     for t in &result.tuples {
-        println!("  {} — {} facts contribute", t.value_string(), t.lineage().len());
+        println!(
+            "  {} — {} facts contribute",
+            t.value_string(),
+            t.lineage().len()
+        );
     }
 
     // Deep-dive on the domain with the largest lineage.

@@ -22,7 +22,10 @@ fn main() {
         db,
         &imdb_spec(),
         &DatasetConfig {
-            query_gen: QueryGenConfig { num_queries: 24, ..Default::default() },
+            query_gen: QueryGenConfig {
+                num_queries: 24,
+                ..Default::default()
+            },
             ..Default::default()
         },
     );
@@ -47,8 +50,16 @@ fn main() {
     let cfg = PipelineConfig {
         encoder: EncoderKind::Base,
         pretrain: Some(PretrainObjectives::default()),
-        pretrain_cfg: TrainConfig { epochs: 3, max_samples_per_epoch: 400, ..Default::default() },
-        finetune_cfg: TrainConfig { epochs: 4, max_samples_per_epoch: 600, ..Default::default() },
+        pretrain_cfg: TrainConfig {
+            epochs: 3,
+            max_samples_per_epoch: 400,
+            ..Default::default()
+        },
+        finetune_cfg: TrainConfig {
+            epochs: 4,
+            max_samples_per_epoch: 600,
+            ..Default::default()
+        },
         max_vocab: 2000,
     };
     let start = Instant::now();
@@ -62,7 +73,10 @@ fn main() {
 
     // ---- evaluate against the baselines -------------------------------------
     let ls = evaluate_model(&mut trained.model, &trained.tokenizer, &ds, &test, 64);
-    println!("\n{:<28} {:>8} {:>6} {:>6} {:>6}", "method", "NDCG@10", "p@1", "p@3", "p@5");
+    println!(
+        "\n{:<28} {:>8} {:>6} {:>6} {:>6}",
+        "method", "NDCG@10", "p@1", "p@3", "p@5"
+    );
     println!(
         "{:<28} {:>8.3} {:>6.3} {:>6.3} {:>6.3}",
         "LearnShapley-base", ls.ndcg10, ls.p1, ls.p3, ls.p5
@@ -72,7 +86,11 @@ fn main() {
         let mut summary = ls_core::EvalSummary::default();
         for &qi in &test {
             let q = &ds.queries[qi];
-            let probe = QueryProbe { query: &q.query, result: &q.result, tuple_scores: None };
+            let probe = QueryProbe {
+                query: &q.query,
+                result: &q.result,
+                tuple_scores: None,
+            };
             for t in &q.tuples {
                 let lineage: Vec<FactId> = t.shapley.keys().copied().collect();
                 summary.add(&nq.predict(&probe, &lineage), &t.shapley);
@@ -103,7 +121,10 @@ fn main() {
         &lineage,
         64,
     );
-    println!("\ndeployment demo — ranking the lineage of {}:", tuple.value_string());
+    println!(
+        "\ndeployment demo — ranking the lineage of {}:",
+        tuple.value_string()
+    );
     for (i, f) in ranking.iter().take(5).enumerate() {
         let (table, row) = ds.db.fact(*f).unwrap();
         let gold_rank = ls_shapley::rank_descending(&tuple_rec.shapley)
@@ -112,7 +133,12 @@ fn main() {
             .unwrap()
             + 1;
         let label: String = format!("{table} {row}").chars().take(48).collect();
-        println!("  predicted #{:<2} (gold #{:<2}) {}", i + 1, gold_rank, label);
+        println!(
+            "  predicted #{:<2} (gold #{:<2}) {}",
+            i + 1,
+            gold_rank,
+            label
+        );
     }
     println!("\nnote: inference used only the query text, the tuple and its lineage —");
     println!("no provenance was captured at deployment time.");

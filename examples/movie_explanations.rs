@@ -78,19 +78,25 @@ fn main() {
 
     // ---- Query similarity on a mutated family ------------------------------
     let variants = [
-        ("projection swap (≈ q3)",
-         "SELECT DISTINCT actors.age FROM movies, actors, companies, roles \
+        (
+            "projection swap (≈ q3)",
+            "SELECT DISTINCT actors.age FROM movies, actors, companies, roles \
           WHERE movies.title = roles.movie AND actors.name = roles.actor AND \
-          movies.company = companies.name AND companies.country = 'USA'"),
-        ("extra predicate (≈ q1)",
-         "SELECT DISTINCT actors.name FROM movies, actors, companies, roles \
+          movies.company = companies.name AND companies.country = 'USA'",
+        ),
+        (
+            "extra predicate (≈ q1)",
+            "SELECT DISTINCT actors.name FROM movies, actors, companies, roles \
           WHERE movies.title = roles.movie AND actors.name = roles.actor AND \
           movies.company = companies.name AND companies.country = 'USA' AND \
-          actors.age > 40"),
-        ("different country",
-         "SELECT DISTINCT actors.name FROM movies, actors, companies, roles \
+          actors.age > 40",
+        ),
+        (
+            "different country",
+            "SELECT DISTINCT actors.name FROM movies, actors, companies, roles \
           WHERE movies.title = roles.movie AND actors.name = roles.actor AND \
-          movies.company = companies.name AND companies.country = 'Japan'"),
+          movies.company = companies.name AND companies.country = 'Japan'",
+        ),
     ];
     println!("\nsimilarity of q to its variants (syntax / witness / rank):");
     for (label, sql) in variants {

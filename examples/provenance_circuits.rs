@@ -22,18 +22,31 @@ fn main() {
         Monomial::from_facts(vec![FactId(0), FactId(3), FactId(5), FactId(8)]),
     ]);
     println!("provenance (DNF): {prov}");
-    println!("lineage: {} facts, {} derivations\n", prov.variables().len(), prov.len());
+    println!(
+        "lineage: {} facts, {} derivations\n",
+        prov.variables().len(),
+        prov.len()
+    );
 
     // Compile under the default heuristics and the ablation configurations.
     for (label, opts) in [
-        ("default (most-frequent + factoring + disjoint-OR)", CompileOptions::default()),
+        (
+            "default (most-frequent + factoring + disjoint-OR)",
+            CompileOptions::default(),
+        ),
         (
             "lexicographic variable order",
-            CompileOptions { var_order: VarOrder::Lexicographic, ..Default::default() },
+            CompileOptions {
+                var_order: VarOrder::Lexicographic,
+                ..Default::default()
+            },
         ),
         (
             "no disjoint-OR decomposition",
-            CompileOptions { disable_or_decomposition: true, ..Default::default() },
+            CompileOptions {
+                disable_or_decomposition: true,
+                ..Default::default()
+            },
         ),
     ] {
         let c = compile(&prov, opts);
@@ -51,7 +64,9 @@ fn main() {
 
     // Cardinality-resolved model counting — the primitive behind Shapley.
     let universe = prov.variables();
-    let counts = compiled.circuit.count_by_size(compiled.root, &universe, None);
+    let counts = compiled
+        .circuit
+        .count_by_size(compiled.root, &universe, None);
     println!("\nsatisfying assignments by number of present facts:");
     for (k, c) in counts.iter().enumerate() {
         let v = c.to_f64();
@@ -75,7 +90,9 @@ fn main() {
 
     // Graphviz export.
     let dot = circuit_to_dot(&compiled.circuit, compiled.root);
-    let path = std::env::args().nth(1).unwrap_or_else(|| "circuit.dot".into());
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "circuit.dot".into());
     match std::fs::write(&path, &dot) {
         Ok(()) => println!("\ncircuit written to {path} (render: dot -Tsvg {path})"),
         Err(e) => println!("\ncould not write {path}: {e}\n{dot}"),

@@ -16,7 +16,11 @@ fn main() {
     let mut db = Database::new();
     db.create_table(TableSchema::new(
         "movies",
-        &[("title", ColType::Str), ("year", ColType::Int), ("company", ColType::Str)],
+        &[
+            ("title", ColType::Str),
+            ("year", ColType::Int),
+            ("company", ColType::Str),
+        ],
     ));
     db.create_table(TableSchema::new(
         "actors",
@@ -36,7 +40,10 @@ fn main() {
         ("Spiderman", 2007, "Warner"),
         ("Aquaman", 2006, "Warner"),
     ] {
-        db.insert("movies", vec![title.into(), i64::from(year).into(), company.into()]);
+        db.insert(
+            "movies",
+            vec![title.into(), i64::from(year).into(), company.into()],
+        );
     }
     for (name, age) in [("Alice", 45), ("Bob", 30), ("Carol", 38), ("David", 23)] {
         db.insert("actors", vec![name.into(), i64::from(age).into()]);
@@ -77,7 +84,9 @@ fn main() {
     }
 
     // ---- Example 2.1/2.2: provenance and exact Shapley for Alice ----------
-    let alice = result.tuple(&[Value::from("Alice")]).expect("Alice is an answer");
+    let alice = result
+        .tuple(&[Value::from("Alice")])
+        .expect("Alice is an answer");
     let prov = Dnf::of_tuple(alice);
     println!("\nProv(D, q_inf, Alice) = {prov}");
 
@@ -94,8 +103,14 @@ fn main() {
     let warner = find_fact(&db, "companies", "Warner");
     let c1 = scores[&universal];
     let c2 = scores[&warner];
-    println!("\nShapley(c1=Universal) = {c1:.6}  (paper: 10/63 ≈ {:.6})", 10.0 / 63.0);
-    println!("Shapley(c2=Warner)    = {c2:.6}  (paper: 19/252 ≈ {:.6})", 19.0 / 252.0);
+    println!(
+        "\nShapley(c1=Universal) = {c1:.6}  (paper: 10/63 ≈ {:.6})",
+        10.0 / 63.0
+    );
+    println!(
+        "Shapley(c2=Warner)    = {c2:.6}  (paper: 19/252 ≈ {:.6})",
+        19.0 / 252.0
+    );
     assert!((c1 - 10.0 / 63.0).abs() < 1e-9);
     assert!((c2 - 19.0 / 252.0).abs() < 1e-9);
     println!("\n✓ exact reproduction of Example 2.2");
@@ -104,6 +119,9 @@ fn main() {
 /// Find the fact id of the row of `table` whose first column equals `key`.
 fn find_fact(db: &Database, table: &str, key: &str) -> FactId {
     let t = db.table(table).expect("table exists");
-    let row = t.iter().find(|r| r.values[0].as_str() == Some(key)).expect("row exists");
+    let row = t
+        .iter()
+        .find(|r| r.values[0].as_str() == Some(key))
+        .expect("row exists");
     row.fact
 }

@@ -1,0 +1,146 @@
+//! A guided tour of the ls-obs telemetry layer.
+//!
+//! Runs a miniature of every instrumented stage — query evaluation,
+//! provenance compilation, exact + sampled Shapley, DBShap generation,
+//! training and inference — with the stderr span reporter turned on, then
+//! prints the final metrics summary (counters, gauges, histograms with
+//! p50/p90/p99, throughput meters).
+//!
+//! ```text
+//! cargo run --release --example telemetry_tour
+//! LS_OBS=trace cargo run --release --example telemetry_tour   # span opens too
+//! LS_OBS_JSONL=/tmp/tour.jsonl cargo run --release --example telemetry_tour
+//! ```
+
+use learnshapley::obs;
+use learnshapley::prelude::*;
+
+fn main() {
+    // Show span closes by default; an explicit LS_OBS choice wins.
+    if std::env::var_os("LS_OBS").is_none() {
+        obs::set_level(obs::Level::Spans);
+    }
+
+    // ---- 1. query evaluation (relational.*) --------------------------------
+    let mut db = Database::new();
+    db.create_table(TableSchema::new(
+        "movies",
+        &[
+            ("title", ColType::Str),
+            ("year", ColType::Int),
+            ("company", ColType::Str),
+        ],
+    ));
+    db.create_table(TableSchema::new(
+        "companies",
+        &[("name", ColType::Str), ("country", ColType::Str)],
+    ));
+    for (title, year, company) in [
+        ("Superman", 2007, "Universal"),
+        ("Batman", 2007, "Universal"),
+        ("Spiderman", 2007, "Warner"),
+        ("Aquaman", 2006, "Warner"),
+    ] {
+        db.insert(
+            "movies",
+            vec![title.into(), i64::from(year).into(), company.into()],
+        );
+    }
+    for (name, country) in [("Universal", "USA"), ("Warner", "USA"), ("Sony", "Japan")] {
+        db.insert("companies", vec![name.into(), country.into()]);
+    }
+    let q = parse_query(
+        "SELECT movies.title FROM movies, companies \
+         WHERE movies.company = companies.name AND companies.country = 'USA' \
+         AND movies.year = 2007",
+    )
+    .expect("query parses");
+    let result = evaluate(&db, &q).expect("query evaluates");
+    println!(
+        "1. evaluated `{}` → {} tuples",
+        to_sql(&q),
+        result.tuples.len()
+    );
+
+    // ---- 2. provenance compilation + Shapley (provenance.*, shapley.*) -----
+    let tuple = &result.tuples[0];
+    let prov = Dnf::of_tuple(tuple);
+    let compiled = compile(&prov, CompileOptions::default());
+    let exact = shapley_values(&prov);
+    let sampled = shapley_values_sampled(&prov, 200, 7);
+    println!(
+        "2. compiled provenance of {} ({} circuit nodes); exact Shapley over {} facts, \
+         sampled over {}",
+        tuple.value_string(),
+        compiled.stats.nodes,
+        exact.len(),
+        sampled.len(),
+    );
+
+    // ---- 3. DBShap generation (dbshap.*) -----------------------------------
+    let academic = generate_academic(&AcademicConfig::default());
+    let ds = Dataset::build(
+        academic,
+        &academic_spec(),
+        &DatasetConfig {
+            query_gen: QueryGenConfig {
+                num_queries: 10,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let train = ds.split_indices(Split::Train);
+    let ms = similarity_matrices(&ds, &RankSimOptions::default());
+    println!(
+        "3. built a {}-query DBShap instance ({} train)",
+        ds.queries.len(),
+        train.len()
+    );
+
+    // ---- 4. training (core.pretrain/finetune, nn.forward/backward) ---------
+    let cfg = PipelineConfig {
+        encoder: EncoderKind::SmallAblation,
+        pretrain: Some(PretrainObjectives::default()),
+        pretrain_cfg: TrainConfig {
+            epochs: 1,
+            max_samples_per_epoch: 60,
+            ..Default::default()
+        },
+        finetune_cfg: TrainConfig {
+            epochs: 2,
+            max_samples_per_epoch: 120,
+            ..Default::default()
+        },
+        max_vocab: 1200,
+    };
+    let mut trained = train_learnshapley(&ds, Some(&ms), &train, &cfg);
+    println!(
+        "4. trained a small model (fine-tune best dev NDCG@10 {:.3})",
+        trained.finetune.best_dev_ndcg
+    );
+
+    // ---- 5. inference (core.inference.*) -----------------------------------
+    let probe = &ds.queries[train[0]];
+    let rec = &probe.tuples[0];
+    let out_tuple = &probe.result.tuples[rec.tuple_idx];
+    let lineage: Vec<FactId> = rec.shapley.keys().copied().collect();
+    let scores = predict_scores(
+        &mut trained.model,
+        &trained.tokenizer,
+        &ds.db,
+        &probe.sql,
+        out_tuple,
+        &lineage,
+        64,
+    );
+    println!(
+        "5. scored the {}-fact lineage of {}",
+        scores.len(),
+        out_tuple.value_string()
+    );
+
+    // ---- final summary -----------------------------------------------------
+    println!("\nfinal metrics summary (also at process exit with LS_OBS=summary):\n");
+    println!("{}", obs::summary());
+}

@@ -1,0 +1,832 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no network access to crates.io, so the workspace
+//! vendors a from-scratch property-testing harness covering exactly the API
+//! surface the repo's test suites use: the `proptest!` macro (with
+//! `proptest_config`), `Strategy` with `prop_map` / `prop_flat_map` /
+//! `prop_filter` / `prop_filter_map` / `boxed`, `Just`, `prop_oneof!`,
+//! `any::<T>()`, integer-range strategies, regex-like `&str` string
+//! strategies, and `collection::{vec, btree_map}`.
+//!
+//! Semantics differ from upstream in two deliberate ways: case generation is
+//! seeded deterministically from the test name (fully reproducible, no
+//! persistence files), and failing cases are reported but **not shrunk**.
+
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// Deterministic RNG (SplitMix64).
+// ---------------------------------------------------------------------------
+
+/// Deterministic test-case RNG.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x5DEE_CE66_D1CE_4E5B,
+        }
+    }
+
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be nonzero.
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        let zone = u64::MAX - (u64::MAX % n);
+        loop {
+            let v = self.next_u64();
+            if v < zone {
+                return v % n;
+            }
+        }
+    }
+
+    /// Uniform usize in an inclusive range.
+    #[inline]
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        lo + self.below((hi - lo + 1) as u64) as usize
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy trait + combinators.
+// ---------------------------------------------------------------------------
+
+/// A generator of random values. `sample` returns `None` when a local filter
+/// rejected the draw; the runner retries the whole case.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        let _ = whence;
+        Filter { inner: self, f }
+    }
+
+    fn prop_filter_map<O, F>(self, whence: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        let _ = whence;
+        FilterMap { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> Option<O> {
+        self.inner.sample(rng).map(&self.f)
+    }
+}
+
+#[derive(Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut TestRng) -> Option<S2::Value> {
+        let mid = self.inner.sample(rng)?;
+        (self.f)(mid).sample(rng)
+    }
+}
+
+#[derive(Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        // A few local retries before punting the rejection to the runner.
+        for _ in 0..16 {
+            let v = self.inner.sample(rng)?;
+            if (self.f)(&v) {
+                return Some(v);
+            }
+        }
+        None
+    }
+}
+
+#[derive(Clone)]
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Option<O>,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> Option<O> {
+        for _ in 0..16 {
+            let v = self.inner.sample(rng)?;
+            if let Some(out) = (self.f)(v) {
+                return Some(out);
+            }
+        }
+        None
+    }
+}
+
+/// Type-erased strategy (`Strategy::boxed`). Cheap to clone.
+pub struct BoxedStrategy<V>(Rc<dyn DynStrategy<V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+trait DynStrategy<V> {
+    fn sample_dyn(&self, rng: &mut TestRng) -> Option<V>;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn sample_dyn(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.sample(rng)
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> Option<V> {
+        self.0.sample_dyn(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// Uniform choice between boxed alternatives (`prop_oneof!`).
+pub struct Union<V>(pub Vec<BoxedStrategy<V>>);
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> Option<V> {
+        assert!(!self.0.is_empty(), "prop_oneof! needs at least one arm");
+        let idx = rng.below(self.0.len() as u64) as usize;
+        self.0[idx].sample(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive strategies: integer ranges, `any`, strings.
+// ---------------------------------------------------------------------------
+
+/// Integers samplable through an i128 widening (covers every primitive int).
+pub trait SampleInt: Copy {
+    fn to_i128(self) -> i128;
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleInt for $t {
+            fn to_i128(self) -> i128 { self as i128 }
+            fn from_i128(v: i128) -> Self { v as $t }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+fn int_between<T: SampleInt>(rng: &mut TestRng, lo: i128, hi_incl: i128) -> T {
+    let span = (hi_incl - lo) as u128 + 1;
+    let v = if span > u64::MAX as u128 {
+        rng.next_u64() as u128
+    } else {
+        rng.below(span as u64) as u128
+    };
+    T::from_i128(lo + v as i128)
+}
+
+impl<T: SampleInt> Strategy for core::ops::Range<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> Option<T> {
+        let (lo, hi) = (self.start.to_i128(), self.end.to_i128());
+        assert!(lo < hi, "empty range strategy");
+        Some(int_between(rng, lo, hi - 1))
+    }
+}
+
+impl<T: SampleInt> Strategy for core::ops::RangeInclusive<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> Option<T> {
+        let (lo, hi) = (self.start().to_i128(), self.end().to_i128());
+        assert!(lo <= hi, "empty inclusive range strategy");
+        Some(int_between(rng, lo, hi))
+    }
+}
+
+/// `any::<T>()` — the full domain of `T`.
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(core::marker::PhantomData)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> Option<T> {
+        Some(T::arbitrary(rng))
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self { rng.next_u64() as $t }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite doubles in a wide but tame range.
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        (unit - 0.5) * 2e6
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+// A `&str` is a regex-like string strategy. Supported syntax: literal chars,
+// character classes `[...]` with `a-z` ranges, and quantifiers `{n}` /
+// `{n,m}` / `?` / `*` / `+` (`*`/`+` capped at 8 repeats).
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> Option<String> {
+        Some(generate_pattern(self, rng))
+    }
+}
+
+fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        // Parse one atom: a character class or a literal character.
+        let alphabet: Vec<char> = if chars[i] == '[' {
+            let mut set = Vec::new();
+            i += 1;
+            while i < chars.len() && chars[i] != ']' {
+                if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                    let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+                    for c in lo..=hi {
+                        set.push(char::from_u32(c).unwrap());
+                    }
+                    i += 3;
+                } else {
+                    set.push(chars[i]);
+                    i += 1;
+                }
+            }
+            assert!(
+                i < chars.len(),
+                "unterminated char class in pattern {pattern:?}"
+            );
+            i += 1; // consume ']'
+            set
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![c]
+        };
+        // Parse an optional quantifier.
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unterminated quantifier")
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((a, b)) => (
+                    a.trim().parse::<usize>().unwrap(),
+                    b.trim().parse::<usize>().unwrap(),
+                ),
+                None => {
+                    let n = body.trim().parse::<usize>().unwrap();
+                    (n, n)
+                }
+            }
+        } else if i < chars.len() && chars[i] == '?' {
+            i += 1;
+            (0, 1)
+        } else if i < chars.len() && chars[i] == '*' {
+            i += 1;
+            (0, 8)
+        } else if i < chars.len() && chars[i] == '+' {
+            i += 1;
+            (1, 8)
+        } else {
+            (1, 1)
+        };
+        let count = rng.usize_in(lo, hi);
+        for _ in 0..count {
+            out.push(alphabet[rng.below(alphabet.len() as u64) as usize]);
+        }
+    }
+    out
+}
+
+// Tuples of strategies sample componentwise.
+macro_rules! impl_tuple_strategy {
+    ($($s:ident/$v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                let ($($s,)+) = self;
+                $(let $v = $s.sample(rng)?;)+
+                Some(($($v,)+))
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A / a);
+impl_tuple_strategy!(A / a, B / b);
+impl_tuple_strategy!(A / a, B / b, C / c);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e);
+impl_tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f);
+
+// ---------------------------------------------------------------------------
+// Collection strategies.
+// ---------------------------------------------------------------------------
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeMap;
+
+    /// Size specification for collection strategies.
+    #[derive(Clone, Copy)]
+    pub struct SizeRange {
+        pub lo: usize,
+        pub hi_incl: usize,
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi_incl: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_incl: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_incl: n }
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+            let n = rng.usize_in(self.size.lo, self.size.hi_incl);
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                out.push(self.element.sample(rng)?);
+            }
+            Some(out)
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<Self::Value> {
+            let n = rng.usize_in(self.size.lo, self.size.hi_incl);
+            let mut out = BTreeMap::new();
+            // Key collisions shrink the map; retry a bounded number of times
+            // to land inside the requested size range.
+            let mut attempts = 0;
+            while out.len() < n && attempts < n * 16 + 16 {
+                let k = self.key.sample(rng)?;
+                let v = self.value.sample(rng)?;
+                out.insert(k, v);
+                attempts += 1;
+            }
+            if out.len() < self.size.lo {
+                return None; // reject: key space too small for requested size
+            }
+            Some(out)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner + config.
+// ---------------------------------------------------------------------------
+
+/// Subset of proptest's config: number of cases per property.
+#[derive(Clone, Copy)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+pub mod runner {
+    use super::{ProptestConfig, TestRng};
+
+    /// Why a case body did not pass.
+    pub enum Failure {
+        /// `prop_assume!` rejected the inputs; try another case.
+        Reject,
+        /// `prop_assert*!` failed.
+        Fail(String),
+    }
+
+    pub enum CaseResult {
+        Pass,
+        Reject,
+        Fail(String),
+    }
+
+    fn fnv1a(s: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+
+    /// Drive `case` until `cfg.cases` passes are collected, retrying rejects
+    /// with fresh seeds. Panics on the first failing case.
+    pub fn run(cfg: &ProptestConfig, name: &str, mut case: impl FnMut(&mut TestRng) -> CaseResult) {
+        let base = fnv1a(name);
+        let max_rejects = cfg.cases as u64 * 256 + 1024;
+        let mut passes = 0u32;
+        let mut rejects = 0u64;
+        let mut attempt = 0u64;
+        while passes < cfg.cases {
+            let seed = base.wrapping_add(attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            attempt += 1;
+            let mut rng = TestRng::new(seed);
+            match case(&mut rng) {
+                CaseResult::Pass => passes += 1,
+                CaseResult::Reject => {
+                    rejects += 1;
+                    if rejects > max_rejects {
+                        panic!(
+                            "proptest '{name}': too many rejected cases \
+                             ({rejects} rejects for {passes} passes)"
+                        );
+                    }
+                }
+                CaseResult::Fail(msg) => {
+                    panic!(
+                        "proptest '{name}' failed at case {passes} \
+                         (seed {seed:#x}, no shrinking):\n{msg}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros.
+// ---------------------------------------------------------------------------
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_cases {
+    (($cfg:expr) $( $(#[$meta:meta])* fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                $crate::runner::run(&cfg, stringify!($name), |__rng| {
+                    $(
+                        let $pat = match $crate::Strategy::sample(&($strat), __rng) {
+                            Some(v) => v,
+                            None => return $crate::runner::CaseResult::Reject,
+                        };
+                    )+
+                    let __outcome: ::std::result::Result<(), $crate::runner::Failure> =
+                        (|| { $body Ok(()) })();
+                    match __outcome {
+                        Ok(()) => $crate::runner::CaseResult::Pass,
+                        Err($crate::runner::Failure::Reject) =>
+                            $crate::runner::CaseResult::Reject,
+                        Err($crate::runner::Failure::Fail(msg)) =>
+                            $crate::runner::CaseResult::Fail(msg),
+                    }
+                });
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::runner::Failure::Fail(format!(
+                "prop_assert!({}) failed at {}:{}",
+                stringify!($cond), file!(), line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::runner::Failure::Fail(format!(
+                "prop_assert!({}) failed at {}:{}: {}",
+                stringify!($cond), file!(), line!(), format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return Err($crate::runner::Failure::Fail(format!(
+                        "prop_assert_eq! failed at {}:{}\n  left: {:?}\n right: {:?}",
+                        file!(), line!(), l, r
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return Err($crate::runner::Failure::Fail(format!(
+                        "prop_assert_eq! failed at {}:{}: {}\n  left: {:?}\n right: {:?}",
+                        file!(), line!(), format!($($fmt)+), l, r
+                    )));
+                }
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return Err($crate::runner::Failure::Fail(format!(
+                        "prop_assert_ne! failed at {}:{}\n  both: {:?}",
+                        file!(),
+                        line!(),
+                        l
+                    )));
+                }
+            }
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::runner::Failure::Reject);
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, Union,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    #[test]
+    fn string_pattern_shapes() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..200 {
+            let s = crate::Strategy::sample(&"[a-z][a-z0-9_]{0,6}", &mut rng).unwrap();
+            assert!(!s.is_empty() && s.len() <= 7, "bad sample {s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn ranges_and_collections_stay_in_bounds() {
+        let mut rng = TestRng::new(8);
+        for _ in 0..500 {
+            let v = crate::Strategy::sample(&(3u32..9), &mut rng).unwrap();
+            assert!((3..9).contains(&v));
+            let xs =
+                crate::Strategy::sample(&crate::collection::vec(0u8..4, 2..6), &mut rng).unwrap();
+            assert!(xs.len() >= 2 && xs.len() < 6);
+            assert!(xs.iter().all(|&x| x < 4));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_tuple_patterns((a, b) in (0u8..10, 0u8..10), c in any::<bool>()) {
+            prop_assert!(a < 10 && b < 10);
+            prop_assume!(a != b || c);
+            prop_assert_ne!((a, b, !c), (a, b, c));
+            prop_assert_eq!(a.min(b), b.min(a));
+        }
+
+        #[test]
+        fn oneof_and_filter_compose(v in prop_oneof![
+            (0u32..5).prop_map(|x| x * 2),
+            Just(99u32),
+        ], w in (0u32..100).prop_filter("even only", |x| x % 2 == 0)) {
+            prop_assert!(v == 99 || v < 10);
+            prop_assert_eq!(w % 2, 0);
+        }
+    }
+}

@@ -41,6 +41,7 @@
 pub use ls_core as core;
 pub use ls_dbshap as dbshap;
 pub use ls_nn as nn;
+pub use ls_obs as obs;
 pub use ls_provenance as provenance;
 pub use ls_relational as relational;
 pub use ls_shapley as shapley;
@@ -63,8 +64,8 @@ pub mod prelude {
         Value,
     };
     pub use ls_shapley::{
-        banzhaf_values, cnf_proxy_scores, rank_descending, shapley_values,
-        shapley_values_sampled, FactScores,
+        banzhaf_values, cnf_proxy_scores, rank_descending, shapley_values, shapley_values_sampled,
+        FactScores,
     };
     pub use ls_similarity::{
         rank_based_similarity, syntax_similarity, witness_similarity, RankSimOptions,

@@ -17,7 +17,11 @@ fn small_dataset() -> Dataset {
         db,
         &imdb_spec(),
         &DatasetConfig {
-            query_gen: QueryGenConfig { num_queries: 14, seed: 5, ..Default::default() },
+            query_gen: QueryGenConfig {
+                num_queries: 14,
+                seed: 5,
+                ..Default::default()
+            },
             max_tuples_per_query: 5,
             max_lineage: 30,
             ..Default::default()
@@ -40,8 +44,7 @@ fn dataset_ground_truth_is_exact_and_normalized() {
             assert!((total - 1.0).abs() < 1e-6);
             // Cross-check vs brute force on small lineages.
             if lineage.len() <= 14 {
-                let brute =
-                    ls_shapley::shapley_values_bruteforce(&Dnf::of_tuple(tuple));
+                let brute = ls_shapley::shapley_values_bruteforce(&Dnf::of_tuple(tuple));
                 for (f, v) in &t.shapley {
                     assert!((brute[f] - v).abs() < 1e-9, "fact {f} mismatch");
                 }
@@ -49,7 +52,10 @@ fn dataset_ground_truth_is_exact_and_normalized() {
             }
         }
     }
-    assert!(checked >= 3, "need small lineages for the brute-force cross-check");
+    assert!(
+        checked >= 3,
+        "need small lineages for the brute-force cross-check"
+    );
 }
 
 #[test]
@@ -63,8 +69,16 @@ fn full_training_pipeline_and_baselines() {
     let cfg = PipelineConfig {
         encoder: EncoderKind::SmallAblation,
         pretrain: Some(PretrainObjectives::default()),
-        pretrain_cfg: TrainConfig { epochs: 1, max_samples_per_epoch: 40, ..Default::default() },
-        finetune_cfg: TrainConfig { epochs: 1, max_samples_per_epoch: 60, ..Default::default() },
+        pretrain_cfg: TrainConfig {
+            epochs: 1,
+            max_samples_per_epoch: 40,
+            ..Default::default()
+        },
+        finetune_cfg: TrainConfig {
+            epochs: 1,
+            max_samples_per_epoch: 60,
+            ..Default::default()
+        },
         max_vocab: 800,
     };
     let mut trained = train_learnshapley(&ds, Some(&ms), &train, &cfg);
@@ -124,8 +138,15 @@ fn inference_requires_only_lineage() {
     let cfg = PipelineConfig {
         encoder: EncoderKind::SmallAblation,
         pretrain: None,
-        pretrain_cfg: TrainConfig { epochs: 1, ..Default::default() },
-        finetune_cfg: TrainConfig { epochs: 1, max_samples_per_epoch: 30, ..Default::default() },
+        pretrain_cfg: TrainConfig {
+            epochs: 1,
+            ..Default::default()
+        },
+        finetune_cfg: TrainConfig {
+            epochs: 1,
+            max_samples_per_epoch: 30,
+            ..Default::default()
+        },
         max_vocab: 600,
     };
     let mut trained = train_learnshapley(&ds, None, &train, &cfg);
@@ -145,7 +166,10 @@ fn inference_requires_only_lineage() {
     );
     let mut sorted = ranking.clone();
     sorted.sort_unstable();
-    assert_eq!(sorted, lineage, "ranking must be a permutation of the lineage");
+    assert_eq!(
+        sorted, lineage,
+        "ranking must be a permutation of the lineage"
+    );
 }
 
 #[test]

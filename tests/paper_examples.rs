@@ -10,7 +10,11 @@ fn figure1_db() -> Database {
     let mut db = Database::new();
     db.create_table(TableSchema::new(
         "movies",
-        &[("title", ColType::Str), ("year", ColType::Int), ("company", ColType::Str)],
+        &[
+            ("title", ColType::Str),
+            ("year", ColType::Int),
+            ("company", ColType::Str),
+        ],
     ));
     db.create_table(TableSchema::new(
         "actors",
@@ -87,7 +91,11 @@ fn example_2_1_provenance_and_lineage() {
     let alice = res.tuple(&[Value::from("Alice")]).unwrap();
     assert_eq!(alice.derivations.len(), 3, "three derivations for Alice");
     assert!(alice.derivations.iter().all(|m| m.len() == 4));
-    assert_eq!(alice.lineage().len(), 9, "Lineage(D, q_inf, Alice) has 9 facts");
+    assert_eq!(
+        alice.lineage().len(),
+        9,
+        "Lineage(D, q_inf, Alice) has 9 facts"
+    );
 }
 
 #[test]
@@ -125,7 +133,10 @@ fn example_2_3_syntax_similarity() {
     let q_inf = parse_query(Q_INF).unwrap();
     let q_1 = parse_query(Q_1).unwrap();
     let sim = syntax_similarity(&q_inf, &q_1);
-    assert!((sim - 5.0 / 8.0).abs() < 1e-12, "sim_s(q_inf, q1) = {sim}, want 5/8");
+    assert!(
+        (sim - 5.0 / 8.0).abs() < 1e-12,
+        "sim_s(q_inf, q1) = {sim}, want 5/8"
+    );
 }
 
 #[test]
@@ -153,17 +164,26 @@ fn example_3_1_rank_similarity_sees_through_projection_swap() {
     // …but the per-tuple fact rankings are identical (ages are a bijection
     // of actor names here), so rank-based similarity is perfect.
     let scores = |r: &learnshapley::relational::QueryResult| -> Vec<FactScores> {
-        r.tuples.iter().map(|t| shapley_values(&Dnf::of_tuple(t))).collect()
+        r.tuples
+            .iter()
+            .map(|t| shapley_values(&Dnf::of_tuple(t)))
+            .collect()
     };
     let sim = rank_based_similarity(&scores(&r_inf), &scores(&r_3), &RankSimOptions::default());
-    assert!((sim - 1.0).abs() < 1e-9, "sim_r(q_inf, q3) = {sim}, want 1.0");
+    assert!(
+        (sim - 1.0).abs() < 1e-9,
+        "sim_r(q_inf, q3) = {sim}, want 1.0"
+    );
 
     // And it is far above the similarity to an unrelated query.
     let q_other =
         parse_query("SELECT DISTINCT movies.title FROM movies WHERE movies.year = 2006").unwrap();
     let r_other = evaluate(&db, &q_other).unwrap();
-    let sim_other =
-        rank_based_similarity(&scores(&r_inf), &scores(&r_other), &RankSimOptions::default());
+    let sim_other = rank_based_similarity(
+        &scores(&r_inf),
+        &scores(&r_other),
+        &RankSimOptions::default(),
+    );
     assert!(sim > sim_other);
 }
 
