@@ -8,7 +8,8 @@ use ls_relational::operations;
 use ls_shapley::FactScores;
 use ls_similarity::{
     greedy_matching, kendall_tau_distance, max_weight_matching, rank_based_similarity,
-    syntax_similarity_ops, witness_set, witness_similarity_sets, RankSimOptions,
+    syntax_similarity_ops, witness_set, witness_set_ids, witness_similarity_ids,
+    witness_similarity_sets, RankSimOptions,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -32,6 +33,11 @@ fn bench_metrics(c: &mut Criterion) {
     });
     g.bench_function("witness", |b| {
         b.iter(|| black_box(witness_similarity_sets(&wit0, &wit1)))
+    });
+    let wid0 = witness_set_ids(&q0.result);
+    let wid1 = witness_set_ids(&q1.result);
+    g.bench_function("witness_interned", |b| {
+        b.iter(|| black_box(witness_similarity_ids(&wid0, &wid1)))
     });
     g.bench_function("rank", |b| {
         b.iter(|| {

@@ -11,10 +11,10 @@
 //! constructed here with the dataset's ground truth.
 
 use ls_dbshap::Dataset;
-use ls_relational::{operations, FactId, Operation, Query, QueryResult, Value};
+use ls_relational::{operations, FactId, IdRow, Operation, Query, QueryResult};
 use ls_shapley::FactScores;
 use ls_similarity::{
-    rank_based_similarity, syntax_similarity_ops, witness_set, witness_similarity_sets,
+    rank_based_similarity, syntax_similarity_ops, witness_set_ids, witness_similarity_ids,
     RankSimOptions,
 };
 use std::collections::BTreeSet;
@@ -59,7 +59,9 @@ pub struct NearestQueries {
     n: usize,
     rank_opts: RankSimOptions,
     ops: Vec<BTreeSet<Operation>>,
-    wits: Vec<BTreeSet<Vec<Value>>>,
+    /// Interned witness sets — every stored result and every probe come from
+    /// the same dataset database, so id-space Jaccard matches value-space.
+    wits: Vec<BTreeSet<IdRow>>,
     tuple_scores: Vec<Vec<FactScores>>,
     fact_agg: Vec<FactScores>,
 }
@@ -75,7 +77,7 @@ impl NearestQueries {
         for &qi in train_queries {
             let q = &ds.queries[qi];
             ops.push(operations(&q.query));
-            wits.push(witness_set(&q.result));
+            wits.push(witness_set_ids(&q.result));
             let scores = q.tuple_scores();
             // Aggregate: mean Shapley per fact over the query's recorded
             // tuples (facts absent from a tuple contribute 0).
@@ -124,10 +126,10 @@ impl NearestQueries {
                     .collect()
             }
             NqMetric::Witness => {
-                let pwits = witness_set(probe.result);
+                let pwits = witness_set_ids(probe.result);
                 self.wits
                     .iter()
-                    .map(|w| witness_similarity_sets(&pwits, w))
+                    .map(|w| witness_similarity_ids(&pwits, w))
                     .collect()
             }
             NqMetric::Rank => {

@@ -215,7 +215,9 @@ mod tests {
         // A scaled-down version of Figure 8(a): domains with publications by
         // prolific authors at some organization.
         let db = generate_academic(&AcademicConfig::default());
-        let org = db.table("organization").unwrap().rows[0].values[0]
+        let org = db
+            .cell("organization", 0, 0)
+            .unwrap()
             .as_str()
             .unwrap()
             .to_owned();
@@ -239,30 +241,26 @@ mod tests {
     #[test]
     fn referential_integrity_for_bridge_tables() {
         let db = generate_academic(&AcademicConfig::default());
-        let confs: Vec<&str> = db
-            .table("conference")
-            .unwrap()
-            .iter()
-            .map(|r| r.values[0].as_str().unwrap())
+        let confs: Vec<String> = db
+            .decoded_rows("conference")
+            .map(|r| r.values[0].as_str().unwrap().to_owned())
             .collect();
-        for dc in db.table("domain_conference").unwrap().iter() {
-            assert!(confs.contains(&dc.values[0].as_str().unwrap()));
+        for dc in db.decoded_rows("domain_conference") {
+            assert!(confs.iter().any(|c| c == dc.values[0].as_str().unwrap()));
         }
-        let pubs: Vec<&str> = db
-            .table("publication")
-            .unwrap()
-            .iter()
-            .map(|r| r.values[0].as_str().unwrap())
+        let pubs: Vec<String> = db
+            .decoded_rows("publication")
+            .map(|r| r.values[0].as_str().unwrap().to_owned())
             .collect();
-        for w in db.table("writes").unwrap().iter() {
-            assert!(pubs.contains(&w.values[1].as_str().unwrap()));
+        for w in db.decoded_rows("writes") {
+            assert!(pubs.iter().any(|p| p == w.values[1].as_str().unwrap()));
         }
     }
 
     #[test]
     fn author_counts_are_plausible() {
         let db = generate_academic(&AcademicConfig::default());
-        for a in db.table("author").unwrap().iter() {
+        for a in db.decoded_rows("author") {
             let papers = a.values[2].as_int().unwrap();
             let cites = a.values[3].as_int().unwrap();
             assert!((1..200).contains(&papers));

@@ -209,7 +209,7 @@ mod tests {
     #[test]
     fn countries_are_from_pool() {
         let db = generate_imdb(&ImdbConfig::default());
-        for row in db.table("companies").unwrap().iter() {
+        for row in db.decoded_rows("companies") {
             let c = row.values[1].as_str().unwrap();
             assert!(COUNTRIES.contains(&c), "unexpected country {c}");
         }
@@ -218,30 +218,26 @@ mod tests {
     #[test]
     fn referential_integrity() {
         let db = generate_imdb(&ImdbConfig::default());
-        let titles: Vec<&str> = db
-            .table("movies")
-            .unwrap()
-            .iter()
-            .map(|r| r.values[0].as_str().unwrap())
+        let titles: Vec<String> = db
+            .decoded_rows("movies")
+            .map(|r| r.values[0].as_str().unwrap().to_owned())
             .collect();
-        let actors: Vec<&str> = db
-            .table("actors")
-            .unwrap()
-            .iter()
-            .map(|r| r.values[0].as_str().unwrap())
+        let actors: Vec<String> = db
+            .decoded_rows("actors")
+            .map(|r| r.values[0].as_str().unwrap().to_owned())
             .collect();
-        for role in db.table("roles").unwrap().iter() {
-            assert!(actors.contains(&role.values[0].as_str().unwrap()));
-            assert!(titles.contains(&role.values[1].as_str().unwrap()));
+        for role in db.decoded_rows("roles") {
+            assert!(actors.iter().any(|a| a == role.values[0].as_str().unwrap()));
+            assert!(titles.iter().any(|t| t == role.values[1].as_str().unwrap()));
         }
-        let companies: Vec<&str> = db
-            .table("companies")
-            .unwrap()
-            .iter()
-            .map(|r| r.values[0].as_str().unwrap())
+        let companies: Vec<String> = db
+            .decoded_rows("companies")
+            .map(|r| r.values[0].as_str().unwrap().to_owned())
             .collect();
-        for movie in db.table("movies").unwrap().iter() {
-            assert!(companies.contains(&movie.values[2].as_str().unwrap()));
+        for movie in db.decoded_rows("movies") {
+            assert!(companies
+                .iter()
+                .any(|c| c == movie.values[2].as_str().unwrap()));
         }
     }
 

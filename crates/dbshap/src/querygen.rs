@@ -362,7 +362,7 @@ fn sample_value(db: &Database, table: &str, col: &str, rng: &mut StdRng) -> Opti
     }
     let idx = t.schema.col_index(col)?;
     let row = rng.gen_range(0..t.len());
-    Some(t.rows[row].values[idx].clone())
+    db.cell(table, row, idx).cloned()
 }
 
 /// Mutate a base query into a near-duplicate family member.

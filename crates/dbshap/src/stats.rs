@@ -3,8 +3,7 @@
 use crate::dataset::{Dataset, Split};
 use ls_relational::operations;
 use ls_similarity::{
-    rank_based_similarity, syntax_similarity_ops, witness_similarity_sets, RankSimOptions,
-    SimilarityMatrix,
+    rank_based_similarity, syntax_similarity_ops, RankSimOptions, SimilarityMatrix,
 };
 
 /// Table-1 row: queries / results / recorded contributing facts.
@@ -55,16 +54,18 @@ pub struct SimilarityMatrices {
 pub fn similarity_matrices(ds: &Dataset, rank_opts: &RankSimOptions) -> SimilarityMatrices {
     let n = ds.queries.len();
     let ops: Vec<_> = ds.queries.iter().map(|q| operations(&q.query)).collect();
+    // All results come from the one dataset database, so the pairwise
+    // Jaccard pass can stay in interned id space.
     let wits: Vec<_> = ds
         .queries
         .iter()
-        .map(|q| ls_similarity::witness_set(&q.result))
+        .map(|q| ls_similarity::witness_set_ids(&q.result))
         .collect();
     let scores: Vec<_> = ds.queries.iter().map(|q| q.tuple_scores()).collect();
     SimilarityMatrices {
         syntax: SimilarityMatrix::build(n, 1.0, |i, j| syntax_similarity_ops(&ops[i], &ops[j])),
         witness: SimilarityMatrix::build(n, 1.0, |i, j| {
-            witness_similarity_sets(&wits[i], &wits[j])
+            ls_similarity::witness_similarity_ids(&wits[i], &wits[j])
         }),
         rank: SimilarityMatrix::build(n, 1.0, |i, j| {
             rank_based_similarity(&scores[i], &scores[j], rank_opts)

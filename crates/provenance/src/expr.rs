@@ -42,10 +42,19 @@ impl Dnf {
         }
     }
 
-    /// The provenance of an output tuple (its derivations are already
-    /// minimized by the evaluator).
+    /// The provenance of an output tuple.
+    ///
+    /// The evaluator emits derivations already in minimal DNF, sorted by
+    /// (length, content), so this clones the `Arc`-backed monomials (a
+    /// refcount bump each) without re-minimizing.
     pub fn of_tuple(t: &OutputTuple) -> Self {
-        Dnf::from_monomials(t.derivations.clone())
+        debug_assert!(
+            is_minimal_sorted(&t.derivations),
+            "output tuple derivations must be minimal sorted DNF"
+        );
+        Dnf {
+            monomials: t.derivations.clone(),
+        }
     }
 
     /// The monomials, sorted by (length, content).
@@ -86,8 +95,16 @@ impl Dnf {
 
     /// Condition on `f := val`, producing a DNF not mentioning `f`.
     pub fn condition(&self, f: FactId, val: bool) -> Dnf {
-        let mut out = Vec::new();
-        for m in &self.monomials {
+        // If no monomial mentions `f`, conditioning is the identity — share
+        // the existing monomials instead of rebuilding and re-minimizing. The
+        // scan stops at the first mention, so when `f` is present (the
+        // compiler's usual case) only the untouched prefix is walked twice.
+        let Some(first) = self.monomials.iter().position(|m| m.contains(f)) else {
+            return self.clone();
+        };
+        let mut out: Vec<Monomial> = Vec::with_capacity(self.monomials.len());
+        out.extend_from_slice(&self.monomials[..first]);
+        for m in &self.monomials[first..] {
             if m.contains(f) {
                 if val {
                     // Drop f from the monomial.
@@ -143,10 +160,15 @@ impl Dnf {
             let r = find(&mut parent, i);
             groups.entry(r).or_default().push(self.monomials[i].clone());
         }
+        // Each group is a subsequence of an already-minimal sorted DNF: a
+        // subsumption inside a group would be a subsumption in the whole, so
+        // the groups are minimal as-is — no re-minimization, and the clones
+        // above were refcount bumps.
         groups
             .into_values()
-            .map(|monos| Dnf {
-                monomials: minimize_dnf(monos),
+            .map(|monomials| {
+                debug_assert!(is_minimal_sorted(&monomials));
+                Dnf { monomials }
             })
             .collect()
     }
@@ -160,6 +182,26 @@ impl Dnf {
     pub fn is_empty(&self) -> bool {
         self.monomials.is_empty()
     }
+}
+
+/// Debug-only check of the [`Dnf`] invariant: monomials strictly sorted by
+/// (length, content) with no monomial subsuming another.
+#[cfg(debug_assertions)]
+fn is_minimal_sorted(monos: &[Monomial]) -> bool {
+    let sorted = monos.windows(2).all(|w| {
+        let ord = w[0].len().cmp(&w[1].len()).then_with(|| w[0].cmp(&w[1]));
+        ord == std::cmp::Ordering::Less
+    });
+    sorted
+        && monos
+            .iter()
+            .enumerate()
+            .all(|(i, a)| monos[i + 1..].iter().all(|b| !a.subsumes(b)))
+}
+
+#[cfg(not(debug_assertions))]
+fn is_minimal_sorted(_monos: &[Monomial]) -> bool {
+    true
 }
 
 impl fmt::Display for Dnf {

@@ -1,0 +1,364 @@
+//! Hash-consed arena of provenance fact sets.
+//!
+//! Every distinct sorted fact set built during query evaluation is stored
+//! exactly once in a flat buffer and addressed by a dense [`MonoRef`].
+//! Hash-consing gives three structural wins over per-derivation `Vec`s:
+//!
+//! * **identity is an integer compare** — deduplication inside
+//!   `minimize_dnf`, group-by of derivations, and the absorption pre-filter
+//!   never re-touch fact ids for equality;
+//! * **conjunction is memoized** — hash-join pipelines conjoin the same
+//!   (left, right) pairs over and over (every probe row meeting every build
+//!   row of a key group), and the arena answers repeats from a cache without
+//!   merging slices again;
+//! * **decoding shares structure** — a [`MonoRef`] decodes to an
+//!   `Arc`-backed [`Monomial`] at most once, so every output tuple (and every
+//!   DNF built downstream) holding the same derivation shares one allocation.
+//!
+//! The arena is append-only and owned by the [`crate::eval::InternedResult`]
+//! it was built for; `MonoRef`s are meaningless across arenas.
+
+use crate::fact::{FactId, Monomial};
+use crate::hash::FxHashMap;
+use std::cmp::Ordering;
+use std::collections::hash_map::Entry;
+
+/// A reference to an interned fact set inside a [`LineageArena`].
+///
+/// Within one arena, `MonoRef` equality coincides with fact-set equality
+/// (hash-consing), so refs are directly usable as hash/sort keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MonoRef(u32);
+
+impl MonoRef {
+    /// The ref as a dense `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// FNV-1a over the fact ids — cheap, deterministic, and good enough for the
+/// bucket map (bucket collisions fall back to slice comparison).
+fn hash_facts(facts: &[FactId]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for f in facts {
+        h ^= u64::from(f.0);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ (facts.len() as u64) << 56
+}
+
+/// Hash-consed storage for sorted [`FactId`] slices.
+#[derive(Debug, Clone)]
+pub struct LineageArena {
+    /// All interned slices, concatenated.
+    data: Vec<FactId>,
+    /// `spans[r] = (start, len)` of ref `r` inside `data`.
+    spans: Vec<(u32, u32)>,
+    /// Hash-cons index: slice hash → first ref with that hash plus (rare)
+    /// further collisions. The inline first slot keeps the common
+    /// one-ref-per-hash case allocation-free.
+    buckets: FxHashMap<u64, (MonoRef, Vec<MonoRef>)>,
+    /// Memoized conjunctions, keyed by `(min, max)` operand refs.
+    and_cache: FxHashMap<(MonoRef, MonoRef), MonoRef>,
+    /// Decoded `Arc`-backed monomials, filled on demand.
+    decoded: Vec<Option<Monomial>>,
+    /// Reusable merge buffer for [`LineageArena::and`].
+    scratch: Vec<FactId>,
+}
+
+impl Default for LineageArena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LineageArena {
+    /// A fresh arena with the empty fact set pre-interned as ref 0.
+    pub fn new() -> Self {
+        let mut a = LineageArena {
+            data: Vec::new(),
+            spans: Vec::new(),
+            buckets: FxHashMap::default(),
+            and_cache: FxHashMap::default(),
+            decoded: Vec::new(),
+            scratch: Vec::new(),
+        };
+        let empty = a.intern(&[]);
+        debug_assert_eq!(empty, MonoRef(0));
+        a
+    }
+
+    /// The empty (`⊤`) fact set.
+    #[inline]
+    pub fn empty(&self) -> MonoRef {
+        MonoRef(0)
+    }
+
+    /// Intern a sorted, duplicate-free fact slice.
+    pub fn intern(&mut self, facts: &[FactId]) -> MonoRef {
+        debug_assert!(facts.windows(2).all(|w| w[0] < w[1]), "not sorted/dedup");
+        let h = hash_facts(facts);
+        let fresh = MonoRef(self.spans.len() as u32);
+        match self.buckets.entry(h) {
+            Entry::Occupied(mut e) => {
+                let (first, overflow) = e.get();
+                let matches = |r: MonoRef, spans: &[(u32, u32)], data: &[FactId]| {
+                    let (start, len) = spans[r.index()];
+                    &data[start as usize..(start + len) as usize] == facts
+                };
+                if matches(*first, &self.spans, &self.data) {
+                    return *first;
+                }
+                for &r in overflow.iter() {
+                    if matches(r, &self.spans, &self.data) {
+                        return r;
+                    }
+                }
+                e.get_mut().1.push(fresh);
+            }
+            Entry::Vacant(e) => {
+                e.insert((fresh, Vec::new()));
+            }
+        }
+        let start = self.data.len() as u32;
+        self.data.extend_from_slice(facts);
+        self.spans.push((start, facts.len() as u32));
+        self.decoded.push(None);
+        fresh
+    }
+
+    /// Intern a single fact.
+    pub fn singleton(&mut self, f: FactId) -> MonoRef {
+        self.intern(&[f])
+    }
+
+    /// The facts of `r`, sorted ascending.
+    #[inline]
+    pub fn facts(&self, r: MonoRef) -> &[FactId] {
+        let (start, len) = self.spans[r.index()];
+        &self.data[start as usize..(start + len) as usize]
+    }
+
+    /// Number of facts in `r`.
+    #[inline]
+    pub fn len_of(&self, r: MonoRef) -> usize {
+        self.spans[r.index()].1 as usize
+    }
+
+    /// Number of distinct interned fact sets (including the empty set).
+    pub fn interned_count(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Total fact slots held by the flat buffer.
+    pub fn fact_slots(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Memoized conjunction: the interned merge of two sorted fact sets.
+    pub fn and(&mut self, a: MonoRef, b: MonoRef) -> MonoRef {
+        if a == b || b == self.empty() {
+            return a;
+        }
+        if a == self.empty() {
+            return b;
+        }
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&r) = self.and_cache.get(&key) {
+            return r;
+        }
+        let mut merged = std::mem::take(&mut self.scratch);
+        merged.clear();
+        {
+            let (xs, ys) = (self.facts(a), self.facts(b));
+            merged.reserve(xs.len() + ys.len());
+            let (mut i, mut j) = (0, 0);
+            while i < xs.len() && j < ys.len() {
+                match xs[i].cmp(&ys[j]) {
+                    Ordering::Less => {
+                        merged.push(xs[i]);
+                        i += 1;
+                    }
+                    Ordering::Greater => {
+                        merged.push(ys[j]);
+                        j += 1;
+                    }
+                    Ordering::Equal => {
+                        merged.push(xs[i]);
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+            merged.extend_from_slice(&xs[i..]);
+            merged.extend_from_slice(&ys[j..]);
+        }
+        let r = self.intern(&merged);
+        self.scratch = merged;
+        self.and_cache.insert(key, r);
+        r
+    }
+
+    /// Whether every fact of `a` also appears in `b` (so `a` absorbs `b`).
+    pub fn subsumes(&self, a: MonoRef, b: MonoRef) -> bool {
+        if a == b {
+            return true;
+        }
+        let (xs, ys) = (self.facts(a), self.facts(b));
+        if xs.len() > ys.len() {
+            return false;
+        }
+        let mut j = 0;
+        for f in xs {
+            while j < ys.len() && ys[j] < *f {
+                j += 1;
+            }
+            if j >= ys.len() || ys[j] != *f {
+                return false;
+            }
+            j += 1;
+        }
+        true
+    }
+
+    /// The `(length, content)` order [`crate::eval::minimize_dnf`] sorts
+    /// monomials in.
+    pub fn cmp_monos(&self, a: MonoRef, b: MonoRef) -> Ordering {
+        if a == b {
+            return Ordering::Equal;
+        }
+        let (xs, ys) = (self.facts(a), self.facts(b));
+        xs.len().cmp(&ys.len()).then_with(|| xs.cmp(ys))
+    }
+
+    /// DNF minimization over interned monomials: drop duplicates (free under
+    /// hash-consing — equal sets share a ref) and absorbed monomials. The
+    /// result is sorted by `(length, content)`, matching
+    /// [`crate::eval::minimize_dnf`] bit for bit.
+    ///
+    /// Absorption only tests candidates against *strictly shorter* kept
+    /// monomials: a same-length subsumer would have to be equal, and equals
+    /// were already removed by the dedup.
+    pub fn minimize(&self, mut monos: Vec<MonoRef>) -> Vec<MonoRef> {
+        if monos.len() <= 1 {
+            // A single monomial (the common case: one derivation per tuple)
+            // is already minimal.
+            return monos;
+        }
+        monos.sort_by(|&a, &b| self.cmp_monos(a, b));
+        monos.dedup();
+        // Compact survivors in place: `kept` entries live in `monos[..kept]`,
+        // always at or before the read cursor.
+        let mut kept = 0usize;
+        let mut cur_len = usize::MAX;
+        let mut shorter = 0;
+        for i in 0..monos.len() {
+            let m = monos[i];
+            let len = self.len_of(m);
+            if len != cur_len {
+                cur_len = len;
+                shorter = kept;
+            }
+            if !monos[..shorter].iter().any(|&k| self.subsumes(k, m)) {
+                monos[kept] = m;
+                kept += 1;
+            }
+        }
+        monos.truncate(kept);
+        monos
+    }
+
+    /// Decode `r` into an `Arc`-backed [`Monomial`], memoized so repeated
+    /// decodes (the same derivation reached from many tuples or DNFs) share
+    /// one allocation.
+    pub fn decode(&mut self, r: MonoRef) -> Monomial {
+        if let Some(m) = &self.decoded[r.index()] {
+            return m.clone();
+        }
+        let (start, len) = self.spans[r.index()];
+        let m = Monomial::from_sorted_facts(&self.data[start as usize..(start + len) as usize]);
+        self.decoded[r.index()] = Some(m.clone());
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fid(ids: &[u32]) -> Vec<FactId> {
+        ids.iter().copied().map(FactId).collect()
+    }
+
+    #[test]
+    fn hash_consing_dedups() {
+        let mut a = LineageArena::new();
+        let x = a.intern(&fid(&[1, 2, 3]));
+        let y = a.intern(&fid(&[1, 2, 3]));
+        let z = a.intern(&fid(&[1, 2]));
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+        assert_eq!(a.interned_count(), 3); // empty + two sets
+        assert_eq!(a.facts(x), fid(&[1, 2, 3]).as_slice());
+    }
+
+    #[test]
+    fn and_merges_and_memoizes() {
+        let mut a = LineageArena::new();
+        let x = a.intern(&fid(&[1, 3]));
+        let y = a.intern(&fid(&[2, 3, 4]));
+        let xy = a.and(x, y);
+        assert_eq!(a.facts(xy), fid(&[1, 2, 3, 4]).as_slice());
+        // Commutative + cached: same ref both ways, no new interning.
+        let n = a.interned_count();
+        assert_eq!(a.and(y, x), xy);
+        assert_eq!(a.and(x, y), xy);
+        assert_eq!(a.interned_count(), n);
+        // Identity and idempotence.
+        let e = a.empty();
+        assert_eq!(a.and(e, x), x);
+        assert_eq!(a.and(x, e), x);
+        assert_eq!(a.and(x, x), x);
+    }
+
+    #[test]
+    fn subsumption_and_order() {
+        let mut a = LineageArena::new();
+        let small = a.intern(&fid(&[1, 3]));
+        let big = a.intern(&fid(&[1, 2, 3]));
+        let other = a.intern(&fid(&[1, 5]));
+        assert!(a.subsumes(small, big));
+        assert!(!a.subsumes(other, big));
+        assert!(a.subsumes(a.empty(), small));
+        assert_eq!(a.cmp_monos(small, big), Ordering::Less);
+        assert_eq!(a.cmp_monos(small, other), Ordering::Less);
+        assert_eq!(a.cmp_monos(big, big), Ordering::Equal);
+    }
+
+    #[test]
+    fn minimize_matches_monomial_minimizer() {
+        let mut a = LineageArena::new();
+        // [1,2,3] is absorbed by [1,2]; [2,3,4] is absorbed by [4]; the
+        // duplicate [1,2] is dropped via ref equality.
+        let sets: Vec<&[u32]> = vec![&[1, 2, 3], &[1, 2], &[4], &[1, 2], &[2, 3, 4]];
+        let refs: Vec<MonoRef> = sets.iter().map(|s| a.intern(&fid(s))).collect();
+        let min = a.minimize(refs);
+        let got: Vec<Vec<FactId>> = min.iter().map(|&r| a.facts(r).to_vec()).collect();
+        assert_eq!(got, vec![fid(&[4]), fid(&[1, 2])]);
+    }
+
+    #[test]
+    fn decode_shares_structure() {
+        let mut a = LineageArena::new();
+        let x = a.intern(&fid(&[7, 9]));
+        let m1 = a.decode(x);
+        let m2 = a.decode(x);
+        assert_eq!(m1, m2);
+        assert_eq!(m1.facts(), fid(&[7, 9]).as_slice());
+        // Same Arc allocation behind both decodes.
+        assert!(std::ptr::eq(m1.facts().as_ptr(), m2.facts().as_ptr()));
+        assert_eq!(a.decode(a.empty()), Monomial::one());
+    }
+}

@@ -1,7 +1,10 @@
 //! A database: a disjoint union of annotated relations, with global fact
-//! identity and reverse lookup from a [`FactId`] to its row.
+//! identity, a shared value dictionary, and reverse lookup from a [`FactId`]
+//! to its row.
 
+use crate::dict::ValueDict;
 use crate::fact::FactId;
+use crate::row::IdRow;
 use crate::schema::{Catalog, TableSchema};
 use crate::table::{Row, Table};
 use crate::value::Value;
@@ -16,16 +19,24 @@ pub struct FactLocation {
     pub row_idx: usize,
 }
 
-/// An in-memory database with fact-annotated rows.
+/// An in-memory database with fact-annotated, dictionary-interned rows.
 ///
 /// Fact ids are assigned densely at insertion time: the `i`-th inserted row
 /// across the whole database gets `FactId(i)`. This makes `Vec`-indexed
 /// per-fact side tables (Shapley vectors, seen-fact bitmaps) trivial.
+///
+/// Every cell value is interned into one database-wide [`ValueDict`] at
+/// insertion, so tables store [`IdRow`]s and the evaluator compares, hashes
+/// and groups rows as `u32` ids. Decoded [`Value`]s are materialized only at
+/// the boundaries (display, export, tokenization) via [`Database::dict`],
+/// [`Database::fact`] and [`Database::decoded_rows`].
 #[derive(Debug, Clone, Default)]
 pub struct Database {
     tables: BTreeMap<String, Table>,
     /// `fact_index[f] = location of fact f`, dense in insertion order.
     fact_index: Vec<FactLocation>,
+    /// The shared value dictionary all tables intern into.
+    dict: ValueDict,
 }
 
 impl Database {
@@ -46,6 +57,9 @@ impl Database {
 
     /// Insert a row, assigning and returning the next dense [`FactId`].
     ///
+    /// Values are type-checked against the schema, then interned into the
+    /// database dictionary.
+    ///
     /// # Panics
     /// Panics if the table does not exist or the row does not fit its schema.
     pub fn insert(&mut self, table: &str, values: Vec<Value>) -> FactId {
@@ -57,8 +71,24 @@ impl Database {
             .position(|n| n == table)
             .unwrap_or_else(|| panic!("no such table `{table}`"));
         let t = self.tables.get_mut(table).expect("checked above");
+        assert_eq!(
+            values.len(),
+            t.schema.arity(),
+            "arity mismatch inserting into `{}`",
+            t.schema.name
+        );
+        for (v, c) in values.iter().zip(&t.schema.columns) {
+            assert_eq!(
+                v.col_type(),
+                c.ty,
+                "type mismatch for `{}`.`{}`",
+                t.schema.name,
+                c.name
+            );
+        }
+        let row: IdRow = values.into_iter().map(|v| self.dict.intern(v)).collect();
         let row_idx = t.len();
-        t.push(values, fact);
+        t.push_interned(row, fact);
         self.fact_index.push(FactLocation { table_idx, row_idx });
         fact
     }
@@ -78,16 +108,41 @@ impl Database {
         self.tables.values()
     }
 
+    /// The shared value dictionary.
+    #[inline]
+    pub fn dict(&self) -> &ValueDict {
+        &self.dict
+    }
+
     /// Total number of facts across all tables.
     pub fn fact_count(&self) -> usize {
         self.fact_index.len()
     }
 
-    /// The row carrying fact `f`, with its owning table name.
-    pub fn fact(&self, f: FactId) -> Option<(&str, &Row)> {
+    /// The decoded row carrying fact `f`, with its owning table name.
+    pub fn fact(&self, f: FactId) -> Option<(&str, Row)> {
         let loc = self.fact_index.get(f.index())?;
         let (name, table) = self.tables.iter().nth(loc.table_idx)?;
-        Some((name.as_str(), &table.rows[loc.row_idx]))
+        Some((name.as_str(), table.decode_row(&self.dict, loc.row_idx)))
+    }
+
+    /// The decoded value at `(table, row, col)`, if all three are in range.
+    pub fn cell(&self, table: &str, row: usize, col: usize) -> Option<&Value> {
+        let t = self.tables.get(table)?;
+        let id = t.id_rows().get(row)?.get(col)?;
+        Some(self.dict.value(id))
+    }
+
+    /// Iterate decoded rows of `table` in insertion order.
+    ///
+    /// # Panics
+    /// Panics if the table does not exist.
+    pub fn decoded_rows<'a>(&'a self, table: &str) -> impl Iterator<Item = Row> + 'a {
+        let t = self
+            .tables
+            .get(table)
+            .unwrap_or_else(|| panic!("no such table `{table}`"));
+        t.decoded_rows(&self.dict)
     }
 
     /// The catalog view of this database.
@@ -137,6 +192,30 @@ mod tests {
     }
 
     #[test]
+    fn interning_shares_repeated_cells() {
+        let mut d = db();
+        d.insert("movies", vec!["Superman".into(), 2007.into()]);
+        d.insert("movies", vec!["Aquaman".into(), 2007.into()]);
+        let t = d.table("movies").unwrap();
+        // The shared year decodes from one dictionary slot.
+        assert_eq!(t.id_row(0).get(1), t.id_row(1).get(1));
+        // 3 distinct values: two titles + one year.
+        assert_eq!(d.dict().len(), 3);
+        assert_eq!(d.cell("movies", 1, 0), Some(&Value::from("Aquaman")));
+        assert_eq!(d.cell("movies", 2, 0), None);
+        assert_eq!(d.cell("movies", 0, 5), None);
+        assert_eq!(d.cell("nope", 0, 0), None);
+        let titles: Vec<Value> = d
+            .decoded_rows("movies")
+            .map(|r| r.values[0].clone())
+            .collect();
+        assert_eq!(
+            titles,
+            vec![Value::from("Superman"), Value::from("Aquaman")]
+        );
+    }
+
+    #[test]
     fn catalog_reflects_tables() {
         let d = db();
         let c = d.catalog();
@@ -150,6 +229,20 @@ mod tests {
     fn insert_into_missing_table_panics() {
         let mut d = db();
         d.insert("companies", vec!["Universal".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn type_mismatch_panics() {
+        let mut d = db();
+        d.insert("movies", vec![2007.into(), "Superman".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut d = db();
+        d.insert("movies", vec!["x".into()]);
     }
 
     #[test]

@@ -1,0 +1,155 @@
+//! The per-database value dictionary.
+//!
+//! Every distinct [`Value`] stored in a [`crate::database::Database`] is
+//! interned exactly once and addressed by a dense [`ValueId`]. Rows, join
+//! keys and group-by keys throughout the evaluator are arrays of `ValueId`s:
+//! equality is a `u32` compare, hashing never touches string bytes, and the
+//! heap cost of a string is paid once per *distinct* value instead of once
+//! per cell.
+//!
+//! Interning order is first-seen order, so `ValueId` order is **not** value
+//! order; [`ValueDict::cmp_ids`] / [`ValueDict::cmp_rows`] compare by the
+//! decoded [`Value`] order (with an id-equality fast path) for the places
+//! where the engine must stay bit-compatible with value-sorted output.
+
+use crate::hash::FxHashMap;
+use crate::value::{Value, ValueId};
+use std::cmp::Ordering;
+
+/// An append-only dictionary mapping [`Value`]s to dense [`ValueId`]s.
+#[derive(Debug, Clone, Default)]
+pub struct ValueDict {
+    /// `values[id] = value`, dense in interning order.
+    values: Vec<Value>,
+    /// Reverse index for interning and literal lookup.
+    index: FxHashMap<Value, ValueId>,
+}
+
+impl ValueDict {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a value, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, v: Value) -> ValueId {
+        if let Some(&id) = self.index.get(&v) {
+            return id;
+        }
+        let id = ValueId(self.values.len() as u32);
+        self.values.push(v.clone());
+        self.index.insert(v, id);
+        id
+    }
+
+    /// The id of an already-interned value, if any.
+    ///
+    /// A `None` means the value appears nowhere in the database — an equality
+    /// selection against it can short-circuit to an empty scan.
+    pub fn lookup(&self, v: &Value) -> Option<ValueId> {
+        self.index.get(v).copied()
+    }
+
+    /// Decode an id.
+    ///
+    /// # Panics
+    /// Panics if the id was not produced by this dictionary.
+    #[inline]
+    pub fn value(&self, id: ValueId) -> &Value {
+        &self.values[id.index()]
+    }
+
+    /// Number of distinct interned values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Compare two ids by their decoded [`Value`] order (ids equal → equal,
+    /// no decode needed; interning guarantees distinct ids decode to
+    /// distinct values).
+    #[inline]
+    pub fn cmp_ids(&self, a: ValueId, b: ValueId) -> Ordering {
+        if a == b {
+            Ordering::Equal
+        } else {
+            self.value(a).cmp(self.value(b))
+        }
+    }
+
+    /// Lexicographic comparison of two id rows under decoded value order —
+    /// exactly the order `Vec<Value>` rows sort in.
+    pub fn cmp_rows(&self, a: &[ValueId], b: &[ValueId]) -> Ordering {
+        for (&x, &y) in a.iter().zip(b.iter()) {
+            match self.cmp_ids(x, y) {
+                Ordering::Equal => {}
+                other => return other,
+            }
+        }
+        a.len().cmp(&b.len())
+    }
+
+    /// Decode a row of ids into owned values.
+    pub fn decode_row(&self, ids: &[ValueId]) -> Vec<Value> {
+        ids.iter().map(|&id| self.value(id).clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut d = ValueDict::new();
+        let a = d.intern(Value::from("abc"));
+        let b = d.intern(Value::Int(7));
+        let a2 = d.intern(Value::from("abc"));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.value(a), &Value::from("abc"));
+        assert_eq!(d.value(b), &Value::Int(7));
+    }
+
+    #[test]
+    fn lookup_misses_unseen_values() {
+        let mut d = ValueDict::new();
+        d.intern(Value::Int(1));
+        assert!(d.lookup(&Value::Int(1)).is_some());
+        assert!(d.lookup(&Value::Int(2)).is_none());
+        assert!(d.lookup(&Value::from("x")).is_none());
+    }
+
+    #[test]
+    fn cmp_follows_value_order_not_id_order() {
+        let mut d = ValueDict::new();
+        // Intern in reverse value order: ids ascend, values descend.
+        let z = d.intern(Value::from("z"));
+        let a = d.intern(Value::from("a"));
+        let i = d.intern(Value::Int(999));
+        assert!(z < a, "id order is interning order");
+        assert_eq!(d.cmp_ids(z, a), Ordering::Greater);
+        assert_eq!(d.cmp_ids(a, a), Ordering::Equal);
+        // Ints sort before strings, as in Value's total order.
+        assert_eq!(d.cmp_ids(i, a), Ordering::Less);
+    }
+
+    #[test]
+    fn row_comparison_is_lexicographic() {
+        let mut d = ValueDict::new();
+        let a = d.intern(Value::from("a"));
+        let b = d.intern(Value::from("b"));
+        assert_eq!(d.cmp_rows(&[a, b], &[a, b]), Ordering::Equal);
+        assert_eq!(d.cmp_rows(&[a], &[a, b]), Ordering::Less);
+        assert_eq!(d.cmp_rows(&[b], &[a, b]), Ordering::Greater);
+        assert_eq!(
+            d.decode_row(&[b, a]),
+            vec![Value::from("b"), Value::from("a")]
+        );
+    }
+}

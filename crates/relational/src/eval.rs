@@ -9,15 +9,28 @@
 //! hash equi-joins along the join graph (falling back to a cross product for
 //! disconnected components), final projection, and grouping of derivations by
 //! output values. Union branches are evaluated independently and merged.
+//!
+//! Internally everything runs over the database's interned representation:
+//! rows are [`IdRow`]s of [`ValueId`]s (join keys, group-by keys and residual
+//! equality checks are `u32` comparisons), block intermediates live in one
+//! flat per-block buffer, and derivations are hash-consed [`MonoRef`]s in a
+//! [`LineageArena`]. [`evaluate`] decodes the interned result once at the
+//! boundary into the classic [`OutputTuple`] view; [`evaluate_interned`]
+//! exposes the raw interned form for consumers (Shapley, similarity) that
+//! never need decoded values.
 
-use crate::algebra::{ColRef, Query, SpjBlock};
+use crate::algebra::{CmpOp, ColRef, Query, Selection, SpjBlock};
+use crate::arena::{LineageArena, MonoRef};
 use crate::database::Database;
 use crate::fact::{FactId, Monomial};
-use crate::value::Value;
-use std::collections::{BTreeMap, HashMap};
+use crate::hash::FxHashMap;
+use crate::row::IdRow;
+use crate::value::{Value, ValueId};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
 use std::fmt;
 
-/// An output tuple with its provenance.
+/// An output tuple with its provenance, decoded to owned [`Value`]s.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OutputTuple {
     /// Projected values.
@@ -47,12 +60,84 @@ impl OutputTuple {
     }
 }
 
+/// An output tuple in interned form: projected value ids plus arena refs to
+/// its minimal-DNF derivations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InternedTuple {
+    /// Projected value ids (decode via the database dictionary).
+    pub values: IdRow,
+    /// Minimal DNF provenance as refs into the result's [`LineageArena`].
+    pub derivations: Vec<MonoRef>,
+}
+
+/// The interned half of a query result: tuples as [`IdRow`]s with
+/// arena-backed provenance.
+///
+/// Tuples are in the same (decoded-value-sorted) order as
+/// [`QueryResult::tuples`]; `tuples[i]` is the interned form of the `i`-th
+/// decoded tuple.
+#[derive(Debug, Clone)]
+pub struct InternedResult {
+    /// The hash-consed fact-set arena all `derivations` refs point into.
+    pub arena: LineageArena,
+    /// Output tuples in decoded-value-sorted order.
+    pub tuples: Vec<InternedTuple>,
+}
+
+impl InternedResult {
+    /// An empty result with a fresh arena.
+    pub fn empty() -> Self {
+        InternedResult {
+            arena: LineageArena::new(),
+            tuples: Vec::new(),
+        }
+    }
+
+    /// Number of output tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The interned witness rows (output values only), in result order.
+    pub fn witness_ids(&self) -> impl Iterator<Item = &IdRow> {
+        self.tuples.iter().map(|t| &t.values)
+    }
+}
+
 /// The result of evaluating a query: output tuples in deterministic
-/// (value-sorted) order.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+/// (value-sorted) order, in both decoded and interned form.
+#[derive(Debug, Clone)]
 pub struct QueryResult {
     /// Output tuples with provenance, sorted by value.
     pub tuples: Vec<OutputTuple>,
+    /// The interned form: same tuples as [`IdRow`]s with arena-backed
+    /// provenance, for consumers that stay in id space.
+    pub interned: InternedResult,
+}
+
+/// Results compare by their decoded tuples: the interned side is a cache of
+/// the same information (relative to one database) and arenas built by
+/// different evaluations may intern in different orders.
+impl PartialEq for QueryResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.tuples == other.tuples
+    }
+}
+
+impl Eq for QueryResult {}
+
+impl Default for QueryResult {
+    fn default() -> Self {
+        QueryResult {
+            tuples: Vec::new(),
+            interned: InternedResult::empty(),
+        }
+    }
 }
 
 impl QueryResult {
@@ -67,8 +152,14 @@ impl QueryResult {
     }
 
     /// Find the tuple with the given values.
+    ///
+    /// Tuples are value-sorted, so this is a binary search rather than a
+    /// linear scan.
     pub fn tuple(&self, values: &[Value]) -> Option<&OutputTuple> {
-        self.tuples.iter().find(|t| t.values == values)
+        self.tuples
+            .binary_search_by(|t| t.values.as_slice().cmp(values))
+            .ok()
+            .map(|i| &self.tuples[i])
     }
 
     /// The witness set: output values only (for witness-based similarity).
@@ -100,61 +191,161 @@ impl fmt::Display for EvalError {
 
 impl std::error::Error for EvalError {}
 
-/// Evaluate an SPJU query with provenance tracking.
+/// Evaluate an SPJU query with provenance tracking, decoding the interned
+/// result into owned [`Value`]s and `Arc`-shared [`Monomial`]s.
 pub fn evaluate(db: &Database, q: &Query) -> Result<QueryResult, EvalError> {
-    let mut sp = ls_obs::span("relational.evaluate").with("blocks", q.blocks.len());
-    let mut by_values: BTreeMap<Vec<Value>, Vec<Monomial>> = BTreeMap::new();
-    for block in &q.blocks {
-        let rows = eval_block(db, block)?;
-        for (values, mono) in rows {
-            by_values.entry(values).or_default().push(mono);
-        }
-    }
-    let tuples: Vec<OutputTuple> = by_values
-        .into_iter()
-        .map(|(values, monos)| OutputTuple {
-            values,
-            derivations: minimize_dnf(monos),
+    let InternedResult {
+        mut arena,
+        tuples: interned_tuples,
+    } = evaluate_interned(db, q)?;
+    let dict = db.dict();
+    let tuples: Vec<OutputTuple> = interned_tuples
+        .iter()
+        .map(|t| OutputTuple {
+            values: dict.decode_row(t.values.as_slice()),
+            derivations: t.derivations.iter().map(|&r| arena.decode(r)).collect(),
         })
         .collect();
+    Ok(QueryResult {
+        tuples,
+        interned: InternedResult {
+            arena,
+            tuples: interned_tuples,
+        },
+    })
+}
+
+/// Evaluate an SPJU query entirely in interned space.
+///
+/// Output tuples are sorted by their *decoded* values (the same deterministic
+/// order [`evaluate`] produces), but values stay as [`IdRow`]s and
+/// derivations as arena refs — nothing is decoded.
+pub fn evaluate_interned(db: &Database, q: &Query) -> Result<InternedResult, EvalError> {
+    let mut sp = ls_obs::span("relational.evaluate").with("blocks", q.blocks.len());
+    let mut arena = LineageArena::new();
+    // Group derivations by projected row. The inline first slot keeps the
+    // overwhelmingly common one-derivation-per-tuple case allocation-free.
+    let mut by_values: FxHashMap<IdRow, (MonoRef, Vec<MonoRef>)> = FxHashMap::default();
+    for block in &q.blocks {
+        for (values, mono) in eval_block(db, block, &mut arena)? {
+            match by_values.entry(values) {
+                Entry::Occupied(mut e) => e.get_mut().1.push(mono),
+                Entry::Vacant(e) => {
+                    e.insert((mono, Vec::new()));
+                }
+            }
+        }
+    }
+    let mut tuples: Vec<InternedTuple> = by_values
+        .into_iter()
+        .map(|(values, (first, mut rest))| {
+            let derivations = if rest.is_empty() {
+                vec![first]
+            } else {
+                rest.insert(0, first);
+                arena.minimize(rest)
+            };
+            InternedTuple {
+                derivations,
+                values,
+            }
+        })
+        .collect();
+    // Distinct interned rows decode to distinct value rows, so this sort has
+    // no ties and the order matches the old `BTreeMap<Vec<Value>, _>` walk.
+    let dict = db.dict();
+    tuples.sort_by(|a, b| dict.cmp_rows(a.values.as_slice(), b.values.as_slice()));
     sp.record("tuples", tuples.len());
     if ls_obs::enabled() {
         ls_obs::counter("relational.tuples_emitted").add(tuples.len() as u64);
         ls_obs::counter("relational.queries").incr();
     }
-    Ok(QueryResult { tuples })
+    Ok(InternedResult { arena, tuples })
 }
 
 /// Remove subsumed monomials (DNF absorption: `m ∨ (m ∧ x) = m`) and
 /// duplicates. The result is sorted by (length, content) for determinism.
+///
+/// After the sort + dedup, a monomial can only be absorbed by a *strictly
+/// shorter* kept monomial (a same-length subsumer would have to be equal, and
+/// equals are gone), so absorption scans stop at the current length boundary
+/// instead of re-checking every kept monomial.
 pub fn minimize_dnf(mut monos: Vec<Monomial>) -> Vec<Monomial> {
     monos.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
     monos.dedup();
     let mut kept: Vec<Monomial> = Vec::with_capacity(monos.len());
+    let mut cur_len = usize::MAX;
+    let mut shorter = 0;
     for m in monos {
-        if !kept.iter().any(|k| k.subsumes(&m)) {
+        if m.len() != cur_len {
+            cur_len = m.len();
+            shorter = kept.len();
+        }
+        if !kept[..shorter].iter().any(|k| k.subsumes(&m)) {
             kept.push(m);
         }
     }
     kept
 }
 
-/// One intermediate row during join processing: the concatenated values of
-/// all bound aliases plus the conjunctive provenance so far.
-struct Intermediate {
-    values: Vec<Value>,
-    mono: Monomial,
+/// A selection predicate compiled against the value dictionary, so the scan
+/// loop works on ids.
+enum SelTest<'a> {
+    /// Equality against an interned literal: a `u32` compare.
+    IdEq(ValueId),
+    /// Inequality against an interned literal: a `u32` compare.
+    IdNe(ValueId),
+    /// The literal appears nowhere in the database — `=` can never match.
+    Never,
+    /// The literal appears nowhere in the database — `<>` always matches.
+    Always,
+    /// Range / prefix predicates decode the cell (a dictionary index) and
+    /// evaluate the original predicate.
+    Decode(&'a Selection),
 }
 
-/// Evaluate a single SPJ block, returning `(projected values, monomial)` rows.
-fn eval_block(db: &Database, b: &SpjBlock) -> Result<Vec<(Vec<Value>, Monomial)>, EvalError> {
+/// An intermediate relation during join processing: all rows in one flat
+/// buffer (`data[i*width..(i+1)*width]` is row `i`), with the conjunctive
+/// provenance of row `i` in `monos[i]`.
+struct Rel {
+    width: usize,
+    data: Vec<ValueId>,
+    monos: Vec<MonoRef>,
+}
+
+impl Rel {
+    fn empty(width: usize) -> Self {
+        Rel {
+            width,
+            data: Vec::new(),
+            monos: Vec::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.monos.len()
+    }
+
+    #[inline]
+    fn row(&self, i: usize) -> &[ValueId] {
+        &self.data[i * self.width..(i + 1) * self.width]
+    }
+}
+
+/// Evaluate a single SPJ block, returning `(projected ids, derivation)` rows.
+fn eval_block(
+    db: &Database,
+    b: &SpjBlock,
+    arena: &mut LineageArena,
+) -> Result<Vec<(IdRow, MonoRef)>, EvalError> {
+    let dict = db.dict();
     // Per-operator row totals, accumulated locally (plain integer adds) and
     // published to the ls-obs counters once per block so that disabled-mode
     // overhead stays within noise.
     let mut rows_scanned = 0u64;
     let mut rows_joined = 0u64;
     // Scan each alias with its pushed-down selections.
-    let mut scans: Vec<(String, Vec<String>, Vec<Intermediate>)> = Vec::new();
+    let mut scans: Vec<(String, Vec<String>, Rel)> = Vec::new();
     for tref in &b.tables {
         let table = db
             .table(&tref.table)
@@ -165,45 +356,55 @@ fn eval_block(db: &Database, b: &SpjBlock) -> Result<Vec<(Vec<Value>, Monomial)>
             .iter()
             .map(|c| c.name.clone())
             .collect();
-        let sels: Vec<_> = b
-            .selections
-            .iter()
-            .filter(|s| s.col().table == tref.alias)
-            .collect();
-        for s in &sels {
-            if table.schema.col_index(&s.col().column).is_none() {
-                return Err(EvalError::new(format!(
+        // Compile this alias's selections down to id-space tests.
+        let mut tests: Vec<(usize, SelTest)> = Vec::new();
+        for s in b.selections.iter().filter(|s| s.col().table == tref.alias) {
+            let idx = table.schema.col_index(&s.col().column).ok_or_else(|| {
+                EvalError::new(format!(
                     "no column `{}` in table `{}`",
                     s.col().column,
                     tref.table
-                )));
-            }
+                ))
+            })?;
+            let test = match s {
+                Selection::Cmp {
+                    op: CmpOp::Eq, lit, ..
+                } => dict.lookup(lit).map_or(SelTest::Never, SelTest::IdEq),
+                Selection::Cmp {
+                    op: CmpOp::Ne, lit, ..
+                } => dict.lookup(lit).map_or(SelTest::Always, SelTest::IdNe),
+                other => SelTest::Decode(other),
+            };
+            tests.push((idx, test));
         }
-        let mut rows = Vec::new();
-        for row in table.iter() {
-            rows_scanned += 1;
-            let passes = sels.iter().all(|s| {
-                let idx = table
-                    .schema
-                    .col_index(&s.col().column)
-                    .expect("validated above");
-                s.matches(&row.values[idx])
-            });
-            if passes {
-                rows.push(Intermediate {
-                    values: row.values.clone(),
-                    mono: Monomial::of(row.fact),
+        rows_scanned += table.len() as u64;
+        let width = table.schema.arity();
+        let mut rel = Rel::empty(width);
+        // A `Never` test empties the scan without touching any row.
+        if !tests.iter().any(|(_, t)| matches!(t, SelTest::Never)) {
+            for (i, row) in table.id_rows().iter().enumerate() {
+                let cells = row.as_slice();
+                let passes = tests.iter().all(|&(idx, ref test)| match test {
+                    SelTest::IdEq(id) => cells[idx] == *id,
+                    SelTest::IdNe(id) => cells[idx] != *id,
+                    SelTest::Always => true,
+                    SelTest::Never => unreachable!("filtered above"),
+                    SelTest::Decode(s) => s.matches(dict.value(cells[idx])),
                 });
+                if passes {
+                    rel.data.extend_from_slice(cells);
+                    rel.monos.push(arena.singleton(table.fact_at(i)));
+                }
             }
         }
-        scans.push((tref.alias.clone(), col_names, rows));
+        scans.push((tref.alias.clone(), col_names, rel));
     }
 
     // Column layout of the in-flight joined relation: (alias, column) → index.
     let mut layout: HashMap<(String, String), usize> = HashMap::new();
-    let mut current: Vec<Intermediate> = Vec::new();
+    let mut current = Rel::empty(0);
     let mut bound: Vec<String> = Vec::new();
-    let mut remaining: Vec<(String, Vec<String>, Vec<Intermediate>)> = scans;
+    let mut remaining: Vec<(String, Vec<String>, Rel)> = scans;
     let mut pending_joins: Vec<&crate::algebra::JoinCond> = b.joins.iter().collect();
 
     // Validate join/projection column references against schemas up front.
@@ -231,13 +432,13 @@ fn eval_block(db: &Database, b: &SpjBlock) -> Result<Vec<(Vec<Value>, Monomial)>
                 })
                 .unwrap_or(0)
         };
-        let (alias, col_names, rows) = remaining.remove(next_idx);
+        let (alias, col_names, rel) = remaining.remove(next_idx);
 
         if bound.is_empty() {
             for (i, c) in col_names.iter().enumerate() {
                 layout.insert((alias.clone(), c.clone()), i);
             }
-            current = rows;
+            current = rel;
             bound.push(alias);
             continue;
         }
@@ -269,28 +470,37 @@ fn eval_block(db: &Database, b: &SpjBlock) -> Result<Vec<(Vec<Value>, Monomial)>
             new_key_idx.push(nidx);
         }
 
-        // Hash the (smaller, scanned) side on its key.
-        let mut hash: HashMap<Vec<Value>, Vec<&Intermediate>> = HashMap::new();
-        for r in &rows {
-            let key: Vec<Value> = new_key_idx.iter().map(|&i| r.values[i].clone()).collect();
-            hash.entry(key).or_default().push(r);
+        // Hash the incoming (scanned) side on its key — keys are id rows, so
+        // hashing and equality never touch value bytes.
+        let mut hash: FxHashMap<IdRow, Vec<u32>> = FxHashMap::default();
+        for i in 0..rel.len() {
+            let row = rel.row(i);
+            let key: IdRow = new_key_idx.iter().map(|&k| row[k]).collect();
+            hash.entry(key).or_default().push(i as u32);
         }
 
         let base_width = layout.len();
-        let mut joined = Vec::new();
-        for cur in &current {
-            let key: Vec<Value> = bound_key_idx
-                .iter()
-                .map(|&i| cur.values[i].clone())
-                .collect();
+        let cur_w = current.width;
+        let mut joined = Rel::empty(cur_w + rel.width);
+        for i in 0..current.len() {
+            let cur_row = current.row(i);
+            let key: IdRow = bound_key_idx.iter().map(|&k| cur_row[k]).collect();
             if let Some(matches) = hash.get(&key) {
-                for m in matches {
-                    let mut values = cur.values.clone();
-                    values.extend(m.values.iter().cloned());
-                    joined.push(Intermediate {
-                        values,
-                        mono: cur.mono.and(&m.mono),
-                    });
+                // The probe-side prefix repeats for every match; after the
+                // first copy, replicate it from the output buffer itself.
+                let first_start = joined.data.len();
+                for (n, &j) in matches.iter().enumerate() {
+                    if n == 0 {
+                        joined.data.extend_from_slice(cur_row);
+                    } else {
+                        joined
+                            .data
+                            .extend_from_within(first_start..first_start + cur_w);
+                    }
+                    joined.data.extend_from_slice(rel.row(j as usize));
+                    joined
+                        .monos
+                        .push(arena.and(current.monos[i], rel.monos[j as usize]));
                 }
             }
         }
@@ -303,15 +513,39 @@ fn eval_block(db: &Database, b: &SpjBlock) -> Result<Vec<(Vec<Value>, Monomial)>
     }
 
     // Residual join conditions (both sides were already bound when the
-    // condition became applicable — e.g. cycles in the join graph).
-    for j in pending_joins {
-        let li = *layout
-            .get(&(j.left.table.clone(), j.left.column.clone()))
-            .expect("validated above");
-        let ri = *layout
-            .get(&(j.right.table.clone(), j.right.column.clone()))
-            .expect("validated above");
-        current.retain(|r| r.values[li] == r.values[ri]);
+    // condition became applicable — e.g. cycles in the join graph). Id
+    // equality is value equality, so these are integer compares; surviving
+    // rows are compacted in place.
+    if !pending_joins.is_empty() {
+        let residual: Vec<(usize, usize)> = pending_joins
+            .iter()
+            .map(|j| {
+                let li = *layout
+                    .get(&(j.left.table.clone(), j.left.column.clone()))
+                    .expect("validated above");
+                let ri = *layout
+                    .get(&(j.right.table.clone(), j.right.column.clone()))
+                    .expect("validated above");
+                (li, ri)
+            })
+            .collect();
+        let w = current.width;
+        let mut out_len = 0usize;
+        for i in 0..current.len() {
+            let keep = {
+                let row = current.row(i);
+                residual.iter().all(|&(li, ri)| row[li] == row[ri])
+            };
+            if keep {
+                if out_len != i {
+                    current.data.copy_within(i * w..(i + 1) * w, out_len * w);
+                    current.monos[out_len] = current.monos[i];
+                }
+                out_len += 1;
+            }
+        }
+        current.data.truncate(out_len * w);
+        current.monos.truncate(out_len);
     }
 
     if ls_obs::enabled() {
@@ -329,13 +563,13 @@ fn eval_block(db: &Database, b: &SpjBlock) -> Result<Vec<(Vec<Value>, Monomial)>
                 .expect("validated above")
         })
         .collect();
-    Ok(current
-        .into_iter()
-        .map(|r| {
-            let values: Vec<Value> = proj_idx.iter().map(|&i| r.values[i].clone()).collect();
-            (values, r.mono)
-        })
-        .collect())
+    let mut out = Vec::with_capacity(current.len());
+    for i in 0..current.len() {
+        let row = current.row(i);
+        let values: IdRow = proj_idx.iter().map(|&k| row[k]).collect();
+        out.push((values, current.monos[i]));
+    }
+    Ok(out)
 }
 
 fn check_col(db: &Database, b: &SpjBlock, c: &ColRef) -> Result<(), EvalError> {
@@ -455,6 +689,25 @@ mod tests {
     }
 
     #[test]
+    fn interned_result_mirrors_decoded_result() {
+        let db = figure1_db();
+        let q = parse_query(Q_INF).unwrap();
+        let res = evaluate(&db, &q).unwrap();
+        let interned = evaluate_interned(&db, &q).unwrap();
+        assert_eq!(res.interned.len(), res.len());
+        assert_eq!(interned.len(), res.len());
+        for (it, t) in interned.tuples.iter().zip(&res.tuples) {
+            assert_eq!(db.dict().decode_row(it.values.as_slice()), t.values);
+            assert_eq!(it.derivations.len(), t.derivations.len());
+            for (&r, m) in it.derivations.iter().zip(&t.derivations) {
+                assert_eq!(interned.arena.facts(r), m.facts());
+            }
+        }
+        let wits: Vec<&IdRow> = interned.witness_ids().collect();
+        assert_eq!(wits.len(), 3);
+    }
+
+    #[test]
     fn selection_only_query() {
         let db = figure1_db();
         let q = parse_query("SELECT movies.title FROM movies WHERE movies.year = 2007").unwrap();
@@ -464,6 +717,19 @@ mod tests {
             assert_eq!(t.derivations.len(), 1);
             assert_eq!(t.derivations[0].len(), 1);
         }
+    }
+
+    #[test]
+    fn selection_on_absent_literal() {
+        let db = figure1_db();
+        // 'Nolan' is interned nowhere: `=` short-circuits to empty, `<>`
+        // passes every row.
+        let q =
+            parse_query("SELECT movies.title FROM movies WHERE movies.title = 'Nolan'").unwrap();
+        assert!(evaluate(&db, &q).unwrap().is_empty());
+        let q2 =
+            parse_query("SELECT movies.title FROM movies WHERE movies.title <> 'Nolan'").unwrap();
+        assert_eq!(evaluate(&db, &q2).unwrap().len(), 5);
     }
 
     #[test]
@@ -561,6 +827,46 @@ mod tests {
     }
 
     #[test]
+    fn minimize_dnf_pathological_same_length_plateau() {
+        // 1000 monomials dominated by one same-length plateau: 600 distinct
+        // pairs that cannot absorb each other, 380 triples absorbed by some
+        // pair, and 20 triples that survive. The length-boundary absorption
+        // scan must agree with the naive all-kept scan.
+        let m = |ids: &[u32]| Monomial::from_facts(ids.iter().map(|&i| FactId(i)).collect());
+        let mut monos: Vec<Monomial> = Vec::new();
+        for i in 0..600u32 {
+            monos.push(m(&[2 * i, 2 * i + 1]));
+        }
+        for i in 0..380u32 {
+            // Superset of pair i — absorbed.
+            monos.push(m(&[2 * i, 2 * i + 1, 5000 + i]));
+        }
+        for i in 0..20u32 {
+            // Fresh facts only — kept.
+            monos.push(m(&[6000 + 3 * i, 6001 + 3 * i, 6002 + 3 * i]));
+        }
+        assert_eq!(monos.len(), 1000);
+
+        // Naive quadratic reference: scan every kept monomial.
+        let naive = {
+            let mut ms = monos.clone();
+            ms.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+            ms.dedup();
+            let mut kept: Vec<Monomial> = Vec::new();
+            for mm in ms {
+                if !kept.iter().any(|k| k.subsumes(&mm)) {
+                    kept.push(mm);
+                }
+            }
+            kept
+        };
+
+        let out = minimize_dnf(monos);
+        assert_eq!(out.len(), 620);
+        assert_eq!(out, naive);
+    }
+
+    #[test]
     fn query_over_empty_table() {
         let mut db = Database::new();
         db.create_table(crate::schema::TableSchema::new(
@@ -631,5 +937,18 @@ mod tests {
         let mut sorted = r1.tuples.clone();
         sorted.sort_by(|a, b| a.values.cmp(&b.values));
         assert_eq!(r1.tuples, sorted);
+    }
+
+    #[test]
+    fn tuple_lookup_uses_sorted_order() {
+        let db = figure1_db();
+        let q = parse_query("SELECT movies.title FROM movies").unwrap();
+        let res = evaluate(&db, &q).unwrap();
+        assert_eq!(res.len(), 5);
+        for t in &res.tuples {
+            assert_eq!(res.tuple(&t.values).unwrap(), t);
+        }
+        assert!(res.tuple(&[Value::from("Nolan")]).is_none());
+        assert!(res.tuple(&[Value::from("")]).is_none());
     }
 }

@@ -6,6 +6,7 @@
 //! provenance expressions are built over these identifiers.
 
 use std::fmt;
+use std::sync::Arc;
 
 /// A database-wide unique identifier of an input fact.
 ///
@@ -32,27 +33,62 @@ impl fmt::Display for FactId {
 /// derivation of an output tuple.
 ///
 /// Invariant: fact ids are sorted and deduplicated (idempotence of `∧`).
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+///
+/// The fact set is held behind an `Arc`, so cloning a monomial — the dominant
+/// operation when provenance flows from the evaluator into DNFs, conditioning
+/// and component splitting — is a reference-count bump that shares the
+/// underlying slice instead of deep-copying it. Monomials decoded from the
+/// same [`crate::arena::LineageArena`] entry share one allocation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Monomial {
-    facts: Vec<FactId>,
+    facts: Arc<[FactId]>,
+}
+
+impl Default for Monomial {
+    fn default() -> Self {
+        Monomial::one()
+    }
 }
 
 impl Monomial {
     /// The empty monomial (`true`): a derivation using no facts.
+    ///
+    /// Shares one static allocation across all call sites.
     pub fn one() -> Self {
-        Monomial { facts: Vec::new() }
+        static EMPTY: std::sync::OnceLock<Arc<[FactId]>> = std::sync::OnceLock::new();
+        Monomial {
+            facts: Arc::clone(EMPTY.get_or_init(|| Arc::from(Vec::new()))),
+        }
     }
 
     /// A monomial over a single fact.
     pub fn of(f: FactId) -> Self {
-        Monomial { facts: vec![f] }
+        Monomial {
+            facts: Arc::from(vec![f]),
+        }
     }
 
     /// Build from an arbitrary list of fact ids (sorted and deduplicated).
     pub fn from_facts(mut facts: Vec<FactId>) -> Self {
         facts.sort_unstable();
         facts.dedup();
-        Monomial { facts }
+        Monomial {
+            facts: Arc::from(facts),
+        }
+    }
+
+    /// Build from a slice already sorted ascending with no duplicates.
+    ///
+    /// This is the zero-normalization path used when decoding interned
+    /// arena monomials, whose invariant matches by construction.
+    pub fn from_sorted_facts(facts: &[FactId]) -> Self {
+        debug_assert!(facts.windows(2).all(|w| w[0] < w[1]), "not sorted/dedup");
+        if facts.is_empty() {
+            return Monomial::one();
+        }
+        Monomial {
+            facts: Arc::from(facts),
+        }
     }
 
     /// The facts of this monomial, sorted ascending.
@@ -77,6 +113,13 @@ impl Monomial {
 
     /// Conjunction of two monomials (sorted merge with dedup).
     pub fn and(&self, other: &Monomial) -> Monomial {
+        // `x ∧ ⊤ = x` and `x ∧ x = x` share the existing allocation.
+        if self.facts.is_empty() || self.facts == other.facts {
+            return other.clone();
+        }
+        if other.facts.is_empty() {
+            return self.clone();
+        }
         let mut out = Vec::with_capacity(self.facts.len() + other.facts.len());
         let (mut i, mut j) = (0, 0);
         while i < self.facts.len() && j < other.facts.len() {
@@ -98,7 +141,9 @@ impl Monomial {
         }
         out.extend_from_slice(&self.facts[i..]);
         out.extend_from_slice(&other.facts[j..]);
-        Monomial { facts: out }
+        Monomial {
+            facts: Arc::from(out),
+        }
     }
 
     /// Whether every fact of `self` also appears in `other`
@@ -108,7 +153,7 @@ impl Monomial {
             return false;
         }
         let mut j = 0;
-        for f in &self.facts {
+        for f in self.facts.iter() {
             while j < other.facts.len() && other.facts[j] < *f {
                 j += 1;
             }

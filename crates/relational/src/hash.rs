@@ -1,0 +1,104 @@
+//! Fast deterministic hashing for the engine's internal maps.
+//!
+//! The evaluator's hot loops hash tiny integer keys (interned [`crate::ValueId`]
+//! rows, arena refs, precomputed `u64` digests) thousands of times per query;
+//! the standard library's DoS-resistant SipHash dominates those loops. This is
+//! a hand-rolled FxHash-style multiply-rotate hasher — not DoS-resistant, which
+//! is fine for maps keyed by dense internal ids that no adversary chooses.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` wired to [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A multiply-rotate hasher in the style of rustc's FxHash.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const K: u64 = 0x517c_c1b7_2722_0a95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(buf) ^ ((rem.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash_of<T: std::hash::Hash>(v: &T) -> u64 {
+        let mut h = FxHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_and_discriminating() {
+        assert_eq!(hash_of(&42u32), hash_of(&42u32));
+        assert_ne!(hash_of(&42u32), hash_of(&43u32));
+        assert_ne!(hash_of(&[1u32, 2]), hash_of(&[2u32, 1]));
+        assert_ne!(hash_of(&"ab"), hash_of(&"ba"));
+        assert_ne!(hash_of(&""), hash_of(&"\0"));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u64, usize> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, i as usize * 2);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&7], 14);
+    }
+}

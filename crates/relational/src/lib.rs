@@ -34,10 +34,14 @@
 #![warn(missing_docs)]
 
 pub mod algebra;
+pub mod arena;
 pub mod database;
+pub mod dict;
 pub mod eval;
 pub mod fact;
+mod hash;
 pub mod ops;
+pub mod row;
 pub mod schema;
 pub mod sql;
 pub mod table;
@@ -45,13 +49,19 @@ pub mod validate;
 pub mod value;
 
 pub use algebra::{CmpOp, ColRef, JoinCond, Query, Selection, SpjBlock, TableRef};
+pub use arena::{LineageArena, MonoRef};
 pub use database::Database;
-pub use eval::{evaluate, minimize_dnf, EvalError, OutputTuple, QueryResult};
+pub use dict::ValueDict;
+pub use eval::{
+    evaluate, evaluate_interned, minimize_dnf, EvalError, InternedResult, InternedTuple,
+    OutputTuple, QueryResult,
+};
 pub use fact::{FactId, Monomial};
 pub use ops::{operations, Operation};
+pub use row::IdRow;
 pub use schema::{Catalog, Column, TableSchema};
 pub use sql::parser::{parse_query, ParseError};
 pub use sql::printer::to_sql;
 pub use table::{Row, Table};
 pub use validate::{validate, validate_strict, ValidateError};
-pub use value::{ColType, Value};
+pub use value::{ColType, Value, ValueId};

@@ -1,0 +1,211 @@
+//! Compact rows of interned value ids.
+//!
+//! [`IdRow`] is the engine's row representation: a small-vector of
+//! [`ValueId`]s that stays inline (no heap allocation) up to eight columns —
+//! covering every table and projection the DBShap workloads use — and spills
+//! to a boxed slice beyond that. Equality, hashing and ordering go through
+//! the logical id slice, so the two representations are indistinguishable.
+
+use crate::value::ValueId;
+use std::cmp::Ordering;
+use std::hash::{Hash, Hasher};
+
+/// Columns stored inline before spilling to the heap.
+pub const INLINE_COLS: usize = 8;
+
+/// A compact row (or key) of interned value ids.
+#[derive(Debug, Clone)]
+pub struct IdRow(Repr);
+
+#[derive(Debug, Clone)]
+enum Repr {
+    Inline {
+        len: u8,
+        buf: [ValueId; INLINE_COLS],
+    },
+    Heap(Box<[ValueId]>),
+}
+
+impl IdRow {
+    /// The empty row.
+    pub fn new() -> Self {
+        IdRow(Repr::Inline {
+            len: 0,
+            buf: [ValueId(0); INLINE_COLS],
+        })
+    }
+
+    /// Build from a slice of ids.
+    pub fn from_slice(ids: &[ValueId]) -> Self {
+        if ids.len() <= INLINE_COLS {
+            let mut buf = [ValueId(0); INLINE_COLS];
+            buf[..ids.len()].copy_from_slice(ids);
+            IdRow(Repr::Inline {
+                len: ids.len() as u8,
+                buf,
+            })
+        } else {
+            IdRow(Repr::Heap(ids.into()))
+        }
+    }
+
+    /// Append one id (spilling to the heap past [`INLINE_COLS`]).
+    pub fn push(&mut self, id: ValueId) {
+        match &mut self.0 {
+            Repr::Inline { len, buf } if (*len as usize) < INLINE_COLS => {
+                buf[*len as usize] = id;
+                *len += 1;
+            }
+            Repr::Inline { len, buf } => {
+                let mut v: Vec<ValueId> = buf[..*len as usize].to_vec();
+                v.push(id);
+                self.0 = Repr::Heap(v.into());
+            }
+            Repr::Heap(b) => {
+                let mut v = std::mem::take(b).into_vec();
+                v.push(id);
+                *b = v.into();
+            }
+        }
+    }
+
+    /// The ids as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[ValueId] {
+        match &self.0 {
+            Repr::Inline { len, buf } => &buf[..*len as usize],
+            Repr::Heap(b) => b,
+        }
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the row has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The id at column `i`, if in range.
+    pub fn get(&self, i: usize) -> Option<ValueId> {
+        self.as_slice().get(i).copied()
+    }
+
+    /// Iterate over the ids.
+    pub fn iter(&self) -> impl Iterator<Item = ValueId> + '_ {
+        self.as_slice().iter().copied()
+    }
+}
+
+impl Default for IdRow {
+    fn default() -> Self {
+        IdRow::new()
+    }
+}
+
+impl PartialEq for IdRow {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for IdRow {}
+
+impl Hash for IdRow {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+/// Ordering over the raw id slice — interning order, **not** value order;
+/// usable for deterministic keying (e.g. interned witness sets), not for
+/// value-sorted output.
+impl PartialOrd for IdRow {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for IdRow {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl FromIterator<ValueId> for IdRow {
+    fn from_iter<I: IntoIterator<Item = ValueId>>(iter: I) -> Self {
+        let mut row = IdRow::new();
+        for id in iter {
+            row.push(id);
+        }
+        row
+    }
+}
+
+impl From<&[ValueId]> for IdRow {
+    fn from(ids: &[ValueId]) -> Self {
+        IdRow::from_slice(ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(xs: &[u32]) -> Vec<ValueId> {
+        xs.iter().copied().map(ValueId).collect()
+    }
+
+    #[test]
+    fn inline_roundtrip() {
+        let r = IdRow::from_slice(&ids(&[3, 1, 4]));
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.as_slice(), ids(&[3, 1, 4]).as_slice());
+        assert_eq!(r.get(1), Some(ValueId(1)));
+        assert_eq!(r.get(3), None);
+        assert!(!r.is_empty());
+        assert!(IdRow::new().is_empty());
+    }
+
+    #[test]
+    fn spills_past_inline_capacity() {
+        let wide: Vec<ValueId> = (0..12).map(ValueId).collect();
+        let r = IdRow::from_slice(&wide);
+        assert_eq!(r.len(), 12);
+        assert_eq!(r.as_slice(), wide.as_slice());
+        // Push-built rows agree with slice-built rows across the spill point.
+        let mut p = IdRow::new();
+        for &id in &wide {
+            p.push(id);
+        }
+        assert_eq!(p, r);
+        let mut p2 = p.clone();
+        p2.push(ValueId(99));
+        assert_eq!(p2.len(), 13);
+        assert_eq!(p2.get(12), Some(ValueId(99)));
+    }
+
+    #[test]
+    fn equality_ignores_representation() {
+        let inline = IdRow::from_slice(&ids(&[1, 2]));
+        let from_iter: IdRow = ids(&[1, 2]).into_iter().collect();
+        assert_eq!(inline, from_iter);
+        assert_ne!(inline, IdRow::from_slice(&ids(&[1, 2, 3])));
+        use std::collections::hash_map::DefaultHasher;
+        let h = |r: &IdRow| {
+            let mut s = DefaultHasher::new();
+            r.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(h(&inline), h(&from_iter));
+    }
+
+    #[test]
+    fn ordering_is_slicewise() {
+        assert!(IdRow::from_slice(&ids(&[1])) < IdRow::from_slice(&ids(&[1, 0])));
+        assert!(IdRow::from_slice(&ids(&[2])) > IdRow::from_slice(&ids(&[1, 9])));
+    }
+}

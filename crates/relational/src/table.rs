@@ -1,11 +1,22 @@
-//! In-memory tables: rows of values, each annotated with its [`FactId`].
+//! In-memory tables: interned rows of value ids, each annotated with its
+//! [`FactId`].
+//!
+//! Cell values live in the owning database's [`ValueDict`]; a table stores
+//! only compact [`IdRow`]s plus the per-row fact annotation. [`Row`] remains
+//! as the *decoded* snapshot handed to display, export and test code — it is
+//! produced on demand by [`Table::decode_row`] / [`Database::fact`] and is no
+//! longer the storage format.
+//!
+//! [`Database::fact`]: crate::database::Database::fact
 
+use crate::dict::ValueDict;
 use crate::fact::FactId;
+use crate::row::IdRow;
 use crate::schema::TableSchema;
 use crate::value::Value;
 use std::fmt;
 
-/// A stored row: its cell values plus the fact annotation.
+/// A decoded row snapshot: owned cell values plus the fact annotation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Row {
     /// Cell values, positionally matching the table schema.
@@ -35,13 +46,15 @@ impl fmt::Display for Row {
     }
 }
 
-/// An in-memory relation.
+/// An in-memory relation over interned value ids.
 #[derive(Debug, Clone)]
 pub struct Table {
     /// The relation schema.
     pub schema: TableSchema,
-    /// Stored rows in insertion order.
-    pub rows: Vec<Row>,
+    /// Interned rows in insertion order.
+    rows: Vec<IdRow>,
+    /// `facts[i]` annotates `rows[i]`.
+    facts: Vec<FactId>,
 }
 
 impl Table {
@@ -50,31 +63,26 @@ impl Table {
         Table {
             schema,
             rows: Vec::new(),
+            facts: Vec::new(),
         }
     }
 
-    /// Append a row with a pre-assigned fact id.
+    /// Append an already-interned row with a pre-assigned fact id.
+    ///
+    /// Type checking against the schema happens before interning, in
+    /// [`crate::database::Database::insert`] — the only writer.
     ///
     /// # Panics
-    /// Panics if the value arity or types do not match the schema; data is
-    /// only inserted by trusted generators, so a mismatch is a bug.
-    pub fn push(&mut self, values: Vec<Value>, fact: FactId) {
+    /// Panics if the row arity does not match the schema.
+    pub fn push_interned(&mut self, row: IdRow, fact: FactId) {
         assert_eq!(
-            values.len(),
+            row.len(),
             self.schema.arity(),
             "arity mismatch inserting into `{}`",
             self.schema.name
         );
-        for (v, c) in values.iter().zip(&self.schema.columns) {
-            assert_eq!(
-                v.col_type(),
-                c.ty,
-                "type mismatch for `{}`.`{}`",
-                self.schema.name,
-                c.name
-            );
-        }
-        self.rows.push(Row { values, fact });
+        self.rows.push(row);
+        self.facts.push(fact);
     }
 
     /// Number of rows.
@@ -87,45 +95,81 @@ impl Table {
         self.rows.is_empty()
     }
 
-    /// Iterate over rows.
-    pub fn iter(&self) -> impl Iterator<Item = &Row> {
-        self.rows.iter()
+    /// The interned rows, in insertion order.
+    #[inline]
+    pub fn id_rows(&self) -> &[IdRow] {
+        &self.rows
+    }
+
+    /// The interned row at `i`.
+    #[inline]
+    pub fn id_row(&self, i: usize) -> &IdRow {
+        &self.rows[i]
+    }
+
+    /// Per-row fact annotations, parallel to [`Table::id_rows`].
+    #[inline]
+    pub fn facts(&self) -> &[FactId] {
+        &self.facts
+    }
+
+    /// The fact annotating row `i`.
+    #[inline]
+    pub fn fact_at(&self, i: usize) -> FactId {
+        self.facts[i]
+    }
+
+    /// Decode row `i` into an owned [`Row`] via the database dictionary.
+    pub fn decode_row(&self, dict: &ValueDict, i: usize) -> Row {
+        Row {
+            values: dict.decode_row(self.rows[i].as_slice()),
+            fact: self.facts[i],
+        }
+    }
+
+    /// Iterate decoded rows in insertion order.
+    pub fn decoded_rows<'a>(&'a self, dict: &'a ValueDict) -> impl Iterator<Item = Row> + 'a {
+        (0..self.rows.len()).map(move |i| self.decode_row(dict, i))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::value::ColType;
+    use crate::value::{ColType, ValueId};
 
     fn schema() -> TableSchema {
         TableSchema::new("movies", &[("title", ColType::Str), ("year", ColType::Int)])
     }
 
     #[test]
-    fn push_and_read() {
+    fn push_and_decode() {
+        let mut dict = ValueDict::new();
         let mut t = Table::new(schema());
         assert!(t.is_empty());
-        t.push(vec!["Superman".into(), 2007.into()], FactId(0));
-        t.push(vec!["Aquaman".into(), 2007.into()], FactId(1));
+        let r0: IdRow = [dict.intern("Superman".into()), dict.intern(2007.into())]
+            .into_iter()
+            .collect();
+        let r1: IdRow = [dict.intern("Aquaman".into()), dict.intern(2007.into())]
+            .into_iter()
+            .collect();
+        t.push_interned(r0, FactId(0));
+        t.push_interned(r1, FactId(1));
         assert_eq!(t.len(), 2);
-        assert_eq!(t.rows[0].values[0], Value::from("Superman"));
-        assert_eq!(t.rows[1].fact, FactId(1));
-        assert_eq!(t.iter().count(), 2);
+        // The shared year cell interned to one id.
+        assert_eq!(t.id_row(0).get(1), t.id_row(1).get(1));
+        assert_eq!(t.fact_at(1), FactId(1));
+        let decoded: Vec<Row> = t.decoded_rows(&dict).collect();
+        assert_eq!(decoded[0].values[0], Value::from("Superman"));
+        assert_eq!(decoded[1].fact, FactId(1));
+        assert_eq!(decoded.len(), 2);
     }
 
     #[test]
     #[should_panic(expected = "arity mismatch")]
     fn arity_mismatch_panics() {
         let mut t = Table::new(schema());
-        t.push(vec!["x".into()], FactId(0));
-    }
-
-    #[test]
-    #[should_panic(expected = "type mismatch")]
-    fn type_mismatch_panics() {
-        let mut t = Table::new(schema());
-        t.push(vec![2007.into(), "Superman".into()], FactId(0));
+        t.push_interned(IdRow::from_slice(&[ValueId(0)]), FactId(0));
     }
 
     #[test]

@@ -117,6 +117,33 @@ impl From<String> for Value {
     }
 }
 
+/// A dictionary-interned value identifier.
+///
+/// Ids are assigned densely by a [`crate::dict::ValueDict`] in first-seen
+/// order. Two cells of the same database carry equal ids **iff** they carry
+/// equal [`Value`]s, so equality joins, group-by keys and duplicate
+/// elimination are plain `u32` comparisons.
+///
+/// The derived `Ord` follows interning order, **not** value order — use
+/// [`crate::dict::ValueDict::cmp_rows`] (or decode first) wherever the
+/// value-sorted order of query outputs matters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ValueId(pub u32);
+
+impl ValueId {
+    /// The id as a `usize` index into the owning dictionary.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -43,4 +43,7 @@ pub use kendall::{kendall_tau_distance, kendall_tau_similarity};
 pub use matrix::SimilarityMatrix;
 pub use rank::{rank_based_similarity, Matcher, RankSimOptions, UniverseMode};
 pub use syntax::{jaccard, syntax_similarity, syntax_similarity_ops};
-pub use witness::{witness_set, witness_similarity, witness_similarity_sets};
+pub use witness::{
+    witness_set, witness_set_ids, witness_similarity, witness_similarity_ids,
+    witness_similarity_sets,
+};

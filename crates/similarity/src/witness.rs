@@ -5,12 +5,22 @@
 //! projections share no witnesses and score 0 — the blind spot that
 //! rank-based similarity was designed to cover.
 
-use ls_relational::{QueryResult, Value};
+use ls_relational::{IdRow, QueryResult, Value};
 use std::collections::BTreeSet;
 
 /// The witness set of a query result: its output tuples as value vectors.
 pub fn witness_set(result: &QueryResult) -> BTreeSet<Vec<Value>> {
     result.tuples.iter().map(|t| t.values.clone()).collect()
+}
+
+/// The interned witness set: output tuples as [`IdRow`]s.
+///
+/// Within one database, id equality is value equality, so Jaccard scores over
+/// interned sets match [`witness_similarity_sets`] exactly while set
+/// operations stay integer comparisons. Sets from *different* databases are
+/// not comparable — their dictionaries assign ids independently.
+pub fn witness_set_ids(result: &QueryResult) -> BTreeSet<IdRow> {
+    result.interned.witness_ids().cloned().collect()
 }
 
 /// Witness-based similarity of two query results.
@@ -20,6 +30,16 @@ pub fn witness_similarity(a: &QueryResult, b: &QueryResult) -> f64 {
 
 /// Witness-based similarity from precomputed witness sets.
 pub fn witness_similarity_sets(a: &BTreeSet<Vec<Value>>, b: &BTreeSet<Vec<Value>>) -> f64 {
+    jaccard(a, b)
+}
+
+/// Witness-based similarity from precomputed interned witness sets (results
+/// must come from the same database).
+pub fn witness_similarity_ids(a: &BTreeSet<IdRow>, b: &BTreeSet<IdRow>) -> f64 {
+    jaccard(a, b)
+}
+
+fn jaccard<T: Ord>(a: &BTreeSet<T>, b: &BTreeSet<T>) -> f64 {
     if a.is_empty() && b.is_empty() {
         // Two empty results tell us nothing about each other; the paper's
         // convention (sparse signal) is a zero score rather than 1.
@@ -100,6 +120,26 @@ mod tests {
             "SELECT movies.title FROM movies WHERE movies.year = 1901",
         );
         assert_eq!(witness_similarity(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn interned_sets_agree_with_decoded_sets() {
+        let db = movie_db();
+        let queries = [
+            "SELECT movies.title FROM movies WHERE movies.year = 2007",
+            "SELECT movies.title FROM movies WHERE movies.title = 'Superman'",
+            "SELECT movies.title FROM movies",
+            "SELECT movies.year FROM movies",
+            "SELECT movies.title FROM movies WHERE movies.year = 1900",
+        ];
+        let results: Vec<QueryResult> = queries.iter().map(|q| run(&db, q)).collect();
+        for a in &results {
+            for b in &results {
+                let decoded = witness_similarity_sets(&witness_set(a), &witness_set(b));
+                let interned = witness_similarity_ids(&witness_set_ids(a), &witness_set_ids(b));
+                assert_eq!(decoded, interned);
+            }
+        }
     }
 
     #[test]

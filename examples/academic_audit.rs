@@ -21,9 +21,7 @@ fn main() {
 
     // Pick an organization with prolific authors so the join is non-empty.
     let org = db
-        .table("author")
-        .expect("author table")
-        .iter()
+        .decoded_rows("author")
         .max_by_key(|r| r.values[3].as_int().unwrap_or(0))
         .map(|r| r.values[1].as_str().unwrap().to_owned())
         .expect("authors exist");

@@ -118,9 +118,8 @@ fn main() {
 
 /// Find the fact id of the row of `table` whose first column equals `key`.
 fn find_fact(db: &Database, table: &str, key: &str) -> FactId {
-    let t = db.table(table).expect("table exists");
-    let row = t
-        .iter()
+    let row = db
+        .decoded_rows(table)
         .find(|r| r.values[0].as_str() == Some(key))
         .expect("row exists");
     row.fact

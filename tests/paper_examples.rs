@@ -107,9 +107,7 @@ fn example_2_2_exact_shapley_values() {
     let scores = shapley_values(&Dnf::of_tuple(alice));
 
     let fact_of = |table: &str, key: &str| -> FactId {
-        db.table(table)
-            .unwrap()
-            .iter()
+        db.decoded_rows(table)
             .find(|r| r.values[0].as_str() == Some(key))
             .unwrap()
             .fact
@@ -196,9 +194,7 @@ fn cnf_proxy_preserves_headline_comparison() {
     let alice = res.tuple(&[Value::from("Alice")]).unwrap();
     let proxy = cnf_proxy_scores(&Dnf::of_tuple(alice));
     let fact_of = |key: &str| -> FactId {
-        db.table("companies")
-            .unwrap()
-            .iter()
+        db.decoded_rows("companies")
             .find(|r| r.values[0].as_str() == Some(key))
             .unwrap()
             .fact
