@@ -29,8 +29,7 @@ fn bench_inference(c: &mut Criterion) {
     let tuple = &q.result.tuples[tr.tuple_idx];
     let lineage: Vec<_> = tr.shapley.keys().copied().collect();
 
-    let mut trained =
-        train_learnshapley(&ds, Some(&ms), &train, &scale.pipeline(EncoderKind::Base));
+    let trained = train_learnshapley(&ds, Some(&ms), &train, &scale.pipeline(EncoderKind::Base));
     let nq_syntax = NearestQueries::fit(&ds, &train, NqMetric::Syntax, 3);
     let nq_witness = NearestQueries::fit(&ds, &train, NqMetric::Witness, 3);
     let probe = QueryProbe {
@@ -45,7 +44,7 @@ fn bench_inference(c: &mut Criterion) {
     g.bench_function("learnshapley_base", |b| {
         b.iter(|| {
             black_box(predict_scores(
-                &mut trained.model,
+                &trained.model,
                 &trained.tokenizer,
                 &ds.db,
                 &q.sql,

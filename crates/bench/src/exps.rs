@@ -73,7 +73,7 @@ pub fn per_pair_eval(trained: &mut Trained, ds: &Dataset, queries: &[usize]) -> 
             let tuple = &q.result.tuples[t.tuple_idx];
             let lineage: Vec<_> = t.shapley.keys().copied().collect();
             let predicted = predict_scores(
-                &mut trained.model,
+                &trained.model,
                 &trained.tokenizer,
                 &ds.db,
                 &q.sql,
@@ -354,14 +354,14 @@ pub fn table6(ds: &Dataset, scale: &Scale) -> TextTable {
     let train = ds.split_indices(Split::Train);
     let test = ds.split_indices(Split::Test);
     let ms = matrices(ds);
-    let (mut base, _) = train_and_eval(
+    let (base, _) = train_and_eval(
         ds,
         Some(&ms),
         &train,
         &test,
         &scale.pipeline(EncoderKind::Base),
     );
-    let (mut large, _) = train_and_eval(
+    let (large, _) = train_and_eval(
         ds,
         Some(&ms),
         &train,
@@ -397,7 +397,7 @@ pub fn table6(ds: &Dataset, scale: &Scale) -> TextTable {
 
             let _ = ls_obs::time(K_BASE, || {
                 predict_scores(
-                    &mut base.model,
+                    &base.model,
                     &base.tokenizer,
                     &ds.db,
                     &q.sql,
@@ -408,7 +408,7 @@ pub fn table6(ds: &Dataset, scale: &Scale) -> TextTable {
             });
             let _ = ls_obs::time(K_LARGE, || {
                 predict_scores(
-                    &mut large.model,
+                    &large.model,
                     &large.tokenizer,
                     &ds.db,
                     &q.sql,
@@ -995,7 +995,7 @@ pub fn extension_negatives(ds: &Dataset, scale: &Scale) -> TextTable {
     ] {
         let mut cfg = scale.pipeline(EncoderKind::Base);
         cfg.finetune_cfg.negatives = negatives;
-        let (mut trained, _) = train_and_eval(ds, Some(&ms), &train, &test, &cfg);
+        let (trained, _) = train_and_eval(ds, Some(&ms), &train, &test, &cfg);
 
         let mut rng = rand::rngs::StdRng::seed_from_u64(scale.seed ^ 0xd15);
         let fact_count = ds.db.fact_count() as u32;
@@ -1020,7 +1020,7 @@ pub fn extension_negatives(ds: &Dataset, scale: &Scale) -> TextTable {
                     }
                 }
                 let predicted = predict_scores(
-                    &mut trained.model,
+                    &trained.model,
                     &trained.tokenizer,
                     &ds.db,
                     &q.sql,
@@ -1068,7 +1068,7 @@ pub fn extension_cross_schema(source: &Dataset, target: &Dataset, scale: &Scale)
     let tgt_train = target.split_indices(Split::Train);
     let ms = matrices(source);
 
-    let (mut trained, _) = train_and_eval(
+    let (trained, _) = train_and_eval(
         source,
         Some(&ms),
         &src_train,
@@ -1086,7 +1086,7 @@ pub fn extension_cross_schema(source: &Dataset, target: &Dataset, scale: &Scale)
             let tuple = &q.result.tuples[t.tuple_idx];
             let lineage: Vec<_> = t.shapley.keys().copied().collect();
             let pred = predict_scores(
-                &mut trained.model,
+                &trained.model,
                 &trained.tokenizer,
                 &target.db,
                 &q.sql,

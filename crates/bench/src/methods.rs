@@ -68,9 +68,9 @@ pub fn train_and_eval(
     test: &[usize],
     cfg: &PipelineConfig,
 ) -> (Trained, EvalSummary) {
-    let mut trained = train_learnshapley(ds, ms, train, cfg);
+    let trained = train_learnshapley(ds, ms, train, cfg);
     let summary = evaluate_model(
-        &mut trained.model,
+        &trained.model,
         &trained.tokenizer,
         ds,
         test,

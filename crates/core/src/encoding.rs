@@ -54,11 +54,30 @@ pub fn render_tuple_and_fact_featured(
     t: &OutputTuple,
     f: FactId,
 ) -> String {
-    let fact_text = render_fact(db, f);
     let tuple_text = render_tuple(t);
-    let fact_words = split_words(&fact_text);
     let tuple_words = split_words(&tuple_text);
     let query_words = split_words(query_sql);
+    render_featured_hoisted(db, &query_words, &tuple_text, &tuple_words, f)
+}
+
+/// [`render_tuple_and_fact_featured`] with the query- and tuple-side word
+/// splits precomputed.
+///
+/// The query and tuple halves of the rendering are invariant across a
+/// lineage, so inference hoists them out of the per-fact loop (they used to
+/// be recomputed for every fact). Produces exactly the output of
+/// [`render_tuple_and_fact_featured`] for
+/// `tuple_text = render_tuple(t)`, `tuple_words = split_words(&tuple_text)`
+/// and `query_words = split_words(query_sql)`.
+pub fn render_featured_hoisted(
+    db: &Database,
+    query_words: &[String],
+    tuple_text: &str,
+    tuple_words: &[String],
+    f: FactId,
+) -> String {
+    let fact_text = render_fact(db, f);
+    let fact_words = split_words(&fact_text);
     let is_word = |w: &String| w.chars().any(char::is_alphanumeric);
     let ovt = fact_words
         .iter()

@@ -7,7 +7,6 @@
 
 use crate::encoding::render_tuple_and_fact_featured;
 use crate::eval::{ndcg_at_k, precision_at_k};
-use crate::inference::predict_scores;
 use crate::model::LearnShapleyModel;
 use crate::pretrain::{TrainConfig, GRAD_CLIP};
 use crate::tokenizer::Tokenizer;
@@ -136,20 +135,21 @@ impl EvalSummary {
 
 /// Evaluate a model on the recorded tuples of the given queries.
 pub fn evaluate_model(
-    model: &mut LearnShapleyModel,
+    model: &LearnShapleyModel,
     tokenizer: &Tokenizer,
     ds: &Dataset,
     queries: &[usize],
     max_len: usize,
 ) -> EvalSummary {
     let mut summary = EvalSummary::default();
+    let mut scorer = crate::inference::LineageScorer::new(model, tokenizer, &ds.db, max_len);
     for &qi in queries {
         let q = &ds.queries[qi];
         for t in &q.tuples {
             let tuple = &q.result.tuples[t.tuple_idx];
             let lineage: Vec<_> = t.shapley.keys().copied().collect();
-            let predicted =
-                predict_scores(model, tokenizer, &ds.db, &q.sql, tuple, &lineage, max_len);
+            let ctx = crate::inference::ScoreContext::new(tokenizer, &q.sql, tuple);
+            let predicted = scorer.score_lineage(&ctx, &lineage);
             summary.add(&predicted, &t.shapley);
         }
     }

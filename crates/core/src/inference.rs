@@ -3,16 +3,116 @@
 //! This is the deployment path of Figure 4(b): given a new query, an output
 //! tuple of interest, and its lineage (no provenance needed), predict each
 //! fact's Shapley value with one forward pass and rank descending.
+//!
+//! The module is built for serving: the model is taken *immutably* (weights
+//! can be `Arc`-shared across worker threads), the query- and tuple-side
+//! work (SQL tokenization, word splits, tuple rendering) is hoisted into a
+//! per-request [`ScoreContext`] computed once instead of once per fact, and
+//! a [`LineageScorer`] owns the per-thread forward-pass scratch so facts
+//! from many requests can be scored back-to-back without reallocation.
+//! `ls-serve` drives exactly these types from its worker pool; the serial
+//! [`predict_scores`] below is the same code path, which is what makes the
+//! serving layer's bit-identical differential guarantee hold.
 
-use crate::encoding::render_tuple_and_fact_featured;
+use crate::encoding::{render_featured_hoisted, render_tuple};
 use crate::model::LearnShapleyModel;
-use crate::tokenizer::Tokenizer;
+use crate::tokenizer::{split_words, Tokenizer};
+use ls_nn::InferScratch;
 use ls_relational::{Database, FactId, OutputTuple};
 use ls_shapley::FactScores;
 
+/// Per-request precomputation: everything about the (query, tuple) pair that
+/// is invariant across the facts of its lineage.
+#[derive(Debug, Clone)]
+pub struct ScoreContext {
+    /// The query half of the BERT pair, tokenized once.
+    query_tokens: Vec<u32>,
+    /// Query word split (for the `ovq` overlap feature).
+    query_words: Vec<String>,
+    /// Rendered output tuple.
+    tuple_text: String,
+    /// Tuple word split (for the `ovt` overlap feature).
+    tuple_words: Vec<String>,
+}
+
+impl ScoreContext {
+    /// Precompute the query/tuple halves of the scoring input.
+    pub fn new(tokenizer: &Tokenizer, query_sql: &str, tuple: &OutputTuple) -> Self {
+        let tuple_text = render_tuple(tuple);
+        ScoreContext {
+            query_tokens: tokenizer.tokenize(query_sql),
+            query_words: split_words(query_sql),
+            tuple_words: split_words(&tuple_text),
+            tuple_text,
+        }
+    }
+}
+
+/// A reusable per-thread fact scorer: borrows the (read-only) model,
+/// tokenizer and database, owns the mutable forward-pass scratch.
+///
+/// Serving workers hold one of these for their whole lifetime; the serial
+/// [`predict_scores`] constructs one per call. Both therefore perform the
+/// same floating-point work in the same order, and scores are bit-identical
+/// regardless of which thread (or how many threads) computed them.
+pub struct LineageScorer<'a> {
+    model: &'a LearnShapleyModel,
+    tokenizer: &'a Tokenizer,
+    db: &'a Database,
+    max_len: usize,
+    scratch: InferScratch,
+}
+
+impl<'a> LineageScorer<'a> {
+    /// A fresh scorer with its own scratch.
+    pub fn new(
+        model: &'a LearnShapleyModel,
+        tokenizer: &'a Tokenizer,
+        db: &'a Database,
+        max_len: usize,
+    ) -> Self {
+        LineageScorer {
+            model,
+            tokenizer,
+            db,
+            max_len,
+            scratch: InferScratch::new(),
+        }
+    }
+
+    /// Predicted contribution of one fact under a precomputed context.
+    pub fn score_fact(&mut self, ctx: &ScoreContext, f: FactId) -> f64 {
+        let b = render_featured_hoisted(
+            self.db,
+            &ctx.query_words,
+            &ctx.tuple_text,
+            &ctx.tuple_words,
+            f,
+        );
+        let (tokens, segs) =
+            self.tokenizer
+                .encode_pair_pretokenized(&ctx.query_tokens, &b, self.max_len);
+        self.model.infer_value(&tokens, &segs, &mut self.scratch) as f64
+    }
+
+    /// Score every fact of a lineage (insertion order = lineage order).
+    pub fn score_lineage(&mut self, ctx: &ScoreContext, lineage: &[FactId]) -> FactScores {
+        let t0 = ls_obs::enabled().then(std::time::Instant::now);
+        let mut out = FactScores::new();
+        for &f in lineage {
+            out.insert(f, self.score_fact(ctx, f));
+        }
+        if let Some(t0) = t0 {
+            ls_obs::histogram("core.inference.batch").record(t0.elapsed().as_secs_f64());
+            ls_obs::counter("core.inference.facts_scored").add(lineage.len() as u64);
+        }
+        out
+    }
+}
+
 /// Predict per-fact contribution scores for a lineage.
 pub fn predict_scores(
-    model: &mut LearnShapleyModel,
+    model: &LearnShapleyModel,
     tokenizer: &Tokenizer,
     db: &Database,
     query_sql: &str,
@@ -20,26 +120,13 @@ pub fn predict_scores(
     lineage: &[FactId],
     max_len: usize,
 ) -> FactScores {
-    // One "batch" = the whole lineage: that is the unit a deployment scores
-    // at once, so its latency feeds the batch histogram.
-    let t0 = ls_obs::enabled().then(std::time::Instant::now);
-    let mut out = FactScores::new();
-    for &f in lineage {
-        let b = render_tuple_and_fact_featured(db, query_sql, tuple, f);
-        let (tokens, segs) = tokenizer.encode_pair(query_sql, &b, max_len);
-        let v = model.forward_value(&tokens, &segs);
-        out.insert(f, v as f64);
-    }
-    if let Some(t0) = t0 {
-        ls_obs::histogram("core.inference.batch").record(t0.elapsed().as_secs_f64());
-        ls_obs::counter("core.inference.facts_scored").add(lineage.len() as u64);
-    }
-    out
+    let ctx = ScoreContext::new(tokenizer, query_sql, tuple);
+    LineageScorer::new(model, tokenizer, db, max_len).score_lineage(&ctx, lineage)
 }
 
 /// Rank a lineage by predicted contribution (descending).
 pub fn rank_lineage(
-    model: &mut LearnShapleyModel,
+    model: &LearnShapleyModel,
     tokenizer: &Tokenizer,
     db: &Database,
     query_sql: &str,
@@ -54,6 +141,7 @@ pub fn rank_lineage(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::encoding::render_tuple_and_fact_featured;
     use ls_nn::EncoderConfig;
     use ls_relational::{ColType, Database, Monomial, TableSchema, Value};
 
@@ -90,10 +178,10 @@ mod tests {
 
     #[test]
     fn scores_cover_lineage() {
-        let (mut model, tok, db) = setup();
+        let (model, tok, db) = setup();
         let lineage = vec![FactId(0), FactId(1)];
         let scores = predict_scores(
-            &mut model,
+            &model,
             &tok,
             &db,
             "SELECT movies.title FROM movies",
@@ -107,10 +195,10 @@ mod tests {
 
     #[test]
     fn ranking_is_a_permutation_of_lineage() {
-        let (mut model, tok, db) = setup();
+        let (model, tok, db) = setup();
         let lineage = vec![FactId(0), FactId(1)];
         let ranking = rank_lineage(
-            &mut model,
+            &model,
             &tok,
             &db,
             "SELECT movies.title FROM movies",
@@ -125,10 +213,10 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let (mut model, tok, db) = setup();
+        let (model, tok, db) = setup();
         let lineage = vec![FactId(0), FactId(1)];
         let a = predict_scores(
-            &mut model,
+            &model,
             &tok,
             &db,
             "SELECT movies.title FROM movies",
@@ -137,7 +225,7 @@ mod tests {
             48,
         );
         let b = predict_scores(
-            &mut model,
+            &model,
             &tok,
             &db,
             "SELECT movies.title FROM movies",
@@ -149,10 +237,54 @@ mod tests {
     }
 
     #[test]
+    fn hoisted_context_matches_per_fact_rendering() {
+        // The hoisted path must reproduce the training-time encoding exactly:
+        // same segment-B text, same packed token ids.
+        let (model, tok, db) = setup();
+        let sql = "SELECT movies.title FROM movies WHERE movies.year = 2007";
+        let t = tuple();
+        let ctx = ScoreContext::new(&tok, sql, &t);
+        let mut scorer = LineageScorer::new(&model, &tok, &db, 48);
+        for f in [FactId(0), FactId(1)] {
+            let hoisted = render_featured_hoisted(
+                &db,
+                &ctx.query_words,
+                &ctx.tuple_text,
+                &ctx.tuple_words,
+                f,
+            );
+            let plain = render_tuple_and_fact_featured(&db, sql, &t, f);
+            assert_eq!(hoisted, plain);
+            let pretok = tok.encode_pair_pretokenized(&ctx.query_tokens, &hoisted, 48);
+            assert_eq!(pretok, tok.encode_pair(sql, &plain, 48));
+            // And the end-to-end per-fact score agrees with predict_scores.
+            let s = scorer.score_fact(&ctx, f);
+            let all = predict_scores(&model, &tok, &db, sql, &t, &[f], 48);
+            assert_eq!(s.to_bits(), all[&f].to_bits());
+        }
+    }
+
+    #[test]
+    fn scorer_reuse_across_requests_is_bit_stable() {
+        let (model, tok, db) = setup();
+        let sql = "SELECT movies.title FROM movies";
+        let t = tuple();
+        let lineage = [FactId(0), FactId(1)];
+        let ctx = ScoreContext::new(&tok, sql, &t);
+        let mut scorer = LineageScorer::new(&model, &tok, &db, 48);
+        let first = scorer.score_lineage(&ctx, &lineage);
+        // Interleave an unrelated scoring pass, then repeat.
+        let other_ctx = ScoreContext::new(&tok, "SELECT movies.year FROM movies", &t);
+        scorer.score_lineage(&other_ctx, &lineage);
+        let second = scorer.score_lineage(&ctx, &lineage);
+        assert_eq!(first, second);
+    }
+
+    #[test]
     fn empty_lineage_gives_empty_scores() {
-        let (mut model, tok, db) = setup();
+        let (model, tok, db) = setup();
         let scores = predict_scores(
-            &mut model,
+            &model,
             &tok,
             &db,
             "SELECT movies.title FROM movies",

@@ -32,14 +32,15 @@ pub mod pretrain;
 pub mod tokenizer;
 
 pub use encoding::{
-    render_fact, render_tuple, render_tuple_and_fact, render_tuple_and_fact_featured,
+    render_fact, render_featured_hoisted, render_tuple, render_tuple_and_fact,
+    render_tuple_and_fact_featured,
 };
 pub use eval::{linear_slope, ndcg_at_k, partial_ndcg_at_k, pearson, precision_at_k};
 pub use finetune::{
     build_finetune_samples, build_finetune_samples_with_negatives, evaluate_model, finetune,
     EvalSummary, FinetuneReport, FinetuneSample, SHAPLEY_SCALE,
 };
-pub use inference::{predict_scores, rank_lineage};
+pub use inference::{predict_scores, rank_lineage, LineageScorer, ScoreContext};
 pub use model::{LearnShapleyModel, HEAD_RANK, HEAD_SYNTAX, HEAD_WITNESS};
 pub use nearest::{NearestQueries, NqMetric, QueryProbe};
 pub use persist::{load_model, save_model};

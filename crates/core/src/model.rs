@@ -3,7 +3,7 @@
 //! (fine-tuning), all reading the `[CLS]` representation — Figure 4 of the
 //! paper.
 
-use ls_nn::{EncoderConfig, Linear, Param, Tensor, TransformerEncoder, Visit};
+use ls_nn::{EncoderConfig, InferScratch, Linear, Param, Tensor, TransformerEncoder, Visit};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -87,6 +87,16 @@ impl LearnShapleyModel {
         self.value_head.forward(&cls).data[0]
     }
 
+    /// Read-only Shapley-value inference: same arithmetic as
+    /// [`LearnShapleyModel::forward_value`] (bit-identical result) but
+    /// `&self`, so one model can be `Arc`-shared across serving workers.
+    /// The caller owns the mutable [`InferScratch`]; one per worker thread.
+    pub fn infer_value(&self, tokens: &[u32], segments: &[u8], scratch: &mut InferScratch) -> f32 {
+        let hidden = self.encoder.forward_infer(tokens, segments, scratch);
+        let cls = scratch.stage_cls(&hidden);
+        self.value_head.forward_infer(cls).data[0]
+    }
+
     /// Fine-tuning backward from the value-loss gradient.
     pub fn backward_value(&mut self, d: f32) {
         let dcls = self.value_head.backward(&Tensor::from_vec(1, 1, vec![d]));
@@ -128,6 +138,22 @@ mod tests {
         assert_eq!(sims.len(), 3);
         let v = m.forward_value(&[1, 5, 2, 6, 2], &[0, 0, 0, 1, 1]);
         assert!(v.is_finite());
+    }
+
+    #[test]
+    fn infer_value_matches_forward_value_bitwise() {
+        let mut m = tiny();
+        let frozen = m.clone();
+        let mut scratch = InferScratch::new();
+        for (tokens, segs) in [
+            (vec![1u32, 5, 2, 6, 2], vec![0u8, 0, 0, 1, 1]),
+            (vec![4u32, 4], vec![0u8, 1]),
+            (vec![19u32], vec![0u8]),
+        ] {
+            let trained = m.forward_value(&tokens, &segs);
+            let inferred = frozen.infer_value(&tokens, &segs, &mut scratch);
+            assert_eq!(trained.to_bits(), inferred.to_bits());
+        }
     }
 
     #[test]

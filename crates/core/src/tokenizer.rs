@@ -95,22 +95,37 @@ impl Tokenizer {
     /// `[CLS] a… [SEP] b… [SEP]`, truncated to `max_len` (segment B is
     /// truncated first, then segment A). Returns `(token_ids, segment_ids)`.
     pub fn encode_pair(&self, a: &str, b: &str, max_len: usize) -> (Vec<u32>, Vec<u8>) {
+        self.encode_pair_pretokenized(&self.tokenize(a), b, max_len)
+    }
+
+    /// [`Tokenizer::encode_pair`] with segment A already tokenized.
+    ///
+    /// Inference scores every fact of a lineage against the *same* query, so
+    /// callers tokenize the query once and reuse it across the per-fact loop
+    /// instead of re-tokenizing it per fact. Produces exactly the output of
+    /// `encode_pair(a, b, max_len)` for `a_tokens = tokenize(a)`.
+    pub fn encode_pair_pretokenized(
+        &self,
+        a_tokens: &[u32],
+        b: &str,
+        max_len: usize,
+    ) -> (Vec<u32>, Vec<u8>) {
         assert!(max_len >= 5, "max_len too small for [CLS] a [SEP] b [SEP]");
-        let mut ta = self.tokenize(a);
         let mut tb = self.tokenize(b);
         let budget = max_len - 3;
         // Truncate B first, but keep at least a quarter of the budget for B.
         let min_b = (budget / 4).max(1).min(tb.len());
-        if ta.len() + tb.len() > budget {
-            let keep_a = ta.len().min(budget - min_b.min(budget));
-            ta.truncate(keep_a);
-            tb.truncate(budget - ta.len());
+        let mut keep_a = a_tokens.len();
+        if a_tokens.len() + tb.len() > budget {
+            keep_a = a_tokens.len().min(budget - min_b.min(budget));
+            tb.truncate(budget - keep_a);
         }
+        let ta = &a_tokens[..keep_a];
         let mut tokens = Vec::with_capacity(ta.len() + tb.len() + 3);
         let mut segments = Vec::with_capacity(tokens.capacity());
         tokens.push(CLS);
         segments.push(0);
-        tokens.extend_from_slice(&ta);
+        tokens.extend_from_slice(ta);
         segments.extend(std::iter::repeat_n(0, ta.len()));
         tokens.push(SEP);
         segments.push(0);
@@ -222,6 +237,26 @@ mod tests {
         // Both segments retain something.
         assert!(segments.contains(&0));
         assert!(segments.contains(&1));
+    }
+
+    #[test]
+    fn encode_pair_pretokenized_matches_encode_pair() {
+        let t = toy();
+        let long_a = "select name from movies where year = 2007 ".repeat(10);
+        let long_b = "movies title (Superman) ".repeat(10);
+        for (a, b) in [
+            ("select name", "movies title"),
+            (long_a.as_str(), "movies title"),
+            ("select name", long_b.as_str()),
+            (long_a.as_str(), long_b.as_str()),
+            ("", "movies"),
+        ] {
+            for max_len in [5, 8, 24, 64] {
+                let plain = t.encode_pair(a, b, max_len);
+                let pretok = t.encode_pair_pretokenized(&t.tokenize(a), b, max_len);
+                assert_eq!(plain, pretok, "a={a:?} b={b:?} max_len={max_len}");
+            }
+        }
     }
 
     #[test]

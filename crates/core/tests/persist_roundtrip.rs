@@ -1,0 +1,122 @@
+//! Integration coverage for model persistence: a deployed snapshot must
+//! reproduce the training process's inference scores *bit-identically* —
+//! the property the serving subsystem's cache and differential tests build
+//! on — and malformed snapshot files must be rejected up front, not read
+//! into garbage weights.
+
+use ls_core::{load_model, predict_scores, save_model, LearnShapleyModel, Tokenizer};
+use ls_nn::EncoderConfig;
+use ls_relational::{ColType, Database, FactId, OutputTuple, TableSchema, Value};
+use std::path::PathBuf;
+
+const MAX_LEN: usize = 48;
+
+fn fixture() -> (LearnShapleyModel, Tokenizer, Database) {
+    let mut db = Database::new();
+    db.create_table(TableSchema::new(
+        "movies",
+        &[("title", ColType::Str), ("year", ColType::Int)],
+    ));
+    for (i, t) in ["Memento", "Dune", "Arrival", "Heat", "Alien", "Solaris"]
+        .iter()
+        .enumerate()
+    {
+        db.insert(
+            "movies",
+            vec![Value::Str(t.to_string()), Value::Int(1982 + i as i64 * 5)],
+        );
+    }
+    let corpus = [
+        "SELECT title FROM movies WHERE year > 1990",
+        "movies Memento Dune Arrival Heat Alien Solaris 1982 1987 1992 1997 2002 2007",
+    ];
+    let tok = Tokenizer::build(corpus.iter().copied(), 400);
+    let model = LearnShapleyModel::new(EncoderConfig::small_ablation(tok.vocab_size(), MAX_LEN));
+    (model, tok, db)
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ls-persist-it-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn roundtrip_scores_are_bit_identical() {
+    let (mut model, tok, db) = fixture();
+    let sql = "SELECT title FROM movies WHERE year > 1990";
+    let tuple = OutputTuple {
+        values: vec![Value::Str("Arrival".into()), Value::Int(1992)],
+        derivations: Vec::new(),
+    };
+    let lineage: Vec<FactId> = (0..db.fact_count() as u32).map(FactId).collect();
+
+    let before = predict_scores(&model, &tok, &db, sql, &tuple, &lineage, MAX_LEN);
+
+    let path = tmp("roundtrip.lsmd");
+    save_model(&mut model, &tok, &path).expect("save");
+    let (loaded_model, loaded_tok) = load_model(&path).expect("load");
+    let after = predict_scores(
+        &loaded_model,
+        &loaded_tok,
+        &db,
+        sql,
+        &tuple,
+        &lineage,
+        MAX_LEN,
+    );
+    let _ = std::fs::remove_file(&path);
+
+    assert_eq!(before.len(), after.len());
+    for (&f, &score) in &before {
+        assert_eq!(
+            score.to_bits(),
+            after[&f].to_bits(),
+            "fact {} score drifted across save/load: {score} vs {}",
+            f.0,
+            after[&f]
+        );
+    }
+}
+
+#[test]
+fn corrupted_magic_is_rejected() {
+    let (mut model, tok, _db) = fixture();
+    let path = tmp("badmagic.lsmd");
+    save_model(&mut model, &tok, &path).expect("save");
+    // Flip the magic bytes only — everything after is a valid snapshot.
+    let mut bytes = std::fs::read(&path).expect("read back");
+    bytes[0] ^= 0xFF;
+    std::fs::write(&path, &bytes).expect("rewrite");
+    let err = load_model(&path).expect_err("corrupt magic must fail");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn truncated_snapshot_is_rejected_at_every_cut() {
+    let (mut model, tok, _db) = fixture();
+    let path = tmp("trunc.lsmd");
+    save_model(&mut model, &tok, &path).expect("save");
+    let bytes = std::fs::read(&path).expect("read back");
+    // Cut in the magic, the header, the vocab table, and the weight blob.
+    for cut in [2, 9, 40, bytes.len() / 2, bytes.len() - 3] {
+        std::fs::write(&path, &bytes[..cut]).expect("rewrite");
+        assert!(
+            load_model(&path).is_err(),
+            "prefix of {cut} bytes must be rejected"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn unsupported_version_is_rejected() {
+    let (mut model, tok, _db) = fixture();
+    let path = tmp("badver.lsmd");
+    save_model(&mut model, &tok, &path).expect("save");
+    let mut bytes = std::fs::read(&path).expect("read back");
+    bytes[4] = 0xFE; // version u32 starts right after the 4-byte magic
+    std::fs::write(&path, &bytes).expect("rewrite");
+    let err = load_model(&path).expect_err("future version must fail");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    let _ = std::fs::remove_file(&path);
+}

@@ -90,6 +90,29 @@ impl MultiHeadAttention {
         y
     }
 
+    /// Inference forward pass: same arithmetic as
+    /// [`MultiHeadAttention::forward`] but read-only (no q/k/v/attention
+    /// cache). Bit-identical to the training forward.
+    pub fn forward_infer(&self, x: &Tensor) -> Tensor {
+        let dh = self.d_model / self.heads;
+        let scale = 1.0 / (dh as f32).sqrt();
+        let q = self.wq.forward_infer(x);
+        let k = self.wk.forward_infer(x);
+        let v = self.wv.forward_infer(x);
+        let mut concat = Tensor::zeros(x.rows, self.d_model);
+        for h in 0..self.heads {
+            let qh = slice_head(&q, h, dh);
+            let kh = slice_head(&k, h, dh);
+            let vh = slice_head(&v, h, dh);
+            let mut scores = qh.matmul_t(&kh);
+            scores.scale(scale);
+            softmax_rows(&mut scores);
+            let ch = scores.matmul(&vh);
+            merge_head(&mut concat, &ch, h, dh);
+        }
+        self.wo.forward_infer(&concat)
+    }
+
     /// Backward pass; accumulates projection gradients and returns `dx`.
     ///
     /// # Panics

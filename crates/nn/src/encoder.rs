@@ -54,6 +54,17 @@ impl FeedForward {
         self.lin2.forward(&act)
     }
 
+    /// Inference forward pass: same arithmetic as [`FeedForward::forward`]
+    /// but read-only. Bit-identical to the training forward.
+    pub fn forward_infer(&self, x: &Tensor) -> Tensor {
+        let pre = self.lin1.forward_infer(x);
+        let mut act = pre;
+        for v in &mut act.data {
+            *v = gelu(*v);
+        }
+        self.lin2.forward_infer(&act)
+    }
+
     /// Backward pass.
     pub fn backward(&mut self, dy: &Tensor) -> Tensor {
         let dact = self.lin2.backward(dy);
@@ -104,6 +115,19 @@ impl EncoderBlock {
         let mut res2 = x1.clone();
         res2.add_assign(&f);
         self.norm2.forward(&res2)
+    }
+
+    /// Inference forward pass: same arithmetic as [`EncoderBlock::forward`]
+    /// but read-only. Bit-identical to the training forward.
+    pub fn forward_infer(&self, x: &Tensor) -> Tensor {
+        let a = self.attn.forward_infer(x);
+        let mut res1 = x.clone();
+        res1.add_assign(&a);
+        let x1 = self.norm1.forward_infer(&res1);
+        let f = self.ffn.forward_infer(&x1);
+        let mut res2 = x1;
+        res2.add_assign(&f);
+        self.norm2.forward_infer(&res2)
     }
 
     /// Backward pass.
@@ -273,6 +297,60 @@ impl TransformerEncoder {
             ls_obs::meter("nn.tokens").mark(tokens.len() as u64);
         }
         x
+    }
+
+    /// Inference-only encode: same arithmetic (and panics) as
+    /// [`TransformerEncoder::forward`], but read-only on the encoder so the
+    /// weights can be `Arc`-shared across worker threads. The mutable
+    /// sequence staging buffer lives in the caller-owned
+    /// [`InferScratch`](crate::InferScratch); results are bit-identical to
+    /// the training forward.
+    pub fn forward_infer(
+        &self,
+        tokens: &[u32],
+        segments: &[u8],
+        scratch: &mut crate::InferScratch,
+    ) -> Tensor {
+        let t0 = ls_obs::enabled().then(std::time::Instant::now);
+        assert!(!tokens.is_empty(), "empty token sequence");
+        assert_eq!(
+            tokens.len(),
+            segments.len(),
+            "token/segment length mismatch"
+        );
+        assert!(
+            tokens.len() <= self.config.max_len,
+            "sequence length {} exceeds max_len {}",
+            tokens.len(),
+            self.config.max_len
+        );
+        let d = self.config.d_model;
+        crate::InferScratch::reshape(&mut scratch.seq, tokens.len(), d);
+        for (i, (&t, &s)) in tokens.iter().zip(segments).enumerate() {
+            assert!(
+                (t as usize) < self.config.vocab,
+                "token id {t} out of vocabulary"
+            );
+            assert!(s < 2, "segment id must be 0 or 1");
+            let row = scratch.seq.row_mut(i);
+            let te = self.tok_emb.v.row(t as usize);
+            let pe = self.pos_emb.v.row(i);
+            let se = self.seg_emb.v.row(s as usize);
+            for c in 0..d {
+                row[c] = te[c] + pe[c] + se[c];
+            }
+        }
+        let mut x: Option<Tensor> = None;
+        for b in &self.blocks {
+            let y = b.forward_infer(x.as_ref().unwrap_or(&scratch.seq));
+            x = Some(y);
+        }
+        let out = x.unwrap_or_else(|| scratch.seq.clone());
+        if let Some(t0) = t0 {
+            ls_obs::histogram("nn.forward").record(t0.elapsed().as_secs_f64());
+            ls_obs::meter("nn.tokens").mark(tokens.len() as u64);
+        }
+        out
     }
 
     /// Backward from a gradient on the full hidden state; accumulates all

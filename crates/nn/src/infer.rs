@@ -1,0 +1,129 @@
+//! Read-only inference support: per-thread scratch buffers.
+//!
+//! The training forward passes ([`crate::TransformerEncoder::forward`] and
+//! friends) cache activations *inside* the layers for the hand-written
+//! backward passes, so they take `&mut self`. That coupling is fine for
+//! training but wrong for serving: a deployed model's weights are frozen,
+//! and N worker threads should share one copy of them read-only.
+//!
+//! The `forward_infer` family of methods splits the two concerns:
+//!
+//! * **weights** stay inside the layers and are only read (`&self`), so a
+//!   model can be `Arc`-shared across threads;
+//! * **scratch** — the mutable sequence-level activation buffers — lives in
+//!   an [`InferScratch`] value that each worker thread owns and reuses
+//!   across requests.
+//!
+//! Every `forward_infer` performs *exactly* the same floating-point
+//! operations in the same order as its training counterpart, so inference
+//! results are bit-identical to `forward` — the property the serving
+//! layer's differential tests pin down.
+
+use crate::tensor::Tensor;
+
+/// Per-thread mutable workspace for `forward_infer` passes.
+///
+/// Holds the sequence-level activation buffers that the training path keeps
+/// inside the layers. One scratch per worker thread; reusing it across calls
+/// avoids re-allocating the embedding and `[CLS]` staging tensors on every
+/// request. Layer-internal temporaries (per-head attention slices, the
+/// feed-forward hidden state) are still allocated per call — they are small
+/// and their lifetime is confined to a single layer.
+#[derive(Debug, Default, Clone)]
+pub struct InferScratch {
+    /// Embedding staging buffer (`n × d_model`), fully overwritten per call.
+    pub(crate) seq: Tensor,
+    /// `[CLS]` row staging buffer (`1 × d_model`).
+    pub(crate) cls: Tensor,
+}
+
+impl InferScratch {
+    /// A fresh, empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reshape `t` to `rows × cols` without zeroing (callers overwrite every
+    /// cell). Reuses the allocation when the element count already matches.
+    pub(crate) fn reshape(t: &mut Tensor, rows: usize, cols: usize) {
+        if t.rows != rows || t.cols != cols {
+            t.data.resize(rows * cols, 0.0);
+            t.rows = rows;
+            t.cols = cols;
+        }
+    }
+
+    /// Copy row 0 of `hidden` into the `[CLS]` staging buffer and return it.
+    /// Heads that regress from the `[CLS]` state use this to avoid a fresh
+    /// `1 × d` allocation per request.
+    pub fn stage_cls(&mut self, hidden: &Tensor) -> &Tensor {
+        Self::reshape(&mut self.cls, 1, hidden.cols);
+        self.cls.row_mut(0).copy_from_slice(hidden.row(0));
+        &self.cls
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::{EncoderConfig, TransformerEncoder};
+
+    fn cfg() -> EncoderConfig {
+        EncoderConfig {
+            vocab: 13,
+            d_model: 8,
+            heads: 2,
+            layers: 2,
+            ff_dim: 16,
+            max_len: 12,
+            seed: 41,
+        }
+    }
+
+    #[test]
+    fn forward_infer_is_bit_identical_to_forward() {
+        let mut enc = TransformerEncoder::new(cfg());
+        let frozen = enc.clone();
+        let mut scratch = InferScratch::new();
+        for (tokens, segs) in [
+            (vec![1u32, 5, 2, 6, 2], vec![0u8, 0, 0, 1, 1]),
+            (vec![3u32, 3, 3], vec![0u8, 1, 1]),
+            (vec![12u32], vec![0u8]),
+        ] {
+            let trained = enc.forward(&tokens, &segs);
+            let inferred = frozen.forward_infer(&tokens, &segs, &mut scratch);
+            assert_eq!(trained.data, inferred.data, "bit-identical hidden state");
+            assert_eq!((trained.rows, trained.cols), (inferred.rows, inferred.cols));
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_shapes_is_safe() {
+        let enc = TransformerEncoder::new(cfg());
+        let mut scratch = InferScratch::new();
+        // Long then short then long: stale trailing data must not leak.
+        let long = enc.forward_infer(&[1, 2, 3, 4, 5, 6], &[0, 0, 0, 1, 1, 1], &mut scratch);
+        let short = enc.forward_infer(&[1, 2], &[0, 1], &mut scratch);
+        let long2 = enc.forward_infer(&[1, 2, 3, 4, 5, 6], &[0, 0, 0, 1, 1, 1], &mut scratch);
+        assert_eq!(long.data, long2.data);
+        assert_eq!(short.rows, 2);
+    }
+
+    #[test]
+    fn two_scratches_one_model() {
+        // The whole point of the split: one read-only model, many scratches.
+        let enc = TransformerEncoder::new(cfg());
+        let mut s1 = InferScratch::new();
+        let mut s2 = InferScratch::new();
+        let a = enc.forward_infer(&[7, 8, 9], &[0, 0, 1], &mut s1);
+        let b = enc.forward_infer(&[7, 8, 9], &[0, 0, 1], &mut s2);
+        assert_eq!(a.data, b.data);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn infer_oov_panics() {
+        let enc = TransformerEncoder::new(cfg());
+        enc.forward_infer(&[99], &[0], &mut InferScratch::new());
+    }
+}

@@ -31,6 +31,7 @@
 pub mod attention;
 pub mod checkpoint;
 pub mod encoder;
+pub mod infer;
 pub mod linear;
 pub mod norm;
 pub mod optim;
@@ -41,6 +42,7 @@ pub mod tensor;
 pub use attention::MultiHeadAttention;
 pub use checkpoint::Snapshot;
 pub use encoder::{EncoderBlock, EncoderConfig, FeedForward, TransformerEncoder};
+pub use infer::InferScratch;
 pub use linear::Linear;
 pub use norm::LayerNorm;
 pub use optim::{Adam, AdamConfig};

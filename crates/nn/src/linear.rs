@@ -38,6 +38,20 @@ impl Linear {
         y
     }
 
+    /// Inference forward pass: same arithmetic as [`Linear::forward`] but
+    /// read-only (no input cache), so the layer can be shared across
+    /// threads. Bit-identical to the training forward.
+    pub fn forward_infer(&self, x: &Tensor) -> Tensor {
+        let mut y = x.matmul(&self.w.v);
+        for r in 0..y.rows {
+            let row = y.row_mut(r);
+            for (v, b) in row.iter_mut().zip(&self.b.v.data) {
+                *v += b;
+            }
+        }
+        y
+    }
+
     /// Backward pass: accumulates `dW`, `db`, returns `dx`.
     ///
     /// # Panics

@@ -50,6 +50,26 @@ impl LayerNorm {
         y
     }
 
+    /// Inference forward pass: same arithmetic as [`LayerNorm::forward`]
+    /// but read-only (no activation cache). Bit-identical to the training
+    /// forward.
+    pub fn forward_infer(&self, x: &Tensor) -> Tensor {
+        let d = x.cols;
+        let mut y = Tensor::zeros(x.rows, d);
+        for r in 0..x.rows {
+            let row = x.row(r);
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+            let inv = 1.0 / (var + self.eps).sqrt();
+            let yr = y.row_mut(r);
+            for c in 0..d {
+                let xh = (row[c] - mean) * inv;
+                yr[c] = self.gamma.v.data[c] * xh + self.beta.v.data[c];
+            }
+        }
+        y
+    }
+
     /// Backward pass: accumulates `dγ`, `dβ`, returns `dx`.
     ///
     /// # Panics

@@ -9,7 +9,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 /// A dense row-major matrix of `f32`.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Tensor {
     /// Number of rows.
     pub rows: usize,

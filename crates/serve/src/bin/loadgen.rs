@@ -1,0 +1,445 @@
+//! serve-loadgen — closed-loop load generator for the ls-serve subsystem.
+//!
+//! Builds a synthetic movie database, trains nothing (a freshly initialized
+//! small-ablation model is representative for *throughput*: inference cost
+//! does not depend on the weight values), persists the model, loads it back
+//! through the serving path, and drives it with closed-loop clients.
+//!
+//! Reported per configuration: requests served, shed counts, throughput
+//! (req/s and facts/s) and exact p50/p99 latency from the full sample set.
+//!
+//! ```text
+//! serve-loadgen [--workers 1,2,4] [--clients 4] [--requests 200]
+//!               [--queue 256] [--batch 64] [--cache 1024] [--cache-off]
+//!               [--lineage 12] [--queries 24] [--serial] [--tcp]
+//!               [--seed 7] [--max-len 64]
+//! ```
+//!
+//! `--serial` adds a single-threaded `rank_lineage` baseline pass over the
+//! same request stream; `--tcp` routes one configuration through the TCP
+//! front-end to include protocol cost.
+
+use ls_core::{save_model, LearnShapleyModel, Tokenizer};
+use ls_nn::EncoderConfig;
+use ls_relational::{ColType, Database, FactId, OutputTuple, TableSchema, Value};
+use ls_serve::{
+    ModelBundle, RankRequest, ServeConfig, ServeError, Server, TcpRankClient, TcpServer,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone)]
+struct Args {
+    workers: Vec<usize>,
+    clients: usize,
+    requests: usize,
+    queue: usize,
+    batch: usize,
+    cache: usize,
+    lineage: usize,
+    queries: usize,
+    max_len: usize,
+    seed: u64,
+    serial: bool,
+    tcp: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            workers: vec![1, 2, 4],
+            clients: 4,
+            requests: 200,
+            queue: 256,
+            batch: 64,
+            cache: 1024,
+            lineage: 12,
+            queries: 24,
+            max_len: 64,
+            seed: 7,
+            serial: false,
+            tcp: false,
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut take = || {
+            it.next()
+                .unwrap_or_else(|| panic!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--workers" => {
+                args.workers = take()
+                    .split(',')
+                    .map(|w| w.parse().expect("worker count"))
+                    .collect();
+            }
+            "--clients" => args.clients = take().parse().expect("client count"),
+            "--requests" => args.requests = take().parse().expect("request count"),
+            "--queue" => args.queue = take().parse().expect("queue depth"),
+            "--batch" => args.batch = take().parse().expect("batch items"),
+            "--cache" => args.cache = take().parse().expect("cache capacity"),
+            "--cache-off" => args.cache = 0,
+            "--lineage" => args.lineage = take().parse().expect("lineage size"),
+            "--queries" => args.queries = take().parse().expect("query count"),
+            "--max-len" => args.max_len = take().parse().expect("max len"),
+            "--seed" => args.seed = take().parse().expect("seed"),
+            "--serial" => args.serial = true,
+            "--tcp" => args.tcp = true,
+            "--help" | "-h" => {
+                println!(
+                    "serve-loadgen [--workers 1,2,4] [--clients N] [--requests N] \
+                     [--queue N] [--batch N] [--cache N | --cache-off] [--lineage N] \
+                     [--queries N] [--max-len N] [--seed N] [--serial] [--tcp]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+/// A synthetic movie database big enough that lineages reference varied rows.
+fn build_db(rng: &mut StdRng) -> Database {
+    let mut db = Database::new();
+    db.create_table(TableSchema::new(
+        "movies",
+        &[
+            ("title", ColType::Str),
+            ("year", ColType::Int),
+            ("rating", ColType::Int),
+        ],
+    ));
+    db.create_table(TableSchema::new(
+        "directors",
+        &[("name", ColType::Str), ("movie", ColType::Str)],
+    ));
+    let words = [
+        "night", "garden", "iron", "silent", "echo", "crimson", "paper", "glass", "winter",
+        "harbor", "atlas", "ember", "valley", "signal", "orbit", "meadow",
+    ];
+    let names = [
+        "Avery", "Blake", "Casey", "Devon", "Ellis", "Finley", "Gray", "Harper", "Indira", "Jules",
+        "Kiran", "Lane",
+    ];
+    for i in 0..400 {
+        let title = format!(
+            "{} {} {}",
+            words[rng.gen_range(0..words.len())],
+            words[rng.gen_range(0..words.len())],
+            i
+        );
+        let year = 1970 + rng.gen_range(0..55) as i64;
+        let rating = rng.gen_range(1..11) as i64;
+        db.insert(
+            "movies",
+            vec![
+                Value::Str(title.clone()),
+                Value::Int(year),
+                Value::Int(rating),
+            ],
+        );
+        if i % 4 == 0 {
+            db.insert(
+                "directors",
+                vec![
+                    Value::Str(names[rng.gen_range(0..names.len())].to_string()),
+                    Value::Str(title),
+                ],
+            );
+        }
+    }
+    db
+}
+
+/// The request stream: distinct (query, tuple, lineage) triples cycled by
+/// the closed-loop clients. Cycling is what makes the warm pass hit the
+/// cache.
+fn build_requests(db: &Database, args: &Args, rng: &mut StdRng) -> Vec<RankRequest> {
+    let fact_count = db.fact_count() as u32;
+    (0..args.queries)
+        .map(|qi| {
+            let year = 1975 + (qi % 40) as i64;
+            let query_sql = format!(
+                "SELECT title, rating FROM movies WHERE year >= {year} AND rating > {}",
+                qi % 9
+            );
+            let tuple = OutputTuple {
+                values: vec![
+                    Value::Str(format!("title {qi}")),
+                    Value::Int((qi % 10) as i64),
+                ],
+                derivations: Vec::new(),
+            };
+            // Distinct facts: duplicates would collapse in FactScores and
+            // shrink the ranking.
+            let mut lineage = Vec::with_capacity(args.lineage);
+            while lineage.len() < args.lineage.min(fact_count as usize) {
+                let f = FactId(rng.gen_range(0..fact_count));
+                if !lineage.contains(&f) {
+                    lineage.push(f);
+                }
+            }
+            RankRequest {
+                query_sql,
+                tuple,
+                lineage,
+                deadline: None,
+            }
+        })
+        .collect()
+}
+
+#[derive(Debug, Default)]
+struct RunStats {
+    served: usize,
+    shed: usize,
+    cached: usize,
+    latencies: Vec<Duration>,
+    wall: Duration,
+    facts: usize,
+}
+
+impl RunStats {
+    fn report(&mut self, label: &str) {
+        self.latencies.sort();
+        let pct = |p: f64| -> Duration {
+            if self.latencies.is_empty() {
+                return Duration::ZERO;
+            }
+            let idx = ((self.latencies.len() as f64 - 1.0) * p).round() as usize;
+            self.latencies[idx]
+        };
+        let secs = self.wall.as_secs_f64().max(1e-9);
+        println!(
+            "{label:<28} served {:>6}  shed {:>4}  cached {:>6}  {:>9.1} req/s  {:>10.0} facts/s  p50 {:>9.3?}  p99 {:>9.3?}",
+            self.served,
+            self.shed,
+            self.cached,
+            self.served as f64 / secs,
+            self.facts as f64 / secs,
+            pct(0.50),
+            pct(0.99),
+        );
+    }
+}
+
+/// Closed-loop client pass: `clients` threads pull the next request index
+/// from a shared counter until `total` requests have been issued.
+fn drive(
+    handle: &ls_serve::ServeHandle,
+    requests: &[RankRequest],
+    clients: usize,
+    total: usize,
+) -> RunStats {
+    let next = AtomicUsize::new(0);
+    let start = Instant::now();
+    let stats = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let next = &next;
+                let handle = handle.clone();
+                scope.spawn(move || {
+                    let mut local = RunStats::default();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= total {
+                            break;
+                        }
+                        let req = requests[i % requests.len()].clone();
+                        let facts = req.lineage.len();
+                        let t0 = Instant::now();
+                        match handle.rank(req) {
+                            Ok(resp) => {
+                                local.served += 1;
+                                local.facts += facts;
+                                local.latencies.push(t0.elapsed());
+                                if resp.cached {
+                                    local.cached += 1;
+                                }
+                            }
+                            Err(ServeError::Overloaded | ServeError::DeadlineExceeded) => {
+                                local.shed += 1;
+                            }
+                            Err(e) => panic!("unexpected serve error: {e}"),
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        let mut merged = RunStats::default();
+        for h in handles {
+            let local = h.join().expect("client thread");
+            merged.served += local.served;
+            merged.shed += local.shed;
+            merged.cached += local.cached;
+            merged.facts += local.facts;
+            merged.latencies.extend(local.latencies);
+        }
+        merged
+    });
+    let mut stats = stats;
+    stats.wall = start.elapsed();
+    stats
+}
+
+fn main() {
+    let args = parse_args();
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let db = build_db(&mut rng);
+    let requests = build_requests(&db, &args, &mut rng);
+
+    // Tokenizer over the request corpus plus rendered facts, mirroring how
+    // the pipeline builds vocabulary from training text.
+    let mut corpus: Vec<String> = requests.iter().map(|r| r.query_sql.clone()).collect();
+    for f in 0..db.fact_count() {
+        if let Some((table, row)) = db.fact(FactId(f as u32)) {
+            corpus.push(format!("{table} {}", row.tuple_string()));
+        }
+    }
+    let tokenizer = Tokenizer::build(corpus.iter().map(String::as_str), 2000);
+    let mut model = LearnShapleyModel::new(EncoderConfig::small_ablation(
+        tokenizer.vocab_size(),
+        args.max_len,
+    ));
+
+    // Persist and reload through the serving path, so loadgen also exercises
+    // the snapshot format end to end.
+    let dir = std::env::temp_dir().join(format!("ls-serve-loadgen-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let snapshot = dir.join("model.lsmd");
+    save_model(&mut model, &tokenizer, &snapshot).expect("save model");
+    drop(model);
+    let bundle =
+        Arc::new(ModelBundle::load(&snapshot, db, args.max_len).expect("load model snapshot"));
+
+    println!(
+        "serve-loadgen: {} queries x lineage {} ({} facts/request), {} clients, {} requests/run",
+        args.queries, args.lineage, args.lineage, args.clients, args.requests
+    );
+
+    if args.serial {
+        // Single-threaded baseline through the plain library path.
+        let start = Instant::now();
+        let mut stats = RunStats::default();
+        for i in 0..args.requests {
+            let req = &requests[i % requests.len()];
+            let t0 = Instant::now();
+            let ranking = ls_core::rank_lineage(
+                &bundle.model,
+                &bundle.tokenizer,
+                &bundle.db,
+                &req.query_sql,
+                &req.tuple,
+                &req.lineage,
+                bundle.max_len,
+            );
+            assert_eq!(ranking.len(), req.lineage.len());
+            stats.served += 1;
+            stats.facts += req.lineage.len();
+            stats.latencies.push(t0.elapsed());
+        }
+        stats.wall = start.elapsed();
+        stats.report("serial rank_lineage");
+    }
+
+    for &workers in &args.workers {
+        let cfg = ServeConfig {
+            workers,
+            queue_depth: args.queue,
+            max_batch_items: args.batch,
+            batch_deadline: Duration::from_micros(500),
+            cache_capacity: args.cache,
+            default_deadline: None,
+        };
+        let server = Server::start(bundle.clone(), cfg);
+        let handle = server.handle();
+        let mut cold = drive(&handle, &requests, args.clients, args.requests);
+        cold.report(&format!("serve w={workers} cold"));
+        if args.cache > 0 {
+            let mut warm = drive(&handle, &requests, args.clients, args.requests);
+            warm.report(&format!("serve w={workers} warm"));
+        }
+        server.shutdown();
+    }
+
+    if args.tcp {
+        let workers = *args.workers.last().unwrap_or(&2);
+        let server = Server::start(
+            bundle.clone(),
+            ServeConfig {
+                workers,
+                queue_depth: args.queue,
+                max_batch_items: args.batch,
+                cache_capacity: args.cache,
+                ..Default::default()
+            },
+        );
+        let tcp = TcpServer::start(server.handle(), "127.0.0.1:0").expect("bind tcp");
+        let addr = tcp.local_addr();
+        let start = Instant::now();
+        let next = AtomicUsize::new(0);
+        let mut stats = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..args.clients)
+                .map(|_| {
+                    let next = &next;
+                    let requests = &requests;
+                    scope.spawn(move || {
+                        let mut client = TcpRankClient::connect(addr).expect("connect");
+                        let mut local = RunStats::default();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= args.requests {
+                                break;
+                            }
+                            let req = &requests[i % requests.len()];
+                            let t0 = Instant::now();
+                            match client.rank(req) {
+                                Ok(resp) => {
+                                    local.served += 1;
+                                    local.facts += req.lineage.len();
+                                    local.latencies.push(t0.elapsed());
+                                    if resp.cached {
+                                        local.cached += 1;
+                                    }
+                                }
+                                Err(ServeError::Overloaded | ServeError::DeadlineExceeded) => {
+                                    local.shed += 1
+                                }
+                                Err(e) => panic!("tcp error: {e}"),
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            let mut merged = RunStats::default();
+            for h in handles {
+                let local = h.join().expect("tcp client thread");
+                merged.served += local.served;
+                merged.shed += local.shed;
+                merged.cached += local.cached;
+                merged.facts += local.facts;
+                merged.latencies.extend(local.latencies);
+            }
+            merged
+        });
+        stats.wall = start.elapsed();
+        stats.report(&format!("serve w={workers} tcp"));
+        tcp.stop();
+        server.shutdown();
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    // Flush the metric summary / JSONL sink (LS_OBS, LS_OBS_JSONL).
+    ls_obs::report();
+}

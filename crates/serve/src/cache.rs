@@ -1,0 +1,255 @@
+//! A zero-dependency LRU cache for computed rankings.
+//!
+//! Classic design: a `HashMap` from key to slot index plus an intrusive
+//! doubly-linked recency list threaded through a slab of slots. `get` and
+//! `insert` are O(1); eviction pops the list tail. Capacity 0 disables the
+//! cache entirely (every lookup misses, every insert is dropped), which is
+//! how the server runs in "cache off" benchmarking mode.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use ls_relational::FactId;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug)]
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+/// A fixed-capacity least-recently-used cache.
+#[derive(Debug)]
+pub struct LruCache<K: Eq + Hash + Clone, V> {
+    map: HashMap<K, usize>,
+    slots: Vec<Slot<K, V>>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// A cache holding at most `capacity` entries (0 = disabled).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            map: HashMap::with_capacity(capacity.min(1 << 16)),
+            slots: Vec::with_capacity(capacity.min(1 << 16)),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slots[prev].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slots[next].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Look up `key`, marking it most-recently used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let &i = self.map.get(key)?;
+        if self.head != i {
+            self.unlink(i);
+            self.push_front(i);
+        }
+        Some(&self.slots[i].value)
+    }
+
+    /// Insert (or refresh) `key`, evicting the least-recently-used entry
+    /// when at capacity. Returns the evicted entry, if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        if self.capacity == 0 {
+            return None;
+        }
+        if let Some(&i) = self.map.get(&key) {
+            self.slots[i].value = value;
+            if self.head != i {
+                self.unlink(i);
+                self.push_front(i);
+            }
+            return None;
+        }
+        let mut evicted = None;
+        let slot = if self.map.len() >= self.capacity {
+            // Reuse the LRU slot.
+            let i = self.tail;
+            self.unlink(i);
+            self.map.remove(&self.slots[i].key);
+            let old = std::mem::replace(
+                &mut self.slots[i],
+                Slot {
+                    key: key.clone(),
+                    value,
+                    prev: NIL,
+                    next: NIL,
+                },
+            );
+            evicted = Some((old.key, old.value));
+            i
+        } else {
+            self.slots.push(Slot {
+                key: key.clone(),
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.slots.len() - 1
+        };
+        self.map.insert(key, slot);
+        self.push_front(slot);
+        evicted
+    }
+}
+
+/// Cache key of a ranking request: the query SQL, the rendered output
+/// tuple, and the lineage — hashed through a precomputed 64-bit lineage
+/// digest (the full fact list is retained for equality, so a digest
+/// collision can never alias two different lineages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankKey {
+    /// Canonical SQL text of the query.
+    pub query_sql: String,
+    /// Rendered output tuple (`(v1, v2, …)`).
+    pub tuple_text: String,
+    /// The lineage fact ids, in request order.
+    pub lineage: Box<[FactId]>,
+    lineage_hash: u64,
+}
+
+impl RankKey {
+    /// Build a key (computes the lineage digest once).
+    pub fn new(query_sql: String, tuple_text: String, lineage: &[FactId]) -> Self {
+        let mut h = DefaultHasher::new();
+        for f in lineage {
+            h.write_u32(f.0);
+        }
+        RankKey {
+            query_sql,
+            tuple_text,
+            lineage: lineage.into(),
+            lineage_hash: h.finish(),
+        }
+    }
+}
+
+impl Hash for RankKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.query_sql.hash(state);
+        self.tuple_text.hash(state);
+        state.write_u64(self.lineage_hash);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_eviction_order() {
+        let mut c: LruCache<u32, &str> = LruCache::new(2);
+        assert!(c.is_empty());
+        c.insert(1, "a");
+        c.insert(2, "b");
+        assert_eq!(c.get(&1), Some(&"a")); // 1 is now MRU
+        let evicted = c.insert(3, "c"); // evicts 2, the LRU
+        assert_eq!(evicted, Some((2, "b")));
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&1), Some(&"a"));
+        assert_eq!(c.get(&3), Some(&"c"));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn refresh_updates_value_and_recency() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(1, 11); // refresh: 1 becomes MRU
+        c.insert(3, 30); // evicts 2
+        assert_eq!(c.get(&1), Some(&11));
+        assert_eq!(c.get(&2), None);
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c: LruCache<u32, u32> = LruCache::new(0);
+        assert_eq!(c.insert(1, 1), None);
+        assert_eq!(c.get(&1), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn capacity_one() {
+        let mut c: LruCache<u32, u32> = LruCache::new(1);
+        c.insert(1, 1);
+        c.insert(2, 2);
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.get(&2), Some(&2));
+    }
+
+    #[test]
+    fn slab_reuse_keeps_list_consistent() {
+        let mut c: LruCache<u32, u32> = LruCache::new(3);
+        for i in 0..50 {
+            c.insert(i, i);
+            // Touch the oldest surviving entry to churn the list.
+            if i >= 2 {
+                c.get(&(i - 2));
+            }
+        }
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn rank_key_equality_is_collision_proof() {
+        let a = RankKey::new("q".into(), "t".into(), &[FactId(1), FactId(2)]);
+        let b = RankKey::new("q".into(), "t".into(), &[FactId(2), FactId(1)]);
+        let c = RankKey::new("q".into(), "t".into(), &[FactId(1), FactId(2)]);
+        assert_ne!(a, b, "order matters");
+        assert_eq!(a, c);
+        let mut cache: LruCache<RankKey, u32> = LruCache::new(4);
+        cache.insert(a.clone(), 1);
+        assert_eq!(cache.get(&c), Some(&1));
+        assert_eq!(cache.get(&b), None);
+    }
+}

@@ -1,0 +1,44 @@
+//! # ls-serve — zero-dependency model serving for LearnShapley
+//!
+//! Serving infrastructure for a trained LearnShapley model: load a
+//! [`persisted snapshot`](ls_core::load_model) once, share its weights
+//! read-only across a pool of worker threads, and answer ranking requests
+//! through dynamic micro-batching, an LRU ranking cache, and explicit
+//! admission control — all on `std` alone.
+//!
+//! ```text
+//! ServeHandle::rank ─▶ admission (cache / depth / deadline)
+//!                        └▶ micro-batcher ─▶ worker pool ─▶ response
+//! ```
+//!
+//! Two front doors:
+//!
+//! * **in-process** — [`Server::start`] + [`ServeHandle::rank`];
+//! * **TCP** — [`TcpServer`] speaking the length-prefixed JSON frames of
+//!   [`proto`], with [`TcpRankClient`] as the matching client.
+//!
+//! The contract that makes the subsystem trustworthy is *determinism*: for a
+//! fixed model snapshot, a response is bit-identical to what the serial
+//! [`ls_core::rank_lineage`] produces — for any worker count, any batching
+//! boundary, cache hit or miss, in-process or over TCP. See
+//! [`server`] for how the invariant is enforced and `tests/serve.rs` for the
+//! differential test that pins it.
+//!
+//! Telemetry flows through `ls-obs` when enabled: `serve.queue_depth`
+//! (gauge), `serve.batch_items` / `serve.latency` (histograms), and
+//! `serve.cache_hit` / `serve.cache_miss` / `serve.shed_overload` /
+//! `serve.shed_deadline` (counters).
+//!
+//! The `serve-loadgen` binary drives a server with closed-loop clients and
+//! reports throughput and latency percentiles; see the repository README.
+
+pub mod cache;
+pub mod proto;
+pub mod server;
+pub mod tcp;
+
+pub use cache::{LruCache, RankKey};
+pub use server::{
+    ModelBundle, RankRequest, RankResponse, ServeConfig, ServeError, ServeHandle, Server,
+};
+pub use tcp::{TcpRankClient, TcpServer};

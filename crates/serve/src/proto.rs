@@ -1,0 +1,367 @@
+//! Framed JSON wire protocol for the TCP front-end.
+//!
+//! Every message is a **frame**: a little-endian `u32` byte length followed
+//! by that many bytes of UTF-8 JSON. Frames above [`MAX_FRAME`] bytes are
+//! rejected (a corrupt length prefix must not make the server allocate 4 GiB).
+//!
+//! Request object:
+//!
+//! ```json
+//! {"id": 7, "query": "SELECT …", "tuple": ["Alice", 3],
+//!  "lineage": [0, 12, 31], "deadline_ms": 250}
+//! ```
+//!
+//! `tuple` holds the output tuple's values — JSON strings become
+//! `Value::Str`, JSON numbers become `Value::Int` (the relational layer has
+//! no float column type). `deadline_ms` is optional.
+//!
+//! Response object (success / failure):
+//!
+//! ```json
+//! {"id": 7, "ok": true, "cached": false,
+//!  "scores": [0.91, 0.13, 0.42], "ranking": [0, 31, 12]}
+//! {"id": 7, "ok": false, "error": "overloaded"}
+//! ```
+//!
+//! Scores are emitted with Rust's shortest-round-trip `f64` formatting and
+//! parsed back with a correctly-rounded parser, so the floats a TCP client
+//! receives are bit-identical to the in-process [`crate::RankResponse`] —
+//! the determinism invariant survives the wire.
+
+use crate::server::{RankRequest, RankResponse, ServeError};
+use ls_obs::Json;
+use ls_relational::{FactId, OutputTuple, Value};
+use std::fmt::Write as _;
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+/// Upper bound on a single frame's payload (16 MiB).
+pub const MAX_FRAME: u32 = 16 << 20;
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() as u64 > MAX_FRAME as u64 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame too large",
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one length-prefixed frame. Returns `Ok(None)` on a clean EOF at a
+/// frame boundary (the peer hung up between requests).
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        let n = r.read(&mut len_buf[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "eof inside frame header",
+            ));
+        }
+        filled += n;
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap {MAX_FRAME}"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+fn emit_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Encode a request frame payload.
+pub fn encode_request(id: u64, req: &RankRequest) -> Vec<u8> {
+    let mut out = String::new();
+    let _ = write!(out, "{{\"id\":{id},\"query\":");
+    emit_str(&mut out, &req.query_sql);
+    out.push_str(",\"tuple\":[");
+    for (i, v) in req.tuple.values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match v {
+            Value::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::Str(s) => emit_str(&mut out, s),
+        }
+    }
+    out.push_str("],\"lineage\":[");
+    for (i, f) in req.lineage.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}", f.0);
+    }
+    out.push(']');
+    if let Some(d) = req.deadline {
+        let _ = write!(out, ",\"deadline_ms\":{}", d.as_millis());
+    }
+    out.push('}');
+    out.into_bytes()
+}
+
+/// Decode a request frame payload into `(id, request)`.
+pub fn decode_request(payload: &[u8]) -> Result<(u64, RankRequest), String> {
+    let text = std::str::from_utf8(payload).map_err(|e| format!("frame not UTF-8: {e}"))?;
+    let doc = ls_obs::parse_json(text)?;
+    let id = doc
+        .get("id")
+        .and_then(Json::as_u64)
+        .ok_or("missing numeric \"id\"")?;
+    let query_sql = doc
+        .get("query")
+        .and_then(Json::as_str)
+        .ok_or("missing string \"query\"")?
+        .to_string();
+    let mut values = Vec::new();
+    if let Some(Json::Arr(items)) = doc.get("tuple") {
+        for item in items {
+            match item {
+                Json::Str(s) => values.push(Value::Str(s.clone())),
+                Json::Num(n) => values.push(Value::Int(*n as i64)),
+                other => return Err(format!("bad tuple value {other:?}")),
+            }
+        }
+    } else {
+        return Err("missing array \"tuple\"".into());
+    }
+    let mut lineage = Vec::new();
+    if let Some(Json::Arr(items)) = doc.get("lineage") {
+        for item in items {
+            let n = item.as_u64().ok_or("lineage entries must be fact ids")?;
+            if n > u32::MAX as u64 {
+                return Err(format!("fact id {n} out of range"));
+            }
+            lineage.push(FactId(n as u32));
+        }
+    } else {
+        return Err("missing array \"lineage\"".into());
+    }
+    let deadline = doc
+        .get("deadline_ms")
+        .and_then(Json::as_u64)
+        .map(Duration::from_millis);
+    Ok((
+        id,
+        RankRequest {
+            query_sql,
+            tuple: OutputTuple {
+                values,
+                derivations: Vec::new(),
+            },
+            lineage,
+            deadline,
+        },
+    ))
+}
+
+/// Encode a response frame payload.
+pub fn encode_response(id: u64, result: &Result<RankResponse, ServeError>) -> Vec<u8> {
+    let mut out = String::new();
+    match result {
+        Ok(resp) => {
+            let _ = write!(
+                out,
+                "{{\"id\":{id},\"ok\":true,\"cached\":{},\"scores\":[",
+                resp.cached
+            );
+            for (i, s) in resp.scores.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if s.is_finite() {
+                    // Shortest round-trip formatting: parses back bit-identically.
+                    let _ = write!(out, "{s}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            out.push_str("],\"ranking\":[");
+            for (i, f) in resp.ranking.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{}", f.0);
+            }
+            out.push_str("]}");
+        }
+        Err(e) => {
+            let _ = write!(out, "{{\"id\":{id},\"ok\":false,\"error\":");
+            emit_str(&mut out, &e.to_string());
+            out.push('}');
+        }
+    }
+    out.into_bytes()
+}
+
+/// Decode a response frame payload into `(id, result)`.
+pub fn decode_response(payload: &[u8]) -> Result<(u64, Result<RankResponse, ServeError>), String> {
+    let text = std::str::from_utf8(payload).map_err(|e| format!("frame not UTF-8: {e}"))?;
+    let doc = ls_obs::parse_json(text)?;
+    let id = doc
+        .get("id")
+        .and_then(Json::as_u64)
+        .ok_or("missing numeric \"id\"")?;
+    match doc.get("ok") {
+        Some(Json::Bool(true)) => {
+            let cached = matches!(doc.get("cached"), Some(Json::Bool(true)));
+            let mut scores = Vec::new();
+            if let Some(Json::Arr(items)) = doc.get("scores") {
+                for item in items {
+                    scores.push(item.as_f64().ok_or("scores must be numbers")?);
+                }
+            } else {
+                return Err("missing array \"scores\"".into());
+            }
+            let mut ranking = Vec::new();
+            if let Some(Json::Arr(items)) = doc.get("ranking") {
+                for item in items {
+                    let n = item.as_u64().ok_or("ranking entries must be fact ids")?;
+                    ranking.push(FactId(n as u32));
+                }
+            } else {
+                return Err("missing array \"ranking\"".into());
+            }
+            Ok((
+                id,
+                Ok(RankResponse {
+                    scores,
+                    ranking,
+                    cached,
+                }),
+            ))
+        }
+        Some(Json::Bool(false)) => {
+            let msg = doc.get("error").and_then(Json::as_str).unwrap_or("unknown");
+            let err = match msg {
+                "overloaded" => ServeError::Overloaded,
+                "deadline exceeded" => ServeError::DeadlineExceeded,
+                "shutting down" => ServeError::ShuttingDown,
+                other => match other.strip_prefix("bad request: ") {
+                    Some(detail) => ServeError::BadRequest(detail.to_string()),
+                    None => ServeError::Transport(other.to_string()),
+                },
+            };
+            Ok((id, Err(err)))
+        }
+        _ => Err("missing boolean \"ok\"".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req() -> RankRequest {
+        RankRequest {
+            query_sql: "SELECT name FROM movies WHERE year > 1999".into(),
+            tuple: OutputTuple {
+                values: vec![Value::Str("Memento \"2000\"\n".into()), Value::Int(-3)],
+                derivations: Vec::new(),
+            },
+            lineage: vec![FactId(5), FactId(0), FactId(123456)],
+            deadline: Some(Duration::from_millis(250)),
+        }
+    }
+
+    #[test]
+    fn request_round_trip() {
+        let r = req();
+        let (id, back) = decode_request(&encode_request(42, &r)).unwrap();
+        assert_eq!(id, 42);
+        assert_eq!(back.query_sql, r.query_sql);
+        assert_eq!(back.tuple.values, r.tuple.values);
+        assert_eq!(back.lineage, r.lineage);
+        assert_eq!(back.deadline, r.deadline);
+    }
+
+    #[test]
+    fn response_round_trip_is_bit_identical() {
+        // Awkward floats: subnormal, negative zero, many digits.
+        let resp = RankResponse {
+            scores: vec![0.1 + 0.2, -0.0, 1e-310, 0.123_456_789_012_345_68],
+            ranking: vec![FactId(2), FactId(0), FactId(1), FactId(3)],
+            cached: true,
+        };
+        let (id, back) = decode_response(&encode_response(7, &Ok(resp.clone()))).unwrap();
+        assert_eq!(id, 7);
+        let back = back.unwrap();
+        assert!(back.cached);
+        assert_eq!(back.ranking, resp.ranking);
+        for (a, b) in resp.scores.iter().zip(&back.scores) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn error_round_trip() {
+        for e in [
+            ServeError::Overloaded,
+            ServeError::DeadlineExceeded,
+            ServeError::ShuttingDown,
+            ServeError::BadRequest("unknown fact id 9".into()),
+        ] {
+            let (_, back) = decode_response(&encode_response(1, &Err(e.clone()))).unwrap();
+            assert_eq!(back, Err(e));
+        }
+    }
+
+    #[test]
+    fn frame_round_trip_and_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        let mut cursor = io::Cursor::new(buf);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&10u32.to_le_bytes());
+        buf.extend_from_slice(b"abc"); // 3 of 10 payload bytes
+        let mut cursor = io::Cursor::new(buf);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+}

@@ -1,0 +1,587 @@
+//! The serving engine: bounded submission queue → dynamic micro-batcher →
+//! worker pool, with an LRU ranking cache in front and admission control at
+//! the door.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  clients ──rank()──▶ [admission: cache probe, depth check]
+//!                          │ miss, depth ok
+//!                          ▼
+//!                   pending: VecDeque<Job>        (bounded by queue_depth)
+//!                          │
+//!                   micro-batcher thread          (batch_deadline window,
+//!                          │                       max_batch_items budget)
+//!                          ▼
+//!                   work: VecDeque<WorkItem>      (per-job fact chunks)
+//!                          │
+//!            ┌─────────────┼─────────────┐
+//!            ▼             ▼             ▼
+//!        worker 0      worker 1   …  worker N−1    (Arc-shared weights,
+//!            │             │             │          per-thread scratch)
+//!            └──── last chunk finalizes job ───▶ cache insert, client wakeup
+//! ```
+//!
+//! ## Determinism invariant
+//!
+//! For a fixed model snapshot, the response for a request is **bit-identical**
+//! regardless of worker count, batching boundaries, or cache state:
+//!
+//! * every fact's score is produced by [`ls_core::LineageScorer::score_fact`]
+//!   — the same code path the serial [`ls_core::predict_scores`] uses — whose
+//!   `forward_infer` passes perform the training forward's float ops in the
+//!   same order;
+//! * each score is written into its *request-order slot*, so completion order
+//!   (which does vary across runs) never influences the output;
+//! * the ranking is assembled from the completed slot vector exactly the way
+//!   `rank_lineage` assembles it (insertion in lineage order + descending
+//!   sort with fact-id tie-break);
+//! * the cache stores that final vector verbatim, so hits replay it bit-for-bit.
+
+use crate::cache::{LruCache, RankKey};
+use ls_core::{render_tuple, LearnShapleyModel, LineageScorer, ScoreContext, Tokenizer};
+use ls_relational::{Database, FactId, OutputTuple};
+use ls_shapley::FactScores;
+use std::collections::VecDeque;
+use std::fmt;
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Everything a worker needs to score facts, loaded once and `Arc`-shared
+/// read-only across the pool.
+pub struct ModelBundle {
+    /// The frozen model (weights only touched through `&self` inference).
+    pub model: LearnShapleyModel,
+    /// The frozen vocabulary.
+    pub tokenizer: Tokenizer,
+    /// The database facts are rendered from.
+    pub db: Database,
+    /// Sequence-length budget for the packed (query, tuple+fact) pairs.
+    pub max_len: usize,
+}
+
+impl ModelBundle {
+    /// Load a persisted model snapshot (see `ls_core::persist`) and pair it
+    /// with the serving database.
+    pub fn load(path: &Path, db: Database, max_len: usize) -> io::Result<Self> {
+        let (model, tokenizer) = ls_core::load_model(path)?;
+        Ok(ModelBundle {
+            model,
+            tokenizer,
+            db,
+            max_len,
+        })
+    }
+}
+
+/// A ranking request: score the facts of `lineage` for `(query_sql, tuple)`.
+#[derive(Debug, Clone)]
+pub struct RankRequest {
+    /// Canonical SQL text of the query.
+    pub query_sql: String,
+    /// The output tuple of interest (only its values matter for scoring).
+    pub tuple: OutputTuple,
+    /// The lineage facts to rank.
+    pub lineage: Vec<FactId>,
+    /// Optional per-request deadline; if scoring has not *started* by then
+    /// the request is shed with [`ServeError::DeadlineExceeded`]. `None`
+    /// falls back to [`ServeConfig::default_deadline`].
+    pub deadline: Option<Duration>,
+}
+
+/// A completed ranking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankResponse {
+    /// Predicted scores, aligned with the request's lineage order.
+    pub scores: Vec<f64>,
+    /// Facts ordered by descending score (fact-id tie-break).
+    pub ranking: Vec<FactId>,
+    /// True when served from the ranking cache.
+    pub cached: bool,
+}
+
+/// Why a request was not served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The submission queue is at capacity; the request was rejected
+    /// immediately rather than queued (closed-loop clients should back off).
+    Overloaded,
+    /// The request's deadline passed before scoring started.
+    DeadlineExceeded,
+    /// The server is draining; no new work is admitted.
+    ShuttingDown,
+    /// The request was malformed (empty query, unknown fact id, …).
+    BadRequest(String),
+    /// Transport-level failure (TCP clients only).
+    Transport(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Overloaded => write!(f, "overloaded"),
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ServeError::ShuttingDown => write!(f, "shutting down"),
+            ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
+            ServeError::Transport(m) => write!(f, "transport: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Serving knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads scoring facts (each owns one `InferScratch`).
+    pub workers: usize,
+    /// Maximum in-flight requests (admitted but not yet answered); the
+    /// admission bound of the subsystem.
+    pub queue_depth: usize,
+    /// Fact-item budget per micro-batch: the batcher dispatches as soon as
+    /// this many items are pending, without waiting out the window.
+    pub max_batch_items: usize,
+    /// Micro-batch window: on the first pending request the batcher waits at
+    /// most this long for more work to coalesce before dispatching.
+    pub batch_deadline: Duration,
+    /// Ranking-cache entries (0 disables the cache).
+    pub cache_capacity: usize,
+    /// Deadline applied to requests that do not carry their own.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_depth: 256,
+            max_batch_items: 64,
+            batch_deadline: Duration::from_micros(500),
+            cache_capacity: 1024,
+            default_deadline: None,
+        }
+    }
+}
+
+/// One admitted request moving through the pipeline.
+struct Job {
+    query_sql: String,
+    tuple: OutputTuple,
+    lineage: Vec<FactId>,
+    key: RankKey,
+    submitted: Instant,
+    deadline: Option<Instant>,
+    /// Query/tuple-side precomputation, done once by the batcher.
+    ctx: OnceLock<ScoreContext>,
+    /// Per-fact score slots (f64 bit patterns), written lock-free by index.
+    scores: Vec<AtomicU64>,
+    /// Slots still unwritten; the worker that zeroes this finalizes the job.
+    remaining: AtomicUsize,
+    /// The response, set exactly once; guarded for the client wait.
+    result: Mutex<Option<Result<RankResponse, ServeError>>>,
+    done: Condvar,
+}
+
+impl Job {
+    fn complete(&self, shared: &Shared, result: Result<RankResponse, ServeError>) {
+        if ls_obs::enabled() {
+            ls_obs::histogram("serve.latency").record(self.submitted.elapsed().as_secs_f64());
+            ls_obs::counter("serve.responses").incr();
+        }
+        // Release the queue slot *before* waking the client: a closed-loop
+        // client that submits its next request immediately after waking must
+        // see the slot it just freed, or it would be shed spuriously.
+        let mut st = shared.state.lock().unwrap();
+        st.inflight -= 1;
+        let depth = st.inflight;
+        drop(st);
+        ls_obs::gauge("serve.queue_depth").set(depth as f64);
+        let mut slot = self.result.lock().unwrap();
+        debug_assert!(slot.is_none(), "job completed twice");
+        *slot = Some(result);
+        self.done.notify_all();
+    }
+
+    fn wait(&self) -> Result<RankResponse, ServeError> {
+        let mut slot = self.result.lock().unwrap();
+        loop {
+            if let Some(r) = slot.take() {
+                return r;
+            }
+            slot = self.done.wait(slot).unwrap();
+        }
+    }
+}
+
+/// A contiguous chunk of one job's lineage, ready for a worker.
+struct WorkItem {
+    job: Arc<Job>,
+    start: usize,
+    end: usize,
+}
+
+struct State {
+    pending: VecDeque<Arc<Job>>,
+    work: VecDeque<WorkItem>,
+    /// Admitted but unanswered requests (the admission-control quantity).
+    inflight: usize,
+    /// Jobs drained from `pending` that the batcher has not yet expanded
+    /// into work items; keeps workers from exiting early on shutdown.
+    batching: usize,
+    paused: bool,
+    shutdown: bool,
+    cache: LruCache<RankKey, RankResponse>,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signaled on submit, pause/resume and shutdown; the batcher waits here.
+    batcher_cv: Condvar,
+    /// Signaled when work items are published; workers wait here.
+    worker_cv: Condvar,
+    cfg: ServeConfig,
+    bundle: Arc<ModelBundle>,
+}
+
+/// Outcome of admission: either served from cache or queued.
+enum Admitted {
+    Done(RankResponse),
+    Queued(Arc<Job>),
+}
+
+/// A cloneable client handle onto a running [`Server`].
+#[derive(Clone)]
+pub struct ServeHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServeHandle {
+    /// Rank a lineage, blocking until the response is ready (or the request
+    /// is rejected by admission control).
+    pub fn rank(&self, req: RankRequest) -> Result<RankResponse, ServeError> {
+        match self.submit(req)? {
+            Admitted::Done(resp) => Ok(resp),
+            Admitted::Queued(job) => job.wait(),
+        }
+    }
+
+    /// Admission control: probe the cache, enforce the queue bound, enqueue.
+    fn submit(&self, req: RankRequest) -> Result<Admitted, ServeError> {
+        ls_obs::counter("serve.requests").incr();
+        if req.query_sql.is_empty() {
+            return Err(ServeError::BadRequest("empty query".into()));
+        }
+        for &f in &req.lineage {
+            if self.shared.bundle.db.fact(f).is_none() {
+                return Err(ServeError::BadRequest(format!("unknown fact id {}", f.0)));
+            }
+        }
+        if req.lineage.is_empty() {
+            // Nothing to score; answer inline without consuming queue depth.
+            return Ok(Admitted::Done(RankResponse {
+                scores: Vec::new(),
+                ranking: Vec::new(),
+                cached: false,
+            }));
+        }
+        let key = RankKey::new(
+            req.query_sql.clone(),
+            render_tuple(&req.tuple),
+            &req.lineage,
+        );
+        let mut st = self.shared.state.lock().unwrap();
+        if st.shutdown {
+            return Err(ServeError::ShuttingDown);
+        }
+        if let Some(hit) = st.cache.get(&key) {
+            let mut resp = hit.clone();
+            resp.cached = true;
+            ls_obs::counter("serve.cache_hit").incr();
+            return Ok(Admitted::Done(resp));
+        }
+        ls_obs::counter("serve.cache_miss").incr();
+        if st.inflight >= self.shared.cfg.queue_depth {
+            ls_obs::counter("serve.shed_overload").incr();
+            return Err(ServeError::Overloaded);
+        }
+        st.inflight += 1;
+        let depth = st.inflight;
+        let n = req.lineage.len();
+        let deadline = req
+            .deadline
+            .or(self.shared.cfg.default_deadline)
+            .map(|d| Instant::now() + d);
+        let job = Arc::new(Job {
+            key,
+            submitted: Instant::now(),
+            deadline,
+            ctx: OnceLock::new(),
+            scores: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            remaining: AtomicUsize::new(n),
+            result: Mutex::new(None),
+            done: Condvar::new(),
+            query_sql: req.query_sql,
+            tuple: req.tuple,
+            lineage: req.lineage,
+        });
+        st.pending.push_back(job.clone());
+        drop(st);
+        ls_obs::gauge("serve.queue_depth").set(depth as f64);
+        self.shared.batcher_cv.notify_one();
+        Ok(Admitted::Queued(job))
+    }
+
+    /// Current in-flight request count (admitted, unanswered).
+    pub fn inflight(&self) -> usize {
+        self.shared.state.lock().unwrap().inflight
+    }
+}
+
+/// A running serving instance: one micro-batcher plus a worker pool.
+pub struct Server {
+    shared: Arc<Shared>,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Start the batcher and worker threads.
+    ///
+    /// # Panics
+    /// Panics if `cfg.workers == 0` or `cfg.queue_depth == 0`.
+    pub fn start(bundle: Arc<ModelBundle>, cfg: ServeConfig) -> Server {
+        assert!(cfg.workers >= 1, "need at least one worker");
+        assert!(cfg.queue_depth >= 1, "need a positive queue depth");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                pending: VecDeque::new(),
+                work: VecDeque::new(),
+                inflight: 0,
+                batching: 0,
+                paused: false,
+                shutdown: false,
+                cache: LruCache::new(cfg.cache_capacity),
+            }),
+            batcher_cv: Condvar::new(),
+            worker_cv: Condvar::new(),
+            cfg,
+            bundle,
+        });
+        let batcher = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("ls-serve-batcher".into())
+                .spawn(move || batcher_loop(&shared))
+                .expect("spawn batcher")
+        };
+        let workers = (0..shared.cfg.workers)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("ls-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Server {
+            shared,
+            batcher: Some(batcher),
+            workers,
+        }
+    }
+
+    /// A client handle (cheap to clone, usable from any thread).
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle {
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Stop dispatching batches (submissions still accepted up to the queue
+    /// bound). Used for maintenance windows — and by the overload tests to
+    /// fill the queue deterministically.
+    pub fn pause(&self) {
+        self.shared.state.lock().unwrap().paused = true;
+        self.shared.batcher_cv.notify_all();
+    }
+
+    /// Resume dispatching after [`Server::pause`].
+    pub fn resume(&self) {
+        self.shared.state.lock().unwrap().paused = false;
+        self.shared.batcher_cv.notify_all();
+    }
+
+    /// Graceful shutdown: stop admitting, serve everything already admitted,
+    /// then join the batcher and workers.
+    pub fn shutdown(mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+        }
+        self.shared.batcher_cv.notify_all();
+        self.shared.worker_cv.notify_all();
+        if let Some(b) = self.batcher.take() {
+            let _ = b.join();
+        }
+        // The batcher exits only after `pending` is fully drained; wake the
+        // workers again in case they raced the last work publication.
+        self.shared.worker_cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// The micro-batcher: coalesce pending jobs up to `max_batch_items` facts or
+/// `batch_deadline`, whichever hits first, then expand them into per-worker
+/// chunks.
+fn batcher_loop(shared: &Shared) {
+    let cfg = &shared.cfg;
+    loop {
+        let mut st = shared.state.lock().unwrap();
+        // Wait for work (or for a resume, or for shutdown — which overrides
+        // pause so draining always proceeds).
+        while (st.pending.is_empty() || st.paused) && !st.shutdown {
+            st = shared.batcher_cv.wait(st).unwrap();
+        }
+        if st.pending.is_empty() && st.shutdown {
+            break;
+        }
+        // Micro-batch window: from first sight of a nonempty queue, wait for
+        // more work up to the deadline or the item budget. Shutdown skips
+        // the wait — drain as fast as possible.
+        let window_ends = Instant::now() + cfg.batch_deadline;
+        loop {
+            if st.shutdown {
+                break;
+            }
+            let items: usize = st.pending.iter().map(|j| j.lineage.len()).sum();
+            if items >= cfg.max_batch_items {
+                break;
+            }
+            let now = Instant::now();
+            if now >= window_ends {
+                break;
+            }
+            let (guard, timeout) = shared
+                .batcher_cv
+                .wait_timeout(st, window_ends - now)
+                .unwrap();
+            st = guard;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+        // Drain one batch's worth of jobs.
+        let mut batch = Vec::new();
+        let mut items = 0usize;
+        while let Some(job) = st.pending.front() {
+            let n = job.lineage.len();
+            if !batch.is_empty() && items + n > cfg.max_batch_items {
+                break;
+            }
+            items += n;
+            batch.push(st.pending.pop_front().unwrap());
+        }
+        st.batching += batch.len();
+        drop(st);
+
+        if ls_obs::enabled() && items > 0 {
+            ls_obs::histogram("serve.batch_items").record(items as f64);
+        }
+        let now = Instant::now();
+        let mut work = Vec::new();
+        for job in batch {
+            if job.deadline.is_some_and(|d| now > d) {
+                ls_obs::counter("serve.shed_deadline").incr();
+                job.complete(shared, Err(ServeError::DeadlineExceeded));
+                continue;
+            }
+            // Hoist the query/tuple-side work out of the per-fact loop, once
+            // per job rather than once per fact (or per chunk).
+            let ctx = ScoreContext::new(&shared.bundle.tokenizer, &job.query_sql, &job.tuple);
+            let _ = job.ctx.set(ctx);
+            let n = job.lineage.len();
+            let chunk = n.div_ceil(cfg.workers).max(1);
+            let mut start = 0;
+            while start < n {
+                let end = (start + chunk).min(n);
+                work.push(WorkItem {
+                    job: job.clone(),
+                    start,
+                    end,
+                });
+                start = end;
+            }
+        }
+        let mut st = shared.state.lock().unwrap();
+        st.batching = 0;
+        st.work.extend(work);
+        drop(st);
+        shared.worker_cv.notify_all();
+    }
+}
+
+/// A worker: pull fact chunks, score them with a thread-local scratch into
+/// the job's request-order slots, finalize on the last chunk.
+fn worker_loop(shared: &Shared) {
+    let bundle = shared.bundle.clone();
+    let mut scorer =
+        LineageScorer::new(&bundle.model, &bundle.tokenizer, &bundle.db, bundle.max_len);
+    loop {
+        let item = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if let Some(item) = st.work.pop_front() {
+                    break item;
+                }
+                if st.shutdown && st.pending.is_empty() && st.batching == 0 {
+                    return;
+                }
+                st = shared.worker_cv.wait(st).unwrap();
+            }
+        };
+        let job = &item.job;
+        let ctx = job.ctx.get().expect("context built before dispatch");
+        for i in item.start..item.end {
+            let score = scorer.score_fact(ctx, job.lineage[i]);
+            job.scores[i].store(score.to_bits(), Ordering::Release);
+        }
+        let n = item.end - item.start;
+        ls_obs::counter("serve.facts_scored").add(n as u64);
+        if job.remaining.fetch_sub(n, Ordering::AcqRel) == n {
+            finalize(shared, job);
+        }
+    }
+}
+
+/// Assemble the response exactly the way serial `rank_lineage` does, cache
+/// it, and wake the client.
+fn finalize(shared: &Shared, job: &Arc<Job>) {
+    let scores: Vec<f64> = job
+        .scores
+        .iter()
+        .map(|s| f64::from_bits(s.load(Ordering::Acquire)))
+        .collect();
+    // Identical assembly to `predict_scores` + `rank_descending`: insert in
+    // lineage order, sort by descending score with fact-id tie-break.
+    let mut fact_scores = FactScores::new();
+    for (i, &f) in job.lineage.iter().enumerate() {
+        fact_scores.insert(f, scores[i]);
+    }
+    let ranking = ls_shapley::rank_descending(&fact_scores);
+    let resp = RankResponse {
+        scores,
+        ranking,
+        cached: false,
+    };
+    {
+        let mut st = shared.state.lock().unwrap();
+        st.cache.insert(job.key.clone(), resp.clone());
+    }
+    job.complete(shared, Ok(resp));
+}

@@ -1,0 +1,130 @@
+//! TCP front-end: an accept loop that speaks the framed JSON protocol of
+//! [`crate::proto`] and forwards each request to a [`ServeHandle`].
+//!
+//! One detached thread per connection; each connection processes its frames
+//! sequentially (pipelining across connections comes from the server's own
+//! micro-batcher, not from per-connection concurrency). The listener thread
+//! is woken for shutdown by a loopback self-connect, so no platform-specific
+//! socket APIs are needed.
+
+use crate::proto::{decode_request, encode_response, read_frame, write_frame};
+use crate::server::{RankRequest, RankResponse, ServeError, ServeHandle};
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running TCP front-end.
+pub struct TcpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Bind `bind` (e.g. `"127.0.0.1:0"`) and start accepting connections,
+    /// forwarding requests to `handle`.
+    pub fn start(handle: ServeHandle, bind: impl ToSocketAddrs) -> io::Result<TcpServer> {
+        let listener = TcpListener::bind(bind)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let stop = stop.clone();
+            std::thread::Builder::new()
+                .name("ls-serve-accept".into())
+                .spawn(move || accept_loop(listener, handle, &stop))?
+        };
+        Ok(TcpServer {
+            addr,
+            stop,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting new connections and join the accept loop. Connections
+    /// already established finish their in-flight frames on their own
+    /// threads; pair this with [`crate::Server::shutdown`] to drain them.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, handle: ServeHandle, stop: &AtomicBool) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        ls_obs::counter("serve.tcp.connections").incr();
+        let handle = handle.clone();
+        let _ = std::thread::Builder::new()
+            .name("ls-serve-conn".into())
+            .spawn(move || {
+                let _ = serve_connection(stream, &handle);
+            });
+    }
+}
+
+fn serve_connection(stream: TcpStream, handle: &ServeHandle) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    while let Some(payload) = read_frame(&mut reader)? {
+        ls_obs::counter("serve.tcp.frames").incr();
+        let (id, result) = match decode_request(&payload) {
+            Ok((id, req)) => (id, handle.rank(req)),
+            Err(msg) => (0, Err(ServeError::BadRequest(msg))),
+        };
+        write_frame(&mut writer, &encode_response(id, &result))?;
+    }
+    Ok(())
+}
+
+/// A blocking client for the framed protocol.
+pub struct TcpRankClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+}
+
+impl TcpRankClient {
+    /// Connect to a [`TcpServer`].
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<TcpRankClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(TcpRankClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+            next_id: 1,
+        })
+    }
+
+    /// Send one request and block for its response.
+    pub fn rank(&mut self, req: &RankRequest) -> Result<RankResponse, ServeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.writer, &crate::proto::encode_request(id, req))
+            .map_err(|e| ServeError::Transport(e.to_string()))?;
+        let payload = read_frame(&mut self.reader)
+            .map_err(|e| ServeError::Transport(e.to_string()))?
+            .ok_or_else(|| ServeError::Transport("server closed connection".into()))?;
+        let (resp_id, result) =
+            crate::proto::decode_response(&payload).map_err(ServeError::Transport)?;
+        if resp_id != id {
+            return Err(ServeError::Transport(format!(
+                "response id {resp_id} does not match request id {id}"
+            )));
+        }
+        result
+    }
+}

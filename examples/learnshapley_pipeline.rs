@@ -63,7 +63,7 @@ fn main() {
         max_vocab: 2000,
     };
     let start = Instant::now();
-    let mut trained = train_learnshapley(&ds, Some(&ms), &train, &cfg);
+    let trained = train_learnshapley(&ds, Some(&ms), &train, &cfg);
     println!(
         "trained LearnShapley-base in {:?} (pre-train best epoch {}, fine-tune best dev NDCG {:.3})",
         start.elapsed(),
@@ -72,7 +72,7 @@ fn main() {
     );
 
     // ---- evaluate against the baselines -------------------------------------
-    let ls = evaluate_model(&mut trained.model, &trained.tokenizer, &ds, &test, 64);
+    let ls = evaluate_model(&trained.model, &trained.tokenizer, &ds, &test, 64);
     println!(
         "\n{:<28} {:>8} {:>6} {:>6} {:>6}",
         "method", "NDCG@10", "p@1", "p@3", "p@5"
@@ -113,7 +113,7 @@ fn main() {
     let tuple = &probe_q.result.tuples[tuple_rec.tuple_idx];
     let lineage: Vec<FactId> = tuple_rec.shapley.keys().copied().collect();
     let ranking = rank_lineage(
-        &mut trained.model,
+        &trained.model,
         &trained.tokenizer,
         &ds.db,
         &probe_q.sql,

@@ -114,7 +114,7 @@ fn main() {
         },
         max_vocab: 1200,
     };
-    let mut trained = train_learnshapley(&ds, Some(&ms), &train, &cfg);
+    let trained = train_learnshapley(&ds, Some(&ms), &train, &cfg);
     println!(
         "4. trained a small model (fine-tune best dev NDCG@10 {:.3})",
         trained.finetune.best_dev_ndcg
@@ -126,7 +126,7 @@ fn main() {
     let out_tuple = &probe.result.tuples[rec.tuple_idx];
     let lineage: Vec<FactId> = rec.shapley.keys().copied().collect();
     let scores = predict_scores(
-        &mut trained.model,
+        &trained.model,
         &trained.tokenizer,
         &ds.db,
         &probe.sql,

@@ -81,11 +81,11 @@ fn full_training_pipeline_and_baselines() {
         },
         max_vocab: 800,
     };
-    let mut trained = train_learnshapley(&ds, Some(&ms), &train, &cfg);
+    let trained = train_learnshapley(&ds, Some(&ms), &train, &cfg);
     assert!(trained.pretrain.is_some());
     assert!(trained.finetune.samples > 0);
 
-    let ls = evaluate_model(&mut trained.model, &trained.tokenizer, &ds, &test, 64);
+    let ls = evaluate_model(&trained.model, &trained.tokenizer, &ds, &test, 64);
     assert!(ls.pairs > 0);
     assert!((0.0..=1.0).contains(&ls.ndcg10));
 
@@ -149,14 +149,14 @@ fn inference_requires_only_lineage() {
         },
         max_vocab: 600,
     };
-    let mut trained = train_learnshapley(&ds, None, &train, &cfg);
+    let trained = train_learnshapley(&ds, None, &train, &cfg);
     let qi = ds.split_indices(Split::Test)[0];
     let q = &ds.queries[qi];
     let t = &q.tuples[0];
     let tuple = &q.result.tuples[t.tuple_idx];
     let lineage: Vec<FactId> = t.shapley.keys().copied().collect();
     let ranking = rank_lineage(
-        &mut trained.model,
+        &trained.model,
         &trained.tokenizer,
         &ds.db,
         &q.sql,
