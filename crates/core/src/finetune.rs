@@ -5,6 +5,7 @@
 //! dev-set NDCG@10 is measured and the best checkpoint is kept — the paper's
 //! fine-tuning checkpoint-selection rule.
 
+use crate::checkpoint::{CheckpointConfig, Stage, TrainCheckpoint};
 use crate::encoding::render_tuple_and_fact_featured;
 use crate::eval::{ndcg_at_k, precision_at_k};
 use crate::model::LearnShapleyModel;
@@ -16,6 +17,7 @@ use ls_shapley::FactScores;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::io;
 
 /// Regression-target scale. The paper multiplies Shapley values by 1000 to
 /// avoid numerical issues with its tiny raw values; here targets are first
@@ -176,6 +178,33 @@ pub fn finetune(
     train_queries: &[usize],
     cfg: &TrainConfig,
 ) -> FinetuneReport {
+    finetune_inner(model, tokenizer, ds, train_queries, cfg, None)
+        .expect("finetune without checkpointing performs no I/O")
+}
+
+/// [`finetune()`] with crash-resumable epoch checkpoints: the loop state is
+/// persisted to `ckpt.path` (atomically, checksummed) after each due epoch,
+/// and a run that finds an existing checkpoint continues from it —
+/// finishing with weights bit-identical to an uninterrupted run.
+pub fn finetune_resumable(
+    model: &mut LearnShapleyModel,
+    tokenizer: &Tokenizer,
+    ds: &Dataset,
+    train_queries: &[usize],
+    cfg: &TrainConfig,
+    ckpt: &CheckpointConfig,
+) -> io::Result<FinetuneReport> {
+    finetune_inner(model, tokenizer, ds, train_queries, cfg, Some(ckpt))
+}
+
+fn finetune_inner(
+    model: &mut LearnShapleyModel,
+    tokenizer: &Tokenizer,
+    ds: &Dataset,
+    train_queries: &[usize],
+    cfg: &TrainConfig,
+    ckpt: Option<&CheckpointConfig>,
+) -> io::Result<FinetuneReport> {
     let samples_all =
         build_finetune_samples_with_negatives(ds, train_queries, cfg.negatives, cfg.seed);
     let mut sp = ls_obs::span("core.finetune")
@@ -194,8 +223,26 @@ pub fn finetune(
     let mut order: Vec<usize> = (0..samples_all.len()).collect();
     let mut best = (f64::NEG_INFINITY, 0usize, Snapshot::capture(model));
     let mut consumed = 0usize;
+    let mut start_epoch = 1usize;
+    if let Some(ck) = ckpt {
+        if let Some(state) = TrainCheckpoint::load(&ck.path, Stage::Finetune, cfg.seed)? {
+            state.model.restore(model);
+            opt = state.optimizer()?;
+            best = (state.best_metric, state.best_epoch, state.best.clone());
+            consumed = state.samples;
+            start_epoch = state.epochs_done + 1;
+            // Fast-forward the shuffle stream: replay the completed epochs'
+            // permutations so epoch `start_epoch` sees the same order it
+            // would have in an uninterrupted run.
+            for _ in 0..state.epochs_done {
+                order.shuffle(&mut rng);
+            }
+            ls_obs::counter("core.checkpoint.resumed").incr();
+            sp.record("resumed_epochs", state.epochs_done);
+        }
+    }
 
-    for epoch in 1..=cfg.epochs {
+    for epoch in start_epoch..=cfg.epochs {
         let mut esp = ls_obs::span("core.finetune.epoch").with("epoch", epoch);
         order.shuffle(&mut rng);
         let take = if cfg.max_samples_per_epoch == 0 {
@@ -228,15 +275,30 @@ pub fn finetune(
         if dev_score > best.0 {
             best = (dev_score, epoch, Snapshot::capture(model));
         }
+        if let Some(ck) = ckpt {
+            if ck.due(epoch) {
+                TrainCheckpoint::capture(
+                    Stage::Finetune,
+                    model,
+                    &opt,
+                    (&best.2, best.0, best.1),
+                    epoch,
+                    consumed,
+                    cfg.seed,
+                )?
+                .save(&ck.path)?;
+                ls_obs::counter("core.checkpoint.saved").incr();
+            }
+        }
     }
     best.2.restore(model);
     sp.record("best_dev_ndcg10", best.0);
     sp.record("best_epoch", best.1);
-    FinetuneReport {
+    Ok(FinetuneReport {
         best_dev_ndcg: best.0,
         best_epoch: best.1,
         samples: consumed,
-    }
+    })
 }
 
 #[cfg(test)]

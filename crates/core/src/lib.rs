@@ -20,8 +20,10 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod encoding;
 pub mod eval;
+pub mod fallback;
 pub mod finetune;
 pub mod inference;
 pub mod model;
@@ -31,14 +33,16 @@ pub mod pipeline;
 pub mod pretrain;
 pub mod tokenizer;
 
+pub use checkpoint::{CheckpointConfig, Stage, TrainCheckpoint};
 pub use encoding::{
     render_fact, render_featured_hoisted, render_tuple, render_tuple_and_fact,
     render_tuple_and_fact_featured,
 };
 pub use eval::{linear_slope, ndcg_at_k, partial_ndcg_at_k, pearson, precision_at_k};
+pub use fallback::{FallbackScorer, NearestFallback, UniformFallback};
 pub use finetune::{
     build_finetune_samples, build_finetune_samples_with_negatives, evaluate_model, finetune,
-    EvalSummary, FinetuneReport, FinetuneSample, SHAPLEY_SCALE,
+    finetune_resumable, EvalSummary, FinetuneReport, FinetuneSample, SHAPLEY_SCALE,
 };
 pub use inference::{predict_scores, rank_lineage, LineageScorer, ScoreContext};
 pub use model::{LearnShapleyModel, HEAD_RANK, HEAD_SYNTAX, HEAD_WITNESS};
@@ -46,7 +50,7 @@ pub use nearest::{NearestQueries, NqMetric, QueryProbe};
 pub use persist::{load_model, save_model};
 pub use pipeline::{build_tokenizer, train_learnshapley, EncoderKind, PipelineConfig, Trained};
 pub use pretrain::{
-    build_pretrain_pairs, dev_mse, pretrain, PretrainObjectives, PretrainPair, PretrainReport,
-    TrainConfig, GRAD_CLIP,
+    build_pretrain_pairs, dev_mse, pretrain, pretrain_resumable, PretrainObjectives, PretrainPair,
+    PretrainReport, TrainConfig, GRAD_CLIP,
 };
 pub use tokenizer::{split_words, Tokenizer, CLS, PAD, SEP, SPECIALS, UNK};

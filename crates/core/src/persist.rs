@@ -3,34 +3,123 @@
 //! and load it back for deployment — the "once the model is deployed, it
 //! constitutes a fast solution for real-time ranking" workflow of §1.
 //!
-//! Format (little-endian):
+//! Format (little-endian), version 2:
 //!
 //! ```text
 //! magic "LSMD" | version u32
 //! encoder config: vocab, d_model, heads, layers, ff_dim, max_len (u32 each), seed u64
 //! vocab entries u32, then per entry: id u32, len u32, utf-8 bytes
 //! parameter snapshot (ls_nn::Snapshot binary format)
+//! footer: "LSFT" | body_len u64 | crc32 u32        (crc over everything above)
 //! ```
+//!
+//! ## Crash atomicity and corruption detection
+//!
+//! Writes go through [`write_atomic`]: the payload lands in a temporary
+//! sibling file, is fsync'd, and is atomically renamed over the
+//! destination (the directory is fsync'd too on Unix) — a crash mid-save
+//! leaves either the old snapshot or the new one, never a torn hybrid.
+//! Every file carries a CRC32 footer ([`ls_fault::crc32`]); loads verify
+//! length and checksum before parsing a single field, so silent truncation
+//! or bit rot surfaces as a typed `InvalidData` error instead of a model
+//! that ranks garbage.
 
 use crate::model::LearnShapleyModel;
 use crate::tokenizer::Tokenizer;
+use ls_fault::crc32;
 use ls_nn::{EncoderConfig, Snapshot};
 use std::fs;
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::io::{self, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"LSMD";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
+const FOOTER_MAGIC: &[u8; 4] = b"LSFT";
+/// Footer layout: magic (4) + body length (8) + crc32 (4).
+const FOOTER_LEN: usize = 16;
 
-/// Save a model + tokenizer to `path`.
+/// Append the checksum footer to `body` bytes.
+fn seal(mut body: Vec<u8>) -> Vec<u8> {
+    let crc = crc32(&body);
+    let len = body.len() as u64;
+    body.extend_from_slice(FOOTER_MAGIC);
+    body.extend_from_slice(&len.to_le_bytes());
+    body.extend_from_slice(&crc.to_le_bytes());
+    body
+}
+
+/// Verify and strip the checksum footer, returning the body slice.
+fn unseal(bytes: &[u8]) -> io::Result<&[u8]> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    if bytes.len() < FOOTER_LEN {
+        return Err(bad("file shorter than checksum footer"));
+    }
+    let (body, footer) = bytes.split_at(bytes.len() - FOOTER_LEN);
+    if &footer[..4] != FOOTER_MAGIC {
+        return Err(bad("missing checksum footer (truncated or pre-v2 file)"));
+    }
+    let len = u64::from_le_bytes(footer[4..12].try_into().unwrap());
+    if len != body.len() as u64 {
+        return Err(bad("footer length does not match file length"));
+    }
+    let crc = u32::from_le_bytes(footer[12..16].try_into().unwrap());
+    if crc != crc32(body) {
+        return Err(bad("checksum mismatch: snapshot is corrupt"));
+    }
+    Ok(body)
+}
+
+/// Write `bytes` to `path` crash-atomically: temp sibling → fsync → rename
+/// → directory fsync (Unix). Readers never observe a partial file.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    if let Err(e) = fs::rename(&tmp, path) {
+        let _ = fs::remove_file(&tmp);
+        return Err(e);
+    }
+    #[cfg(unix)]
+    if let Some(dir) = dir {
+        // Persist the rename itself; without this a crash can forget the
+        // directory entry even though the inode was flushed.
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    #[cfg(not(unix))]
+    let _ = dir;
+    Ok(())
+}
+
+/// [`write_atomic`] with a checksum footer appended; pair with
+/// [`read_verified`].
+pub fn write_sealed(path: &Path, body: Vec<u8>) -> io::Result<()> {
+    write_atomic(path, &seal(body))
+}
+
+/// Read `path` fully and verify its checksum footer, returning the body.
+pub fn read_verified(path: &Path) -> io::Result<Vec<u8>> {
+    let bytes = fs::read(path)?;
+    let body_len = unseal(&bytes)?.len();
+    let mut body = bytes;
+    body.truncate(body_len);
+    Ok(body)
+}
+
+/// Save a model + tokenizer to `path` (atomic, checksummed).
 pub fn save_model(
     model: &mut LearnShapleyModel,
     tokenizer: &Tokenizer,
     path: &Path,
 ) -> io::Result<()> {
-    let mut w = BufWriter::new(fs::File::create(path)?);
-    w.write_all(MAGIC)?;
-    w.write_all(&VERSION.to_le_bytes())?;
+    let mut w = Vec::new();
+    w.extend_from_slice(MAGIC);
+    w.extend_from_slice(&VERSION.to_le_bytes());
     let cfg = model.encoder.config;
     for v in [
         cfg.vocab,
@@ -40,25 +129,27 @@ pub fn save_model(
         cfg.ff_dim,
         cfg.max_len,
     ] {
-        w.write_all(&(v as u32).to_le_bytes())?;
+        w.extend_from_slice(&(v as u32).to_le_bytes());
     }
-    w.write_all(&cfg.seed.to_le_bytes())?;
+    w.extend_from_slice(&cfg.seed.to_le_bytes());
 
     let entries = tokenizer.entries();
-    w.write_all(&(entries.len() as u32).to_le_bytes())?;
+    w.extend_from_slice(&(entries.len() as u32).to_le_bytes());
     for (word, id) in entries {
-        w.write_all(&id.to_le_bytes())?;
-        w.write_all(&(word.len() as u32).to_le_bytes())?;
-        w.write_all(word.as_bytes())?;
+        w.extend_from_slice(&id.to_le_bytes());
+        w.extend_from_slice(&(word.len() as u32).to_le_bytes());
+        w.extend_from_slice(word.as_bytes());
     }
 
     Snapshot::capture(model).write_to(&mut w)?;
-    w.flush()
+    write_sealed(path, w)
 }
 
-/// Load a model + tokenizer from `path`.
+/// Load a model + tokenizer from `path`, verifying the checksum footer
+/// before parsing.
 pub fn load_model(path: &Path) -> io::Result<(LearnShapleyModel, Tokenizer)> {
-    let mut r = BufReader::new(fs::File::open(path)?);
+    let body = read_verified(path)?;
+    let mut r: &[u8] = &body;
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
@@ -175,5 +266,47 @@ mod tests {
         let bytes = fs::read(&path).unwrap();
         fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
         assert!(load_model(&path).is_err());
+    }
+
+    #[test]
+    fn single_flipped_bit_is_detected() {
+        let (mut model, tok) = setup();
+        let path = std::env::temp_dir().join("ls_model_bitrot.bin");
+        save_model(&mut model, &tok, &path).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip one bit in the middle of the weight payload — the kind of
+        // corruption magic/version checks cannot see.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        fs::write(&path, &bytes).unwrap();
+        let err = load_model(&path).unwrap_err();
+        assert!(
+            err.to_string().contains("checksum"),
+            "want checksum error, got: {err}"
+        );
+    }
+
+    #[test]
+    fn footer_length_mismatch_is_detected() {
+        let (mut model, tok) = setup();
+        let path = std::env::temp_dir().join("ls_model_extend.bin");
+        save_model(&mut model, &tok, &path).unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        // Append garbage after the footer: the footer is no longer at the
+        // end, so the magic check fails.
+        bytes.extend_from_slice(b"trailing");
+        fs::write(&path, &bytes).unwrap();
+        assert!(load_model(&path).is_err());
+    }
+
+    #[test]
+    fn atomic_write_replaces_existing_snapshot() {
+        let path = std::env::temp_dir().join("ls_model_replace.bin");
+        write_atomic(&path, b"old").unwrap();
+        write_atomic(&path, b"new").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"new");
+        // No temp droppings left behind.
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        assert!(!tmp.exists());
     }
 }

@@ -7,6 +7,7 @@
 //! After every epoch the dev-pair MSE is measured and the best checkpoint is
 //! restored at the end — matching the paper's checkpoint-selection rule.
 
+use crate::checkpoint::{CheckpointConfig, Stage, TrainCheckpoint};
 use crate::model::{LearnShapleyModel, HEAD_RANK, HEAD_SYNTAX, HEAD_WITNESS};
 use crate::tokenizer::Tokenizer;
 use ls_dbshap::{Dataset, SimilarityMatrices, Split};
@@ -14,6 +15,7 @@ use ls_nn::{Adam, AdamConfig, Snapshot};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::io;
 
 /// Global gradient-norm clip applied per optimizer step (scaled by the
 /// batch size since gradients are accumulated before averaging).
@@ -170,6 +172,51 @@ pub fn pretrain(
     objectives: PretrainObjectives,
     cfg: &TrainConfig,
 ) -> PretrainReport {
+    pretrain_inner(
+        model,
+        tokenizer,
+        train_pairs,
+        dev_pairs,
+        objectives,
+        cfg,
+        None,
+    )
+    .expect("pretrain without checkpointing performs no I/O")
+}
+
+/// [`pretrain()`] with crash-resumable epoch checkpoints: the loop state is
+/// persisted to `ckpt.path` (atomically, checksummed) after each due epoch,
+/// and a run that finds an existing checkpoint continues from it —
+/// finishing with weights bit-identical to an uninterrupted run.
+pub fn pretrain_resumable(
+    model: &mut LearnShapleyModel,
+    tokenizer: &Tokenizer,
+    train_pairs: &[PretrainPair],
+    dev_pairs: &[PretrainPair],
+    objectives: PretrainObjectives,
+    cfg: &TrainConfig,
+    ckpt: &CheckpointConfig,
+) -> io::Result<PretrainReport> {
+    pretrain_inner(
+        model,
+        tokenizer,
+        train_pairs,
+        dev_pairs,
+        objectives,
+        cfg,
+        Some(ckpt),
+    )
+}
+
+fn pretrain_inner(
+    model: &mut LearnShapleyModel,
+    tokenizer: &Tokenizer,
+    train_pairs: &[PretrainPair],
+    dev_pairs: &[PretrainPair],
+    objectives: PretrainObjectives,
+    cfg: &TrainConfig,
+    ckpt: Option<&CheckpointConfig>,
+) -> io::Result<PretrainReport> {
     let mut sp = ls_obs::span("core.pretrain")
         .with("pairs", train_pairs.len())
         .with("epochs", cfg.epochs);
@@ -187,8 +234,26 @@ pub fn pretrain(
     let mut order: Vec<usize> = (0..train_pairs.len()).collect();
     let mut best = (f64::INFINITY, 0usize, Snapshot::capture(model));
     let mut samples = 0usize;
+    let mut start_epoch = 1usize;
+    if let Some(ck) = ckpt {
+        if let Some(state) = TrainCheckpoint::load(&ck.path, Stage::Pretrain, cfg.seed)? {
+            state.model.restore(model);
+            opt = state.optimizer()?;
+            best = (state.best_metric, state.best_epoch, state.best.clone());
+            samples = state.samples;
+            start_epoch = state.epochs_done + 1;
+            // Fast-forward the shuffle stream: replay the completed epochs'
+            // permutations so epoch `start_epoch` sees the same order it
+            // would have in an uninterrupted run.
+            for _ in 0..state.epochs_done {
+                order.shuffle(&mut rng);
+            }
+            ls_obs::counter("core.checkpoint.resumed").incr();
+            sp.record("resumed_epochs", state.epochs_done);
+        }
+    }
 
-    for epoch in 1..=cfg.epochs {
+    for epoch in start_epoch..=cfg.epochs {
         let mut esp = ls_obs::span("core.pretrain.epoch").with("epoch", epoch);
         order.shuffle(&mut rng);
         let take = if cfg.max_samples_per_epoch == 0 {
@@ -225,15 +290,30 @@ pub fn pretrain(
         if dev < best.0 {
             best = (dev, epoch, Snapshot::capture(model));
         }
+        if let Some(ck) = ckpt {
+            if ck.due(epoch) {
+                TrainCheckpoint::capture(
+                    Stage::Pretrain,
+                    model,
+                    &opt,
+                    (&best.2, best.0, best.1),
+                    epoch,
+                    samples,
+                    cfg.seed,
+                )?
+                .save(&ck.path)?;
+                ls_obs::counter("core.checkpoint.saved").incr();
+            }
+        }
     }
     best.2.restore(model);
     sp.record("best_dev_mse", best.0);
     sp.record("best_epoch", best.1);
-    PretrainReport {
+    Ok(PretrainReport {
         best_dev_mse: best.0,
         best_epoch: best.1,
         samples,
-    }
+    })
 }
 
 /// Mean squared error over pairs, restricted to enabled heads.

@@ -1,0 +1,191 @@
+//! A three-state circuit breaker for graceful degradation.
+//!
+//! *Closed* (healthy) → consecutive failures reach the threshold → *Open*
+//! (all calls take the degraded path) → cooldown elapses → *Half-open* (one
+//! probe call may try the primary path; its outcome closes or re-opens the
+//! breaker).
+//!
+//! The breaker only decides *which path to take*; callers own both paths.
+//! State transitions are counted through `ls-obs` (`fault.breaker.opened`,
+//! `fault.breaker.closed`) and the current state is exported as a gauge
+//! (`fault.breaker.state`: 0 closed, 1 open, 2 half-open).
+
+use crate::sync::lock_safe;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// The breaker's observable state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: use the primary path.
+    Closed,
+    /// Tripped: use the degraded path until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: one probe may try the primary path.
+    HalfOpen,
+}
+
+#[derive(Debug)]
+struct Inner {
+    consecutive_failures: u64,
+    opened_at: Option<Instant>,
+    probing: bool,
+}
+
+/// A thread-safe circuit breaker. See the module docs for the protocol.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    threshold: u64,
+    cooldown: Duration,
+    inner: Mutex<Inner>,
+}
+
+impl CircuitBreaker {
+    /// A breaker that opens after `threshold` consecutive failures and
+    /// half-opens `cooldown` after opening. A `threshold` of 0 disables the
+    /// breaker (it never opens).
+    pub fn new(threshold: u64, cooldown: Duration) -> CircuitBreaker {
+        CircuitBreaker {
+            threshold,
+            cooldown,
+            inner: Mutex::new(Inner {
+                consecutive_failures: 0,
+                opened_at: None,
+                probing: false,
+            }),
+        }
+    }
+
+    /// Should this call take the primary path? `false` means degrade.
+    ///
+    /// In the half-open state exactly one caller at a time gets `true` (the
+    /// probe); everyone else degrades until the probe reports back.
+    pub fn allow_primary(&self) -> bool {
+        if self.threshold == 0 {
+            return true;
+        }
+        let mut inner = lock_safe(&self.inner);
+        match inner.opened_at {
+            None => true,
+            Some(at) => {
+                if at.elapsed() < self.cooldown || inner.probing {
+                    false
+                } else {
+                    inner.probing = true;
+                    ls_obs::gauge("fault.breaker.state").set(2.0);
+                    true
+                }
+            }
+        }
+    }
+
+    /// Report a primary-path success.
+    pub fn on_success(&self) {
+        if self.threshold == 0 {
+            return;
+        }
+        let mut inner = lock_safe(&self.inner);
+        inner.consecutive_failures = 0;
+        inner.probing = false;
+        if inner.opened_at.take().is_some() {
+            ls_obs::counter("fault.breaker.closed").incr();
+            ls_obs::gauge("fault.breaker.state").set(0.0);
+        }
+    }
+
+    /// Report a primary-path failure.
+    pub fn on_failure(&self) {
+        if self.threshold == 0 {
+            return;
+        }
+        let mut inner = lock_safe(&self.inner);
+        inner.consecutive_failures += 1;
+        if inner.probing {
+            // Failed probe: re-open and restart the cooldown.
+            inner.probing = false;
+            inner.opened_at = Some(Instant::now());
+            ls_obs::gauge("fault.breaker.state").set(1.0);
+        } else if inner.opened_at.is_none() && inner.consecutive_failures >= self.threshold {
+            inner.opened_at = Some(Instant::now());
+            ls_obs::counter("fault.breaker.opened").incr();
+            ls_obs::gauge("fault.breaker.state").set(1.0);
+        }
+    }
+
+    /// The current state (for metrics and tests; racy by nature).
+    pub fn state(&self) -> BreakerState {
+        let inner = lock_safe(&self.inner);
+        match inner.opened_at {
+            None => BreakerState::Closed,
+            Some(at) => {
+                if at.elapsed() < self.cooldown {
+                    BreakerState::Open
+                } else {
+                    BreakerState::HalfOpen
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opens_after_threshold_consecutive_failures() {
+        let b = CircuitBreaker::new(3, Duration::from_secs(60));
+        assert!(b.allow_primary());
+        b.on_failure();
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow_primary());
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow_primary());
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let b = CircuitBreaker::new(2, Duration::from_secs(60));
+        b.on_failure();
+        b.on_success();
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_probe_closes_on_success() {
+        let b = CircuitBreaker::new(1, Duration::from_millis(5));
+        b.on_failure();
+        assert!(!b.allow_primary());
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.allow_primary(), "first caller is the probe");
+        assert!(!b.allow_primary(), "only one probe at a time");
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow_primary());
+    }
+
+    #[test]
+    fn half_open_probe_reopens_on_failure() {
+        let b = CircuitBreaker::new(1, Duration::from_millis(5));
+        b.on_failure();
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(b.allow_primary());
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow_primary());
+    }
+
+    #[test]
+    fn zero_threshold_never_opens() {
+        let b = CircuitBreaker::new(0, Duration::from_millis(1));
+        for _ in 0..100 {
+            b.on_failure();
+        }
+        assert!(b.allow_primary());
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+}

@@ -1,0 +1,76 @@
+//! CRC32 (IEEE 802.3, reflected polynomial `0xEDB88320`) — the checksum
+//! behind persistence footers. Table-driven, built at compile time.
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC32 of `bytes`.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    crc32_update(0xFFFF_FFFF, bytes) ^ 0xFFFF_FFFF
+}
+
+/// Streaming form: feed chunks through a running state. Start from
+/// `0xFFFF_FFFF`, XOR with `0xFFFF_FFFF` at the end (or use [`crc32`] for
+/// one-shot buffers).
+#[must_use]
+pub fn crc32_update(state: u32, bytes: &[u8]) -> u32 {
+    let mut c = state;
+    for &b in bytes {
+        c = TABLE[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard test vectors for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data = b"hello fault-tolerant world";
+        let mut state = 0xFFFF_FFFFu32;
+        for chunk in data.chunks(5) {
+            state = crc32_update(state, chunk);
+        }
+        assert_eq!(state ^ 0xFFFF_FFFF, crc32(data));
+    }
+
+    #[test]
+    fn single_bit_flip_changes_the_checksum() {
+        let a = b"persistence footer".to_vec();
+        let mut b = a.clone();
+        b[7] ^= 0x40;
+        assert_ne!(crc32(&a), crc32(&b));
+    }
+}

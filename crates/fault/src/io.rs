@@ -1,0 +1,228 @@
+//! Fault-injecting `Read`/`Write` adapters.
+//!
+//! Wrap any stream and consult an [`Injector`] on every call; the wrapper
+//! realizes whatever the plan scheduled: injected `io::Error`s, artificial
+//! delays, bit-flipped payloads, or a *sticky* torn-stream state (reads
+//! report EOF forever, writes report `BrokenPipe` — exactly what a peer
+//! disappearing mid-frame looks like).
+
+use crate::plan::{FaultAction, Injector};
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+
+/// The error message carried by injected I/O errors (tests match on it).
+pub const INJECTED_ERROR_MSG: &str = "injected fault";
+
+fn injected_error() -> io::Error {
+    io::Error::new(io::ErrorKind::ConnectionReset, INJECTED_ERROR_MSG)
+}
+
+/// A reader that consults `injector` at site `<site>.read` before every
+/// underlying read.
+pub struct FaultyRead<R> {
+    inner: R,
+    injector: Arc<dyn Injector>,
+    site: String,
+    torn: bool,
+}
+
+impl<R: Read> FaultyRead<R> {
+    /// Wrap `inner`; decisions are drawn at `"<site>.read"`.
+    pub fn new(inner: R, injector: Arc<dyn Injector>, site: &str) -> FaultyRead<R> {
+        FaultyRead {
+            inner,
+            injector,
+            site: format!("{site}.read"),
+            torn: false,
+        }
+    }
+}
+
+impl<R> FaultyRead<R> {
+    /// Unwrap the underlying stream.
+    pub fn into_inner(self) -> R {
+        self.inner
+    }
+}
+
+impl<R: Read> Read for FaultyRead<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.torn {
+            return Ok(0);
+        }
+        match self.injector.decide(&self.site) {
+            FaultAction::None => self.inner.read(buf),
+            FaultAction::Error => Err(injected_error()),
+            FaultAction::Panic => panic!("injected panic at {}", self.site),
+            FaultAction::Delay(d) => {
+                std::thread::sleep(d);
+                self.inner.read(buf)
+            }
+            FaultAction::Corrupt => {
+                let n = self.inner.read(buf)?;
+                if n > 0 {
+                    buf[0] ^= 0x01;
+                }
+                Ok(n)
+            }
+            FaultAction::Truncate => {
+                self.torn = true;
+                Ok(0)
+            }
+        }
+    }
+}
+
+/// A writer that consults `injector` at site `<site>.write` before every
+/// underlying write.
+pub struct FaultyWrite<W> {
+    inner: W,
+    injector: Arc<dyn Injector>,
+    site: String,
+    torn: bool,
+}
+
+impl<W: Write> FaultyWrite<W> {
+    /// Wrap `inner`; decisions are drawn at `"<site>.write"`.
+    pub fn new(inner: W, injector: Arc<dyn Injector>, site: &str) -> FaultyWrite<W> {
+        FaultyWrite {
+            inner,
+            injector,
+            site: format!("{site}.write"),
+            torn: false,
+        }
+    }
+}
+
+impl<W> FaultyWrite<W> {
+    /// Unwrap the underlying stream.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for FaultyWrite<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.torn {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                INJECTED_ERROR_MSG,
+            ));
+        }
+        match self.injector.decide(&self.site) {
+            FaultAction::None => self.inner.write(buf),
+            FaultAction::Error => Err(injected_error()),
+            FaultAction::Panic => panic!("injected panic at {}", self.site),
+            FaultAction::Delay(d) => {
+                std::thread::sleep(d);
+                self.inner.write(buf)
+            }
+            FaultAction::Corrupt => {
+                if buf.is_empty() {
+                    return self.inner.write(buf);
+                }
+                let mut corrupted = buf.to_vec();
+                corrupted[0] ^= 0x01;
+                self.inner.write(&corrupted)
+            }
+            FaultAction::Truncate => {
+                self.torn = true;
+                // Swallow part of the frame, then go dead: the peer sees a
+                // mid-frame disconnect.
+                let keep = buf.len() / 2;
+                if keep > 0 {
+                    self.inner.write_all(&buf[..keep])?;
+                    let _ = self.inner.flush();
+                }
+                Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    INJECTED_ERROR_MSG,
+                ))
+            }
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.torn {
+            return Ok(());
+        }
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{FaultKind, FaultPlan, FaultRule, FaultSpec};
+    use std::io::Cursor;
+
+    fn plan(rule: FaultRule) -> Arc<FaultPlan> {
+        Arc::new(FaultPlan::compile(1, &FaultSpec::new().rule(rule)))
+    }
+
+    #[test]
+    fn clean_passthrough() {
+        let p = Arc::new(FaultPlan::compile(1, &FaultSpec::new()));
+        let mut r = FaultyRead::new(Cursor::new(b"abc".to_vec()), p.clone(), "t");
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, b"abc");
+        let mut sink = Vec::new();
+        let mut w = FaultyWrite::new(&mut sink, p, "t");
+        w.write_all(b"xyz").unwrap();
+        w.flush().unwrap();
+        assert_eq!(sink, b"xyz");
+    }
+
+    #[test]
+    fn injected_read_error() {
+        let p = plan(FaultRule::at("t.read", FaultKind::Error, &[0]));
+        let mut r = FaultyRead::new(Cursor::new(b"abc".to_vec()), p, "t");
+        let err = r.read(&mut [0u8; 3]).unwrap_err();
+        assert_eq!(err.to_string(), INJECTED_ERROR_MSG);
+        // Next read proceeds normally (the fault was scheduled once).
+        let mut out = Vec::new();
+        r.read_to_end(&mut out).unwrap();
+        assert_eq!(out, b"abc");
+    }
+
+    #[test]
+    fn corrupt_flips_a_bit() {
+        let p = plan(FaultRule::at("t.read", FaultKind::Corrupt, &[0]));
+        let mut r = FaultyRead::new(Cursor::new(b"abc".to_vec()), p, "t");
+        let mut buf = [0u8; 3];
+        let n = r.read(&mut buf).unwrap();
+        assert_eq!(n, 3);
+        assert_eq!(buf[0], b'a' ^ 0x01);
+        assert_eq!(&buf[1..], b"bc");
+    }
+
+    #[test]
+    fn truncate_is_sticky_eof_on_read() {
+        let p = plan(FaultRule::at("t.read", FaultKind::Truncate, &[1]));
+        let mut r = FaultyRead::new(Cursor::new(b"abcdef".to_vec()), p, "t");
+        let mut buf = [0u8; 3];
+        assert_eq!(r.read(&mut buf).unwrap(), 3);
+        assert_eq!(r.read(&mut buf).unwrap(), 0, "torn");
+        assert_eq!(r.read(&mut buf).unwrap(), 0, "stays torn");
+    }
+
+    #[test]
+    fn truncate_breaks_the_write_side() {
+        let p = plan(FaultRule::at("t.write", FaultKind::Truncate, &[0]));
+        let mut sink = Vec::new();
+        let mut w = FaultyWrite::new(&mut sink, p, "t");
+        let err = w.write(b"0123456789").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        assert_eq!(sink, b"01234", "half the frame escaped before the tear");
+    }
+
+    #[test]
+    fn write_corruption_reaches_the_sink() {
+        let p = plan(FaultRule::at("t.write", FaultKind::Corrupt, &[0]));
+        let mut sink = Vec::new();
+        let mut w = FaultyWrite::new(&mut sink, p, "t");
+        w.write_all(b"abc").unwrap();
+        assert_eq!(sink, [b'a' ^ 0x01, b'b', b'c']);
+    }
+}

@@ -1,0 +1,461 @@
+//! Seed-deterministic fault plans.
+//!
+//! A [`FaultSpec`] names *what can go wrong where* (rules over injection
+//! sites); [`FaultPlan::compile`] turns it plus a seed into an **explicit
+//! schedule**: for every site, the exact hit indices at which a fault fires
+//! are fixed at compile time. Probabilistic rules are materialized into
+//! index lists up front, so the schedule can be previewed, diffed, and —
+//! crucially — reproduced: the same `(seed, spec)` always yields the same
+//! schedule, regardless of thread timing at run time.
+//!
+//! Injection points consult the plan through the object-safe [`Injector`]
+//! trait; production code takes an `Arc<dyn Injector>` (defaulting to
+//! [`NoFaults`]) rather than reading globals, so tests can thread a plan
+//! through any layer without environment variables or statics.
+//!
+//! What *is* scheduled is the site-local hit index. Which request lands on a
+//! faulted hit can still vary when many threads race to the same site; the
+//! chaos suite's invariant is therefore phrased per-request ("typed error or
+//! bit-identical response"), not per-schedule-slot.
+
+use crate::rng::{draw_unit, site_stream};
+use crate::sync::lock_safe;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The fault classes a plan can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// An I/O-style error (the site decides the concrete error type).
+    Error,
+    /// A panic inside the component under test.
+    Panic,
+    /// An artificial delay (the rule carries the duration).
+    Delay,
+    /// Corrupt in-flight bytes (I/O wrappers flip bits).
+    Corrupt,
+    /// Truncate the stream (I/O wrappers report EOF forever after).
+    Truncate,
+}
+
+impl FaultKind {
+    /// Static metric name for this kind (`fault.injected.*`).
+    fn counter_name(self) -> &'static str {
+        match self {
+            FaultKind::Error => "fault.injected.error",
+            FaultKind::Panic => "fault.injected.panic",
+            FaultKind::Delay => "fault.injected.delay",
+            FaultKind::Corrupt => "fault.injected.corrupt",
+            FaultKind::Truncate => "fault.injected.truncate",
+        }
+    }
+}
+
+/// What an injection point must do right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Proceed normally.
+    None,
+    /// Fail with an injected error.
+    Error,
+    /// Panic deliberately.
+    Panic,
+    /// Sleep for the given duration, then proceed.
+    Delay(Duration),
+    /// Corrupt the bytes moving through this site.
+    Corrupt,
+    /// Behave as if the stream was torn here (EOF).
+    Truncate,
+}
+
+/// When a rule fires, expressed over the site's hit indices (0-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trigger {
+    /// Fire on hits where `index % every == offset`.
+    EveryNth {
+        /// Period (must be ≥ 1).
+        every: u64,
+        /// Phase within the period.
+        offset: u64,
+    },
+    /// Fire exactly on these hit indices (sorted at compile time).
+    AtIndices(Vec<u64>),
+    /// Fire on each hit independently with probability `rate_pm`/1000;
+    /// compiled into an explicit [`Trigger::AtIndices`] list over the
+    /// plan's horizon, so the realized schedule is fixed by the seed.
+    Bernoulli {
+        /// Per-mille firing rate (0–1000).
+        rate_pm: u32,
+    },
+}
+
+/// One fault rule: at `site`, inject `kind` according to `trigger`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRule {
+    /// Site name, exact (`"tcp.client.read"`) or prefix glob (`"tcp.*"`).
+    pub site: String,
+    /// The fault class to inject.
+    pub kind: FaultKind,
+    /// Which hits fire.
+    pub trigger: Trigger,
+    /// Maximum total firings (`0` = unlimited).
+    pub limit: u64,
+    /// Sleep length for [`FaultKind::Delay`] rules (ignored otherwise).
+    pub delay: Duration,
+}
+
+impl FaultRule {
+    /// A rule firing on exactly the given hit indices.
+    pub fn at(site: impl Into<String>, kind: FaultKind, indices: &[u64]) -> FaultRule {
+        FaultRule {
+            site: site.into(),
+            kind,
+            trigger: Trigger::AtIndices(indices.to_vec()),
+            limit: 0,
+            delay: Duration::from_millis(1),
+        }
+    }
+
+    /// A rule firing every `every`-th hit starting at `offset`.
+    pub fn every(site: impl Into<String>, kind: FaultKind, every: u64, offset: u64) -> FaultRule {
+        FaultRule {
+            site: site.into(),
+            kind,
+            trigger: Trigger::EveryNth {
+                every: every.max(1),
+                offset,
+            },
+            limit: 0,
+            delay: Duration::from_millis(1),
+        }
+    }
+
+    /// A rule firing with the given per-mille probability per hit.
+    pub fn bernoulli(site: impl Into<String>, kind: FaultKind, rate_pm: u32) -> FaultRule {
+        FaultRule {
+            site: site.into(),
+            kind,
+            trigger: Trigger::Bernoulli {
+                rate_pm: rate_pm.min(1000),
+            },
+            limit: 0,
+            delay: Duration::from_millis(1),
+        }
+    }
+
+    /// Cap the rule at `limit` total firings.
+    #[must_use]
+    pub fn limit(mut self, limit: u64) -> FaultRule {
+        self.limit = limit;
+        self
+    }
+
+    /// Set the sleep length for a [`FaultKind::Delay`] rule.
+    #[must_use]
+    pub fn delay(mut self, d: Duration) -> FaultRule {
+        self.delay = d;
+        self
+    }
+}
+
+/// A set of fault rules, the input to [`FaultPlan::compile`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// The rules; the first matching rule that fires wins at each hit.
+    pub rules: Vec<FaultRule>,
+    /// Horizon (in hits per site) over which probabilistic triggers are
+    /// materialized. `0` uses the default of 65 536.
+    pub horizon: u64,
+}
+
+impl FaultSpec {
+    /// An empty spec (injects nothing).
+    pub fn new() -> FaultSpec {
+        FaultSpec::default()
+    }
+
+    /// Append a rule.
+    #[must_use]
+    pub fn rule(mut self, r: FaultRule) -> FaultSpec {
+        self.rules.push(r);
+        self
+    }
+}
+
+/// The object-safe decision point production code calls. The default
+/// implementation, [`NoFaults`], always answers [`FaultAction::None`] — a
+/// single virtual call and no allocation on the happy path.
+pub trait Injector: Send + Sync {
+    /// Decide what happens at this hit of `site` (and advance the site's
+    /// hit counter).
+    fn decide(&self, site: &str) -> FaultAction;
+}
+
+/// The production injector: never faults.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl Injector for NoFaults {
+    fn decide(&self, _site: &str) -> FaultAction {
+        FaultAction::None
+    }
+}
+
+#[derive(Debug)]
+struct CompiledRule {
+    site: String,
+    kind: FaultKind,
+    /// Explicit firing indices (None = EveryNth arithmetic, no list).
+    indices: Option<Vec<u64>>,
+    every: u64,
+    offset: u64,
+    limit: u64,
+    delay: Duration,
+    fired: AtomicU64,
+}
+
+impl CompiledRule {
+    fn fires_at(&self, idx: u64) -> bool {
+        match &self.indices {
+            Some(list) => list.binary_search(&idx).is_ok(),
+            None => idx % self.every == self.offset % self.every,
+        }
+    }
+}
+
+/// A compiled, runnable fault schedule. See the module docs.
+#[derive(Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<CompiledRule>,
+    hits: Mutex<HashMap<String, u64>>,
+}
+
+impl FaultPlan {
+    /// Compile `spec` under `seed`: probabilistic triggers become explicit
+    /// index lists, everything else is checked arithmetically.
+    pub fn compile(seed: u64, spec: &FaultSpec) -> FaultPlan {
+        let horizon = if spec.horizon == 0 {
+            65_536
+        } else {
+            spec.horizon
+        };
+        let rules = spec
+            .rules
+            .iter()
+            .enumerate()
+            .map(|(ri, r)| {
+                let (indices, every, offset) = match &r.trigger {
+                    Trigger::EveryNth { every, offset } => (None, (*every).max(1), *offset),
+                    Trigger::AtIndices(list) => {
+                        let mut list = list.clone();
+                        list.sort_unstable();
+                        list.dedup();
+                        (Some(list), 1, 0)
+                    }
+                    Trigger::Bernoulli { rate_pm } => {
+                        let p = f64::from((*rate_pm).min(1000)) / 1000.0;
+                        let stream = site_stream(&r.site) ^ (ri as u64).wrapping_mul(0x9e37);
+                        let list = (0..horizon)
+                            .filter(|&i| draw_unit(seed, stream, i) < p)
+                            .collect();
+                        (Some(list), 1, 0)
+                    }
+                };
+                CompiledRule {
+                    site: r.site.clone(),
+                    kind: r.kind,
+                    indices,
+                    every,
+                    offset,
+                    limit: r.limit,
+                    delay: r.delay,
+                    fired: AtomicU64::new(0),
+                }
+            })
+            .collect();
+        FaultPlan {
+            seed,
+            rules,
+            hits: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The seed this plan was compiled under.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Preview the schedule for `site` over the first `horizon` hits,
+    /// without consuming hit counters: `(hit index, kind)` pairs in order.
+    pub fn schedule(&self, site: &str, horizon: u64) -> Vec<(u64, FaultKind)> {
+        let mut fired: Vec<u64> = vec![0; self.rules.len()];
+        let mut out = Vec::new();
+        for idx in 0..horizon {
+            for (ri, rule) in self.rules.iter().enumerate() {
+                if !site_matches(&rule.site, site) {
+                    continue;
+                }
+                if rule.limit != 0 && fired[ri] >= rule.limit {
+                    continue;
+                }
+                if rule.fires_at(idx) {
+                    fired[ri] += 1;
+                    out.push((idx, rule.kind));
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Total faults fired so far across all rules.
+    pub fn fired(&self) -> u64 {
+        self.rules
+            .iter()
+            .map(|r| r.fired.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+impl Injector for FaultPlan {
+    fn decide(&self, site: &str) -> FaultAction {
+        let idx = {
+            let mut hits = lock_safe(&self.hits);
+            let c = hits.entry(site.to_owned()).or_insert(0);
+            let idx = *c;
+            *c += 1;
+            idx
+        };
+        for rule in &self.rules {
+            if !site_matches(&rule.site, site) || !rule.fires_at(idx) {
+                continue;
+            }
+            if rule.limit != 0 {
+                // Reserve a firing slot; back out if the limit was reached
+                // concurrently.
+                let prev = rule.fired.fetch_add(1, Ordering::Relaxed);
+                if prev >= rule.limit {
+                    rule.fired.fetch_sub(1, Ordering::Relaxed);
+                    continue;
+                }
+            } else {
+                rule.fired.fetch_add(1, Ordering::Relaxed);
+            }
+            ls_obs::counter("fault.injected").incr();
+            ls_obs::counter(rule.kind.counter_name()).incr();
+            return match rule.kind {
+                FaultKind::Error => FaultAction::Error,
+                FaultKind::Panic => FaultAction::Panic,
+                FaultKind::Delay => FaultAction::Delay(rule.delay),
+                FaultKind::Corrupt => FaultAction::Corrupt,
+                FaultKind::Truncate => FaultAction::Truncate,
+            };
+        }
+        FaultAction::None
+    }
+}
+
+/// Does `pattern` (exact name or `prefix.*` glob) cover `site`?
+fn site_matches(pattern: &str, site: &str) -> bool {
+    match pattern.strip_suffix('*') {
+        Some(prefix) => site.starts_with(prefix),
+        None => pattern == site,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_glob_matching() {
+        assert!(site_matches("tcp.*", "tcp.client.read"));
+        assert!(site_matches("tcp.client.read", "tcp.client.read"));
+        assert!(!site_matches("tcp.*", "serve.worker"));
+        assert!(!site_matches("tcp.read", "tcp.write"));
+    }
+
+    #[test]
+    fn every_nth_fires_arithmetically() {
+        let spec = FaultSpec::new().rule(FaultRule::every("s", FaultKind::Error, 3, 1));
+        let plan = FaultPlan::compile(0, &spec);
+        let fired: Vec<bool> = (0..7)
+            .map(|_| plan.decide("s") == FaultAction::Error)
+            .collect();
+        assert_eq!(fired, [false, true, false, false, true, false, false]);
+    }
+
+    #[test]
+    fn at_indices_fire_exactly() {
+        let spec = FaultSpec::new().rule(FaultRule::at("s", FaultKind::Panic, &[0, 2]));
+        let plan = FaultPlan::compile(0, &spec);
+        assert_eq!(plan.decide("s"), FaultAction::Panic);
+        assert_eq!(plan.decide("s"), FaultAction::None);
+        assert_eq!(plan.decide("s"), FaultAction::Panic);
+        assert_eq!(plan.decide("s"), FaultAction::None);
+        assert_eq!(plan.fired(), 2);
+    }
+
+    #[test]
+    fn limits_cap_firings() {
+        let spec = FaultSpec::new().rule(FaultRule::every("s", FaultKind::Error, 1, 0).limit(2));
+        let plan = FaultPlan::compile(0, &spec);
+        let fired = (0..5)
+            .filter(|_| plan.decide("s") == FaultAction::Error)
+            .count();
+        assert_eq!(fired, 2);
+    }
+
+    #[test]
+    fn bernoulli_is_seed_deterministic() {
+        let spec = FaultSpec::new().rule(FaultRule::bernoulli("s", FaultKind::Corrupt, 200));
+        let a = FaultPlan::compile(42, &spec);
+        let b = FaultPlan::compile(42, &spec);
+        assert_eq!(a.schedule("s", 2000), b.schedule("s", 2000));
+        let c = FaultPlan::compile(43, &spec);
+        assert_ne!(a.schedule("s", 2000), c.schedule("s", 2000));
+        // Rate sanity: ~20% of 2000 hits.
+        let n = a.schedule("s", 2000).len();
+        assert!((250..550).contains(&n), "{n} firings");
+    }
+
+    #[test]
+    fn schedule_preview_matches_decide() {
+        let spec = FaultSpec::new()
+            .rule(FaultRule::bernoulli("s", FaultKind::Error, 100).limit(5))
+            .rule(FaultRule::every("s", FaultKind::Delay, 7, 0));
+        let plan = FaultPlan::compile(9, &spec);
+        let preview = plan.schedule("s", 300);
+        let lived: Vec<(u64, FaultKind)> = (0..300)
+            .filter_map(|i| match plan.decide("s") {
+                FaultAction::None => None,
+                FaultAction::Error => Some((i, FaultKind::Error)),
+                FaultAction::Panic => Some((i, FaultKind::Panic)),
+                FaultAction::Delay(_) => Some((i, FaultKind::Delay)),
+                FaultAction::Corrupt => Some((i, FaultKind::Corrupt)),
+                FaultAction::Truncate => Some((i, FaultKind::Truncate)),
+            })
+            .collect();
+        assert_eq!(preview, lived);
+    }
+
+    #[test]
+    fn sites_have_independent_counters() {
+        let spec = FaultSpec::new().rule(FaultRule::at("*", FaultKind::Error, &[0]));
+        let plan = FaultPlan::compile(0, &spec);
+        assert_eq!(plan.decide("a"), FaultAction::Error);
+        assert_eq!(plan.decide("b"), FaultAction::Error, "b has its own index");
+        assert_eq!(plan.decide("a"), FaultAction::None);
+    }
+
+    #[test]
+    fn no_faults_never_faults() {
+        let nf = NoFaults;
+        for _ in 0..100 {
+            assert_eq!(nf.decide("anything"), FaultAction::None);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! A chaos TCP proxy: interpose between a client and an upstream server and
+//! run both directions of every connection through the fault-injecting I/O
+//! adapters. This lets a chaos test tear, corrupt, and delay *wire* traffic
+//! without either endpoint cooperating.
+//!
+//! Sites consulted per connection: `proxy.c2s.read` / `proxy.c2s.write`
+//! (client → server) and `proxy.s2c.read` / `proxy.s2c.write` (server →
+//! client).
+
+use crate::io::{FaultyRead, FaultyWrite};
+use crate::plan::Injector;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running chaos proxy.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Listen on an ephemeral local port and forward connections to
+    /// `upstream` through `injector`.
+    pub fn start(upstream: SocketAddr, injector: Arc<dyn Injector>) -> io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let stop = stop.clone();
+            std::thread::Builder::new()
+                .name("ls-fault-proxy".into())
+                .spawn(move || accept_loop(&listener, upstream, &injector, &stop))?
+        };
+        Ok(ChaosProxy {
+            addr,
+            stop,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The proxy's listen address (point clients here).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting; existing pump threads die with their connections.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    upstream: SocketAddr,
+    injector: &Arc<dyn Injector>,
+    stop: &AtomicBool,
+) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(client) = conn else { continue };
+        let Ok(server) = TcpStream::connect(upstream) else {
+            let _ = client.shutdown(Shutdown::Both);
+            continue;
+        };
+        let _ = client.set_nodelay(true);
+        let _ = server.set_nodelay(true);
+        spawn_pump(&client, &server, injector.clone(), "proxy.c2s");
+        spawn_pump(&server, &client, injector.clone(), "proxy.s2c");
+    }
+}
+
+/// Pump bytes `from` → `to` through the fault adapters until either side
+/// errors or EOFs, then shut both down so the peer notices.
+fn spawn_pump(from: &TcpStream, to: &TcpStream, injector: Arc<dyn Injector>, site: &'static str) {
+    let (Ok(from), Ok(to)) = (from.try_clone(), to.try_clone()) else {
+        return;
+    };
+    let _ = std::thread::Builder::new()
+        .name(format!("ls-fault-pump-{site}"))
+        .spawn(move || {
+            let mut reader = FaultyRead::new(from, injector.clone(), site);
+            let mut writer = FaultyWrite::new(to, injector, site);
+            let mut buf = [0u8; 4096];
+            loop {
+                match reader.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => {
+                        if writer
+                            .write_all(&buf[..n])
+                            .and_then(|()| writer.flush())
+                            .is_err()
+                        {
+                            break;
+                        }
+                    }
+                }
+            }
+            // Tear both directions down so blocked peers wake up.
+            let _ = reader.into_inner().shutdown(Shutdown::Both);
+            let _ = writer.into_inner().shutdown(Shutdown::Both);
+        });
+}

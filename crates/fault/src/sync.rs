@@ -1,0 +1,108 @@
+//! Poison-recovering synchronization helpers.
+//!
+//! `std`'s `Mutex` poisons itself when a holder panics; every subsequent
+//! `.lock().unwrap()` then panics too, turning one worker's crash into a
+//! process-wide cascade (and hanging any `Condvar` waiter whose wake-up
+//! path died). These helpers recover the guard instead: the protected data
+//! in this workspace is always left in a consistent state between mutations
+//! (queues, counters, caches — no multi-step invariants held across the
+//! panic point), so continuing with the inner value is safe and turns "one
+//! panic kills the server" into "one panic fails one job".
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Lock `m`, recovering from poisoning (counted as
+/// `fault.lock_poison_recovered`).
+pub fn lock_safe<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => {
+            ls_obs::counter("fault.lock_poison_recovered").incr();
+            poisoned.into_inner()
+        }
+    }
+}
+
+/// `Condvar::wait` that recovers a poisoned guard instead of panicking.
+pub fn wait_safe<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    match cv.wait(guard) {
+        Ok(g) => g,
+        Err(poisoned) => {
+            ls_obs::counter("fault.lock_poison_recovered").incr();
+            poisoned.into_inner()
+        }
+    }
+}
+
+/// `Condvar::wait_timeout` that recovers a poisoned guard instead of
+/// panicking. Returns the guard and whether the wait timed out.
+pub fn wait_timeout_safe<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    dur: Duration,
+) -> (MutexGuard<'a, T>, bool) {
+    match cv.wait_timeout(guard, dur) {
+        Ok((g, t)) => (g, t.timed_out()),
+        Err(poisoned) => {
+            ls_obs::counter("fault.lock_poison_recovered").incr();
+            let (g, t) = poisoned.into_inner();
+            (g, t.timed_out())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    fn poison(m: &Arc<Mutex<u32>>) {
+        let m = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m.lock().unwrap();
+            panic!("poison on purpose");
+        })
+        .join();
+    }
+
+    #[test]
+    fn lock_safe_recovers_poison() {
+        let m = Arc::new(Mutex::new(7u32));
+        poison(&m);
+        assert!(m.lock().is_err(), "mutex must actually be poisoned");
+        assert_eq!(*lock_safe(&m), 7);
+        // And mutation still works through the recovered guard.
+        *lock_safe(&m) = 8;
+        assert_eq!(*lock_safe(&m), 8);
+    }
+
+    #[test]
+    fn wait_timeout_safe_on_poisoned_mutex() {
+        let m = Arc::new(Mutex::new(0u32));
+        let cv = Condvar::new();
+        poison(&m);
+        let g = lock_safe(&m);
+        let (g, timed_out) = wait_timeout_safe(&cv, g, Duration::from_millis(5));
+        assert!(timed_out);
+        drop(g);
+    }
+
+    #[test]
+    fn wait_safe_wakes_up() {
+        let shared = Arc::new((Mutex::new(false), Condvar::new()));
+        let s2 = shared.clone();
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*s2;
+            let mut g = lock_safe(m);
+            while !*g {
+                g = wait_safe(cv, g);
+            }
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        let (m, cv) = &*shared;
+        *lock_safe(m) = true;
+        cv.notify_all();
+        t.join().unwrap();
+    }
+}

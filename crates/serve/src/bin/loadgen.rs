@@ -12,14 +12,18 @@
 //! serve-loadgen [--workers 1,2,4] [--clients 4] [--requests 200]
 //!               [--queue 256] [--batch 64] [--cache 1024] [--cache-off]
 //!               [--lineage 12] [--queries 24] [--serial] [--tcp]
-//!               [--seed 7] [--max-len 64]
+//!               [--seed 7] [--max-len 64] [--fault] [--fault-seed 42]
 //! ```
 //!
 //! `--serial` adds a single-threaded `rank_lineage` baseline pass over the
 //! same request stream; `--tcp` routes one configuration through the TCP
-//! front-end to include protocol cost.
+//! front-end to include protocol cost; `--fault` adds a chaos configuration:
+//! a seeded fault plan injects scoring errors and panics while the circuit
+//! breaker degrades to the uniform fallback, reporting degraded/failed
+//! counts, degraded-mode throughput, and breaker recovery latency.
 
-use ls_core::{save_model, LearnShapleyModel, Tokenizer};
+use ls_core::{save_model, LearnShapleyModel, Tokenizer, UniformFallback};
+use ls_fault::{FaultKind, FaultPlan, FaultRule, FaultSpec};
 use ls_nn::EncoderConfig;
 use ls_relational::{ColType, Database, FactId, OutputTuple, TableSchema, Value};
 use ls_serve::{
@@ -45,6 +49,8 @@ struct Args {
     seed: u64,
     serial: bool,
     tcp: bool,
+    fault: bool,
+    fault_seed: u64,
 }
 
 impl Default for Args {
@@ -62,6 +68,8 @@ impl Default for Args {
             seed: 7,
             serial: false,
             tcp: false,
+            fault: false,
+            fault_seed: 42,
         }
     }
 }
@@ -93,11 +101,14 @@ fn parse_args() -> Args {
             "--seed" => args.seed = take().parse().expect("seed"),
             "--serial" => args.serial = true,
             "--tcp" => args.tcp = true,
+            "--fault" => args.fault = true,
+            "--fault-seed" => args.fault_seed = take().parse().expect("fault seed"),
             "--help" | "-h" => {
                 println!(
                     "serve-loadgen [--workers 1,2,4] [--clients N] [--requests N] \
                      [--queue N] [--batch N] [--cache N | --cache-off] [--lineage N] \
-                     [--queries N] [--max-len N] [--seed N] [--serial] [--tcp]"
+                     [--queries N] [--max-len N] [--seed N] [--serial] [--tcp] \
+                     [--fault] [--fault-seed N]"
                 );
                 std::process::exit(0);
             }
@@ -203,6 +214,10 @@ struct RunStats {
     served: usize,
     shed: usize,
     cached: usize,
+    /// Responses answered by the fallback scorer with the breaker open.
+    degraded: usize,
+    /// Requests that ended in a typed Internal error (injected faults).
+    failed: usize,
     latencies: Vec<Duration>,
     wall: Duration,
     facts: usize,
@@ -219,8 +234,13 @@ impl RunStats {
             self.latencies[idx]
         };
         let secs = self.wall.as_secs_f64().max(1e-9);
+        let chaos = if self.degraded > 0 || self.failed > 0 {
+            format!("  degraded {:>5}  failed {:>4}", self.degraded, self.failed)
+        } else {
+            String::new()
+        };
         println!(
-            "{label:<28} served {:>6}  shed {:>4}  cached {:>6}  {:>9.1} req/s  {:>10.0} facts/s  p50 {:>9.3?}  p99 {:>9.3?}",
+            "{label:<28} served {:>6}  shed {:>4}  cached {:>6}  {:>9.1} req/s  {:>10.0} facts/s  p50 {:>9.3?}  p99 {:>9.3?}{chaos}",
             self.served,
             self.shed,
             self.cached,
@@ -229,6 +249,16 @@ impl RunStats {
             pct(0.50),
             pct(0.99),
         );
+    }
+
+    fn merge(&mut self, local: RunStats) {
+        self.served += local.served;
+        self.shed += local.shed;
+        self.cached += local.cached;
+        self.degraded += local.degraded;
+        self.failed += local.failed;
+        self.facts += local.facts;
+        self.latencies.extend(local.latencies);
     }
 }
 
@@ -265,10 +295,14 @@ fn drive(
                                 if resp.cached {
                                     local.cached += 1;
                                 }
+                                if resp.degraded {
+                                    local.degraded += 1;
+                                }
                             }
                             Err(ServeError::Overloaded | ServeError::DeadlineExceeded) => {
                                 local.shed += 1;
                             }
+                            Err(ServeError::Internal(_)) => local.failed += 1,
                             Err(e) => panic!("unexpected serve error: {e}"),
                         }
                     }
@@ -278,12 +312,7 @@ fn drive(
             .collect();
         let mut merged = RunStats::default();
         for h in handles {
-            let local = h.join().expect("client thread");
-            merged.served += local.served;
-            merged.shed += local.shed;
-            merged.cached += local.cached;
-            merged.facts += local.facts;
-            merged.latencies.extend(local.latencies);
+            merged.merge(h.join().expect("client thread"));
         }
         merged
     });
@@ -360,6 +389,7 @@ fn main() {
             batch_deadline: Duration::from_micros(500),
             cache_capacity: args.cache,
             default_deadline: None,
+            ..Default::default()
         };
         let server = Server::start(bundle.clone(), cfg);
         let handle = server.handle();
@@ -424,12 +454,7 @@ fn main() {
                 .collect();
             let mut merged = RunStats::default();
             for h in handles {
-                let local = h.join().expect("tcp client thread");
-                merged.served += local.served;
-                merged.shed += local.shed;
-                merged.cached += local.cached;
-                merged.facts += local.facts;
-                merged.latencies.extend(local.latencies);
+                merged.merge(h.join().expect("tcp client thread"));
             }
             merged
         });
@@ -439,7 +464,111 @@ fn main() {
         server.shutdown();
     }
 
+    if args.fault {
+        run_fault(&args, &bundle, &requests);
+    }
+
     let _ = std::fs::remove_dir_all(&dir);
     // Flush the metric summary / JSONL sink (LS_OBS, LS_OBS_JSONL).
     ls_obs::report();
+}
+
+/// Chaos configuration: drive the server under a seeded fault plan that
+/// injects scoring errors and panics, with the circuit breaker flipping to
+/// the uniform fallback. Two measurements come out:
+///
+/// * **degraded throughput** — the closed-loop pass reports served /
+///   degraded / failed counts and req/s exactly like the healthy runs, so
+///   the cost of faults and fallback dispatch is directly comparable;
+/// * **recovery latency** — a deterministic error burst trips the breaker,
+///   then a single-threaded probe loop measures wall time from the first
+///   degraded response until the model path answers at full fidelity again.
+fn run_fault(args: &Args, bundle: &Arc<ModelBundle>, requests: &[RankRequest]) {
+    let workers = *args.workers.last().unwrap_or(&2);
+    let cooldown = Duration::from_millis(50);
+    let cfg = ServeConfig {
+        workers,
+        queue_depth: args.queue,
+        max_batch_items: args.batch,
+        cache_capacity: 0, // every request must exercise the scoring path
+        breaker_failures: 3,
+        breaker_cooldown: cooldown,
+        ..Default::default()
+    };
+
+    // Steady-state chaos: ~2% injected scoring errors, ~0.5% panics. The
+    // schedule is fixed by --fault-seed, so a run is exactly replayable.
+    let spec = FaultSpec::new()
+        .rule(FaultRule::bernoulli(
+            "serve.worker.score",
+            FaultKind::Error,
+            20,
+        ))
+        .rule(FaultRule::bernoulli(
+            "serve.worker.score",
+            FaultKind::Panic,
+            5,
+        ));
+    let plan = Arc::new(FaultPlan::compile(args.fault_seed, &spec));
+    let server = Server::start_with(
+        bundle.clone(),
+        cfg.clone(),
+        plan.clone(),
+        Some(Arc::new(UniformFallback)),
+    );
+    let handle = server.handle();
+    let mut stats = drive(&handle, requests, args.clients, args.requests);
+    stats.report(&format!("serve w={workers} fault"));
+    println!(
+        "  fault plan seed {}: {} faults fired during the closed loop",
+        args.fault_seed,
+        plan.fired()
+    );
+    server.shutdown();
+
+    // Recovery latency: a deterministic burst of 3 consecutive scoring
+    // errors opens the breaker; measure open -> first full-fidelity answer.
+    let spec = FaultSpec::new().rule(FaultRule::at(
+        "serve.worker.score",
+        FaultKind::Error,
+        &[0, 1, 2],
+    ));
+    let server = Server::start_with(
+        bundle.clone(),
+        cfg,
+        Arc::new(FaultPlan::compile(args.fault_seed, &spec)),
+        Some(Arc::new(UniformFallback)),
+    );
+    let handle = server.handle();
+    let mut opened_at = None;
+    let mut degraded_while_open = 0usize;
+    let mut recovery = None;
+    for i in 0..10_000 {
+        let req = requests[i % requests.len()].clone();
+        match handle.rank(req) {
+            Ok(resp) if resp.degraded => {
+                opened_at.get_or_insert_with(Instant::now);
+                degraded_while_open += 1;
+            }
+            Ok(_) => {
+                if let Some(at) = opened_at {
+                    recovery = Some(at.elapsed());
+                    break;
+                }
+            }
+            Err(ServeError::Internal(_)) => {
+                // The burst itself; the breaker opens after the third.
+                opened_at.get_or_insert_with(Instant::now);
+            }
+            Err(e) => panic!("unexpected serve error: {e}"),
+        }
+    }
+    match recovery {
+        Some(d) => println!(
+            "  breaker recovery: open -> full fidelity in {d:.3?} \
+             ({degraded_while_open} degraded responses served while open, cooldown {cooldown:?})"
+        ),
+        None => println!("  breaker recovery: did not recover within the probe budget"),
+    }
+    server.shutdown();
 }

@@ -29,6 +29,20 @@
 //! `serve.cache_hit` / `serve.cache_miss` / `serve.shed_overload` /
 //! `serve.shed_deadline` (counters).
 //!
+//! ## Resilience
+//!
+//! The stack self-heals around `ls-fault`'s primitives (see the repository
+//! DESIGN.md §4d). A worker panic fails exactly one job (`catch_unwind` +
+//! an idempotent completion latch) and the pool respawns dead threads; a
+//! circuit breaker ([`ServeConfig::breaker_failures`]) flips dispatch to a
+//! model-free [`ls_core::FallbackScorer`] with responses explicitly marked
+//! [`RankResponse::degraded`]; torn TCP frames poison one connection, never
+//! the listener; and [`TcpRankClient`] reconnects with capped jittered
+//! backoff under a [`RetryPolicy`]. Chaos coverage lives in
+//! `tests/chaos.rs`: seeded fault plans drive the stack and every request
+//! must end in a typed error or a response bit-identical to the fault-free
+//! serial path.
+//!
 //! The `serve-loadgen` binary drives a server with closed-loop clients and
 //! reports throughput and latency percentiles; see the repository README.
 
@@ -38,7 +52,8 @@ pub mod server;
 pub mod tcp;
 
 pub use cache::{LruCache, RankKey};
+pub use proto::{frame_error, FrameError, MAX_FRAME};
 pub use server::{
     ModelBundle, RankRequest, RankResponse, ServeConfig, ServeError, ServeHandle, Server,
 };
-pub use tcp::{TcpRankClient, TcpServer};
+pub use tcp::{RetryPolicy, TcpRankClient, TcpServer};

@@ -31,6 +31,7 @@
 use crate::server::{RankRequest, RankResponse, ServeError};
 use ls_obs::Json;
 use ls_relational::{FactId, OutputTuple, Value};
+use std::fmt;
 use std::fmt::Write as _;
 use std::io::{self, Read, Write};
 use std::time::Duration;
@@ -38,12 +39,46 @@ use std::time::Duration;
 /// Upper bound on a single frame's payload (16 MiB).
 pub const MAX_FRAME: u32 = 16 << 20;
 
+/// A typed framing failure. Carried as the payload of an `io::Error` so it
+/// survives the `io::Result` plumbing; recover it with [`frame_error`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The declared payload length exceeds [`MAX_FRAME`] — a corrupt or
+    /// hostile length prefix must not drive a multi-gigabyte allocation.
+    TooLarge {
+        /// The length the frame header declared.
+        len: u64,
+        /// The cap it exceeded ([`MAX_FRAME`]).
+        cap: u32,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::TooLarge { len, cap } => {
+                write!(f, "frame length {len} exceeds cap {cap}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Recover the typed [`FrameError`] from an `io::Error`, if it carries one.
+pub fn frame_error(e: &io::Error) -> Option<&FrameError> {
+    e.get_ref().and_then(|inner| inner.downcast_ref())
+}
+
 /// Write one length-prefixed frame.
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
     if payload.len() as u64 > MAX_FRAME as u64 {
         return Err(io::Error::new(
             io::ErrorKind::InvalidInput,
-            "frame too large",
+            FrameError::TooLarge {
+                len: payload.len() as u64,
+                cap: MAX_FRAME,
+            },
         ));
     }
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
@@ -73,7 +108,10 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
     if len > MAX_FRAME {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("frame length {len} exceeds cap {MAX_FRAME}"),
+            FrameError::TooLarge {
+                len: len as u64,
+                cap: MAX_FRAME,
+            },
         ));
     }
     let mut payload = vec![0u8; len as usize];
@@ -196,6 +234,8 @@ pub fn encode_response(id: u64, result: &Result<RankResponse, ServeError>) -> Ve
                 "{{\"id\":{id},\"ok\":true,\"cached\":{},\"scores\":[",
                 resp.cached
             );
+            // `degraded` is appended after `ranking` below only when set, so
+            // pre-resilience peers parse responses unchanged.
             for (i, s) in resp.scores.iter().enumerate() {
                 if i > 0 {
                     out.push(',');
@@ -214,7 +254,11 @@ pub fn encode_response(id: u64, result: &Result<RankResponse, ServeError>) -> Ve
                 }
                 let _ = write!(out, "{}", f.0);
             }
-            out.push_str("]}");
+            out.push(']');
+            if resp.degraded {
+                out.push_str(",\"degraded\":true");
+            }
+            out.push('}');
         }
         Err(e) => {
             let _ = write!(out, "{{\"id\":{id},\"ok\":false,\"error\":");
@@ -253,12 +297,14 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Result<RankResponse, Serv
             } else {
                 return Err("missing array \"ranking\"".into());
             }
+            let degraded = matches!(doc.get("degraded"), Some(Json::Bool(true)));
             Ok((
                 id,
                 Ok(RankResponse {
                     scores,
                     ranking,
                     cached,
+                    degraded,
                 }),
             ))
         }
@@ -268,10 +314,15 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Result<RankResponse, Serv
                 "overloaded" => ServeError::Overloaded,
                 "deadline exceeded" => ServeError::DeadlineExceeded,
                 "shutting down" => ServeError::ShuttingDown,
-                other => match other.strip_prefix("bad request: ") {
-                    Some(detail) => ServeError::BadRequest(detail.to_string()),
-                    None => ServeError::Transport(other.to_string()),
-                },
+                other => {
+                    if let Some(detail) = other.strip_prefix("bad request: ") {
+                        ServeError::BadRequest(detail.to_string())
+                    } else if let Some(detail) = other.strip_prefix("internal: ") {
+                        ServeError::Internal(detail.to_string())
+                    } else {
+                        ServeError::Transport(other.to_string())
+                    }
+                }
             };
             Ok((id, Err(err)))
         }
@@ -313,6 +364,7 @@ mod tests {
             scores: vec![0.1 + 0.2, -0.0, 1e-310, 0.123_456_789_012_345_68],
             ranking: vec![FactId(2), FactId(0), FactId(1), FactId(3)],
             cached: true,
+            degraded: false,
         };
         let (id, back) = decode_response(&encode_response(7, &Ok(resp.clone()))).unwrap();
         assert_eq!(id, 7);
@@ -331,10 +383,31 @@ mod tests {
             ServeError::DeadlineExceeded,
             ServeError::ShuttingDown,
             ServeError::BadRequest("unknown fact id 9".into()),
+            ServeError::Internal("worker panicked while scoring".into()),
         ] {
             let (_, back) = decode_response(&encode_response(1, &Err(e.clone()))).unwrap();
             assert_eq!(back, Err(e));
         }
+    }
+
+    #[test]
+    fn degraded_flag_survives_the_wire_and_defaults_off() {
+        let resp = RankResponse {
+            scores: vec![0.5],
+            ranking: vec![FactId(1)],
+            cached: false,
+            degraded: true,
+        };
+        let bytes = encode_response(3, &Ok(resp));
+        assert!(std::str::from_utf8(&bytes)
+            .unwrap()
+            .contains("\"degraded\":true"));
+        let (_, back) = decode_response(&bytes).unwrap();
+        assert!(back.unwrap().degraded);
+        // A frame without the key (older peer) decodes as not-degraded.
+        let legacy = br#"{"id":3,"ok":true,"cached":false,"scores":[0.5],"ranking":[1]}"#;
+        let (_, back) = decode_response(legacy).unwrap();
+        assert!(!back.unwrap().degraded);
     }
 
     #[test]
@@ -349,11 +422,32 @@ mod tests {
     }
 
     #[test]
-    fn oversized_frame_rejected() {
+    fn oversized_frame_rejected_with_typed_error() {
         let mut buf = Vec::new();
         buf.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
         let mut cursor = io::Cursor::new(buf);
-        assert!(read_frame(&mut cursor).is_err());
+        let err = read_frame(&mut cursor).unwrap_err();
+        assert_eq!(
+            frame_error(&err),
+            Some(&FrameError::TooLarge {
+                len: (MAX_FRAME + 1) as u64,
+                cap: MAX_FRAME,
+            })
+        );
+        // The declared length was never allocated or read.
+        assert_eq!(cursor.position(), 4);
+    }
+
+    #[test]
+    fn oversized_write_rejected_with_typed_error() {
+        let payload = vec![0u8; MAX_FRAME as usize + 1];
+        let mut sink = Vec::new();
+        let err = write_frame(&mut sink, &payload).unwrap_err();
+        assert!(matches!(
+            frame_error(&err),
+            Some(&FrameError::TooLarge { .. })
+        ));
+        assert!(sink.is_empty(), "nothing must hit the wire");
     }
 
     #[test]

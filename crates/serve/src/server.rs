@@ -39,14 +39,20 @@
 //! * the cache stores that final vector verbatim, so hits replay it bit-for-bit.
 
 use crate::cache::{LruCache, RankKey};
-use ls_core::{render_tuple, LearnShapleyModel, LineageScorer, ScoreContext, Tokenizer};
+use ls_core::{
+    render_tuple, FallbackScorer, LearnShapleyModel, LineageScorer, ScoreContext, Tokenizer,
+};
+use ls_fault::{
+    lock_safe, wait_safe, wait_timeout_safe, CircuitBreaker, FaultAction, Injector, NoFaults,
+};
 use ls_relational::{Database, FactId, OutputTuple};
 use ls_shapley::FactScores;
 use std::collections::VecDeque;
 use std::fmt;
 use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -102,6 +108,10 @@ pub struct RankResponse {
     pub ranking: Vec<FactId>,
     /// True when served from the ranking cache.
     pub cached: bool,
+    /// True when the circuit breaker routed this request to the fallback
+    /// scorer instead of the model — the scores are the Nearest Queries
+    /// baseline's, not the learned model's, and were not cached.
+    pub degraded: bool,
 }
 
 /// Why a request was not served.
@@ -118,6 +128,9 @@ pub enum ServeError {
     BadRequest(String),
     /// Transport-level failure (TCP clients only).
     Transport(String),
+    /// The server failed internally while scoring (worker panic, injected
+    /// fault, fallback unable to answer). The request may be retried.
+    Internal(String),
 }
 
 impl fmt::Display for ServeError {
@@ -128,6 +141,7 @@ impl fmt::Display for ServeError {
             ServeError::ShuttingDown => write!(f, "shutting down"),
             ServeError::BadRequest(m) => write!(f, "bad request: {m}"),
             ServeError::Transport(m) => write!(f, "transport: {m}"),
+            ServeError::Internal(m) => write!(f, "internal: {m}"),
         }
     }
 }
@@ -152,6 +166,11 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// Deadline applied to requests that do not carry their own.
     pub default_deadline: Option<Duration>,
+    /// Consecutive scoring failures that open the circuit breaker and flip
+    /// dispatch to the fallback scorer (0 disables the breaker entirely).
+    pub breaker_failures: u64,
+    /// How long an open breaker waits before probing the model path again.
+    pub breaker_cooldown: Duration,
 }
 
 impl Default for ServeConfig {
@@ -163,6 +182,8 @@ impl Default for ServeConfig {
             batch_deadline: Duration::from_micros(500),
             cache_capacity: 1024,
             default_deadline: None,
+            breaker_failures: 0,
+            breaker_cooldown: Duration::from_millis(250),
         }
     }
 }
@@ -181,6 +202,10 @@ struct Job {
     scores: Vec<AtomicU64>,
     /// Slots still unwritten; the worker that zeroes this finalizes the job.
     remaining: AtomicUsize,
+    /// Completion latch: the first path to flip this owns delivery; later
+    /// attempts (a finalize racing a failure, a double fault) are no-ops —
+    /// one injected worker panic fails exactly one job, exactly once.
+    finished: AtomicBool,
     /// The response, set exactly once; guarded for the client wait.
     result: Mutex<Option<Result<RankResponse, ServeError>>>,
     done: Condvar,
@@ -188,6 +213,9 @@ struct Job {
 
 impl Job {
     fn complete(&self, shared: &Shared, result: Result<RankResponse, ServeError>) {
+        if self.finished.swap(true, Ordering::AcqRel) {
+            return; // another path already delivered
+        }
         if ls_obs::enabled() {
             ls_obs::histogram("serve.latency").record(self.submitted.elapsed().as_secs_f64());
             ls_obs::counter("serve.responses").incr();
@@ -195,24 +223,24 @@ impl Job {
         // Release the queue slot *before* waking the client: a closed-loop
         // client that submits its next request immediately after waking must
         // see the slot it just freed, or it would be shed spuriously.
-        let mut st = shared.state.lock().unwrap();
+        let mut st = lock_safe(&shared.state);
         st.inflight -= 1;
         let depth = st.inflight;
         drop(st);
         ls_obs::gauge("serve.queue_depth").set(depth as f64);
-        let mut slot = self.result.lock().unwrap();
+        let mut slot = lock_safe(&self.result);
         debug_assert!(slot.is_none(), "job completed twice");
         *slot = Some(result);
         self.done.notify_all();
     }
 
     fn wait(&self) -> Result<RankResponse, ServeError> {
-        let mut slot = self.result.lock().unwrap();
+        let mut slot = lock_safe(&self.result);
         loop {
             if let Some(r) = slot.take() {
                 return r;
             }
-            slot = self.done.wait(slot).unwrap();
+            slot = wait_safe(&self.done, slot);
         }
     }
 }
@@ -245,6 +273,16 @@ struct Shared {
     worker_cv: Condvar,
     cfg: ServeConfig,
     bundle: Arc<ModelBundle>,
+    /// Fault-injection seam: every scoring and polling step consults this
+    /// ([`NoFaults`] in production — a virtual call per chunk, nothing more).
+    injector: Arc<dyn Injector>,
+    /// Trips to the degraded path after repeated scoring failures.
+    breaker: CircuitBreaker,
+    /// Model-free scorer used while the breaker is open.
+    fallback: Option<Arc<dyn FallbackScorer>>,
+    /// Live worker threads; respawned replacements are pushed here so
+    /// shutdown can join them too.
+    workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 /// Outcome of admission: either served from cache or queued.
@@ -286,6 +324,7 @@ impl ServeHandle {
                 scores: Vec::new(),
                 ranking: Vec::new(),
                 cached: false,
+                degraded: false,
             }));
         }
         let key = RankKey::new(
@@ -293,7 +332,7 @@ impl ServeHandle {
             render_tuple(&req.tuple),
             &req.lineage,
         );
-        let mut st = self.shared.state.lock().unwrap();
+        let mut st = lock_safe(&self.shared.state);
         if st.shutdown {
             return Err(ServeError::ShuttingDown);
         }
@@ -322,6 +361,7 @@ impl ServeHandle {
             ctx: OnceLock::new(),
             scores: (0..n).map(|_| AtomicU64::new(0)).collect(),
             remaining: AtomicUsize::new(n),
+            finished: AtomicBool::new(false),
             result: Mutex::new(None),
             done: Condvar::new(),
             query_sql: req.query_sql,
@@ -337,7 +377,7 @@ impl ServeHandle {
 
     /// Current in-flight request count (admitted, unanswered).
     pub fn inflight(&self) -> usize {
-        self.shared.state.lock().unwrap().inflight
+        lock_safe(&self.shared.state).inflight
     }
 }
 
@@ -345,7 +385,6 @@ impl ServeHandle {
 pub struct Server {
     shared: Arc<Shared>,
     batcher: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
@@ -354,8 +393,24 @@ impl Server {
     /// # Panics
     /// Panics if `cfg.workers == 0` or `cfg.queue_depth == 0`.
     pub fn start(bundle: Arc<ModelBundle>, cfg: ServeConfig) -> Server {
+        Server::start_with(bundle, cfg, Arc::new(NoFaults), None)
+    }
+
+    /// [`Server::start`] with an explicit fault injector and an optional
+    /// degraded-mode fallback scorer. Production passes [`NoFaults`]; chaos
+    /// tests pass a compiled `FaultPlan`. With `breaker_failures > 0` and a
+    /// fallback, repeated scoring failures flip dispatch to the fallback and
+    /// responses are marked [`RankResponse::degraded`] until a half-open
+    /// probe of the model path succeeds.
+    pub fn start_with(
+        bundle: Arc<ModelBundle>,
+        cfg: ServeConfig,
+        injector: Arc<dyn Injector>,
+        fallback: Option<Arc<dyn FallbackScorer>>,
+    ) -> Server {
         assert!(cfg.workers >= 1, "need at least one worker");
         assert!(cfg.queue_depth >= 1, "need a positive queue depth");
+        let breaker = CircuitBreaker::new(cfg.breaker_failures, cfg.breaker_cooldown);
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 pending: VecDeque::new(),
@@ -370,6 +425,10 @@ impl Server {
             worker_cv: Condvar::new(),
             cfg,
             bundle,
+            injector,
+            breaker,
+            fallback,
+            workers: Mutex::new(Vec::new()),
         });
         let batcher = {
             let shared = shared.clone();
@@ -378,19 +437,12 @@ impl Server {
                 .spawn(move || batcher_loop(&shared))
                 .expect("spawn batcher")
         };
-        let workers = (0..shared.cfg.workers)
-            .map(|i| {
-                let shared = shared.clone();
-                std::thread::Builder::new()
-                    .name(format!("ls-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn worker")
-            })
-            .collect();
+        for i in 0..shared.cfg.workers {
+            spawn_worker(&shared, i);
+        }
         Server {
             shared,
             batcher: Some(batcher),
-            workers,
         }
     }
 
@@ -401,17 +453,22 @@ impl Server {
         }
     }
 
+    /// Current circuit-breaker state (for tests and operational probes).
+    pub fn breaker_state(&self) -> ls_fault::BreakerState {
+        self.shared.breaker.state()
+    }
+
     /// Stop dispatching batches (submissions still accepted up to the queue
     /// bound). Used for maintenance windows — and by the overload tests to
     /// fill the queue deterministically.
     pub fn pause(&self) {
-        self.shared.state.lock().unwrap().paused = true;
+        lock_safe(&self.shared.state).paused = true;
         self.shared.batcher_cv.notify_all();
     }
 
     /// Resume dispatching after [`Server::pause`].
     pub fn resume(&self) {
-        self.shared.state.lock().unwrap().paused = false;
+        lock_safe(&self.shared.state).paused = false;
         self.shared.batcher_cv.notify_all();
     }
 
@@ -419,7 +476,7 @@ impl Server {
     /// then join the batcher and workers.
     pub fn shutdown(mut self) {
         {
-            let mut st = self.shared.state.lock().unwrap();
+            let mut st = lock_safe(&self.shared.state);
             st.shutdown = true;
         }
         self.shared.batcher_cv.notify_all();
@@ -430,8 +487,52 @@ impl Server {
         // The batcher exits only after `pending` is fully drained; wake the
         // workers again in case they raced the last work publication.
         self.shared.worker_cv.notify_all();
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        // Respawned workers push fresh handles while we join, so drain until
+        // the list stays empty.
+        loop {
+            let handles: Vec<JoinHandle<()>> = lock_safe(&self.shared.workers).drain(..).collect();
+            if handles.is_empty() {
+                break;
+            }
+            for w in handles {
+                let _ = w.join();
+            }
+        }
+    }
+}
+
+/// Spawn one worker thread, registering its handle for shutdown. A
+/// [`RespawnGuard`] inside the thread replaces it if a panic ever escapes
+/// the per-chunk `catch_unwind` (so the pool never shrinks silently).
+fn spawn_worker(shared: &Arc<Shared>, idx: usize) {
+    let shared_for_thread = shared.clone();
+    let handle = std::thread::Builder::new()
+        .name(format!("ls-serve-worker-{idx}"))
+        .spawn(move || {
+            let guard = RespawnGuard {
+                shared: shared_for_thread.clone(),
+                idx,
+            };
+            worker_loop(&shared_for_thread);
+            std::mem::forget(guard); // normal exit: no respawn
+        })
+        .expect("spawn worker");
+    lock_safe(&shared.workers).push(handle);
+}
+
+/// Replaces a worker thread that died by panic. `Drop` runs during unwind,
+/// so the pool heals without any supervisor thread.
+struct RespawnGuard {
+    shared: Arc<Shared>,
+    idx: usize,
+}
+
+impl Drop for RespawnGuard {
+    fn drop(&mut self) {
+        ls_obs::counter("serve.worker_respawn").incr();
+        let draining = lock_safe(&self.shared.state).shutdown;
+        if !draining {
+            spawn_worker(&self.shared, self.idx);
         }
     }
 }
@@ -442,11 +543,11 @@ impl Server {
 fn batcher_loop(shared: &Shared) {
     let cfg = &shared.cfg;
     loop {
-        let mut st = shared.state.lock().unwrap();
+        let mut st = lock_safe(&shared.state);
         // Wait for work (or for a resume, or for shutdown — which overrides
         // pause so draining always proceeds).
         while (st.pending.is_empty() || st.paused) && !st.shutdown {
-            st = shared.batcher_cv.wait(st).unwrap();
+            st = wait_safe(&shared.batcher_cv, st);
         }
         if st.pending.is_empty() && st.shutdown {
             break;
@@ -467,12 +568,9 @@ fn batcher_loop(shared: &Shared) {
             if now >= window_ends {
                 break;
             }
-            let (guard, timeout) = shared
-                .batcher_cv
-                .wait_timeout(st, window_ends - now)
-                .unwrap();
+            let (guard, timed_out) = wait_timeout_safe(&shared.batcher_cv, st, window_ends - now);
             st = guard;
-            if timeout.timed_out() {
+            if timed_out {
                 break;
             }
         }
@@ -501,6 +599,12 @@ fn batcher_loop(shared: &Shared) {
                 job.complete(shared, Err(ServeError::DeadlineExceeded));
                 continue;
             }
+            // Circuit open: the model path is unhealthy. Score inline via
+            // the fallback (or fail typed), never touching the worker pool.
+            if !shared.breaker.allow_primary() {
+                degrade(shared, &job);
+                continue;
+            }
             // Hoist the query/tuple-side work out of the per-fact loop, once
             // per job rather than once per fact (or per chunk).
             let ctx = ScoreContext::new(&shared.bundle.tokenizer, &job.query_sql, &job.tuple);
@@ -518,7 +622,7 @@ fn batcher_loop(shared: &Shared) {
                 start = end;
             }
         }
-        let mut st = shared.state.lock().unwrap();
+        let mut st = lock_safe(&shared.state);
         st.batching = 0;
         st.work.extend(work);
         drop(st);
@@ -526,15 +630,61 @@ fn batcher_loop(shared: &Shared) {
     }
 }
 
+/// Serve one job from the fallback scorer while the breaker is open. The
+/// response is marked degraded and is **not** cached: once the model path
+/// recovers, the same key must be scored by the model again.
+fn degrade(shared: &Shared, job: &Arc<Job>) {
+    ls_obs::counter("serve.degraded.responses").incr();
+    let result = match &shared.fallback {
+        Some(fb) => match fb.score(&job.query_sql, &job.lineage) {
+            Some(scores) => {
+                let mut fact_scores = FactScores::new();
+                for (i, &f) in job.lineage.iter().enumerate() {
+                    fact_scores.insert(f, scores[i]);
+                }
+                let ranking = ls_shapley::rank_descending(&fact_scores);
+                Ok(RankResponse {
+                    scores,
+                    ranking,
+                    cached: false,
+                    degraded: true,
+                })
+            }
+            None => Err(ServeError::Internal(format!(
+                "degraded: fallback scorer \"{}\" could not answer",
+                fb.name()
+            ))),
+        },
+        None => Err(ServeError::Internal(
+            "degraded: circuit open and no fallback scorer configured".into(),
+        )),
+    };
+    if result.is_err() {
+        ls_obs::counter("serve.degraded.errors").incr();
+    }
+    job.complete(shared, result);
+}
+
 /// A worker: pull fact chunks, score them with a thread-local scratch into
 /// the job's request-order slots, finalize on the last chunk.
+///
+/// Scoring runs inside `catch_unwind`, so a panic — injected or genuine —
+/// fails exactly the job whose chunk was being scored and leaves the worker
+/// alive for the next item. The `serve.worker.poll` site is *outside* that
+/// boundary on purpose: a fault there kills the whole thread (before any
+/// work item is held), exercising the [`RespawnGuard`] path.
 fn worker_loop(shared: &Shared) {
     let bundle = shared.bundle.clone();
     let mut scorer =
         LineageScorer::new(&bundle.model, &bundle.tokenizer, &bundle.db, bundle.max_len);
     loop {
+        match shared.injector.decide("serve.worker.poll") {
+            FaultAction::Panic => panic!("injected worker-thread abort"),
+            FaultAction::Delay(d) => std::thread::sleep(d),
+            _ => {}
+        }
         let item = {
-            let mut st = shared.state.lock().unwrap();
+            let mut st = lock_safe(&shared.state);
             loop {
                 if let Some(item) = st.work.pop_front() {
                     break item;
@@ -542,26 +692,65 @@ fn worker_loop(shared: &Shared) {
                 if st.shutdown && st.pending.is_empty() && st.batching == 0 {
                     return;
                 }
-                st = shared.worker_cv.wait(st).unwrap();
+                st = wait_safe(&shared.worker_cv, st);
             }
         };
-        let job = &item.job;
-        let ctx = job.ctx.get().expect("context built before dispatch");
-        for i in item.start..item.end {
-            let score = scorer.score_fact(ctx, job.lineage[i]);
-            job.scores[i].store(score.to_bits(), Ordering::Release);
-        }
-        let n = item.end - item.start;
-        ls_obs::counter("serve.facts_scored").add(n as u64);
-        if job.remaining.fetch_sub(n, Ordering::AcqRel) == n {
-            finalize(shared, job);
+        let job = item.job.clone();
+        match catch_unwind(AssertUnwindSafe(|| score_chunk(shared, &mut scorer, &item))) {
+            Ok(Ok(())) => {}
+            Ok(Err(msg)) => {
+                // Injected I/O-style error: typed failure for this job only.
+                shared.breaker.on_failure();
+                ls_obs::counter("serve.worker_error").incr();
+                job.complete(shared, Err(ServeError::Internal(msg)));
+            }
+            Err(_) => {
+                shared.breaker.on_failure();
+                ls_obs::counter("serve.worker_panic").incr();
+                job.complete(
+                    shared,
+                    Err(ServeError::Internal("worker panicked while scoring".into())),
+                );
+            }
         }
     }
+}
+
+/// Score one chunk into the job's request-order slots; the worker that
+/// zeroes `remaining` finalizes. `Err` carries an injected scoring fault.
+fn score_chunk(
+    shared: &Shared,
+    scorer: &mut LineageScorer<'_>,
+    item: &WorkItem,
+) -> Result<(), String> {
+    let job = &item.job;
+    let ctx = job.ctx.get().expect("context built before dispatch");
+    for i in item.start..item.end {
+        match shared.injector.decide("serve.worker.score") {
+            FaultAction::Panic => panic!("injected worker panic"),
+            FaultAction::Error => return Err("injected scoring fault".into()),
+            FaultAction::Delay(d) => std::thread::sleep(d),
+            _ => {}
+        }
+        let score = scorer.score_fact(ctx, job.lineage[i]);
+        job.scores[i].store(score.to_bits(), Ordering::Release);
+    }
+    let n = item.end - item.start;
+    ls_obs::counter("serve.facts_scored").add(n as u64);
+    if job.remaining.fetch_sub(n, Ordering::AcqRel) == n {
+        finalize(shared, job);
+    }
+    Ok(())
 }
 
 /// Assemble the response exactly the way serial `rank_lineage` does, cache
 /// it, and wake the client.
 fn finalize(shared: &Shared, job: &Arc<Job>) {
+    // A job that already failed (panic in a sibling chunk) must not reach
+    // the cache with partially-written slots.
+    if job.finished.load(Ordering::Acquire) {
+        return;
+    }
     let scores: Vec<f64> = job
         .scores
         .iter()
@@ -578,10 +767,12 @@ fn finalize(shared: &Shared, job: &Arc<Job>) {
         scores,
         ranking,
         cached: false,
+        degraded: false,
     };
     {
-        let mut st = shared.state.lock().unwrap();
+        let mut st = lock_safe(&shared.state);
         st.cache.insert(job.key.clone(), resp.clone());
     }
+    shared.breaker.on_success();
     job.complete(shared, Ok(resp));
 }

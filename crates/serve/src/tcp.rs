@@ -6,14 +6,27 @@
 //! micro-batcher, not from per-connection concurrency). The listener thread
 //! is woken for shutdown by a loopback self-connect, so no platform-specific
 //! socket APIs are needed.
+//!
+//! ## Failure containment
+//!
+//! A torn or malformed frame poisons exactly one connection: the handler
+//! replies with a typed error where it still can (garbage JSON inside a
+//! well-formed frame), or closes that connection (corrupt length prefix,
+//! mid-frame EOF) — the accept loop and every other connection are
+//! untouched. [`TcpRankClient`] is the other half of the story: it
+//! reconnects on transport failures with capped, jittered exponential
+//! backoff and resends the (idempotent) request under the same id, within
+//! an optional overall deadline.
 
 use crate::proto::{decode_request, encode_response, read_frame, write_frame};
 use crate::server::{RankRequest, RankResponse, ServeError, ServeHandle};
-use std::io::{self, BufReader, BufWriter};
+use ls_fault::{Backoff, FaultyRead, FaultyWrite, Injector, NoFaults};
+use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// A running TCP front-end.
 pub struct TcpServer {
@@ -26,6 +39,18 @@ impl TcpServer {
     /// Bind `bind` (e.g. `"127.0.0.1:0"`) and start accepting connections,
     /// forwarding requests to `handle`.
     pub fn start(handle: ServeHandle, bind: impl ToSocketAddrs) -> io::Result<TcpServer> {
+        TcpServer::start_with(handle, bind, Arc::new(NoFaults))
+    }
+
+    /// [`TcpServer::start`] with a fault injector wrapped around every
+    /// connection's reads (`serve.tcp.read`) and writes (`serve.tcp.write`).
+    /// Production passes [`NoFaults`]; chaos tests inject torn frames and
+    /// I/O errors on the server side of the wire.
+    pub fn start_with(
+        handle: ServeHandle,
+        bind: impl ToSocketAddrs,
+        injector: Arc<dyn Injector>,
+    ) -> io::Result<TcpServer> {
         let listener = TcpListener::bind(bind)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -33,7 +58,7 @@ impl TcpServer {
             let stop = stop.clone();
             std::thread::Builder::new()
                 .name("ls-serve-accept".into())
-                .spawn(move || accept_loop(listener, handle, &stop))?
+                .spawn(move || accept_loop(listener, handle, &stop, injector))?
         };
         Ok(TcpServer {
             addr,
@@ -60,7 +85,12 @@ impl TcpServer {
     }
 }
 
-fn accept_loop(listener: TcpListener, handle: ServeHandle, stop: &AtomicBool) {
+fn accept_loop(
+    listener: TcpListener,
+    handle: ServeHandle,
+    stop: &AtomicBool,
+    injector: Arc<dyn Injector>,
+) {
     for conn in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             break;
@@ -68,63 +98,189 @@ fn accept_loop(listener: TcpListener, handle: ServeHandle, stop: &AtomicBool) {
         let Ok(stream) = conn else { continue };
         ls_obs::counter("serve.tcp.connections").incr();
         let handle = handle.clone();
+        let injector = injector.clone();
         let _ = std::thread::Builder::new()
             .name("ls-serve-conn".into())
             .spawn(move || {
-                let _ = serve_connection(stream, &handle);
+                let Ok(read_half) = stream.try_clone() else {
+                    return;
+                };
+                let reader =
+                    BufReader::new(FaultyRead::new(read_half, injector.clone(), "serve.tcp"));
+                let writer = BufWriter::new(FaultyWrite::new(stream, injector, "serve.tcp"));
+                // An Err here means this one connection tore (corrupt length
+                // prefix, mid-frame EOF, injected I/O fault); it is dropped
+                // and every other connection keeps serving.
+                if serve_connection(reader, writer, &handle).is_err() {
+                    ls_obs::counter("serve.tcp.torn_connections").incr();
+                }
             });
     }
 }
 
-fn serve_connection(stream: TcpStream, handle: &ServeHandle) -> io::Result<()> {
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
+fn serve_connection<R: Read, W: Write>(
+    mut reader: R,
+    mut writer: W,
+    handle: &ServeHandle,
+) -> io::Result<()> {
     while let Some(payload) = read_frame(&mut reader)? {
         ls_obs::counter("serve.tcp.frames").incr();
         let (id, result) = match decode_request(&payload) {
             Ok((id, req)) => (id, handle.rank(req)),
-            Err(msg) => (0, Err(ServeError::BadRequest(msg))),
+            Err(msg) => {
+                // Garbage JSON inside a well-formed frame: answer typed and
+                // keep the connection — the framing layer is still in sync.
+                ls_obs::counter("serve.tcp.bad_frames").incr();
+                (0, Err(ServeError::BadRequest(msg)))
+            }
         };
         write_frame(&mut writer, &encode_response(id, &result))?;
     }
     Ok(())
 }
 
-/// A blocking client for the framed protocol.
+/// Reconnect-and-resend policy for [`TcpRankClient`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts per call, connect included (minimum 1).
+    pub attempts: u32,
+    /// Delay schedule between attempts (capped exponential, jittered).
+    pub backoff: Backoff,
+    /// Overall per-call budget: once it would be exceeded (sleep included),
+    /// remaining attempts are abandoned. `None` = attempts alone bound the
+    /// call.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            backoff: Backoff::new(Duration::from_millis(10), Duration::from_millis(500), 0),
+            deadline: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries — the pre-resilience client behavior.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+}
+
+/// A blocking client for the framed protocol, with transparent reconnect.
+///
+/// Ranking requests are idempotent (same input, same bit-identical answer),
+/// so a transport failure — connection refused, torn frame, server restart
+/// — is handled by reconnecting and resending the same request under the
+/// same id, per the configured [`RetryPolicy`]. Typed server answers
+/// (including server-side errors like `Overloaded`) are final and never
+/// retried here: backpressure decisions belong to the caller.
 pub struct TcpRankClient {
-    reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
+    addr: SocketAddr,
+    policy: RetryPolicy,
+    conn: Option<(BufReader<TcpStream>, BufWriter<TcpStream>)>,
     next_id: u64,
 }
 
 impl TcpRankClient {
-    /// Connect to a [`TcpServer`].
+    /// Connect to a [`TcpServer`] with no retries (fail-fast).
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<TcpRankClient> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        Ok(TcpRankClient {
-            reader: BufReader::new(stream.try_clone()?),
-            writer: BufWriter::new(stream),
-            next_id: 1,
-        })
+        TcpRankClient::connect_with(addr, RetryPolicy::none())
     }
 
-    /// Send one request and block for its response.
+    /// Connect with an explicit retry policy. The initial connection is
+    /// attempted eagerly so misconfiguration fails at construction.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        policy: RetryPolicy,
+    ) -> io::Result<TcpRankClient> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address resolved"))?;
+        let mut client = TcpRankClient {
+            addr,
+            policy,
+            conn: None,
+            next_id: 1,
+        };
+        client.ensure_conn()?;
+        Ok(client)
+    }
+
+    fn ensure_conn(&mut self) -> io::Result<&mut (BufReader<TcpStream>, BufWriter<TcpStream>)> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_nodelay(true)?;
+            let reader = BufReader::new(stream.try_clone()?);
+            self.conn = Some((reader, BufWriter::new(stream)));
+            ls_obs::counter("serve.client.connects").incr();
+        }
+        Ok(self.conn.as_mut().expect("connection just established"))
+    }
+
+    /// One wire round trip. Any `Err` means the connection state is suspect
+    /// and must be torn down before a retry.
+    fn attempt(
+        &mut self,
+        id: u64,
+        req: &RankRequest,
+    ) -> io::Result<Result<RankResponse, ServeError>> {
+        let (reader, writer) = self.ensure_conn()?;
+        write_frame(writer, &crate::proto::encode_request(id, req))?;
+        let payload = read_frame(reader)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed connection")
+        })?;
+        let (resp_id, result) = crate::proto::decode_response(&payload)
+            .map_err(|m| io::Error::new(io::ErrorKind::InvalidData, m))?;
+        if resp_id != id {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("response id {resp_id} does not match request id {id}"),
+            ));
+        }
+        Ok(result)
+    }
+
+    /// Send one request and block for its response, reconnecting and
+    /// resending on transport failures per the [`RetryPolicy`].
     pub fn rank(&mut self, req: &RankRequest) -> Result<RankResponse, ServeError> {
         let id = self.next_id;
         self.next_id += 1;
-        write_frame(&mut self.writer, &crate::proto::encode_request(id, req))
-            .map_err(|e| ServeError::Transport(e.to_string()))?;
-        let payload = read_frame(&mut self.reader)
-            .map_err(|e| ServeError::Transport(e.to_string()))?
-            .ok_or_else(|| ServeError::Transport("server closed connection".into()))?;
-        let (resp_id, result) =
-            crate::proto::decode_response(&payload).map_err(ServeError::Transport)?;
-        if resp_id != id {
-            return Err(ServeError::Transport(format!(
-                "response id {resp_id} does not match request id {id}"
-            )));
+        let started = Instant::now();
+        let attempts = self.policy.attempts.max(1);
+        let mut last_err: Option<io::Error> = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                let delay = self.policy.backoff.delay(attempt - 1);
+                if let Some(budget) = self.policy.deadline {
+                    // Deadline-aware: a sleep that lands past the budget is
+                    // wasted latency — give up with the last error instead.
+                    if started.elapsed() + delay >= budget {
+                        break;
+                    }
+                }
+                std::thread::sleep(delay);
+                ls_obs::counter("serve.client.retries").incr();
+            }
+            match self.attempt(id, req) {
+                Ok(result) => return result,
+                Err(e) => {
+                    // Connection state unknown: drop it so the next attempt
+                    // starts on a fresh socket (no stale frames possible).
+                    self.conn = None;
+                    last_err = Some(e);
+                }
+            }
         }
-        result
+        let detail = last_err.map_or_else(|| "no attempts made".to_string(), |e| e.to_string());
+        Err(ServeError::Transport(format!(
+            "gave up after {attempts} attempt(s): {detail}"
+        )))
     }
 }

@@ -104,6 +104,7 @@ fn serial_answer(bundle: &ModelBundle, req: &RankRequest) -> RankResponse {
         scores: req.lineage.iter().map(|f| scores[f]).collect(),
         ranking: ls_shapley::rank_descending(&scores),
         cached: false,
+        degraded: false,
     }
 }
 
