@@ -1,0 +1,126 @@
+//! Deterministic data-parallel gradient computation.
+//!
+//! Both training loops shard each minibatch **one example per shard**: every
+//! example's gradient is computed against the same pre-step weights (on a
+//! per-worker clone of the model), then the per-example gradient vectors are
+//! combined with [`ls_par::tree_reduce`] — a binary tree whose shape depends
+//! only on the batch size, walked in example order on the calling thread.
+//! Parallelism therefore decides only *who* computes each shard, never what
+//! is summed in which order: the resulting weights are **bit-identical at
+//! every `LS_THREADS` setting** (pinned by `tests/parallel_determinism.rs`),
+//! and the serial path is simply the same structure run on one worker.
+
+use crate::model::LearnShapleyModel;
+use ls_nn::Visit;
+
+/// Flatten the model's accumulated gradients in `Visit` order.
+pub(crate) fn grad_vec(model: &mut LearnShapleyModel) -> Vec<f32> {
+    let mut out = Vec::new();
+    model.visit(&mut |p| out.extend_from_slice(&p.g.data));
+    out
+}
+
+/// Add a flat gradient vector (in `Visit` order) into the model's gradient
+/// accumulators.
+pub(crate) fn add_grads(model: &mut LearnShapleyModel, grads: &[f32]) {
+    let mut off = 0usize;
+    model.visit(&mut |p| {
+        let n = p.g.data.len();
+        for (g, &v) in p.g.data.iter_mut().zip(&grads[off..off + n]) {
+            *g += v;
+        }
+        off += n;
+    });
+    debug_assert_eq!(off, grads.len(), "gradient vector / model layout mismatch");
+}
+
+/// Compute the summed gradient of one minibatch, data-parallel over
+/// examples. `f` runs forward + backward for a single example on a worker's
+/// model clone (gradients pre-zeroed); shards are reduced in example order.
+/// Returns the flat gradient sum (empty for an empty batch).
+pub(crate) fn batch_grads<T, F>(model: &LearnShapleyModel, items: &[T], f: F) -> Vec<f32>
+where
+    T: Sync,
+    F: Fn(&mut LearnShapleyModel, &T) + Sync,
+{
+    let shards = ls_par::par_map_init(
+        items,
+        || model.clone(),
+        |worker, _, item| {
+            worker.zero_grads();
+            f(worker, item);
+            grad_vec(worker)
+        },
+    );
+    ls_par::tree_reduce(shards, |mut a, b| {
+        for (x, &y) in a.iter_mut().zip(&b) {
+            *x += y;
+        }
+        a
+    })
+    .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ls_nn::EncoderConfig;
+
+    fn tiny() -> LearnShapleyModel {
+        LearnShapleyModel::new(EncoderConfig {
+            vocab: 20,
+            d_model: 8,
+            heads: 2,
+            layers: 1,
+            ff_dim: 16,
+            max_len: 16,
+            seed: 3,
+        })
+    }
+
+    #[test]
+    fn grad_vec_roundtrips_through_add() {
+        let mut m = tiny();
+        // Produce some nonzero gradients.
+        let v = m.forward_value(&[1, 5, 2], &[0, 0, 1]);
+        m.backward_value(2.0 * (v - 1.0));
+        let g = grad_vec(&mut m);
+        assert_eq!(g.len(), m.param_count());
+        assert!(g.iter().any(|&x| x != 0.0));
+        // Adding the same vector doubles every accumulator.
+        add_grads(&mut m, &g.clone());
+        let doubled = grad_vec(&mut m);
+        for (a, b) in g.iter().zip(&doubled) {
+            assert_eq!((a * 2.0).to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn batch_grads_bit_identical_across_thread_counts() {
+        let m = tiny();
+        let examples: Vec<(Vec<u32>, Vec<u8>, f32)> = (0..7)
+            .map(|i| {
+                let tokens: Vec<u32> = (0..5).map(|t| (i * 3 + t) % 20).collect();
+                let segs = vec![0u8, 0, 0, 1, 1];
+                (tokens, segs, i as f32 * 0.1)
+            })
+            .collect();
+        let run = |t: usize| {
+            ls_par::with_threads(t, || {
+                batch_grads(&m, &examples, |w, (tokens, segs, target)| {
+                    let pred = w.forward_value(tokens, segs);
+                    w.backward_value(2.0 * (pred - target));
+                })
+            })
+        };
+        let base = run(1);
+        assert!(!base.is_empty());
+        for t in [2, 4] {
+            let par = run(t);
+            assert_eq!(base.len(), par.len());
+            for (i, (a, b)) in base.iter().zip(&par).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={t} grad[{i}]");
+            }
+        }
+    }
+}

@@ -135,7 +135,11 @@ impl EvalSummary {
     }
 }
 
-/// Evaluate a model on the recorded tuples of the given queries.
+/// Evaluate a model on the recorded tuples of the given queries. The
+/// (query, tuple) pairs are scored in parallel — each worker owns a
+/// [`crate::inference::LineageScorer`] over the shared model — and the
+/// summary is accumulated in pair order, so the result is identical at
+/// every thread count.
 pub fn evaluate_model(
     model: &LearnShapleyModel,
     tokenizer: &Tokenizer,
@@ -143,17 +147,25 @@ pub fn evaluate_model(
     queries: &[usize],
     max_len: usize,
 ) -> EvalSummary {
-    let mut summary = EvalSummary::default();
-    let mut scorer = crate::inference::LineageScorer::new(model, tokenizer, &ds.db, max_len);
-    for &qi in queries {
-        let q = &ds.queries[qi];
-        for t in &q.tuples {
+    let units: Vec<(usize, usize)> = queries
+        .iter()
+        .flat_map(|&qi| (0..ds.queries[qi].tuples.len()).map(move |ti| (qi, ti)))
+        .collect();
+    let predictions = ls_par::par_map_init(
+        &units,
+        || crate::inference::LineageScorer::new(model, tokenizer, &ds.db, max_len),
+        |scorer, _, &(qi, ti)| {
+            let q = &ds.queries[qi];
+            let t = &q.tuples[ti];
             let tuple = &q.result.tuples[t.tuple_idx];
             let lineage: Vec<_> = t.shapley.keys().copied().collect();
             let ctx = crate::inference::ScoreContext::new(tokenizer, &q.sql, tuple);
-            let predicted = scorer.score_lineage(&ctx, &lineage);
-            summary.add(&predicted, &t.shapley);
-        }
+            scorer.score_lineage(&ctx, &lineage)
+        },
+    );
+    let mut summary = EvalSummary::default();
+    for (&(qi, ti), predicted) in units.iter().zip(&predictions) {
+        summary.add(predicted, &ds.queries[qi].tuples[ti].shapley);
     }
     summary.finish()
 }
@@ -250,23 +262,22 @@ fn finetune_inner(
         } else {
             order.len().min(cfg.max_samples_per_epoch)
         };
-        let mut in_batch = 0usize;
-        for &si in order.iter().take(take) {
-            let s = &samples_all[si];
-            let (tokens, segs) = tokenizer.encode_pair(&s.query_sql, &s.tuple_fact, cfg.max_len);
-            let pred = model.forward_value(&tokens, &segs);
-            model.backward_value(2.0 * (pred - s.target));
-            consumed += 1;
-            in_batch += 1;
-            if in_batch == cfg.batch {
-                ls_nn::clip_grad_norm(model, GRAD_CLIP * in_batch as f32);
-                opt.step(model, 1.0 / in_batch as f32);
-                in_batch = 0;
-            }
-        }
-        if in_batch > 0 {
-            ls_nn::clip_grad_norm(model, GRAD_CLIP * in_batch as f32);
-            opt.step(model, 1.0 / in_batch as f32);
+        // Each minibatch is computed data-parallel over examples (one shard
+        // per example, reduced in example order — see `data_parallel`); the
+        // clip + optimizer step stay serial on the reduced gradient.
+        let chosen: Vec<usize> = order.iter().take(take).copied().collect();
+        for chunk in chosen.chunks(cfg.batch.max(1)) {
+            let grads = crate::data_parallel::batch_grads(model, chunk, |worker, &si| {
+                let s = &samples_all[si];
+                let (tokens, segs) =
+                    tokenizer.encode_pair(&s.query_sql, &s.tuple_fact, cfg.max_len);
+                let pred = worker.forward_value(&tokens, &segs);
+                worker.backward_value(2.0 * (pred - s.target));
+            });
+            crate::data_parallel::add_grads(model, &grads);
+            consumed += chunk.len();
+            ls_nn::clip_grad_norm(model, GRAD_CLIP * chunk.len() as f32);
+            opt.step(model, 1.0 / chunk.len() as f32);
         }
         let dev_score = evaluate_model(model, tokenizer, ds, &dev, cfg.max_len).ndcg10;
         esp.record("dev_ndcg10", dev_score);

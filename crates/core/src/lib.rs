@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod checkpoint;
+mod data_parallel;
 pub mod encoding;
 pub mod eval;
 pub mod fallback;

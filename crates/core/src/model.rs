@@ -97,6 +97,25 @@ impl LearnShapleyModel {
         self.value_head.forward_infer(cls).data[0]
     }
 
+    /// Read-only similarity inference: same arithmetic as
+    /// [`LearnShapleyModel::forward_sims`] (bit-identical result) but
+    /// `&self`, so dev evaluation can share one model across workers. The
+    /// caller owns the mutable [`InferScratch`]; one per worker thread.
+    pub fn infer_sims(
+        &self,
+        tokens: &[u32],
+        segments: &[u8],
+        scratch: &mut InferScratch,
+    ) -> [f32; 3] {
+        let hidden = self.encoder.forward_infer(tokens, segments, scratch);
+        let cls = scratch.stage_cls(&hidden);
+        let mut out = [0.0f32; 3];
+        for (i, head) in self.sim_heads.iter().enumerate() {
+            out[i] = head.forward_infer(cls).data[0];
+        }
+        out
+    }
+
     /// Fine-tuning backward from the value-loss gradient.
     pub fn backward_value(&mut self, d: f32) {
         let dcls = self.value_head.backward(&Tensor::from_vec(1, 1, vec![d]));
@@ -153,6 +172,23 @@ mod tests {
             let trained = m.forward_value(&tokens, &segs);
             let inferred = frozen.infer_value(&tokens, &segs, &mut scratch);
             assert_eq!(trained.to_bits(), inferred.to_bits());
+        }
+    }
+
+    #[test]
+    fn infer_sims_matches_forward_sims_bitwise() {
+        let mut m = tiny();
+        let frozen = m.clone();
+        let mut scratch = InferScratch::new();
+        for (tokens, segs) in [
+            (vec![1u32, 5, 2, 6, 2], vec![0u8, 0, 0, 1, 1]),
+            (vec![4u32, 4], vec![0u8, 1]),
+        ] {
+            let trained = m.forward_sims(&tokens, &segs);
+            let inferred = frozen.infer_sims(&tokens, &segs, &mut scratch);
+            for h in 0..3 {
+                assert_eq!(trained[h].to_bits(), inferred[h].to_bits());
+            }
         }
     }
 

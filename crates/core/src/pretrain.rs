@@ -261,27 +261,25 @@ fn pretrain_inner(
         } else {
             order.len().min(cfg.max_samples_per_epoch)
         };
-        let mut in_batch = 0usize;
-        for &pi in order.iter().take(take) {
-            let p = &train_pairs[pi];
-            let (tokens, segs) = tokenizer.encode_pair(&p.a, &p.b, cfg.max_len);
-            let pred = model.forward_sims(&tokens, &segs);
-            let mut d = [0.0f32; 3];
-            for h in 0..3 {
-                d[h] = mask[h] * 2.0 * (pred[h] - p.targets[h]) / active;
-            }
-            model.backward_sims(d);
-            samples += 1;
-            in_batch += 1;
-            if in_batch == cfg.batch {
-                ls_nn::clip_grad_norm(model, GRAD_CLIP * in_batch as f32);
-                opt.step(model, 1.0 / in_batch as f32);
-                in_batch = 0;
-            }
-        }
-        if in_batch > 0 {
-            ls_nn::clip_grad_norm(model, GRAD_CLIP * in_batch as f32);
-            opt.step(model, 1.0 / in_batch as f32);
+        // Each minibatch is computed data-parallel over examples (one shard
+        // per example, reduced in example order — see `data_parallel`); the
+        // clip + optimizer step stay serial on the reduced gradient.
+        let chosen: Vec<usize> = order.iter().take(take).copied().collect();
+        for chunk in chosen.chunks(cfg.batch.max(1)) {
+            let grads = crate::data_parallel::batch_grads(model, chunk, |worker, &pi| {
+                let p = &train_pairs[pi];
+                let (tokens, segs) = tokenizer.encode_pair(&p.a, &p.b, cfg.max_len);
+                let pred = worker.forward_sims(&tokens, &segs);
+                let mut d = [0.0f32; 3];
+                for h in 0..3 {
+                    d[h] = mask[h] * 2.0 * (pred[h] - p.targets[h]) / active;
+                }
+                worker.backward_sims(d);
+            });
+            crate::data_parallel::add_grads(model, &grads);
+            samples += chunk.len();
+            ls_nn::clip_grad_norm(model, GRAD_CLIP * chunk.len() as f32);
+            opt.step(model, 1.0 / chunk.len() as f32);
         }
         let dev = dev_mse(model, tokenizer, dev_pairs, mask, cfg.max_len);
         esp.record("dev_mse", dev);
@@ -316,9 +314,12 @@ fn pretrain_inner(
     })
 }
 
-/// Mean squared error over pairs, restricted to enabled heads.
+/// Mean squared error over pairs, restricted to enabled heads. Pairs are
+/// scored in parallel through the read-only inference path (bit-identical
+/// to the training forward) and their error terms summed in pair order, so
+/// the result is the same at every thread count.
 pub fn dev_mse(
-    model: &mut LearnShapleyModel,
+    model: &LearnShapleyModel,
     tokenizer: &Tokenizer,
     pairs: &[PretrainPair],
     mask: [f32; 3],
@@ -328,16 +329,17 @@ pub fn dev_mse(
         return 0.0;
     }
     let active: f32 = mask.iter().sum::<f32>().max(1.0);
-    let mut total = 0.0f64;
-    for p in pairs {
+    let terms = ls_par::par_map_init(pairs, ls_nn::InferScratch::new, |scratch, _, p| {
         let (tokens, segs) = tokenizer.encode_pair(&p.a, &p.b, max_len);
-        let pred = model.forward_sims(&tokens, &segs);
+        let pred = model.infer_sims(&tokens, &segs, scratch);
+        let mut t = 0.0f64;
         for h in 0..3 {
             let e = (pred[h] - p.targets[h]) as f64;
-            total += (mask[h] as f64) * e * e / active as f64;
+            t += (mask[h] as f64) * e * e / active as f64;
         }
-    }
-    total / pairs.len() as f64
+        t
+    });
+    terms.iter().sum::<f64>() / pairs.len() as f64
 }
 
 #[cfg(test)]
@@ -405,7 +407,7 @@ mod tests {
         let (mut model, tok) = toy_model_and_tokenizer();
         let pairs = toy_pairs();
         let mask = PretrainObjectives::default().mask();
-        let before = dev_mse(&mut model, &tok, &pairs, mask, 32);
+        let before = dev_mse(&model, &tok, &pairs, mask, 32);
         let cfg = TrainConfig {
             epochs: 30,
             lr: 3e-3,
@@ -451,21 +453,21 @@ mod tests {
             witness: false,
             syntax: true,
         };
-        let before_rank_mse = dev_mse(&mut model, &tok, &pairs, [1.0, 0.0, 0.0], 32);
+        let before_rank_mse = dev_mse(&model, &tok, &pairs, [1.0, 0.0, 0.0], 32);
         pretrain(&mut model, &tok, &pairs, &pairs, obj, &cfg);
-        let after_syntax_mse = dev_mse(&mut model, &tok, &pairs, [0.0, 0.0, 1.0], 32);
+        let after_syntax_mse = dev_mse(&model, &tok, &pairs, [0.0, 0.0, 1.0], 32);
         // Syntax head fits well.
         assert!(after_syntax_mse < 0.1, "syntax mse {after_syntax_mse}");
         // Rank head was never optimized directly; it should not be fit as
         // tightly (it can drift via the shared encoder, so just sanity-check
         // it is not better than the trained head by an order of magnitude).
-        let after_rank_mse = dev_mse(&mut model, &tok, &pairs, [1.0, 0.0, 0.0], 32);
+        let after_rank_mse = dev_mse(&model, &tok, &pairs, [1.0, 0.0, 0.0], 32);
         assert!(after_rank_mse > after_syntax_mse * 0.1 || before_rank_mse < 0.05);
     }
 
     #[test]
     fn dev_mse_empty_pairs() {
-        let (mut model, tok) = toy_model_and_tokenizer();
-        assert_eq!(dev_mse(&mut model, &tok, &[], [1.0; 3], 32), 0.0);
+        let (model, tok) = toy_model_and_tokenizer();
+        assert_eq!(dev_mse(&model, &tok, &[], [1.0; 3], 32), 0.0);
     }
 }

@@ -1,0 +1,250 @@
+//! Thread-count invariance of the training stack: pre-training and
+//! fine-tuning must produce bit-identical losses, reports, and saved model
+//! bytes whether run on 1, 2, or 4 workers — and the checkpoint/resume
+//! contract must hold *under parallel execution* (interrupt on one thread
+//! count, resume on another, still bit-identical to an uninterrupted run).
+//!
+//! This is the contract that makes `LS_THREADS` a pure performance knob:
+//! parallelism decides who computes each gradient shard, never what is
+//! summed in which order.
+
+use ls_core::{
+    build_pretrain_pairs, dev_mse, evaluate_model, finetune, finetune_resumable, pretrain,
+    pretrain_resumable, save_model, CheckpointConfig, LearnShapleyModel, PretrainObjectives,
+    Tokenizer, TrainConfig,
+};
+use ls_dbshap::{
+    generate_imdb, imdb_spec, similarity_matrices, Dataset, DatasetConfig, ImdbConfig,
+    QueryGenConfig, Split,
+};
+use ls_nn::{EncoderConfig, Snapshot};
+use ls_par::with_threads;
+use ls_similarity::RankSimOptions;
+use std::path::PathBuf;
+
+fn tiny_dataset() -> Dataset {
+    let db = generate_imdb(&ImdbConfig {
+        companies: 8,
+        actors: 30,
+        movies: 40,
+        roles_per_movie: 2,
+        seed: 17,
+    });
+    let cfg = DatasetConfig {
+        query_gen: QueryGenConfig {
+            num_queries: 8,
+            ..Default::default()
+        },
+        max_tuples_per_query: 3,
+        max_lineage: 20,
+        ..Default::default()
+    };
+    Dataset::build(db, &imdb_spec(), &cfg)
+}
+
+fn model_and_tokenizer(ds: &Dataset) -> (LearnShapleyModel, Tokenizer) {
+    let tok = Tokenizer::build(ds.queries.iter().map(|q| q.sql.as_str()), 512);
+    let model = LearnShapleyModel::new(EncoderConfig {
+        vocab: tok.vocab_size(),
+        d_model: 8,
+        heads: 2,
+        layers: 1,
+        ff_dim: 16,
+        max_len: 48,
+        seed: 9,
+    });
+    (model, tok)
+}
+
+fn train_cfg(epochs: usize) -> TrainConfig {
+    TrainConfig {
+        epochs,
+        lr: 1e-3,
+        max_len: 48,
+        max_samples_per_epoch: 24,
+        batch: 4,
+        negatives: 0,
+        seed: 77,
+    }
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(name);
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// Saved-model bytes after the given closure trained the model.
+fn saved_bytes(model: &mut LearnShapleyModel, tok: &Tokenizer, name: &str) -> Vec<u8> {
+    let path = tmp(name);
+    save_model(model, tok, &path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    bytes
+}
+
+#[test]
+fn pretrain_bit_identical_across_thread_counts() {
+    let ds = tiny_dataset();
+    let ms = similarity_matrices(&ds, &RankSimOptions::default());
+    let (train_pairs, dev_pairs) = build_pretrain_pairs(&ds, &ms);
+    let obj = PretrainObjectives::default();
+
+    let mut runs = Vec::new();
+    for t in [1usize, 2, 4] {
+        let (mut model, tok) = model_and_tokenizer(&ds);
+        let report = with_threads(t, || {
+            pretrain(
+                &mut model,
+                &tok,
+                &train_pairs,
+                &dev_pairs,
+                obj,
+                &train_cfg(3),
+            )
+        });
+        let bytes = saved_bytes(&mut model, &tok, &format!("ls_det_pre_{t}.model"));
+        runs.push((t, report, bytes));
+    }
+    let (_, base_report, base_bytes) = &runs[0];
+    for (t, report, bytes) in &runs[1..] {
+        assert_eq!(
+            base_report.best_dev_mse.to_bits(),
+            report.best_dev_mse.to_bits(),
+            "dev mse differs at {t} threads"
+        );
+        assert_eq!(base_report.best_epoch, report.best_epoch);
+        assert_eq!(base_report.samples, report.samples);
+        assert_eq!(base_bytes, bytes, "saved model bytes differ at {t} threads");
+    }
+}
+
+#[test]
+fn finetune_bit_identical_across_thread_counts() {
+    let ds = tiny_dataset();
+    let train = ds.split_indices(Split::Train);
+
+    let mut runs = Vec::new();
+    for t in [1usize, 2, 4] {
+        let (mut model, tok) = model_and_tokenizer(&ds);
+        let report = with_threads(t, || finetune(&mut model, &tok, &ds, &train, &train_cfg(3)));
+        let bytes = saved_bytes(&mut model, &tok, &format!("ls_det_fin_{t}.model"));
+        runs.push((t, report, bytes));
+    }
+    let (_, base_report, base_bytes) = &runs[0];
+    for (t, report, bytes) in &runs[1..] {
+        assert_eq!(
+            base_report.best_dev_ndcg.to_bits(),
+            report.best_dev_ndcg.to_bits(),
+            "dev ndcg differs at {t} threads"
+        );
+        assert_eq!(base_report.best_epoch, report.best_epoch);
+        assert_eq!(base_report.samples, report.samples);
+        assert_eq!(base_bytes, bytes, "saved model bytes differ at {t} threads");
+    }
+}
+
+#[test]
+fn parallel_resume_matches_serial_uninterrupted_run() {
+    // Interrupt a 2-thread run mid-training, resume it on 4 threads: the
+    // final weights must still match a serial uninterrupted run bit-for-bit.
+    let ds = tiny_dataset();
+    let ms = similarity_matrices(&ds, &RankSimOptions::default());
+    let (train_pairs, dev_pairs) = build_pretrain_pairs(&ds, &ms);
+    let obj = PretrainObjectives::default();
+
+    let (mut serial_model, tok) = model_and_tokenizer(&ds);
+    with_threads(1, || {
+        pretrain(
+            &mut serial_model,
+            &tok,
+            &train_pairs,
+            &dev_pairs,
+            obj,
+            &train_cfg(4),
+        )
+    });
+    let serial = Snapshot::capture(&mut serial_model);
+
+    let path = tmp("ls_det_resume.ck");
+    let ck = CheckpointConfig::new(&path);
+    let (mut parallel_model, _) = model_and_tokenizer(&ds);
+    with_threads(2, || {
+        pretrain_resumable(
+            &mut parallel_model,
+            &tok,
+            &train_pairs,
+            &dev_pairs,
+            obj,
+            &train_cfg(2),
+            &ck,
+        )
+    })
+    .unwrap();
+    let (mut parallel_model, _) = model_and_tokenizer(&ds);
+    with_threads(4, || {
+        pretrain_resumable(
+            &mut parallel_model,
+            &tok,
+            &train_pairs,
+            &dev_pairs,
+            obj,
+            &train_cfg(4),
+            &ck,
+        )
+    })
+    .unwrap();
+    assert_eq!(serial, Snapshot::capture(&mut parallel_model));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn finetune_parallel_resume_matches_serial_uninterrupted_run() {
+    let ds = tiny_dataset();
+    let train = ds.split_indices(Split::Train);
+
+    let (mut serial_model, tok) = model_and_tokenizer(&ds);
+    with_threads(1, || {
+        finetune(&mut serial_model, &tok, &ds, &train, &train_cfg(4))
+    });
+    let serial = Snapshot::capture(&mut serial_model);
+
+    let path = tmp("ls_det_resume_fin.ck");
+    let ck = CheckpointConfig::new(&path);
+    let (mut parallel_model, _) = model_and_tokenizer(&ds);
+    with_threads(4, || {
+        finetune_resumable(&mut parallel_model, &tok, &ds, &train, &train_cfg(2), &ck)
+    })
+    .unwrap();
+    let (mut parallel_model, _) = model_and_tokenizer(&ds);
+    with_threads(2, || {
+        finetune_resumable(&mut parallel_model, &tok, &ds, &train, &train_cfg(4), &ck)
+    })
+    .unwrap();
+    assert_eq!(serial, Snapshot::capture(&mut parallel_model));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn evaluation_paths_thread_invariant() {
+    let ds = tiny_dataset();
+    let ms = similarity_matrices(&ds, &RankSimOptions::default());
+    let (_, dev_pairs) = build_pretrain_pairs(&ds, &ms);
+    let (model, tok) = model_and_tokenizer(&ds);
+    let dev = ds.split_indices(Split::Dev);
+
+    let mse1 = with_threads(1, || dev_mse(&model, &tok, &dev_pairs, [1.0; 3], 48));
+    let eval1 = with_threads(1, || evaluate_model(&model, &tok, &ds, &dev, 48));
+    for t in [2usize, 4] {
+        let mse = with_threads(t, || dev_mse(&model, &tok, &dev_pairs, [1.0; 3], 48));
+        assert_eq!(mse1.to_bits(), mse.to_bits(), "dev_mse at {t} threads");
+        let eval = with_threads(t, || evaluate_model(&model, &tok, &ds, &dev, 48));
+        assert_eq!(
+            eval1.ndcg10.to_bits(),
+            eval.ndcg10.to_bits(),
+            "ndcg at {t} threads"
+        );
+        assert_eq!(eval1.p1.to_bits(), eval.p1.to_bits());
+        assert_eq!(eval1.pairs, eval.pairs);
+    }
+}

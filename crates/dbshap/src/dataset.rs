@@ -111,20 +111,24 @@ impl Dataset {
         let mut sp = ls_obs::span("dbshap.build").with("db", spec.name);
         let log = generate_query_log(&db, spec, &cfg.query_gen);
         sp.record("queries", log.len());
-        let mut queries = Vec::with_capacity(log.len());
-        let mut recorded_tuples = 0u64;
-        for (id, query) in log.into_iter().enumerate() {
-            let result = evaluate(&db, &query).expect("generated query must evaluate");
+        // Queries are evaluated and ground-truthed across the ls-par pool —
+        // each is a pure function of the shared read-only database, so the
+        // id-ordered result is identical at every thread count. The
+        // per-tuple Shapley fan-out inside `ground_truth` (and the per-fact
+        // fan-out inside `shapley_values`) runs inline on the same worker:
+        // parallelism nests only one level.
+        let queries: Vec<QueryRecord> = ls_par::par_map(&log, |id, query| {
+            let result = evaluate(&db, query).expect("generated query must evaluate");
             let tuples = ls_obs::time("dbshap.ground_truth", || ground_truth(&result, cfg));
-            recorded_tuples += tuples.len() as u64;
-            queries.push(QueryRecord {
+            QueryRecord {
                 id,
-                sql: to_sql(&query),
-                query,
+                sql: to_sql(query),
+                query: query.clone(),
                 result,
                 tuples,
-            });
-        }
+            }
+        });
+        let recorded_tuples: u64 = queries.iter().map(|q| q.tuples.len() as u64).sum();
         sp.record("recorded_tuples", recorded_tuples);
         if ls_obs::enabled() {
             ls_obs::counter("dbshap.tuples_recorded").add(recorded_tuples);
@@ -184,25 +188,30 @@ impl Dataset {
 }
 
 /// Exact Shapley ground truth for a strided sample of the result's tuples.
+/// Tuples are scored across the ls-par pool (inline when already inside a
+/// worker); each record is a pure function of its tuple, and records are
+/// collected in tuple order.
 fn ground_truth(result: &QueryResult, cfg: &DatasetConfig) -> Vec<TupleRecord> {
     let n = result.len();
     if n == 0 {
         return Vec::new();
     }
     let stride = n.div_ceil(cfg.max_tuples_per_query);
-    let mut out = Vec::new();
-    for tuple_idx in (0..n).step_by(stride.max(1)) {
+    let sampled: Vec<usize> = (0..n).step_by(stride.max(1)).collect();
+    ls_par::par_map(&sampled, |_, &tuple_idx| {
         let tuple = &result.tuples[tuple_idx];
         let lineage = tuple.lineage();
         if lineage.is_empty() || lineage.len() > cfg.max_lineage {
-            continue;
+            return None;
         }
         let prov = Dnf::of_tuple(tuple);
         let shapley = shapley_values(&prov);
         debug_assert_eq!(shapley.len(), lineage.len());
-        out.push(TupleRecord { tuple_idx, shapley });
-    }
-    out
+        Some(TupleRecord { tuple_idx, shapley })
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Query-level 70/10/20 split (seeded shuffle; every split non-empty once
@@ -296,6 +305,29 @@ mod tests {
             assert_eq!(qa.tuples.len(), qb.tuples.len());
         }
         assert_eq!(a.splits, b.splits);
+    }
+
+    #[test]
+    fn build_bit_identical_across_thread_counts() {
+        let serial = ls_par::with_threads(1, tiny);
+        for t in [2usize, 4] {
+            let par = ls_par::with_threads(t, tiny);
+            assert_eq!(serial.queries.len(), par.queries.len());
+            assert_eq!(serial.splits, par.splits);
+            for (qa, qb) in serial.queries.iter().zip(&par.queries) {
+                assert_eq!(qa.id, qb.id);
+                assert_eq!(qa.sql, qb.sql);
+                assert_eq!(qa.tuples.len(), qb.tuples.len());
+                for (ta, tb) in qa.tuples.iter().zip(&qb.tuples) {
+                    assert_eq!(ta.tuple_idx, tb.tuple_idx);
+                    assert_eq!(ta.shapley.len(), tb.shapley.len());
+                    for ((fa, va), (fb, vb)) in ta.shapley.iter().zip(&tb.shapley) {
+                        assert_eq!(fa, fb);
+                        assert_eq!(va.to_bits(), vb.to_bits(), "threads={t}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

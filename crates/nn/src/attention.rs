@@ -65,26 +65,39 @@ impl MultiHeadAttention {
         }
     }
 
-    /// Forward pass over a sequence `x` (`n × d_model`).
-    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+    /// The shared per-head attention body: scaled dot-product scores,
+    /// softmax, value mix, head merge. Returns the concatenated heads and,
+    /// when `keep_attn`, the per-head softmax matrices for backward. This
+    /// is the single arithmetic path behind both
+    /// [`MultiHeadAttention::forward`] and
+    /// [`MultiHeadAttention::forward_infer`].
+    fn attend(&self, q: &Tensor, k: &Tensor, v: &Tensor, keep_attn: bool) -> (Tensor, Vec<Tensor>) {
         let dh = self.d_model / self.heads;
         let scale = 1.0 / (dh as f32).sqrt();
-        let q = self.wq.forward(x);
-        let k = self.wk.forward(x);
-        let v = self.wv.forward(x);
-        let mut concat = Tensor::zeros(x.rows, self.d_model);
-        let mut attn = Vec::with_capacity(self.heads);
+        let mut concat = Tensor::zeros(q.rows, self.d_model);
+        let mut attn = Vec::with_capacity(if keep_attn { self.heads } else { 0 });
         for h in 0..self.heads {
-            let qh = slice_head(&q, h, dh);
-            let kh = slice_head(&k, h, dh);
-            let vh = slice_head(&v, h, dh);
+            let qh = slice_head(q, h, dh);
+            let kh = slice_head(k, h, dh);
+            let vh = slice_head(v, h, dh);
             let mut scores = qh.matmul_t(&kh);
             scores.scale(scale);
             softmax_rows(&mut scores);
             let ch = scores.matmul(&vh);
             merge_head(&mut concat, &ch, h, dh);
-            attn.push(scores);
+            if keep_attn {
+                attn.push(scores);
+            }
         }
+        (concat, attn)
+    }
+
+    /// Forward pass over a sequence `x` (`n × d_model`).
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        let q = self.wq.forward(x);
+        let k = self.wk.forward(x);
+        let v = self.wv.forward(x);
+        let (concat, attn) = self.attend(&q, &k, &v, true);
         let y = self.wo.forward(&concat);
         self.cache = Some(AttnCache { q, k, v, attn });
         y
@@ -94,22 +107,10 @@ impl MultiHeadAttention {
     /// [`MultiHeadAttention::forward`] but read-only (no q/k/v/attention
     /// cache). Bit-identical to the training forward.
     pub fn forward_infer(&self, x: &Tensor) -> Tensor {
-        let dh = self.d_model / self.heads;
-        let scale = 1.0 / (dh as f32).sqrt();
         let q = self.wq.forward_infer(x);
         let k = self.wk.forward_infer(x);
         let v = self.wv.forward_infer(x);
-        let mut concat = Tensor::zeros(x.rows, self.d_model);
-        for h in 0..self.heads {
-            let qh = slice_head(&q, h, dh);
-            let kh = slice_head(&k, h, dh);
-            let vh = slice_head(&v, h, dh);
-            let mut scores = qh.matmul_t(&kh);
-            scores.scale(scale);
-            softmax_rows(&mut scores);
-            let ch = scores.matmul(&vh);
-            merge_head(&mut concat, &ch, h, dh);
-        }
+        let (concat, _) = self.attend(&q, &k, &v, false);
         self.wo.forward_infer(&concat)
     }
 

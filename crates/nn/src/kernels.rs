@@ -1,0 +1,438 @@
+//! Cache-blocked, register-tiled GEMM kernels.
+//!
+//! One packed micro-kernel serves all three matrix-product shapes the
+//! encoder needs (`A·B`, `Aᵀ·B`, `A·Bᵀ`); the shapes differ **only** in how
+//! their operands are packed into panels. The kernel accumulates every
+//! output element strictly in ascending-`p` order with a single scalar
+//! chain per element — exactly the summation order of the naive reference
+//! kernels — so blocked outputs are **bit-identical** to the seed
+//! triple-loop kernels (pinned by `to_bits` differential tests in
+//! `tensor.rs`). Blocking changes *when* terms are computed, never the
+//! order they are added.
+//!
+//! Structure (BLIS-style, sized for the ≤ 512² matrices this workspace
+//! multiplies):
+//!
+//! * `p` (the shared dimension) is split into `KC`-deep blocks, processed
+//!   in ascending order. Per block, A is repacked into `MR`-row tiles laid
+//!   out `p`-major (so the micro-kernel broadcasts contiguously) and B
+//!   into `NR`-column panels laid out `p`-major (so the micro-kernel loads
+//!   contiguously) — this is also what fixes `matmul_t`'s cache-hostile
+//!   column stride: the transpose happens once during packing, reading
+//!   each B row contiguously.
+//! * The micro-kernel keeps an `MR×NR` accumulator tile in registers and
+//!   walks the packed panels; the `NR`-wide inner loop is independent
+//!   per lane, so the autovectorizer turns it into SIMD without any
+//!   reassociation of the per-element sums.
+//! * Edge tiles are zero-padded in the packed operands (padded lanes are
+//!   computed but never stored), keeping the hot loop branch-free.
+//!
+//! Large products additionally split their output rows across the
+//! [`ls_par`] pool; every row is still computed by exactly one worker with
+//! the identical serial arithmetic, so parallel results stay bit-identical
+//! at any thread count.
+
+use std::cell::RefCell;
+
+/// Micro-kernel tile height (rows of A / output per register tile).
+pub const MR: usize = 8;
+/// Micro-kernel tile width (columns of B / output per register tile).
+pub const NR: usize = 16;
+/// Depth of one packed `p`-block (sized so an `MR×KC` A-tile plus a
+/// `KC×NR` B-panel stay L1-resident: `(8+16)·256·4 B = 24 KiB`).
+const KC: usize = 256;
+/// Below this many flops (`2·n·k·m`) the row-parallel split is not worth
+/// its spawn cost and the kernel stays serial. Encoder-shape products
+/// (≈ 1.2 Mflop) stay serial; a 256³ product (34 Mflop) goes parallel.
+const PAR_MIN_FLOPS: usize = 1 << 24;
+
+/// Which product shape the packing routines realize.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// `out[n×m] = A[n×k] · B[k×m]`.
+    NN,
+    /// `out[n×m] = A[k×n]ᵀ · B[k×m]` (weight gradients).
+    TN,
+    /// `out[n×m] = A[n×k] · B[m×k]ᵀ` (input gradients, attention scores).
+    NT,
+}
+
+thread_local! {
+    /// Per-thread packing scratch (A tiles, B panel), reused across calls.
+    static PACK: RefCell<(Vec<f32>, Vec<f32>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Blocked GEMM dispatch: `out += op(A, B)` with `out` expected zeroed (or
+/// holding a partial sum in the same ascending-`p` chain). Splits output
+/// rows across the pool when the product is large enough; otherwise runs
+/// serially on the calling thread.
+pub fn gemm(op: Op, a: &[f32], b: &[f32], n: usize, k: usize, m: usize, out: &mut [f32]) {
+    debug_assert_eq!(out.len(), n * m);
+    if n == 0 || m == 0 {
+        return;
+    }
+    let t0 = ls_obs::enabled().then(std::time::Instant::now);
+    let flops = 2usize.saturating_mul(n).saturating_mul(k).saturating_mul(m);
+    let workers = if ls_par::in_worker() {
+        1
+    } else {
+        ls_par::threads()
+    };
+    if workers > 1 && flops >= PAR_MIN_FLOPS && n >= 2 * MR {
+        // Static row split: chunk rows to an MR multiple so tile boundaries
+        // and therefore per-element arithmetic are identical to serial.
+        let rows_per = n.div_ceil(workers).div_ceil(MR) * MR;
+        ls_par::par_chunks_mut(out, rows_per * m, |ci, out_rows| {
+            gemm_rows(op, a, b, ci * rows_per, n, k, m, out_rows);
+        });
+    } else {
+        gemm_rows(op, a, b, 0, n, k, m, out);
+    }
+    if let Some(t0) = t0 {
+        ls_obs::histogram("kernel.matmul").record(t0.elapsed().as_secs_f64());
+        ls_obs::meter("kernel.flops").mark(flops as u64);
+    }
+}
+
+/// Serial blocked GEMM over output rows `i0 .. i0 + out_rows.len()/m` (row
+/// indices are absolute; `out_rows` is the corresponding slice of the full
+/// output).
+#[allow(clippy::too_many_arguments)]
+fn gemm_rows(
+    op: Op,
+    a: &[f32],
+    b: &[f32],
+    i0: usize,
+    n: usize,
+    k: usize,
+    m: usize,
+    out_rows: &mut [f32],
+) {
+    let rows = out_rows.len() / m;
+    if rows == 0 {
+        return;
+    }
+    let tiles = rows.div_ceil(MR);
+    PACK.with(|cell| {
+        let mut pack = cell.borrow_mut();
+        let (apack, bpack) = &mut *pack;
+        let kc_cap = KC.min(k.max(1));
+        apack.resize(tiles * MR * kc_cap, 0.0);
+        bpack.resize(kc_cap * NR, 0.0);
+        let mut p0 = 0usize;
+        while p0 < k {
+            let kc = KC.min(k - p0);
+            pack_a(op, a, i0, rows, n, k, p0, kc, apack);
+            let mut j0 = 0usize;
+            while j0 < m {
+                let nr_eff = NR.min(m - j0);
+                pack_b(op, b, k, m, p0, kc, j0, nr_eff, bpack);
+                for t in 0..tiles {
+                    let mr_eff = MR.min(rows - t * MR);
+                    micro_kernel(
+                        &apack[t * MR * kc..(t + 1) * MR * kc],
+                        &bpack[..kc * NR],
+                        out_rows,
+                        t * MR,
+                        j0,
+                        m,
+                        mr_eff,
+                        nr_eff,
+                    );
+                }
+                j0 += NR;
+            }
+            p0 += kc;
+        }
+    });
+}
+
+/// Pack `MR`-row tiles of the (virtual) left operand, `p`-major within each
+/// tile: `apack[tile][p·MR + ii] = Aᵒᵖ[i0 + tile·MR + ii][p0 + p]`, rows
+/// past the edge zero-filled.
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    op: Op,
+    a: &[f32],
+    i0: usize,
+    rows: usize,
+    n: usize,
+    k: usize,
+    p0: usize,
+    kc: usize,
+    apack: &mut [f32],
+) {
+    let tiles = rows.div_ceil(MR);
+    for t in 0..tiles {
+        let tile = &mut apack[t * MR * kc..(t + 1) * MR * kc];
+        let mr_eff = MR.min(rows - t * MR);
+        match op {
+            // A is n×k row-major; virtual row = actual row.
+            Op::NN | Op::NT => {
+                for ii in 0..MR {
+                    if ii < mr_eff {
+                        let row = &a[(i0 + t * MR + ii) * k + p0..][..kc];
+                        for (p, &v) in row.iter().enumerate() {
+                            tile[p * MR + ii] = v;
+                        }
+                    } else {
+                        for p in 0..kc {
+                            tile[p * MR + ii] = 0.0;
+                        }
+                    }
+                }
+            }
+            // A is k×n row-major; virtual row i is column i of A, so each
+            // packed p-slice is a contiguous read of A's row p0+p.
+            Op::TN => {
+                for p in 0..kc {
+                    let src = &a[(p0 + p) * n + i0 + t * MR..];
+                    for ii in 0..MR {
+                        tile[p * MR + ii] = if ii < mr_eff { src[ii] } else { 0.0 };
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Pack one `NR`-column panel of the (virtual) right operand, `p`-major:
+/// `bpack[p·NR + jj] = Bᵒᵖ[p0 + p][j0 + jj]`, columns past the edge
+/// zero-filled.
+#[allow(clippy::too_many_arguments)]
+fn pack_b(
+    op: Op,
+    b: &[f32],
+    k: usize,
+    m: usize,
+    p0: usize,
+    kc: usize,
+    j0: usize,
+    nr_eff: usize,
+    bpack: &mut [f32],
+) {
+    match op {
+        // B is k×m row-major: contiguous reads along each row.
+        Op::NN | Op::TN => {
+            for p in 0..kc {
+                let src = &b[(p0 + p) * m + j0..][..nr_eff];
+                let dst = &mut bpack[p * NR..p * NR + NR];
+                dst[..nr_eff].copy_from_slice(src);
+                dst[nr_eff..].fill(0.0);
+            }
+        }
+        // B is m×k row-major and used transposed: read each of the panel's
+        // source rows contiguously, scatter into the p-major panel. This is
+        // the once-per-panel transpose that replaces the naive kernel's
+        // per-dot column stride.
+        Op::NT => {
+            for jj in 0..NR {
+                if jj < nr_eff {
+                    let src = &b[(j0 + jj) * k + p0..][..kc];
+                    for (p, &v) in src.iter().enumerate() {
+                        bpack[p * NR + jj] = v;
+                    }
+                } else {
+                    for p in 0..kc {
+                        bpack[p * NR + jj] = 0.0;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The register tile: `acc[ii][jj] += Σ_p apack[p][ii] · bpack[p][jj]`,
+/// loaded from and stored back to the output so successive `p`-blocks chain
+/// into one ascending-`p` summation per element.
+///
+/// The accumulator rows are four fixed `[f32; NR]` locals (never sliced, so
+/// LLVM keeps them in vector registers) and the hot loop walks the packed
+/// panels by raw pointer with fixed-width lane loops — each lane is an
+/// independent mul-then-add chain, which the autovectorizer widens to SIMD
+/// without reassociating any per-element sum.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+// The load/store chains and the lane loop index `acc` deliberately (constant
+// or edge-bounded first index, see below) — iterator forms obscure that the
+// tile must stay register-resident.
+#[allow(clippy::needless_range_loop, clippy::manual_memcpy)]
+fn micro_kernel(
+    apack: &[f32],
+    bpack: &[f32],
+    out: &mut [f32],
+    row0: usize,
+    col0: usize,
+    ldc: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+) {
+    let kc = bpack.len() / NR;
+    debug_assert!(apack.len() >= kc * MR);
+    let mut acc = [[0.0f32; NR]; MR];
+    for ii in 0..mr_eff {
+        let base = (row0 + ii) * ldc + col0;
+        for jj in 0..nr_eff {
+            acc[ii][jj] = out[base + jj];
+        }
+    }
+    // SAFETY: `apack` holds `kc` groups of MR floats and `bpack` `kc` groups
+    // of NR floats (checked above / by construction in `gemm_rows`); every
+    // pointer stays within those bounds.
+    // The accumulator rows are addressed with *constant* first indices
+    // throughout the hot loop — a runtime `acc[ii]` would force the tile
+    // out of registers and serialize the whole kernel.
+    unsafe {
+        let mut ap = apack.as_ptr();
+        let mut bp = bpack.as_ptr();
+        for _ in 0..kc {
+            let a0 = *ap;
+            let a1 = *ap.add(1);
+            let a2 = *ap.add(2);
+            let a3 = *ap.add(3);
+            let a4 = *ap.add(4);
+            let a5 = *ap.add(5);
+            let a6 = *ap.add(6);
+            let a7 = *ap.add(7);
+            for jj in 0..NR {
+                let b = *bp.add(jj);
+                acc[0][jj] += a0 * b;
+                acc[1][jj] += a1 * b;
+                acc[2][jj] += a2 * b;
+                acc[3][jj] += a3 * b;
+                acc[4][jj] += a4 * b;
+                acc[5][jj] += a5 * b;
+                acc[6][jj] += a6 * b;
+                acc[7][jj] += a7 * b;
+            }
+            ap = ap.add(MR);
+            bp = bp.add(NR);
+        }
+    }
+    for ii in 0..mr_eff {
+        let base = (row0 + ii) * ldc + col0;
+        for jj in 0..nr_eff {
+            out[base + jj] = acc[ii][jj];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(n: usize, seed: u32) -> Vec<f32> {
+        // Deterministic pseudo-random values spanning signs and magnitudes.
+        (0..n)
+            .map(|i| {
+                let h = (i as u32).wrapping_mul(2654435761).wrapping_add(seed);
+                ((h >> 8) as f32 / (1 << 24) as f32 - 0.5) * 4.0
+            })
+            .collect()
+    }
+
+    fn naive(op: Op, a: &[f32], b: &[f32], n: usize, k: usize, m: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; n * m];
+        for i in 0..n {
+            for j in 0..m {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    let (av, bv) = match op {
+                        Op::NN => (a[i * k + p], b[p * m + j]),
+                        Op::TN => (a[p * n + i], b[p * m + j]),
+                        Op::NT => (a[i * k + p], b[j * k + p]),
+                    };
+                    acc += av * bv;
+                }
+                out[i * m + j] = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn blocked_matches_naive_bitwise_over_shapes() {
+        // Shapes chosen to exercise every edge: tiles smaller than MR/NR,
+        // exact multiples, ragged edges, and multiple KC blocks (k > 256).
+        for &(n, k, m) in &[
+            (1usize, 1usize, 1usize),
+            (2, 3, 5),
+            (4, 8, 8),
+            (5, 7, 9),
+            (13, 300, 17),
+            (64, 48, 96),
+            (33, 517, 29),
+        ] {
+            for op in [Op::NN, Op::TN, Op::NT] {
+                let (ar, ac) = match op {
+                    Op::NN | Op::NT => (n, k),
+                    Op::TN => (k, n),
+                };
+                let (br, bc) = match op {
+                    Op::NN | Op::TN => (k, m),
+                    Op::NT => (m, k),
+                };
+                let a = fill(ar * ac, 1);
+                let b = fill(br * bc, 2);
+                let want = naive(op, &a, &b, n, k, m);
+                let mut got = vec![0.0f32; n * m];
+                gemm(op, &a, &b, n, k, m, &mut got);
+                for (i, (x, y)) in got.iter().zip(&want).enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "{op:?} {n}x{k}x{m} elem {i}: {x} vs {y}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_matches_naive_with_exact_zeros() {
+        // ReLU-style sparsity: the seed kernels skip a == 0.0 terms; adding
+        // the ±0.0 products instead must not change a single bit.
+        let (n, k, m) = (9, 11, 13);
+        let mut a = fill(n * k, 7);
+        for (i, v) in a.iter_mut().enumerate() {
+            if i % 3 == 0 {
+                *v = 0.0;
+            }
+            if i % 5 == 0 {
+                *v = -0.0;
+            }
+        }
+        let b = fill(k * m, 8);
+        for op in [Op::NN, Op::NT] {
+            let want = naive(op, &a, &b, n, k, m);
+            let mut got = vec![0.0f32; n * m];
+            gemm(op, &a, &b, n, k, m, &mut got);
+            for (x, y) in got.iter().zip(&want) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_rows_bit_identical_to_serial() {
+        // Big enough to cross PAR_MIN_FLOPS; compare 1 vs 4 workers.
+        let (n, k, m) = (256, 128, 256);
+        let a = fill(n * k, 3);
+        let b = fill(k * m, 4);
+        let serial = ls_par::with_threads(1, || {
+            let mut out = vec![0.0f32; n * m];
+            gemm(Op::NN, &a, &b, n, k, m, &mut out);
+            out
+        });
+        for t in [2, 4] {
+            let par = ls_par::with_threads(t, || {
+                let mut out = vec![0.0f32; n * m];
+                gemm(Op::NN, &a, &b, n, k, m, &mut out);
+                out
+            });
+            for (x, y) in par.iter().zip(&serial) {
+                assert_eq!(x.to_bits(), y.to_bits(), "threads={t}");
+            }
+        }
+    }
+}

@@ -32,6 +32,7 @@ pub mod attention;
 pub mod checkpoint;
 pub mod encoder;
 pub mod infer;
+pub mod kernels;
 pub mod linear;
 pub mod norm;
 pub mod optim;

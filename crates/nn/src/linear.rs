@@ -25,8 +25,9 @@ impl Linear {
         }
     }
 
-    /// Forward pass; caches the input for backward.
-    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+    /// The shared affine map `x·W + b` — the single arithmetic path behind
+    /// both [`Linear::forward`] and [`Linear::forward_infer`].
+    fn affine(&self, x: &Tensor) -> Tensor {
         let mut y = x.matmul(&self.w.v);
         for r in 0..y.rows {
             let row = y.row_mut(r);
@@ -34,6 +35,12 @@ impl Linear {
                 *v += b;
             }
         }
+        y
+    }
+
+    /// Forward pass; caches the input for backward.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        let y = self.affine(x);
         self.cached_input = Some(x.clone());
         y
     }
@@ -42,14 +49,7 @@ impl Linear {
     /// read-only (no input cache), so the layer can be shared across
     /// threads. Bit-identical to the training forward.
     pub fn forward_infer(&self, x: &Tensor) -> Tensor {
-        let mut y = x.matmul(&self.w.v);
-        for r in 0..y.rows {
-            let row = y.row_mut(r);
-            for (v, b) in row.iter_mut().zip(&self.b.v.data) {
-                *v += b;
-            }
-        }
-        y
+        self.affine(x)
     }
 
     /// Backward pass: accumulates `dW`, `db`, returns `dx`.

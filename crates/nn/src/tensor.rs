@@ -79,8 +79,65 @@ impl Tensor {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// `self · other` (`(n×k) · (k×m) → n×m`).
+    /// `self · other` (`(n×k) · (k×m) → n×m`), via the blocked kernel in
+    /// [`crate::kernels`] — bit-identical to [`Tensor::matmul_naive`].
     pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let (n, k, m) = (self.rows, self.cols, other.cols);
+        let mut out = Tensor::zeros(n, m);
+        crate::kernels::gemm(
+            crate::kernels::Op::NN,
+            &self.data,
+            &other.data,
+            n,
+            k,
+            m,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// `selfᵀ · other` (`(k×n)ᵀ · (k×m) → n×m`) without materializing the
+    /// transpose — the shape used by weight-gradient accumulation. Blocked;
+    /// bit-identical to [`Tensor::t_matmul_naive`].
+    pub fn t_matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
+        let (k, n, m) = (self.rows, self.cols, other.cols);
+        let mut out = Tensor::zeros(n, m);
+        crate::kernels::gemm(
+            crate::kernels::Op::TN,
+            &self.data,
+            &other.data,
+            n,
+            k,
+            m,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// `self · otherᵀ` (`(n×k) · (m×k)ᵀ → n×m`) — the shape used by input
+    /// gradients and attention scores. Blocked (the transpose happens once,
+    /// during panel packing); bit-identical to [`Tensor::matmul_t_naive`].
+    pub fn matmul_t(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
+        let (n, k, m) = (self.rows, self.cols, other.rows);
+        let mut out = Tensor::zeros(n, m);
+        crate::kernels::gemm(
+            crate::kernels::Op::NT,
+            &self.data,
+            &other.data,
+            n,
+            k,
+            m,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// The seed triple-loop `self · other`, kept as the differential-test
+    /// oracle and benchmark baseline for [`Tensor::matmul`].
+    pub fn matmul_naive(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         let (n, k, m) = (self.rows, self.cols, other.cols);
         let mut out = Tensor::zeros(n, m);
@@ -100,9 +157,9 @@ impl Tensor {
         out
     }
 
-    /// `selfᵀ · other` (`(k×n)ᵀ · (k×m) → n×m`) without materializing the
-    /// transpose — the shape used by weight-gradient accumulation.
-    pub fn t_matmul(&self, other: &Tensor) -> Tensor {
+    /// The seed `selfᵀ · other`, kept as the oracle/baseline for
+    /// [`Tensor::t_matmul`].
+    pub fn t_matmul_naive(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
         let (k, n, m) = (self.rows, self.cols, other.cols);
         let mut out = Tensor::zeros(n, m);
@@ -122,9 +179,9 @@ impl Tensor {
         out
     }
 
-    /// `self · otherᵀ` (`(n×k) · (m×k)ᵀ → n×m`) — the shape used by input
-    /// gradients and attention scores.
-    pub fn matmul_t(&self, other: &Tensor) -> Tensor {
+    /// The seed `self · otherᵀ` with its per-dot column stride, kept as the
+    /// oracle/baseline for [`Tensor::matmul_t`].
+    pub fn matmul_t_naive(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.cols, other.cols, "matmul_t shape mismatch");
         let (n, k, m) = (self.rows, self.cols, other.rows);
         let mut out = Tensor::zeros(n, m);
@@ -317,6 +374,84 @@ mod tests {
         assert_eq!(a.data, vec![3., 5., 7.]);
         a.fill_zero();
         assert_eq!(a.data, vec![0., 0., 0.]);
+    }
+
+    /// Deterministic test matrices with mixed signs, magnitudes, and (when
+    /// `sparse`) exact ±0.0 entries to exercise the naive kernels' zero-skip.
+    fn pseudo(rows: usize, cols: usize, seed: u32, sparse: bool) -> Tensor {
+        let data = (0..rows * cols)
+            .map(|i| {
+                let h = (i as u32).wrapping_mul(2654435761).wrapping_add(seed);
+                if sparse && h.is_multiple_of(4) {
+                    if h.is_multiple_of(8) {
+                        -0.0
+                    } else {
+                        0.0
+                    }
+                } else {
+                    ((h >> 8) as f32 / (1 << 24) as f32 - 0.5) * 3.0
+                }
+            })
+            .collect();
+        Tensor::from_vec(rows, cols, data)
+    }
+
+    fn assert_bits_eq(a: &Tensor, b: &Tensor, what: &str) {
+        assert_eq!((a.rows, a.cols), (b.rows, b.cols), "{what}: shape");
+        for (i, (x, y)) in a.data.iter().zip(&b.data).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: elem {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn blocked_kernels_bit_identical_to_naive() {
+        // Shapes covering micro-kernel edges (dims below/at/above MR=4 and
+        // NR=8) plus the actual encoder shapes (seq×48·48, seq×48·96, …).
+        for &(n, k, m) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 7),
+            (4, 8, 8),
+            (6, 48, 96),
+            (17, 48, 48),
+            (31, 96, 48),
+            (40, 64, 128),
+        ] {
+            for sparse in [false, true] {
+                let a = pseudo(n, k, 11, sparse);
+                let b = pseudo(k, m, 23, sparse);
+                assert_bits_eq(
+                    &a.matmul(&b),
+                    &a.matmul_naive(&b),
+                    &format!("matmul {n}x{k}x{m} sparse={sparse}"),
+                );
+                let at = pseudo(k, n, 31, sparse);
+                assert_bits_eq(
+                    &at.t_matmul(&b),
+                    &at.t_matmul_naive(&b),
+                    &format!("t_matmul {n}x{k}x{m} sparse={sparse}"),
+                );
+                let bt = pseudo(m, k, 41, sparse);
+                assert_bits_eq(
+                    &a.matmul_t(&bt),
+                    &a.matmul_t_naive(&bt),
+                    &format!("matmul_t {n}x{k}x{m} sparse={sparse}"),
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_kernels_bit_identical_across_thread_counts() {
+        // Above the kernel's parallel threshold: the row-split path must
+        // reproduce the serial bits exactly.
+        let a = pseudo(256, 128, 5, false);
+        let b = pseudo(128, 256, 6, false);
+        let serial = ls_par::with_threads(1, || a.matmul(&b));
+        for t in [2, 4] {
+            let par = ls_par::with_threads(t, || a.matmul(&b));
+            assert_bits_eq(&par, &serial, &format!("threads={t}"));
+        }
+        assert_bits_eq(&serial, &a.matmul_naive(&b), "serial vs naive");
     }
 
     #[test]

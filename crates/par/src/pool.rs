@@ -1,0 +1,322 @@
+//! Scoped worker pools: chunk-claiming `par_map`, indexed `scope`, and
+//! static mutable-slice partitioning.
+
+use crate::{effective_threads, WorkerGuard};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Chunk size for `n` items over `workers` workers: four claims per worker
+/// for load balancing, never below 1.
+fn chunk_size(n: usize, workers: usize) -> usize {
+    n.div_ceil(workers * 4).max(1)
+}
+
+/// Map every item of `items` through `f`, in parallel, returning results in
+/// item order. `f(i, &items[i])` must be a pure function of its arguments —
+/// the output is then identical at every thread count.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_init(items, || (), move |(), i, t| f(i, t))
+}
+
+/// [`par_map`] with per-worker scratch state: `init()` runs lazily on each
+/// worker that claims work (once per worker, not per item) and the state is
+/// passed mutably to every call that worker makes. See the crate-level
+/// determinism contract: mutations of the state must not leak into later
+/// items' results.
+pub fn par_map_init<T, R, S, I, F>(items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = effective_threads(n);
+    if workers <= 1 || n <= 1 {
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut state, i, t))
+            .collect();
+    }
+    let chunk = chunk_size(n, workers);
+    let telemetry = ls_obs::enabled();
+    let next = AtomicUsize::new(0);
+    let mut pieces: Vec<(usize, Vec<R>)> = std::thread::scope(|sc| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                sc.spawn(|| {
+                    let _guard = WorkerGuard::enter();
+                    let t0 = telemetry.then(Instant::now);
+                    let mut out: Vec<(usize, Vec<R>)> = Vec::new();
+                    let mut state: Option<S> = None;
+                    loop {
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + chunk).min(n);
+                        if telemetry {
+                            ls_obs::gauge("par.queue_depth").set(n.saturating_sub(end) as f64);
+                            ls_obs::counter("par.chunks").incr();
+                        }
+                        let st = state.get_or_insert_with(&init);
+                        let vals: Vec<R> = items[start..end]
+                            .iter()
+                            .enumerate()
+                            .map(|(off, t)| f(st, start + off, t))
+                            .collect();
+                        out.push((start, vals));
+                    }
+                    if let Some(t0) = t0 {
+                        ls_obs::histogram("par.worker.busy").record(t0.elapsed().as_secs_f64());
+                    }
+                    out
+                })
+            })
+            .collect();
+        if telemetry {
+            ls_obs::counter("par.pool.spawns").add(workers as u64);
+            ls_obs::gauge("par.pool.size").set(workers as f64);
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| match h.join() {
+                Ok(v) => v,
+                Err(p) => std::panic::resume_unwind(p),
+            })
+            .collect()
+    });
+    if telemetry {
+        ls_obs::counter("par.tasks").add(n as u64);
+    }
+    pieces.sort_unstable_by_key(|(start, _)| *start);
+    let mut out = Vec::with_capacity(n);
+    for (_, vals) in pieces {
+        out.extend(vals);
+    }
+    out
+}
+
+/// Run `jobs` indexed jobs across the pool and collect their results in
+/// index order. Jobs are claimed whole (chunk size 1), so this is the right
+/// shape for a few coarse tasks; use [`par_map`] for many fine items.
+pub fn scope<R, F>(jobs: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let idx: Vec<usize> = (0..jobs).collect();
+    let workers = effective_threads(jobs);
+    if workers <= 1 || jobs <= 1 {
+        return idx.into_iter().map(f).collect();
+    }
+    let telemetry = ls_obs::enabled();
+    let next = AtomicUsize::new(0);
+    let mut pieces: Vec<(usize, R)> = std::thread::scope(|sc| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                sc.spawn(|| {
+                    let _guard = WorkerGuard::enter();
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs {
+                            break;
+                        }
+                        if telemetry {
+                            ls_obs::gauge("par.queue_depth").set(jobs.saturating_sub(i + 1) as f64);
+                        }
+                        out.push((i, f(i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        if telemetry {
+            ls_obs::counter("par.pool.spawns").add(workers as u64);
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| match h.join() {
+                Ok(v) => v,
+                Err(p) => std::panic::resume_unwind(p),
+            })
+            .collect()
+    });
+    if telemetry {
+        ls_obs::counter("par.tasks").add(jobs as u64);
+    }
+    pieces.sort_unstable_by_key(|(i, _)| *i);
+    pieces.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Split `data` into contiguous chunks of `chunk_len` elements and process
+/// each with `f(chunk_index, chunk)`, in parallel, returning per-chunk
+/// results in chunk order. Chunks are distributed round-robin over the pool
+/// up front (static partition — right for uniform work like GEMM row
+/// blocks). Each chunk is owned by exactly one worker, so `f` may freely
+/// mutate it; determinism again requires only that `f` is a pure function
+/// of `(chunk_index, chunk contents)`.
+pub fn par_chunks_mut<T, R, F>(data: &mut [T], chunk_len: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut [T]) -> R + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let n_chunks = data.len().div_ceil(chunk_len);
+    let workers = effective_threads(n_chunks);
+    if workers <= 1 || n_chunks <= 1 {
+        return data
+            .chunks_mut(chunk_len)
+            .enumerate()
+            .map(|(i, c)| f(i, c))
+            .collect();
+    }
+    let telemetry = ls_obs::enabled();
+    // Deal chunks round-robin: worker w gets chunks w, w+workers, …
+    let mut per_worker: Vec<Vec<(usize, &mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, c) in data.chunks_mut(chunk_len).enumerate() {
+        per_worker[i % workers].push((i, c));
+    }
+    let f = &f;
+    let mut pieces: Vec<(usize, R)> = std::thread::scope(|sc| {
+        let handles: Vec<_> = per_worker
+            .into_iter()
+            .map(|mine| {
+                sc.spawn(move || {
+                    let _guard = WorkerGuard::enter();
+                    mine.into_iter()
+                        .map(|(i, c)| (i, f(i, c)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        if telemetry {
+            ls_obs::counter("par.pool.spawns").add(workers as u64);
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| match h.join() {
+                Ok(v) => v,
+                Err(p) => std::panic::resume_unwind(p),
+            })
+            .collect()
+    });
+    if telemetry {
+        ls_obs::counter("par.tasks").add(n_chunks as u64);
+    }
+    pieces.sort_unstable_by_key(|(i, _)| *i);
+    pieces.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::with_threads;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..257).collect();
+        for t in [1, 2, 4, 9] {
+            let out = with_threads(t, || par_map(&items, |i, &x| (i, x * 2)));
+            assert_eq!(out.len(), items.len());
+            for (i, (idx, v)) in out.iter().enumerate() {
+                assert_eq!(*idx, i);
+                assert_eq!(*v, i * 2);
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(&empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[41u32], |_, &x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn par_map_init_initializes_lazily_per_worker() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inits = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..100).collect();
+        let out = with_threads(4, || {
+            par_map_init(
+                &items,
+                || {
+                    inits.fetch_add(1, Ordering::SeqCst);
+                    0u64
+                },
+                |state, _, &x| {
+                    *state += 1; // scratch mutation must not affect results
+                    u64::from(x) * 3
+                },
+            )
+        });
+        assert_eq!(out, (0..100u64).map(|x| x * 3).collect::<Vec<_>>());
+        let n = inits.load(Ordering::SeqCst);
+        assert!((1..=4).contains(&n), "init ran {n} times");
+    }
+
+    #[test]
+    fn scope_collects_in_index_order() {
+        for t in [1, 3, 8] {
+            let out = with_threads(t, || scope(17, |i| i * i));
+            assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_touches_every_element_once() {
+        let mut data: Vec<u32> = vec![0; 1000];
+        let sums = with_threads(4, || {
+            par_chunks_mut(&mut data, 64, |ci, chunk| {
+                for v in chunk.iter_mut() {
+                    *v += 1 + ci as u32;
+                }
+                chunk.len()
+            })
+        });
+        assert_eq!(sums.iter().sum::<usize>(), 1000);
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, 1 + (i / 64) as u32);
+        }
+    }
+
+    #[test]
+    fn nested_calls_run_inline() {
+        let items: Vec<u32> = (0..16).collect();
+        let out = with_threads(4, || {
+            par_map(&items, |_, &x| {
+                // Inside a worker: nested map must run inline, not spawn.
+                let inner = par_map(&[1u32, 2, 3], |_, &y| y);
+                assert!(crate::in_worker());
+                x + inner.iter().sum::<u32>()
+            })
+        });
+        assert_eq!(out, (0..16).map(|x| x + 6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..64).collect();
+        let r = std::panic::catch_unwind(|| {
+            with_threads(2, || {
+                par_map(&items, |_, &x| {
+                    if x == 13 {
+                        panic!("unlucky");
+                    }
+                    x
+                })
+            })
+        });
+        assert!(r.is_err());
+    }
+}

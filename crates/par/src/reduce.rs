@@ -1,0 +1,99 @@
+//! Deterministic reductions: a fixed-shape binary combine tree whose
+//! structure depends only on the leaf count — never on thread count or
+//! scheduling — so floating-point reductions are bit-reproducible.
+
+use crate::pool::par_map;
+
+/// Reduce `leaves` with a **fixed-shape binary tree**: round after round,
+/// adjacent pairs `(v[0]⊕v[1]), (v[2]⊕v[3]), …` are combined (an odd tail
+/// passes through unchanged) until one value remains. The tree shape is a
+/// function of `leaves.len()` alone, so for any `combine` — associative or
+/// not, floating-point or not — the result is a deterministic function of
+/// the leaf values.
+///
+/// Returns `None` for an empty input.
+pub fn tree_reduce<R>(mut leaves: Vec<R>, combine: impl Fn(R, R) -> R) -> Option<R> {
+    if leaves.is_empty() {
+        return None;
+    }
+    while leaves.len() > 1 {
+        let mut next = Vec::with_capacity(leaves.len().div_ceil(2));
+        let mut it = leaves.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(combine(a, b)),
+                None => next.push(a),
+            }
+        }
+        leaves = next;
+    }
+    leaves.pop()
+}
+
+/// Parallel map + deterministic tree reduction: `map` runs across the pool
+/// (see [`par_map`]), then the per-item values are combined with
+/// [`tree_reduce`] on the calling thread. Bit-identical at any thread
+/// count; equal to `iter().map(map).fold(..)` whenever `combine` is
+/// associative.
+pub fn par_reduce<T, R, M, C>(items: &[T], map: M, combine: C) -> Option<R>
+where
+    T: Sync,
+    R: Send,
+    M: Fn(usize, &T) -> R + Sync,
+    C: Fn(R, R) -> R,
+{
+    tree_reduce(par_map(items, map), combine)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::with_threads;
+
+    #[test]
+    fn tree_reduce_empty_and_single() {
+        assert_eq!(tree_reduce(Vec::<u32>::new(), |a, b| a + b), None);
+        assert_eq!(tree_reduce(vec![7u32], |a, b| a + b), Some(7));
+    }
+
+    #[test]
+    fn tree_reduce_matches_fold_for_associative_ops() {
+        for n in 0..40usize {
+            let v: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9e37)).collect();
+            let tree = tree_reduce(v.clone(), u64::wrapping_add);
+            let fold = v.iter().copied().reduce(u64::wrapping_add);
+            assert_eq!(tree, fold, "n={n}");
+        }
+    }
+
+    #[test]
+    fn tree_shape_is_fixed_by_length() {
+        // Non-associative combine: parenthesization strings expose the tree.
+        let leaves: Vec<String> = (0..7).map(|i| i.to_string()).collect();
+        let shape = |v: Vec<String>| tree_reduce(v, |a, b| format!("({a}+{b})")).unwrap();
+        assert_eq!(shape(leaves.clone()), "(((0+1)+(2+3))+((4+5)+6))");
+        // Same length, different values: same shape.
+        let other: Vec<String> = (10..17).map(|i| i.to_string()).collect();
+        assert_eq!(shape(other), "(((10+11)+(12+13))+((14+15)+16))");
+    }
+
+    #[test]
+    fn par_reduce_identical_across_thread_counts() {
+        // Floating-point sum: tree shape fixed ⇒ bits fixed.
+        let items: Vec<f64> = (0..1000)
+            .map(|i| ((i * 37 % 101) as f64) * 1e-3 + 1.0 / (i + 1) as f64)
+            .collect();
+        let run =
+            |t: usize| with_threads(t, || par_reduce(&items, |_, &x| x, |a, b| a + b).unwrap());
+        let r1 = run(1);
+        for t in [2, 3, 4, 8] {
+            assert_eq!(r1.to_bits(), run(t).to_bits(), "threads={t}");
+        }
+    }
+
+    #[test]
+    fn par_reduce_empty() {
+        let empty: Vec<u32> = vec![];
+        assert_eq!(par_reduce(&empty, |_, &x| x, |a, b| a + b), None);
+    }
+}

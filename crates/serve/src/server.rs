@@ -176,7 +176,9 @@ pub struct ServeConfig {
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
-            workers: 2,
+            // Sized like the compute pool so `LS_THREADS` governs serving
+            // too; serving stays correct (if slower) at one worker.
+            workers: ls_par::threads(),
             queue_depth: 256,
             max_batch_items: 64,
             batch_deadline: Duration::from_micros(500),

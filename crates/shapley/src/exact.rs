@@ -59,7 +59,11 @@ pub fn shapley_values_compiled(compiled: &Compiled, players: &[FactId]) -> FactS
     let telemetry = ls_obs::enabled();
     let weights = shapley_weights(players.len());
     let base = compiled.circuit.count_base(compiled.root, players.len());
-    for &f in players {
+    // Every player's marginal-count pass is independent and reads only the
+    // shared compiled circuit, so facts are scored across the ls-par pool.
+    // Each value is a pure function of (circuit, fact), so the result set is
+    // identical at every thread count.
+    let scored = ls_par::par_map(players, |_, &f| {
         let fact_start = telemetry.then(std::time::Instant::now);
         let others: Vec<FactId> = players.iter().copied().filter(|&x| x != f).collect();
         let (with, without) = match &base {
@@ -80,11 +84,13 @@ pub fn shapley_values_compiled(compiled: &Compiled, players: &[FactId]) -> FactS
                     .count_by_size(compiled.root, &others, Some((f, false))),
             ),
         };
-        out.insert(f, weighted_marginal_sum(&with, &without, &weights));
+        let v = weighted_marginal_sum(&with, &without, &weights);
         if let Some(start) = fact_start {
             ls_obs::histogram("shapley.exact.per_fact").record(start.elapsed().as_secs_f64());
         }
-    }
+        (f, v)
+    });
+    out.extend(scored);
     if telemetry {
         ls_obs::counter("shapley.exact.facts_scored").add(players.len() as u64);
         // Every coalition size 0..n is counted analytically per fact.
@@ -237,6 +243,19 @@ mod tests {
                 binom = binom * ((n - 1 - k) as f64) / ((k + 1) as f64);
             }
             assert!(close(total, 1.0), "n={n}: {total}");
+        }
+    }
+
+    #[test]
+    fn parallel_scoring_bit_identical_across_thread_counts() {
+        let d = dnf(&[&[0, 1, 4, 6], &[0, 2, 4, 7], &[0, 3, 5, 8], &[1, 2, 9]]);
+        let serial = ls_par::with_threads(1, || shapley_values(&d));
+        for t in [2usize, 4] {
+            let par = ls_par::with_threads(t, || shapley_values(&d));
+            assert_eq!(serial.len(), par.len());
+            for (f, v) in &serial {
+                assert_eq!(v.to_bits(), par[f].to_bits(), "fact {f:?} at {t} threads");
+            }
         }
     }
 
