@@ -103,7 +103,10 @@ impl<'a> LineageScorer<'a> {
             out.insert(f, self.score_fact(ctx, f));
         }
         if let Some(t0) = t0 {
-            ls_obs::histogram("core.inference.batch").record(t0.elapsed().as_secs_f64());
+            // Trace-aware: under an attached TraceContext the batch sample
+            // carries the request's trace id as an exemplar.
+            ls_obs::histogram("core.inference.batch")
+                .record_traced(t0.elapsed().as_secs_f64(), ls_obs::current_trace_id());
             ls_obs::counter("core.inference.facts_scored").add(lineage.len() as u64);
         }
         out

@@ -41,6 +41,17 @@ pub enum FaultKind {
 }
 
 impl FaultKind {
+    /// Small stable code for flight-recorder payloads.
+    fn code(self) -> u64 {
+        match self {
+            FaultKind::Error => 1,
+            FaultKind::Panic => 2,
+            FaultKind::Delay => 3,
+            FaultKind::Corrupt => 4,
+            FaultKind::Truncate => 5,
+        }
+    }
+
     /// Static metric name for this kind (`fault.injected.*`).
     fn counter_name(self) -> &'static str {
         match self {
@@ -329,7 +340,7 @@ impl Injector for FaultPlan {
             *c += 1;
             idx
         };
-        for rule in &self.rules {
+        for (ri, rule) in self.rules.iter().enumerate() {
             if !site_matches(&rule.site, site) || !rule.fires_at(idx) {
                 continue;
             }
@@ -346,6 +357,16 @@ impl Injector for FaultPlan {
             }
             ls_obs::counter("fault.injected").incr();
             ls_obs::counter(rule.kind.counter_name()).incr();
+            // Every firing lands in the flight recorder, so a chaos-suite
+            // failure is diagnosable from the dump alone: which site, which
+            // rule, at which hit index, under which trace.
+            ls_obs::recorder::record(
+                ls_obs::recorder::EventKind::Fault,
+                site,
+                ls_obs::current_trace_id(),
+                idx,
+                ((ri as u64) << 8) | rule.kind.code(),
+            );
             return match rule.kind {
                 FaultKind::Error => FaultAction::Error,
                 FaultKind::Panic => FaultAction::Panic,

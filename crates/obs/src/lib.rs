@@ -28,18 +28,32 @@
 //! metric-snapshot records as JSON Lines. Telemetry recording is active
 //! whenever either sink is on; with both off the hot paths reduce to one
 //! relaxed atomic load.
+//!
+//! ## Request-scoped tracing and the flight recorder
+//!
+//! [`TraceContext`] carries a request's identity across thread and process
+//! boundaries explicitly (the per-thread span stack cannot follow work into
+//! a pool): capture with [`TraceContext::current`], attach on the far side
+//! with [`TraceContext::attach`]. The [`recorder`] module is
+//! an always-cheap lock-free ring buffer of recent span/event/fault
+//! activity, enabled with `LS_OBS_RECORDER=<slots-per-thread>` and dumped
+//! to `LS_OBS_RECORDER_DUMP=<path>` as JSONL on panic or at [`report`].
 
 mod json;
 mod metrics;
+pub mod recorder;
 mod sink;
 mod span;
+mod trace;
 
 pub use json::{parse as parse_json, Json};
-pub use metrics::{Counter, Gauge, HistStats, Histogram, Meter};
+pub use metrics::{Counter, Gauge, HistStats, Histogram, Meter, EXEMPLAR_SLOTS};
 pub use sink::{
-    flush, init_jsonl, init_jsonl_writer, jsonl_active, report, summary, take_jsonl_writer,
+    flush, init_jsonl, init_jsonl_writer, jsonl_active, metrics_json, report, summary,
+    take_jsonl_writer,
 };
 pub use span::{current_span_id, FieldValue, Span};
+pub use trace::{current_trace_id, TraceContext, TraceGuard};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 
@@ -84,6 +98,8 @@ pub fn level() -> Level {
     if parsed != Level::Off || std::env::var_os("LS_OBS_JSONL").is_some() {
         sink::init_jsonl_from_env();
     }
+    // Same first-touch hook for the flight recorder env toggles.
+    recorder::init_from_env();
     parsed
 }
 

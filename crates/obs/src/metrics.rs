@@ -96,6 +96,10 @@ fn bucket_upper(i: usize) -> f64 {
     HIST_MIN * growth().powi(i as i32 + 1)
 }
 
+/// Exemplar slots kept per histogram: recent traced samples that link an
+/// aggregate distribution back to concrete trace ids for tail attribution.
+pub const EXEMPLAR_SLOTS: usize = 4;
+
 /// Fixed-bucket lock-free histogram over positive values (typically
 /// seconds; any positive unit works).
 pub struct Histogram {
@@ -104,6 +108,14 @@ pub struct Histogram {
     sum_bits: AtomicU64,
     min_bits: AtomicU64,
     max_bits: AtomicU64,
+    // Round-robin exemplar ring: (value bits, trace id) pairs. The two
+    // atomics per slot are not written as one unit — a concurrent overwrite
+    // can pair one sample's value with another's trace — which is an
+    // accepted trade for staying lock-free; exemplars are diagnostic
+    // pointers, not measurements.
+    ex_next: AtomicU64,
+    ex_value_bits: [AtomicU64; EXEMPLAR_SLOTS],
+    ex_trace: [AtomicU64; EXEMPLAR_SLOTS],
 }
 
 /// Point-in-time histogram summary.
@@ -132,6 +144,9 @@ impl Histogram {
             sum_bits: AtomicU64::new(0),
             min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
             max_bits: AtomicU64::new(0),
+            ex_next: AtomicU64::new(0),
+            ex_value_bits: std::array::from_fn(|_| AtomicU64::new(0)),
+            ex_trace: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
@@ -158,6 +173,36 @@ impl Histogram {
             .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
                 (v > f64::from_bits(bits)).then(|| v.to_bits())
             });
+    }
+
+    /// Record a sample carrying its trace id: the sample lands in the
+    /// buckets as usual and, when `trace` is nonzero, also claims an
+    /// exemplar slot so tail investigations can jump from "p99 is 40ms" to
+    /// an actual trace exhibiting it.
+    #[inline]
+    pub fn record_traced(&self, v: f64, trace: u64) {
+        self.record(v);
+        if trace != 0 && v.is_finite() && v >= 0.0 {
+            let i = self.ex_next.fetch_add(1, Ordering::Relaxed) as usize % EXEMPLAR_SLOTS;
+            self.ex_value_bits[i].store(v.to_bits(), Ordering::Relaxed);
+            self.ex_trace[i].store(trace, Ordering::Release);
+        }
+    }
+
+    /// The populated exemplar slots as `(value, trace_id)` pairs, oldest
+    /// slot order (not sample order).
+    pub fn exemplars(&self) -> Vec<(f64, u64)> {
+        (0..EXEMPLAR_SLOTS)
+            .filter_map(|i| {
+                let trace = self.ex_trace[i].load(Ordering::Acquire);
+                (trace != 0).then(|| {
+                    (
+                        f64::from_bits(self.ex_value_bits[i].load(Ordering::Relaxed)),
+                        trace,
+                    )
+                })
+            })
+            .collect()
     }
 
     /// Percentile estimate (`q` in [0,1]) from the bucket counts. Exact min
@@ -209,6 +254,11 @@ impl Histogram {
         self.min_bits
             .store(f64::INFINITY.to_bits(), Ordering::Relaxed);
         self.max_bits.store(0, Ordering::Relaxed);
+        self.ex_next.store(0, Ordering::Relaxed);
+        for i in 0..EXEMPLAR_SLOTS {
+            self.ex_trace[i].store(0, Ordering::Relaxed);
+            self.ex_value_bits[i].store(0, Ordering::Relaxed);
+        }
     }
 }
 
@@ -326,7 +376,7 @@ impl Registry {
                 .lock()
                 .unwrap()
                 .iter()
-                .map(|(k, v)| (*k, v.stats()))
+                .map(|(k, v)| (*k, v.stats(), v.exemplars()))
                 .collect(),
             meters: self
                 .meters
@@ -339,10 +389,13 @@ impl Registry {
     }
 }
 
+/// One histogram in a snapshot: name, stats, and (value, trace) exemplars.
+pub(crate) type HistogramSnapshot = (&'static str, HistStats, Vec<(f64, u64)>);
+
 pub(crate) struct RegistrySnapshot {
     pub counters: Vec<(&'static str, u64)>,
     pub gauges: Vec<(&'static str, f64)>,
-    pub histograms: Vec<(&'static str, HistStats)>,
+    pub histograms: Vec<HistogramSnapshot>,
     pub meters: Vec<(&'static str, (u64, f64))>,
 }
 

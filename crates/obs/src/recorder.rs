@@ -1,0 +1,505 @@
+//! The flight recorder: a lock-free ring buffer of recent telemetry
+//! events, cheap enough to leave on at all times, dumped to JSONL when
+//! something goes wrong.
+//!
+//! ## Memory model
+//!
+//! Each thread owns a fixed-size **segment** of slots (registered in a
+//! global list on first write). A slot is nine `AtomicU64`s; the writer —
+//! always the owning thread — claims the next slot round-robin and
+//! publishes it seqlock-style:
+//!
+//! 1. store `stamp = 0` (release) — slot is now invalid;
+//! 2. store the payload fields (relaxed);
+//! 3. store `stamp = splitmix64(seq) | 1` (release) — slot is valid again.
+//!
+//! A dumper (any thread, any time — including a panic hook) reads `stamp`,
+//! the fields, then `stamp` again; a slot is kept only when both reads
+//! agree *and* the stamp equals the SplitMix64 hash of the recorded
+//! sequence number, so torn or half-written slots are rejected without the
+//! writer ever taking a lock. Sequence numbers come from one global
+//! counter, giving a total order to merge segments by.
+//!
+//! Event names are copied into 24 inline bytes (truncating longer names),
+//! so dynamic strings — fault-injection site names, panic messages — are
+//! recordable without allocation on the hot path.
+//!
+//! ## Activation
+//!
+//! Off by default (`enabled()` is one relaxed load, `record` returns
+//! immediately). Enable programmatically with [`enable`] or via
+//! `LS_OBS_RECORDER=<slots-per-thread>` (`1`/`on` = 4096). Set
+//! `LS_OBS_RECORDER_DUMP=<path>` to install a panic hook that dumps the
+//! ring to that path (and to dump on [`crate::report`] at clean exit).
+
+use crate::trace::splitmix64;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Inline bytes reserved per event name.
+pub const NAME_BYTES: usize = 24;
+
+const DEFAULT_CAPACITY: usize = 4096;
+
+/// What kind of activity an event records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span closed (`a` = duration in µs, `b` = span id).
+    SpanClose = 1,
+    /// A free-form point event (`a`/`b` meaning is the emitter's).
+    Event = 2,
+    /// An injected fault fired (`a` = site hit index, `b` = rule ⊕ kind).
+    Fault = 3,
+}
+
+impl EventKind {
+    fn from_u64(v: u64) -> Option<EventKind> {
+        match v {
+            1 => Some(EventKind::SpanClose),
+            2 => Some(EventKind::Event),
+            3 => Some(EventKind::Fault),
+            _ => None,
+        }
+    }
+
+    /// The JSONL tag for this kind.
+    pub fn tag(self) -> &'static str {
+        match self {
+            EventKind::SpanClose => "span",
+            EventKind::Event => "event",
+            EventKind::Fault => "fault",
+        }
+    }
+}
+
+struct Slot {
+    /// `0` while being written; else `splitmix64(seq) | 1`.
+    stamp: AtomicU64,
+    seq: AtomicU64,
+    ts_us: AtomicU64,
+    trace: AtomicU64,
+    /// kind (low 8 bits) | name length (next 8 bits).
+    meta: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+    name: [AtomicU64; NAME_BYTES / 8],
+}
+
+impl Slot {
+    fn empty() -> Slot {
+        Slot {
+            stamp: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+            ts_us: AtomicU64::new(0),
+            trace: AtomicU64::new(0),
+            meta: AtomicU64::new(0),
+            a: AtomicU64::new(0),
+            b: AtomicU64::new(0),
+            name: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
+        }
+    }
+}
+
+struct Segment {
+    slots: Box<[Slot]>,
+    cursor: AtomicUsize,
+    thread: String,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_CAPACITY);
+static SEQ: AtomicU64 = AtomicU64::new(1);
+
+fn segments() -> &'static Mutex<Vec<Arc<Segment>>> {
+    static SEGMENTS: OnceLock<Mutex<Vec<Arc<Segment>>>> = OnceLock::new();
+    SEGMENTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn dump_path() -> &'static Mutex<Option<String>> {
+    static PATH: OnceLock<Mutex<Option<String>>> = OnceLock::new();
+    PATH.get_or_init(|| Mutex::new(None))
+}
+
+thread_local! {
+    static SEGMENT: std::cell::OnceCell<Arc<Segment>> = const { std::cell::OnceCell::new() };
+}
+
+/// Is the recorder on? One relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn the recorder on with `capacity` slots per thread (clamped to ≥ 8).
+/// Threads that already allocated a segment keep their old capacity.
+pub fn enable(capacity: usize) {
+    CAPACITY.store(capacity.max(8), Ordering::Relaxed);
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turn the recorder off (segments are kept; re-enabling resumes them).
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Where panic dumps (and [`crate::report`] exit dumps) go; also installs
+/// the panic hook.
+pub fn set_dump_path(path: &str) {
+    *crate::sink::lock_ignore_poison(dump_path()) = Some(path.to_string());
+    install_panic_hook();
+}
+
+/// The configured dump path, if any.
+pub fn configured_dump_path() -> Option<String> {
+    crate::sink::lock_ignore_poison(dump_path()).clone()
+}
+
+/// Honour `LS_OBS_RECORDER` / `LS_OBS_RECORDER_DUMP` (called once from the
+/// level-cache init in `lib.rs`).
+pub(crate) fn init_from_env() {
+    if let Ok(v) = std::env::var("LS_OBS_RECORDER") {
+        let v = v.trim();
+        let cap = match v.to_ascii_lowercase().as_str() {
+            "" | "0" | "off" | "false" => None,
+            "1" | "on" | "true" => Some(DEFAULT_CAPACITY),
+            n => n.parse::<usize>().ok(),
+        };
+        if let Some(cap) = cap {
+            enable(cap);
+        }
+    }
+    if let Some(path) = std::env::var_os("LS_OBS_RECORDER_DUMP") {
+        if let Some(path) = path.to_str() {
+            enable(CAPACITY.load(Ordering::Relaxed));
+            set_dump_path(path);
+        }
+    }
+}
+
+fn unix_micros() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0)
+}
+
+fn stamp_for(seq: u64) -> u64 {
+    splitmix64(seq) | 1
+}
+
+/// Record one event into the calling thread's ring segment. Near-free when
+/// the recorder is off; lock-free (one global fetch_add plus plain stores
+/// into thread-owned slots) when on.
+#[inline]
+pub fn record(kind: EventKind, name: &str, trace: u64, a: u64, b: u64) {
+    if !enabled() {
+        return;
+    }
+    record_slow(kind, name, trace, a, b);
+}
+
+#[cold]
+fn record_slow(kind: EventKind, name: &str, trace: u64, a: u64, b: u64) {
+    SEGMENT.with(|cell| {
+        let seg = cell.get_or_init(|| {
+            let cap = CAPACITY.load(Ordering::Relaxed);
+            let seg = Arc::new(Segment {
+                slots: (0..cap).map(|_| Slot::empty()).collect(),
+                cursor: AtomicUsize::new(0),
+                thread: std::thread::current().name().unwrap_or("?").to_string(),
+            });
+            crate::sink::lock_ignore_poison(segments()).push(seg.clone());
+            seg
+        });
+        let idx = seg.cursor.fetch_add(1, Ordering::Relaxed) % seg.slots.len();
+        let slot = &seg.slots[idx];
+        let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+        // Seqlock write: invalidate, fill, revalidate.
+        slot.stamp.store(0, Ordering::Release);
+        slot.seq.store(seq, Ordering::Relaxed);
+        slot.ts_us.store(unix_micros(), Ordering::Relaxed);
+        slot.trace.store(trace, Ordering::Relaxed);
+        let name_bytes = name.as_bytes();
+        let len = name_bytes.len().min(NAME_BYTES);
+        let mut packed = [0u8; NAME_BYTES];
+        packed[..len].copy_from_slice(&name_bytes[..len]);
+        for (i, chunk) in packed.chunks_exact(8).enumerate() {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            slot.name[i].store(u64::from_le_bytes(word), Ordering::Relaxed);
+        }
+        slot.meta
+            .store(kind as u64 | ((len as u64) << 8), Ordering::Relaxed);
+        slot.a.store(a, Ordering::Relaxed);
+        slot.b.store(b, Ordering::Relaxed);
+        slot.stamp.store(stamp_for(seq), Ordering::Release);
+    });
+}
+
+/// One validated event read back out of the ring.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EventRecord {
+    /// Global sequence number (total order across threads).
+    pub seq: u64,
+    /// Wall-clock microseconds since the Unix epoch.
+    pub ts_us: u64,
+    /// Name of the thread that recorded the event.
+    pub thread: String,
+    /// Event class.
+    pub kind: EventKind,
+    /// Event name (truncated to [`NAME_BYTES`] bytes at record time).
+    pub name: String,
+    /// Trace id the event belongs to (0 = untraced).
+    pub trace: u64,
+    /// Kind-specific payload (µs duration, hit index, …).
+    pub a: u64,
+    /// Kind-specific payload (span id, rule ⊕ kind, …).
+    pub b: u64,
+}
+
+fn read_slot(slot: &Slot, thread: &str) -> Option<EventRecord> {
+    let s1 = slot.stamp.load(Ordering::Acquire);
+    if s1 == 0 {
+        return None;
+    }
+    let seq = slot.seq.load(Ordering::Relaxed);
+    let ts_us = slot.ts_us.load(Ordering::Relaxed);
+    let trace = slot.trace.load(Ordering::Relaxed);
+    let meta = slot.meta.load(Ordering::Relaxed);
+    let a = slot.a.load(Ordering::Relaxed);
+    let b = slot.b.load(Ordering::Relaxed);
+    let mut name_bytes = [0u8; NAME_BYTES];
+    for (i, chunk) in name_bytes.chunks_exact_mut(8).enumerate() {
+        chunk.copy_from_slice(&slot.name[i].load(Ordering::Relaxed).to_le_bytes());
+    }
+    std::sync::atomic::fence(Ordering::Acquire);
+    let s2 = slot.stamp.load(Ordering::Acquire);
+    // Torn-read rejection: the stamp must be stable across the field reads
+    // and must hash-match the sequence number it claims to publish.
+    if s1 != s2 || s1 != stamp_for(seq) {
+        return None;
+    }
+    let kind = EventKind::from_u64(meta & 0xff)?;
+    let len = ((meta >> 8) & 0xff) as usize;
+    let name = String::from_utf8_lossy(&name_bytes[..len.min(NAME_BYTES)]).into_owned();
+    Some(EventRecord {
+        seq,
+        ts_us,
+        thread: thread.to_string(),
+        kind,
+        name,
+        trace,
+        a,
+        b,
+    })
+}
+
+/// Snapshot every thread's segment, drop torn slots, and merge into one
+/// sequence-ordered list (oldest first).
+pub fn dump() -> Vec<EventRecord> {
+    let segs: Vec<Arc<Segment>> = crate::sink::lock_ignore_poison(segments()).clone();
+    let mut out = Vec::new();
+    for seg in &segs {
+        for slot in seg.slots.iter() {
+            if let Some(rec) = read_slot(slot, &seg.thread) {
+                out.push(rec);
+            }
+        }
+    }
+    out.sort_unstable_by_key(|r| r.seq);
+    out
+}
+
+fn record_jsonl(rec: &EventRecord) -> String {
+    let mut line = String::with_capacity(128);
+    line.push_str("{\"t\":\"fr\",\"kind\":\"");
+    line.push_str(rec.kind.tag());
+    line.push_str("\",\"seq\":");
+    let _ = std::fmt::Write::write_fmt(&mut line, format_args!("{}", rec.seq));
+    line.push_str(",\"ts_us\":");
+    let _ = std::fmt::Write::write_fmt(&mut line, format_args!("{}", rec.ts_us));
+    line.push_str(",\"thread\":");
+    crate::json::emit_str(&mut line, &rec.thread);
+    line.push_str(",\"name\":");
+    crate::json::emit_str(&mut line, &rec.name);
+    if rec.trace != 0 {
+        let _ = std::fmt::Write::write_fmt(
+            &mut line,
+            format_args!(",\"trace\":\"{:016x}\"", rec.trace),
+        );
+    }
+    let _ = std::fmt::Write::write_fmt(
+        &mut line,
+        format_args!(",\"a\":{},\"b\":{}}}", rec.a, rec.b),
+    );
+    line
+}
+
+/// Serialize the current ring contents as a JSON array (admin protocol).
+pub fn dump_json() -> String {
+    let recs = dump();
+    let mut out = String::with_capacity(64 * recs.len() + 2);
+    out.push('[');
+    for (i, rec) in recs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&record_jsonl(rec));
+    }
+    out.push(']');
+    out
+}
+
+/// Write the current ring contents to `path` as JSON Lines; returns the
+/// number of events written.
+pub fn dump_to(path: &str) -> std::io::Result<usize> {
+    let recs = dump();
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    for rec in &recs {
+        writeln!(file, "{}", record_jsonl(rec))?;
+    }
+    file.flush()?;
+    Ok(recs.len())
+}
+
+/// Dump to the configured path if one is set (no-op otherwise). Called by
+/// [`crate::report`] so clean exits leave a recording beside the panic path.
+pub fn dump_to_configured() {
+    if let Some(path) = configured_dump_path() {
+        match dump_to(&path) {
+            Ok(n) => eprintln!("[ls-obs] flight recorder: {n} event(s) -> {path}"),
+            Err(e) => eprintln!("[ls-obs] flight recorder: cannot write {path}: {e}"),
+        }
+    }
+}
+
+/// Install (once) a panic hook that records the panic as an event and dumps
+/// the ring to the configured path — the black-box recording that turns "a
+/// chaos test died" into a replayable event sequence. Chains to the
+/// previously installed hook.
+pub fn install_panic_hook() {
+    static INSTALLED: AtomicBool = AtomicBool::new(false);
+    if INSTALLED.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        // Re-entrancy guard: a panic inside the dump must not recurse.
+        static DUMPING: AtomicBool = AtomicBool::new(false);
+        if !DUMPING.swap(true, Ordering::SeqCst) {
+            let msg = info
+                .payload()
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| info.payload().downcast_ref::<String>().map(String::as_str))
+                .unwrap_or("panic");
+            record(
+                EventKind::Event,
+                msg,
+                crate::trace::current_trace_id(),
+                0,
+                u64::from(std::thread::panicking()),
+            );
+            dump_to_configured();
+            DUMPING.store(false, Ordering::SeqCst);
+        }
+        prev(info);
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The recorder is process-global; tests share one ring, so they assert
+    // on their own uniquely-named events only.
+
+    #[test]
+    fn record_and_dump_round_trip() {
+        enable(64);
+        record(EventKind::Event, "test.rec.alpha", 0xbeef, 7, 9);
+        record(EventKind::Fault, "test.rec.beta", 0, 1, 2);
+        let recs = dump();
+        let alpha = recs
+            .iter()
+            .find(|r| r.name == "test.rec.alpha")
+            .expect("alpha recorded");
+        assert_eq!(alpha.kind, EventKind::Event);
+        assert_eq!(alpha.trace, 0xbeef);
+        assert_eq!((alpha.a, alpha.b), (7, 9));
+        let beta = recs.iter().find(|r| r.name == "test.rec.beta").unwrap();
+        assert_eq!(beta.kind, EventKind::Fault);
+        assert!(alpha.seq < beta.seq, "sequence order preserved");
+    }
+
+    #[test]
+    fn ring_wraps_keeping_most_recent() {
+        enable(64);
+        // This thread's segment capacity is fixed at first use within the
+        // process; whatever it is, 3x that many records must keep the tail.
+        let cap = CAPACITY.load(Ordering::Relaxed);
+        let total = cap * 3;
+        for i in 0..total {
+            record(EventKind::Event, "test.rec.wrap", 0, i as u64, 0);
+        }
+        let recs: Vec<_> = dump()
+            .into_iter()
+            .filter(|r| r.name == "test.rec.wrap")
+            .collect();
+        assert!(!recs.is_empty());
+        let max_a = recs.iter().map(|r| r.a).max().unwrap();
+        assert_eq!(max_a, (total - 1) as u64, "newest record survives wrap");
+    }
+
+    #[test]
+    fn long_names_truncate_not_corrupt() {
+        enable(64);
+        let long = "test.rec.very-long-name-that-exceeds-the-inline-buffer";
+        record(EventKind::Event, long, 0, 0, 0);
+        let recs = dump();
+        let got = recs
+            .iter()
+            .find(|r| long.starts_with(&r.name) && r.name.len() == NAME_BYTES)
+            .expect("truncated record present");
+        assert_eq!(got.name.as_bytes(), &long.as_bytes()[..NAME_BYTES]);
+    }
+
+    #[test]
+    fn multi_thread_segments_merge_in_seq_order() {
+        enable(64);
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    for i in 0..16 {
+                        record(EventKind::Event, "test.rec.mt", 0, t, i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let recs: Vec<_> = dump()
+            .into_iter()
+            .filter(|r| r.name == "test.rec.mt")
+            .collect();
+        assert_eq!(recs.len(), 64);
+        assert!(recs.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn disabled_recorder_records_nothing() {
+        // Run in a fresh thread so this thread's segment (if any) is not
+        // consulted; the global flag flip is still racy with other tests,
+        // so only assert the no-segment fast path.
+        let was = enabled();
+        disable();
+        record(EventKind::Event, "test.rec.off", 0, 0, 0);
+        assert!(!dump().iter().any(|r| r.name == "test.rec.off"));
+        if was {
+            ENABLED.store(true, Ordering::Relaxed);
+        }
+    }
+}

@@ -14,6 +14,12 @@ use std::time::{SystemTime, UNIX_EPOCH};
 static JSONL_ACTIVE: AtomicBool = AtomicBool::new(false);
 static JSONL: Mutex<Option<Box<dyn Write + Send>>> = Mutex::new(None);
 
+/// Lock a mutex, recovering the guard if a panicking thread poisoned it —
+/// telemetry must stay usable from panic hooks, where poisoning is routine.
+pub(crate) fn lock_ignore_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 /// Is the JSONL sink installed? One relaxed atomic load.
 #[inline]
 pub fn jsonl_active() -> bool {
@@ -75,6 +81,7 @@ pub(crate) fn write_span(
     name: &str,
     id: u64,
     parent: u64,
+    trace: u64,
     secs: f64,
     fields: &[(&'static str, FieldValue)],
 ) {
@@ -90,6 +97,11 @@ pub(crate) fn write_span(
         secs * 1e6,
         unix_micros()
     );
+    if trace != 0 {
+        // Hex string, not a JSON number: the parser's numbers are f64 and
+        // would silently round 64-bit trace ids.
+        let _ = write!(line, ",\"trace\":\"{trace:016x}\"");
+    }
     if !fields.is_empty() {
         line.push_str(",\"fields\":{");
         for (i, (k, v)) in fields.iter().enumerate() {
@@ -142,7 +154,7 @@ fn snapshot_json(snap: &RegistrySnapshot) -> String {
         emit_f64(&mut line, *value);
     }
     line.push_str("},\"histograms\":{");
-    for (i, (name, st)) in snap.histograms.iter().enumerate() {
+    for (i, (name, st, exemplars)) in snap.histograms.iter().enumerate() {
         if i > 0 {
             line.push(',');
         }
@@ -161,6 +173,18 @@ fn snapshot_json(snap: &RegistrySnapshot) -> String {
         emit_f64(&mut line, st.p90);
         line.push_str(",\"p99\":");
         emit_f64(&mut line, st.p99);
+        if !exemplars.is_empty() {
+            line.push_str(",\"exemplars\":[");
+            for (j, (value, trace)) in exemplars.iter().enumerate() {
+                if j > 0 {
+                    line.push(',');
+                }
+                line.push_str("{\"value\":");
+                emit_f64(&mut line, *value);
+                let _ = write!(line, ",\"trace\":\"{trace:016x}\"}}");
+            }
+            line.push(']');
+        }
         line.push('}');
     }
     line.push_str("},\"meters\":{");
@@ -175,6 +199,13 @@ fn snapshot_json(snap: &RegistrySnapshot) -> String {
     }
     line.push_str("}}");
     line
+}
+
+/// One metrics-snapshot record as a JSON object string — the same shape the
+/// JSONL sink emits, exposed so the serving admin protocol can answer
+/// metrics queries without owning a second serializer.
+pub fn metrics_json() -> String {
+    snapshot_json(&registry().snapshot())
 }
 
 /// Write a metrics-snapshot record to the JSONL sink (if active) and flush.
@@ -218,7 +249,7 @@ pub fn summary() -> String {
     }
     if !snap.histograms.is_empty() {
         out.push_str("histograms (secs):\n");
-        for (name, st) in &snap.histograms {
+        for (name, st, _exemplars) in &snap.histograms {
             if st.count == 0 {
                 continue;
             }
@@ -244,9 +275,12 @@ pub fn summary() -> String {
 }
 
 /// Print the summary to stderr when `LS_OBS` is at `summary` or higher,
-/// and flush the JSONL sink. Call once at the end of a run.
+/// flush the JSONL sink, and dump the flight recorder to its configured
+/// path (if any) so clean exits leave a recording too. Call once at the
+/// end of a run.
 pub fn report() {
     flush();
+    crate::recorder::dump_to_configured();
     if crate::level() >= Level::Summary {
         eprint!("{}", summary());
     }

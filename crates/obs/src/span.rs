@@ -80,6 +80,7 @@ struct SpanInner {
     name: &'static str,
     id: u64,
     parent: u64,
+    trace: u64,
     depth: usize,
     start: Instant,
     fields: Vec<(&'static str, FieldValue)>,
@@ -99,6 +100,10 @@ impl Span {
         }
         let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
         let parent = CURRENT.with(|c| c.replace(id));
+        // Spans adopt the ambient trace id (0 = untraced) set by
+        // `TraceContext::attach`, so a request's identity follows its work
+        // across pool threads without the span layer knowing about pools.
+        let trace = crate::trace::current_trace_id();
         let depth = DEPTH.with(|d| {
             let v = d.get();
             d.set(v + 1);
@@ -112,6 +117,7 @@ impl Span {
                 name,
                 id,
                 parent,
+                trace,
                 depth,
                 start: Instant::now(),
                 fields: Vec::new(),
@@ -152,8 +158,20 @@ impl Drop for Span {
         CURRENT.with(|c| c.set(inner.parent));
         DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
         // Span durations feed a histogram keyed on the span name, so bench
-        // tables and live telemetry agree on one measurement path.
-        metrics::registry().histogram(inner.name).record(secs);
+        // tables and live telemetry agree on one measurement path; traced
+        // samples also land in the exemplar slots for tail attribution.
+        metrics::registry()
+            .histogram(inner.name)
+            .record_traced(secs, inner.trace);
+        if crate::recorder::enabled() {
+            crate::recorder::record(
+                crate::recorder::EventKind::SpanClose,
+                inner.name,
+                inner.trace,
+                (secs * 1e6) as u64,
+                inner.id,
+            );
+        }
         if crate::level() >= Level::Spans {
             let mut line = format!(
                 "[ls-obs] {:indent$}< {name} {ms:.3}ms",
@@ -167,11 +185,25 @@ impl Drop for Span {
             }
             eprintln!("{line}");
         }
-        sink::write_span(inner.name, inner.id, inner.parent, secs, &inner.fields);
+        sink::write_span(
+            inner.name,
+            inner.id,
+            inner.parent,
+            inner.trace,
+            secs,
+            &inner.fields,
+        );
     }
 }
 
 /// Current thread's innermost open span id (0 = root). Exposed for tests.
 pub fn current_span_id() -> u64 {
     CURRENT.with(|c| c.get())
+}
+
+/// Replace the thread's current-span id, returning the previous value.
+/// Used by `TraceContext::attach` to graft remotely-opened spans onto this
+/// thread's parenting stack.
+pub(crate) fn set_current(id: u64) -> u64 {
+    CURRENT.with(|c| c.replace(id))
 }

@@ -206,6 +206,90 @@ fn spans_span_threads_independently() {
 }
 
 #[test]
+fn exemplar_histograms_carry_trace_ids() {
+    ls_obs::set_level(Level::Summary);
+    let h = ls_obs::histogram("test.hist.exemplar");
+    h.reset();
+    h.record_traced(0.25, 0xabc);
+    h.record_traced(0.5, 0xdef);
+    let ex = h.exemplars();
+    assert!(ex.contains(&(0.25, 0xabc)), "first exemplar kept: {ex:?}");
+    assert!(ex.contains(&(0.5, 0xdef)), "second exemplar kept: {ex:?}");
+    // Trace 0 (untraced) and non-finite samples never become exemplars.
+    h.record_traced(1.0, 0);
+    h.record_traced(f64::NAN, 7);
+    assert!(!h.exemplars().iter().any(|&(_, t)| t == 7));
+    assert_eq!(h.exemplars().len(), 2);
+    // Round-robin eviction: overfilling keeps exactly the newest slots.
+    for i in 0..ls_obs::EXEMPLAR_SLOTS as u64 {
+        h.record_traced(0.1 + i as f64 * 0.01, 1000 + i);
+    }
+    let ex = h.exemplars();
+    assert_eq!(ex.len(), ls_obs::EXEMPLAR_SLOTS);
+    assert!(
+        ex.iter().all(|&(_, t)| t >= 1000),
+        "old traces evicted: {ex:?}"
+    );
+    // Exemplar bookkeeping never perturbs the distribution itself: every
+    // finite sample above was recorded, including the untraced one.
+    assert_eq!(h.stats().count, 3 + ls_obs::EXEMPLAR_SLOTS as u64);
+    // reset() clears exemplars along with the buckets.
+    h.reset();
+    assert!(h.exemplars().is_empty());
+}
+
+#[test]
+fn flight_recorder_dumps_on_panic() {
+    use ls_obs::recorder;
+    recorder::enable(256);
+    let dir = std::env::temp_dir().join(format!(
+        "ls-obs-recorder-test-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("flight.jsonl");
+    recorder::set_dump_path(path.to_str().unwrap());
+    recorder::install_panic_hook();
+
+    recorder::record(
+        recorder::EventKind::Event,
+        "test.prelude.event",
+        0x5151,
+        11,
+        22,
+    );
+    let err = std::panic::catch_unwind(|| panic!("recorder black-box test"));
+    assert!(err.is_err());
+
+    let text = std::fs::read_to_string(&path).expect("panic hook wrote the dump");
+    assert!(!text.trim().is_empty(), "dump is non-empty");
+    let records: Vec<Json> = text
+        .lines()
+        .map(|l| ls_obs::parse_json(l).expect("each dump line is JSON"))
+        .collect();
+    // The event recorded before the panic survives, with its payload.
+    let prelude = records
+        .iter()
+        .find(|r| r.get("name").and_then(Json::as_str) == Some("test.prelude.event"))
+        .expect("prelude event in dump");
+    assert_eq!(prelude.get("a").and_then(Json::as_u64), Some(11));
+    assert_eq!(prelude.get("b").and_then(Json::as_u64), Some(22));
+    assert_eq!(
+        prelude.get("trace").and_then(Json::as_str),
+        Some(format!("{:016x}", 0x5151).as_str())
+    );
+    // The panic itself lands in the ring as the last-breath event.
+    assert!(
+        records
+            .iter()
+            .any(|r| r.get("name").and_then(Json::as_str) == Some("recorder black-box test")),
+        "panic message recorded: {text}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn disabled_spans_are_inert() {
     let _guard = sink_lock().lock().unwrap();
     // With level Off and no sink, spans carry no id and record nothing.

@@ -47,12 +47,17 @@ where
     }
     let chunk = chunk_size(n, workers);
     let telemetry = ls_obs::enabled();
+    // Capture the submitting thread's trace context before spawning: span
+    // parenting is per-thread, so without this hand-off any span opened on
+    // a pool worker would start a fresh, orphaned root.
+    let trace_ctx = ls_obs::TraceContext::current();
     let next = AtomicUsize::new(0);
     let mut pieces: Vec<(usize, Vec<R>)> = std::thread::scope(|sc| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 sc.spawn(|| {
                     let _guard = WorkerGuard::enter();
+                    let _trace = trace_ctx.as_ref().map(ls_obs::TraceContext::attach);
                     let t0 = telemetry.then(Instant::now);
                     let mut out: Vec<(usize, Vec<R>)> = Vec::new();
                     let mut state: Option<S> = None;
@@ -118,12 +123,14 @@ where
         return idx.into_iter().map(f).collect();
     }
     let telemetry = ls_obs::enabled();
+    let trace_ctx = ls_obs::TraceContext::current();
     let next = AtomicUsize::new(0);
     let mut pieces: Vec<(usize, R)> = std::thread::scope(|sc| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 sc.spawn(|| {
                     let _guard = WorkerGuard::enter();
+                    let _trace = trace_ctx.as_ref().map(ls_obs::TraceContext::attach);
                     let mut out = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -181,18 +188,21 @@ where
             .collect();
     }
     let telemetry = ls_obs::enabled();
+    let trace_ctx = ls_obs::TraceContext::current();
     // Deal chunks round-robin: worker w gets chunks w, w+workers, …
     let mut per_worker: Vec<Vec<(usize, &mut [T])>> = (0..workers).map(|_| Vec::new()).collect();
     for (i, c) in data.chunks_mut(chunk_len).enumerate() {
         per_worker[i % workers].push((i, c));
     }
     let f = &f;
+    let trace_ctx = &trace_ctx;
     let mut pieces: Vec<(usize, R)> = std::thread::scope(|sc| {
         let handles: Vec<_> = per_worker
             .into_iter()
             .map(|mine| {
                 sc.spawn(move || {
                     let _guard = WorkerGuard::enter();
+                    let _trace = trace_ctx.as_ref().map(ls_obs::TraceContext::attach);
                     mine.into_iter()
                         .map(|(i, c)| (i, f(i, c)))
                         .collect::<Vec<_>>()
@@ -302,6 +312,29 @@ mod tests {
             })
         });
         assert_eq!(out, (0..16).map(|x| x + 6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn workers_inherit_submitting_trace_context() {
+        ls_obs::set_level(ls_obs::Level::Summary);
+        let ctx = ls_obs::TraceContext::root();
+        let _g = ctx.attach();
+        let outer = ls_obs::span("par.test.outer");
+        let outer_id = outer.id();
+        assert_ne!(outer_id, 0);
+        let items: Vec<u32> = (0..64).collect();
+        let out = with_threads(4, || {
+            par_map(&items, |_, &x| {
+                // Pool workers see the submitter's trace id, and spans they
+                // open nest under the submitting span, not a fresh root.
+                assert_eq!(ls_obs::current_trace_id(), ctx.trace_id);
+                assert_eq!(ls_obs::current_span_id(), outer_id);
+                x
+            })
+        });
+        assert_eq!(out, items);
+        drop(outer);
+        ls_obs::set_level(ls_obs::Level::Off);
     }
 
     #[test]

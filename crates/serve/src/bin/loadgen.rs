@@ -6,13 +6,15 @@
 //! through the serving path, and drives it with closed-loop clients.
 //!
 //! Reported per configuration: requests served, shed counts, throughput
-//! (req/s and facts/s) and exact p50/p99 latency from the full sample set.
+//! (req/s and facts/s) and exact p50/p99/p99.9/max latency from the full
+//! sample set.
 //!
 //! ```text
 //! serve-loadgen [--workers 1,2,4] [--clients 4] [--requests 200]
 //!               [--queue 256] [--batch 64] [--cache 1024] [--cache-off]
 //!               [--lineage 12] [--queries 24] [--serial] [--tcp]
 //!               [--seed 7] [--max-len 64] [--fault] [--fault-seed 42]
+//!               [--trace-sample N] [--assert-overhead PCT]
 //! ```
 //!
 //! `--serial` adds a single-threaded `rank_lineage` baseline pass over the
@@ -21,13 +23,22 @@
 //! a seeded fault plan injects scoring errors and panics while the circuit
 //! breaker degrades to the uniform fallback, reporting degraded/failed
 //! counts, degraded-mode throughput, and breaker recovery latency.
+//!
+//! `--trace-sample N` attaches a fresh `TraceContext` to every request, and
+//! after each traced pass prints (a) the per-stage attribution of the p99
+//! tail cohort ("p99 is 78% queue wait") and (b) N full stage-breakdown
+//! samples. `--assert-overhead PCT` runs the warm-cache pass twice — tracing
+//! off, then tracing on — and exits nonzero if the traced pass loses more
+//! than PCT percent throughput. `--listen HOST:PORT` keeps a warm TCP
+//! server alive after the runs so `obsctl` can introspect a live process.
 
 use ls_core::{save_model, LearnShapleyModel, Tokenizer, UniformFallback};
 use ls_fault::{FaultKind, FaultPlan, FaultRule, FaultSpec};
 use ls_nn::EncoderConfig;
 use ls_relational::{ColType, Database, FactId, OutputTuple, TableSchema, Value};
 use ls_serve::{
-    ModelBundle, RankRequest, ServeConfig, ServeError, Server, TcpRankClient, TcpServer,
+    ModelBundle, RankRequest, ServeConfig, ServeError, Server, StageBreakdown, TcpRankClient,
+    TcpServer,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -51,6 +62,9 @@ struct Args {
     tcp: bool,
     fault: bool,
     fault_seed: u64,
+    trace_sample: usize,
+    assert_overhead: Option<f64>,
+    listen: Option<String>,
 }
 
 impl Default for Args {
@@ -70,6 +84,9 @@ impl Default for Args {
             tcp: false,
             fault: false,
             fault_seed: 42,
+            trace_sample: 0,
+            assert_overhead: None,
+            listen: None,
         }
     }
 }
@@ -103,12 +120,18 @@ fn parse_args() -> Args {
             "--tcp" => args.tcp = true,
             "--fault" => args.fault = true,
             "--fault-seed" => args.fault_seed = take().parse().expect("fault seed"),
+            "--trace-sample" => args.trace_sample = take().parse().expect("trace sample count"),
+            "--assert-overhead" => {
+                args.assert_overhead = Some(take().parse().expect("overhead percent"));
+            }
+            "--listen" => args.listen = Some(take()),
             "--help" | "-h" => {
                 println!(
                     "serve-loadgen [--workers 1,2,4] [--clients N] [--requests N] \
                      [--queue N] [--batch N] [--cache N | --cache-off] [--lineage N] \
                      [--queries N] [--max-len N] [--seed N] [--serial] [--tcp] \
-                     [--fault] [--fault-seed N]"
+                     [--fault] [--fault-seed N] [--trace-sample N] [--assert-overhead PCT] \
+                     [--listen HOST:PORT]"
                 );
                 std::process::exit(0);
             }
@@ -221,9 +244,15 @@ struct RunStats {
     latencies: Vec<Duration>,
     wall: Duration,
     facts: usize,
+    /// Per-stage breakdowns of traced (non-cache-hit) responses.
+    stages: Vec<StageBreakdown>,
 }
 
 impl RunStats {
+    fn throughput(&self) -> f64 {
+        self.served as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+
     fn report(&mut self, label: &str) {
         self.latencies.sort();
         let pct = |p: f64| -> Duration {
@@ -240,7 +269,7 @@ impl RunStats {
             String::new()
         };
         println!(
-            "{label:<28} served {:>6}  shed {:>4}  cached {:>6}  {:>9.1} req/s  {:>10.0} facts/s  p50 {:>9.3?}  p99 {:>9.3?}{chaos}",
+            "{label:<28} served {:>6}  shed {:>4}  cached {:>6}  {:>9.1} req/s  {:>10.0} facts/s  p50 {:>9.3?}  p99 {:>9.3?}  p99.9 {:>9.3?}  max {:>9.3?}{chaos}",
             self.served,
             self.shed,
             self.cached,
@@ -248,7 +277,62 @@ impl RunStats {
             self.facts as f64 / secs,
             pct(0.50),
             pct(0.99),
+            pct(0.999),
+            self.latencies.last().copied().unwrap_or(Duration::ZERO),
         );
+    }
+
+    /// Attribute the p99 tail to its dominant stage and dump `sample` full
+    /// breakdowns — the "p99 is 78% queue wait" line the tracing work exists
+    /// to produce.
+    fn report_stages(&mut self, sample: usize) {
+        if self.stages.is_empty() {
+            return;
+        }
+        self.stages.sort_by_key(|b| b.total_us);
+        let p99_idx = ((self.stages.len() as f64 - 1.0) * 0.99).round() as usize;
+        let cohort = &self.stages[p99_idx..];
+        let sums = cohort.iter().fold([0u64; 6], |mut acc, b| {
+            for (slot, v) in acc.iter_mut().zip([
+                b.probe_us, b.queue_us, b.batch_us, b.score_us, b.other_us, b.total_us,
+            ]) {
+                *slot += v;
+            }
+            acc
+        });
+        let total = sums[5].max(1);
+        let named = [
+            ("probe", sums[0]),
+            ("queue wait", sums[1]),
+            ("batch assembly", sums[2]),
+            ("score", sums[3]),
+            ("other", sums[4]),
+        ];
+        let (dominant, dominant_us) = named
+            .iter()
+            .max_by_key(|(_, us)| *us)
+            .copied()
+            .unwrap_or(("other", 0));
+        let pct_of = |us: u64| 100.0 * us as f64 / total as f64;
+        println!(
+            "  p99 tail ({} traced requests): p99 is {:.0}% {dominant}  \
+             [probe {:.0}%  queue {:.0}%  batch {:.0}%  score {:.0}%  other {:.0}%]",
+            cohort.len(),
+            pct_of(dominant_us),
+            pct_of(sums[0]),
+            pct_of(sums[1]),
+            pct_of(sums[2]),
+            pct_of(sums[3]),
+            pct_of(sums[4]),
+        );
+        // Full breakdowns, slowest first.
+        for b in self.stages.iter().rev().take(sample) {
+            println!(
+                "    trace sample: total {:>7}us = probe {:>5}us + queue {:>6}us + \
+                 batch {:>5}us + score {:>6}us + other {:>5}us",
+                b.total_us, b.probe_us, b.queue_us, b.batch_us, b.score_us, b.other_us
+            );
+        }
     }
 
     fn merge(&mut self, local: RunStats) {
@@ -259,6 +343,7 @@ impl RunStats {
         self.failed += local.failed;
         self.facts += local.facts;
         self.latencies.extend(local.latencies);
+        self.stages.extend(local.stages);
     }
 }
 
@@ -269,6 +354,7 @@ fn drive(
     requests: &[RankRequest],
     clients: usize,
     total: usize,
+    traced: bool,
 ) -> RunStats {
     let next = AtomicUsize::new(0);
     let start = Instant::now();
@@ -286,6 +372,9 @@ fn drive(
                         }
                         let req = requests[i % requests.len()].clone();
                         let facts = req.lineage.len();
+                        // A fresh root per request: the guard keeps the
+                        // context attached for the duration of the call.
+                        let _trace = traced.then(|| ls_obs::TraceContext::root().attach());
                         let t0 = Instant::now();
                         match handle.rank(req) {
                             Ok(resp) => {
@@ -297,6 +386,9 @@ fn drive(
                                 }
                                 if resp.degraded {
                                     local.degraded += 1;
+                                }
+                                if let Some(b) = resp.stages {
+                                    local.stages.push(b);
                                 }
                             }
                             Err(ServeError::Overloaded | ServeError::DeadlineExceeded) => {
@@ -393,13 +485,20 @@ fn main() {
         };
         let server = Server::start(bundle.clone(), cfg);
         let handle = server.handle();
-        let mut cold = drive(&handle, &requests, args.clients, args.requests);
+        let traced = args.trace_sample > 0;
+        let mut cold = drive(&handle, &requests, args.clients, args.requests, traced);
         cold.report(&format!("serve w={workers} cold"));
+        cold.report_stages(args.trace_sample);
         if args.cache > 0 {
-            let mut warm = drive(&handle, &requests, args.clients, args.requests);
+            let mut warm = drive(&handle, &requests, args.clients, args.requests, traced);
             warm.report(&format!("serve w={workers} warm"));
+            warm.report_stages(args.trace_sample);
         }
         server.shutdown();
+    }
+
+    if let Some(bound) = args.assert_overhead {
+        run_overhead(&args, &bundle, &requests, bound);
     }
 
     if args.tcp {
@@ -469,8 +568,71 @@ fn main() {
     }
 
     let _ = std::fs::remove_dir_all(&dir);
+
+    // Interactive mode: keep a warm server on `addr` after the runs so
+    // `obsctl` (or any rank client) can poke at a live process.
+    if let Some(addr) = &args.listen {
+        let workers = *args.workers.last().unwrap_or(&2);
+        let server = Server::start(
+            bundle.clone(),
+            ServeConfig {
+                workers,
+                queue_depth: args.queue,
+                max_batch_items: args.batch,
+                cache_capacity: args.cache,
+                ..Default::default()
+            },
+        );
+        let tcp = TcpServer::start(server.handle(), addr.as_str()).expect("bind listen addr");
+        println!(
+            "listening on {} (rank + admin frames; Ctrl-C to stop)",
+            tcp.local_addr()
+        );
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+
     // Flush the metric summary / JSONL sink (LS_OBS, LS_OBS_JSONL).
     ls_obs::report();
+}
+
+/// Tracing-overhead bound: drive the same warm-cache configuration with
+/// tracing off and on, and fail the process if the traced pass loses more
+/// than `bound` percent throughput. Each mode takes the best of three warm
+/// passes so a scheduler hiccup cannot fail the bound on its own.
+fn run_overhead(args: &Args, bundle: &Arc<ModelBundle>, requests: &[RankRequest], bound: f64) {
+    let workers = *args.workers.last().unwrap_or(&2);
+    let cfg = ServeConfig {
+        workers,
+        queue_depth: args.queue,
+        max_batch_items: args.batch,
+        batch_deadline: Duration::from_micros(500),
+        cache_capacity: args.cache.max(1024),
+        default_deadline: None,
+        ..Default::default()
+    };
+    let server = Server::start(bundle.clone(), cfg);
+    let handle = server.handle();
+    // Fill the cache once, then measure.
+    drive(&handle, requests, args.clients, args.requests, false);
+    let best = |traced: bool| -> f64 {
+        (0..3)
+            .map(|_| drive(&handle, requests, args.clients, args.requests, traced).throughput())
+            .fold(0.0f64, f64::max)
+    };
+    let base = best(false);
+    let traced = best(true);
+    server.shutdown();
+    let overhead = 100.0 * (1.0 - traced / base.max(1e-9));
+    println!(
+        "tracing overhead (warm, w={workers}): off {base:.1} req/s, on {traced:.1} req/s, \
+         overhead {overhead:.2}% (bound {bound}%)"
+    );
+    if overhead > bound {
+        eprintln!("tracing overhead {overhead:.2}% exceeds bound {bound}%");
+        std::process::exit(1);
+    }
 }
 
 /// Chaos configuration: drive the server under a seeded fault plan that
@@ -517,7 +679,7 @@ fn run_fault(args: &Args, bundle: &Arc<ModelBundle>, requests: &[RankRequest]) {
         Some(Arc::new(UniformFallback)),
     );
     let handle = server.handle();
-    let mut stats = drive(&handle, requests, args.clients, args.requests);
+    let mut stats = drive(&handle, requests, args.clients, args.requests, false);
     stats.report(&format!("serve w={workers} fault"));
     println!(
         "  fault plan seed {}: {} faults fired during the closed loop",

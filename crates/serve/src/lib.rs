@@ -29,6 +29,18 @@
 //! `serve.cache_hit` / `serve.cache_miss` / `serve.shed_overload` /
 //! `serve.shed_deadline` (counters).
 //!
+//! ## Tracing & introspection
+//!
+//! Every request can carry an [`ls_obs::TraceContext`] end to end: the TCP
+//! client mints (or propagates) one, the wire carries it as hex ids, and
+//! the engine threads it through queue → batcher → worker pool so spans and
+//! stage histograms (`serve.stage.*`) attribute to the request. Successful
+//! traced responses return a [`StageBreakdown`] whose disjoint stages sum
+//! exactly to the server-side latency. The same TCP port answers
+//! [`proto::AdminCommand`] introspection frames (metrics snapshots with
+//! exemplars, queue/breaker/cache state, active traces, flight-recorder
+//! dumps) — `bin/obsctl` is the matching CLI.
+//!
 //! ## Resilience
 //!
 //! The stack self-heals around `ls-fault`'s primitives (see the repository
@@ -52,8 +64,9 @@ pub mod server;
 pub mod tcp;
 
 pub use cache::{LruCache, RankKey};
-pub use proto::{frame_error, FrameError, MAX_FRAME};
+pub use proto::{frame_error, AdminCommand, Frame, FrameError, MAX_FRAME};
 pub use server::{
     ModelBundle, RankRequest, RankResponse, ServeConfig, ServeError, ServeHandle, Server,
+    StageBreakdown,
 };
 pub use tcp::{RetryPolicy, TcpRankClient, TcpServer};

@@ -28,8 +28,8 @@
 //! receives are bit-identical to the in-process [`crate::RankResponse`] —
 //! the determinism invariant survives the wire.
 
-use crate::server::{RankRequest, RankResponse, ServeError};
-use ls_obs::Json;
+use crate::server::{RankRequest, RankResponse, ServeError, StageBreakdown};
+use ls_obs::{Json, TraceContext};
 use ls_relational::{FactId, OutputTuple, Value};
 use std::fmt;
 use std::fmt::Write as _;
@@ -137,10 +137,22 @@ fn emit_str(out: &mut String, s: &str) {
     out.push('"');
 }
 
-/// Encode a request frame payload.
-pub fn encode_request(id: u64, req: &RankRequest) -> Vec<u8> {
+/// Encode a request frame payload. When `trace` is given, the frame carries
+/// the client's trace identity (`{"trace":{"id":"…","span":"…"}}`, 16-digit
+/// hex — JSON numbers are f64 and would round 64-bit ids) so server-side
+/// spans stitch into the client's trace.
+pub fn encode_request(id: u64, req: &RankRequest, trace: Option<&TraceContext>) -> Vec<u8> {
     let mut out = String::new();
-    let _ = write!(out, "{{\"id\":{id},\"query\":");
+    let _ = write!(out, "{{\"id\":{id}");
+    if let Some(ctx) = trace {
+        let _ = write!(
+            out,
+            ",\"trace\":{{\"id\":\"{}\",\"span\":\"{}\"}}",
+            ctx.trace_hex(),
+            ctx.span_hex()
+        );
+    }
+    out.push_str(",\"query\":");
     emit_str(&mut out, &req.query_sql);
     out.push_str(",\"tuple\":[");
     for (i, v) in req.tuple.values.iter().enumerate() {
@@ -169,14 +181,84 @@ pub fn encode_request(id: u64, req: &RankRequest) -> Vec<u8> {
     out.into_bytes()
 }
 
-/// Decode a request frame payload into `(id, request)`.
-pub fn decode_request(payload: &[u8]) -> Result<(u64, RankRequest), String> {
+/// An introspection query carried on the same TCP port as rank traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdminCommand {
+    /// Full metrics snapshot (counters, gauges, histograms + exemplars).
+    Metrics,
+    /// Queue/pool/cache/breaker operational state.
+    State,
+    /// Active traced requests and their stage progress.
+    Traces,
+    /// Flight-recorder ring contents.
+    Recorder,
+}
+
+impl AdminCommand {
+    /// The wire keyword for this command.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            AdminCommand::Metrics => "metrics",
+            AdminCommand::State => "state",
+            AdminCommand::Traces => "traces",
+            AdminCommand::Recorder => "recorder",
+        }
+    }
+
+    /// Parse a wire keyword.
+    pub fn from_keyword(s: &str) -> Option<AdminCommand> {
+        match s {
+            "metrics" => Some(AdminCommand::Metrics),
+            "state" => Some(AdminCommand::State),
+            "traces" => Some(AdminCommand::Traces),
+            "recorder" => Some(AdminCommand::Recorder),
+            _ => None,
+        }
+    }
+}
+
+/// One decoded inbound frame: rank traffic (with its optional client trace)
+/// or an admin introspection query, multiplexed by the `"admin"` key.
+#[derive(Debug)]
+pub enum Frame {
+    /// A ranking request and the trace context it carried, if any.
+    Rank(u64, RankRequest, Option<TraceContext>),
+    /// An admin query.
+    Admin(u64, AdminCommand),
+}
+
+/// Decode any inbound frame (rank or admin).
+pub fn decode_frame(payload: &[u8]) -> Result<Frame, String> {
     let text = std::str::from_utf8(payload).map_err(|e| format!("frame not UTF-8: {e}"))?;
     let doc = ls_obs::parse_json(text)?;
     let id = doc
         .get("id")
         .and_then(Json::as_u64)
         .ok_or("missing numeric \"id\"")?;
+    if let Some(kw) = doc.get("admin").and_then(Json::as_str) {
+        let cmd = AdminCommand::from_keyword(kw).ok_or_else(|| format!("unknown admin {kw:?}"))?;
+        return Ok(Frame::Admin(id, cmd));
+    }
+    let trace = doc.get("trace").and_then(|t| {
+        TraceContext::from_hex(
+            t.get("id").and_then(Json::as_str)?,
+            t.get("span").and_then(Json::as_str),
+        )
+    });
+    let req = decode_rank_body(&doc)?;
+    Ok(Frame::Rank(id, req, trace))
+}
+
+/// Decode a request frame payload into `(id, request)`, rejecting admin
+/// frames. Retained for peers that speak only rank traffic.
+pub fn decode_request(payload: &[u8]) -> Result<(u64, RankRequest), String> {
+    match decode_frame(payload)? {
+        Frame::Rank(id, req, _) => Ok((id, req)),
+        Frame::Admin(..) => Err("admin frame where a rank request was expected".into()),
+    }
+}
+
+fn decode_rank_body(doc: &Json) -> Result<RankRequest, String> {
     let query_sql = doc
         .get("query")
         .and_then(Json::as_str)
@@ -210,18 +292,45 @@ pub fn decode_request(payload: &[u8]) -> Result<(u64, RankRequest), String> {
         .get("deadline_ms")
         .and_then(Json::as_u64)
         .map(Duration::from_millis);
-    Ok((
-        id,
-        RankRequest {
-            query_sql,
-            tuple: OutputTuple {
-                values,
-                derivations: Vec::new(),
-            },
-            lineage,
-            deadline,
+    Ok(RankRequest {
+        query_sql,
+        tuple: OutputTuple {
+            values,
+            derivations: Vec::new(),
         },
-    ))
+        lineage,
+        deadline,
+    })
+}
+
+/// Encode an admin query frame payload.
+pub fn encode_admin_request(id: u64, cmd: AdminCommand) -> Vec<u8> {
+    format!("{{\"id\":{id},\"admin\":\"{}\"}}", cmd.keyword()).into_bytes()
+}
+
+/// Encode an admin response. `data` must already be serialized JSON (the
+/// handlers produce their payloads directly); it is embedded verbatim.
+pub fn encode_admin_response(id: u64, data: &str) -> Vec<u8> {
+    format!("{{\"id\":{id},\"ok\":true,\"data\":{data}}}").into_bytes()
+}
+
+/// Decode an admin response into `(id, data)`.
+pub fn decode_admin_response(payload: &[u8]) -> Result<(u64, Json), String> {
+    let text = std::str::from_utf8(payload).map_err(|e| format!("frame not UTF-8: {e}"))?;
+    let mut doc = ls_obs::parse_json(text)?;
+    let id = doc
+        .get("id")
+        .and_then(Json::as_u64)
+        .ok_or("missing numeric \"id\"")?;
+    if !matches!(doc.get("ok"), Some(Json::Bool(true))) {
+        let msg = doc.get("error").and_then(Json::as_str).unwrap_or("unknown");
+        return Err(format!("admin query failed: {msg}"));
+    }
+    let data = match &mut doc {
+        Json::Obj(map) => map.remove("data"),
+        _ => None,
+    };
+    Ok((id, data.ok_or("missing \"data\"")?))
 }
 
 /// Encode a response frame payload.
@@ -257,6 +366,16 @@ pub fn encode_response(id: u64, result: &Result<RankResponse, ServeError>) -> Ve
             out.push(']');
             if resp.degraded {
                 out.push_str(",\"degraded\":true");
+            }
+            if let Some(b) = &resp.stages {
+                let _ = write!(
+                    out,
+                    concat!(
+                        ",\"stages\":{{\"probe_us\":{},\"queue_us\":{},\"batch_us\":{},",
+                        "\"score_us\":{},\"other_us\":{},\"total_us\":{}}}"
+                    ),
+                    b.probe_us, b.queue_us, b.batch_us, b.score_us, b.other_us, b.total_us
+                );
             }
             out.push('}');
         }
@@ -298,6 +417,17 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Result<RankResponse, Serv
                 return Err("missing array \"ranking\"".into());
             }
             let degraded = matches!(doc.get("degraded"), Some(Json::Bool(true)));
+            let stages = doc.get("stages").map(|s| {
+                let us = |key: &str| s.get(key).and_then(Json::as_u64).unwrap_or(0);
+                StageBreakdown {
+                    probe_us: us("probe_us"),
+                    queue_us: us("queue_us"),
+                    batch_us: us("batch_us"),
+                    score_us: us("score_us"),
+                    other_us: us("other_us"),
+                    total_us: us("total_us"),
+                }
+            });
             Ok((
                 id,
                 Ok(RankResponse {
@@ -305,6 +435,7 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Result<RankResponse, Serv
                     ranking,
                     cached,
                     degraded,
+                    stages,
                 }),
             ))
         }
@@ -349,12 +480,55 @@ mod tests {
     #[test]
     fn request_round_trip() {
         let r = req();
-        let (id, back) = decode_request(&encode_request(42, &r)).unwrap();
+        let (id, back) = decode_request(&encode_request(42, &r, None)).unwrap();
         assert_eq!(id, 42);
         assert_eq!(back.query_sql, r.query_sql);
         assert_eq!(back.tuple.values, r.tuple.values);
         assert_eq!(back.lineage, r.lineage);
         assert_eq!(back.deadline, r.deadline);
+    }
+
+    #[test]
+    fn trace_context_round_trips_full_64_bits() {
+        let ctx = TraceContext {
+            trace_id: u64::MAX - 17, // would be rounded by an f64 number
+            span_id: (1 << 63) | 5,
+            parent: 0,
+        };
+        let bytes = encode_request(1, &req(), Some(&ctx));
+        match decode_frame(&bytes).unwrap() {
+            Frame::Rank(id, _, Some(back)) => {
+                assert_eq!(id, 1);
+                assert_eq!(back.trace_id, ctx.trace_id);
+                assert_eq!(back.span_id, ctx.span_id);
+            }
+            other => panic!("expected traced rank frame, got {other:?}"),
+        }
+        // Untraced frames decode with no context.
+        match decode_frame(&encode_request(2, &req(), None)).unwrap() {
+            Frame::Rank(_, _, None) => {}
+            other => panic!("expected untraced rank frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn admin_frames_round_trip() {
+        for cmd in [
+            AdminCommand::Metrics,
+            AdminCommand::State,
+            AdminCommand::Traces,
+            AdminCommand::Recorder,
+        ] {
+            match decode_frame(&encode_admin_request(9, cmd)).unwrap() {
+                Frame::Admin(9, back) => assert_eq!(back, cmd),
+                other => panic!("expected admin frame, got {other:?}"),
+            }
+        }
+        let resp = encode_admin_response(9, r#"{"inflight":3,"breaker":"closed"}"#);
+        let (id, data) = decode_admin_response(&resp).unwrap();
+        assert_eq!(id, 9);
+        assert_eq!(data.get("inflight").and_then(Json::as_u64), Some(3));
+        assert_eq!(data.get("breaker").and_then(Json::as_str), Some("closed"));
     }
 
     #[test]
@@ -365,6 +539,7 @@ mod tests {
             ranking: vec![FactId(2), FactId(0), FactId(1), FactId(3)],
             cached: true,
             degraded: false,
+            stages: None,
         };
         let (id, back) = decode_response(&encode_response(7, &Ok(resp.clone()))).unwrap();
         assert_eq!(id, 7);
@@ -397,6 +572,7 @@ mod tests {
             ranking: vec![FactId(1)],
             cached: false,
             degraded: true,
+            stages: None,
         };
         let bytes = encode_response(3, &Ok(resp));
         assert!(std::str::from_utf8(&bytes)
@@ -408,6 +584,30 @@ mod tests {
         let legacy = br#"{"id":3,"ok":true,"cached":false,"scores":[0.5],"ranking":[1]}"#;
         let (_, back) = decode_response(legacy).unwrap();
         assert!(!back.unwrap().degraded);
+    }
+
+    #[test]
+    fn stage_breakdown_survives_the_wire() {
+        let resp = RankResponse {
+            scores: vec![0.5],
+            ranking: vec![FactId(1)],
+            cached: false,
+            degraded: false,
+            stages: Some(StageBreakdown {
+                probe_us: 3,
+                queue_us: 120,
+                batch_us: 40,
+                score_us: 900,
+                other_us: 7,
+                total_us: 1070,
+            }),
+        };
+        let (_, back) = decode_response(&encode_response(4, &Ok(resp.clone()))).unwrap();
+        assert_eq!(back.unwrap().stages, resp.stages);
+        // A frame without the key decodes as stage-less.
+        let legacy = br#"{"id":4,"ok":true,"cached":false,"scores":[0.5],"ranking":[1]}"#;
+        let (_, back) = decode_response(legacy).unwrap();
+        assert!(back.unwrap().stages.is_none());
     }
 
     #[test]

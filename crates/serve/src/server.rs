@@ -99,8 +99,61 @@ pub struct RankRequest {
     pub deadline: Option<Duration>,
 }
 
+/// Per-stage latency attribution for one request, in microseconds. Stages
+/// are disjoint and exhaustive: `probe + queue + batch + score + other =
+/// total` exactly (`other` absorbs scheduling slack between stage marks, so
+/// the identity holds by construction).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageBreakdown {
+    /// Admission: state-lock acquisition plus ranking-cache probe.
+    pub probe_us: u64,
+    /// Waiting in the submission queue for the micro-batcher.
+    pub queue_us: u64,
+    /// Batch assembly: coalescing window share plus context precompute and
+    /// chunk expansion.
+    pub batch_us: u64,
+    /// Worker-pool scoring, from dispatch to the finalizing chunk.
+    pub score_us: u64,
+    /// Everything not covered by a named stage (wakeup latency, response
+    /// assembly).
+    pub other_us: u64,
+    /// End-to-end server-side latency (probe start → client wakeup).
+    pub total_us: u64,
+}
+
+/// Interned handles for the per-stage histograms. Looking a histogram up by
+/// name takes the registry mutex; on the warm cache-hit path (~µs per
+/// request, many client threads) that contention alone blows the tracing
+/// overhead budget, so the hot paths go through these pre-resolved refs.
+pub(crate) struct StageHists {
+    pub probe: &'static ls_obs::Histogram,
+    pub queue: &'static ls_obs::Histogram,
+    pub batch: &'static ls_obs::Histogram,
+    pub score: &'static ls_obs::Histogram,
+    pub other: &'static ls_obs::Histogram,
+    pub latency: &'static ls_obs::Histogram,
+    pub serialize: &'static ls_obs::Histogram,
+}
+
+pub(crate) fn stage_hists() -> &'static StageHists {
+    static HISTS: OnceLock<StageHists> = OnceLock::new();
+    HISTS.get_or_init(|| StageHists {
+        probe: ls_obs::histogram("serve.stage.probe"),
+        queue: ls_obs::histogram("serve.stage.queue"),
+        batch: ls_obs::histogram("serve.stage.batch"),
+        score: ls_obs::histogram("serve.stage.score"),
+        other: ls_obs::histogram("serve.stage.other"),
+        latency: ls_obs::histogram("serve.latency"),
+        serialize: ls_obs::histogram("serve.stage.serialize"),
+    })
+}
+
 /// A completed ranking.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality deliberately ignores [`RankResponse::stages`]: timing metadata
+/// varies run to run, while the determinism contract (and the chaos suite's
+/// bit-identity assertions) cover the payload fields only.
+#[derive(Debug, Clone)]
 pub struct RankResponse {
     /// Predicted scores, aligned with the request's lineage order.
     pub scores: Vec<f64>,
@@ -112,6 +165,18 @@ pub struct RankResponse {
     /// scorer instead of the model — the scores are the Nearest Queries
     /// baseline's, not the learned model's, and were not cached.
     pub degraded: bool,
+    /// Per-stage latency attribution, populated only when the request ran
+    /// under a trace (never for cached replays of another trace's work).
+    pub stages: Option<StageBreakdown>,
+}
+
+impl PartialEq for RankResponse {
+    fn eq(&self, other: &Self) -> bool {
+        self.scores == other.scores
+            && self.ranking == other.ranking
+            && self.cached == other.cached
+            && self.degraded == other.degraded
+    }
 }
 
 /// Why a request was not served.
@@ -196,6 +261,19 @@ struct Job {
     tuple: OutputTuple,
     lineage: Vec<FactId>,
     key: RankKey,
+    /// Registry key for the active-trace listing (monotone per process).
+    seq: u64,
+    /// The submitting thread's trace context, carried with the job so
+    /// batcher/worker-side spans and histograms attribute to the request.
+    trace: Option<ls_obs::TraceContext>,
+    /// Admission-stage cost (lock + cache probe), measured before queuing.
+    probe_us: u64,
+    /// Stage marks: microseconds since `submitted` when the job left the
+    /// queue, when its work was dispatched, and when scoring finished.
+    /// Written once each at pipeline milestones; 0 = not reached.
+    drained_us: AtomicU64,
+    dispatched_us: AtomicU64,
+    scored_us: AtomicU64,
     submitted: Instant,
     deadline: Option<Instant>,
     /// Query/tuple-side precomputation, done once by the batcher.
@@ -214,12 +292,56 @@ struct Job {
 }
 
 impl Job {
-    fn complete(&self, shared: &Shared, result: Result<RankResponse, ServeError>) {
+    /// Stamp a stage mark with "now", as µs since submission. Idempotent in
+    /// effect (later stamps only ever grow the mark along the pipeline).
+    fn mark(&self, cell: &AtomicU64) {
+        cell.store(
+            self.submitted.elapsed().as_micros() as u64,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Assemble the disjoint stage attribution from the pipeline marks.
+    fn breakdown(&self) -> StageBreakdown {
+        let drained = self.drained_us.load(Ordering::Relaxed);
+        let dispatched = self.dispatched_us.load(Ordering::Relaxed).max(drained);
+        let scored = self.scored_us.load(Ordering::Relaxed).max(dispatched);
+        let elapsed = (self.submitted.elapsed().as_micros() as u64).max(scored);
+        StageBreakdown {
+            probe_us: self.probe_us,
+            queue_us: drained,
+            batch_us: dispatched - drained,
+            score_us: scored - dispatched,
+            other_us: elapsed - scored,
+            total_us: self.probe_us + elapsed,
+        }
+    }
+
+    fn complete(&self, shared: &Shared, mut result: Result<RankResponse, ServeError>) {
         if self.finished.swap(true, Ordering::AcqRel) {
             return; // another path already delivered
         }
-        if ls_obs::enabled() {
-            ls_obs::histogram("serve.latency").record(self.submitted.elapsed().as_secs_f64());
+        if let (Ok(resp), Some(ctx)) = (&mut result, &self.trace) {
+            let b = self.breakdown();
+            resp.stages = Some(b);
+            // Stage histograms carry the trace as an exemplar, linking
+            // "p99 queue wait is X" back to a concrete offending request.
+            let t = ctx.trace_id;
+            let h = stage_hists();
+            h.probe.record_traced(b.probe_us as f64 * 1e-6, t);
+            h.queue.record_traced(b.queue_us as f64 * 1e-6, t);
+            h.batch.record_traced(b.batch_us as f64 * 1e-6, t);
+            h.score.record_traced(b.score_us as f64 * 1e-6, t);
+            h.other.record_traced(b.other_us as f64 * 1e-6, t);
+        }
+        // Latency records whenever obs is on *or* the request carried a
+        // trace — the same condition under which the stage histograms above
+        // fill, so snapshots stay mutually consistent.
+        if ls_obs::enabled() || self.trace.is_some() {
+            let trace = self.trace.as_ref().map_or(0, |c| c.trace_id);
+            stage_hists()
+                .latency
+                .record_traced(self.submitted.elapsed().as_secs_f64(), trace);
             ls_obs::counter("serve.responses").incr();
         }
         // Release the queue slot *before* waking the client: a closed-loop
@@ -227,6 +349,7 @@ impl Job {
         // see the slot it just freed, or it would be shed spuriously.
         let mut st = lock_safe(&shared.state);
         st.inflight -= 1;
+        st.active.remove(&self.seq);
         let depth = st.inflight;
         drop(st);
         ls_obs::gauge("serve.queue_depth").set(depth as f64);
@@ -257,6 +380,9 @@ struct WorkItem {
 struct State {
     pending: VecDeque<Arc<Job>>,
     work: VecDeque<WorkItem>,
+    /// Traced jobs currently in flight, keyed by job sequence number — the
+    /// admin protocol's active-trace listing.
+    active: std::collections::HashMap<u64, Arc<Job>>,
     /// Admitted but unanswered requests (the admission-control quantity).
     inflight: usize,
     /// Jobs drained from `pending` that the batcher has not yet expanded
@@ -327,13 +453,18 @@ impl ServeHandle {
                 ranking: Vec::new(),
                 cached: false,
                 degraded: false,
+                stages: None,
             }));
         }
+        // The submitting thread's trace (if any) rides with the job so every
+        // downstream stage attributes to this request.
+        let trace = ls_obs::TraceContext::current();
         let key = RankKey::new(
             req.query_sql.clone(),
             render_tuple(&req.tuple),
             &req.lineage,
         );
+        let probe_start = Instant::now();
         let mut st = lock_safe(&self.shared.state);
         if st.shutdown {
             return Err(ServeError::ShuttingDown);
@@ -341,6 +472,17 @@ impl ServeHandle {
         if let Some(hit) = st.cache.get(&key) {
             let mut resp = hit.clone();
             resp.cached = true;
+            let probe_us = probe_start.elapsed().as_micros() as u64;
+            resp.stages = trace.map(|ctx| {
+                stage_hists()
+                    .probe
+                    .record_traced(probe_us as f64 * 1e-6, ctx.trace_id);
+                StageBreakdown {
+                    probe_us,
+                    total_us: probe_us,
+                    ..StageBreakdown::default()
+                }
+            });
             ls_obs::counter("serve.cache_hit").incr();
             return Ok(Admitted::Done(resp));
         }
@@ -356,8 +498,15 @@ impl ServeHandle {
             .deadline
             .or(self.shared.cfg.default_deadline)
             .map(|d| Instant::now() + d);
+        static NEXT_JOB: AtomicU64 = AtomicU64::new(1);
         let job = Arc::new(Job {
             key,
+            seq: NEXT_JOB.fetch_add(1, Ordering::Relaxed),
+            trace,
+            probe_us: probe_start.elapsed().as_micros() as u64,
+            drained_us: AtomicU64::new(0),
+            dispatched_us: AtomicU64::new(0),
+            scored_us: AtomicU64::new(0),
             submitted: Instant::now(),
             deadline,
             ctx: OnceLock::new(),
@@ -370,6 +519,9 @@ impl ServeHandle {
             tuple: req.tuple,
             lineage: req.lineage,
         });
+        if job.trace.is_some() {
+            st.active.insert(job.seq, job.clone());
+        }
         st.pending.push_back(job.clone());
         drop(st);
         ls_obs::gauge("serve.queue_depth").set(depth as f64);
@@ -380,6 +532,88 @@ impl ServeHandle {
     /// Current in-flight request count (admitted, unanswered).
     pub fn inflight(&self) -> usize {
         lock_safe(&self.shared.state).inflight
+    }
+
+    /// Operational state as a JSON object (the admin protocol's `state`
+    /// answer): queue and pool occupancy, cache fill, breaker state.
+    pub fn state_json(&self) -> String {
+        let cfg = &self.shared.cfg;
+        let (inflight, pending, work, paused, shutdown, cache_len, cache_cap) = {
+            let st = lock_safe(&self.shared.state);
+            (
+                st.inflight,
+                st.pending.len(),
+                st.work.len(),
+                st.paused,
+                st.shutdown,
+                st.cache.len(),
+                st.cache.capacity(),
+            )
+        };
+        let breaker = match self.shared.breaker.state() {
+            ls_fault::BreakerState::Closed => "closed",
+            ls_fault::BreakerState::Open => "open",
+            ls_fault::BreakerState::HalfOpen => "half-open",
+        };
+        format!(
+            concat!(
+                "{{\"inflight\":{},\"queue_depth\":{},\"pending\":{},\"work_items\":{},",
+                "\"paused\":{},\"shutdown\":{},\"workers\":{},",
+                "\"cache\":{{\"len\":{},\"capacity\":{}}},\"breaker\":\"{}\"}}"
+            ),
+            inflight,
+            cfg.queue_depth,
+            pending,
+            work,
+            paused,
+            shutdown,
+            cfg.workers,
+            cache_len,
+            cache_cap,
+            breaker
+        )
+    }
+
+    /// Active (admitted, unanswered) traced requests as a JSON array: trace
+    /// id, age, lineage size, and how far through the pipeline each has got.
+    pub fn traces_json(&self) -> String {
+        let jobs: Vec<Arc<Job>> = {
+            let st = lock_safe(&self.shared.state);
+            st.active.values().cloned().collect()
+        };
+        let mut entries: Vec<(u64, String)> = jobs
+            .iter()
+            .filter_map(|job| {
+                let ctx = job.trace.as_ref()?;
+                let b = job.breakdown();
+                Some((
+                    job.seq,
+                    format!(
+                        concat!(
+                            "{{\"trace\":\"{:016x}\",\"seq\":{},\"facts\":{},",
+                            "\"age_us\":{},\"queue_us\":{},\"batch_us\":{},\"score_us\":{}}}"
+                        ),
+                        ctx.trace_id,
+                        job.seq,
+                        job.lineage.len(),
+                        job.submitted.elapsed().as_micros() as u64,
+                        b.queue_us,
+                        b.batch_us,
+                        b.score_us,
+                    ),
+                ))
+            })
+            .collect();
+        entries.sort_unstable_by_key(|(seq, _)| *seq);
+        let mut out = String::from("[");
+        for (i, (_, e)) in entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(e);
+        }
+        out.push(']');
+        out
     }
 }
 
@@ -417,6 +651,7 @@ impl Server {
             state: Mutex::new(State {
                 pending: VecDeque::new(),
                 work: VecDeque::new(),
+                active: std::collections::HashMap::new(),
                 inflight: 0,
                 batching: 0,
                 paused: false,
@@ -585,7 +820,10 @@ fn batcher_loop(shared: &Shared) {
                 break;
             }
             items += n;
-            batch.push(st.pending.pop_front().unwrap());
+            let job = st.pending.pop_front().unwrap();
+            // Queue stage ends here: the job now belongs to batch assembly.
+            job.mark(&job.drained_us);
+            batch.push(job);
         }
         st.batching += batch.len();
         drop(st);
@@ -609,6 +847,7 @@ fn batcher_loop(shared: &Shared) {
             }
             // Hoist the query/tuple-side work out of the per-fact loop, once
             // per job rather than once per fact (or per chunk).
+            let _trace = job.trace.as_ref().map(ls_obs::TraceContext::attach);
             let ctx = ScoreContext::new(&shared.bundle.tokenizer, &job.query_sql, &job.tuple);
             let _ = job.ctx.set(ctx);
             let n = job.lineage.len();
@@ -623,6 +862,8 @@ fn batcher_loop(shared: &Shared) {
                 });
                 start = end;
             }
+            // Batch stage ends: the job's chunks are about to be published.
+            job.mark(&job.dispatched_us);
         }
         let mut st = lock_safe(&shared.state);
         st.batching = 0;
@@ -637,6 +878,9 @@ fn batcher_loop(shared: &Shared) {
 /// recovers, the same key must be scored by the model again.
 fn degrade(shared: &Shared, job: &Arc<Job>) {
     ls_obs::counter("serve.degraded.responses").incr();
+    // The fallback scores inline on the batcher thread: dispatch and score
+    // stages collapse onto it.
+    job.mark(&job.dispatched_us);
     let result = match &shared.fallback {
         Some(fb) => match fb.score(&job.query_sql, &job.lineage) {
             Some(scores) => {
@@ -650,6 +894,7 @@ fn degrade(shared: &Shared, job: &Arc<Job>) {
                     ranking,
                     cached: false,
                     degraded: true,
+                    stages: None,
                 })
             }
             None => Err(ServeError::Internal(format!(
@@ -664,6 +909,7 @@ fn degrade(shared: &Shared, job: &Arc<Job>) {
     if result.is_err() {
         ls_obs::counter("serve.degraded.errors").incr();
     }
+    job.mark(&job.scored_us);
     job.complete(shared, result);
 }
 
@@ -726,6 +972,12 @@ fn score_chunk(
     item: &WorkItem,
 ) -> Result<(), String> {
     let job = &item.job;
+    // Adopt the request's trace for this chunk: the worker thread never saw
+    // the submitting span, so the explicit context is the only way spans and
+    // histogram samples recorded here attribute to the right request.
+    let _trace = job.trace.as_ref().map(ls_obs::TraceContext::attach);
+    let _span = ls_obs::enabled()
+        .then(|| ls_obs::span("serve.worker.chunk").with("facts", (item.end - item.start) as u64));
     let ctx = job.ctx.get().expect("context built before dispatch");
     for i in item.start..item.end {
         match shared.injector.decide("serve.worker.score") {
@@ -753,6 +1005,8 @@ fn finalize(shared: &Shared, job: &Arc<Job>) {
     if job.finished.load(Ordering::Acquire) {
         return;
     }
+    // Scoring ends with the finalizing chunk; what remains is assembly.
+    job.mark(&job.scored_us);
     let scores: Vec<f64> = job
         .scores
         .iter()
@@ -770,6 +1024,7 @@ fn finalize(shared: &Shared, job: &Arc<Job>) {
         ranking,
         cached: false,
         degraded: false,
+        stages: None,
     };
     {
         let mut st = lock_safe(&shared.state);

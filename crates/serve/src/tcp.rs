@@ -18,7 +18,10 @@
 //! backoff and resends the (idempotent) request under the same id, within
 //! an optional overall deadline.
 
-use crate::proto::{decode_request, encode_response, read_frame, write_frame};
+use crate::proto::{
+    decode_frame, encode_admin_request, encode_admin_response, encode_response, read_frame,
+    write_frame, AdminCommand, Frame,
+};
 use crate::server::{RankRequest, RankResponse, ServeError, ServeHandle};
 use ls_fault::{Backoff, FaultyRead, FaultyWrite, Injector, NoFaults};
 use std::io::{self, BufReader, BufWriter, Read, Write};
@@ -125,18 +128,51 @@ fn serve_connection<R: Read, W: Write>(
 ) -> io::Result<()> {
     while let Some(payload) = read_frame(&mut reader)? {
         ls_obs::counter("serve.tcp.frames").incr();
-        let (id, result) = match decode_request(&payload) {
-            Ok((id, req)) => (id, handle.rank(req)),
+        let frame = match decode_frame(&payload) {
+            Ok(Frame::Admin(id, cmd)) => {
+                let data = admin_payload(handle, cmd);
+                encode_admin_response(id, &data)
+            }
+            Ok(Frame::Rank(id, req, trace)) => {
+                // Adopt the client's wire trace so every server-side span and
+                // stage sample carries the client's trace id — one stitched
+                // trace across the connection.
+                let _wire = trace.as_ref().map(ls_obs::TraceContext::attach);
+                let _span = ls_obs::enabled().then(|| ls_obs::span("serve.tcp.request"));
+                let result = handle.rank(req);
+                let t0 = ls_obs::enabled().then(Instant::now);
+                let frame = encode_response(id, &result);
+                if let Some(t0) = t0 {
+                    // The serialize stage runs after the response object
+                    // exists, so it lands in the histogram only — the
+                    // breakdown inside the frame cannot include it.
+                    crate::server::stage_hists()
+                        .serialize
+                        .record_traced(t0.elapsed().as_secs_f64(), ls_obs::current_trace_id());
+                }
+                frame
+            }
             Err(msg) => {
                 // Garbage JSON inside a well-formed frame: answer typed and
                 // keep the connection — the framing layer is still in sync.
                 ls_obs::counter("serve.tcp.bad_frames").incr();
-                (0, Err(ServeError::BadRequest(msg)))
+                encode_response(0, &Err(ServeError::BadRequest(msg)))
             }
         };
-        write_frame(&mut writer, &encode_response(id, &result))?;
+        write_frame(&mut writer, &frame)?;
     }
     Ok(())
+}
+
+/// Answer one admin query from live server state.
+fn admin_payload(handle: &ServeHandle, cmd: AdminCommand) -> String {
+    ls_obs::counter("serve.tcp.admin_frames").incr();
+    match cmd {
+        AdminCommand::Metrics => ls_obs::metrics_json(),
+        AdminCommand::State => handle.state_json(),
+        AdminCommand::Traces => handle.traces_json(),
+        AdminCommand::Recorder => ls_obs::recorder::dump_json(),
+    }
 }
 
 /// Reconnect-and-resend policy for [`TcpRankClient`].
@@ -230,9 +266,10 @@ impl TcpRankClient {
         &mut self,
         id: u64,
         req: &RankRequest,
+        trace: Option<&ls_obs::TraceContext>,
     ) -> io::Result<Result<RankResponse, ServeError>> {
         let (reader, writer) = self.ensure_conn()?;
-        write_frame(writer, &crate::proto::encode_request(id, req))?;
+        write_frame(writer, &crate::proto::encode_request(id, req, trace))?;
         let payload = read_frame(reader)?.ok_or_else(|| {
             io::Error::new(io::ErrorKind::UnexpectedEof, "server closed connection")
         })?;
@@ -252,6 +289,16 @@ impl TcpRankClient {
     pub fn rank(&mut self, req: &RankRequest) -> Result<RankResponse, ServeError> {
         let id = self.next_id;
         self.next_id += 1;
+        // Propagate the caller's ambient trace, or mint a fresh root when
+        // telemetry is on and no trace is active — the id the server echoes
+        // into its spans and exemplars either way. Untraced when obs is off,
+        // keeping the wire bytes identical to the pre-tracing protocol.
+        let trace = ls_obs::TraceContext::current()
+            .or_else(|| ls_obs::enabled().then(ls_obs::TraceContext::root));
+        let _guard = trace.as_ref().map(ls_obs::TraceContext::attach);
+        let _span = trace
+            .is_some()
+            .then(|| ls_obs::span("serve.client.request"));
         let started = Instant::now();
         let attempts = self.policy.attempts.max(1);
         let mut last_err: Option<io::Error> = None;
@@ -268,7 +315,7 @@ impl TcpRankClient {
                 std::thread::sleep(delay);
                 ls_obs::counter("serve.client.retries").incr();
             }
-            match self.attempt(id, req) {
+            match self.attempt(id, req, trace.as_ref()) {
                 Ok(result) => return result,
                 Err(e) => {
                     // Connection state unknown: drop it so the next attempt
@@ -282,5 +329,36 @@ impl TcpRankClient {
         Err(ServeError::Transport(format!(
             "gave up after {attempts} attempt(s): {detail}"
         )))
+    }
+
+    /// Run one admin introspection query (metrics, state, traces, recorder)
+    /// against the server and return the decoded `data` payload. Admin
+    /// queries are served inline by the connection handler — they never
+    /// enter the ranking pipeline — and are not retried.
+    pub fn admin(&mut self, cmd: AdminCommand) -> Result<ls_obs::Json, ServeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let run = |client: &mut Self| -> io::Result<(u64, ls_obs::Json)> {
+            let (reader, writer) = client.ensure_conn()?;
+            write_frame(writer, &encode_admin_request(id, cmd))?;
+            let payload = read_frame(reader)?.ok_or_else(|| {
+                io::Error::new(io::ErrorKind::UnexpectedEof, "server closed connection")
+            })?;
+            crate::proto::decode_admin_response(&payload)
+                .map_err(|m| io::Error::new(io::ErrorKind::InvalidData, m))
+        };
+        match run(self) {
+            Ok((resp_id, data)) if resp_id == id => Ok(data),
+            Ok((resp_id, _)) => {
+                self.conn = None;
+                Err(ServeError::Transport(format!(
+                    "response id {resp_id} does not match request id {id}"
+                )))
+            }
+            Err(e) => {
+                self.conn = None;
+                Err(ServeError::Transport(e.to_string()))
+            }
+        }
     }
 }

@@ -112,6 +112,7 @@ fn serial_answer(bundle: &ModelBundle, req: &RankRequest) -> RankResponse {
         ranking: ls_shapley::rank_descending(&scores),
         cached: false,
         degraded: false,
+        stages: None,
     }
 }
 
@@ -520,7 +521,7 @@ fn garbage_json_keeps_the_connection_alive() {
     assert!(matches!(result, Err(ServeError::BadRequest(_))));
 
     // Same connection, real request: still fully functional.
-    write_frame(&mut writer, &encode_request(42, &reqs[0])).expect("write real");
+    write_frame(&mut writer, &encode_request(42, &reqs[0], None)).expect("write real");
     let payload = read_frame(&mut reader).expect("reply").expect("not EOF");
     let (id, result) = ls_serve::proto::decode_response(&payload).expect("decode");
     assert_eq!(id, 42);

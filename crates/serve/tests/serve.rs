@@ -105,6 +105,7 @@ fn serial_answer(bundle: &ModelBundle, req: &RankRequest) -> RankResponse {
         ranking: ls_shapley::rank_descending(&scores),
         cached: false,
         degraded: false,
+        stages: None,
     }
 }
 
