@@ -1,0 +1,52 @@
+//! Semiring sweep on the adversarial wide-join workload: exact monotone-DNF
+//! lineage vs. `TopKClauses(k)` for k ∈ {4, 16, 64}.
+//!
+//! The wide-join generator partitions self-join fanout arms into disjoint
+//! value ranges, so each output tuple's lineage survives minimization at the
+//! full product-of-fanouts width — the regime where exact clause tracking
+//! blows up and the top-k semiring's bound pays off. The sweep prints a
+//! latency / lineage-size table (the source of the EXPERIMENTS.md numbers)
+//! and asserts the k bound actually held; the Criterion group then times the
+//! exact and bounded evaluators on the widest query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ls_bench::{wide_join_sweep, wide_join_workload};
+use ls_relational::{evaluate_interned, evaluate_with, to_sql, TopKClauses};
+use std::hint::black_box;
+
+fn bench_semiring(c: &mut Criterion) {
+    let (db, queries) = wide_join_workload();
+    assert!(
+        !queries.is_empty(),
+        "wide-join generator produced no queries"
+    );
+    for q in &queries {
+        println!("wide-join query: {}", to_sql(q));
+    }
+    println!("{}", wide_join_sweep(&db, &queries).render());
+
+    // Criterion pass on the widest query (the generator sorts widest first).
+    let widest = &queries[0];
+    let mut g = c.benchmark_group("semiring_wide_join");
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::new("evaluate", "exact"), |b| {
+        b.iter(|| black_box(evaluate_interned(&db, widest).unwrap()))
+    });
+    for k in [4usize, 16, 64] {
+        g.bench_function(BenchmarkId::new("evaluate", format!("top{k}")), |b| {
+            b.iter(|| {
+                let mut prov = TopKClauses::new(k);
+                black_box(evaluate_with(&db, widest, &mut prov).unwrap())
+            })
+        });
+    }
+    g.finish();
+
+    // Write the accumulated provenance.* counters and histograms (arena
+    // size, clauses-per-lineage, top-k truncations) into the telemetry
+    // artifact; spans are streamed eagerly but metric snapshots are not.
+    ls_obs::flush();
+}
+
+criterion_group!(benches, bench_semiring);
+criterion_main!(benches);

@@ -15,6 +15,7 @@
 //!   fig11                       query-log size sweep (Academic)
 //!   ablations                   compiler/Shapley/matching design ablations
 //!   scaling                     attribution cost vs provenance size
+//!   wide-joins                  exact vs top-k lineage on wide-join fanouts
 //!   ext-negatives               §7 extension: negative-sample fine-tuning
 //!   ext-crossschema             §7 extension: cross-schema transfer
 //!   all                         everything above
@@ -168,6 +169,11 @@ fn main() {
     if run_all || command == "scaling" {
         eprintln!("# Scaling study…");
         emit(ls_bench::scaling_study(), "scaling");
+    }
+    if run_all || command == "wide-joins" {
+        eprintln!("# Wide-join semiring sweep…");
+        let (db, queries) = ls_bench::wide_join_workload();
+        emit(ls_bench::wide_join_sweep(&db, &queries), "wide_joins");
     }
     if run_all || command == "ext-negatives" {
         eprintln!("# Extension: negative-sample fine-tuning (trains 2 models)…");

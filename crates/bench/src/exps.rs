@@ -1213,6 +1213,91 @@ pub fn ablation_matching(ds: &Dataset) -> TextTable {
     t
 }
 
+/// The adversarial wide-join workload: a cast-heavy IMDB (≈30 roles per
+/// movie) plus the widest disjoint-arm fanout queries the generator finds on
+/// it. Lineages reach thousands of minimized clauses per output tuple.
+pub fn wide_join_workload() -> (ls_relational::Database, Vec<ls_relational::Query>) {
+    use ls_dbshap::{generate_imdb, generate_wide_join_log, imdb_spec, ImdbConfig};
+    let db = generate_imdb(&ImdbConfig {
+        movies: 60,
+        actors: 40,
+        roles_per_movie: 30,
+        ..Default::default()
+    });
+    let queries = generate_wide_join_log(&db, &imdb_spec(), 3, 7);
+    (db, queries)
+}
+
+/// Semiring sweep on the wide-join workload: exact monotone-DNF lineage vs.
+/// `TopKClauses(k)` for k ∈ {4, 16, 64} — median latency, lineage shape, and
+/// clauses dropped. Asserts the k bound actually held on every tuple.
+pub fn wide_join_sweep(
+    db: &ls_relational::Database,
+    queries: &[ls_relational::Query],
+) -> TextTable {
+    use ls_relational::{evaluate_interned, evaluate_with, Provenance, TopKClauses};
+    use std::time::Instant;
+
+    fn timed<T>(mut f: impl FnMut() -> T) -> (f64, T) {
+        let mut trials = Vec::new();
+        let mut out = None;
+        for _ in 0..5 {
+            let t0 = Instant::now();
+            out = Some(std::hint::black_box(f()));
+            trials.push(t0.elapsed().as_secs_f64());
+        }
+        trials.sort_by(f64::total_cmp);
+        (trials[trials.len() / 2], out.unwrap())
+    }
+
+    let mut t = TextTable::new(
+        "Wide-join sweep — exact vs top-k clause lineage",
+        &[
+            "query",
+            "semiring",
+            "latency (ms)",
+            "max clauses",
+            "mean clauses",
+            "truncated",
+        ],
+    );
+    for (qi, q) in queries.iter().enumerate() {
+        let (secs, exact) = timed(|| evaluate_interned(db, q).unwrap());
+        let shape = ls_dbshap::lineage_shape(&exact);
+        t.row(vec![
+            format!("w{qi}"),
+            "exact".into(),
+            f3(secs * 1e3),
+            shape.max_clauses.to_string(),
+            f3(shape.mean_clauses),
+            "0".into(),
+        ]);
+        for k in [4usize, 16, 64] {
+            let (secs, (prov, rows)) = timed(|| {
+                let mut prov = TopKClauses::new(k);
+                let rows = evaluate_with(db, q, &mut prov).unwrap();
+                (prov, rows)
+            });
+            let sizes: Vec<usize> = rows.iter().map(|(_, tag)| prov.tag_size(tag)).collect();
+            let max = sizes.iter().copied().max().unwrap_or(0);
+            let mean = sizes.iter().sum::<usize>() as f64 / sizes.len().max(1) as f64;
+            // The whole point of the semiring: the bound must actually hold,
+            // and can only ever truncate (never exceed) the exact shape.
+            assert!(max <= k, "top-{k} lineage kept {max} clauses");
+            assert!(max <= shape.max_clauses);
+            t.row(vec![
+                format!("w{qi}"),
+                format!("top-{k}"),
+                f3(secs * 1e3),
+                max.to_string(),
+                f3(mean),
+                prov.truncated_clauses().to_string(),
+            ]);
+        }
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -68,6 +68,7 @@ impl Scale {
                 union_prob: 0.12,
                 mutations_per_base: 3,
                 seed: gen_seed,
+                ..Default::default()
             },
             max_tuples_per_query: self.max_tuples,
             max_lineage: self.max_lineage,

@@ -7,9 +7,8 @@
 //! train/dev/test.
 
 use crate::querygen::{generate_query_log, QueryGenConfig, SchemaSpec};
-use ls_provenance::Dnf;
 use ls_relational::{evaluate, to_sql, Database, FactId, Query, QueryResult};
-use ls_shapley::{shapley_values, FactScores};
+use ls_shapley::{shapley_values_recovered, FactScores};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -191,6 +190,13 @@ impl Dataset {
 /// Tuples are scored across the ls-par pool (inline when already inside a
 /// worker); each record is a pure function of its tuple, and records are
 /// collected in tuple order.
+///
+/// Scoring consumes the *recovered* interned lineage — the clause refs the
+/// monotone-DNF semiring's `recover_fn` produced — so lineage sizing and the
+/// compiled Dnf come from the arena, without touching decoded monomials. The
+/// arena's clause refs decode to the same minimal sorted DNF as the decoded
+/// view, so the resulting Shapley values are bit-identical to scoring
+/// `Dnf::of_tuple` on the decoded tuple.
 fn ground_truth(result: &QueryResult, cfg: &DatasetConfig) -> Vec<TupleRecord> {
     let n = result.len();
     if n == 0 {
@@ -198,14 +204,14 @@ fn ground_truth(result: &QueryResult, cfg: &DatasetConfig) -> Vec<TupleRecord> {
     }
     let stride = n.div_ceil(cfg.max_tuples_per_query);
     let sampled: Vec<usize> = (0..n).step_by(stride.max(1)).collect();
+    let arena = &result.interned.arena;
     ls_par::par_map(&sampled, |_, &tuple_idx| {
-        let tuple = &result.tuples[tuple_idx];
-        let lineage = tuple.lineage();
+        let derivations = &result.interned.tuples[tuple_idx].derivations;
+        let lineage = arena.union_facts(derivations);
         if lineage.is_empty() || lineage.len() > cfg.max_lineage {
             return None;
         }
-        let prov = Dnf::of_tuple(tuple);
-        let shapley = shapley_values(&prov);
+        let shapley = shapley_values_recovered(arena, derivations);
         debug_assert_eq!(shapley.len(), lineage.len());
         Some(TupleRecord { tuple_idx, shapley })
     })

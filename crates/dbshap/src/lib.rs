@@ -36,9 +36,12 @@ pub use dataset::{Dataset, DatasetConfig, QueryRecord, Split, TupleRecord};
 pub use export::{export, import_quartets, Quartet};
 pub use imdb::{generate_imdb, ImdbConfig};
 pub use names::NamePool;
-pub use querygen::{academic_spec, generate_query_log, imdb_spec, QueryGenConfig, SchemaSpec};
+pub use querygen::{
+    academic_spec, generate_query_log, generate_wide_join_log, imdb_spec, QueryGenConfig,
+    SchemaSpec,
+};
 pub use stats::{
-    similarity_matrices, split_similarity_row, split_stats, table1, SimilarityMatrices,
-    SplitSimilarityRow, SplitStats,
+    lineage_shape, similarity_matrices, split_similarity_row, split_stats, table1, LineageShape,
+    SimilarityMatrices, SplitSimilarityRow, SplitStats,
 };
 pub use subset::{nested_train_subsets, unseen_fact_fraction, SWEEP_FRACTIONS};

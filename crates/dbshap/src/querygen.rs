@@ -101,6 +101,13 @@ pub struct QueryGenConfig {
     pub union_prob: f64,
     /// Family members derived from each base query by mutation.
     pub mutations_per_base: usize,
+    /// Adversarially wide fanout queries seeded at the head of the log (the
+    /// `--wide-joins` knob). Each one multi-joins a fanout table against
+    /// itself with the arms partitioned into *disjoint* value ranges, so the
+    /// clauses of one output tuple are pairwise incomparable and absorption
+    /// cannot collapse the lineage — derivation counts grow as the product of
+    /// the per-arm fanouts.
+    pub wide_joins: usize,
     /// RNG seed.
     pub seed: u64,
 }
@@ -112,6 +119,7 @@ impl Default for QueryGenConfig {
             max_join_width: 5,
             union_prob: 0.12,
             mutations_per_base: 3,
+            wide_joins: 0,
             seed: 7,
         }
     }
@@ -123,6 +131,18 @@ pub fn generate_query_log(db: &Database, spec: &SchemaSpec, cfg: &QueryGenConfig
     let mut log: Vec<Query> = Vec::new();
     let mut seen: HashSet<String> = HashSet::new();
     let mut seen_semantics: HashSet<String> = HashSet::new();
+    if cfg.wide_joins > 0 {
+        for q in generate_wide_join_log(db, spec, cfg.wide_joins, cfg.seed) {
+            push_if_new(
+                db,
+                q,
+                &mut log,
+                &mut seen,
+                &mut seen_semantics,
+                cfg.num_queries,
+            );
+        }
+    }
     let mut attempts = 0usize;
     let attempt_budget = cfg.num_queries * 300;
     while log.len() < cfg.num_queries && attempts < attempt_budget {
@@ -444,6 +464,151 @@ fn mutate_selections_inner(
     }
 }
 
+/// Generate adversarially wide fanout queries, widest lineage first.
+///
+/// For every join edge `(anchor.ac = fan.fc)` of the schema, the generator
+/// builds self-join queries `FROM anchor, fan w1, ..., fan wk` where each arm
+/// `wi` joins back to the anchor and is restricted to a *disjoint* range of a
+/// partition column (a fanout-table column other than the join column), with
+/// range pivots drawn from the sorted distinct data values. Disjointness is
+/// what makes the queries adversarial: a naive unpartitioned self-join emits
+/// the diagonal row `w1 = w2`, whose short clause absorbs every wider one and
+/// the lineage minimizes back to the single-arm shape. With disjoint pools no
+/// clause contains another, so each output tuple keeps `∏ᵢ |poolᵢ|`
+/// derivations of `k + 1` facts each.
+///
+/// Candidates are scored by the widest lineage they actually produce on `db`
+/// and returned in descending order (SQL text breaks ties), so the result is
+/// deterministic for a given `(db, spec, seed)`.
+pub fn generate_wide_join_log(
+    db: &Database,
+    spec: &SchemaSpec,
+    num_queries: usize,
+    seed: u64,
+) -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x71de_3014);
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut scored: Vec<(usize, String, Query)> = Vec::new();
+    for &(t1, c1, t2, c2) in &spec.joins {
+        // Either side of the edge may be the fanout side; the width score
+        // filters out the unique-key orientation.
+        for (anchor, ac, fan, fc) in [(t1, c1, t2, c2), (t2, c2, t1, c1)] {
+            for arms in 2..=3usize {
+                for _ in 0..2 {
+                    let Some(q) = wide_join_query(db, spec, anchor, ac, fan, fc, arms, &mut rng)
+                    else {
+                        continue;
+                    };
+                    let sql = to_sql(&q);
+                    if !seen.insert(sql.clone()) {
+                        continue;
+                    }
+                    let Ok(result) = evaluate(db, &q) else {
+                        continue;
+                    };
+                    let width = result
+                        .tuples
+                        .iter()
+                        .map(|t| t.derivations.len())
+                        .max()
+                        .unwrap_or(0);
+                    if width >= 2 {
+                        scored.push((width, sql, q));
+                    }
+                }
+            }
+        }
+    }
+    scored.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+    scored.truncate(num_queries);
+    scored.into_iter().map(|(_, _, q)| q).collect()
+}
+
+/// One wide-join candidate: `arms` aliased copies of `fan`, each joined to
+/// `anchor` on the edge and confined to its own partition-column range.
+#[allow(clippy::too_many_arguments)]
+fn wide_join_query(
+    db: &Database,
+    spec: &SchemaSpec,
+    anchor: &str,
+    ac: &str,
+    fan: &str,
+    fc: &str,
+    arms: usize,
+    rng: &mut StdRng,
+) -> Option<Query> {
+    let fan_table = db.table(fan)?;
+    // Partition on any fanout-table column that is not the join column — the
+    // algebra only compares columns against literals, so disjointness has to
+    // come from ranges over data values, not `w1.x <> w2.x`.
+    let pcol = fan_table
+        .schema
+        .columns
+        .iter()
+        .map(|c| c.name.as_str())
+        .find(|&n| n != fc)?;
+    let pidx = fan_table.schema.col_index(pcol)?;
+    let mut vals: Vec<Value> = (0..fan_table.len())
+        .filter_map(|r| db.cell(fan, r, pidx).cloned())
+        .collect();
+    vals.sort();
+    vals.dedup();
+    if vals.len() < arms * 2 {
+        return None;
+    }
+    // Quantile pivots with a little seed jitter so repeated calls explore
+    // different cut points; arms then cover [.., p1), [p1, p2), ..., [pk, ..].
+    let stride = vals.len() / arms;
+    let mut pivots: Vec<Value> = Vec::with_capacity(arms - 1);
+    for i in 1..arms {
+        let jitter = rng.gen_range(0..=(stride / 2).max(1)) as i64 - (stride / 4) as i64;
+        let idx = ((i * stride) as i64 + jitter).clamp(1, vals.len() as i64 - 1) as usize;
+        pivots.push(vals[idx].clone());
+    }
+    if pivots.windows(2).any(|w| w[0] >= w[1]) {
+        return None;
+    }
+
+    let mut tables = vec![TableRef::plain(anchor)];
+    let mut joins = Vec::new();
+    let mut selections = Vec::new();
+    for i in 0..arms {
+        let alias = format!("w{}", i + 1);
+        tables.push(TableRef::aliased(fan, alias.clone()));
+        joins.push(JoinCond::new(
+            ColRef::new(anchor, ac),
+            ColRef::new(alias.clone(), fc),
+        ));
+        if i > 0 {
+            selections.push(Selection::Cmp {
+                col: ColRef::new(alias.clone(), pcol),
+                op: CmpOp::Ge,
+                lit: pivots[i - 1].clone(),
+            });
+        }
+        if i < arms - 1 {
+            selections.push(Selection::Cmp {
+                col: ColRef::new(alias, pcol),
+                op: CmpOp::Lt,
+                lit: pivots[i].clone(),
+            });
+        }
+    }
+    let projection = spec
+        .projectable
+        .iter()
+        .find(|(t, _)| *t == anchor)
+        .map(|&(t, c)| ColRef::new(t, c))
+        .unwrap_or_else(|| ColRef::new(anchor, ac));
+    Some(Query::single(SpjBlock {
+        tables,
+        joins,
+        selections,
+        projection: vec![projection],
+        distinct: true,
+    }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -524,6 +689,79 @@ mod tests {
         assert_eq!(log.len(), 12);
         let max_width = log.iter().map(Query::join_width).max().unwrap();
         assert!(max_width >= 3, "academic joins too shallow: {max_width}");
+    }
+
+    /// A cast-heavy IMDB so each movie joins many roles per fanout arm.
+    fn fat_cast_db() -> Database {
+        generate_imdb(&ImdbConfig {
+            movies: 40,
+            actors: 30,
+            roles_per_movie: 8,
+            ..Default::default()
+        })
+    }
+
+    fn max_derivations(db: &Database, log: &[Query]) -> usize {
+        log.iter()
+            .map(|q| {
+                let r = evaluate(db, q).unwrap();
+                r.tuples
+                    .iter()
+                    .map(|t| t.derivations.len())
+                    .max()
+                    .unwrap_or(0)
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn wide_joins_produce_wide_minimized_lineages() {
+        let db = fat_cast_db();
+        let wide = generate_wide_join_log(&db, &imdb_spec(), 4, 7);
+        assert!(!wide.is_empty(), "no wide-join candidates survived");
+        // Disjoint-range arms survive minimization: some output tuple keeps a
+        // product-of-fanouts derivation count, well past any single-arm join.
+        let width = max_derivations(&db, &wide);
+        assert!(width >= 8, "wide-join lineage only {width} clauses");
+    }
+
+    #[test]
+    fn wide_joins_deterministic_by_seed() {
+        let db = fat_cast_db();
+        let a = generate_wide_join_log(&db, &imdb_spec(), 4, 7);
+        let b = generate_wide_join_log(&db, &imdb_spec(), 4, 7);
+        assert_eq!(
+            a.iter().map(to_sql).collect::<Vec<_>>(),
+            b.iter().map(to_sql).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn wide_joins_knob_seeds_the_log() {
+        let db = fat_cast_db();
+        let cfg = QueryGenConfig {
+            num_queries: 10,
+            wide_joins: 3,
+            ..Default::default()
+        };
+        let log = generate_query_log(&db, &imdb_spec(), &cfg);
+        assert_eq!(log.len(), 10);
+        // The seeded queries self-join through aliased fanout arms.
+        assert!(
+            log.iter().any(|q| to_sql(q).contains(" w1")),
+            "no wide-join query in the log"
+        );
+        // And they are strictly wider than anything the base generator emits.
+        let base = generate_query_log(
+            &db,
+            &imdb_spec(),
+            &QueryGenConfig {
+                num_queries: 10,
+                ..Default::default()
+            },
+        );
+        assert!(max_derivations(&db, &log) >= max_derivations(&db, &base));
     }
 
     #[test]

@@ -1,7 +1,8 @@
-//! Dataset statistics — the numbers behind Table 1, Table 2, and Figure 7.
+//! Dataset statistics — the numbers behind Table 1, Table 2, and Figure 7,
+//! plus lineage-shape profiles of evaluated results.
 
 use crate::dataset::{Dataset, Split};
-use ls_relational::operations;
+use ls_relational::{operations, InternedResult};
 use ls_similarity::{
     rank_based_similarity, syntax_similarity_ops, RankSimOptions, SimilarityMatrix,
 };
@@ -37,6 +38,52 @@ pub fn table1(ds: &Dataset) -> [SplitStats; 4] {
         facts: tr.facts + dv.facts + te.facts,
     };
     [tr, dv, te, total]
+}
+
+/// Shape of the minimized lineages of one evaluated result — the quantities
+/// the top-k clause semiring bounds and the wide-join workload inflates.
+///
+/// Computed straight from the semiring-native [`InternedResult`] (recovered
+/// clause refs plus the shared arena), with no value decoding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineageShape {
+    /// Output tuples in the result.
+    pub tuples: usize,
+    /// Largest clause count of any one tuple's lineage.
+    pub max_clauses: usize,
+    /// Mean clause count per tuple (0 for an empty result).
+    pub mean_clauses: f64,
+    /// Largest single clause (facts per derivation) anywhere in the result.
+    pub max_clause_facts: usize,
+    /// Mean distinct-fact count of a tuple's full lineage (union of clauses).
+    pub mean_lineage_facts: f64,
+}
+
+/// Profile the lineage shape of one evaluated result.
+pub fn lineage_shape(result: &InternedResult) -> LineageShape {
+    let mut shape = LineageShape {
+        tuples: result.tuples.len(),
+        max_clauses: 0,
+        mean_clauses: 0.0,
+        max_clause_facts: 0,
+        mean_lineage_facts: 0.0,
+    };
+    if result.tuples.is_empty() {
+        return shape;
+    }
+    let mut clause_sum = 0usize;
+    let mut fact_sum = 0usize;
+    for t in &result.tuples {
+        shape.max_clauses = shape.max_clauses.max(t.derivations.len());
+        clause_sum += t.derivations.len();
+        for &r in &t.derivations {
+            shape.max_clause_facts = shape.max_clause_facts.max(result.arena.facts(r).len());
+        }
+        fact_sum += result.arena.union_facts(&t.derivations).len();
+    }
+    shape.mean_clauses = clause_sum as f64 / result.tuples.len() as f64;
+    shape.mean_lineage_facts = fact_sum as f64 / result.tuples.len() as f64;
+    shape
 }
 
 /// The three pairwise similarity matrices over the full query log.
@@ -117,6 +164,35 @@ mod tests {
             ..Default::default()
         };
         Dataset::build(db, &imdb_spec(), &cfg)
+    }
+
+    #[test]
+    fn lineage_shape_on_wide_join_workload() {
+        use crate::querygen::generate_wide_join_log;
+        use ls_relational::evaluate_interned;
+        let db = generate_imdb(&ImdbConfig {
+            movies: 40,
+            actors: 30,
+            roles_per_movie: 8,
+            ..Default::default()
+        });
+        let wide = generate_wide_join_log(&db, &imdb_spec(), 3, 7);
+        assert!(!wide.is_empty());
+        let shape = lineage_shape(&evaluate_interned(&db, &wide[0]).unwrap());
+        assert!(shape.tuples > 0);
+        assert!(shape.max_clauses >= 8, "widest query: {shape:?}");
+        assert!(shape.mean_clauses >= 1.0);
+        // Every clause of a k-arm wide join holds the anchor fact + k arms.
+        assert!(shape.max_clause_facts >= 3, "{shape:?}");
+        assert!(shape.mean_lineage_facts >= shape.mean_clauses.min(3.0));
+    }
+
+    #[test]
+    fn lineage_shape_of_empty_result_is_zeroed() {
+        let shape = lineage_shape(&InternedResult::empty());
+        assert_eq!(shape.tuples, 0);
+        assert_eq!(shape.max_clauses, 0);
+        assert_eq!(shape.mean_clauses, 0.0);
     }
 
     #[test]

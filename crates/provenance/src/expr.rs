@@ -7,8 +7,7 @@
 //! supports the operations the Shapley pipeline needs: evaluation,
 //! conditioning on one fact, and decomposition into independent components.
 
-use ls_relational::eval::minimize_dnf;
-use ls_relational::{FactId, Monomial, OutputTuple};
+use ls_relational::{minimize_dnf, FactId, LineageArena, MonoRef, Monomial, OutputTuple};
 use std::fmt;
 
 /// A monotone Boolean provenance expression in minimal DNF.
@@ -55,6 +54,26 @@ impl Dnf {
         Dnf {
             monomials: t.derivations.clone(),
         }
+    }
+
+    /// The provenance of a recovered clause set (the output of the
+    /// monotone-DNF semirings' `recover_fn`).
+    ///
+    /// Clauses recovered from a saturated tag are already minimal and sorted
+    /// by (length, content) — the arena minimizer's output order — so this
+    /// wraps each clause's fact slice without re-minimizing. The arena is
+    /// borrowed shared, so recovered tuples of one result can be compiled in
+    /// parallel.
+    pub fn from_recovered(arena: &LineageArena, clauses: &[MonoRef]) -> Self {
+        let monomials: Vec<Monomial> = clauses
+            .iter()
+            .map(|&r| Monomial::from_sorted_facts(arena.facts(r)))
+            .collect();
+        debug_assert!(
+            is_minimal_sorted(&monomials),
+            "recovered clauses must be minimal sorted DNF"
+        );
+        Dnf { monomials }
     }
 
     /// The monomials, sorted by (length, content).

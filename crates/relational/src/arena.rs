@@ -15,7 +15,7 @@
 //!   `Arc`-backed [`Monomial`] at most once, so every output tuple (and every
 //!   DNF built downstream) holding the same derivation shares one allocation.
 //!
-//! The arena is append-only and owned by the [`crate::eval::InternedResult`]
+//! The arena is append-only and owned by the [`crate::results::InternedResult`]
 //! it was built for; `MonoRef`s are meaningless across arenas.
 
 use crate::fact::{FactId, Monomial};
@@ -223,7 +223,7 @@ impl LineageArena {
         true
     }
 
-    /// The `(length, content)` order [`crate::eval::minimize_dnf`] sorts
+    /// The `(length, content)` order [`crate::fact::minimize_dnf`] sorts
     /// monomials in.
     pub fn cmp_monos(&self, a: MonoRef, b: MonoRef) -> Ordering {
         if a == b {
@@ -236,7 +236,7 @@ impl LineageArena {
     /// DNF minimization over interned monomials: drop duplicates (free under
     /// hash-consing — equal sets share a ref) and absorbed monomials. The
     /// result is sorted by `(length, content)`, matching
-    /// [`crate::eval::minimize_dnf`] bit for bit.
+    /// [`crate::fact::minimize_dnf`] bit for bit.
     ///
     /// Absorption only tests candidates against *strictly shorter* kept
     /// monomials: a same-length subsumer would have to be equal, and equals
@@ -268,6 +268,18 @@ impl LineageArena {
         }
         monos.truncate(kept);
         monos
+    }
+
+    /// The sorted, deduplicated union of the facts of `refs` — the lineage
+    /// of a recovered clause set.
+    pub fn union_facts(&self, refs: &[MonoRef]) -> Vec<FactId> {
+        let mut facts: Vec<FactId> = refs
+            .iter()
+            .flat_map(|&r| self.facts(r).iter().copied())
+            .collect();
+        facts.sort_unstable();
+        facts.dedup();
+        facts
     }
 
     /// Decode `r` into an `Arc`-backed [`Monomial`], memoized so repeated

@@ -1,9 +1,12 @@
-//! Provenance-tracking evaluation of SPJU queries.
+//! Semiring-generic evaluation of SPJU queries.
 //!
-//! The evaluator computes, for every output tuple, its monotone-DNF Boolean
-//! provenance: one [`Monomial`] per derivation, minimized by absorption. The
-//! lineage (the paper's `Lineage(D, q, t)`) is the set of facts appearing in
-//! at least one derivation.
+//! The evaluator is written once against the [`Provenance`] trait and threads
+//! an opaque tag through every operator: scans call `tagging_fn` per matching
+//! row, joins combine row tags with `mult`, union + duplicate elimination
+//! folds alternative derivations of one output tuple with `add`, and each
+//! grouped tag is normalized with `saturate` at the result boundary. Nothing
+//! here knows what a tag *is* — monotone-DNF lineage, a multiplicity, a
+//! probability — so new semirings require zero changes to this module.
 //!
 //! Execution strategy: per-alias scans with selection pushdown, then greedy
 //! hash equi-joins along the join graph (falling back to a cross product for
@@ -12,161 +15,19 @@
 //!
 //! Internally everything runs over the database's interned representation:
 //! rows are [`IdRow`]s of [`ValueId`]s (join keys, group-by keys and residual
-//! equality checks are `u32` comparisons), block intermediates live in one
-//! flat per-block buffer, and derivations are hash-consed [`MonoRef`]s in a
-//! [`LineageArena`]. [`evaluate`] decodes the interned result once at the
-//! boundary into the classic [`OutputTuple`] view; [`evaluate_interned`]
-//! exposes the raw interned form for consumers (Shapley, similarity) that
-//! never need decoded values.
+//! equality checks are `u32` comparisons) and block intermediates live in one
+//! flat per-block buffer. The classic decoded / interned monotone-DNF views
+//! live in [`crate::results`], as thin instantiations of [`evaluate_with`].
 
 use crate::algebra::{CmpOp, ColRef, Query, Selection, SpjBlock};
-use crate::arena::{LineageArena, MonoRef};
 use crate::database::Database;
-use crate::fact::{FactId, Monomial};
 use crate::hash::FxHashMap;
 use crate::row::IdRow;
-use crate::value::{Value, ValueId};
+use crate::semiring::Provenance;
+use crate::value::ValueId;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::fmt;
-
-/// An output tuple with its provenance, decoded to owned [`Value`]s.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct OutputTuple {
-    /// Projected values.
-    pub values: Vec<Value>,
-    /// Minimal DNF provenance: every monomial is one derivation, none is
-    /// subsumed by another.
-    pub derivations: Vec<Monomial>,
-}
-
-impl OutputTuple {
-    /// The lineage: all facts appearing in at least one derivation, sorted.
-    pub fn lineage(&self) -> Vec<FactId> {
-        let mut facts: Vec<FactId> = self
-            .derivations
-            .iter()
-            .flat_map(|m| m.facts().iter().copied())
-            .collect();
-        facts.sort_unstable();
-        facts.dedup();
-        facts
-    }
-
-    /// Render the projected values as `(v1, v2, …)`.
-    pub fn value_string(&self) -> String {
-        let parts: Vec<String> = self.values.iter().map(ToString::to_string).collect();
-        format!("({})", parts.join(", "))
-    }
-}
-
-/// An output tuple in interned form: projected value ids plus arena refs to
-/// its minimal-DNF derivations.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct InternedTuple {
-    /// Projected value ids (decode via the database dictionary).
-    pub values: IdRow,
-    /// Minimal DNF provenance as refs into the result's [`LineageArena`].
-    pub derivations: Vec<MonoRef>,
-}
-
-/// The interned half of a query result: tuples as [`IdRow`]s with
-/// arena-backed provenance.
-///
-/// Tuples are in the same (decoded-value-sorted) order as
-/// [`QueryResult::tuples`]; `tuples[i]` is the interned form of the `i`-th
-/// decoded tuple.
-#[derive(Debug, Clone)]
-pub struct InternedResult {
-    /// The hash-consed fact-set arena all `derivations` refs point into.
-    pub arena: LineageArena,
-    /// Output tuples in decoded-value-sorted order.
-    pub tuples: Vec<InternedTuple>,
-}
-
-impl InternedResult {
-    /// An empty result with a fresh arena.
-    pub fn empty() -> Self {
-        InternedResult {
-            arena: LineageArena::new(),
-            tuples: Vec::new(),
-        }
-    }
-
-    /// Number of output tuples.
-    pub fn len(&self) -> usize {
-        self.tuples.len()
-    }
-
-    /// Whether the result is empty.
-    pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
-    }
-
-    /// The interned witness rows (output values only), in result order.
-    pub fn witness_ids(&self) -> impl Iterator<Item = &IdRow> {
-        self.tuples.iter().map(|t| &t.values)
-    }
-}
-
-/// The result of evaluating a query: output tuples in deterministic
-/// (value-sorted) order, in both decoded and interned form.
-#[derive(Debug, Clone)]
-pub struct QueryResult {
-    /// Output tuples with provenance, sorted by value.
-    pub tuples: Vec<OutputTuple>,
-    /// The interned form: same tuples as [`IdRow`]s with arena-backed
-    /// provenance, for consumers that stay in id space.
-    pub interned: InternedResult,
-}
-
-/// Results compare by their decoded tuples: the interned side is a cache of
-/// the same information (relative to one database) and arenas built by
-/// different evaluations may intern in different orders.
-impl PartialEq for QueryResult {
-    fn eq(&self, other: &Self) -> bool {
-        self.tuples == other.tuples
-    }
-}
-
-impl Eq for QueryResult {}
-
-impl Default for QueryResult {
-    fn default() -> Self {
-        QueryResult {
-            tuples: Vec::new(),
-            interned: InternedResult::empty(),
-        }
-    }
-}
-
-impl QueryResult {
-    /// Number of output tuples.
-    pub fn len(&self) -> usize {
-        self.tuples.len()
-    }
-
-    /// Whether the result is empty.
-    pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
-    }
-
-    /// Find the tuple with the given values.
-    ///
-    /// Tuples are value-sorted, so this is a binary search rather than a
-    /// linear scan.
-    pub fn tuple(&self, values: &[Value]) -> Option<&OutputTuple> {
-        self.tuples
-            .binary_search_by(|t| t.values.as_slice().cmp(values))
-            .ok()
-            .map(|i| &self.tuples[i])
-    }
-
-    /// The witness set: output values only (for witness-based similarity).
-    pub fn witnesses(&self) -> Vec<&[Value]> {
-        self.tuples.iter().map(|t| t.values.as_slice()).collect()
-    }
-}
 
 /// Evaluation failure: schema mismatch between query and database.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -191,101 +52,58 @@ impl fmt::Display for EvalError {
 
 impl std::error::Error for EvalError {}
 
-/// Evaluate an SPJU query with provenance tracking, decoding the interned
-/// result into owned [`Value`]s and `Arc`-shared [`Monomial`]s.
-pub fn evaluate(db: &Database, q: &Query) -> Result<QueryResult, EvalError> {
-    let InternedResult {
-        mut arena,
-        tuples: interned_tuples,
-    } = evaluate_interned(db, q)?;
-    let dict = db.dict();
-    let tuples: Vec<OutputTuple> = interned_tuples
-        .iter()
-        .map(|t| OutputTuple {
-            values: dict.decode_row(t.values.as_slice()),
-            derivations: t.derivations.iter().map(|&r| arena.decode(r)).collect(),
-        })
-        .collect();
-    Ok(QueryResult {
-        tuples,
-        interned: InternedResult {
-            arena,
-            tuples: interned_tuples,
-        },
-    })
-}
-
-/// Evaluate an SPJU query entirely in interned space.
+/// Evaluate an SPJU query under an arbitrary provenance semiring.
 ///
-/// Output tuples are sorted by their *decoded* values (the same deterministic
-/// order [`evaluate`] produces), but values stay as [`IdRow`]s and
-/// derivations as arena refs — nothing is decoded.
-pub fn evaluate_interned(db: &Database, q: &Query) -> Result<InternedResult, EvalError> {
-    let mut sp = ls_obs::span("relational.evaluate").with("blocks", q.blocks.len());
-    let mut arena = LineageArena::new();
-    // Group derivations by projected row. The inline first slot keeps the
-    // overwhelmingly common one-derivation-per-tuple case allocation-free.
-    let mut by_values: FxHashMap<IdRow, (MonoRef, Vec<MonoRef>)> = FxHashMap::default();
+/// Returns one `(projected ids, saturated tag)` pair per distinct output
+/// tuple, sorted by the tuples' *decoded* values — the deterministic order
+/// every downstream consumer (and the parallel-determinism suite) relies on.
+///
+/// Tags accumulate per output tuple in derivation-discovery order: the union
+/// fold is `add(earlier, later)`, so instances whose `add` is sensitive to
+/// operand order see derivations exactly as the evaluator produced them.
+pub fn evaluate_with<P: Provenance>(
+    db: &Database,
+    q: &Query,
+    prov: &mut P,
+) -> Result<Vec<(IdRow, P::Tag)>, EvalError> {
+    let mut sp = ls_obs::span("relational.evaluate")
+        .with("blocks", q.blocks.len())
+        .with("semiring", prov.name());
+    // Group derivations by projected row, folding alternatives with `add`.
+    let mut by_values: FxHashMap<IdRow, P::Tag> = FxHashMap::default();
     for block in &q.blocks {
-        for (values, mono) in eval_block(db, block, &mut arena)? {
+        for (values, tag) in eval_block(db, block, prov)? {
             match by_values.entry(values) {
-                Entry::Occupied(mut e) => e.get_mut().1.push(mono),
+                Entry::Occupied(mut e) => {
+                    let z = prov.zero();
+                    let prev = std::mem::replace(e.get_mut(), z);
+                    *e.get_mut() = prov.add(prev, tag);
+                }
                 Entry::Vacant(e) => {
-                    e.insert((mono, Vec::new()));
+                    e.insert(tag);
                 }
             }
         }
     }
-    let mut tuples: Vec<InternedTuple> = by_values
+    let mut tuples: Vec<(IdRow, P::Tag)> = by_values
         .into_iter()
-        .map(|(values, (first, mut rest))| {
-            let derivations = if rest.is_empty() {
-                vec![first]
-            } else {
-                rest.insert(0, first);
-                arena.minimize(rest)
-            };
-            InternedTuple {
-                derivations,
-                values,
-            }
-        })
+        .map(|(values, tag)| (values, prov.saturate(tag)))
         .collect();
     // Distinct interned rows decode to distinct value rows, so this sort has
-    // no ties and the order matches the old `BTreeMap<Vec<Value>, _>` walk.
+    // no ties and the order matches a decoded-value walk.
     let dict = db.dict();
-    tuples.sort_by(|a, b| dict.cmp_rows(a.values.as_slice(), b.values.as_slice()));
+    tuples.sort_by(|a, b| dict.cmp_rows(a.0.as_slice(), b.0.as_slice()));
     sp.record("tuples", tuples.len());
     if ls_obs::enabled() {
         ls_obs::counter("relational.tuples_emitted").add(tuples.len() as u64);
         ls_obs::counter("relational.queries").incr();
-    }
-    Ok(InternedResult { arena, tuples })
-}
-
-/// Remove subsumed monomials (DNF absorption: `m ∨ (m ∧ x) = m`) and
-/// duplicates. The result is sorted by (length, content) for determinism.
-///
-/// After the sort + dedup, a monomial can only be absorbed by a *strictly
-/// shorter* kept monomial (a same-length subsumer would have to be equal, and
-/// equals are gone), so absorption scans stop at the current length boundary
-/// instead of re-checking every kept monomial.
-pub fn minimize_dnf(mut monos: Vec<Monomial>) -> Vec<Monomial> {
-    monos.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
-    monos.dedup();
-    let mut kept: Vec<Monomial> = Vec::with_capacity(monos.len());
-    let mut cur_len = usize::MAX;
-    let mut shorter = 0;
-    for m in monos {
-        if m.len() != cur_len {
-            cur_len = m.len();
-            shorter = kept.len();
+        let clauses = ls_obs::histogram("provenance.clauses_per_lineage");
+        for (_, tag) in &tuples {
+            clauses.record(prov.tag_size(tag) as f64);
         }
-        if !kept[..shorter].iter().any(|k| k.subsumes(&m)) {
-            kept.push(m);
-        }
+        prov.report_metrics();
     }
-    kept
+    Ok(tuples)
 }
 
 /// A selection predicate compiled against the value dictionary, so the scan
@@ -305,25 +123,25 @@ enum SelTest<'a> {
 }
 
 /// An intermediate relation during join processing: all rows in one flat
-/// buffer (`data[i*width..(i+1)*width]` is row `i`), with the conjunctive
-/// provenance of row `i` in `monos[i]`.
-struct Rel {
+/// buffer (`data[i*width..(i+1)*width]` is row `i`), with the provenance tag
+/// of row `i` in `tags[i]`.
+struct Rel<T> {
     width: usize,
     data: Vec<ValueId>,
-    monos: Vec<MonoRef>,
+    tags: Vec<T>,
 }
 
-impl Rel {
+impl<T> Rel<T> {
     fn empty(width: usize) -> Self {
         Rel {
             width,
             data: Vec::new(),
-            monos: Vec::new(),
+            tags: Vec::new(),
         }
     }
 
     fn len(&self) -> usize {
-        self.monos.len()
+        self.tags.len()
     }
 
     #[inline]
@@ -332,12 +150,12 @@ impl Rel {
     }
 }
 
-/// Evaluate a single SPJ block, returning `(projected ids, derivation)` rows.
-fn eval_block(
+/// Evaluate a single SPJ block, returning `(projected ids, tag)` rows.
+fn eval_block<P: Provenance>(
     db: &Database,
     b: &SpjBlock,
-    arena: &mut LineageArena,
-) -> Result<Vec<(IdRow, MonoRef)>, EvalError> {
+    prov: &mut P,
+) -> Result<Vec<(IdRow, P::Tag)>, EvalError> {
     let dict = db.dict();
     // Per-operator row totals, accumulated locally (plain integer adds) and
     // published to the ls-obs counters once per block so that disabled-mode
@@ -345,7 +163,7 @@ fn eval_block(
     let mut rows_scanned = 0u64;
     let mut rows_joined = 0u64;
     // Scan each alias with its pushed-down selections.
-    let mut scans: Vec<(String, Vec<String>, Rel)> = Vec::new();
+    let mut scans: Vec<(String, Vec<String>, Rel<P::Tag>)> = Vec::new();
     for tref in &b.tables {
         let table = db
             .table(&tref.table)
@@ -393,7 +211,7 @@ fn eval_block(
                 });
                 if passes {
                     rel.data.extend_from_slice(cells);
-                    rel.monos.push(arena.singleton(table.fact_at(i)));
+                    rel.tags.push(prov.tagging_fn(table.fact_at(i)));
                 }
             }
         }
@@ -402,9 +220,9 @@ fn eval_block(
 
     // Column layout of the in-flight joined relation: (alias, column) → index.
     let mut layout: HashMap<(String, String), usize> = HashMap::new();
-    let mut current = Rel::empty(0);
+    let mut current: Rel<P::Tag> = Rel::empty(0);
     let mut bound: Vec<String> = Vec::new();
-    let mut remaining: Vec<(String, Vec<String>, Rel)> = scans;
+    let mut remaining: Vec<(String, Vec<String>, Rel<P::Tag>)> = scans;
     let mut pending_joins: Vec<&crate::algebra::JoinCond> = b.joins.iter().collect();
 
     // Validate join/projection column references against schemas up front.
@@ -499,8 +317,8 @@ fn eval_block(
                     }
                     joined.data.extend_from_slice(rel.row(j as usize));
                     joined
-                        .monos
-                        .push(arena.and(current.monos[i], rel.monos[j as usize]));
+                        .tags
+                        .push(prov.mult(&current.tags[i], &rel.tags[j as usize]));
                 }
             }
         }
@@ -539,13 +357,13 @@ fn eval_block(
             if keep {
                 if out_len != i {
                     current.data.copy_within(i * w..(i + 1) * w, out_len * w);
-                    current.monos[out_len] = current.monos[i];
+                    current.tags.swap(out_len, i);
                 }
                 out_len += 1;
             }
         }
         current.data.truncate(out_len * w);
-        current.monos.truncate(out_len);
+        current.tags.truncate(out_len);
     }
 
     if ls_obs::enabled() {
@@ -563,11 +381,12 @@ fn eval_block(
                 .expect("validated above")
         })
         .collect();
-    let mut out = Vec::with_capacity(current.len());
-    for i in 0..current.len() {
-        let row = current.row(i);
+    let Rel { width, data, tags } = current;
+    let mut out = Vec::with_capacity(tags.len());
+    for (i, tag) in tags.into_iter().enumerate() {
+        let row = &data[i * width..(i + 1) * width];
         let values: IdRow = proj_idx.iter().map(|&k| row[k]).collect();
-        out.push((values, current.monos[i]));
+        out.push((values, tag));
     }
     Ok(out)
 }
@@ -586,369 +405,4 @@ fn check_col(db: &Database, b: &SpjBlock, c: &ColRef) -> Result<(), EvalError> {
         )));
     }
     Ok(())
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::schema::TableSchema;
-    use crate::sql::parser::parse_query;
-    use crate::value::ColType;
-
-    /// The running-example movie database from Figure 1 of the paper
-    /// (restricted to the columns the examples use).
-    pub(crate) fn figure1_db() -> Database {
-        let mut db = Database::new();
-        db.create_table(TableSchema::new(
-            "movies",
-            &[
-                ("title", ColType::Str),
-                ("year", ColType::Int),
-                ("company", ColType::Str),
-            ],
-        ));
-        db.create_table(TableSchema::new(
-            "actors",
-            &[("name", ColType::Str), ("age", ColType::Int)],
-        ));
-        db.create_table(TableSchema::new(
-            "companies",
-            &[("name", ColType::Str), ("country", ColType::Str)],
-        ));
-        db.create_table(TableSchema::new(
-            "roles",
-            &[("actor", ColType::Str), ("movie", ColType::Str)],
-        ));
-        // movies: m1..m5
-        db.insert(
-            "movies",
-            vec!["Superman".into(), 2007.into(), "Universal".into()],
-        );
-        db.insert(
-            "movies",
-            vec!["Batman".into(), 2007.into(), "Universal".into()],
-        );
-        db.insert(
-            "movies",
-            vec!["Spiderman".into(), 2007.into(), "Warner".into()],
-        );
-        db.insert(
-            "movies",
-            vec!["Aquaman".into(), 2006.into(), "Warner".into()],
-        );
-        db.insert("movies", vec!["Iceman".into(), 2007.into(), "Sony".into()]);
-        // actors: a1..a4
-        db.insert("actors", vec!["Alice".into(), 45.into()]);
-        db.insert("actors", vec!["Bob".into(), 30.into()]);
-        db.insert("actors", vec!["Carol".into(), 38.into()]);
-        db.insert("actors", vec!["David".into(), 23.into()]);
-        // companies: c1..c3
-        db.insert("companies", vec!["Universal".into(), "USA".into()]);
-        db.insert("companies", vec!["Warner".into(), "USA".into()]);
-        db.insert("companies", vec!["Sony".into(), "Japan".into()]);
-        // roles: r1..r7
-        db.insert("roles", vec!["Alice".into(), "Superman".into()]);
-        db.insert("roles", vec!["Alice".into(), "Batman".into()]);
-        db.insert("roles", vec!["Alice".into(), "Spiderman".into()]);
-        db.insert("roles", vec!["Bob".into(), "Batman".into()]);
-        db.insert("roles", vec!["Carol".into(), "Aquaman".into()]);
-        db.insert("roles", vec!["David".into(), "Spiderman".into()]);
-        db.insert("roles", vec!["Carol".into(), "Iceman".into()]);
-        db
-    }
-
-    const Q_INF: &str = "SELECT DISTINCT actors.name \
-        FROM movies, actors, companies, roles \
-        WHERE movies.title = roles.movie AND actors.name = roles.actor AND \
-        movies.company = companies.name AND companies.country = 'USA' AND \
-        movies.year = 2007";
-
-    #[test]
-    fn running_example_output() {
-        let db = figure1_db();
-        let q = parse_query(Q_INF).unwrap();
-        let res = evaluate(&db, &q).unwrap();
-        let names: Vec<String> = res.tuples.iter().map(|t| t.values[0].to_string()).collect();
-        assert_eq!(names, vec!["Alice", "Bob", "David"]);
-    }
-
-    #[test]
-    fn alice_provenance_has_three_derivations() {
-        let db = figure1_db();
-        let q = parse_query(Q_INF).unwrap();
-        let res = evaluate(&db, &q).unwrap();
-        let alice = res.tuple(&[Value::from("Alice")]).unwrap();
-        // Alice appears via Superman/Universal, Batman/Universal,
-        // Spiderman/Warner — three derivations of four facts each.
-        assert_eq!(alice.derivations.len(), 3);
-        for d in &alice.derivations {
-            assert_eq!(d.len(), 4);
-        }
-        // Lineage: a1, 3 movies, 2 companies, 3 roles = 9 facts.
-        assert_eq!(alice.lineage().len(), 9);
-    }
-
-    #[test]
-    fn interned_result_mirrors_decoded_result() {
-        let db = figure1_db();
-        let q = parse_query(Q_INF).unwrap();
-        let res = evaluate(&db, &q).unwrap();
-        let interned = evaluate_interned(&db, &q).unwrap();
-        assert_eq!(res.interned.len(), res.len());
-        assert_eq!(interned.len(), res.len());
-        for (it, t) in interned.tuples.iter().zip(&res.tuples) {
-            assert_eq!(db.dict().decode_row(it.values.as_slice()), t.values);
-            assert_eq!(it.derivations.len(), t.derivations.len());
-            for (&r, m) in it.derivations.iter().zip(&t.derivations) {
-                assert_eq!(interned.arena.facts(r), m.facts());
-            }
-        }
-        let wits: Vec<&IdRow> = interned.witness_ids().collect();
-        assert_eq!(wits.len(), 3);
-    }
-
-    #[test]
-    fn selection_only_query() {
-        let db = figure1_db();
-        let q = parse_query("SELECT movies.title FROM movies WHERE movies.year = 2007").unwrap();
-        let res = evaluate(&db, &q).unwrap();
-        assert_eq!(res.len(), 4);
-        for t in &res.tuples {
-            assert_eq!(t.derivations.len(), 1);
-            assert_eq!(t.derivations[0].len(), 1);
-        }
-    }
-
-    #[test]
-    fn selection_on_absent_literal() {
-        let db = figure1_db();
-        // 'Nolan' is interned nowhere: `=` short-circuits to empty, `<>`
-        // passes every row.
-        let q =
-            parse_query("SELECT movies.title FROM movies WHERE movies.title = 'Nolan'").unwrap();
-        assert!(evaluate(&db, &q).unwrap().is_empty());
-        let q2 =
-            parse_query("SELECT movies.title FROM movies WHERE movies.title <> 'Nolan'").unwrap();
-        assert_eq!(evaluate(&db, &q2).unwrap().len(), 5);
-    }
-
-    #[test]
-    fn union_merges_provenance() {
-        let db = figure1_db();
-        let q = parse_query(
-            "SELECT movies.title FROM movies WHERE movies.year = 2007 \
-             UNION SELECT movies.title FROM movies WHERE movies.company = 'Universal'",
-        )
-        .unwrap();
-        let res = evaluate(&db, &q).unwrap();
-        // Superman is in both branches, via the same fact — one derivation.
-        let superman = res.tuple(&[Value::from("Superman")]).unwrap();
-        assert_eq!(superman.derivations.len(), 1);
-        // Aquaman only matches the second branch... no — Aquaman is Warner
-        // 2006, so it matches neither. Iceman matches only the first branch.
-        assert!(res.tuple(&[Value::from("Iceman")]).is_some());
-        assert!(res.tuple(&[Value::from("Aquaman")]).is_none());
-    }
-
-    #[test]
-    fn cross_product_fallback() {
-        let db = figure1_db();
-        let q = parse_query(
-            "SELECT companies.name, actors.name FROM companies, actors \
-             WHERE companies.country = 'Japan' AND actors.age > 40",
-        )
-        .unwrap();
-        let res = evaluate(&db, &q).unwrap();
-        assert_eq!(res.len(), 1); // Sony × Alice
-        assert_eq!(res.tuples[0].derivations[0].len(), 2);
-    }
-
-    #[test]
-    fn self_join_with_aliases() {
-        let db = figure1_db();
-        // Pairs of distinct actors playing in the same movie.
-        let q = parse_query(
-            "SELECT r1.actor, r2.actor FROM roles r1, roles r2 \
-             WHERE r1.movie = r2.movie AND r1.actor < 'Bob' AND r2.actor >= 'Bob'",
-        )
-        .unwrap();
-        let res = evaluate(&db, &q).unwrap();
-        let pairs: Vec<String> = res.tuples.iter().map(|t| t.value_string()).collect();
-        assert_eq!(pairs, vec!["(Alice, Bob)", "(Alice, David)"]);
-    }
-
-    #[test]
-    fn cyclic_join_conditions_are_applied() {
-        let db = figure1_db();
-        // Triangle: movies-roles join plus a redundant condition closing a
-        // cycle through companies.
-        let q = parse_query(
-            "SELECT movies.title FROM movies, companies, roles \
-             WHERE movies.company = companies.name AND movies.title = roles.movie \
-             AND companies.country = 'USA' AND roles.actor = 'Alice' \
-             AND companies.name = movies.company",
-        )
-        .unwrap();
-        let res = evaluate(&db, &q).unwrap();
-        assert_eq!(res.len(), 3);
-    }
-
-    #[test]
-    fn empty_result() {
-        let db = figure1_db();
-        let q = parse_query("SELECT movies.title FROM movies WHERE movies.year = 1999").unwrap();
-        let res = evaluate(&db, &q).unwrap();
-        assert!(res.is_empty());
-        assert!(res.witnesses().is_empty());
-    }
-
-    #[test]
-    fn missing_table_is_error() {
-        let db = figure1_db();
-        let q = parse_query("SELECT directors.name FROM directors").unwrap();
-        assert!(evaluate(&db, &q).is_err());
-    }
-
-    #[test]
-    fn missing_column_is_error() {
-        let db = figure1_db();
-        let q = parse_query("SELECT movies.budget FROM movies").unwrap();
-        let err = evaluate(&db, &q).unwrap_err();
-        assert!(err.message.contains("budget"));
-        let q2 = parse_query("SELECT movies.title FROM movies WHERE movies.budget > 3").unwrap();
-        assert!(evaluate(&db, &q2).is_err());
-    }
-
-    #[test]
-    fn minimize_dnf_absorption() {
-        let m = |ids: &[u32]| Monomial::from_facts(ids.iter().map(|&i| FactId(i)).collect());
-        let out = minimize_dnf(vec![m(&[1, 2, 3]), m(&[1, 2]), m(&[4]), m(&[1, 2])]);
-        assert_eq!(out, vec![m(&[4]), m(&[1, 2])]);
-    }
-
-    #[test]
-    fn minimize_dnf_pathological_same_length_plateau() {
-        // 1000 monomials dominated by one same-length plateau: 600 distinct
-        // pairs that cannot absorb each other, 380 triples absorbed by some
-        // pair, and 20 triples that survive. The length-boundary absorption
-        // scan must agree with the naive all-kept scan.
-        let m = |ids: &[u32]| Monomial::from_facts(ids.iter().map(|&i| FactId(i)).collect());
-        let mut monos: Vec<Monomial> = Vec::new();
-        for i in 0..600u32 {
-            monos.push(m(&[2 * i, 2 * i + 1]));
-        }
-        for i in 0..380u32 {
-            // Superset of pair i — absorbed.
-            monos.push(m(&[2 * i, 2 * i + 1, 5000 + i]));
-        }
-        for i in 0..20u32 {
-            // Fresh facts only — kept.
-            monos.push(m(&[6000 + 3 * i, 6001 + 3 * i, 6002 + 3 * i]));
-        }
-        assert_eq!(monos.len(), 1000);
-
-        // Naive quadratic reference: scan every kept monomial.
-        let naive = {
-            let mut ms = monos.clone();
-            ms.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
-            ms.dedup();
-            let mut kept: Vec<Monomial> = Vec::new();
-            for mm in ms {
-                if !kept.iter().any(|k| k.subsumes(&mm)) {
-                    kept.push(mm);
-                }
-            }
-            kept
-        };
-
-        let out = minimize_dnf(monos);
-        assert_eq!(out.len(), 620);
-        assert_eq!(out, naive);
-    }
-
-    #[test]
-    fn query_over_empty_table() {
-        let mut db = Database::new();
-        db.create_table(crate::schema::TableSchema::new(
-            "empty",
-            &[("x", crate::value::ColType::Int)],
-        ));
-        let q = parse_query("SELECT empty.x FROM empty").unwrap();
-        let res = evaluate(&db, &q).unwrap();
-        assert!(res.is_empty());
-        // Joining a non-empty table with an empty one is also empty.
-        let db2 = figure1_db();
-        let mut db3 = db2.clone();
-        db3.create_table(crate::schema::TableSchema::new(
-            "nothing",
-            &[("title", crate::value::ColType::Str)],
-        ));
-        let q = parse_query(
-            "SELECT movies.title FROM movies, nothing WHERE movies.title = nothing.title",
-        )
-        .unwrap();
-        assert!(evaluate(&db3, &q).unwrap().is_empty());
-    }
-
-    #[test]
-    fn duplicate_projection_column() {
-        let db = figure1_db();
-        let q = parse_query("SELECT actors.name, actors.name FROM actors WHERE actors.age > 40")
-            .unwrap();
-        let res = evaluate(&db, &q).unwrap();
-        assert_eq!(res.len(), 1);
-        assert_eq!(res.tuples[0].values[0], res.tuples[0].values[1]);
-    }
-
-    #[test]
-    fn selection_on_join_column() {
-        let db = figure1_db();
-        // The join column also carries a selection predicate.
-        let q = parse_query(
-            "SELECT roles.actor FROM movies, roles \
-             WHERE movies.title = roles.movie AND movies.title = 'Batman'",
-        )
-        .unwrap();
-        let res = evaluate(&db, &q).unwrap();
-        let actors: Vec<String> = res.tuples.iter().map(|t| t.values[0].to_string()).collect();
-        assert_eq!(actors, vec!["Alice", "Bob"]);
-    }
-
-    #[test]
-    fn union_of_three_blocks() {
-        let db = figure1_db();
-        let q = parse_query(
-            "SELECT movies.title FROM movies WHERE movies.year = 2006 \
-             UNION SELECT movies.title FROM movies WHERE movies.year = 2007 \
-             UNION SELECT movies.title FROM movies WHERE movies.company = 'Sony'",
-        )
-        .unwrap();
-        let res = evaluate(&db, &q).unwrap();
-        assert_eq!(res.len(), 5); // all five movies
-    }
-
-    #[test]
-    fn results_are_value_sorted_and_deterministic() {
-        let db = figure1_db();
-        let q = parse_query(Q_INF).unwrap();
-        let r1 = evaluate(&db, &q).unwrap();
-        let r2 = evaluate(&db, &q).unwrap();
-        assert_eq!(r1, r2);
-        let mut sorted = r1.tuples.clone();
-        sorted.sort_by(|a, b| a.values.cmp(&b.values));
-        assert_eq!(r1.tuples, sorted);
-    }
-
-    #[test]
-    fn tuple_lookup_uses_sorted_order() {
-        let db = figure1_db();
-        let q = parse_query("SELECT movies.title FROM movies").unwrap();
-        let res = evaluate(&db, &q).unwrap();
-        assert_eq!(res.len(), 5);
-        for t in &res.tuples {
-            assert_eq!(res.tuple(&t.values).unwrap(), t);
-        }
-        assert!(res.tuple(&[Value::from("Nolan")]).is_none());
-        assert!(res.tuple(&[Value::from("")]).is_none());
-    }
 }

@@ -166,6 +166,31 @@ impl Monomial {
     }
 }
 
+/// Remove subsumed monomials (DNF absorption: `m ∨ (m ∧ x) = m`) and
+/// duplicates. The result is sorted by (length, content) for determinism.
+///
+/// After the sort + dedup, a monomial can only be absorbed by a *strictly
+/// shorter* kept monomial (a same-length subsumer would have to be equal, and
+/// equals are gone), so absorption scans stop at the current length boundary
+/// instead of re-checking every kept monomial.
+pub fn minimize_dnf(mut monos: Vec<Monomial>) -> Vec<Monomial> {
+    monos.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+    monos.dedup();
+    let mut kept: Vec<Monomial> = Vec::with_capacity(monos.len());
+    let mut cur_len = usize::MAX;
+    let mut shorter = 0;
+    for m in monos {
+        if m.len() != cur_len {
+            cur_len = m.len();
+            shorter = kept.len();
+        }
+        if !kept[..shorter].iter().any(|k| k.subsumes(&m)) {
+            kept.push(m);
+        }
+    }
+    kept
+}
+
 impl fmt::Display for Monomial {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         if self.facts.is_empty() {
@@ -231,5 +256,50 @@ mod tests {
         assert_eq!(Monomial::one().to_string(), "⊤");
         assert_eq!(m(&[1, 2]).to_string(), "f1∧f2");
         assert_eq!(FactId(9).to_string(), "f9");
+    }
+
+    #[test]
+    fn minimize_dnf_absorption() {
+        let out = minimize_dnf(vec![m(&[1, 2, 3]), m(&[1, 2]), m(&[4]), m(&[1, 2])]);
+        assert_eq!(out, vec![m(&[4]), m(&[1, 2])]);
+    }
+
+    #[test]
+    fn minimize_dnf_pathological_same_length_plateau() {
+        // 1000 monomials dominated by one same-length plateau: 600 distinct
+        // pairs that cannot absorb each other, 380 triples absorbed by some
+        // pair, and 20 triples that survive. The length-boundary absorption
+        // scan must agree with the naive all-kept scan.
+        let mut monos: Vec<Monomial> = Vec::new();
+        for i in 0..600u32 {
+            monos.push(m(&[2 * i, 2 * i + 1]));
+        }
+        for i in 0..380u32 {
+            // Superset of pair i — absorbed.
+            monos.push(m(&[2 * i, 2 * i + 1, 5000 + i]));
+        }
+        for i in 0..20u32 {
+            // Fresh facts only — kept.
+            monos.push(m(&[6000 + 3 * i, 6001 + 3 * i, 6002 + 3 * i]));
+        }
+        assert_eq!(monos.len(), 1000);
+
+        // Naive quadratic reference: scan every kept monomial.
+        let naive = {
+            let mut ms = monos.clone();
+            ms.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+            ms.dedup();
+            let mut kept: Vec<Monomial> = Vec::new();
+            for mm in ms {
+                if !kept.iter().any(|k| k.subsumes(&mm)) {
+                    kept.push(mm);
+                }
+            }
+            kept
+        };
+
+        let out = minimize_dnf(monos);
+        assert_eq!(out.len(), 620);
+        assert_eq!(out, naive);
     }
 }

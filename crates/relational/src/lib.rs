@@ -41,8 +41,10 @@ pub mod eval;
 pub mod fact;
 mod hash;
 pub mod ops;
+pub mod results;
 pub mod row;
 pub mod schema;
+pub mod semiring;
 pub mod sql;
 pub mod table;
 pub mod validate;
@@ -52,14 +54,15 @@ pub use algebra::{CmpOp, ColRef, JoinCond, Query, Selection, SpjBlock, TableRef}
 pub use arena::{LineageArena, MonoRef};
 pub use database::Database;
 pub use dict::ValueDict;
-pub use eval::{
-    evaluate, evaluate_interned, minimize_dnf, EvalError, InternedResult, InternedTuple,
-    OutputTuple, QueryResult,
-};
-pub use fact::{FactId, Monomial};
+pub use eval::{evaluate_with, EvalError};
+pub use fact::{minimize_dnf, FactId, Monomial};
 pub use ops::{operations, Operation};
+pub use results::{
+    evaluate, evaluate_interned, InternedResult, InternedTuple, OutputTuple, QueryResult,
+};
 pub use row::IdRow;
 pub use schema::{Catalog, Column, TableSchema};
+pub use semiring::{Counting, DnfTag, MonotoneDnf, Probabilistic, Provenance, TopKClauses};
 pub use sql::parser::{parse_query, ParseError};
 pub use sql::printer::to_sql;
 pub use table::{Row, Table};

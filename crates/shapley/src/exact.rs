@@ -15,7 +15,7 @@
 //! `[15]`), which this crate reproduces.
 
 use ls_provenance::{compile, BigNat, CompileOptions, Compiled, Dnf};
-use ls_relational::FactId;
+use ls_relational::{FactId, LineageArena, MonoRef};
 use std::collections::BTreeMap;
 
 /// Shapley (or other attribution) scores per fact.
@@ -29,6 +29,18 @@ pub type FactScores = BTreeMap<FactId, f64>;
 /// facts.
 pub fn shapley_values(provenance: &Dnf) -> FactScores {
     shapley_values_opts(provenance, CompileOptions::default())
+}
+
+/// Exact Shapley values straight from a recovered clause set — the output of
+/// the monotone-DNF semirings' `recover_fn` (arena refs into the result's
+/// [`LineageArena`]).
+///
+/// This is the semiring-native entry point: the evaluator's tag is lowered to
+/// clauses, lifted into a [`Dnf`] without re-minimization, and compiled. The
+/// arena is borrowed shared, so many tuples of one result can be scored in
+/// parallel.
+pub fn shapley_values_recovered(arena: &LineageArena, clauses: &[MonoRef]) -> FactScores {
+    shapley_values(&Dnf::from_recovered(arena, clauses))
 }
 
 /// [`shapley_values`] with explicit compiler options (for the ablation

@@ -43,7 +43,8 @@ pub mod sampling;
 
 pub use banzhaf::banzhaf_values;
 pub use exact::{
-    shapley_values, shapley_values_compiled, shapley_values_opts, shapley_weights, FactScores,
+    shapley_values, shapley_values_compiled, shapley_values_opts, shapley_values_recovered,
+    shapley_weights, FactScores,
 };
 pub use naive::{shapley_values_bruteforce, MAX_BRUTE_FORCE_PLAYERS};
 pub use proxy::cnf_proxy_scores;

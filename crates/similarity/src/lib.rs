@@ -44,6 +44,6 @@ pub use matrix::SimilarityMatrix;
 pub use rank::{rank_based_similarity, Matcher, RankSimOptions, UniverseMode};
 pub use syntax::{jaccard, syntax_similarity, syntax_similarity_ops};
 pub use witness::{
-    witness_set, witness_set_ids, witness_similarity, witness_similarity_ids,
+    witness_set, witness_set_ids, witness_set_interned, witness_similarity, witness_similarity_ids,
     witness_similarity_sets,
 };

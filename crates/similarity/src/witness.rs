@@ -5,7 +5,7 @@
 //! projections share no witnesses and score 0 — the blind spot that
 //! rank-based similarity was designed to cover.
 
-use ls_relational::{IdRow, QueryResult, Value};
+use ls_relational::{IdRow, InternedResult, QueryResult, Value};
 use std::collections::BTreeSet;
 
 /// The witness set of a query result: its output tuples as value vectors.
@@ -20,7 +20,14 @@ pub fn witness_set(result: &QueryResult) -> BTreeSet<Vec<Value>> {
 /// operations stay integer comparisons. Sets from *different* databases are
 /// not comparable — their dictionaries assign ids independently.
 pub fn witness_set_ids(result: &QueryResult) -> BTreeSet<IdRow> {
-    result.interned.witness_ids().cloned().collect()
+    witness_set_interned(&result.interned)
+}
+
+/// The interned witness set straight from an [`InternedResult`] — the
+/// semiring-native form, for pipelines that evaluate with
+/// `evaluate_interned` (or any clause semiring) and never decode values.
+pub fn witness_set_interned(result: &InternedResult) -> BTreeSet<IdRow> {
+    result.witness_ids().cloned().collect()
 }
 
 /// Witness-based similarity of two query results.
