@@ -16,6 +16,8 @@
 //!   ablations                   compiler/Shapley/matching design ablations
 //!   scaling                     attribution cost vs provenance size
 //!   wide-joins                  exact vs top-k lineage on wide-join fanouts
+//!   circuit                     compiled-circuit store cycle, SLO tier sweep,
+//!                               plain-vs-stratified sampler variance
 //!   ext-negatives               §7 extension: negative-sample fine-tuning
 //!   ext-crossschema             §7 extension: cross-schema transfer
 //!   all                         everything above
@@ -80,16 +82,23 @@ fn main() {
         eprintln!("# building IMDB dataset…");
         scale.imdb_dataset()
     });
-    eprintln!("# building Academic dataset…");
-    let academic = scale.academic_dataset();
+    // The Academic dataset is built on first use: the circuit, scaling, and
+    // wide-join commands bring their own workloads and skip it entirely.
+    let academic_cell = std::cell::OnceCell::new();
+    let academic = || {
+        academic_cell.get_or_init(|| {
+            eprintln!("# building Academic dataset…");
+            scale.academic_dataset()
+        })
+    };
 
     if run_all || command == "table1" {
         let imdb = imdb.as_ref().expect("imdb built");
-        emit(ls_bench::table1(imdb, &academic), "table1");
+        emit(ls_bench::table1(imdb, academic()), "table1");
     }
     if run_all || command == "table2" || command == "fig7" {
         let imdb = imdb.as_ref().expect("imdb built");
-        for ds in [imdb, &academic] {
+        for ds in [imdb, academic()] {
             eprintln!("# similarity matrices for {}…", ds.db_name);
             let ms = ls_bench::matrices(ds);
             if run_all || command == "table2" {
@@ -121,7 +130,7 @@ fn main() {
     }
     if run_all || command == "table3" {
         let imdb = imdb.as_ref().expect("imdb built");
-        for ds in [&academic, imdb] {
+        for ds in [academic(), imdb] {
             eprintln!("# Table 3 on {} (trains 4 models)…", ds.db_name);
             emit(
                 ls_bench::table3(ds, &scale),
@@ -131,33 +140,33 @@ fn main() {
     }
     if run_all || command == "table4" {
         eprintln!("# Table 4 (7 pre-training configurations)…");
-        emit(ls_bench::table4(&academic, &scale), "table4");
+        emit(ls_bench::table4(academic(), &scale), "table4");
     }
     if run_all || command == "table5" {
         eprintln!("# Table 5…");
-        emit(ls_bench::table5(&academic, &scale), "table5");
+        emit(ls_bench::table5(academic(), &scale), "table5");
     }
     if run_all || command == "table6" {
         eprintln!("# Table 6 (timed inference)…");
-        emit(ls_bench::table6(&academic, &scale), "table6");
+        emit(ls_bench::table6(academic(), &scale), "table6");
     }
     if run_all || command == "fig9" {
         eprintln!("# Figure 9…");
-        let (a, b) = ls_bench::fig9(&academic, &scale);
+        let (a, b) = ls_bench::fig9(academic(), &scale);
         emit(a, "fig9a");
         emit(b, "fig9b");
     }
     if run_all || command == "fig10" {
         eprintln!("# Figure 10…");
-        emit(ls_bench::fig10(&academic, &scale), "fig10");
+        emit(ls_bench::fig10(academic(), &scale), "fig10");
     }
     if run_all || command == "fig11" {
         eprintln!("# Figure 11 (retrains per log size)…");
-        emit(ls_bench::fig11(&academic, &scale), "fig11");
+        emit(ls_bench::fig11(academic(), &scale), "fig11");
     }
     if run_all || command == "fig12" {
         eprintln!("# Figure 12…");
-        emit(ls_bench::fig12(&academic, &scale), "fig12");
+        emit(ls_bench::fig12(academic(), &scale), "fig12");
     }
     if run_all || command == "ablations" {
         let imdb = imdb.as_ref().expect("imdb built");
@@ -175,10 +184,22 @@ fn main() {
         let (db, queries) = ls_bench::wide_join_workload();
         emit(ls_bench::wide_join_sweep(&db, &queries), "wide_joins");
     }
+    if run_all || command == "circuit" {
+        eprintln!("# Compiled-circuit store cycle (3 dataset builds)…");
+        let store_dir = out_dir.join("circuit-store");
+        emit(
+            ls_bench::circuit_store_cycle(&scale, &store_dir),
+            "circuit_store",
+        );
+        eprintln!("# SLO tier sweep…");
+        emit(ls_bench::circuit_tier_sweep(), "circuit_tiers");
+        eprintln!("# Sampler variance (plain vs stratified)…");
+        emit(ls_bench::circuit_sampler_variance(), "circuit_variance");
+    }
     if run_all || command == "ext-negatives" {
         eprintln!("# Extension: negative-sample fine-tuning (trains 2 models)…");
         emit(
-            ls_bench::extension_negatives(&academic, &scale),
+            ls_bench::extension_negatives(academic(), &scale),
             "ext_negatives",
         );
     }
@@ -192,7 +213,7 @@ fn main() {
             }
         };
         emit(
-            ls_bench::extension_cross_schema(&imdb_ds, &academic, &scale),
+            ls_bench::extension_cross_schema(&imdb_ds, academic(), &scale),
             "ext_crossschema",
         );
     }

@@ -1298,6 +1298,239 @@ pub fn wide_join_sweep(
     t
 }
 
+/// Cold → warm compiled-circuit store cycle on a dataset build.
+///
+/// Three passes over the same Academic dataset build: plain (no store), a
+/// cold store (every shape compiles once and persists), and a warm store
+/// (a fresh process over the same directory — every lookup must come off
+/// disk or the LRU). The warm pass is the acceptance gate: it must record
+/// a non-zero hit rate and zero fresh compiles.
+pub fn circuit_store_cycle(scale: &Scale, dir: &std::path::Path) -> TextTable {
+    use ls_circuit::CircuitStore;
+    use ls_dbshap::{academic_spec, generate_academic, AcademicConfig};
+    use std::time::Instant;
+
+    let gen = AcademicConfig {
+        seed: scale.seed ^ 0x2,
+        ..Default::default()
+    };
+    let cfg = scale.dataset_config(scale.seed ^ 0x22);
+    let spec = academic_spec();
+    let _ = std::fs::remove_dir_all(dir);
+
+    let mut t = TextTable::new(
+        "Compiled-circuit store — cold vs warm dataset build",
+        &[
+            "pass",
+            "build (s)",
+            "compiles",
+            "mem hits",
+            "disk hits",
+            "hit rate",
+        ],
+    );
+    let mut run = |pass: &str, store: Option<&CircuitStore>| {
+        let t0 = Instant::now();
+        let ds = Dataset::build_with_store(generate_academic(&gen), &spec, &cfg, store);
+        let secs = t0.elapsed().as_secs_f64();
+        std::hint::black_box(&ds);
+        let (misses, mem, disk) = store.map_or((0, 0, 0), |s| {
+            let st = s.stats();
+            (st.misses, st.mem_hits, st.disk_hits)
+        });
+        let total = misses + mem + disk;
+        t.row(vec![
+            pass.into(),
+            f3(secs),
+            misses.to_string(),
+            mem.to_string(),
+            disk.to_string(),
+            if total == 0 {
+                "—".into()
+            } else {
+                f3((mem + disk) as f64 / total as f64)
+            },
+        ]);
+        (misses, mem + disk)
+    };
+
+    run("plain", None);
+    let cold = CircuitStore::open(dir, 4096).expect("open circuit store");
+    let (cold_misses, _) = run("cold store", Some(&cold));
+    drop(cold);
+    // A fresh handle over the same directory: the warm pass simulates the
+    // next offline build reusing the previous run's persisted circuits.
+    let warm = CircuitStore::open(dir, 4096).expect("reopen circuit store");
+    let (warm_misses, warm_hits) = run("warm store", Some(&warm));
+    assert!(cold_misses > 0, "cold pass must compile something");
+    assert!(warm_hits > 0, "warm store must record a non-zero hit rate");
+    assert_eq!(warm_misses, 0, "warm pass must not recompile any shape");
+    t
+}
+
+/// SLO tier sweep on the wide-join workload: for the widest lineages, show
+/// which tier each latency budget selects (cold store, model assumed
+/// loaded) and what that tier actually costs and loses in accuracy.
+pub fn circuit_tier_sweep() -> TextTable {
+    use ls_circuit::{shapley_stratified, CacheState, SloPolicy, Tier};
+    use ls_relational::evaluate_interned;
+    use std::time::Instant;
+
+    let (db, queries) = wide_join_workload();
+    // The widest output tuple per query, as (players, clauses, Dnf).
+    let mut tuples: Vec<(usize, usize, Dnf)> = Vec::new();
+    for q in &queries {
+        let result = evaluate_interned(&db, q).expect("wide-join query evaluates");
+        let widest = result
+            .tuples
+            .iter()
+            .map(|tu| Dnf::from_recovered(&result.arena, &tu.derivations))
+            .max_by_key(|d| d.variables().len());
+        if let Some(d) = widest {
+            tuples.push((d.variables().len(), d.len(), d));
+        }
+    }
+    tuples.sort_by_key(|(p, _, _)| std::cmp::Reverse(*p));
+    tuples.truncate(3);
+
+    let policy = SloPolicy::default();
+    let cold = CacheState {
+        circuit_cached: false,
+        scores_cached: false,
+        model_available: true,
+    };
+    let budgets = [
+        ("100µs", Duration::from_micros(100)),
+        ("1ms", Duration::from_millis(1)),
+        ("100ms", Duration::from_millis(100)),
+    ];
+
+    let mut t = TextTable::new(
+        "SLO tier sweep — wide-join lineages, cold store",
+        &[
+            "lineage",
+            "budget",
+            "tier",
+            "samples",
+            "est (µs)",
+            "measured (ms)",
+            "mean |err|",
+        ],
+    );
+    for (players, clauses, dnf) in &tuples {
+        let t0 = Instant::now();
+        let exact = shapley_values(dnf);
+        let exact_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let mut chosen = Vec::new();
+        for (name, budget) in budgets {
+            let d = policy.choose(*players, *clauses, budget, cold);
+            chosen.push(d.tier);
+            let (measured, err) = match d.tier {
+                Tier::Exact => (f3(exact_ms), f4(0.0)),
+                Tier::Learned => ("—".into(), "—".into()),
+                Tier::Sampled => {
+                    let t0 = Instant::now();
+                    let est = shapley_stratified(
+                        dnf,
+                        |f| db.fact_table_idx(f).map_or(u64::MAX, |t| t as u64),
+                        d.samples,
+                        7,
+                    );
+                    let ms = t0.elapsed().as_secs_f64() * 1e3;
+                    let mean_err = exact
+                        .iter()
+                        .map(|(f, &v)| (est.scores.get(f).copied().unwrap_or(0.0) - v).abs())
+                        .sum::<f64>()
+                        / exact.len().max(1) as f64;
+                    (f3(ms), f4(mean_err))
+                }
+            };
+            t.row(vec![
+                format!("{players}p/{clauses}c"),
+                name.into(),
+                d.tier.to_string(),
+                d.samples.to_string(),
+                f3(d.estimated_ns / 1e3),
+                measured,
+                err,
+            ]);
+        }
+        // The acceptance criterion: tight and loose budgets land on
+        // different tiers for wide-join lineages.
+        assert_ne!(
+            chosen.first(),
+            chosen.last(),
+            "tight vs loose budgets must select different tiers at {players} players"
+        );
+    }
+    t
+}
+
+/// Plain vs relation-stratified permutation sampling: mean squared error
+/// against exact Shapley across seeds, at equal sample budgets. Stratified
+/// sampling spends its permutations evenly across per-relation orderings,
+/// so its estimator variance must not exceed the plain sampler's.
+pub fn circuit_sampler_variance() -> TextTable {
+    use ls_circuit::shapley_stratified;
+    use ls_relational::evaluate_interned;
+
+    let (db, queries) = wide_join_workload();
+    let result = evaluate_interned(&db, &queries[0]).expect("wide-join query evaluates");
+    let dnf = result
+        .tuples
+        .iter()
+        .map(|tu| Dnf::from_recovered(&result.arena, &tu.derivations))
+        .max_by_key(|d| d.variables().len())
+        .expect("workload produced tuples");
+    let exact = shapley_values(&dnf);
+    let seeds: Vec<u64> = (0..16).map(|i| 1000 + i * 37).collect();
+
+    let mse = |scores: &dyn Fn(u64) -> FactScores| {
+        let mut total = 0.0;
+        for &s in &seeds {
+            let est = scores(s);
+            total += exact
+                .iter()
+                .map(|(f, &v)| (est.get(f).copied().unwrap_or(0.0) - v).powi(2))
+                .sum::<f64>()
+                / exact.len().max(1) as f64;
+        }
+        total / seeds.len() as f64
+    };
+
+    let mut t = TextTable::new(
+        "Sampling estimator variance — plain vs relation-stratified",
+        &["samples", "estimator", "mean sq err", "vs plain"],
+    );
+    for samples in [256usize, 1024] {
+        let plain = mse(&|s| shapley_values_sampled(&dnf, samples, s));
+        let strat = mse(&|s| {
+            shapley_stratified(
+                &dnf,
+                |f| db.fact_table_idx(f).map_or(u64::MAX, |t| t as u64),
+                samples,
+                s,
+            )
+            .scores
+            .into_iter()
+            .collect()
+        });
+        t.row(vec![
+            samples.to_string(),
+            "plain".into(),
+            format!("{plain:.3e}"),
+            "1.000".into(),
+        ]);
+        t.row(vec![
+            samples.to_string(),
+            "stratified".into(),
+            format!("{strat:.3e}"),
+            f3(strat / plain.max(f64::MIN_POSITIVE)),
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

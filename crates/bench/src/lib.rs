@@ -25,9 +25,10 @@ pub mod report;
 pub mod scale;
 
 pub use exps::{
-    ablation_compiler, ablation_matching, ablation_shapley_methods, extension_cross_schema,
-    extension_negatives, fig10, fig11, fig12, fig7_summary, fig9, per_pair_eval, scaling_study,
-    table1, table2, table3, table4, table5, table6, wide_join_sweep, wide_join_workload, PairEval,
+    ablation_compiler, ablation_matching, ablation_shapley_methods, circuit_sampler_variance,
+    circuit_store_cycle, circuit_tier_sweep, extension_cross_schema, extension_negatives, fig10,
+    fig11, fig12, fig7_summary, fig9, per_pair_eval, scaling_study, table1, table2, table3, table4,
+    table5, table6, wide_join_sweep, wide_join_workload, PairEval,
 };
 pub use methods::{
     eval_nearest, matrices, table3_methods, train_and_eval, MethodResult, NQ_NEIGHBORS,

@@ -1,0 +1,175 @@
+//! Canonical lineage shapes — the store's index key.
+//!
+//! Two lineages that differ only in *which* facts they mention (but agree on
+//! how many facts there are and which clause contains which) compile to the
+//! same circuit up to a renaming of the leaves, and have identical Shapley
+//! values up to the same renaming. The store therefore indexes compiled
+//! circuits by the **canonical shape**: rename the distinct facts of a DNF,
+//! in ascending `FactId` order, to the dense ids `0..n`.
+//!
+//! The renaming is strictly monotone, so it preserves every ordering the
+//! downstream machinery depends on: clauses stay sorted, the DNF's
+//! `(len, content)` minimal-sort order is unchanged, and the compiler's
+//! variable-order heuristics (frequency with lexicographic tie-break) make
+//! identical decisions on the canonical input. That is what makes canonical
+//! Shapley scores a pure function of the shape — and therefore cacheable in
+//! the store file itself.
+
+use ls_fault::splitmix64;
+use ls_provenance::Dnf;
+use ls_relational::{FactId, Monomial};
+
+/// A 128-bit key identifying a canonical lineage shape.
+///
+/// Derived from two independently seeded SplitMix64 hash streams over the
+/// canonical clause list; 128 bits make accidental collisions across a
+/// store's lifetime implausible, and the store still verifies the canonical
+/// clauses recorded in the file on every load, so even a collision degrades
+/// to a typed `ShapeMismatch` (fresh compile), never a wrong answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ShapeKey(pub u64, pub u64);
+
+impl ShapeKey {
+    /// Hex form used as the on-disk file stem.
+    pub fn to_hex(self) -> String {
+        format!("{:016x}{:016x}", self.0, self.1)
+    }
+}
+
+/// A DNF reduced to its canonical shape plus the mapping back to the
+/// original facts.
+#[derive(Debug, Clone)]
+pub struct CanonicalShape {
+    /// The shape hash (index key of the store).
+    pub key: ShapeKey,
+    /// Original facts in ascending order; canonical id `i` stands for
+    /// `players[i]`.
+    pub players: Vec<FactId>,
+    /// Canonical clauses: the original minimal-sorted clause list with every
+    /// fact replaced by its dense canonical id. Still minimal-sorted, because
+    /// the renaming is monotone.
+    pub clauses: Vec<Vec<u32>>,
+}
+
+impl CanonicalShape {
+    /// Canonicalize a DNF.
+    pub fn of(dnf: &Dnf) -> CanonicalShape {
+        let players = dnf.variables();
+        let clauses: Vec<Vec<u32>> = dnf
+            .monomials()
+            .iter()
+            .map(|m| {
+                m.facts()
+                    .iter()
+                    .map(|f| players.binary_search(f).expect("var in variables()") as u32)
+                    .collect()
+            })
+            .collect();
+        let key = shape_hash(players.len(), &clauses);
+        CanonicalShape {
+            key,
+            players,
+            clauses,
+        }
+    }
+
+    /// Rebuild the canonical DNF (over facts `0..players.len()`). The clause
+    /// list is already minimal-sorted, so `Dnf::from_monomials` reproduces it
+    /// verbatim — this is the exact formula the stored circuit was compiled
+    /// from.
+    pub fn canonical_dnf(&self) -> Dnf {
+        canonical_dnf(&self.clauses)
+    }
+
+    /// Number of distinct facts (canonical universe size).
+    pub fn n_players(&self) -> usize {
+        self.players.len()
+    }
+}
+
+/// Build the canonical DNF for a canonical clause list.
+pub fn canonical_dnf(clauses: &[Vec<u32>]) -> Dnf {
+    let monomials = clauses
+        .iter()
+        .map(|c| {
+            let facts: Vec<FactId> = c.iter().map(|&v| FactId(v)).collect();
+            Monomial::from_sorted_facts(&facts)
+        })
+        .collect();
+    Dnf::from_monomials(monomials)
+}
+
+/// Hash the canonical structure into 128 bits (two independent streams).
+fn shape_hash(n_players: usize, clauses: &[Vec<u32>]) -> ShapeKey {
+    let mut h0: u64 = 0x6c73_5f63_6972_6331; // "ls_circ1"
+    let mut h1: u64 = 0x6c73_5f63_6972_6332; // "ls_circ2"
+    let mut mix = |v: u64| {
+        h0 = splitmix64(h0 ^ v);
+        h1 = splitmix64(h1 ^ v.rotate_left(17) ^ 0x9e37_79b9_7f4a_7c15);
+    };
+    mix(n_players as u64);
+    mix(clauses.len() as u64);
+    for clause in clauses {
+        mix(clause.len() as u64);
+        for &v in clause {
+            mix(v as u64);
+        }
+    }
+    ShapeKey(h0, h1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dnf(clauses: &[&[u32]]) -> Dnf {
+        Dnf::from_monomials(
+            clauses
+                .iter()
+                .map(|c| Monomial::from_facts(c.iter().map(|&i| FactId(i)).collect()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn renamed_lineages_share_a_shape() {
+        // Same structure over different fact ids.
+        let a = CanonicalShape::of(&dnf(&[&[1, 5], &[9]]));
+        let b = CanonicalShape::of(&dnf(&[&[100, 407], &[912]]));
+        assert_eq!(a.key, b.key);
+        assert_eq!(a.clauses, b.clauses);
+        assert_eq!(a.players, vec![FactId(1), FactId(5), FactId(9)]);
+        assert_eq!(b.players, vec![FactId(100), FactId(407), FactId(912)]);
+    }
+
+    #[test]
+    fn different_structures_get_different_keys() {
+        let a = CanonicalShape::of(&dnf(&[&[0, 1], &[2]]));
+        let b = CanonicalShape::of(&dnf(&[&[0], &[1, 2]]));
+        let c = CanonicalShape::of(&dnf(&[&[0, 1, 2]]));
+        assert_ne!(a.key, b.key);
+        assert_ne!(a.key, c.key);
+        assert_ne!(b.key, c.key);
+    }
+
+    #[test]
+    fn canonical_dnf_round_trips_the_clause_list() {
+        let original = dnf(&[&[3, 7], &[7, 11, 20], &[5]]);
+        let shape = CanonicalShape::of(&original);
+        let canon = shape.canonical_dnf();
+        let back = CanonicalShape::of(&canon);
+        assert_eq!(
+            back.clauses, shape.clauses,
+            "canonicalization is a fixpoint"
+        );
+        assert_eq!(back.key, shape.key);
+    }
+
+    #[test]
+    fn hex_key_is_stable_and_32_chars() {
+        let k = CanonicalShape::of(&dnf(&[&[0, 1]])).key;
+        let h = k.to_hex();
+        assert_eq!(h.len(), 32);
+        assert_eq!(h, CanonicalShape::of(&dnf(&[&[40, 41]])).key.to_hex());
+    }
+}

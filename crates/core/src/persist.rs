@@ -26,90 +26,18 @@
 
 use crate::model::LearnShapleyModel;
 use crate::tokenizer::Tokenizer;
-use ls_fault::crc32;
 use ls_nn::{EncoderConfig, Snapshot};
-use std::fs;
-use std::io::{self, Read, Write};
+use std::io::{self, Read};
 use std::path::Path;
+
+// The generic crash-atomic/CRC-sealed helpers live in `ls_fault::persist`
+// so crates below `ls-core` (the circuit store) can share them; re-exported
+// here to keep historical call sites (`ls_core::persist::write_atomic` etc.)
+// working.
+pub use ls_fault::persist::{read_verified, seal, unseal, write_atomic, write_sealed};
 
 const MAGIC: &[u8; 4] = b"LSMD";
 const VERSION: u32 = 2;
-const FOOTER_MAGIC: &[u8; 4] = b"LSFT";
-/// Footer layout: magic (4) + body length (8) + crc32 (4).
-const FOOTER_LEN: usize = 16;
-
-/// Append the checksum footer to `body` bytes.
-fn seal(mut body: Vec<u8>) -> Vec<u8> {
-    let crc = crc32(&body);
-    let len = body.len() as u64;
-    body.extend_from_slice(FOOTER_MAGIC);
-    body.extend_from_slice(&len.to_le_bytes());
-    body.extend_from_slice(&crc.to_le_bytes());
-    body
-}
-
-/// Verify and strip the checksum footer, returning the body slice.
-fn unseal(bytes: &[u8]) -> io::Result<&[u8]> {
-    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
-    if bytes.len() < FOOTER_LEN {
-        return Err(bad("file shorter than checksum footer"));
-    }
-    let (body, footer) = bytes.split_at(bytes.len() - FOOTER_LEN);
-    if &footer[..4] != FOOTER_MAGIC {
-        return Err(bad("missing checksum footer (truncated or pre-v2 file)"));
-    }
-    let len = u64::from_le_bytes(footer[4..12].try_into().unwrap());
-    if len != body.len() as u64 {
-        return Err(bad("footer length does not match file length"));
-    }
-    let crc = u32::from_le_bytes(footer[12..16].try_into().unwrap());
-    if crc != crc32(body) {
-        return Err(bad("checksum mismatch: snapshot is corrupt"));
-    }
-    Ok(body)
-}
-
-/// Write `bytes` to `path` crash-atomically: temp sibling → fsync → rename
-/// → directory fsync (Unix). Readers never observe a partial file.
-pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
-    let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
-    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
-    {
-        let mut f = fs::File::create(&tmp)?;
-        f.write_all(bytes)?;
-        f.sync_all()?;
-    }
-    if let Err(e) = fs::rename(&tmp, path) {
-        let _ = fs::remove_file(&tmp);
-        return Err(e);
-    }
-    #[cfg(unix)]
-    if let Some(dir) = dir {
-        // Persist the rename itself; without this a crash can forget the
-        // directory entry even though the inode was flushed.
-        if let Ok(d) = fs::File::open(dir) {
-            let _ = d.sync_all();
-        }
-    }
-    #[cfg(not(unix))]
-    let _ = dir;
-    Ok(())
-}
-
-/// [`write_atomic`] with a checksum footer appended; pair with
-/// [`read_verified`].
-pub fn write_sealed(path: &Path, body: Vec<u8>) -> io::Result<()> {
-    write_atomic(path, &seal(body))
-}
-
-/// Read `path` fully and verify its checksum footer, returning the body.
-pub fn read_verified(path: &Path) -> io::Result<Vec<u8>> {
-    let bytes = fs::read(path)?;
-    let body_len = unseal(&bytes)?.len();
-    let mut body = bytes;
-    body.truncate(body_len);
-    Ok(body)
-}
 
 /// Save a model + tokenizer to `path` (atomic, checksummed).
 pub fn save_model(
@@ -213,6 +141,7 @@ fn read_u32(r: &mut dyn Read) -> io::Result<u32> {
 mod tests {
     use super::*;
     use crate::tokenizer::Tokenizer;
+    use std::fs;
 
     fn setup() -> (LearnShapleyModel, Tokenizer) {
         let tok = Tokenizer::build(

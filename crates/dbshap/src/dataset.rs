@@ -7,8 +7,9 @@
 //! train/dev/test.
 
 use crate::querygen::{generate_query_log, QueryGenConfig, SchemaSpec};
+use ls_circuit::CircuitStore;
 use ls_relational::{evaluate, to_sql, Database, FactId, Query, QueryResult};
-use ls_shapley::{shapley_values_recovered, FactScores};
+use ls_shapley::{shapley_values_recovered, shapley_values_recovered_stored, FactScores};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -107,6 +108,22 @@ pub struct Dataset {
 impl Dataset {
     /// Build a dataset over any database + schema spec.
     pub fn build(db: Database, spec: &SchemaSpec, cfg: &DatasetConfig) -> Dataset {
+        Dataset::build_with_store(db, spec, cfg, None)
+    }
+
+    /// [`Dataset::build`] routed through a compiled-circuit store: every
+    /// ground-truth Shapley computation canonicalizes its lineage and reuses
+    /// the store entry for that shape. Lineage shapes recur heavily across
+    /// tuples and queries (the same join pattern over different facts), so a
+    /// warm store turns most of the offline pass into cache lookups — and a
+    /// persisted store directory survives across builds. Scores are
+    /// bit-identical to the storeless build (pinned by test).
+    pub fn build_with_store(
+        db: Database,
+        spec: &SchemaSpec,
+        cfg: &DatasetConfig,
+        store: Option<&CircuitStore>,
+    ) -> Dataset {
         let mut sp = ls_obs::span("dbshap.build").with("db", spec.name);
         let log = generate_query_log(&db, spec, &cfg.query_gen);
         sp.record("queries", log.len());
@@ -118,7 +135,7 @@ impl Dataset {
         // parallelism nests only one level.
         let queries: Vec<QueryRecord> = ls_par::par_map(&log, |id, query| {
             let result = evaluate(&db, query).expect("generated query must evaluate");
-            let tuples = ls_obs::time("dbshap.ground_truth", || ground_truth(&result, cfg));
+            let tuples = ls_obs::time("dbshap.ground_truth", || ground_truth(&result, cfg, store));
             QueryRecord {
                 id,
                 sql: to_sql(query),
@@ -197,7 +214,11 @@ impl Dataset {
 /// arena's clause refs decode to the same minimal sorted DNF as the decoded
 /// view, so the resulting Shapley values are bit-identical to scoring
 /// `Dnf::of_tuple` on the decoded tuple.
-fn ground_truth(result: &QueryResult, cfg: &DatasetConfig) -> Vec<TupleRecord> {
+fn ground_truth(
+    result: &QueryResult,
+    cfg: &DatasetConfig,
+    store: Option<&CircuitStore>,
+) -> Vec<TupleRecord> {
     let n = result.len();
     if n == 0 {
         return Vec::new();
@@ -211,7 +232,10 @@ fn ground_truth(result: &QueryResult, cfg: &DatasetConfig) -> Vec<TupleRecord> {
         if lineage.is_empty() || lineage.len() > cfg.max_lineage {
             return None;
         }
-        let shapley = shapley_values_recovered(arena, derivations);
+        let shapley = match store {
+            Some(s) => shapley_values_recovered_stored(arena, derivations, s),
+            None => shapley_values_recovered(arena, derivations),
+        };
         debug_assert_eq!(shapley.len(), lineage.len());
         Some(TupleRecord { tuple_idx, shapley })
     })
@@ -334,6 +358,56 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn store_backed_build_is_bit_identical_and_reuses_shapes() {
+        let dir = std::env::temp_dir().join(format!("ls_dbshap_store_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let plain = tiny();
+
+        let db = generate_imdb(&ImdbConfig::default());
+        let cfg = DatasetConfig {
+            query_gen: QueryGenConfig {
+                num_queries: 14,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let store = CircuitStore::open(&dir, 256).unwrap();
+        let stored = Dataset::build_with_store(db, &imdb_spec(), &cfg, Some(&store));
+
+        assert_eq!(plain.queries.len(), stored.queries.len());
+        let mut lineages = 0usize;
+        for (qa, qb) in plain.queries.iter().zip(&stored.queries) {
+            assert_eq!(qa.tuples.len(), qb.tuples.len(), "query {}", qa.sql);
+            for (ta, tb) in qa.tuples.iter().zip(&qb.tuples) {
+                lineages += 1;
+                assert_eq!(ta.tuple_idx, tb.tuple_idx);
+                assert_eq!(ta.shapley.len(), tb.shapley.len());
+                for ((fa, va), (fb, vb)) in ta.shapley.iter().zip(&tb.shapley) {
+                    assert_eq!(fa, fb);
+                    assert_eq!(va.to_bits(), vb.to_bits(), "fact {fa} in {}", qa.sql);
+                }
+            }
+        }
+        // Shapes recur across lineages: strictly fewer compiles than tuples.
+        let st = store.stats();
+        assert_eq!(st.mem_hits + st.disk_hits + st.misses, lineages as u64);
+        assert!(
+            st.misses < lineages as u64,
+            "no shape reuse across {lineages} lineages (misses {})",
+            st.misses
+        );
+
+        // A rebuild over the same persisted directory compiles nothing.
+        let db = generate_imdb(&ImdbConfig::default());
+        let warm = CircuitStore::open(&dir, 256).unwrap();
+        let again = Dataset::build_with_store(db, &imdb_spec(), &cfg, Some(&warm));
+        assert_eq!(again.queries.len(), plain.queries.len());
+        assert_eq!(warm.stats().misses, 0, "warm build should be all cache");
+        assert!(warm.stats().disk_hits > 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

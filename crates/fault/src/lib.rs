@@ -27,6 +27,7 @@ pub mod backoff;
 pub mod breaker;
 pub mod crc;
 pub mod io;
+pub mod persist;
 pub mod plan;
 pub mod proxy;
 pub mod rng;
@@ -36,6 +37,7 @@ pub use backoff::Backoff;
 pub use breaker::{BreakerState, CircuitBreaker};
 pub use crc::{crc32, crc32_update};
 pub use io::{FaultyRead, FaultyWrite, INJECTED_ERROR_MSG};
+pub use persist::{read_verified, seal, unseal, write_atomic, write_sealed};
 pub use plan::{
     FaultAction, FaultKind, FaultPlan, FaultRule, FaultSpec, Injector, NoFaults, Trigger,
 };

@@ -63,6 +63,19 @@ impl BigNat {
         self.limbs.is_empty()
     }
 
+    /// The little-endian limbs (empty for zero, no trailing zero limb) —
+    /// the canonical wire representation for bit-exact serialization.
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Rebuild from little-endian limbs (trailing zeros tolerated).
+    pub fn from_limbs(limbs: Vec<u64>) -> Self {
+        let mut n = BigNat { limbs };
+        n.normalize();
+        n
+    }
+
     fn normalize(&mut self) {
         while self.limbs.last() == Some(&0) {
             self.limbs.pop();

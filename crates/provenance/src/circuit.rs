@@ -90,6 +90,77 @@ impl Circuit {
         &self.supports[id.index()]
     }
 
+    /// The full arena in allocation order — `NodeId(i)` is `nodes()[i]`.
+    /// This is the serialization view: writing nodes in this order and
+    /// rebuilding with [`Circuit::from_nodes`] round-trips every `NodeId`.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Rebuild a circuit from an arena-ordered node list, recomputing
+    /// supports and the hash-cons table. Unlike the `mk_*` constructors this
+    /// performs **no simplification**, so `NodeId`s are preserved exactly —
+    /// the property the on-disk circuit format relies on.
+    ///
+    /// Fails (typed, never panics) on malformed input: forward or
+    /// self-referencing child indices, non-decomposable `And`/`DisjointOr`
+    /// nodes, or a decision variable occurring in one of its branches.
+    pub fn from_nodes(nodes: Vec<Node>) -> Result<Circuit, String> {
+        let mut supports: Vec<Vec<FactId>> = Vec::with_capacity(nodes.len());
+        for (i, node) in nodes.iter().enumerate() {
+            let child_support = |c: NodeId| -> Result<&[FactId], String> {
+                if c.index() >= i {
+                    return Err(format!("node {i}: child {:?} is not a prior node", c));
+                }
+                Ok(&supports[c.index()])
+            };
+            let support = match node {
+                Node::True | Node::False => Vec::new(),
+                Node::Leaf(v) => vec![*v],
+                Node::And(ch) | Node::DisjointOr(ch) => {
+                    let mut union: Vec<FactId> = Vec::new();
+                    for &c in ch {
+                        union.extend_from_slice(child_support(c)?);
+                    }
+                    let before = union.len();
+                    union.sort_unstable();
+                    union.dedup();
+                    if union.len() != before {
+                        return Err(format!("node {i}: children share variables"));
+                    }
+                    union
+                }
+                Node::Decision { var, hi, lo } => {
+                    let mut union = vec![*var];
+                    let hi_s = child_support(*hi)?;
+                    if hi_s.contains(var) {
+                        return Err(format!("node {i}: decision variable in hi branch"));
+                    }
+                    union.extend_from_slice(hi_s);
+                    let lo_s = child_support(*lo)?;
+                    if lo_s.contains(var) {
+                        return Err(format!("node {i}: decision variable in lo branch"));
+                    }
+                    union.extend_from_slice(lo_s);
+                    union.sort_unstable();
+                    union.dedup();
+                    union
+                }
+            };
+            supports.push(support);
+        }
+        let cons = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), NodeId(i as u32)))
+            .collect();
+        Ok(Circuit {
+            nodes,
+            supports,
+            cons,
+        })
+    }
+
     fn intern(&mut self, node: Node, support: Vec<FactId>) -> NodeId {
         if let Some(&id) = self.cons.get(&node) {
             return id;

@@ -119,6 +119,13 @@ impl Database {
         self.fact_index.len()
     }
 
+    /// The table index (in [`Database::table_names`] order) owning fact `f`.
+    /// This is the stratum key for relation-stratified Shapley sampling:
+    /// O(1), no row decoding.
+    pub fn fact_table_idx(&self, f: FactId) -> Option<usize> {
+        self.fact_index.get(f.index()).map(|loc| loc.table_idx)
+    }
+
     /// The decoded row carrying fact `f`, with its owning table name.
     pub fn fact(&self, f: FactId) -> Option<(&str, Row)> {
         let loc = self.fact_index.get(f.index())?;

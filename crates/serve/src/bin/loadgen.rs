@@ -227,6 +227,7 @@ fn build_requests(db: &Database, args: &Args, rng: &mut StdRng) -> Vec<RankReque
                 tuple,
                 lineage,
                 deadline: None,
+                slo: None,
             }
         })
         .collect()

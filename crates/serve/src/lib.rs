@@ -70,3 +70,7 @@ pub use server::{
     StageBreakdown,
 };
 pub use tcp::{RetryPolicy, TcpRankClient, TcpServer};
+
+// The tier vocabulary of the SLO answer path, re-exported so clients can
+// inspect [`RankResponse::tier`] without depending on `ls-circuit` directly.
+pub use ls_circuit::{SloPolicy, Tier};

@@ -13,7 +13,10 @@
 //!
 //! `tuple` holds the output tuple's values — JSON strings become
 //! `Value::Str`, JSON numbers become `Value::Int` (the relational layer has
-//! no float column type). `deadline_ms` is optional.
+//! no float column type). `deadline_ms` is optional, as are the tier-path
+//! extras: `slo_us` (accuracy–latency budget) and `derivations` (the
+//! tuple's provenance, one array of fact ids per derivation). Responses
+//! answered by the tiered path carry `"tier":"exact"|"learned"|"sampled"`.
 //!
 //! Response object (success / failure):
 //!
@@ -29,8 +32,9 @@
 //! the determinism invariant survives the wire.
 
 use crate::server::{RankRequest, RankResponse, ServeError, StageBreakdown};
+use ls_circuit::Tier;
 use ls_obs::{Json, TraceContext};
-use ls_relational::{FactId, OutputTuple, Value};
+use ls_relational::{FactId, Monomial, OutputTuple, Value};
 use std::fmt;
 use std::fmt::Write as _;
 use std::io::{self, Read, Write};
@@ -177,6 +181,29 @@ pub fn encode_request(id: u64, req: &RankRequest, trace: Option<&TraceContext>) 
     if let Some(d) = req.deadline {
         let _ = write!(out, ",\"deadline_ms\":{}", d.as_millis());
     }
+    // Tier-path extras, both optional so pre-tier peers interoperate: the
+    // accuracy-latency budget and the tuple's provenance (one array of fact
+    // ids per derivation), which the exact and sampled tiers require.
+    if let Some(slo) = req.slo {
+        let _ = write!(out, ",\"slo_us\":{}", slo.as_micros());
+    }
+    if !req.tuple.derivations.is_empty() {
+        out.push_str(",\"derivations\":[");
+        for (i, m) in req.tuple.derivations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            for (j, f) in m.facts().iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{}", f.0);
+            }
+            out.push(']');
+        }
+        out.push(']');
+    }
     out.push('}');
     out.into_bytes()
 }
@@ -292,14 +319,36 @@ fn decode_rank_body(doc: &Json) -> Result<RankRequest, String> {
         .get("deadline_ms")
         .and_then(Json::as_u64)
         .map(Duration::from_millis);
+    let slo = doc
+        .get("slo_us")
+        .and_then(Json::as_u64)
+        .map(Duration::from_micros);
+    let mut derivations = Vec::new();
+    if let Some(Json::Arr(monos)) = doc.get("derivations") {
+        for mono in monos {
+            let Json::Arr(ids) = mono else {
+                return Err("derivations must be arrays of fact ids".into());
+            };
+            let mut facts = Vec::with_capacity(ids.len());
+            for item in ids {
+                let n = item.as_u64().ok_or("derivation entries must be fact ids")?;
+                if n > u32::MAX as u64 {
+                    return Err(format!("fact id {n} out of range"));
+                }
+                facts.push(FactId(n as u32));
+            }
+            derivations.push(Monomial::from_facts(facts));
+        }
+    }
     Ok(RankRequest {
         query_sql,
         tuple: OutputTuple {
             values,
-            derivations: Vec::new(),
+            derivations,
         },
         lineage,
         deadline,
+        slo,
     })
 }
 
@@ -377,6 +426,9 @@ pub fn encode_response(id: u64, result: &Result<RankResponse, ServeError>) -> Ve
                     b.probe_us, b.queue_us, b.batch_us, b.score_us, b.other_us, b.total_us
                 );
             }
+            if let Some(t) = resp.tier {
+                let _ = write!(out, ",\"tier\":\"{t}\"");
+            }
             out.push('}');
         }
         Err(e) => {
@@ -417,6 +469,10 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Result<RankResponse, Serv
                 return Err("missing array \"ranking\"".into());
             }
             let degraded = matches!(doc.get("degraded"), Some(Json::Bool(true)));
+            let tier = doc
+                .get("tier")
+                .and_then(Json::as_str)
+                .and_then(Tier::from_name);
             let stages = doc.get("stages").map(|s| {
                 let us = |key: &str| s.get(key).and_then(Json::as_u64).unwrap_or(0);
                 StageBreakdown {
@@ -436,6 +492,7 @@ pub fn decode_response(payload: &[u8]) -> Result<(u64, Result<RankResponse, Serv
                     cached,
                     degraded,
                     stages,
+                    tier,
                 }),
             ))
         }
@@ -474,6 +531,7 @@ mod tests {
             },
             lineage: vec![FactId(5), FactId(0), FactId(123456)],
             deadline: Some(Duration::from_millis(250)),
+            slo: None,
         }
     }
 
@@ -486,6 +544,53 @@ mod tests {
         assert_eq!(back.tuple.values, r.tuple.values);
         assert_eq!(back.lineage, r.lineage);
         assert_eq!(back.deadline, r.deadline);
+    }
+
+    #[test]
+    fn slo_and_derivations_round_trip() {
+        let mut r = req();
+        r.slo = Some(Duration::from_micros(750));
+        r.tuple.derivations = vec![
+            Monomial::from_facts(vec![FactId(5), FactId(123456)]),
+            Monomial::from_facts(vec![FactId(0)]),
+        ];
+        let (_, back) = decode_request(&encode_request(7, &r, None)).unwrap();
+        assert_eq!(back.slo, r.slo);
+        assert_eq!(back.tuple.derivations, r.tuple.derivations);
+        // Requests without the optional fields stay on the legacy wire shape
+        // and decode to their defaults.
+        let legacy = encode_request(8, &req(), None);
+        assert!(!String::from_utf8_lossy(&legacy).contains("slo_us"));
+        assert!(!String::from_utf8_lossy(&legacy).contains("derivations"));
+        let (_, back) = decode_request(&legacy).unwrap();
+        assert_eq!(back.slo, None);
+        assert!(back.tuple.derivations.is_empty());
+    }
+
+    #[test]
+    fn tier_tag_round_trips_and_stays_optional() {
+        for tier in [
+            None,
+            Some(Tier::Exact),
+            Some(Tier::Learned),
+            Some(Tier::Sampled),
+        ] {
+            let resp = RankResponse {
+                scores: vec![0.5, 0.25],
+                ranking: vec![FactId(5), FactId(0)],
+                cached: false,
+                degraded: false,
+                stages: None,
+                tier,
+            };
+            let bytes = encode_response(3, &Ok(resp.clone()));
+            if tier.is_none() {
+                assert!(!String::from_utf8_lossy(&bytes).contains("tier"));
+            }
+            let (id, back) = decode_response(&bytes).unwrap();
+            assert_eq!(id, 3);
+            assert_eq!(back.unwrap().tier, tier);
+        }
     }
 
     #[test]
@@ -540,6 +645,7 @@ mod tests {
             cached: true,
             degraded: false,
             stages: None,
+            tier: None,
         };
         let (id, back) = decode_response(&encode_response(7, &Ok(resp.clone()))).unwrap();
         assert_eq!(id, 7);
@@ -573,6 +679,7 @@ mod tests {
             cached: false,
             degraded: true,
             stages: None,
+            tier: None,
         };
         let bytes = encode_response(3, &Ok(resp));
         assert!(std::str::from_utf8(&bytes)
@@ -601,6 +708,7 @@ mod tests {
                 other_us: 7,
                 total_us: 1070,
             }),
+            tier: None,
         };
         let (_, back) = decode_response(&encode_response(4, &Ok(resp.clone()))).unwrap();
         assert_eq!(back.unwrap().stages, resp.stages);

@@ -39,12 +39,14 @@
 //! * the cache stores that final vector verbatim, so hits replay it bit-for-bit.
 
 use crate::cache::{LruCache, RankKey};
+use ls_circuit::{shapley_stratified, CacheState, CanonicalShape, CircuitStore, SloPolicy, Tier};
 use ls_core::{
     render_tuple, FallbackScorer, LearnShapleyModel, LineageScorer, ScoreContext, Tokenizer,
 };
 use ls_fault::{
     lock_safe, wait_safe, wait_timeout_safe, CircuitBreaker, FaultAction, Injector, NoFaults,
 };
+use ls_provenance::Dnf;
 use ls_relational::{Database, FactId, OutputTuple};
 use ls_shapley::FactScores;
 use std::collections::VecDeque;
@@ -97,6 +99,13 @@ pub struct RankRequest {
     /// the request is shed with [`ServeError::DeadlineExceeded`]. `None`
     /// falls back to [`ServeConfig::default_deadline`].
     pub deadline: Option<Duration>,
+    /// Optional accuracy–latency budget for the tiered answer path. When
+    /// set — and the server holds a circuit store and the request's
+    /// `tuple.derivations` carry the provenance — the SLO policy picks the
+    /// most accurate tier that fits: exact circuit Shapley or stratified
+    /// sampling answer inline, the learned tier rides the batched pipeline.
+    /// `None` always takes the learned pipeline.
+    pub slo: Option<Duration>,
 }
 
 /// Per-stage latency attribution for one request, in microseconds. Stages
@@ -168,6 +177,10 @@ pub struct RankResponse {
     /// Per-stage latency attribution, populated only when the request ran
     /// under a trace (never for cached replays of another trace's work).
     pub stages: Option<StageBreakdown>,
+    /// Which answer path produced the scores: the learned pipeline, the
+    /// exact circuit store, or the stratified sampler. `None` for responses
+    /// that carry no scores (empty lineage) and for degraded fallbacks.
+    pub tier: Option<Tier>,
 }
 
 impl PartialEq for RankResponse {
@@ -176,6 +189,7 @@ impl PartialEq for RankResponse {
             && self.ranking == other.ranking
             && self.cached == other.cached
             && self.degraded == other.degraded
+            && self.tier == other.tier
     }
 }
 
@@ -236,6 +250,9 @@ pub struct ServeConfig {
     pub breaker_failures: u64,
     /// How long an open breaker waits before probing the model path again.
     pub breaker_cooldown: Duration,
+    /// Cost model steering SLO-budgeted requests across the three tiers
+    /// (only consulted when a circuit store is attached).
+    pub slo_policy: SloPolicy,
 }
 
 impl Default for ServeConfig {
@@ -251,6 +268,7 @@ impl Default for ServeConfig {
             default_deadline: None,
             breaker_failures: 0,
             breaker_cooldown: Duration::from_millis(250),
+            slo_policy: SloPolicy::default(),
         }
     }
 }
@@ -408,6 +426,9 @@ struct Shared {
     breaker: CircuitBreaker,
     /// Model-free scorer used while the breaker is open.
     fallback: Option<Arc<dyn FallbackScorer>>,
+    /// Compiled-circuit store backing the exact tier (and shape probes) of
+    /// SLO-budgeted requests; `None` disables the tiered path entirely.
+    circuit: Option<Arc<CircuitStore>>,
     /// Live worker threads; respawned replacements are pushed here so
     /// shutdown can join them too.
     workers: Mutex<Vec<JoinHandle<()>>>,
@@ -454,7 +475,11 @@ impl ServeHandle {
                 cached: false,
                 degraded: false,
                 stages: None,
+                tier: None,
             }));
+        }
+        if let Some(resp) = self.try_tiered(&req)? {
+            return Ok(Admitted::Done(resp));
         }
         // The submitting thread's trace (if any) rides with the job so every
         // downstream stage attributes to this request.
@@ -527,6 +552,102 @@ impl ServeHandle {
         ls_obs::gauge("serve.queue_depth").set(depth as f64);
         self.shared.batcher_cv.notify_one();
         Ok(Admitted::Queued(job))
+    }
+
+    /// The SLO tier fast path: when the request carries a latency budget
+    /// and its provenance, and a circuit store is attached, pick the most
+    /// accurate tier that fits and — for exact and sampled — answer inline
+    /// on the submitting thread, without consuming queue depth or touching
+    /// the ranking cache (exact/sampled scores are Shapley values, not
+    /// model scores; caching them under the same key would poison learned
+    /// replays). A `Learned` decision returns `None` and rides the batched
+    /// pipeline like any other request.
+    fn try_tiered(&self, req: &RankRequest) -> Result<Option<RankResponse>, ServeError> {
+        let (Some(store), Some(budget)) = (&self.shared.circuit, req.slo) else {
+            return Ok(None);
+        };
+        if req.tuple.derivations.is_empty() {
+            return Ok(None);
+        }
+        if lock_safe(&self.shared.state).shutdown {
+            return Err(ServeError::ShuttingDown);
+        }
+        let start = Instant::now();
+        let dnf = Dnf::from_monomials(req.tuple.derivations.clone());
+        let players = dnf.variables();
+        if players.is_empty() {
+            return Ok(None);
+        }
+        let shape = CanonicalShape::of(&dnf);
+        let (circuit_cached, scores_cached) = store.probe(&shape);
+        let cache = CacheState {
+            circuit_cached,
+            scores_cached,
+            model_available: true,
+        };
+        let decision = self
+            .shared
+            .cfg
+            .slo_policy
+            .choose(players.len(), dnf.len(), budget, cache);
+        let fact_scores = match decision.tier {
+            Tier::Learned => {
+                ls_obs::counter("serve.tier.learned").incr();
+                return Ok(None);
+            }
+            Tier::Exact => {
+                ls_obs::counter("serve.tier.exact").incr();
+                ls_shapley::shapley_values_stored(store, &dnf)
+            }
+            Tier::Sampled => {
+                ls_obs::counter("serve.tier.sampled").incr();
+                let db = &self.shared.bundle.db;
+                // Seeded by the canonical shape: identical requests sample
+                // identically, so tiered responses stay reproducible.
+                let seed = shape.key.0 ^ shape.key.1;
+                shapley_stratified(
+                    &dnf,
+                    |f| db.fact_table_idx(f).map_or(u64::MAX, |t| t as u64),
+                    decision.samples,
+                    seed,
+                )
+                .scores
+            }
+        };
+        // Align with the request's lineage order (facts outside the
+        // provenance contribute nothing, exactly as in the exact engine).
+        let scores: Vec<f64> = req
+            .lineage
+            .iter()
+            .map(|f| fact_scores.get(f).copied().unwrap_or(0.0))
+            .collect();
+        let mut ranked = FactScores::new();
+        for (i, &f) in req.lineage.iter().enumerate() {
+            ranked.insert(f, scores[i]);
+        }
+        let ranking = ls_shapley::rank_descending(&ranked);
+        let stages = ls_obs::TraceContext::current().map(|ctx| {
+            let score_us = start.elapsed().as_micros() as u64;
+            stage_hists()
+                .score
+                .record_traced(score_us as f64 * 1e-6, ctx.trace_id);
+            StageBreakdown {
+                score_us,
+                total_us: score_us,
+                ..StageBreakdown::default()
+            }
+        });
+        if ls_obs::enabled() {
+            ls_obs::counter("serve.responses").incr();
+        }
+        Ok(Some(RankResponse {
+            scores,
+            ranking,
+            cached: false,
+            degraded: false,
+            stages,
+            tier: Some(decision.tier),
+        }))
     }
 
     /// Current in-flight request count (admitted, unanswered).
@@ -644,6 +765,29 @@ impl Server {
         injector: Arc<dyn Injector>,
         fallback: Option<Arc<dyn FallbackScorer>>,
     ) -> Server {
+        Server::start_full(bundle, cfg, injector, fallback, None)
+    }
+
+    /// [`Server::start`] with a compiled-circuit store attached: requests
+    /// carrying an [`RankRequest::slo`] budget and provenance are answered
+    /// through the three-tier policy (exact / learned / sampled), with the
+    /// chosen tier recorded on the response.
+    pub fn start_with_store(
+        bundle: Arc<ModelBundle>,
+        cfg: ServeConfig,
+        store: Arc<CircuitStore>,
+    ) -> Server {
+        Server::start_full(bundle, cfg, Arc::new(NoFaults), None, Some(store))
+    }
+
+    /// The fully-general constructor behind every `start*` variant.
+    pub fn start_full(
+        bundle: Arc<ModelBundle>,
+        cfg: ServeConfig,
+        injector: Arc<dyn Injector>,
+        fallback: Option<Arc<dyn FallbackScorer>>,
+        circuit: Option<Arc<CircuitStore>>,
+    ) -> Server {
         assert!(cfg.workers >= 1, "need at least one worker");
         assert!(cfg.queue_depth >= 1, "need a positive queue depth");
         let breaker = CircuitBreaker::new(cfg.breaker_failures, cfg.breaker_cooldown);
@@ -665,6 +809,7 @@ impl Server {
             injector,
             breaker,
             fallback,
+            circuit,
             workers: Mutex::new(Vec::new()),
         });
         let batcher = {
@@ -895,6 +1040,7 @@ fn degrade(shared: &Shared, job: &Arc<Job>) {
                     cached: false,
                     degraded: true,
                     stages: None,
+                    tier: None,
                 })
             }
             None => Err(ServeError::Internal(format!(
@@ -1025,6 +1171,7 @@ fn finalize(shared: &Shared, job: &Arc<Job>) {
         cached: false,
         degraded: false,
         stages: None,
+        tier: Some(Tier::Learned),
     };
     {
         let mut st = lock_safe(&shared.state);

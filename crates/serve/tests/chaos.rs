@@ -19,7 +19,7 @@ use ls_relational::{ColType, Database, FactId, OutputTuple, TableSchema, Value};
 use ls_serve::proto::{encode_request, read_frame, write_frame};
 use ls_serve::{
     ModelBundle, RankRequest, RankResponse, RetryPolicy, ServeConfig, ServeError, Server,
-    TcpRankClient, TcpServer,
+    TcpRankClient, TcpServer, Tier,
 };
 use std::io::Write as _;
 use std::net::TcpStream;
@@ -93,6 +93,7 @@ fn requests(bundle: &ModelBundle) -> Vec<RankRequest> {
             },
             lineage: (0..6).map(|j| FactId((i * 5 + j * 3) % n)).collect(),
             deadline: None,
+            slo: None,
         })
         .collect()
 }
@@ -113,6 +114,7 @@ fn serial_answer(bundle: &ModelBundle, req: &RankRequest) -> RankResponse {
         cached: false,
         degraded: false,
         stages: None,
+        tier: Some(Tier::Learned),
     }
 }
 
@@ -371,6 +373,7 @@ fn breaker_degrades_to_nearest_fallback_and_recovers() {
                 tuple: q.result.tuples[t.tuple_idx].clone(),
                 lineage: t.shapley.keys().copied().collect(),
                 deadline: None,
+                slo: None,
             }
         })
         .collect();

@@ -11,7 +11,7 @@ use ls_nn::EncoderConfig;
 use ls_relational::{ColType, Database, FactId, OutputTuple, TableSchema, Value};
 use ls_serve::{
     ModelBundle, RankRequest, RankResponse, ServeConfig, ServeError, Server, TcpRankClient,
-    TcpServer,
+    TcpServer, Tier,
 };
 use std::sync::Arc;
 use std::time::Duration;
@@ -86,6 +86,7 @@ fn requests(bundle: &ModelBundle) -> Vec<RankRequest> {
             },
             lineage: (0..6).map(|j| FactId((i * 5 + j * 3) % n)).collect(),
             deadline: None,
+            slo: None,
         })
         .collect()
 }
@@ -106,6 +107,7 @@ fn serial_answer(bundle: &ModelBundle, req: &RankRequest) -> RankResponse {
         cached: false,
         degraded: false,
         stages: None,
+        tier: Some(Tier::Learned),
     }
 }
 
@@ -299,6 +301,7 @@ fn tcp_round_trip_is_bit_identical() {
         },
         lineage: vec![FactId(u32::MAX - 1)],
         deadline: None,
+        slo: None,
     };
     match client.rank(&bad) {
         Err(ServeError::BadRequest(msg)) => assert!(msg.contains("unknown fact")),
@@ -324,6 +327,7 @@ fn edge_requests_answer_inline() {
             },
             lineage: Vec::new(),
             deadline: None,
+            slo: None,
         })
         .expect("empty lineage is fine");
     assert!(empty.scores.is_empty() && empty.ranking.is_empty());
@@ -337,6 +341,7 @@ fn edge_requests_answer_inline() {
         },
         lineage: vec![FactId(0)],
         deadline: None,
+        slo: None,
     });
     assert!(matches!(err, Err(ServeError::BadRequest(_))));
     server.shutdown();

@@ -103,6 +103,7 @@ fn requests(bundle: &ModelBundle) -> Vec<RankRequest> {
             // Stride 2 over 12 facts: 5 distinct ids for any offset `i`.
             lineage: (0..5).map(|j| FactId((i + j * 2) % n)).collect(),
             deadline: None,
+            slo: None,
         })
         .collect()
 }

@@ -14,7 +14,7 @@
 //! polynomial-time route of Deutch, Frost, Kimelfeld & Monet (the paper's
 //! `[15]`), which this crate reproduces.
 
-use ls_provenance::{compile, BigNat, CompileOptions, Compiled, Dnf};
+use ls_provenance::{compile, BigNat, Circuit, CompileOptions, Compiled, Dnf, NodeId};
 use ls_relational::{FactId, LineageArena, MonoRef};
 use std::collections::BTreeMap;
 
@@ -61,16 +61,23 @@ pub fn shapley_values_opts(provenance: &Dnf, opts: CompileOptions) -> FactScores
 /// unconditioned counting pass is shared across all facts and each
 /// conditioned pass only revisits circuit nodes that mention the fact.
 pub fn shapley_values_compiled(compiled: &Compiled, players: &[FactId]) -> FactScores {
+    shapley_values_circuit(&compiled.circuit, compiled.root, players)
+}
+
+/// Exact Shapley values over a bare circuit arena and root — the layer under
+/// [`shapley_values_compiled`], for circuits that did not come out of the
+/// compiler just now (e.g. entries reloaded from the `ls-circuit` store).
+pub fn shapley_values_circuit(circuit: &Circuit, root: NodeId, players: &[FactId]) -> FactScores {
     let mut out = FactScores::new();
     if players.is_empty() {
         return out;
     }
     let sp = ls_obs::span("shapley.exact")
         .with("players", players.len())
-        .with("circuit_nodes", compiled.stats.nodes);
+        .with("circuit_nodes", circuit.len());
     let telemetry = ls_obs::enabled();
     let weights = shapley_weights(players.len());
-    let base = compiled.circuit.count_base(compiled.root, players.len());
+    let base = circuit.count_base(root, players.len());
     // Every player's marginal-count pass is independent and reads only the
     // shared compiled circuit, so facts are scored across the ls-par pool.
     // Each value is a pure function of (circuit, fact), so the result set is
@@ -80,20 +87,12 @@ pub fn shapley_values_compiled(compiled: &Compiled, players: &[FactId]) -> FactS
         let others: Vec<FactId> = players.iter().copied().filter(|&x| x != f).collect();
         let (with, without) = match &base {
             Some(b) => (
-                compiled
-                    .circuit
-                    .count_by_size_based(compiled.root, &others, (f, true), b),
-                compiled
-                    .circuit
-                    .count_by_size_based(compiled.root, &others, (f, false), b),
+                circuit.count_by_size_based(root, &others, (f, true), b),
+                circuit.count_by_size_based(root, &others, (f, false), b),
             ),
             None => (
-                compiled
-                    .circuit
-                    .count_by_size(compiled.root, &others, Some((f, true))),
-                compiled
-                    .circuit
-                    .count_by_size(compiled.root, &others, Some((f, false))),
+                circuit.count_by_size(root, &others, Some((f, true))),
+                circuit.count_by_size(root, &others, Some((f, false))),
             ),
         };
         let v = weighted_marginal_sum(&with, &without, &weights);

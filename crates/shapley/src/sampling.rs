@@ -5,15 +5,31 @@
 //! the permutation. Unbiased, with `O(1/√samples)` error — the standard
 //! fallback when exact computation is too expensive, and one of the ablation
 //! baselines benchmarked against the circuit method.
+//!
+//! Randomness comes from the workspace-shared counter-mode SplitMix64
+//! ([`ls_fault::draw`]) — the same generator behind fault planning and the
+//! stratified sampler in `ls-circuit`. Permutation `s` is a pure function of
+//! `(seed, s)`, so samples can be scored in fixed-size chunks across the
+//! `ls-par` pool: per-chunk tallies are exact integer counts combined in
+//! chunk order, making the estimate bit-identical at every `LS_THREADS`.
 
 use crate::exact::FactScores;
+use ls_fault::draw;
 use ls_provenance::Dnf;
 use ls_relational::FactId;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+
+/// Stream id separating permutation draws from other SplitMix64 consumers.
+const PERM_STREAM: u64 = 0x0073_6861_706c_6579; // "shapley"
+
+/// Samples per parallel chunk; fixed so the chunk partition (and therefore
+/// the combination order) never depends on the thread count.
+const CHUNK: usize = 64;
 
 /// Estimate Shapley values from `samples` random permutations.
+///
+/// Deterministic in `(provenance, samples, seed)` alone: the reported map has
+/// the same key set as [`crate::shapley_values`] (every lineage fact, no
+/// others), and every f64 is reproduced bit-for-bit at any thread count.
 pub fn shapley_values_sampled(provenance: &Dnf, samples: usize, seed: u64) -> FactScores {
     let players = provenance.variables();
     let mut out = FactScores::new();
@@ -26,37 +42,58 @@ pub fn shapley_values_sampled(provenance: &Dnf, samples: usize, seed: u64) -> Fa
     let mut sp = ls_obs::span("shapley.sampled")
         .with("players", players.len())
         .with("samples", samples);
-    let mut rng = StdRng::seed_from_u64(seed);
     let n = players.len();
-    let mut totals = vec![0.0f64; n];
-    let mut perm: Vec<usize> = (0..n).collect();
-    let mut prefix: Vec<FactId> = Vec::with_capacity(n);
-    // A "coalition" here is each prefix the permutation walk evaluates;
-    // tallied locally and published once to keep the loop tight.
-    let mut coalitions = 0u64;
-
-    for _ in 0..samples {
-        perm.shuffle(&mut rng);
-        prefix.clear();
-        let mut prev_sat = provenance.eval_sorted(&[]);
-        for &idx in &perm {
-            let f = players[idx];
-            let pos = prefix.binary_search(&f).unwrap_err();
-            prefix.insert(pos, f);
-            let now_sat = provenance.eval_sorted(&prefix);
-            coalitions += 1;
-            if now_sat && !prev_sat {
-                totals[idx] += 1.0;
+    let chunks: Vec<usize> = (0..samples.div_ceil(CHUNK)).collect();
+    // Each chunk walks its own sample range; a permutation is re-derived
+    // from scratch per sample (identity + Fisher–Yates on pure draws), so
+    // chunk results are independent of execution order. Credits are integer
+    // counts — exactly one player flips a satisfiable permutation — so the
+    // in-order reduction below is exact, not merely associative-by-luck.
+    let tallies = ls_par::par_map(&chunks, |_, &c| {
+        let lo = c * CHUNK;
+        let hi = (lo + CHUNK).min(samples);
+        let mut counts = vec![0u64; n];
+        let mut coalitions = 0u64;
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut prefix: Vec<FactId> = Vec::with_capacity(n);
+        for s in lo..hi {
+            for (i, p) in perm.iter_mut().enumerate() {
+                *p = i;
             }
-            prev_sat = now_sat;
-            if prev_sat {
-                // Monotone: once satisfied, later players contribute 0.
-                break;
+            for i in (1..n).rev() {
+                let r = draw(seed, PERM_STREAM, (s * n + i) as u64);
+                perm.swap(i, (r % (i as u64 + 1)) as usize);
+            }
+            prefix.clear();
+            let mut prev_sat = provenance.eval_sorted(&[]);
+            for &idx in &perm {
+                let f = players[idx];
+                let pos = prefix.binary_search(&f).unwrap_err();
+                prefix.insert(pos, f);
+                let now_sat = provenance.eval_sorted(&prefix);
+                coalitions += 1;
+                if now_sat && !prev_sat {
+                    counts[idx] += 1;
+                }
+                prev_sat = now_sat;
+                if prev_sat {
+                    // Monotone: once satisfied, later players contribute 0.
+                    break;
+                }
             }
         }
+        (counts, coalitions)
+    });
+    let mut totals = vec![0u64; n];
+    let mut coalitions = 0u64;
+    for (counts, walked) in tallies {
+        for (t, c) in totals.iter_mut().zip(counts) {
+            *t += c;
+        }
+        coalitions += walked;
     }
     for (i, &f) in players.iter().enumerate() {
-        out.insert(f, totals[i] / samples as f64);
+        out.insert(f, totals[i] as f64 / samples as f64);
     }
     sp.record("coalitions", coalitions);
     if ls_obs::enabled() {
@@ -106,6 +143,19 @@ mod tests {
     }
 
     #[test]
+    fn bit_identical_across_thread_counts() {
+        let d = dnf(&[&[0, 1, 4, 6], &[0, 2, 4, 7], &[0, 3, 5, 8], &[1, 9]]);
+        let serial = ls_par::with_threads(1, || shapley_values_sampled(&d, 1_000, 11));
+        for t in [2usize, 4] {
+            let par = ls_par::with_threads(t, || shapley_values_sampled(&d, 1_000, 11));
+            assert_eq!(serial.len(), par.len());
+            for (f, v) in &serial {
+                assert_eq!(v.to_bits(), par[f].to_bits(), "fact {f:?} at {t} threads");
+            }
+        }
+    }
+
+    #[test]
     fn estimates_sum_to_one() {
         // Efficiency holds per permutation (exactly one player flips the
         // outcome), so the estimate sums to 1 exactly.
@@ -126,5 +176,19 @@ mod tests {
     #[test]
     fn empty_provenance() {
         assert!(shapley_values_sampled(&Dnf::fls(), 100, 1).is_empty());
+    }
+
+    #[test]
+    fn key_set_always_matches_exact() {
+        // The degenerate paths (constant provenance, zero samples) must
+        // report exactly the facts the exact engine would.
+        for d in [Dnf::fls(), Dnf::tru(), dnf(&[&[0, 1], &[2]]), dnf(&[&[5]])] {
+            for samples in [0usize, 64] {
+                let exact_keys: Vec<FactId> = shapley_values(&d).into_keys().collect();
+                let sampled_keys: Vec<FactId> =
+                    shapley_values_sampled(&d, samples, 3).into_keys().collect();
+                assert_eq!(sampled_keys, exact_keys, "dnf {d} at {samples} samples");
+            }
+        }
     }
 }

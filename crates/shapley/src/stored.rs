@@ -1,0 +1,68 @@
+//! Store-backed exact Shapley: compile once per lineage *shape*, score from
+//! cache thereafter.
+//!
+//! Two observations make this sound. First, the compiler is a deterministic
+//! function of the DNF, and its variable ordering, component splits, and
+//! cache tie-breaks all key off the *relative* order of `FactId`s — so the
+//! monotone renaming that produces the canonical shape yields a circuit
+//! isomorphic to the one the original DNF compiles to. Second, the exact
+//! Shapley computation is itself a pure function of (circuit, sorted player
+//! list). Together: the canonical scores attached to a store entry, renamed
+//! back through [`CanonicalShape::players`], are bit-for-bit the scores
+//! [`crate::shapley_values`] would have produced from scratch. The
+//! differential tests in `tests/stored.rs` pin exactly that.
+
+use crate::exact::{shapley_values_circuit, FactScores};
+use ls_circuit::{CanonicalShape, CircuitStore};
+use ls_provenance::Dnf;
+use ls_relational::{FactId, LineageArena, MonoRef};
+
+/// Exact Shapley values of every lineage fact, answered through the
+/// compiled-circuit `store`.
+///
+/// The provenance is canonicalized to its shape; a persisted or resident
+/// entry for that shape is reused (recurring shapes across tuples compile
+/// once per store directory, ever). Canonical scores are attached to the
+/// entry on first scoring, so warm hits are pure rename-and-lookup.
+///
+/// Returns the same map — bit-for-bit — as [`crate::shapley_values`].
+pub fn shapley_values_stored(store: &CircuitStore, provenance: &Dnf) -> FactScores {
+    let players = provenance.variables();
+    if players.is_empty() {
+        return FactScores::new();
+    }
+    let (shape, entry) = store.get_or_compile(provenance);
+    match entry.scores() {
+        Some(canonical) if canonical.len() == shape.n_players() => rename_back(&shape, canonical),
+        _ => {
+            let canon_players: Vec<FactId> = (0..shape.n_players() as u32).map(FactId).collect();
+            let canonical_scores =
+                shapley_values_circuit(&entry.circuit, entry.root, &canon_players);
+            let flat: Vec<f64> = canon_players.iter().map(|f| canonical_scores[f]).collect();
+            let out = rename_back(&shape, &flat);
+            // Persistence is best-effort: a full disk must not fail scoring.
+            let _ = store.put_scores(&entry, flat);
+            out
+        }
+    }
+}
+
+/// Store-backed twin of [`crate::shapley_values_recovered`]: score a
+/// recovered clause set (semiring `recover_fn` output) through the store.
+pub fn shapley_values_recovered_stored(
+    arena: &LineageArena,
+    clauses: &[MonoRef],
+    store: &CircuitStore,
+) -> FactScores {
+    shapley_values_stored(store, &Dnf::from_recovered(arena, clauses))
+}
+
+/// Map canonical per-variable scores back to the original fact ids.
+fn rename_back(shape: &CanonicalShape, canonical: &[f64]) -> FactScores {
+    shape
+        .players
+        .iter()
+        .copied()
+        .zip(canonical.iter().copied())
+        .collect()
+}

@@ -1,0 +1,144 @@
+//! Differential tests for the store-backed exact path: scores answered
+//! through the `ls-circuit` store — freshly compiled, score-cached, or
+//! persisted-and-reloaded by a different store instance — must equal the
+//! plain [`shapley_values`] output bit-for-bit (f64 `to_bits` equality).
+
+use ls_circuit::CircuitStore;
+use ls_provenance::Dnf;
+use ls_relational::{FactId, Monomial};
+use ls_shapley::{shapley_values, shapley_values_stored, FactScores};
+use proptest::prelude::*;
+use std::fs;
+use std::path::PathBuf;
+
+fn dnf(monos: &[&[u32]]) -> Dnf {
+    Dnf::from_monomials(
+        monos
+            .iter()
+            .map(|ids| Monomial::from_facts(ids.iter().map(|&i| FactId(i)).collect()))
+            .collect(),
+    )
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ls_shapley_stored_{tag}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn assert_bits_equal(plain: &FactScores, stored: &FactScores, ctx: &str) {
+    assert_eq!(plain.len(), stored.len(), "{ctx}: key sets differ");
+    for (f, v) in plain {
+        assert_eq!(
+            v.to_bits(),
+            stored[f].to_bits(),
+            "{ctx}: fact {f} differs: {v} vs {}",
+            stored[f]
+        );
+    }
+}
+
+#[test]
+fn stored_path_is_bit_identical_cold_warm_and_reloaded() {
+    let dir = temp_dir("diff");
+    let cases = [
+        dnf(&[&[0]]),
+        dnf(&[&[0, 1]]),
+        dnf(&[&[0], &[1, 2]]),
+        dnf(&[&[0, 1, 4, 6], &[0, 2, 4, 7], &[0, 3, 5, 8]]),
+        dnf(&[&[3, 9], &[9, 17], &[17, 21, 40], &[55]]),
+    ];
+    let store = CircuitStore::open(&dir, 16).unwrap();
+    for d in &cases {
+        let plain = shapley_values(d);
+        // Cold: compiles the canonical circuit, scores it, caches scores.
+        let cold = shapley_values_stored(&store, d);
+        assert_bits_equal(&plain, &cold, "cold");
+        // Warm: answered from the attached canonical scores.
+        let warm = shapley_values_stored(&store, d);
+        assert_bits_equal(&plain, &warm, "warm");
+    }
+    // A different store instance over the same directory: every answer now
+    // goes through the persisted file (decode + score reload).
+    let reloaded = CircuitStore::open(&dir, 16).unwrap();
+    for d in &cases {
+        let plain = shapley_values(d);
+        let from_disk = shapley_values_stored(&reloaded, d);
+        assert_bits_equal(&plain, &from_disk, "reloaded");
+    }
+    assert_eq!(
+        reloaded.stats().misses,
+        0,
+        "everything should come off disk"
+    );
+    assert!(reloaded.stats().disk_hits >= 1);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shape_sharing_compiles_once_for_renamed_lineages() {
+    let dir = temp_dir("shared");
+    let store = CircuitStore::open(&dir, 16).unwrap();
+    // Same shape under three different fact labelings.
+    let variants = [
+        dnf(&[&[0, 1], &[1, 2]]),
+        dnf(&[&[10, 11], &[11, 12]]),
+        dnf(&[&[5, 100], &[100, 2000]]),
+    ];
+    for d in &variants {
+        let plain = shapley_values(d);
+        let stored = shapley_values_stored(&store, d);
+        assert_bits_equal(&plain, &stored, "renamed variant");
+    }
+    // One compile served all three labelings.
+    assert_eq!(store.stats().misses, 1);
+    assert_eq!(store.stats().mem_hits, 2);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn degenerate_provenance_matches_plain_path() {
+    let dir = temp_dir("degenerate");
+    let store = CircuitStore::open(&dir, 4).unwrap();
+    for d in [Dnf::fls(), Dnf::tru()] {
+        assert!(shapley_values_stored(&store, &d).is_empty());
+        assert!(shapley_values(&d).is_empty());
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+fn small_dnf() -> impl Strategy<Value = Dnf> {
+    proptest::collection::vec(proptest::collection::vec(0u32..40, 1..4), 1..6).prop_map(|monos| {
+        Dnf::from_monomials(
+            monos
+                .into_iter()
+                .map(|ids| Monomial::from_facts(ids.into_iter().map(FactId).collect()))
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Canonicalization is transparent on arbitrary small lineages: the
+    /// stored path agrees with the plain path bit-for-bit, both on the
+    /// compile miss and on the score-cache hit.
+    #[test]
+    fn stored_matches_plain_bitwise(d in small_dnf()) {
+        let dir = temp_dir("prop");
+        let store = CircuitStore::open(&dir, 8).unwrap();
+        let plain = shapley_values(&d);
+        for pass in ["miss", "hit"] {
+            let stored = shapley_values_stored(&store, &d);
+            prop_assert_eq!(plain.len(), stored.len());
+            for (f, v) in &plain {
+                prop_assert_eq!(
+                    v.to_bits(), stored[f].to_bits(),
+                    "{} pass, fact {}: {} vs {}", pass, f, v, stored[f]
+                );
+            }
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
