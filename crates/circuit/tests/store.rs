@@ -234,3 +234,92 @@ fn lru_evicts_but_disk_still_answers() {
     assert!(store.stats().disk_hits >= 2);
     let _ = fs::remove_dir_all(&dir);
 }
+
+/// A write torn mid-stream by an injected fault — not hand-truncation —
+/// leaves a partial `.lsc` on disk; the next store detects it, counts it,
+/// falls back, and heals the file by re-persisting a good entry.
+#[test]
+fn torn_write_via_injection_is_detected_and_healed() {
+    use std::io::Write;
+
+    let dir = temp_dir("torn_write");
+    let d = wide_dnf();
+    let seed_store = CircuitStore::open(&dir, 8).unwrap();
+    let (shape, original) = seed_store.get_or_compile(&d);
+    let path = seed_store.entry_path(shape.key);
+    let good = fs::read(&path).unwrap();
+
+    // Replay the persist through a FaultyWrite that tears the stream:
+    // half the bytes land, then the writer goes dead mid-frame.
+    let spec = FaultSpec::new().rule(FaultRule::at(
+        "circuit.persist.write",
+        FaultKind::Truncate,
+        &[0],
+    ));
+    let injector = Arc::new(FaultPlan::compile(11, &spec));
+    let file = fs::File::create(&path).unwrap();
+    let mut writer = ls_fault::FaultyWrite::new(file, injector, "circuit.persist");
+    writer
+        .write_all(&good)
+        .expect_err("the torn write must surface as an error");
+    let torn = fs::read(&path).unwrap();
+    assert!(
+        torn.len() < good.len(),
+        "fault injection must leave a short file ({} vs {})",
+        torn.len(),
+        good.len()
+    );
+
+    let healed = CircuitStore::open(&dir, 8).unwrap();
+    let (_, entry) = healed.get_or_compile(&d);
+    let stats = healed.stats();
+    assert_eq!(stats.load_errors, 1, "torn file must be counted");
+    assert_eq!(stats.misses, 1, "torn file must force a fresh compile");
+    assert_eq!(
+        entry.circuit.nodes(),
+        original.circuit.nodes(),
+        "fallback compile must agree with the original"
+    );
+
+    // The fallback re-persisted: a third store loads cleanly from disk.
+    let reread = CircuitStore::open(&dir, 8).unwrap();
+    let _ = reread.get_or_compile(&d);
+    let stats = reread.stats();
+    assert_eq!(
+        (stats.disk_hits, stats.load_errors),
+        (1, 0),
+        "the healed file must load without error"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Satellite pin: the `.lsc` footer checksum is the ONE `ls_fault::crc32`
+/// (cross-checked against the WAL-side pin in `ls-wal` via the shared
+/// published vector). If either side ever grows a private CRC, the footer
+/// re-computation here diverges and this test fails.
+#[test]
+fn persisted_entry_footer_uses_the_shared_ls_fault_crc32() {
+    assert_eq!(ls_fault::crc32(b"123456789"), 0xCBF4_3926);
+
+    let dir = temp_dir("crc_pin");
+    let d = wide_dnf();
+    let store = CircuitStore::open(&dir, 8).unwrap();
+    let (shape, _) = store.get_or_compile(&d);
+    let bytes = fs::read(store.entry_path(shape.key)).unwrap();
+
+    // Footer layout: magic (4) + body length u64 + crc32 u32, all LE.
+    assert!(bytes.len() > 16, "entry must carry a footer");
+    let (body, footer) = bytes.split_at(bytes.len() - 16);
+    assert_eq!(&footer[..4], b"LSFT");
+    assert_eq!(
+        u64::from_le_bytes(footer[4..12].try_into().unwrap()),
+        body.len() as u64
+    );
+    let stored = u32::from_le_bytes(footer[12..16].try_into().unwrap());
+    assert_eq!(
+        stored,
+        ls_fault::crc32(body),
+        "footer crc must be ls_fault::crc32 of the body"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -59,6 +59,9 @@ pub enum Stage {
     Pretrain,
     /// Shapley-regression fine-tuning ([`crate::finetune()`]).
     Finetune,
+    /// Streaming feedback training ([`crate::online::OnlineTrainer`]); the
+    /// `samples` field doubles as the WAL consumption watermark.
+    Online,
 }
 
 impl Stage {
@@ -66,6 +69,7 @@ impl Stage {
         match self {
             Stage::Pretrain => 0,
             Stage::Finetune => 1,
+            Stage::Online => 2,
         }
     }
 }

@@ -29,6 +29,7 @@ pub mod finetune;
 pub mod inference;
 pub mod model;
 pub mod nearest;
+pub mod online;
 pub mod persist;
 pub mod pipeline;
 pub mod pretrain;
@@ -48,6 +49,10 @@ pub use finetune::{
 pub use inference::{predict_scores, rank_lineage, LineageScorer, ScoreContext};
 pub use model::{LearnShapleyModel, HEAD_RANK, HEAD_SYNTAX, HEAD_WITNESS};
 pub use nearest::{NearestQueries, NqMetric, QueryProbe};
+pub use online::{
+    feedback_from_gold, load_current, publish_snapshot, replay_train, snapshot_name,
+    FeedbackRecord, OnlineConfig, OnlineTrainer,
+};
 pub use persist::{load_model, save_model};
 pub use pipeline::{build_tokenizer, train_learnshapley, EncoderKind, PipelineConfig, Trained};
 pub use pretrain::{

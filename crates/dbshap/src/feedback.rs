@@ -1,0 +1,187 @@
+//! Synthetic ranking-feedback streams with a drift knob.
+//!
+//! The online-learning experiments need a stream of "a user asked about
+//! this (query, tuple) pair" events whose distribution can be tuned from
+//! perfectly stationary (uniform over the split for the whole stream) to
+//! fully drifting (interest marches strictly through the pairs over the
+//! stream's lifetime, so the tail of the stream exercises pairs the head
+//! never touched). Both extremes — and everything between — come from one
+//! `drift_per_mille` knob, and the stream is a pure function of its seed.
+
+use crate::dataset::{Dataset, Split};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Knobs for [`drift_feedback_events`].
+#[derive(Debug, Clone)]
+pub struct DriftConfig {
+    /// Events to emit.
+    pub events: usize,
+    /// Drift intensity in per-mille: 0 = stationary uniform over the
+    /// split's (query, tuple) pairs; 1000 = a strictly advancing interest
+    /// front (event `i` draws from a window anchored at position
+    /// `i / events` of the pair list); values between blend the two.
+    pub drift_per_mille: u32,
+    /// Stream seed (same seed ⇒ same stream, any machine).
+    pub seed: u64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            events: 256,
+            drift_per_mille: 0,
+            seed: 7,
+        }
+    }
+}
+
+/// One feedback event: a user signalled interest in the ranking of a
+/// recorded (query, tuple) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeedbackEvent {
+    /// Index into `dataset.queries`.
+    pub query: usize,
+    /// Index into that query's `tuples`.
+    pub tuple: usize,
+}
+
+/// Generate a deterministic feedback stream over the recorded (query,
+/// tuple) pairs of `split`. Event `i` picks the pair at relative position
+/// `u·d + r·(1−d)` of the eligible list, where `u = i / events`
+/// is the stream's progress, `r` is a seeded uniform draw, and
+/// `d = drift_per_mille / 1000` — so `d = 0` is a stationary uniform
+/// stream and `d = 1000` a strictly advancing front.
+pub fn drift_feedback_events(ds: &Dataset, split: Split, cfg: &DriftConfig) -> Vec<FeedbackEvent> {
+    let mut pairs = Vec::new();
+    for (qi, q) in ds.queries.iter().enumerate() {
+        if ds.splits[qi] != split {
+            continue;
+        }
+        for ti in 0..q.tuples.len() {
+            pairs.push(FeedbackEvent {
+                query: qi,
+                tuple: ti,
+            });
+        }
+    }
+    if pairs.is_empty() || cfg.events == 0 {
+        return Vec::new();
+    }
+    let d = f64::from(cfg.drift_per_mille.min(1000)) / 1000.0;
+    let denom = cfg.events.saturating_sub(1).max(1) as f64;
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xfeedbacc);
+    let mut out = Vec::with_capacity(cfg.events);
+    for i in 0..cfg.events {
+        let u = i as f64 / denom;
+        let r: f64 = rng.gen_range(0.0..1.0);
+        // Convex combination of values in [0, 1]; the index clamp below
+        // handles the u = 1.0 endpoint.
+        let pos = u * d + r * (1.0 - d);
+        let idx = ((pos * pairs.len() as f64) as usize).min(pairs.len() - 1);
+        out.push(pairs[idx]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetConfig;
+    use crate::imdb::{generate_imdb, ImdbConfig};
+    use crate::querygen::{imdb_spec, QueryGenConfig};
+
+    fn tiny_ds() -> Dataset {
+        let db = generate_imdb(&ImdbConfig {
+            companies: 8,
+            actors: 30,
+            movies: 40,
+            roles_per_movie: 2,
+            seed: 11,
+        });
+        let cfg = DatasetConfig {
+            query_gen: QueryGenConfig {
+                num_queries: 8,
+                ..Default::default()
+            },
+            max_tuples_per_query: 3,
+            max_lineage: 20,
+            ..Default::default()
+        };
+        Dataset::build(db, &imdb_spec(), &cfg)
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let ds = tiny_ds();
+        let cfg = DriftConfig {
+            events: 64,
+            drift_per_mille: 300,
+            seed: 42,
+        };
+        let a = drift_feedback_events(&ds, Split::Train, &cfg);
+        let b = drift_feedback_events(&ds, Split::Train, &cfg);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 64);
+        let other = drift_feedback_events(
+            &ds,
+            Split::Train,
+            &DriftConfig {
+                seed: 43,
+                ..cfg.clone()
+            },
+        );
+        assert_ne!(a, other, "different seeds must differ");
+    }
+
+    #[test]
+    fn full_drift_advances_monotonically() {
+        let ds = tiny_ds();
+        let cfg = DriftConfig {
+            events: 100,
+            drift_per_mille: 1000,
+            seed: 1,
+        };
+        let events = drift_feedback_events(&ds, Split::Train, &cfg);
+        // With d = 1 the randomness is weighted out entirely: the pair index
+        // is a non-decreasing function of stream progress.
+        let mut pairs = Vec::new();
+        for (qi, q) in ds.queries.iter().enumerate() {
+            if ds.splits[qi] != Split::Train {
+                continue;
+            }
+            for ti in 0..q.tuples.len() {
+                pairs.push((qi, ti));
+            }
+        }
+        let positions: Vec<usize> = events
+            .iter()
+            .map(|e| pairs.iter().position(|&p| p == (e.query, e.tuple)).unwrap())
+            .collect();
+        assert!(
+            positions.windows(2).all(|w| w[0] <= w[1]),
+            "full drift must advance through the pair list"
+        );
+        assert!(
+            positions.last().unwrap() > positions.first().unwrap(),
+            "the front must actually move"
+        );
+    }
+
+    #[test]
+    fn zero_drift_covers_the_space() {
+        let ds = tiny_ds();
+        let cfg = DriftConfig {
+            events: 200,
+            drift_per_mille: 0,
+            seed: 9,
+        };
+        let events = drift_feedback_events(&ds, Split::Train, &cfg);
+        let distinct: std::collections::BTreeSet<_> =
+            events.iter().map(|e| (e.query, e.tuple)).collect();
+        assert!(
+            distinct.len() > 1,
+            "a stationary uniform stream should touch several pairs"
+        );
+    }
+}

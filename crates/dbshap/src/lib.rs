@@ -25,6 +25,7 @@
 pub mod academic;
 pub mod dataset;
 pub mod export;
+pub mod feedback;
 pub mod imdb;
 pub mod names;
 pub mod querygen;
@@ -34,6 +35,7 @@ pub mod subset;
 pub use academic::{generate_academic, AcademicConfig};
 pub use dataset::{Dataset, DatasetConfig, QueryRecord, Split, TupleRecord};
 pub use export::{export, import_quartets, Quartet};
+pub use feedback::{drift_feedback_events, DriftConfig, FeedbackEvent};
 pub use imdb::{generate_imdb, ImdbConfig};
 pub use names::NamePool;
 pub use querygen::{

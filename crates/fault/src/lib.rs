@@ -37,7 +37,9 @@ pub use backoff::Backoff;
 pub use breaker::{BreakerState, CircuitBreaker};
 pub use crc::{crc32, crc32_update};
 pub use io::{FaultyRead, FaultyWrite, INJECTED_ERROR_MSG};
-pub use persist::{read_verified, seal, unseal, write_atomic, write_sealed};
+pub use persist::{
+    fsync_with, read_verified, rename_with, seal, unseal, write_atomic, write_sealed,
+};
 pub use plan::{
     FaultAction, FaultKind, FaultPlan, FaultRule, FaultSpec, Injector, NoFaults, Trigger,
 };

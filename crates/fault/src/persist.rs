@@ -20,6 +20,8 @@
 //! persistence call sites are unchanged.
 
 use crate::crc::crc32;
+use crate::io::INJECTED_ERROR_MSG;
+use crate::plan::{FaultAction, Injector};
 use std::fs;
 use std::io::{self, Write};
 use std::path::Path;
@@ -100,6 +102,45 @@ pub fn read_verified(path: &Path) -> io::Result<Vec<u8>> {
     let mut body = bytes;
     body.truncate(body_len);
     Ok(body)
+}
+
+/// `File::sync_all` behind a fault-injection seam: `site` is consulted
+/// before the real fsync, so crash schedules can deny durability exactly
+/// where they say. `Error`/`Truncate`/`Corrupt` all surface as an injected
+/// I/O error (an fsync has no payload to tear or flip); `Delay` sleeps and
+/// then syncs for real.
+pub fn fsync_with(file: &fs::File, injector: &dyn Injector, site: &str) -> io::Result<()> {
+    match injector.decide(site) {
+        FaultAction::None => file.sync_all(),
+        FaultAction::Panic => panic!("injected fsync panic at {site}"),
+        FaultAction::Delay(d) => {
+            std::thread::sleep(d);
+            file.sync_all()
+        }
+        _ => Err(io::Error::new(
+            io::ErrorKind::ConnectionReset,
+            INJECTED_ERROR_MSG,
+        )),
+    }
+}
+
+/// `fs::rename` behind a fault-injection seam, with the same action mapping
+/// as [`fsync_with`]: an injected fault means the rename never happened
+/// (both paths are untouched), which is exactly the crash-before-rename
+/// state recovery code must tolerate.
+pub fn rename_with(from: &Path, to: &Path, injector: &dyn Injector, site: &str) -> io::Result<()> {
+    match injector.decide(site) {
+        FaultAction::None => fs::rename(from, to),
+        FaultAction::Panic => panic!("injected rename panic at {site}"),
+        FaultAction::Delay(d) => {
+            std::thread::sleep(d);
+            fs::rename(from, to)
+        }
+        _ => Err(io::Error::new(
+            io::ErrorKind::ConnectionReset,
+            INJECTED_ERROR_MSG,
+        )),
+    }
 }
 
 #[cfg(test)]

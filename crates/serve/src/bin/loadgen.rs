@@ -24,6 +24,12 @@
 //! breaker degrades to the uniform fallback, reporting degraded/failed
 //! counts, degraded-mode throughput, and breaker recovery latency.
 //!
+//! `--feedback` adds an online-learning configuration: the server runs with
+//! the feedback WAL + trainer enabled while a dedicated writer streams
+//! feedback records alongside the rank closed loop, reporting rank latency
+//! with training active, feedback append p50/p99, and how far the trainer
+//! got (records trained, snapshots published + hot-swapped).
+//!
 //! `--trace-sample N` attaches a fresh `TraceContext` to every request, and
 //! after each traced pass prints (a) the per-stage attribution of the p99
 //! tail cohort ("p99 is 78% queue wait") and (b) N full stage-breakdown
@@ -32,13 +38,16 @@
 //! than PCT percent throughput. `--listen HOST:PORT` keeps a warm TCP
 //! server alive after the runs so `obsctl` can introspect a live process.
 
-use ls_core::{save_model, LearnShapleyModel, Tokenizer, UniformFallback};
+use ls_core::{
+    save_model, FeedbackRecord, LearnShapleyModel, OnlineConfig, OnlineTrainer, Tokenizer,
+    UniformFallback,
+};
 use ls_fault::{FaultKind, FaultPlan, FaultRule, FaultSpec};
 use ls_nn::EncoderConfig;
 use ls_relational::{ColType, Database, FactId, OutputTuple, TableSchema, Value};
 use ls_serve::{
-    ModelBundle, RankRequest, ServeConfig, ServeError, Server, StageBreakdown, TcpRankClient,
-    TcpServer,
+    ModelBundle, OnlineOptions, RankRequest, ServeConfig, ServeError, Server, StageBreakdown,
+    TcpRankClient, TcpServer,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -62,6 +71,7 @@ struct Args {
     tcp: bool,
     fault: bool,
     fault_seed: u64,
+    feedback: bool,
     trace_sample: usize,
     assert_overhead: Option<f64>,
     listen: Option<String>,
@@ -84,6 +94,7 @@ impl Default for Args {
             tcp: false,
             fault: false,
             fault_seed: 42,
+            feedback: false,
             trace_sample: 0,
             assert_overhead: None,
             listen: None,
@@ -120,6 +131,7 @@ fn parse_args() -> Args {
             "--tcp" => args.tcp = true,
             "--fault" => args.fault = true,
             "--fault-seed" => args.fault_seed = take().parse().expect("fault seed"),
+            "--feedback" => args.feedback = true,
             "--trace-sample" => args.trace_sample = take().parse().expect("trace sample count"),
             "--assert-overhead" => {
                 args.assert_overhead = Some(take().parse().expect("overhead percent"));
@@ -130,8 +142,8 @@ fn parse_args() -> Args {
                     "serve-loadgen [--workers 1,2,4] [--clients N] [--requests N] \
                      [--queue N] [--batch N] [--cache N | --cache-off] [--lineage N] \
                      [--queries N] [--max-len N] [--seed N] [--serial] [--tcp] \
-                     [--fault] [--fault-seed N] [--trace-sample N] [--assert-overhead PCT] \
-                     [--listen HOST:PORT]"
+                     [--fault] [--fault-seed N] [--feedback] [--trace-sample N] \
+                     [--assert-overhead PCT] [--listen HOST:PORT]"
                 );
                 std::process::exit(0);
             }
@@ -568,6 +580,10 @@ fn main() {
         run_fault(&args, &bundle, &requests);
     }
 
+    if args.feedback {
+        run_feedback(&args, &bundle, &requests);
+    }
+
     let _ = std::fs::remove_dir_all(&dir);
 
     // Interactive mode: keep a warm server on `addr` after the runs so
@@ -734,4 +750,108 @@ fn run_fault(args: &Args, bundle: &Arc<ModelBundle>, requests: &[RankRequest]) {
         None => println!("  breaker recovery: did not recover within the probe budget"),
     }
     server.shutdown();
+}
+
+/// Online-learning configuration: rank traffic and a feedback stream share
+/// the server. One writer thread appends `requests` feedback records through
+/// the WAL while the closed-loop clients rank; the trainer consumes, trains,
+/// and hot-swaps published snapshots under that load. Reported: the rank
+/// pass (so swap cost shows up in p50/p99 next to the healthy runs),
+/// feedback append latency, and trainer progress.
+fn run_feedback(args: &Args, bundle: &Arc<ModelBundle>, requests: &[RankRequest]) {
+    let workers = *args.workers.last().unwrap_or(&2);
+    let cfg = ServeConfig {
+        workers,
+        queue_depth: args.queue,
+        max_batch_items: args.batch,
+        batch_deadline: Duration::from_micros(500),
+        cache_capacity: args.cache,
+        default_deadline: None,
+        ..Default::default()
+    };
+    let dir = std::env::temp_dir().join(format!("ls-serve-loadgen-online-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = OnlineOptions {
+        wal_dir: dir.join("wal"),
+        snapshot_dir: dir.join("snapshots"),
+        publish_every: 64,
+        poll: Duration::from_millis(2),
+    };
+    let online_cfg = OnlineConfig {
+        batch: 16,
+        lr: 1e-3,
+        max_len: args.max_len,
+        seed: args.seed,
+    };
+    let trainer = OnlineTrainer::new(
+        LearnShapleyModel::new(EncoderConfig::small_ablation(
+            bundle.tokenizer.vocab_size(),
+            args.max_len,
+        )),
+        bundle.tokenizer.clone(),
+        online_cfg,
+    );
+
+    let server = Server::start(bundle.clone(), cfg);
+    let online = server
+        .enable_online(trainer, opts)
+        .expect("enable online engine");
+    let handle = server.handle();
+
+    // Feedback writer: one record per rank request, derived from the same
+    // request stream so trained text matches served text.
+    let records: Vec<FeedbackRecord> = (0..args.requests)
+        .map(|i| {
+            let req = &requests[i % requests.len()];
+            FeedbackRecord {
+                query_sql: req.query_sql.clone(),
+                tuple_fact: format!("tuple {i} | fact {}", req.lineage[i % req.lineage.len()].0),
+                target: (i % 100) as f32 / 100.0,
+            }
+        })
+        .collect();
+    let (mut stats, mut append_lat) = std::thread::scope(|scope| {
+        let writer = {
+            let handle = handle.clone();
+            let records = &records;
+            scope.spawn(move || {
+                let mut lat = Vec::with_capacity(records.len());
+                for rec in records {
+                    let t0 = Instant::now();
+                    handle.feedback(rec).expect("feedback append");
+                    lat.push(t0.elapsed());
+                }
+                lat
+            })
+        };
+        let stats = drive(&handle, requests, args.clients, args.requests, false);
+        (stats, writer.join().expect("feedback writer"))
+    });
+    stats.report(&format!("serve w={workers} +feedback"));
+
+    append_lat.sort();
+    let pct = |p: f64| append_lat[((append_lat.len() as f64 - 1.0) * p).round() as usize];
+    println!(
+        "  feedback stream: {} records appended  p50 {:>9.3?}  p99 {:>9.3?}  max {:>9.3?}",
+        append_lat.len(),
+        pct(0.50),
+        pct(0.99),
+        append_lat.last().copied().unwrap_or(Duration::ZERO),
+    );
+
+    // Give the trainer one publish interval to catch up, then report how far
+    // it got; shutdown() checkpoints and joins it either way.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while online.published_generation() == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    println!(
+        "  online trainer: appended {}  trained {}  published generation {}  model generation {}",
+        online.appended(),
+        online.trained(),
+        online.published_generation(),
+        handle.model_generation(),
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }

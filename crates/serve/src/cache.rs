@@ -59,6 +59,15 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.capacity
     }
 
+    /// Drop every entry (capacity unchanged). Used when the model snapshot
+    /// behind the cached values is swapped out.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
     fn unlink(&mut self, i: usize) {
         let (prev, next) = (self.slots[i].prev, self.slots[i].next);
         if prev == NIL {
@@ -216,6 +225,20 @@ mod tests {
         assert_eq!(c.insert(1, 1), None);
         assert_eq!(c.get(&1), None);
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_and_stays_usable() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.get(&1), None);
+        assert_eq!(c.capacity(), 2);
+        c.insert(3, 30);
+        assert_eq!(c.get(&3), Some(&30));
+        assert_eq!(c.len(), 1);
     }
 
     #[test]

@@ -59,11 +59,13 @@
 //! reports throughput and latency percentiles; see the repository README.
 
 pub mod cache;
+pub mod online;
 pub mod proto;
 pub mod server;
 pub mod tcp;
 
 pub use cache::{LruCache, RankKey};
+pub use online::{OnlineOptions, OnlineState};
 pub use proto::{frame_error, AdminCommand, Frame, FrameError, MAX_FRAME};
 pub use server::{
     ModelBundle, RankRequest, RankResponse, ServeConfig, ServeError, ServeHandle, Server,

@@ -33,6 +33,7 @@
 
 use crate::server::{RankRequest, RankResponse, ServeError, StageBreakdown};
 use ls_circuit::Tier;
+use ls_core::FeedbackRecord;
 use ls_obs::{Json, TraceContext};
 use ls_relational::{FactId, Monomial, OutputTuple, Value};
 use std::fmt;
@@ -244,17 +245,20 @@ impl AdminCommand {
     }
 }
 
-/// One decoded inbound frame: rank traffic (with its optional client trace)
-/// or an admin introspection query, multiplexed by the `"admin"` key.
+/// One decoded inbound frame: rank traffic (with its optional client trace),
+/// an admin introspection query, or an online-learning feedback record —
+/// multiplexed by the `"admin"` and `"feedback"` keys.
 #[derive(Debug)]
 pub enum Frame {
     /// A ranking request and the trace context it carried, if any.
     Rank(u64, RankRequest, Option<TraceContext>),
     /// An admin query.
     Admin(u64, AdminCommand),
+    /// A feedback record for the online-learning WAL.
+    Feedback(u64, FeedbackRecord),
 }
 
-/// Decode any inbound frame (rank or admin).
+/// Decode any inbound frame (rank, admin, or feedback).
 pub fn decode_frame(payload: &[u8]) -> Result<Frame, String> {
     let text = std::str::from_utf8(payload).map_err(|e| format!("frame not UTF-8: {e}"))?;
     let doc = ls_obs::parse_json(text)?;
@@ -265,6 +269,30 @@ pub fn decode_frame(payload: &[u8]) -> Result<Frame, String> {
     if let Some(kw) = doc.get("admin").and_then(Json::as_str) {
         let cmd = AdminCommand::from_keyword(kw).ok_or_else(|| format!("unknown admin {kw:?}"))?;
         return Ok(Frame::Admin(id, cmd));
+    }
+    if let Some(fb) = doc.get("feedback") {
+        let query_sql = fb
+            .get("query")
+            .and_then(Json::as_str)
+            .ok_or("feedback missing string \"query\"")?
+            .to_string();
+        let tuple_fact = fb
+            .get("fact")
+            .and_then(Json::as_str)
+            .ok_or("feedback missing string \"fact\"")?
+            .to_string();
+        let target = fb
+            .get("target")
+            .and_then(Json::as_f64)
+            .ok_or("feedback missing numeric \"target\"")? as f32;
+        return Ok(Frame::Feedback(
+            id,
+            FeedbackRecord {
+                query_sql,
+                tuple_fact,
+                target,
+            },
+        ));
     }
     let trace = doc.get("trace").and_then(|t| {
         TraceContext::from_hex(
@@ -282,6 +310,7 @@ pub fn decode_request(payload: &[u8]) -> Result<(u64, RankRequest), String> {
     match decode_frame(payload)? {
         Frame::Rank(id, req, _) => Ok((id, req)),
         Frame::Admin(..) => Err("admin frame where a rank request was expected".into()),
+        Frame::Feedback(..) => Err("feedback frame where a rank request was expected".into()),
     }
 }
 
@@ -350,6 +379,70 @@ fn decode_rank_body(doc: &Json) -> Result<RankRequest, String> {
         deadline,
         slo,
     })
+}
+
+/// Encode a feedback frame payload. `target` uses shortest-round-trip `f32`
+/// formatting, so the record the server appends to its WAL is bit-identical
+/// to the one the client held.
+pub fn encode_feedback_request(id: u64, rec: &FeedbackRecord) -> Vec<u8> {
+    let mut out = String::new();
+    let _ = write!(out, "{{\"id\":{id},\"feedback\":{{\"query\":");
+    emit_str(&mut out, &rec.query_sql);
+    out.push_str(",\"fact\":");
+    emit_str(&mut out, &rec.tuple_fact);
+    if rec.target.is_finite() {
+        let _ = write!(out, ",\"target\":{}", rec.target);
+    } else {
+        out.push_str(",\"target\":null");
+    }
+    out.push_str("}}");
+    out.into_bytes()
+}
+
+/// Encode a feedback response: on success the record's crash-durable log
+/// sequence number, on failure the typed error.
+pub fn encode_feedback_response(id: u64, result: &Result<u64, ServeError>) -> Vec<u8> {
+    match result {
+        Ok(lsn) => format!("{{\"id\":{id},\"ok\":true,\"lsn\":{lsn}}}").into_bytes(),
+        Err(e) => {
+            let mut out = String::new();
+            let _ = write!(out, "{{\"id\":{id},\"ok\":false,\"error\":");
+            emit_str(&mut out, &e.to_string());
+            out.push('}');
+            out.into_bytes()
+        }
+    }
+}
+
+/// Decode a feedback response into `(id, result)`.
+pub fn decode_feedback_response(payload: &[u8]) -> Result<(u64, Result<u64, ServeError>), String> {
+    let text = std::str::from_utf8(payload).map_err(|e| format!("frame not UTF-8: {e}"))?;
+    let doc = ls_obs::parse_json(text)?;
+    let id = doc
+        .get("id")
+        .and_then(Json::as_u64)
+        .ok_or("missing numeric \"id\"")?;
+    match doc.get("ok") {
+        Some(Json::Bool(true)) => {
+            let lsn = doc
+                .get("lsn")
+                .and_then(Json::as_u64)
+                .ok_or("missing numeric \"lsn\"")?;
+            Ok((id, Ok(lsn)))
+        }
+        Some(Json::Bool(false)) => {
+            let msg = doc.get("error").and_then(Json::as_str).unwrap_or("unknown");
+            let err = if let Some(detail) = msg.strip_prefix("bad request: ") {
+                ServeError::BadRequest(detail.to_string())
+            } else if let Some(detail) = msg.strip_prefix("internal: ") {
+                ServeError::Internal(detail.to_string())
+            } else {
+                ServeError::Transport(msg.to_string())
+            };
+            Ok((id, Err(err)))
+        }
+        _ => Err("missing boolean \"ok\"".into()),
+    }
 }
 
 /// Encode an admin query frame payload.
@@ -634,6 +727,31 @@ mod tests {
         assert_eq!(id, 9);
         assert_eq!(data.get("inflight").and_then(Json::as_u64), Some(3));
         assert_eq!(data.get("breaker").and_then(Json::as_str), Some("closed"));
+    }
+
+    #[test]
+    fn feedback_frames_round_trip_bit_identically() {
+        let rec = FeedbackRecord {
+            query_sql: "SELECT \"name\"\nFROM movies".into(),
+            tuple_fact: "(Memento) | movies(12, 'Memento', 2000)".into(),
+            target: 0.123_456_79_f32, // awkward shortest-repr float
+        };
+        match decode_frame(&encode_feedback_request(11, &rec)).unwrap() {
+            Frame::Feedback(id, back) => {
+                assert_eq!(id, 11);
+                assert_eq!(back.query_sql, rec.query_sql);
+                assert_eq!(back.tuple_fact, rec.tuple_fact);
+                assert_eq!(back.target.to_bits(), rec.target.to_bits());
+            }
+            other => panic!("expected feedback frame, got {other:?}"),
+        }
+        let (id, ok) = decode_feedback_response(&encode_feedback_response(11, &Ok(42))).unwrap();
+        assert_eq!((id, ok), (11, Ok(42)));
+        let err = Err(ServeError::BadRequest(
+            "online learning is not enabled on this server".into(),
+        ));
+        let (_, back) = decode_feedback_response(&encode_feedback_response(12, &err)).unwrap();
+        assert_eq!(back, err);
     }
 
     #[test]

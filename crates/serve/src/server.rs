@@ -296,6 +296,11 @@ struct Job {
     deadline: Option<Instant>,
     /// Query/tuple-side precomputation, done once by the batcher.
     ctx: OnceLock<ScoreContext>,
+    /// The model snapshot (and its generation) this job is scored by, pinned
+    /// by the batcher at dispatch. Pinning makes a concurrent hot-swap safe:
+    /// in-flight jobs finish on the snapshot they started with — all chunks,
+    /// one model — and only their cache insert is generation-gated.
+    pinned: OnceLock<(Arc<ModelBundle>, u64)>,
     /// Per-fact score slots (f64 bit patterns), written lock-free by index.
     scores: Vec<AtomicU64>,
     /// Slots still unwritten; the worker that zeroes this finalizes the job.
@@ -409,6 +414,11 @@ struct State {
     paused: bool,
     shutdown: bool,
     cache: LruCache<RankKey, RankResponse>,
+    /// Model generation the cache's entries were scored under. A finalizing
+    /// job whose pinned generation differs (its model was swapped out while
+    /// it was in flight) answers its client but must not insert — the cache
+    /// only ever replays the *current* snapshot's scores.
+    cache_generation: u64,
 }
 
 struct Shared {
@@ -418,7 +428,16 @@ struct Shared {
     /// Signaled when work items are published; workers wait here.
     worker_cv: Condvar,
     cfg: ServeConfig,
-    bundle: Arc<ModelBundle>,
+    /// The live model snapshot, hot-swappable at runtime. Guarded by a
+    /// mutex so the (bundle, generation) pair is always read consistently;
+    /// the critical section is two pointer copies — `Arc::clone` + a load —
+    /// so it is never a scoring bottleneck.
+    model: Mutex<Arc<ModelBundle>>,
+    /// Bumped under the `model` lock on every swap.
+    generation: AtomicU64,
+    /// The online-learning engine (WAL + trainer), attached at most once by
+    /// [`Server::enable_online`].
+    online: OnceLock<Arc<crate::online::OnlineState>>,
     /// Fault-injection seam: every scoring and polling step consults this
     /// ([`NoFaults`] in production — a virtual call per chunk, nothing more).
     injector: Arc<dyn Injector>,
@@ -432,6 +451,16 @@ struct Shared {
     /// Live worker threads; respawned replacements are pushed here so
     /// shutdown can join them too.
     workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    /// The current model snapshot and its generation, read as a consistent
+    /// pair: jobs pin the result, so every fact of a request is scored by
+    /// exactly one snapshot even if a swap lands mid-flight.
+    fn model(&self) -> (Arc<ModelBundle>, u64) {
+        let m = lock_safe(&self.model);
+        (m.clone(), self.generation.load(Ordering::Acquire))
+    }
 }
 
 /// Outcome of admission: either served from cache or queued.
@@ -462,8 +491,9 @@ impl ServeHandle {
         if req.query_sql.is_empty() {
             return Err(ServeError::BadRequest("empty query".into()));
         }
+        let (bundle, _) = self.shared.model();
         for &f in &req.lineage {
-            if self.shared.bundle.db.fact(f).is_none() {
+            if bundle.db.fact(f).is_none() {
                 return Err(ServeError::BadRequest(format!("unknown fact id {}", f.0)));
             }
         }
@@ -535,6 +565,7 @@ impl ServeHandle {
             submitted: Instant::now(),
             deadline,
             ctx: OnceLock::new(),
+            pinned: OnceLock::new(),
             scores: (0..n).map(|_| AtomicU64::new(0)).collect(),
             remaining: AtomicUsize::new(n),
             finished: AtomicBool::new(false),
@@ -601,7 +632,8 @@ impl ServeHandle {
             }
             Tier::Sampled => {
                 ls_obs::counter("serve.tier.sampled").incr();
-                let db = &self.shared.bundle.db;
+                let (bundle, _) = self.shared.model();
+                let db = &bundle.db;
                 // Seeded by the canonical shape: identical requests sample
                 // identically, so tiered responses stay reproducible.
                 let seed = shape.key.0 ^ shape.key.1;
@@ -655,6 +687,56 @@ impl ServeHandle {
         lock_safe(&self.shared.state).inflight
     }
 
+    /// Hot-swap the model snapshot, returning the new generation. The swap
+    /// is zero-downtime and never drops or mis-scores a request:
+    ///
+    /// * jobs already dispatched keep scoring on their **pinned** snapshot —
+    ///   every response is bit-identical to whichever snapshot scored it;
+    /// * jobs dispatched after the swap pin the new snapshot;
+    /// * the ranking cache is cleared under the same state lock that gates
+    ///   inserts, and its generation is bumped, so scores from the old
+    ///   snapshot can never be replayed as the new one's.
+    pub fn swap_model(&self, bundle: Arc<ModelBundle>) -> u64 {
+        let mut m = lock_safe(&self.shared.model);
+        *m = bundle;
+        let generation = self.shared.generation.fetch_add(1, Ordering::AcqRel) + 1;
+        // Still holding the model lock: a batcher pinning "new bundle, old
+        // generation" (or vice versa) is impossible.
+        let mut st = lock_safe(&self.shared.state);
+        st.cache.clear();
+        st.cache_generation = generation;
+        drop(st);
+        drop(m);
+        ls_obs::counter("wal.swaps").incr();
+        ls_obs::gauge("serve.model_generation").set(generation as f64);
+        generation
+    }
+
+    /// The generation of the currently-live model snapshot (0 = the bundle
+    /// the server started with).
+    pub fn model_generation(&self) -> u64 {
+        self.shared.generation.load(Ordering::Acquire)
+    }
+
+    /// Submit one feedback record to the online-learning WAL. Returns the
+    /// record's log sequence number once it is **crash-durable** (appended
+    /// and fsynced) — the online trainer picks it up asynchronously.
+    /// Fails typed when the server runs without [`Server::enable_online`].
+    pub fn feedback(&self, rec: &ls_core::FeedbackRecord) -> Result<u64, ServeError> {
+        let Some(online) = self.shared.online.get() else {
+            return Err(ServeError::BadRequest(
+                "online learning is not enabled on this server".into(),
+            ));
+        };
+        online.append(rec)
+    }
+
+    /// The live snapshot and its generation (what the online engine clones
+    /// the serving `Database` and `max_len` from when loading a new one).
+    pub(crate) fn current_model(&self) -> (Arc<ModelBundle>, u64) {
+        self.shared.model()
+    }
+
     /// Operational state as a JSON object (the admin protocol's `state`
     /// answer): queue and pool occupancy, cache fill, breaker state.
     pub fn state_json(&self) -> String {
@@ -676,11 +758,16 @@ impl ServeHandle {
             ls_fault::BreakerState::Open => "open",
             ls_fault::BreakerState::HalfOpen => "half-open",
         };
+        let online = match self.shared.online.get() {
+            None => String::from("null"),
+            Some(o) => o.status_json(),
+        };
         format!(
             concat!(
                 "{{\"inflight\":{},\"queue_depth\":{},\"pending\":{},\"work_items\":{},",
-                "\"paused\":{},\"shutdown\":{},\"workers\":{},",
-                "\"cache\":{{\"len\":{},\"capacity\":{}}},\"breaker\":\"{}\"}}"
+                "\"paused\":{},\"shutdown\":{},\"workers\":{},\"generation\":{},",
+                "\"cache\":{{\"len\":{},\"capacity\":{}}},\"breaker\":\"{}\",",
+                "\"online\":{}}}"
             ),
             inflight,
             cfg.queue_depth,
@@ -689,9 +776,11 @@ impl ServeHandle {
             paused,
             shutdown,
             cfg.workers,
+            self.model_generation(),
             cache_len,
             cache_cap,
-            breaker
+            breaker,
+            online
         )
     }
 
@@ -801,11 +890,14 @@ impl Server {
                 paused: false,
                 shutdown: false,
                 cache: LruCache::new(cfg.cache_capacity),
+                cache_generation: 0,
             }),
             batcher_cv: Condvar::new(),
             worker_cv: Condvar::new(),
             cfg,
-            bundle,
+            model: Mutex::new(bundle),
+            generation: AtomicU64::new(0),
+            online: OnceLock::new(),
             injector,
             breaker,
             fallback,
@@ -835,6 +927,17 @@ impl Server {
         }
     }
 
+    /// The server's fault injector, shared with the online engine so the
+    /// feedback WAL lives under the same chaos plan as the serving path.
+    pub(crate) fn injector(&self) -> Arc<dyn Injector> {
+        self.shared.injector.clone()
+    }
+
+    /// Attach the online engine (at most once per server).
+    pub(crate) fn attach_online(&self, online: Arc<crate::online::OnlineState>) -> Result<(), ()> {
+        self.shared.online.set(online).map_err(|_| ())
+    }
+
     /// Current circuit-breaker state (for tests and operational probes).
     pub fn breaker_state(&self) -> ls_fault::BreakerState {
         self.shared.breaker.state()
@@ -857,6 +960,11 @@ impl Server {
     /// Graceful shutdown: stop admitting, serve everything already admitted,
     /// then join the batcher and workers.
     pub fn shutdown(mut self) {
+        // Stop the online trainer first: it swaps models through a
+        // ServeHandle and must not race the drain below.
+        if let Some(online) = self.shared.online.get() {
+            online.stop_and_join();
+        }
         {
             let mut st = lock_safe(&self.shared.state);
             st.shutdown = true;
@@ -991,10 +1099,14 @@ fn batcher_loop(shared: &Shared) {
                 continue;
             }
             // Hoist the query/tuple-side work out of the per-fact loop, once
-            // per job rather than once per fact (or per chunk).
+            // per job rather than once per fact (or per chunk). The model
+            // snapshot is pinned here, in the same breath: every chunk of
+            // this job scores on this bundle, whatever swaps land later.
             let _trace = job.trace.as_ref().map(ls_obs::TraceContext::attach);
-            let ctx = ScoreContext::new(&shared.bundle.tokenizer, &job.query_sql, &job.tuple);
+            let (bundle, generation) = shared.model();
+            let ctx = ScoreContext::new(&bundle.tokenizer, &job.query_sql, &job.tuple);
             let _ = job.ctx.set(ctx);
+            let _ = job.pinned.set((bundle, generation));
             let n = job.lineage.len();
             let chunk = n.div_ceil(cfg.workers).max(1);
             let mut start = 0;
@@ -1068,9 +1180,6 @@ fn degrade(shared: &Shared, job: &Arc<Job>) {
 /// boundary on purpose: a fault there kills the whole thread (before any
 /// work item is held), exercising the [`RespawnGuard`] path.
 fn worker_loop(shared: &Shared) {
-    let bundle = shared.bundle.clone();
-    let mut scorer =
-        LineageScorer::new(&bundle.model, &bundle.tokenizer, &bundle.db, bundle.max_len);
     loop {
         match shared.injector.decide("serve.worker.poll") {
             FaultAction::Panic => panic!("injected worker-thread abort"),
@@ -1090,7 +1199,7 @@ fn worker_loop(shared: &Shared) {
             }
         };
         let job = item.job.clone();
-        match catch_unwind(AssertUnwindSafe(|| score_chunk(shared, &mut scorer, &item))) {
+        match catch_unwind(AssertUnwindSafe(|| score_chunk(shared, &item))) {
             Ok(Ok(())) => {}
             Ok(Err(msg)) => {
                 // Injected I/O-style error: typed failure for this job only.
@@ -1112,11 +1221,13 @@ fn worker_loop(shared: &Shared) {
 
 /// Score one chunk into the job's request-order slots; the worker that
 /// zeroes `remaining` finalizes. `Err` carries an injected scoring fault.
-fn score_chunk(
-    shared: &Shared,
-    scorer: &mut LineageScorer<'_>,
-    item: &WorkItem,
-) -> Result<(), String> {
+///
+/// The scorer is built per chunk from the job's **pinned** bundle (cheap:
+/// [`LineageScorer::new`] only allocates thread-local scratch) rather than
+/// held for the worker thread's lifetime — that is what lets a hot-swap
+/// land between chunks of *different* jobs while every chunk of *one* job
+/// scores on one snapshot.
+fn score_chunk(shared: &Shared, item: &WorkItem) -> Result<(), String> {
     let job = &item.job;
     // Adopt the request's trace for this chunk: the worker thread never saw
     // the submitting span, so the explicit context is the only way spans and
@@ -1125,6 +1236,9 @@ fn score_chunk(
     let _span = ls_obs::enabled()
         .then(|| ls_obs::span("serve.worker.chunk").with("facts", (item.end - item.start) as u64));
     let ctx = job.ctx.get().expect("context built before dispatch");
+    let (bundle, _) = job.pinned.get().expect("bundle pinned before dispatch");
+    let mut scorer =
+        LineageScorer::new(&bundle.model, &bundle.tokenizer, &bundle.db, bundle.max_len);
     for i in item.start..item.end {
         match shared.injector.decide("serve.worker.score") {
             FaultAction::Panic => panic!("injected worker panic"),
@@ -1174,8 +1288,17 @@ fn finalize(shared: &Shared, job: &Arc<Job>) {
         tier: Some(Tier::Learned),
     };
     {
+        // Generation gate: a job that was scored by a snapshot the server
+        // has since swapped out still answers its client (bit-identical to
+        // the snapshot that scored it), but its scores must not enter the
+        // cache — cached entries always replay the live snapshot.
+        let generation = job.pinned.get().map_or(0, |(_, g)| *g);
         let mut st = lock_safe(&shared.state);
-        st.cache.insert(job.key.clone(), resp.clone());
+        if generation == st.cache_generation {
+            st.cache.insert(job.key.clone(), resp.clone());
+        } else {
+            ls_obs::counter("serve.cache_insert_stale_gen").incr();
+        }
     }
     shared.breaker.on_success();
     job.complete(shared, Ok(resp));

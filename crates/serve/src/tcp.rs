@@ -19,8 +19,8 @@
 //! an optional overall deadline.
 
 use crate::proto::{
-    decode_frame, encode_admin_request, encode_admin_response, encode_response, read_frame,
-    write_frame, AdminCommand, Frame,
+    decode_frame, encode_admin_request, encode_admin_response, encode_feedback_request,
+    encode_feedback_response, encode_response, read_frame, write_frame, AdminCommand, Frame,
 };
 use crate::server::{RankRequest, RankResponse, ServeError, ServeHandle};
 use ls_fault::{Backoff, FaultyRead, FaultyWrite, Injector, NoFaults};
@@ -151,6 +151,11 @@ fn serve_connection<R: Read, W: Write>(
                         .record_traced(t0.elapsed().as_secs_f64(), ls_obs::current_trace_id());
                 }
                 frame
+            }
+            Ok(Frame::Feedback(id, rec)) => {
+                // Answered inline once the record is crash-durable in the
+                // WAL; feedback never enters the ranking pipeline.
+                encode_feedback_response(id, &handle.feedback(&rec))
             }
             Err(msg) => {
                 // Garbage JSON inside a well-formed frame: answer typed and
@@ -329,6 +334,38 @@ impl TcpRankClient {
         Err(ServeError::Transport(format!(
             "gave up after {attempts} attempt(s): {detail}"
         )))
+    }
+
+    /// Submit one feedback record to the server's online-learning WAL and
+    /// block for its crash-durable log sequence number. Feedback frames are
+    /// answered inline by the connection handler and are not retried here:
+    /// unlike rank traffic, a resend after a transport failure could append
+    /// the record twice (the ack may have been lost, not the append).
+    pub fn feedback(&mut self, rec: &ls_core::FeedbackRecord) -> Result<u64, ServeError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let run = |client: &mut Self| -> io::Result<(u64, Result<u64, ServeError>)> {
+            let (reader, writer) = client.ensure_conn()?;
+            write_frame(writer, &encode_feedback_request(id, rec))?;
+            let payload = read_frame(reader)?.ok_or_else(|| {
+                io::Error::new(io::ErrorKind::UnexpectedEof, "server closed connection")
+            })?;
+            crate::proto::decode_feedback_response(&payload)
+                .map_err(|m| io::Error::new(io::ErrorKind::InvalidData, m))
+        };
+        match run(self) {
+            Ok((resp_id, result)) if resp_id == id => result,
+            Ok((resp_id, _)) => {
+                self.conn = None;
+                Err(ServeError::Transport(format!(
+                    "response id {resp_id} does not match request id {id}"
+                )))
+            }
+            Err(e) => {
+                self.conn = None;
+                Err(ServeError::Transport(e.to_string()))
+            }
+        }
     }
 
     /// Run one admin introspection query (metrics, state, traces, recorder)

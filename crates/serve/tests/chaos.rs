@@ -412,6 +412,10 @@ fn breaker_degrades_to_nearest_fallback_and_recovers() {
     let degraded = handle.rank(reqs[1].clone()).expect("fallback answers");
     assert!(degraded.degraded, "response must be marked degraded");
     assert!(!degraded.cached, "degraded responses are never cached");
+    assert_eq!(
+        degraded.tier, None,
+        "degraded responses are no tier's answer and must not claim one"
+    );
     let expected = fallback
         .score(&reqs[1].query_sql, &reqs[1].lineage)
         .expect("nearest fallback must answer a log query");
@@ -700,4 +704,238 @@ fn pause_resume_under_concurrent_submissions() {
         assert!(served > 0, "pausing starved every request");
     });
     server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Chaos on the SLO-tiered answer path
+// ---------------------------------------------------------------------------
+
+/// Budgets calibrated like tests/tiered.rs against `SloPolicy::default()`
+/// for the wide shape below.
+const LOOSE: Duration = Duration::from_millis(100);
+const MEDIUM: Duration = Duration::from_millis(1);
+const TIGHT: Duration = Duration::from_micros(100);
+
+fn wide_db() -> Database {
+    let mut db = Database::new();
+    db.create_table(TableSchema::new(
+        "orders",
+        &[("id", ColType::Int), ("item", ColType::Str)],
+    ));
+    db.create_table(TableSchema::new(
+        "parts",
+        &[("id", ColType::Int), ("name", ColType::Str)],
+    ));
+    for i in 0..32i64 {
+        db.insert(
+            "orders",
+            vec![Value::Int(i), Value::Str(format!("item {i}"))],
+        );
+    }
+    for i in 0..32i64 {
+        db.insert(
+            "parts",
+            vec![Value::Int(i), Value::Str(format!("part {i}"))],
+        );
+    }
+    db
+}
+
+fn wide_bundle() -> Arc<ModelBundle> {
+    let corpus = vec![
+        "SELECT item FROM orders JOIN parts ON orders.id = parts.id".to_string(),
+        "orders parts item part id 0 1 2 3 4 5 6 7".to_string(),
+    ];
+    bundle_from_db(wide_db(), &corpus)
+}
+
+/// A wide-join request (30 two-fact derivations, 60 players).
+fn wide_request(slo: Option<Duration>) -> RankRequest {
+    let derivations: Vec<ls_relational::Monomial> = (0..30u32)
+        .map(|i| ls_relational::Monomial::from_facts(vec![FactId(i), FactId(32 + i)]))
+        .collect();
+    let lineage: Vec<FactId> = derivations
+        .iter()
+        .flat_map(|m| m.facts().to_vec())
+        .collect();
+    RankRequest {
+        query_sql: "SELECT item FROM orders JOIN parts ON orders.id = parts.id".into(),
+        tuple: OutputTuple {
+            values: vec![Value::Str("item 0".into())],
+            derivations,
+        },
+        lineage,
+        deadline: None,
+        slo,
+    }
+}
+
+/// A chain-shaped lineage the pairing request never warms (see
+/// tests/tiered.rs): its cold probes exercise the sampled tier.
+fn chain_request(slo: Option<Duration>) -> RankRequest {
+    let derivations: Vec<ls_relational::Monomial> = (0..30u32)
+        .map(|i| ls_relational::Monomial::from_facts(vec![FactId(i), FactId(i + 1)]))
+        .collect();
+    RankRequest {
+        query_sql: "SELECT item FROM orders JOIN parts ON orders.id = parts.id".into(),
+        tuple: OutputTuple {
+            values: vec![Value::Str("item 1".into())],
+            derivations,
+        },
+        lineage: (0..31).map(FactId).collect(),
+        deadline: None,
+        slo,
+    }
+}
+
+/// A fixed request schedule covering all three tiers, run twice against the
+/// same store directory: phase 1 cold (compiles + persists), phase 2 on a
+/// fresh store instance (the exact tier *loads* from disk — the injection
+/// point for `circuit.store.read` faults).
+fn tiered_schedule() -> Vec<RankRequest> {
+    vec![
+        chain_request(Some(TIGHT)), // cold chain probe → sampled
+        wide_request(Some(MEDIUM)), // model pipeline → learned
+        wide_request(Some(LOOSE)),  // circuit store → exact
+        wide_request(Some(TIGHT)),  // warm wide shape → exact
+        chain_request(Some(TIGHT)), // sampled never persists → sampled again
+        wide_request(Some(MEDIUM)),
+        wide_request(Some(LOOSE)),
+    ]
+}
+
+fn run_tiered_phases(
+    bundle: &Arc<ModelBundle>,
+    dir: &std::path::Path,
+    injector: Arc<dyn ls_fault::Injector>,
+) -> (Vec<Vec<Result<RankResponse, ServeError>>>, u64) {
+    let mut phases = Vec::new();
+    let mut load_errors = 0;
+    for _phase in 0..2 {
+        let store = Arc::new(
+            ls_circuit::CircuitStore::open_with(dir, 16, injector.clone()).expect("store"),
+        );
+        let server = Server::start_full(
+            bundle.clone(),
+            ServeConfig {
+                workers: 2,
+                cache_capacity: 16,
+                ..Default::default()
+            },
+            injector.clone(),
+            None,
+            Some(store.clone()),
+        );
+        let handle = server.handle();
+        phases.push(
+            tiered_schedule()
+                .into_iter()
+                .map(|req| handle.rank(req))
+                .collect(),
+        );
+        load_errors += store.stats().load_errors;
+        server.shutdown();
+    }
+    (phases, load_errors)
+}
+
+/// The chaos invariant extended to the tiered path: SLO-budgeted requests
+/// under injected store-read corruption and scoring faults must each end in
+/// a typed error or a response bit-identical — scores, ranking, **and tier
+/// tag** — to the fault-free run at the same schedule position. Store-read
+/// faults must be *invisible* in the responses (the store falls back to a
+/// fresh compile with identical scores); only scoring faults may surface,
+/// and only as typed `Internal` errors.
+#[test]
+fn tiered_chaos_typed_error_or_bit_identical() {
+    let bundle = wide_bundle();
+
+    let baseline_dir = std::env::temp_dir().join(format!(
+        "ls-chaos-tiered-base-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let chaos_dir = std::env::temp_dir().join(format!(
+        "ls-chaos-tiered-fault-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    for d in [&baseline_dir, &chaos_dir] {
+        let _ = std::fs::remove_dir_all(d);
+        std::fs::create_dir_all(d).expect("temp dir");
+    }
+
+    let (baseline, base_errors) =
+        run_tiered_phases(&bundle, &baseline_dir, Arc::new(ls_fault::NoFaults));
+    assert_eq!(base_errors, 0, "baseline must be fault-free");
+    for (p, phase) in baseline.iter().enumerate() {
+        for (i, r) in phase.iter().enumerate() {
+            assert!(r.is_ok(), "baseline phase {p} request {i} failed: {r:?}");
+        }
+    }
+    // The schedule really does cover all three tiers.
+    let tiers: Vec<_> = baseline
+        .iter()
+        .flatten()
+        .filter_map(|r| r.as_ref().ok().and_then(|resp| resp.tier))
+        .collect();
+    for (tier, label) in [
+        (Tier::Exact, "exact"),
+        (Tier::Learned, "learned"),
+        (Tier::Sampled, "sampled"),
+    ] {
+        assert!(tiers.contains(&tier), "no {label}-tier coverage");
+    }
+
+    // Corrupt the first store reads (phase 2's disk load) and sprinkle
+    // scoring faults over the learned pipeline.
+    let spec = FaultSpec::new()
+        .rule(FaultRule::every("circuit.store.read", FaultKind::Corrupt, 1, 0).limit(2))
+        .rule(FaultRule::bernoulli(
+            "serve.worker.score",
+            FaultKind::Error,
+            150,
+        ));
+    let plan = Arc::new(FaultPlan::compile(47, &spec));
+    let (chaotic, load_errors) = run_tiered_phases(&bundle, &chaos_dir, plan.clone());
+    assert!(plan.fired() > 0, "plan injected nothing");
+    assert!(
+        load_errors >= 1,
+        "the corrupted store read never fired — phase 2 did not load from disk"
+    );
+
+    let mut ok = 0usize;
+    let mut failed = 0usize;
+    for (p, (base_phase, chaos_phase)) in baseline.iter().zip(&chaotic).enumerate() {
+        for (i, (base, chaos)) in base_phase.iter().zip(chaos_phase).enumerate() {
+            let want = base.as_ref().expect("baseline all ok");
+            match chaos {
+                Ok(resp) => {
+                    ok += 1;
+                    assert!(!resp.degraded, "no breaker configured in this run");
+                    assert_eq!(
+                        resp.tier, want.tier,
+                        "phase {p} request {i}: tier tag diverged under faults"
+                    );
+                    assert_eq!(resp.ranking, want.ranking, "phase {p} request {i}");
+                    for (a, b) in resp.scores.iter().zip(&want.scores) {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "phase {p} request {i}: score not bit-identical ({a} vs {b})"
+                        );
+                    }
+                }
+                Err(ServeError::Internal(_)) => failed += 1,
+                Err(other) => {
+                    panic!("phase {p} request {i}: untyped/unexpected error {other:?}")
+                }
+            }
+        }
+    }
+    assert!(ok > 0, "every tiered request failed under chaos");
+    eprintln!("tiered chaos: {ok} ok, {failed} typed failures, {load_errors} store load errors");
+
+    let _ = std::fs::remove_dir_all(&baseline_dir);
+    let _ = std::fs::remove_dir_all(&chaos_dir);
 }
