@@ -128,10 +128,14 @@ impl<W: Write> Write for FaultyWrite<W> {
             FaultAction::Truncate => {
                 self.torn = true;
                 // Swallow part of the frame, then go dead: the peer sees a
-                // mid-frame disconnect.
+                // mid-frame disconnect. One best-effort write, not
+                // `write_all` — on a nonblocking socket the latter could
+                // surface `WouldBlock` mid-tear and break the sticky-dead
+                // contract (the tear must look like a peer vanishing, not a
+                // retryable stall).
                 let keep = buf.len() / 2;
                 if keep > 0 {
-                    self.inner.write_all(&buf[..keep])?;
+                    let _ = self.inner.write(&buf[..keep]);
                     let _ = self.inner.flush();
                 }
                 Err(io::Error::new(

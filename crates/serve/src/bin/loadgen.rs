@@ -37,6 +37,28 @@
 //! off, then tracing on — and exits nonzero if the traced pass loses more
 //! than PCT percent throughput. `--listen HOST:PORT` keeps a warm TCP
 //! server alive after the runs so `obsctl` can introspect a live process.
+//!
+//! ## Connection sweep (`--connections`)
+//!
+//! `--connections 1000,5000,10000` drives the event-loop front-end with N
+//! concurrent connections from a single nonblocking client loop (one fd per
+//! connection, multiplexed over the same `Poller` the server uses), per
+//! protocol from `--protocol json|binary|both`. The sweep *verifies* every
+//! response: a warmup pass captures the server's answer for each distinct
+//! request, and every sweep response must match it bit-for-bit (f64 score
+//! bits and ranking) under the id it was issued with — one mixed, dropped,
+//! or corrupted response fails the process. Typed `Overloaded` answers
+//! count as shed, not drops: graceful overload is the contract, silence is
+//! not. `--open-loop RPS` switches arrivals from closed-loop (one in flight
+//! per connection) to a paced open loop that issues globally at the target
+//! rate regardless of completions, pipelining onto connections round-robin.
+//! `--connect HOST:PORT` points the sweep at an already-running
+//! `--listen` process (same `--seed`/`--queries`/`--lineage` so the fact
+//! ids resolve), splitting client and server across processes when one
+//! process's fd limit cannot hold both sides of 10k sockets. The process
+//! raises its own `RLIMIT_NOFILE` soft limit to the hard limit at sweep
+//! start. `--sweep-requests N` overrides the per-configuration request
+//! count (default: enough to cycle every connection at least four times).
 
 use ls_core::{
     save_model, FeedbackRecord, LearnShapleyModel, OnlineConfig, OnlineTrainer, Tokenizer,
@@ -46,11 +68,14 @@ use ls_fault::{FaultKind, FaultPlan, FaultRule, FaultSpec};
 use ls_nn::EncoderConfig;
 use ls_relational::{ColType, Database, FactId, OutputTuple, TableSchema, Value};
 use ls_serve::{
-    ModelBundle, OnlineOptions, RankRequest, ServeConfig, ServeError, Server, StageBreakdown,
-    TcpRankClient, TcpServer,
+    proto, Event, Interest, ModelBundle, OnlineOptions, Poller, Protocol, RankRequest,
+    RankResponse, ServeConfig, ServeError, Server, StageBreakdown, TcpRankClient, TcpServer,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -75,6 +100,11 @@ struct Args {
     trace_sample: usize,
     assert_overhead: Option<f64>,
     listen: Option<String>,
+    connections: Vec<usize>,
+    protocols: Vec<Protocol>,
+    open_loop: Option<f64>,
+    sweep_requests: Option<usize>,
+    connect: Option<String>,
 }
 
 impl Default for Args {
@@ -98,6 +128,11 @@ impl Default for Args {
             trace_sample: 0,
             assert_overhead: None,
             listen: None,
+            connections: Vec::new(),
+            protocols: vec![Protocol::Json, Protocol::Binary],
+            open_loop: None,
+            sweep_requests: None,
+            connect: None,
         }
     }
 }
@@ -137,13 +172,34 @@ fn parse_args() -> Args {
                 args.assert_overhead = Some(take().parse().expect("overhead percent"));
             }
             "--listen" => args.listen = Some(take()),
+            "--connections" => {
+                args.connections = take()
+                    .split(',')
+                    .map(|c| c.parse().expect("connection count"))
+                    .collect();
+            }
+            "--protocol" => {
+                args.protocols = match take().as_str() {
+                    "json" => vec![Protocol::Json],
+                    "binary" => vec![Protocol::Binary],
+                    "both" => vec![Protocol::Json, Protocol::Binary],
+                    other => panic!("unknown protocol {other} (json|binary|both)"),
+                };
+            }
+            "--open-loop" => args.open_loop = Some(take().parse().expect("open-loop rate")),
+            "--sweep-requests" => {
+                args.sweep_requests = Some(take().parse().expect("sweep request count"));
+            }
+            "--connect" => args.connect = Some(take()),
             "--help" | "-h" => {
                 println!(
                     "serve-loadgen [--workers 1,2,4] [--clients N] [--requests N] \
                      [--queue N] [--batch N] [--cache N | --cache-off] [--lineage N] \
                      [--queries N] [--max-len N] [--seed N] [--serial] [--tcp] \
                      [--fault] [--fault-seed N] [--feedback] [--trace-sample N] \
-                     [--assert-overhead PCT] [--listen HOST:PORT]"
+                     [--assert-overhead PCT] [--listen HOST:PORT] \
+                     [--connections N,N,...] [--protocol json|binary|both] \
+                     [--open-loop RPS] [--sweep-requests N] [--connect HOST:PORT]"
                 );
                 std::process::exit(0);
             }
@@ -432,6 +488,21 @@ fn main() {
     let db = build_db(&mut rng);
     let requests = build_requests(&db, &args, &mut rng);
 
+    // Client-only mode: drive the sweep against an already-running
+    // `--listen` process. The request stream is rebuilt deterministically
+    // from the same seed, so fact ids resolve on the remote side; no local
+    // model or server is needed.
+    if let Some(addr) = args.connect.clone() {
+        let conns = if args.connections.is_empty() {
+            vec![args.clients]
+        } else {
+            args.connections.clone()
+        };
+        let ok = run_sweep(&args, &requests, &addr, &conns);
+        ls_obs::report();
+        std::process::exit(if ok { 0 } else { 1 });
+    }
+
     // Tokenizer over the request corpus plus rendered facts, mirroring how
     // the pipeline builds vocabulary from training text.
     let mut corpus: Vec<String> = requests.iter().map(|r| r.query_sql.clone()).collect();
@@ -584,7 +655,37 @@ fn main() {
         run_feedback(&args, &bundle, &requests);
     }
 
+    let mut sweep_ok = true;
+    if !args.connections.is_empty() {
+        // In-process sweep: client and server share this fd table, so each
+        // connection costs two descriptors — the rlimit raise below covers
+        // both sides. For counts the local hard limit cannot hold, split
+        // processes with `--listen` + `--connect`.
+        let workers = *args.workers.last().unwrap_or(&2);
+        let server = Server::start(
+            bundle.clone(),
+            ServeConfig {
+                workers,
+                queue_depth: args.queue,
+                max_batch_items: args.batch,
+                cache_capacity: args.cache.max(requests.len()),
+                ..Default::default()
+            },
+        );
+        let tcp = TcpServer::start(server.handle(), "127.0.0.1:0").expect("bind sweep server");
+        let addr = tcp.local_addr().to_string();
+        let conns = args.connections.clone();
+        sweep_ok = run_sweep(&args, &requests, &addr, &conns);
+        tcp.stop();
+        server.shutdown();
+    }
+
     let _ = std::fs::remove_dir_all(&dir);
+
+    if !sweep_ok {
+        ls_obs::report();
+        std::process::exit(1);
+    }
 
     // Interactive mode: keep a warm server on `addr` after the runs so
     // `obsctl` (or any rank client) can poke at a live process.
@@ -854,4 +955,559 @@ fn run_feedback(args: &Args, bundle: &Arc<ModelBundle>, requests: &[RankRequest]
     );
     server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Connection sweep: N concurrent connections from one nonblocking client
+// loop, with bit-exact verification of every response.
+// ---------------------------------------------------------------------------
+
+/// Raise this process's `RLIMIT_NOFILE` soft limit to its hard limit and
+/// return the resulting soft limit. 10k-connection sweeps need ~1 fd per
+/// connection client-side (2 with an in-process server); the default soft
+/// limit of 1024 would otherwise fail the sweep at accept/connect time.
+fn raise_nofile_limit() -> u64 {
+    #[repr(C)]
+    struct RLimit {
+        cur: u64,
+        max: u64,
+    }
+    const RLIMIT_NOFILE: i32 = 7;
+    extern "C" {
+        fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
+        fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
+    }
+    unsafe {
+        let mut lim = RLimit { cur: 0, max: 0 };
+        if getrlimit(RLIMIT_NOFILE, &mut lim) != 0 {
+            return 0;
+        }
+        if lim.cur < lim.max {
+            let want = RLimit {
+                cur: lim.max,
+                max: lim.max,
+            };
+            if setrlimit(RLIMIT_NOFILE, &want) == 0 {
+                return lim.max;
+            }
+        }
+        lim.cur
+    }
+}
+
+/// The reference answer for one distinct request, captured during warmup:
+/// score f64 bits (exact equality, NaN-safe) plus the ranking.
+struct Expected {
+    score_bits: Vec<u64>,
+    ranking: Vec<FactId>,
+}
+
+/// One connection of the sweep client.
+struct SweepConn {
+    stream: TcpStream,
+    inbuf: Vec<u8>,
+    in_off: usize,
+    outbuf: Vec<u8>,
+    out_off: usize,
+    /// id -> (request index, enqueue time) for every response still owed.
+    inflight: HashMap<u64, (usize, Instant)>,
+    registered: Interest,
+    dead: bool,
+}
+
+impl SweepConn {
+    fn desired_interest(&self) -> Interest {
+        Interest {
+            readable: true,
+            writable: self.out_off < self.outbuf.len(),
+        }
+    }
+}
+
+/// Tallies for one (protocol, connections) sweep configuration.
+#[derive(Default)]
+struct SweepStats {
+    served: usize,
+    shed: usize,
+    mismatched: usize,
+    unknown_ids: usize,
+    conn_failures: usize,
+    latencies: Vec<Duration>,
+    bytes_out: u64,
+    bytes_in: u64,
+}
+
+/// Run the full sweep matrix against `addr`; returns false if any
+/// configuration dropped, mixed, or corrupted a response.
+fn run_sweep(args: &Args, requests: &[RankRequest], addr: &str, conns: &[usize]) -> bool {
+    let limit = raise_nofile_limit();
+    let max_conns = conns.iter().copied().max().unwrap_or(0);
+    println!(
+        "connection sweep: {addr}  connections {conns:?}  protocols {:?}  \
+         arrivals {}  fd soft limit {limit}",
+        args.protocols
+            .iter()
+            .map(Protocol::to_string)
+            .collect::<Vec<_>>(),
+        match args.open_loop {
+            Some(r) => format!("open-loop {r} req/s"),
+            None => "closed-loop (1 in flight per connection)".to_string(),
+        },
+    );
+    if (max_conns as u64) + 64 > limit {
+        eprintln!(
+            "sweep error: {max_conns} connections will not fit under fd limit {limit}; \
+             raise ulimit -n or use --listen/--connect two-process mode"
+        );
+        return false;
+    }
+
+    let mut all_ok = true;
+    for &protocol in &args.protocols {
+        // Warmup on a plain blocking client: capture the reference answer
+        // for every distinct request (and fill the server's cache so the
+        // sweep measures the serving path, not first-touch scoring).
+        let expected = match capture_expected(addr, protocol, requests) {
+            Ok(e) => e,
+            Err(msg) => {
+                eprintln!("sweep warmup failed ({protocol}): {msg}");
+                return false;
+            }
+        };
+        for &n in conns {
+            let total = args
+                .sweep_requests
+                .unwrap_or_else(|| args.requests.max(n * 4));
+            match sweep_config(
+                addr,
+                protocol,
+                n,
+                total,
+                args.open_loop,
+                requests,
+                &expected,
+            ) {
+                Ok((stats, wall)) => {
+                    let ok = report_sweep(protocol, n, total, stats, wall);
+                    all_ok &= ok;
+                }
+                Err(msg) => {
+                    eprintln!("sweep {protocol} conns={n}: {msg}");
+                    all_ok = false;
+                }
+            }
+        }
+    }
+    all_ok
+}
+
+/// Blocking warmup pass: one answer per distinct request, with shed
+/// responses retried (the reference must be a real answer).
+fn capture_expected(
+    addr: &str,
+    protocol: Protocol,
+    requests: &[RankRequest],
+) -> Result<Vec<Expected>, String> {
+    let mut client = TcpRankClient::connect_opts(addr, ls_serve::RetryPolicy::default(), protocol)
+        .map_err(|e| format!("connect: {e}"))?;
+    if client.protocol() != protocol {
+        return Err(format!(
+            "server negotiated {} where the sweep needs {protocol}",
+            client.protocol()
+        ));
+    }
+    requests
+        .iter()
+        .map(|req| {
+            for _ in 0..50 {
+                match client.rank(req) {
+                    Ok(resp) => {
+                        return Ok(Expected {
+                            score_bits: resp.scores.iter().map(|s| s.to_bits()).collect(),
+                            ranking: resp.ranking,
+                        })
+                    }
+                    Err(ServeError::Overloaded | ServeError::DeadlineExceeded) => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(e) => return Err(format!("warmup rank: {e}")),
+                }
+            }
+            Err("warmup rank: shed 50 times in a row".to_string())
+        })
+        .collect()
+}
+
+/// Drive one (protocol, connections) configuration and verify every byte
+/// that comes back.
+#[allow(clippy::too_many_arguments)]
+fn sweep_config(
+    addr: &str,
+    protocol: Protocol,
+    n_conns: usize,
+    total: usize,
+    open_loop: Option<f64>,
+    requests: &[RankRequest],
+    expected: &[Expected],
+) -> Result<(SweepStats, Duration), String> {
+    let mut poller = Poller::new().map_err(|e| format!("poller: {e}"))?;
+    let mut conns: Vec<SweepConn> = Vec::with_capacity(n_conns);
+    for i in 0..n_conns {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect #{i}: {e}"))?;
+        if std::env::var("LS_NODELAY").map_or(true, |v| v != "0") {
+            stream
+                .set_nodelay(true)
+                .map_err(|e| format!("nodelay: {e}"))?;
+        }
+        if protocol == Protocol::Binary {
+            // Negotiate while still blocking; the loop below only ever sees
+            // length-prefixed frames.
+            let mut s = &stream;
+            s.write_all(&proto::encode_hello(proto::BINARY_VERSION))
+                .map_err(|e| format!("hello #{i}: {e}"))?;
+            let mut ack = [0u8; proto::HELLO_LEN];
+            s.read_exact(&mut ack)
+                .map_err(|e| format!("hello ack #{i}: {e}"))?;
+            let v = proto::decode_hello(&ack).map_err(|e| format!("hello ack #{i}: {e}"))?;
+            if v != proto::BINARY_VERSION {
+                return Err(format!("hello ack #{i}: unsupported version {v}"));
+            }
+        }
+        stream
+            .set_nonblocking(true)
+            .map_err(|e| format!("nonblocking: {e}"))?;
+        poller
+            .register(
+                std::os::unix::io::AsRawFd::as_raw_fd(&stream),
+                i as u64,
+                Interest::READ,
+            )
+            .map_err(|e| format!("register: {e}"))?;
+        conns.push(SweepConn {
+            stream,
+            inbuf: Vec::new(),
+            in_off: 0,
+            outbuf: Vec::new(),
+            out_off: 0,
+            inflight: HashMap::new(),
+            registered: Interest::READ,
+            dead: false,
+        });
+    }
+
+    let mut stats = SweepStats::default();
+    let mut issued = 0usize;
+    let mut finished = 0usize; // responses accounted for (served + shed)
+    let mut next_id = 1u64;
+    let mut rr = 0usize;
+    let start = Instant::now();
+    let deadline = start + Duration::from_secs(180);
+
+    // Prime the closed loop: one request in flight per connection.
+    if open_loop.is_none() {
+        for conn in conns.iter_mut() {
+            if issued >= total {
+                break;
+            }
+            enqueue(conn, protocol, requests, issued, next_id);
+            issued += 1;
+            next_id += 1;
+        }
+    }
+
+    let mut events: Vec<Event> = Vec::new();
+    while finished + stats.conn_failures.min(total) < total {
+        if Instant::now() > deadline {
+            let dropped = total - finished;
+            return Err(format!(
+                "timed out after {:?}: {dropped} responses never arrived \
+                 (served {}, shed {})",
+                start.elapsed(),
+                stats.served,
+                stats.shed
+            ));
+        }
+        // Open-loop pacing: issue every request whose arrival time has come,
+        // regardless of completions (pipelining round-robin across conns).
+        if let Some(rate) = open_loop {
+            let due = ((start.elapsed().as_secs_f64() * rate) as usize).min(total);
+            while issued < due {
+                let i = rr % n_conns;
+                rr += 1;
+                if conns[i].dead {
+                    if conns.iter().all(|c| c.dead) {
+                        return Err("every connection died".to_string());
+                    }
+                    continue;
+                }
+                enqueue(&mut conns[i], protocol, requests, issued, next_id);
+                issued += 1;
+                next_id += 1;
+            }
+        }
+        // Flush what we queued, reconcile interest, then wait.
+        for (i, conn) in conns.iter_mut().enumerate() {
+            if conn.dead {
+                continue;
+            }
+            if let Err(msg) = flush_conn(conn, &mut stats) {
+                kill_conn(conn, &mut poller, &mut stats, &msg);
+                continue;
+            }
+            let want = conn.desired_interest();
+            if want != conn.registered {
+                let fd = std::os::unix::io::AsRawFd::as_raw_fd(&conn.stream);
+                if poller.modify(fd, i as u64, want).is_ok() {
+                    conn.registered = want;
+                }
+            }
+        }
+        let timeout = if open_loop.is_some() {
+            Duration::from_millis(1)
+        } else {
+            Duration::from_millis(100)
+        };
+        poller
+            .wait(&mut events, Some(timeout))
+            .map_err(|e| format!("poll wait: {e}"))?;
+        for &ev in &events {
+            let i = ev.token as usize;
+            if i >= conns.len() || conns[i].dead {
+                continue;
+            }
+            if ev.readable {
+                if let Err(msg) =
+                    read_conn(&mut conns[i], protocol, expected, &mut stats, &mut finished)
+                {
+                    kill_conn(&mut conns[i], &mut poller, &mut stats, &msg);
+                    continue;
+                }
+                // Closed loop: a completed response frees the slot.
+                if open_loop.is_none() {
+                    while conns[i].inflight.is_empty() && issued < total {
+                        enqueue(&mut conns[i], protocol, requests, issued, next_id);
+                        issued += 1;
+                        next_id += 1;
+                    }
+                }
+            }
+            if ev.writable {
+                if let Err(msg) = flush_conn(&mut conns[i], &mut stats) {
+                    kill_conn(&mut conns[i], &mut poller, &mut stats, &msg);
+                    continue;
+                }
+            }
+        }
+        // Closed loop with dead connections: reassign their quota so the
+        // run still terminates (the failures are already counted).
+        if open_loop.is_none() {
+            for conn in conns.iter_mut() {
+                if conn.dead || issued >= total {
+                    continue;
+                }
+                if conn.inflight.is_empty() && conn.outbuf.len() == conn.out_off {
+                    enqueue(conn, protocol, requests, issued, next_id);
+                    issued += 1;
+                    next_id += 1;
+                }
+            }
+            if conns.iter().all(|c| c.dead) {
+                return Err("every connection died".to_string());
+            }
+        }
+    }
+    Ok((stats, start.elapsed()))
+}
+
+/// Encode request `issued` under `id` into the connection's write buffer.
+fn enqueue(
+    conn: &mut SweepConn,
+    protocol: Protocol,
+    requests: &[RankRequest],
+    issued: usize,
+    id: u64,
+) {
+    let req_idx = issued % requests.len();
+    match protocol {
+        Protocol::Json => {
+            let payload = proto::encode_request(id, &requests[req_idx], None);
+            conn.outbuf
+                .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            conn.outbuf.extend_from_slice(&payload);
+        }
+        Protocol::Binary => {
+            conn.outbuf.extend_from_slice(&proto::encode_binary_request(
+                id,
+                &requests[req_idx],
+                None,
+            ));
+        }
+    }
+    conn.inflight.insert(id, (req_idx, Instant::now()));
+}
+
+/// Write as much buffered data as the socket accepts.
+fn flush_conn(conn: &mut SweepConn, stats: &mut SweepStats) -> Result<(), String> {
+    while conn.out_off < conn.outbuf.len() {
+        match (&conn.stream).write(&conn.outbuf[conn.out_off..]) {
+            Ok(0) => return Err("write: connection closed".to_string()),
+            Ok(n) => {
+                conn.out_off += n;
+                stats.bytes_out += n as u64;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(format!("write: {e}")),
+        }
+    }
+    if conn.out_off == conn.outbuf.len() {
+        conn.outbuf.clear();
+        conn.out_off = 0;
+    }
+    Ok(())
+}
+
+/// Drain readable bytes and verify every complete response frame.
+fn read_conn(
+    conn: &mut SweepConn,
+    protocol: Protocol,
+    expected: &[Expected],
+    stats: &mut SweepStats,
+    finished: &mut usize,
+) -> Result<(), String> {
+    loop {
+        let filled = conn.inbuf.len();
+        conn.inbuf.resize(filled + 64 * 1024, 0);
+        match (&conn.stream).read(&mut conn.inbuf[filled..]) {
+            Ok(0) => {
+                conn.inbuf.truncate(filled);
+                return Err("read: server closed connection".to_string());
+            }
+            Ok(n) => {
+                conn.inbuf.truncate(filled + n);
+                stats.bytes_in += n as u64;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                conn.inbuf.truncate(filled);
+                break;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+                conn.inbuf.truncate(filled);
+            }
+            Err(e) => {
+                conn.inbuf.truncate(filled);
+                return Err(format!("read: {e}"));
+            }
+        }
+    }
+    loop {
+        let avail = &conn.inbuf[conn.in_off..];
+        if avail.len() < 4 {
+            break;
+        }
+        let len = u32::from_le_bytes(avail[..4].try_into().expect("sized")) as usize;
+        if avail.len() < 4 + len {
+            break;
+        }
+        let payload = &avail[4..4 + len];
+        let (id, result) = match protocol {
+            Protocol::Json => {
+                proto::decode_response(payload).map_err(|m| format!("decode: {m}"))?
+            }
+            Protocol::Binary => {
+                proto::decode_binary_response(payload).map_err(|e| format!("decode: {e}"))?
+            }
+        };
+        match conn.inflight.remove(&id) {
+            None => stats.unknown_ids += 1, // a response we never asked for
+            Some((req_idx, t0)) => {
+                *finished += 1;
+                match result {
+                    Ok(resp) => {
+                        stats.latencies.push(t0.elapsed());
+                        if response_matches(&resp, &expected[req_idx]) {
+                            stats.served += 1;
+                        } else {
+                            stats.mismatched += 1;
+                        }
+                    }
+                    Err(ServeError::Overloaded | ServeError::DeadlineExceeded) => {
+                        stats.shed += 1;
+                    }
+                    Err(e) => return Err(format!("typed server error: {e}")),
+                }
+            }
+        }
+        conn.in_off += 4 + len;
+    }
+    if conn.in_off == conn.inbuf.len() {
+        conn.inbuf.clear();
+        conn.in_off = 0;
+    } else if conn.in_off >= 64 * 1024 {
+        conn.inbuf.drain(..conn.in_off);
+        conn.in_off = 0;
+    }
+    Ok(())
+}
+
+fn response_matches(resp: &RankResponse, exp: &Expected) -> bool {
+    resp.scores.len() == exp.score_bits.len()
+        && resp
+            .scores
+            .iter()
+            .zip(&exp.score_bits)
+            .all(|(s, &b)| s.to_bits() == b)
+        && resp.ranking == exp.ranking
+}
+
+/// Tear down a failed connection; its in-flight requests count as failures.
+fn kill_conn(conn: &mut SweepConn, poller: &mut Poller, stats: &mut SweepStats, msg: &str) {
+    if !conn.dead {
+        eprintln!("sweep connection failed: {msg}");
+        let _ = poller.deregister(std::os::unix::io::AsRawFd::as_raw_fd(&conn.stream));
+        stats.conn_failures += conn.inflight.len().max(1);
+        conn.inflight.clear();
+        conn.dead = true;
+    }
+}
+
+/// Print one sweep result row; returns whether the configuration was clean.
+fn report_sweep(
+    protocol: Protocol,
+    conns: usize,
+    total: usize,
+    mut stats: SweepStats,
+    wall: Duration,
+) -> bool {
+    stats.latencies.sort();
+    let pct = |p: f64| -> Duration {
+        if stats.latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let idx = ((stats.latencies.len() as f64 - 1.0) * p).round() as usize;
+        stats.latencies[idx]
+    };
+    let secs = wall.as_secs_f64().max(1e-9);
+    let answered = (stats.served + stats.shed).max(1) as u64;
+    println!(
+        "sweep {protocol:<6} conns={conns:<6} served {:>7}  shed {:>5}  {:>9.1} req/s  \
+         p50 {:>9.3?}  p99 {:>9.3?}  p99.9 {:>9.3?}  bytes/req out {:>5} in {:>5}",
+        stats.served,
+        stats.shed,
+        stats.served as f64 / secs,
+        pct(0.50),
+        pct(0.99),
+        pct(0.999),
+        stats.bytes_out / answered,
+        stats.bytes_in / answered,
+    );
+    let clean = stats.mismatched == 0 && stats.unknown_ids == 0 && stats.conn_failures == 0;
+    if !clean {
+        eprintln!(
+            "sweep {protocol} conns={conns}: VERIFICATION FAILED — \
+             {} mismatched, {} unknown ids, {} connection failures (of {total} requests)",
+            stats.mismatched, stats.unknown_ids, stats.conn_failures
+        );
+    }
+    clean
 }

@@ -59,19 +59,22 @@
 //! reports throughput and latency percentiles; see the repository README.
 
 pub mod cache;
+mod evloop;
 pub mod online;
+pub mod poller;
 pub mod proto;
 pub mod server;
 pub mod tcp;
 
 pub use cache::{LruCache, RankKey};
 pub use online::{OnlineOptions, OnlineState};
-pub use proto::{frame_error, AdminCommand, Frame, FrameError, MAX_FRAME};
+pub use poller::{Backend, Event, Interest, Poller, Waker};
+pub use proto::{frame_error, AdminCommand, Frame, FrameError, Protocol, MAX_FRAME};
 pub use server::{
     ModelBundle, RankRequest, RankResponse, ServeConfig, ServeError, ServeHandle, Server,
     StageBreakdown,
 };
-pub use tcp::{RetryPolicy, TcpRankClient, TcpServer};
+pub use tcp::{RetryPolicy, TcpOptions, TcpRankClient, TcpServer};
 
 // The tier vocabulary of the SLO answer path, re-exported so clients can
 // inspect [`RankResponse::tier`] without depending on `ls-circuit` directly.

@@ -69,12 +69,22 @@ pub struct OnlineState {
 
 impl OnlineState {
     /// Append one feedback record; the returned LSN is crash-durable.
+    ///
+    /// The TCP event-loop shards answer feedback frames inline, so the
+    /// append+fsync below runs on a shard thread and stalls every
+    /// connection that shard owns for its duration. The
+    /// `serve.feedback.append` histogram keeps that cost visible.
     pub(crate) fn append(&self, rec: &FeedbackRecord) -> Result<u64, ServeError> {
+        let t0 = ls_obs::enabled().then(std::time::Instant::now);
         let mut wal = lock_safe(&self.wal);
         match wal.append(&rec.encode()) {
             Ok(lsn) => {
                 self.appended.fetch_add(1, Ordering::Relaxed);
                 ls_obs::counter("serve.feedback.accepted").incr();
+                if let Some(t0) = t0 {
+                    ls_obs::histogram("serve.feedback.append")
+                        .record_traced(t0.elapsed().as_secs_f64(), ls_obs::current_trace_id());
+                }
                 Ok(lsn)
             }
             Err(e) => {

@@ -310,8 +310,23 @@ struct Job {
     /// one injected worker panic fails exactly one job, exactly once.
     finished: AtomicBool,
     /// The response, set exactly once; guarded for the client wait.
-    result: Mutex<Option<Result<RankResponse, ServeError>>>,
+    result: Mutex<ResultSlot>,
     done: Condvar,
+}
+
+/// Delivery state for one job: either a blocking waiter will collect
+/// `value`, or an async `notify` callback consumes the result directly.
+/// Both live under one mutex so registration cannot race completion — a
+/// callback registered after the result landed fires immediately, and a
+/// result landing after registration takes the callback; exactly one party
+/// ever sees the response.
+/// The async completion callback a [`ResultSlot`] may hold.
+type RankNotify = Box<dyn FnOnce(Result<RankResponse, ServeError>) + Send>;
+
+#[derive(Default)]
+struct ResultSlot {
+    value: Option<Result<RankResponse, ServeError>>,
+    notify: Option<RankNotify>,
 }
 
 impl Job {
@@ -377,15 +392,23 @@ impl Job {
         drop(st);
         ls_obs::gauge("serve.queue_depth").set(depth as f64);
         let mut slot = lock_safe(&self.result);
-        debug_assert!(slot.is_none(), "job completed twice");
-        *slot = Some(result);
-        self.done.notify_all();
+        debug_assert!(slot.value.is_none(), "job completed twice");
+        if let Some(cb) = slot.notify.take() {
+            // Async consumer: hand over the result outside the lock (the
+            // callback may do I/O bookkeeping like waking an event loop).
+            drop(slot);
+            cb(result);
+        } else {
+            slot.value = Some(result);
+            drop(slot);
+            self.done.notify_all();
+        }
     }
 
     fn wait(&self) -> Result<RankResponse, ServeError> {
         let mut slot = lock_safe(&self.result);
         loop {
-            if let Some(r) = slot.take() {
+            if let Some(r) = slot.value.take() {
                 return r;
             }
             slot = wait_safe(&self.done, slot);
@@ -485,6 +508,34 @@ impl ServeHandle {
         }
     }
 
+    /// Rank a lineage without blocking the submitting thread: `done` is
+    /// invoked exactly once with the result. Inline outcomes (cache hits,
+    /// admission rejections, empty lineages, tiered answers) call it
+    /// synchronously on this thread; queued work calls it later from
+    /// whichever pipeline thread completes the job. The TCP event-loop
+    /// shards depend on this — one shard thread keeps thousands of
+    /// connections moving while scoring happens on the worker pool.
+    pub fn rank_async(
+        &self,
+        req: RankRequest,
+        done: impl FnOnce(Result<RankResponse, ServeError>) + Send + 'static,
+    ) {
+        match self.submit(req) {
+            Ok(Admitted::Done(resp)) => done(Ok(resp)),
+            Err(e) => done(Err(e)),
+            Ok(Admitted::Queued(job)) => {
+                let mut slot = lock_safe(&job.result);
+                if let Some(r) = slot.value.take() {
+                    // Completed between submit and registration: deliver now.
+                    drop(slot);
+                    done(r);
+                } else {
+                    slot.notify = Some(Box::new(done));
+                }
+            }
+        }
+    }
+
     /// Admission control: probe the cache, enforce the queue bound, enqueue.
     fn submit(&self, req: RankRequest) -> Result<Admitted, ServeError> {
         ls_obs::counter("serve.requests").incr();
@@ -569,7 +620,7 @@ impl ServeHandle {
             scores: (0..n).map(|_| AtomicU64::new(0)).collect(),
             remaining: AtomicUsize::new(n),
             finished: AtomicBool::new(false),
-            result: Mutex::new(None),
+            result: Mutex::new(ResultSlot::default()),
             done: Condvar::new(),
             query_sql: req.query_sql,
             tuple: req.tuple,

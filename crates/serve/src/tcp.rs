@@ -1,41 +1,88 @@
-//! TCP front-end: an accept loop that speaks the framed JSON protocol of
-//! [`crate::proto`] and forwards each request to a [`ServeHandle`].
+//! TCP front-end: a readiness-driven event loop speaking the framed
+//! protocols of [`crate::proto`] (JSON and negotiated binary), forwarding
+//! each request to a [`ServeHandle`].
 //!
-//! One detached thread per connection; each connection processes its frames
-//! sequentially (pipelining across connections comes from the server's own
-//! micro-batcher, not from per-connection concurrency). The listener thread
-//! is woken for shutdown by a loopback self-connect, so no platform-specific
-//! socket APIs are needed.
+//! One blocking acceptor thread sets `TCP_NODELAY`, flips the socket
+//! nonblocking, and round-robins it to one of N event-loop **shards**
+//! (see [`crate::evloop`]); each shard multiplexes thousands of
+//! connections over a [`crate::poller::Poller`] (epoll on Linux, poll(2)
+//! fallback) and hands decoded rank requests to the worker pool via
+//! [`ServeHandle::rank_async`] — connection count no longer costs a thread
+//! apiece, and a single process holds 10k+ concurrent connections.
 //!
 //! ## Failure containment
 //!
 //! A torn or malformed frame poisons exactly one connection: the handler
-//! replies with a typed error where it still can (garbage JSON inside a
-//! well-formed frame), or closes that connection (corrupt length prefix,
-//! mid-frame EOF) — the accept loop and every other connection are
-//! untouched. [`TcpRankClient`] is the other half of the story: it
-//! reconnects on transport failures with capped, jittered exponential
-//! backoff and resends the (idempotent) request under the same id, within
-//! an optional overall deadline.
+//! replies with a typed error where it still can (garbage inside a
+//! well-formed frame, on either protocol), or closes that connection
+//! (corrupt length prefix, mid-frame EOF) — the accept loop and every
+//! other connection are untouched. [`TcpRankClient`] is the other half of
+//! the story: it reconnects on transport failures with capped, jittered
+//! exponential backoff and resends the (idempotent) request under the same
+//! id, within an optional overall deadline. A binary-preferring client
+//! that meets a legacy JSON-only server falls back to JSON once and stays
+//! there (sticky), so mixed fleets upgrade without a flag day.
 
+use crate::evloop::{self, Inbound, Mailbox};
+use crate::poller::{wake_pair, Backend};
 use crate::proto::{
-    decode_frame, encode_admin_request, encode_admin_response, encode_feedback_request,
-    encode_feedback_response, encode_response, read_frame, write_frame, AdminCommand, Frame,
+    self, decode_hello, encode_admin_request, encode_feedback_request, encode_hello, read_frame,
+    write_frame, AdminCommand, Protocol, BINARY_VERSION, HELLO_LEN,
 };
 use crate::server::{RankRequest, RankResponse, ServeError, ServeHandle};
-use ls_fault::{Backoff, FaultyRead, FaultyWrite, Injector, NoFaults};
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use ls_fault::{Backoff, Injector, NoFaults};
+use std::io::{self, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// Tuning knobs for the event-loop front-end. The defaults suit tests and
+/// small machines; `LS_EVLOOP_SHARDS` overrides the shard count without a
+/// code change.
+#[derive(Debug, Clone)]
+pub struct TcpOptions {
+    /// Event-loop shard (thread) count, minimum 1.
+    pub shards: usize,
+    /// Poller backend; `None` picks the platform default (epoll on Linux,
+    /// honoring the `LS_POLLER=poll` override).
+    pub backend: Option<Backend>,
+    /// Per-connection unsent-bytes bound above which reading pauses
+    /// (write backpressure).
+    pub high_water: usize,
+    /// Resume reading once the unsent backlog drains below this.
+    pub low_water: usize,
+}
+
+impl Default for TcpOptions {
+    fn default() -> TcpOptions {
+        let shards = std::env::var("LS_EVLOOP_SHARDS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(usize::from)
+                    .unwrap_or(1)
+                    .min(4)
+            })
+            .max(1);
+        TcpOptions {
+            shards,
+            backend: None,
+            high_water: 1 << 20,
+            low_water: 64 << 10,
+        }
+    }
+}
+
 /// A running TCP front-end.
 pub struct TcpServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
+    shards: Vec<JoinHandle<()>>,
+    mailboxes: Vec<Arc<Mailbox>>,
 }
 
 impl TcpServer {
@@ -54,19 +101,51 @@ impl TcpServer {
         bind: impl ToSocketAddrs,
         injector: Arc<dyn Injector>,
     ) -> io::Result<TcpServer> {
+        TcpServer::start_opts(handle, bind, injector, TcpOptions::default())
+    }
+
+    /// Full-control constructor: explicit shard count, poller backend, and
+    /// backpressure watermarks.
+    pub fn start_opts(
+        handle: ServeHandle,
+        bind: impl ToSocketAddrs,
+        injector: Arc<dyn Injector>,
+        opts: TcpOptions,
+    ) -> io::Result<TcpServer> {
         let listener = TcpListener::bind(bind)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let mut shards = Vec::new();
+        let mut mailboxes = Vec::new();
+        for shard in 0..opts.shards.max(1) {
+            let (waker, wake_rx) = wake_pair()?;
+            let mailbox = Arc::new(Mailbox::new(shard, waker));
+            mailboxes.push(mailbox.clone());
+            let handle = handle.clone();
+            let injector = injector.clone();
+            let stop = stop.clone();
+            let opts = opts.clone();
+            shards.push(
+                std::thread::Builder::new()
+                    .name(format!("ls-serve-loop-{shard}"))
+                    .spawn(move || {
+                        evloop::shard_loop(shard, handle, injector, mailbox, wake_rx, stop, opts)
+                    })?,
+            );
+        }
         let acceptor = {
             let stop = stop.clone();
+            let mailboxes = mailboxes.clone();
             std::thread::Builder::new()
                 .name("ls-serve-accept".into())
-                .spawn(move || accept_loop(listener, handle, &stop, injector))?
+                .spawn(move || accept_loop(listener, &mailboxes, &stop))?
         };
         Ok(TcpServer {
             addr,
             stop,
             acceptor: Some(acceptor),
+            shards,
+            mailboxes,
         })
     }
 
@@ -75,9 +154,10 @@ impl TcpServer {
         self.addr
     }
 
-    /// Stop accepting new connections and join the accept loop. Connections
-    /// already established finish their in-flight frames on their own
-    /// threads; pair this with [`crate::Server::shutdown`] to drain them.
+    /// Stop accepting, wake every shard, and join all front-end threads.
+    /// Responses already being computed by the worker pool are dropped at
+    /// the wire (their connections close); pair with
+    /// [`crate::Server::shutdown`] to drain the pipeline itself.
     pub fn stop(mut self) {
         self.stop.store(true, Ordering::SeqCst);
         // Wake the blocking accept() with a throwaway connection.
@@ -85,98 +165,38 @@ impl TcpServer {
         if let Some(a) = self.acceptor.take() {
             let _ = a.join();
         }
+        for mb in &self.mailboxes {
+            mb.wake();
+        }
+        for shard in self.shards.drain(..) {
+            let _ = shard.join();
+        }
     }
 }
 
-fn accept_loop(
-    listener: TcpListener,
-    handle: ServeHandle,
-    stop: &AtomicBool,
-    injector: Arc<dyn Injector>,
-) {
+/// TCP_NODELAY is on by default (`LS_NODELAY=0` disables it, existing only
+/// so the effect stays measurable — see EXPERIMENTS.md).
+fn nodelay() -> bool {
+    std::env::var("LS_NODELAY").map_or(true, |v| v != "0")
+}
+
+fn accept_loop(listener: TcpListener, mailboxes: &[Arc<Mailbox>], stop: &AtomicBool) {
+    let mut rr = 0usize;
     for conn in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             break;
         }
         let Ok(stream) = conn else { continue };
         ls_obs::counter("serve.tcp.connections").incr();
-        let handle = handle.clone();
-        let injector = injector.clone();
-        let _ = std::thread::Builder::new()
-            .name("ls-serve-conn".into())
-            .spawn(move || {
-                let Ok(read_half) = stream.try_clone() else {
-                    return;
-                };
-                let reader =
-                    BufReader::new(FaultyRead::new(read_half, injector.clone(), "serve.tcp"));
-                let writer = BufWriter::new(FaultyWrite::new(stream, injector, "serve.tcp"));
-                // An Err here means this one connection tore (corrupt length
-                // prefix, mid-frame EOF, injected I/O fault); it is dropped
-                // and every other connection keeps serving.
-                if serve_connection(reader, writer, &handle).is_err() {
-                    ls_obs::counter("serve.tcp.torn_connections").incr();
-                }
-            });
-    }
-}
-
-fn serve_connection<R: Read, W: Write>(
-    mut reader: R,
-    mut writer: W,
-    handle: &ServeHandle,
-) -> io::Result<()> {
-    while let Some(payload) = read_frame(&mut reader)? {
-        ls_obs::counter("serve.tcp.frames").incr();
-        let frame = match decode_frame(&payload) {
-            Ok(Frame::Admin(id, cmd)) => {
-                let data = admin_payload(handle, cmd);
-                encode_admin_response(id, &data)
-            }
-            Ok(Frame::Rank(id, req, trace)) => {
-                // Adopt the client's wire trace so every server-side span and
-                // stage sample carries the client's trace id — one stitched
-                // trace across the connection.
-                let _wire = trace.as_ref().map(ls_obs::TraceContext::attach);
-                let _span = ls_obs::enabled().then(|| ls_obs::span("serve.tcp.request"));
-                let result = handle.rank(req);
-                let t0 = ls_obs::enabled().then(Instant::now);
-                let frame = encode_response(id, &result);
-                if let Some(t0) = t0 {
-                    // The serialize stage runs after the response object
-                    // exists, so it lands in the histogram only — the
-                    // breakdown inside the frame cannot include it.
-                    crate::server::stage_hists()
-                        .serialize
-                        .record_traced(t0.elapsed().as_secs_f64(), ls_obs::current_trace_id());
-                }
-                frame
-            }
-            Ok(Frame::Feedback(id, rec)) => {
-                // Answered inline once the record is crash-durable in the
-                // WAL; feedback never enters the ranking pipeline.
-                encode_feedback_response(id, &handle.feedback(&rec))
-            }
-            Err(msg) => {
-                // Garbage JSON inside a well-formed frame: answer typed and
-                // keep the connection — the framing layer is still in sync.
-                ls_obs::counter("serve.tcp.bad_frames").incr();
-                encode_response(0, &Err(ServeError::BadRequest(msg)))
-            }
-        };
-        write_frame(&mut writer, &frame)?;
-    }
-    Ok(())
-}
-
-/// Answer one admin query from live server state.
-fn admin_payload(handle: &ServeHandle, cmd: AdminCommand) -> String {
-    ls_obs::counter("serve.tcp.admin_frames").incr();
-    match cmd {
-        AdminCommand::Metrics => ls_obs::metrics_json(),
-        AdminCommand::State => handle.state_json(),
-        AdminCommand::Traces => handle.traces_json(),
-        AdminCommand::Recorder => ls_obs::recorder::dump_json(),
+        // NODELAY before the socket ever carries a frame: request/response
+        // frames are far smaller than an MTU, and Nagle would otherwise
+        // serialize them behind delayed ACKs (p99 effect measured in
+        // EXPERIMENTS.md).
+        if nodelay() {
+            let _ = stream.set_nodelay(true);
+        }
+        mailboxes[rr % mailboxes.len()].push(Inbound::Conn(stream));
+        rr = rr.wrapping_add(1);
     }
 }
 
@@ -213,7 +233,7 @@ impl RetryPolicy {
     }
 }
 
-/// A blocking client for the framed protocol, with transparent reconnect.
+/// A blocking client for the framed protocols, with transparent reconnect.
 ///
 /// Ranking requests are idempotent (same input, same bit-identical answer),
 /// so a transport failure — connection refused, torn frame, server restart
@@ -221,24 +241,53 @@ impl RetryPolicy {
 /// same id, per the configured [`RetryPolicy`]. Typed server answers
 /// (including server-side errors like `Overloaded`) are final and never
 /// retried here: backpressure decisions belong to the caller.
+///
+/// The client speaks JSON by default. [`TcpRankClient::connect_binary`]
+/// (or [`connect_opts`](TcpRankClient::connect_opts) with
+/// [`Protocol::Binary`]) opens with the `LSBP` hello; if the server does
+/// not ack — a legacy JSON-only peer closes the connection on the
+/// magic's oversized pseudo-length — the client reconnects plain and
+/// *stays* on JSON for its lifetime, so every later reconnect skips the
+/// doomed hello.
 pub struct TcpRankClient {
     addr: SocketAddr,
     policy: RetryPolicy,
-    conn: Option<(BufReader<TcpStream>, BufWriter<TcpStream>)>,
+    prefer: Protocol,
+    /// Protocol of the *current* connection (`prefer` modulo fallback).
+    active: Protocol,
+    /// Set after a failed binary hello: never negotiate again.
+    json_fallback: bool,
+    conn: Option<(BufReader<TcpStream>, TcpStream)>,
     next_id: u64,
 }
 
 impl TcpRankClient {
-    /// Connect to a [`TcpServer`] with no retries (fail-fast).
+    /// Connect to a [`TcpServer`] with no retries (fail-fast), JSON.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<TcpRankClient> {
-        TcpRankClient::connect_with(addr, RetryPolicy::none())
+        TcpRankClient::connect_opts(addr, RetryPolicy::none(), Protocol::Json)
     }
 
-    /// Connect with an explicit retry policy. The initial connection is
-    /// attempted eagerly so misconfiguration fails at construction.
+    /// Connect with an explicit retry policy, JSON.
     pub fn connect_with(
         addr: impl ToSocketAddrs,
         policy: RetryPolicy,
+    ) -> io::Result<TcpRankClient> {
+        TcpRankClient::connect_opts(addr, policy, Protocol::Json)
+    }
+
+    /// Connect preferring the binary protocol (falls back to JSON against
+    /// a legacy server), no retries.
+    pub fn connect_binary(addr: impl ToSocketAddrs) -> io::Result<TcpRankClient> {
+        TcpRankClient::connect_opts(addr, RetryPolicy::none(), Protocol::Binary)
+    }
+
+    /// Connect with an explicit retry policy and protocol preference. The
+    /// initial connection is attempted eagerly so misconfiguration fails at
+    /// construction.
+    pub fn connect_opts(
+        addr: impl ToSocketAddrs,
+        policy: RetryPolicy,
+        prefer: Protocol,
     ) -> io::Result<TcpRankClient> {
         let addr = addr
             .to_socket_addrs()?
@@ -247,6 +296,9 @@ impl TcpRankClient {
         let mut client = TcpRankClient {
             addr,
             policy,
+            prefer,
+            active: Protocol::Json,
+            json_fallback: false,
             conn: None,
             next_id: 1,
         };
@@ -254,15 +306,48 @@ impl TcpRankClient {
         Ok(client)
     }
 
-    fn ensure_conn(&mut self) -> io::Result<&mut (BufReader<TcpStream>, BufWriter<TcpStream>)> {
-        if self.conn.is_none() {
-            let stream = TcpStream::connect(self.addr)?;
-            stream.set_nodelay(true)?;
-            let reader = BufReader::new(stream.try_clone()?);
-            self.conn = Some((reader, BufWriter::new(stream)));
-            ls_obs::counter("serve.client.connects").incr();
+    /// The protocol the current (or next) connection speaks — after a
+    /// sticky fallback this reports [`Protocol::Json`] even for a
+    /// binary-preferring client.
+    pub fn protocol(&self) -> Protocol {
+        if self.conn.is_some() {
+            self.active
+        } else if self.json_fallback {
+            Protocol::Json
+        } else {
+            self.prefer
         }
-        Ok(self.conn.as_mut().expect("connection just established"))
+    }
+
+    fn ensure_conn(&mut self) -> io::Result<()> {
+        if self.conn.is_some() {
+            return Ok(());
+        }
+        let mut stream = TcpStream::connect(self.addr)?;
+        if nodelay() {
+            stream.set_nodelay(true)?;
+        }
+        self.active = Protocol::Json;
+        if self.prefer == Protocol::Binary && !self.json_fallback {
+            match negotiate(&mut stream) {
+                Ok(()) => self.active = Protocol::Binary,
+                Err(_) => {
+                    // Legacy server: it saw our magic as an oversized frame
+                    // and closed. Reconnect plain and never negotiate with
+                    // this address again.
+                    ls_obs::counter("serve.client.binary_fallback").incr();
+                    self.json_fallback = true;
+                    stream = TcpStream::connect(self.addr)?;
+                    if nodelay() {
+                        stream.set_nodelay(true)?;
+                    }
+                }
+            }
+        }
+        let reader = BufReader::new(stream.try_clone()?);
+        self.conn = Some((reader, stream));
+        ls_obs::counter("serve.client.connects").incr();
+        Ok(())
     }
 
     /// One wire round trip. Any `Err` means the connection state is suspect
@@ -273,13 +358,28 @@ impl TcpRankClient {
         req: &RankRequest,
         trace: Option<&ls_obs::TraceContext>,
     ) -> io::Result<Result<RankResponse, ServeError>> {
-        let (reader, writer) = self.ensure_conn()?;
-        write_frame(writer, &crate::proto::encode_request(id, req, trace))?;
-        let payload = read_frame(reader)?.ok_or_else(|| {
-            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed connection")
-        })?;
-        let (resp_id, result) = crate::proto::decode_response(&payload)
-            .map_err(|m| io::Error::new(io::ErrorKind::InvalidData, m))?;
+        self.ensure_conn()?;
+        let active = self.active;
+        let (reader, writer) = self.conn.as_mut().expect("connection just established");
+        let payload = match active {
+            Protocol::Json => {
+                write_frame(writer, &proto::encode_request(id, req, trace))?;
+                read_frame(reader)?
+            }
+            Protocol::Binary => {
+                // Binary encoders emit prefix+payload in one buffer — a
+                // single write_all, no vectored assembly needed.
+                writer.write_all(&proto::encode_binary_request(id, req, trace))?;
+                read_frame(reader)?
+            }
+        }
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed connection"))?;
+        let (resp_id, result) = match active {
+            Protocol::Json => proto::decode_response(&payload)
+                .map_err(|m| io::Error::new(io::ErrorKind::InvalidData, m))?,
+            Protocol::Binary => proto::decode_binary_response(&payload)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?,
+        };
         if resp_id != id {
             return Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -345,13 +445,28 @@ impl TcpRankClient {
         let id = self.next_id;
         self.next_id += 1;
         let run = |client: &mut Self| -> io::Result<(u64, Result<u64, ServeError>)> {
-            let (reader, writer) = client.ensure_conn()?;
-            write_frame(writer, &encode_feedback_request(id, rec))?;
-            let payload = read_frame(reader)?.ok_or_else(|| {
+            client.ensure_conn()?;
+            let active = client.active;
+            let (reader, writer) = client.conn.as_mut().expect("connection just established");
+            let payload = match active {
+                Protocol::Json => {
+                    write_frame(writer, &encode_feedback_request(id, rec))?;
+                    read_frame(reader)?
+                }
+                Protocol::Binary => {
+                    writer.write_all(&proto::encode_binary_feedback_request(id, rec))?;
+                    read_frame(reader)?
+                }
+            }
+            .ok_or_else(|| {
                 io::Error::new(io::ErrorKind::UnexpectedEof, "server closed connection")
             })?;
-            crate::proto::decode_feedback_response(&payload)
-                .map_err(|m| io::Error::new(io::ErrorKind::InvalidData, m))
+            match active {
+                Protocol::Json => proto::decode_feedback_response(&payload)
+                    .map_err(|m| io::Error::new(io::ErrorKind::InvalidData, m)),
+                Protocol::Binary => proto::decode_binary_feedback_response(&payload)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+            }
         };
         match run(self) {
             Ok((resp_id, result)) if resp_id == id => result,
@@ -376,13 +491,28 @@ impl TcpRankClient {
         let id = self.next_id;
         self.next_id += 1;
         let run = |client: &mut Self| -> io::Result<(u64, ls_obs::Json)> {
-            let (reader, writer) = client.ensure_conn()?;
-            write_frame(writer, &encode_admin_request(id, cmd))?;
-            let payload = read_frame(reader)?.ok_or_else(|| {
+            client.ensure_conn()?;
+            let active = client.active;
+            let (reader, writer) = client.conn.as_mut().expect("connection just established");
+            let payload = match active {
+                Protocol::Json => {
+                    write_frame(writer, &encode_admin_request(id, cmd))?;
+                    read_frame(reader)?
+                }
+                Protocol::Binary => {
+                    writer.write_all(&proto::encode_binary_admin_request(id, cmd))?;
+                    read_frame(reader)?
+                }
+            }
+            .ok_or_else(|| {
                 io::Error::new(io::ErrorKind::UnexpectedEof, "server closed connection")
             })?;
-            crate::proto::decode_admin_response(&payload)
-                .map_err(|m| io::Error::new(io::ErrorKind::InvalidData, m))
+            match active {
+                Protocol::Json => proto::decode_admin_response(&payload)
+                    .map_err(|m| io::Error::new(io::ErrorKind::InvalidData, m)),
+                Protocol::Binary => proto::decode_binary_admin_response(&payload)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+            }
         };
         match run(self) {
             Ok((resp_id, data)) if resp_id == id => Ok(data),
@@ -398,4 +528,22 @@ impl TcpRankClient {
             }
         }
     }
+}
+
+/// Client side of the version handshake: send hello, require a well-formed
+/// ack. Any failure (EOF from a legacy server, garbage, version 0) makes
+/// the caller fall back to JSON on a fresh socket.
+fn negotiate(stream: &mut TcpStream) -> io::Result<()> {
+    stream.write_all(&encode_hello(BINARY_VERSION))?;
+    let mut ack = [0u8; HELLO_LEN];
+    stream.read_exact(&mut ack)?;
+    let version = decode_hello(&ack)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    if version != BINARY_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("server chose unsupported version {version}"),
+        ));
+    }
+    Ok(())
 }
